@@ -1,0 +1,100 @@
+// Ablation of the two protocol guards the paper motivates in Section
+// III-A, measured on the simulator:
+//   1. head-worker-only inter-socket stealing (vs letting every worker
+//      fetch inter-socket tasks), and
+//   2. the per-squad busy_state (vs running multiple inter-socket tasks
+//      per squad simultaneously — the cache-pollution case).
+// Plus the BL choice itself (BL=0 vs Eq. 4) as a reference row.
+
+#include "apps/heat.hpp"
+#include "apps/mergesort.hpp"
+#include "bench_common.hpp"
+#include "util/format.hpp"
+
+namespace cab::bench {
+namespace {
+
+void run_bundle(const char* label, const apps::DagBundle& bundle,
+                std::int32_t forced_bl = -1) {
+  const hw::Topology topo = paper_topology();
+  const std::int32_t bl =
+      forced_bl >= 0 ? forced_bl : bundle_boundary_level(bundle, topo);
+
+  struct Variant {
+    const char* name;
+    bool any_worker;
+    bool no_busy;
+    std::int32_t bl;
+  };
+  util::TablePrinter table({"variant", "makespan", "L3 misses", "util %"});
+  for (const Variant v :
+       {Variant{"CAB (paper protocol)", false, false, bl},
+        Variant{"any-worker inter steal", true, false, bl},
+        Variant{"no busy_state guard", false, true, bl},
+        Variant{"both guards off", true, true, bl},
+        Variant{"BL=0 (degenerate)", false, false, 0}}) {
+    simsched::SimOptions o;
+    o.topo = topo;
+    o.policy = simsched::SimPolicy::kCab;
+    o.boundary_level = v.bl;
+    o.any_worker_inter_steal = v.any_worker;
+    o.ignore_busy_state = v.no_busy;
+    if (v.bl == 0) o.victims = simsched::VictimSelection::kUniformRandom;
+    simsched::SimResult r =
+        simsched::Simulator(o).run(bundle.graph, bundle.traces);
+    table.add_row({v.name, util::format_fixed(r.makespan, 0),
+                   util::human_count(r.cache.l3_misses),
+                   util::format_fixed(r.utilization() * 100, 1)});
+  }
+  std::printf("%s (Eq.4 BL=%d):\n%s\n", label, bl,
+              table.to_string().c_str());
+}
+
+/// A workload where busy_state binds: 8 leaf inter-socket "groups" (BL=1)
+/// queue up on 4 squads, each group's 4 intra-socket tasks all sweep the
+/// group's shared 4 MiB region (constructive sharing within the group).
+/// One group fits a 6 MiB L3; two concurrent groups on one socket (what
+/// disabling busy_state allows) thrash it.
+apps::DagBundle pollution_stress() {
+  apps::DagBundle b;
+  b.name = "pollution-stress";
+  b.branching = 8;
+  b.input_bytes = 8ull * (4u << 20);
+  dag::NodeId root = b.graph.add_root(1);
+  for (int grp = 0; grp < 8; ++grp) {
+    dag::NodeId g = b.graph.add_child(root, 4);
+    const std::uint64_t region = apps::array_base(grp);
+    for (int leaf = 0; leaf < 4; ++leaf) {
+      dag::NodeId l = b.graph.add_child(g, 64 * 1024);
+      b.graph.set_traces(
+          l, b.traces.add({{region, 4u << 20, 1, leaf == 0}}), -1);
+    }
+  }
+  return b;
+}
+
+void run() {
+  print_header("Ablation — protocol guards (busy_state, head-worker rule)",
+               "Section III-A design choices, measured individually. Note: "
+               "the simulator prices no lock contention, so the head-worker "
+               "rule's contention benefit is visible only in bench_deque; "
+               "here it can only affect placement.");
+  run_bundle("pollution stress (8 groups of 4 MiB on 4 squads)",
+             pollution_stress(), /*forced_bl=*/1);
+  apps::HeatParams hp;
+  hp.rows = scaled(1024);
+  hp.cols = scaled(1024);
+  hp.steps = 10;
+  run_bundle("heat 1kx1k", apps::build_heat_dag(hp));
+  apps::MergesortParams mp;
+  mp.n = scaled(1024) * scaled(1024);
+  run_bundle("mergesort 1M", apps::build_mergesort_dag(mp));
+}
+
+}  // namespace
+}  // namespace cab::bench
+
+int main() {
+  cab::bench::run();
+  return 0;
+}

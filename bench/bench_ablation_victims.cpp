@@ -1,0 +1,67 @@
+// Ablation (beyond the paper): how much of CAB's win comes from the
+// *stability* of the steal pattern across iterative phases, as opposed to
+// the bi-tier confinement itself. We run the 2x2 matrix
+// {CAB, random-stealing} x {round-robin, uniform-random victims} on heat.
+//
+// Expected: CAB/round-robin locks into a stable leaf-inter->squad
+// placement and reaps cross-iteration L3 reuse; CAB/uniform-random keeps
+// the confinement benefit within each step but rescrambles placement
+// between steps; the baseline is insensitive (it scatters at task
+// granularity either way). See DESIGN.md "Victim selection".
+
+#include "apps/heat.hpp"
+#include "bench_common.hpp"
+#include "util/format.hpp"
+
+namespace cab::bench {
+namespace {
+
+void run() {
+  print_header("Ablation — victim selection & placement stability (heat 1k)",
+               "beyond the paper; quantifies the self-stabilizing steal "
+               "pattern assumption");
+
+  apps::HeatParams p;
+  p.rows = scaled(1024);
+  p.cols = scaled(1024);
+  p.steps = 10;
+  apps::DagBundle bundle = apps::build_heat_dag(p);
+  const hw::Topology topo = paper_topology();
+  const std::int32_t bl = bundle_boundary_level(bundle, topo);
+
+  util::TablePrinter table(
+      {"policy", "victims", "makespan", "L3 misses", "utilization %"});
+  struct Case {
+    simsched::SimPolicy policy;
+    simsched::VictimSelection victims;
+  };
+  for (const Case c : {Case{simsched::SimPolicy::kCab,
+                            simsched::VictimSelection::kRoundRobin},
+                       Case{simsched::SimPolicy::kCab,
+                            simsched::VictimSelection::kUniformRandom},
+                       Case{simsched::SimPolicy::kRandomStealing,
+                            simsched::VictimSelection::kRoundRobin},
+                       Case{simsched::SimPolicy::kRandomStealing,
+                            simsched::VictimSelection::kUniformRandom}}) {
+    simsched::SimOptions o;
+    o.topo = topo;
+    o.policy = c.policy;
+    o.boundary_level = bl;
+    o.victims = c.victims;
+    simsched::SimResult r =
+        simsched::Simulator(o).run(bundle.graph, bundle.traces);
+    table.add_row({to_string(c.policy), to_string(c.victims),
+                   util::format_fixed(r.makespan, 0),
+                   util::human_count(r.cache.l3_misses),
+                   util::format_fixed(r.utilization() * 100, 1)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+}  // namespace
+}  // namespace cab::bench
+
+int main() {
+  cab::bench::run();
+  return 0;
+}

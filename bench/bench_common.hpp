@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/cab.hpp"
+
+namespace cab::bench {
+
+/// All figure/table benches run on the paper's testbed model.
+inline hw::Topology paper_topology() { return hw::Topology::opteron_8380(); }
+
+/// Scale factor for input sizes: CAB_BENCH_SCALE=0.5 halves matrix rows/
+/// cols (quarter data) for quick runs; default 1.0 = the paper's sizes.
+inline double bench_scale() {
+  if (const char* s = std::getenv("CAB_BENCH_SCALE")) {
+    double v = std::atof(s);
+    if (v > 0.01 && v <= 4.0) return v;
+  }
+  return 1.0;
+}
+
+inline std::int64_t scaled(std::int64_t v) {
+  return static_cast<std::int64_t>(static_cast<double>(v) * bench_scale());
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("machine model: %s\n", paper_topology().describe().c_str());
+  if (bench_scale() != 1.0)
+    std::printf("NOTE: CAB_BENCH_SCALE=%.2f (inputs scaled)\n", bench_scale());
+  std::printf("================================================================\n");
+}
+
+}  // namespace cab::bench

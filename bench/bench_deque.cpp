@@ -1,0 +1,73 @@
+// Micro-benchmarks of the task-pool substrates (google-benchmark):
+// Chase-Lev lock-free deque vs the locked deque, single-owner throughput
+// and under thief contention. Context for the paper's Section III-A
+// argument that funneling inter-socket traffic through head workers keeps
+// a locked inter-socket pool cheap.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <thread>
+
+#include "deque/chase_lev_deque.hpp"
+#include "deque/locked_deque.hpp"
+
+namespace {
+
+int* tok(std::intptr_t v) { return reinterpret_cast<int*>(v); }
+
+void BM_ChaseLev_PushPop(benchmark::State& state) {
+  cab::deque::ChaseLevDeque<int*> d;
+  for (auto _ : state) {
+    for (int i = 1; i <= 64; ++i) d.push_bottom(tok(i));
+    for (int i = 0; i < 64; ++i) benchmark::DoNotOptimize(d.pop_bottom());
+  }
+  state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_ChaseLev_PushPop);
+
+void BM_LockedDeque_PushPop(benchmark::State& state) {
+  cab::deque::LockedDeque<int*> d;
+  for (auto _ : state) {
+    for (int i = 1; i <= 64; ++i) d.push_bottom(tok(i));
+    for (int i = 0; i < 64; ++i) benchmark::DoNotOptimize(d.pop_bottom());
+  }
+  state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_LockedDeque_PushPop);
+
+/// Owner push/pop with `range(0)` thieves hammering steal_top.
+template <typename Deque>
+void contended_benchmark(benchmark::State& state) {
+  const int thieves = static_cast<int>(state.range(0));
+  Deque d;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < thieves; ++t) {
+    threads.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire))
+        benchmark::DoNotOptimize(d.steal_top());
+    });
+  }
+  for (auto _ : state) {
+    for (int i = 1; i <= 64; ++i) d.push_bottom(tok(i));
+    for (int i = 0; i < 64; ++i) benchmark::DoNotOptimize(d.pop_bottom());
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  state.SetItemsProcessed(state.iterations() * 128);
+}
+
+void BM_ChaseLev_Contended(benchmark::State& state) {
+  contended_benchmark<cab::deque::ChaseLevDeque<int*>>(state);
+}
+BENCHMARK(BM_ChaseLev_Contended)->Arg(1)->Arg(2);
+
+void BM_LockedDeque_Contended(benchmark::State& state) {
+  contended_benchmark<cab::deque::LockedDeque<int*>>(state);
+}
+BENCHMARK(BM_LockedDeque_Contended)->Arg(1)->Arg(2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// Reproduces Fig. 5: impact of the boundary level BL on heat's execution
+// time for several input sizes, against the Cilk baseline. The paper's
+// findings this bench must show:
+//   - Eq. 4's automatic BL lands on (or next to) the best-performing BL;
+//   - BL too small (< number-of-sockets constraint) is *worse than Cilk*
+//     because squads idle (extreme case BL=1: one squad gets everything);
+//   - BL too large leaves too few intra-socket tasks per leaf inter task,
+//     so squads cannot balance internally and performance degrades again.
+
+#include <vector>
+
+#include "apps/heat.hpp"
+#include "bench_common.hpp"
+#include "util/format.hpp"
+
+namespace cab::bench {
+namespace {
+
+struct SizeCase {
+  const char* label;
+  std::int64_t rows, cols;
+};
+
+void run() {
+  print_header("Fig. 5 — impact of BL on heat across input sizes",
+               "Figure 5 (Section V-B): U-shaped BL curve; Eq. 4 picks the "
+               "minimum");
+
+  const std::vector<SizeCase> sizes = {{"512x512", 512, 512},
+                                       {"1kx1k", 1024, 1024},
+                                       {"2kx1k", 2048, 1024},
+                                       {"3kx2k", 3072, 2048}};
+  const hw::Topology topo = paper_topology();
+
+  for (const SizeCase& sc : sizes) {
+    apps::HeatParams p;
+    p.rows = scaled(sc.rows);
+    p.cols = scaled(sc.cols);
+    p.steps = 6;
+    p.leaf_rows = 128;
+    apps::DagBundle bundle = apps::build_heat_dag(p);
+    const std::int32_t auto_bl = bundle_boundary_level(bundle, topo);
+    const std::int32_t max_bl = bundle.graph.max_level();
+
+    // Cilk baseline once per size.
+    simsched::SimOptions cilk;
+    cilk.topo = topo;
+    cilk.policy = simsched::SimPolicy::kRandomStealing;
+    cilk.victims = simsched::VictimSelection::kUniformRandom;
+    const double cilk_time =
+        simsched::Simulator(cilk).run(bundle.graph, bundle.traces).makespan;
+
+    util::TablePrinter table({"BL", "makespan", "vs Cilk", "note"});
+    table.add_row({"Cilk", util::format_fixed(cilk_time, 0), "1.000", ""});
+    double best_time = 1e300;
+    std::int32_t best_bl = -1;
+    for (std::int32_t bl = 1; bl <= max_bl; ++bl) {
+      simsched::SimOptions o;
+      o.topo = topo;
+      o.policy = simsched::SimPolicy::kCab;
+      o.boundary_level = bl;
+      const double t =
+          simsched::Simulator(o).run(bundle.graph, bundle.traces).makespan;
+      if (t < best_time) {
+        best_time = t;
+        best_bl = bl;
+      }
+      table.add_row({std::to_string(bl), util::format_fixed(t, 0),
+                     util::format_fixed(t / cilk_time, 3),
+                     bl == auto_bl ? "<- Eq.4 choice" : ""});
+    }
+    std::printf("input %s (Sd=%s, Eq.4 BL=%d):\n%s", sc.label,
+                util::human_bytes(bundle.input_bytes).c_str(), auto_bl,
+                table.to_string().c_str());
+    std::printf("best BL measured: %d (Eq.4 chose %d)\n\n", best_bl, auto_bl);
+  }
+}
+
+}  // namespace
+}  // namespace cab::bench
+
+int main() {
+  cab::bench::run();
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Reproduces Fig. 6: normalized execution time of heat (a) and SOR (b)
+// in CAB vs Cilk as the input grows from 512x512 to 4k x 4k.
+//
+// Paper's shape: the CAB gain is largest at small inputs (heat 54.6%,
+// SOR 68.7% at 512x512) and shrinks as the per-socket slice outgrows the
+// shared cache (heat 14%, SOR 13.6% at 4k x 4k).
+
+#include <vector>
+
+#include "apps/heat.hpp"
+#include "apps/sor.hpp"
+#include "bench_common.hpp"
+#include "util/format.hpp"
+
+namespace cab::bench {
+namespace {
+
+struct SizeCase {
+  const char* label;
+  std::int64_t rows, cols;
+};
+
+const std::vector<SizeCase>& sizes() {
+  static const std::vector<SizeCase> s = {
+      {"512x512", 512, 512}, {"1kx1k", 1024, 1024},  {"2kx2k", 2048, 2048},
+      {"3kx2k", 3072, 2048}, {"3kx3k", 3072, 3072},  {"4kx4k", 4096, 4096}};
+  return s;
+}
+
+void run_app(const char* app) {
+  util::TablePrinter table(
+      {"input", "BL", "Cilk", "CAB", "normalized(CAB)", "gain %"});
+  double first_gain = 0, last_gain = 0;
+  for (const SizeCase& sc : sizes()) {
+    apps::DagBundle bundle = [&] {
+      if (std::string(app) == "heat") {
+        apps::HeatParams p;
+        p.rows = scaled(sc.rows);
+        p.cols = scaled(sc.cols);
+        p.steps = 6;
+        return apps::build_heat_dag(p);
+      }
+      apps::SorParams p;
+      p.rows = scaled(sc.rows);
+      p.cols = scaled(sc.cols);
+      p.iterations = 3;
+      return apps::build_sor_dag(p);
+    }();
+    Comparison c = compare_schedulers(bundle, paper_topology());
+    if (sc.rows == 512) first_gain = c.gain_percent();
+    last_gain = c.gain_percent();
+    table.add_row({sc.label, std::to_string(c.boundary_level),
+                   util::format_fixed(c.cilk.makespan, 0),
+                   util::format_fixed(c.cab.makespan, 0),
+                   util::format_fixed(c.normalized_time(), 3),
+                   util::format_fixed(c.gain_percent(), 1)});
+  }
+  std::printf("%s:\n%s", app, table.to_string().c_str());
+  std::printf("shape check: gain shrinks with size (%.1f%% at 512^2 -> "
+              "%.1f%% at 4k); paper: heat 54.6%%->14%%, SOR 68.7%%->13.6%%\n\n",
+              first_gain, last_gain);
+}
+
+void run() {
+  print_header("Fig. 6 — scalability of CAB with input size (heat, SOR)",
+               "Figure 6 (Section V-C): diminishing gains at large inputs");
+  run_app("heat");
+  run_app("sor");
+}
+
+}  // namespace
+}  // namespace cab::bench
+
+int main() {
+  cab::bench::run();
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Reproduces Fig. 8: normalized execution times of the CPU-bound
+// applications (queens, fft, ck, cholesky) under CAB with BL = 0 —
+// i.e. CAB degenerated to classic task-stealing, measuring only the
+// bi-tier bookkeeping overhead. Paper: ~1-2% overhead (fft < 5%).
+//
+// Two measurements:
+//  1. virtual-time simulation on the 4x4 Opteron model (identical
+//     schedules => overhead 0 by construction; reported as the sanity
+//     baseline);
+//  2. wall-clock on the *real* threaded runtime on this host — the honest
+//     overhead measurement: CAB pays per-spawn level bookkeeping and
+//     tier classification even when BL = 0.
+
+#include <algorithm>
+#include <chrono>
+#include <ctime>
+#include <vector>
+
+#include "apps/ck.hpp"
+#include "apps/cholesky.hpp"
+#include "apps/fft.hpp"
+#include "apps/queens.hpp"
+#include "apps/registry.hpp"
+#include "bench_common.hpp"
+#include "util/format.hpp"
+
+namespace cab::bench {
+namespace {
+
+/// Process CPU time, not wall time: on a shared host, external load
+/// inflates wall clock unpredictably, while the scheduler overhead being
+/// measured is extra *instructions* (level bookkeeping, tier checks) and
+/// shows up directly in CPU time. Spin-wait cycles are charged equally to
+/// both schedulers.
+double cpu_seconds(const std::function<void()>& f) {
+  timespec a{}, b{};
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &a);
+  f();
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &b);
+  return static_cast<double>(b.tv_sec - a.tv_sec) +
+         1e-9 * static_cast<double>(b.tv_nsec - a.tv_nsec);
+}
+
+runtime::Options host_options(runtime::SchedulerKind kind) {
+  runtime::Options o;
+  o.topo = hw::Topology::detect();
+  o.kind = kind;
+  o.boundary_level = 0;  // Fig. 8 configuration
+  return o;
+}
+
+void run_real(const char* name, const std::function<void(runtime::Runtime&)>& body,
+              util::TablePrinter& table) {
+  // Interleaved best-of-5 per scheduler: alternating reps cancel the
+  // drift (frequency ramp, page-cache warmup) a back-to-back measurement
+  // would attribute to one scheduler.
+  runtime::Runtime cilk_rt(host_options(runtime::SchedulerKind::kRandomStealing));
+  runtime::Runtime cab_rt(host_options(runtime::SchedulerKind::kCab));
+  body(cilk_rt);  // shared warmup
+  body(cab_rt);
+  // Calibrate a rep count that accumulates >= ~1.2 s of CPU per scheduler
+  // (the process CPU clock ticks at 10 ms here), then measure the two
+  // schedulers over the same rep count, interleaved in blocks.
+  const double probe = cpu_seconds([&] { body(cilk_rt); });
+  const int reps = std::max(3, static_cast<int>(1.2 / std::max(probe, 1e-3)));
+  double cilk = 0, cab = 0;
+  for (int block = 0; block < 3; ++block) {
+    cilk += cpu_seconds([&] {
+      for (int r = 0; r < reps / 3 + 1; ++r) body(cilk_rt);
+    });
+    cab += cpu_seconds([&] {
+      for (int r = 0; r < reps / 3 + 1; ++r) body(cab_rt);
+    });
+  }
+  const int total_reps = 3 * (reps / 3 + 1);
+  table.add_row({name, util::format_fixed(cilk * 1e3 / total_reps, 1),
+                 util::format_fixed(cab * 1e3 / total_reps, 1),
+                 util::format_fixed(cab / cilk, 3)});
+}
+
+void run() {
+  print_header("Fig. 8 — CPU-bound applications with BL = 0",
+               "Figure 8 (Section V-D): CAB overhead ~1-2% (fft < 5%)");
+
+  // Part 1: simulated comparison, jitter-free so both policies resolve
+  // identically — by construction CAB(BL=0) degenerates to the baseline,
+  // so the ratio is exactly 1: the simulator charges no bookkeeping cost.
+  util::TablePrinter sim_table({"benchmark", "Cilk", "CAB(BL=0)", "ratio"});
+  for (const char* name : {"queens", "fft", "ck", "cholesky"}) {
+    apps::DagBundle bundle = apps::build_app(name);
+    simsched::SimOptions o;
+    o.topo = paper_topology();
+    o.policy = simsched::SimPolicy::kCab;
+    o.boundary_level = 0;
+    o.victims = simsched::VictimSelection::kUniformRandom;
+    simsched::SimResult cab =
+        simsched::Simulator(o).run(bundle.graph, bundle.traces);
+    o.policy = simsched::SimPolicy::kRandomStealing;
+    simsched::SimResult cilk =
+        simsched::Simulator(o).run(bundle.graph, bundle.traces);
+    sim_table.add_row({name, util::format_fixed(cilk.makespan, 0),
+                       util::format_fixed(cab.makespan, 0),
+                       util::format_fixed(cab.makespan / cilk.makespan, 3)});
+  }
+  std::printf(
+      "simulated (4x4 model; BL=0 degenerates CAB to the baseline, so the\n"
+      "virtual-time ratio is 1.000 by construction — the paper's 1-2%% is\n"
+      "real-hardware bookkeeping, measured below):\n%s\n",
+      sim_table.to_string().c_str());
+
+  // Part 2: real threaded runtime on this host (wall clock, ms).
+  util::TablePrinter real_table(
+      {"benchmark", "Cilk cpu-ms", "CAB(BL=0) cpu-ms", "ratio"});
+  run_real("queens(12)", [](runtime::Runtime& rt) {
+    apps::QueensParams p;
+    p.n = 12;
+    apps::run_queens(rt, p);
+  }, real_table);
+  run_real("fft(2^17)", [](runtime::Runtime& rt) {
+    apps::FftParams p;
+    p.n = 1 << 17;
+    apps::run_fft_roundtrip(rt, p);
+  }, real_table);
+  run_real("ck(d=7)", [](runtime::Runtime& rt) {
+    apps::CkParams p;
+    p.depth = 7;
+    apps::run_ck(rt, p);
+  }, real_table);
+  run_real("cholesky(384)", [](runtime::Runtime& rt) {
+    apps::CholeskyParams p;
+    p.n = 384;
+    p.tile = 64;
+    apps::run_cholesky(rt, p);
+  }, real_table);
+  std::printf("real runtime on this host (%s):\n%s\n",
+              hw::Topology::detect().describe().c_str(),
+              real_table.to_string().c_str());
+  std::printf("shape check: ratios ~1.0 (paper: 1.01-1.05).\n");
+}
+
+}  // namespace
+}  // namespace cab::bench
+
+int main() {
+  cab::bench::run();
+  return 0;
+}

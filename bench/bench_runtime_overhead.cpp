@@ -1,0 +1,86 @@
+// Micro-benchmarks of the threaded runtime (google-benchmark): spawn/sync
+// overhead per task on this host, for each scheduler. The real-machine
+// counterpart of Fig. 8's "CAB adds 1-2%": with BL = 0, the only extra
+// cost of CAB over classic stealing is the per-spawn level bookkeeping
+// and tier classification.
+
+#include <benchmark/benchmark.h>
+
+#include "runtime/runtime.hpp"
+
+namespace {
+
+using cab::runtime::Options;
+using cab::runtime::Runtime;
+using cab::runtime::SchedulerKind;
+
+long fib_task(int n) {
+  if (n < 2) return n;
+  long a = 0, b = 0;
+  Runtime::spawn([n, &a] { a = fib_task(n - 1); });
+  Runtime::spawn([n, &b] { b = fib_task(n - 2); });
+  Runtime::sync();
+  return a + b;
+}
+
+Options host_options(SchedulerKind kind, int bl) {
+  Options o;
+  o.topo = cab::hw::Topology::detect();
+  o.kind = kind;
+  o.boundary_level = bl;
+  return o;
+}
+
+void run_fib(benchmark::State& state, SchedulerKind kind, int bl) {
+  Runtime rt(host_options(kind, bl));
+  const int n = static_cast<int>(state.range(0));
+  long result = 0;
+  for (auto _ : state) {
+    rt.run([&] { result = fib_task(n); });
+    benchmark::DoNotOptimize(result);
+  }
+  // fib(n) spawns ~2*fib(n+1) tasks; report per-task cost.
+  state.SetItemsProcessed(state.iterations() * 2 *
+                          static_cast<std::int64_t>(result));
+}
+
+void BM_Spawn_Cab_BL0(benchmark::State& state) {
+  run_fib(state, SchedulerKind::kCab, 0);
+}
+BENCHMARK(BM_Spawn_Cab_BL0)->Arg(18);
+
+void BM_Spawn_Cab_BL3(benchmark::State& state) {
+  run_fib(state, SchedulerKind::kCab, 3);
+}
+BENCHMARK(BM_Spawn_Cab_BL3)->Arg(18);
+
+void BM_Spawn_RandomStealing(benchmark::State& state) {
+  run_fib(state, SchedulerKind::kRandomStealing, 0);
+}
+BENCHMARK(BM_Spawn_RandomStealing)->Arg(18);
+
+void BM_Spawn_TaskSharing(benchmark::State& state) {
+  run_fib(state, SchedulerKind::kTaskSharing, 0);
+}
+BENCHMARK(BM_Spawn_TaskSharing)->Arg(18);
+
+void BM_ParallelFor(benchmark::State& state) {
+  Runtime rt(host_options(SchedulerKind::kCab, 0));
+  std::vector<double> v(1 << 16, 1.0);
+  for (auto _ : state) {
+    rt.run([&] {
+      cab::runtime::parallel_for(
+          0, static_cast<std::int64_t>(v.size()), 1024,
+          [&](std::int64_t lo, std::int64_t hi) {
+            for (std::int64_t i = lo; i < hi; ++i) v[static_cast<std::size_t>(i)] *= 1.000001;
+          });
+    });
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(v.size()));
+}
+BENCHMARK(BM_ParallelFor);
+
+}  // namespace
+
+BENCHMARK_MAIN();

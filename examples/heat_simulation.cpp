@@ -1,0 +1,66 @@
+// Heat-diffusion demo: the paper's running example end to end.
+//
+//   $ ./heat_simulation [rows cols steps]
+//
+// Runs the five-point heat benchmark twice on the threaded runtime (CAB
+// and classic random stealing), verifies both against the serial kernel,
+// then runs the same workload through the deterministic simulator on the
+// paper's 4x4 Opteron model and reports the Fig. 4-style comparison.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/heat.hpp"
+#include "core/cab.hpp"
+#include "util/format.hpp"
+
+int main(int argc, char** argv) {
+  cab::apps::HeatParams p;
+  p.rows = 512;
+  p.cols = 512;
+  p.steps = 8;
+  p.leaf_rows = 64;
+  if (argc >= 4) {
+    p.rows = std::atoll(argv[1]);
+    p.cols = std::atoll(argv[2]);
+    p.steps = std::atoi(argv[3]);
+  }
+  std::printf("heat: %lld x %lld doubles, %d steps (Sd = %s)\n",
+              static_cast<long long>(p.rows), static_cast<long long>(p.cols),
+              p.steps, cab::util::human_bytes(p.input_bytes()).c_str());
+
+  // --- real threaded runtime, verified against serial ---------------------
+  const double expected = cab::apps::run_heat_serial(p);
+
+  cab::hw::Topology topo = cab::hw::Topology::detect();
+  if (topo.sockets() == 1) topo = cab::hw::Topology::synthetic(2, 2);
+  for (auto kind : {cab::runtime::SchedulerKind::kCab,
+                    cab::runtime::SchedulerKind::kRandomStealing}) {
+    cab::runtime::Options o;
+    o.topo = topo;
+    o.kind = kind;
+    o.boundary_level =
+        kind == cab::runtime::SchedulerKind::kCab
+            ? cab::runtime::auto_boundary_level(topo, p.input_bytes())
+            : 0;
+    cab::runtime::Runtime rt(o);
+    const double got = cab::apps::run_heat(rt, p);
+    std::printf("%-16s checksum %s (%s)\n", to_string(kind),
+                got == expected ? "OK" : "MISMATCH",
+                rt.stats().summary().c_str());
+    if (got != expected) return 1;
+  }
+
+  // --- simulated Fig. 4-style comparison on the paper's testbed ----------
+  cab::apps::DagBundle bundle = cab::apps::build_heat_dag(p);
+  cab::Comparison c =
+      cab::compare_schedulers(bundle, cab::hw::Topology::opteron_8380());
+  std::printf("\nsimulated on %s (BL=%d):\n",
+              cab::hw::Topology::opteron_8380().describe().c_str(),
+              c.boundary_level);
+  std::printf("  Cilk: %s\n", c.cilk.summary().c_str());
+  std::printf("  CAB : %s\n", c.cab.summary().c_str());
+  std::printf("  normalized time %.3f => CAB gain %.1f%%\n",
+              c.normalized_time(), c.gain_percent());
+  return 0;
+}

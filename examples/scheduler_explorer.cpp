@@ -1,0 +1,96 @@
+// Scheduler explorer: inspect how the automatic DAG partitioning (Eq. 4)
+// and the simulated schedulers behave for a workload you describe on the
+// command line.
+//
+//   $ ./scheduler_explorer [input_MiB] [branching]
+//
+// Prints the BL table across socket counts, then simulates a synthetic
+// divide-and-conquer DAG of that shape under CAB and random stealing on
+// several virtual machines.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/cab.hpp"
+#include "util/format.hpp"
+
+int main(int argc, char** argv) {
+  std::uint64_t input_mib = 48;
+  std::int32_t branching = 2;
+  if (argc >= 2) input_mib = static_cast<std::uint64_t>(std::atoll(argv[1]));
+  if (argc >= 3) branching = std::atoi(argv[2]);
+
+  std::printf("workload: Sd = %llu MiB, B = %d\n",
+              static_cast<unsigned long long>(input_mib), branching);
+
+  // --- Eq. 4 across machine shapes ----------------------------------------
+  cab::util::TablePrinter bl_table(
+      {"machine", "Sc", "BL (Eq.4)", "leaf inter tasks"});
+  for (int sockets : {1, 2, 4, 8}) {
+    cab::hw::Topology topo = cab::hw::Topology::synthetic(sockets, 4);
+    cab::dag::PartitionParams p;
+    p.branching = branching;
+    p.sockets = sockets;
+    p.input_bytes = input_mib << 20;
+    p.shared_cache_bytes = topo.shared_cache_bytes();
+    const std::int32_t bl = cab::dag::boundary_level(p);
+    bl_table.add_row(
+        {std::to_string(sockets) + "x4",
+         cab::util::human_bytes(topo.shared_cache_bytes()),
+         std::to_string(bl),
+         std::to_string(cab::dag::leaf_inter_task_count(branching, bl))});
+  }
+  std::printf("\nEq. 4 boundary levels:\n%s\n", bl_table.to_string().c_str());
+
+  // --- simulate a matching synthetic D&C DAG ------------------------------
+  // Depth chosen so leaves hold ~1 MiB each; leaves sweep disjoint data.
+  std::int32_t depth = 1;
+  std::uint64_t leaves = 1;
+  while ((input_mib << 20) / leaves > (1u << 20)) {
+    leaves *= static_cast<std::uint64_t>(branching);
+    ++depth;
+  }
+  cab::dag::TaskGraph g =
+      cab::dag::make_recursive_dnc(branching, depth, /*leaf_work=*/1, 1);
+  cab::cachesim::TraceStore store;
+  // Attach a trace to every leaf: its slice of the input, one sweep.
+  const std::uint64_t slice = (input_mib << 20) / leaves;
+  std::uint64_t next = 0;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    const auto id = static_cast<cab::dag::NodeId>(i);
+    if (!g.node(id).children.empty()) continue;
+    g.set_traces(id, store.add({{next, slice, 2, true}}), -1);
+    next += slice;
+  }
+
+  std::printf("synthetic DAG: %zu nodes, depth %d, %llu leaves\n", g.size(),
+              depth, static_cast<unsigned long long>(leaves));
+  cab::util::TablePrinter sim_table(
+      {"machine", "policy", "BL", "makespan", "L3 misses", "util %"});
+  for (int sockets : {2, 4}) {
+    cab::hw::Topology topo = cab::hw::Topology::synthetic(sockets, 4);
+    for (auto policy : {cab::simsched::SimPolicy::kCab,
+                        cab::simsched::SimPolicy::kRandomStealing}) {
+      cab::simsched::SimOptions o;
+      o.topo = topo;
+      o.policy = policy;
+      cab::dag::PartitionParams pp;
+      pp.branching = branching;
+      pp.sockets = sockets;
+      pp.input_bytes = input_mib << 20;
+      pp.shared_cache_bytes = topo.shared_cache_bytes();
+      o.boundary_level = cab::dag::boundary_level(pp);
+      if (policy == cab::simsched::SimPolicy::kRandomStealing)
+        o.victims = cab::simsched::VictimSelection::kUniformRandom;
+      auto r = cab::simsched::Simulator(o).run(g, store);
+      sim_table.add_row(
+          {std::to_string(sockets) + "x4", to_string(policy),
+           std::to_string(o.boundary_level),
+           cab::util::format_fixed(r.makespan, 0),
+           cab::util::human_count(r.cache.l3_misses),
+           cab::util::format_fixed(r.utilization() * 100, 1)});
+    }
+  }
+  std::printf("\nsimulated schedules:\n%s", sim_table.to_string().c_str());
+  return 0;
+}

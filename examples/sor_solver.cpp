@@ -1,0 +1,95 @@
+// SOR solver demo: red-black successive over-relaxation with convergence
+// tracking on the CAB runtime — the paper's best-case benchmark (68.7%
+// gain at 512x512).
+//
+//   $ ./sor_solver [n iterations]
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/cab.hpp"
+
+using cab::runtime::Runtime;
+
+namespace {
+
+/// One red-black SOR half-sweep over rows [r0, r1), returning the local
+/// residual (max update magnitude) for convergence tracking.
+double sweep_rows(double* a, std::int64_t n, std::int64_t r0, std::int64_t r1,
+                  int color, double omega) {
+  double residual = 0;
+  for (std::int64_t r = r0; r < r1; ++r) {
+    double* up = a + (r - 1) * n;
+    double* mid = a + r * n;
+    double* down = a + (r + 1) * n;
+    for (std::int64_t c = 1 + ((r + 1 + color) % 2); c < n - 1; c += 2) {
+      const double stencil = 0.25 * (up[c] + down[c] + mid[c - 1] + mid[c + 1]);
+      const double delta = omega * (stencil - mid[c]);
+      mid[c] += delta;
+      residual = std::max(residual, std::abs(delta));
+    }
+  }
+  return residual;
+}
+
+double sweep_parallel(double* a, std::int64_t n, int color, double omega) {
+  constexpr std::int64_t kLeafRows = 64;
+  // Fan the rows out with parallel_for and reduce the residual.
+  std::vector<double> partial;
+  std::mutex mu;
+  cab::runtime::parallel_for(
+      1, n - 1, kLeafRows, [&](std::int64_t lo, std::int64_t hi) {
+        const double r = sweep_rows(a, n, lo, hi, color, omega);
+        std::lock_guard<std::mutex> g(mu);
+        partial.push_back(r);
+      });
+  double residual = 0;
+  for (double r : partial) residual = std::max(residual, r);
+  return residual;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::int64_t n = 512;
+  int max_iters = 200;
+  if (argc >= 2) n = std::atoll(argv[1]);
+  if (argc >= 3) max_iters = std::atoi(argv[2]);
+
+  cab::hw::Topology topo = cab::hw::Topology::detect();
+  if (topo.sockets() == 1) topo = cab::hw::Topology::synthetic(2, 2);
+  cab::runtime::Options opts;
+  opts.topo = topo;
+  opts.kind = cab::runtime::SchedulerKind::kCab;
+  opts.boundary_level = cab::runtime::auto_boundary_level(
+      topo, static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n) *
+                sizeof(double));
+  std::printf("SOR %lld x %lld on %s, BL=%d\n", static_cast<long long>(n),
+              static_cast<long long>(n), topo.describe().c_str(),
+              opts.boundary_level);
+
+  // Dirichlet problem: hot top edge, cold interior.
+  std::vector<double> grid(static_cast<std::size_t>(n * n), 0.0);
+  for (std::int64_t c = 0; c < n; ++c) grid[static_cast<std::size_t>(c)] = 1.0;
+
+  const double omega = 2.0 / (1.0 + std::sin(M_PI / static_cast<double>(n)));
+  cab::runtime::Runtime rt(opts);
+  int iters = 0;
+  double residual = 1.0;
+  rt.run([&] {
+    for (iters = 0; iters < max_iters && residual > 1e-6; ++iters) {
+      residual = 0;
+      for (int color = 0; color < 2; ++color)
+        residual = std::max(residual,
+                            sweep_parallel(grid.data(), n, color, omega));
+    }
+  });
+
+  double center = grid[static_cast<std::size_t>((n / 2) * n + n / 2)];
+  std::printf("finished after %d iterations, residual %.2e, center %.6f\n",
+              iters, residual, center);
+  std::printf("stats: %s\n", rt.stats().summary().c_str());
+  return residual < 1.0 ? 0 : 1;
+}

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "cachesim/trace.hpp"
+#include "dag/partition.hpp"
+#include "dag/task_graph.hpp"
+
+namespace cab::apps {
+
+/// A benchmark application's simulator model: the execution DAG, the
+/// memory traces its tasks issue, and the partitioning parameters (B, Sd)
+/// the paper's semi-automatic method would receive on the command line.
+struct DagBundle {
+  std::string name;
+  dag::TaskGraph graph;
+  cachesim::TraceStore traces;
+  /// Branching degree B of the recursive procedure.
+  std::int32_t branching = 2;
+  /// Input data size Sd in bytes (what Eq. 4 divides by Sc).
+  std::uint64_t input_bytes = 0;
+};
+
+/// Virtual base addresses for the arrays of a simulated application.
+/// Arrays are spaced 8 GiB apart so ranges never collide.
+inline constexpr std::uint64_t array_base(int index) {
+  return (static_cast<std::uint64_t>(index) + 1) << 33;
+}
+
+/// Recursively splits [lo, hi) in two (the B=2 divide pattern of Fig. 1)
+/// until the range is <= grain, adding divide nodes with `divide_work`
+/// under `parent`; `leaf_fn(parent_of_leaf, lo, hi)` creates each leaf.
+void split_range(
+    dag::TaskGraph& g, dag::NodeId parent, std::int64_t lo, std::int64_t hi,
+    std::int64_t grain, std::uint64_t divide_work,
+    const std::function<void(dag::NodeId, std::int64_t, std::int64_t)>&
+        leaf_fn);
+
+/// Number of levels the binary split of [0, n) with the given grain adds
+/// below the split root (0 when n <= grain).
+std::int32_t split_depth(std::int64_t n, std::int64_t grain);
+
+}  // namespace cab::apps

@@ -1,0 +1,199 @@
+#include "apps/cholesky.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace cab::apps {
+namespace {
+
+/// Column-major within row-major tiles is overkill here; the matrix is
+/// plain row-major n x n, tiles addressed by their top-left corner.
+struct Mat {
+  std::vector<double> v;
+  std::int64_t n;
+  double& at(std::int64_t i, std::int64_t j) {
+    return v[static_cast<std::size_t>(i * n + j)];
+  }
+  double at(std::int64_t i, std::int64_t j) const {
+    return v[static_cast<std::size_t>(i * n + j)];
+  }
+};
+
+Mat make_spd(std::int64_t n) {
+  // A = B*B^T + n*I with a deterministic mildly random B.
+  Mat a{std::vector<double>(static_cast<std::size_t>(n * n), 0.0), n};
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j <= i; ++j) {
+      double s = 0;
+      for (std::int64_t k = 0; k <= std::min(i, j); ++k) {
+        const double bi = 0.01 * ((i * 31 + k * 7) % 13) + (i == k ? 1.0 : 0);
+        const double bj = 0.01 * ((j * 31 + k * 7) % 13) + (j == k ? 1.0 : 0);
+        s += bi * bj;
+      }
+      a.at(i, j) = a.at(j, i) = s + (i == j ? 2.0 : 0.0);
+    }
+  }
+  return a;
+}
+
+/// potrf on tile (k,k): serial Cholesky of a b x b block, lower triangle.
+void potrf(Mat& a, std::int64_t k0, std::int64_t b) {
+  for (std::int64_t j = k0; j < k0 + b; ++j) {
+    double d = a.at(j, j);
+    for (std::int64_t t = k0; t < j; ++t) d -= a.at(j, t) * a.at(j, t);
+    CAB_CHECK(d > 0, "matrix not positive definite at potrf");
+    const double ljj = std::sqrt(d);
+    a.at(j, j) = ljj;
+    for (std::int64_t i = j + 1; i < k0 + b; ++i) {
+      double s = a.at(i, j);
+      for (std::int64_t t = k0; t < j; ++t) s -= a.at(i, t) * a.at(j, t);
+      a.at(i, j) = s / ljj;
+    }
+  }
+}
+
+/// trsm: tile (i0,k0) := tile (i0,k0) * L(k0,k0)^-T.
+void trsm(Mat& a, std::int64_t i0, std::int64_t k0, std::int64_t b) {
+  for (std::int64_t j = k0; j < k0 + b; ++j) {
+    for (std::int64_t i = i0; i < i0 + b; ++i) {
+      double s = a.at(i, j);
+      for (std::int64_t t = k0; t < j; ++t) s -= a.at(i, t) * a.at(j, t);
+      a.at(i, j) = s / a.at(j, j);
+    }
+  }
+}
+
+/// gemm/syrk: tile (i0,j0) -= tile(i0,k0) * tile(j0,k0)^T (lower part only
+/// when i0 == j0).
+void update(Mat& a, std::int64_t i0, std::int64_t j0, std::int64_t k0,
+            std::int64_t b) {
+  for (std::int64_t i = i0; i < i0 + b; ++i) {
+    const std::int64_t jmax = (i0 == j0) ? i : j0 + b - 1;
+    for (std::int64_t j = j0; j <= jmax; ++j) {
+      double s = a.at(i, j);
+      for (std::int64_t t = k0; t < k0 + b; ++t)
+        s -= a.at(i, t) * a.at(j, t);
+      a.at(i, j) = s;
+    }
+  }
+}
+
+void cholesky_tiled(Mat& a, std::int64_t b, bool parallel) {
+  const std::int64_t n = a.n;
+  for (std::int64_t k = 0; k < n; k += b) {
+    potrf(a, k, b);
+    if (parallel) {
+      for (std::int64_t i = k + b; i < n; i += b)
+        runtime::Runtime::spawn([&a, i, k, b] { trsm(a, i, k, b); });
+      runtime::Runtime::sync();
+      for (std::int64_t i = k + b; i < n; i += b)
+        for (std::int64_t j = k + b; j <= i; j += b)
+          runtime::Runtime::spawn([&a, i, j, k, b] { update(a, i, j, k, b); });
+      runtime::Runtime::sync();
+    } else {
+      for (std::int64_t i = k + b; i < n; i += b) trsm(a, i, k, b);
+      for (std::int64_t i = k + b; i < n; i += b)
+        for (std::int64_t j = k + b; j <= i; j += b) update(a, i, j, k, b);
+    }
+  }
+}
+
+double reconstruct_error(const Mat& l, const Mat& a0) {
+  const std::int64_t n = l.n;
+  double max_err = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j <= i; ++j) {
+      double s = 0;
+      for (std::int64_t k = 0; k <= j; ++k) s += l.at(i, k) * l.at(j, k);
+      max_err = std::max(max_err, std::abs(s - a0.at(i, j)));
+    }
+  }
+  return max_err;
+}
+
+}  // namespace
+
+double run_cholesky(runtime::Runtime& rt, const CholeskyParams& p) {
+  CAB_CHECK(p.n % p.tile == 0, "tile must divide n");
+  Mat a0 = make_spd(p.n);
+  Mat a = a0;
+  rt.run([&] { cholesky_tiled(a, p.tile, /*parallel=*/true); });
+  return reconstruct_error(a, a0);
+}
+
+double run_cholesky_serial(const CholeskyParams& p) {
+  CAB_CHECK(p.n % p.tile == 0, "tile must divide n");
+  Mat a0 = make_spd(p.n);
+  Mat a = a0;
+  cholesky_tiled(a, p.tile, /*parallel=*/false);
+  return reconstruct_error(a, a0);
+}
+
+DagBundle build_cholesky_dag(const CholeskyParams& p) {
+  CAB_CHECK(p.n % p.tile == 0, "tile must divide n");
+  DagBundle bundle;
+  bundle.name = "cholesky";
+  bundle.branching = p.branching();
+  bundle.input_bytes = p.input_bytes();
+
+  dag::TaskGraph& g = bundle.graph;
+  cachesim::TraceStore& store = bundle.traces;
+  const std::uint64_t base = array_base(0);
+  const std::uint64_t row_bytes =
+      static_cast<std::uint64_t>(p.n) * sizeof(double);
+  const std::int64_t b = p.tile;
+  const std::uint64_t flops_tile =
+      static_cast<std::uint64_t>(b) * static_cast<std::uint64_t>(b) *
+      static_cast<std::uint64_t>(b) * 2;
+
+  // Trace for a tile: its rows' segments (strided rows approximated as the
+  // bounding row range of the tile — tiles span full cache lines anyway).
+  auto tile_trace = [&](std::int64_t i0, std::int64_t j0, bool write) {
+    return cachesim::RangeAccess{
+        base + static_cast<std::uint64_t>(i0) * row_bytes +
+            static_cast<std::uint64_t>(j0) * sizeof(double),
+        static_cast<std::uint64_t>(b - 1) * row_bytes +
+            static_cast<std::uint64_t>(b) * sizeof(double),
+        1, write};
+  };
+
+  dag::NodeId root = g.add_root(1);
+  g.set_sequential(root, true);
+
+  for (std::int64_t k = 0; k < p.n; k += b) {
+    // Phase k has two flat sub-phases: trsm panel, then updates. Model as
+    // one sequential phase node whose children are: a "panel" subphase
+    // node and an "update" subphase node, executed sequentially.
+    dag::NodeId phase = g.add_child(root, 2);
+    g.set_sequential(phase, true);
+
+    // potrf runs inside the phase node's own body.
+    {
+      cachesim::Trace t{tile_trace(k, k, true)};
+      g.set_traces(phase, store.add(std::move(t)), -1);
+    }
+
+    if (k + b >= p.n) continue;
+
+    dag::NodeId panel = g.add_child(phase, 1);
+    for (std::int64_t i = k + b; i < p.n; i += b) {
+      cachesim::Trace t{tile_trace(i, k, true), tile_trace(k, k, false)};
+      g.set_traces(g.add_child(panel, flops_tile / 2),
+                   store.add(std::move(t)), -1);
+    }
+    dag::NodeId upd = g.add_child(phase, 1);
+    for (std::int64_t i = k + b; i < p.n; i += b) {
+      for (std::int64_t j = k + b; j <= i; j += b) {
+        cachesim::Trace t{tile_trace(i, j, true), tile_trace(i, k, false),
+                          tile_trace(j, k, false)};
+        g.set_traces(g.add_child(upd, flops_tile),
+                     store.add(std::move(t)), -1);
+      }
+    }
+  }
+  return bundle;
+}
+
+}  // namespace cab::apps

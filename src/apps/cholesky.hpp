@@ -1,0 +1,36 @@
+#pragma once
+
+#include "apps/app_common.hpp"
+#include "runtime/runtime.hpp"
+
+namespace cab::apps {
+
+/// Tiled dense Cholesky factorization A = L*L^T of a symmetric positive
+/// definite n x n matrix (Table III CPU-bound benchmark). Right-looking:
+/// for every k — factor tile (k,k); solve the panel tiles (i,k) in
+/// parallel; update the trailing tiles (i,j) in parallel. The per-k phases
+/// are sequential; within a phase task generation is *flat* (one spawn
+/// per tile op), exercising the flat scheme of Section IV-D. At tile size
+/// b the ops do O(b^3) flops on O(b^2) data: CPU-bound.
+struct CholeskyParams {
+  std::int64_t n = 512;
+  std::int64_t tile = 64;  ///< must divide n
+
+  std::int32_t branching() const { return 2; }
+  std::uint64_t input_bytes() const {
+    return static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n) *
+           sizeof(double);
+  }
+};
+
+/// Factors a generated SPD matrix on the threaded runtime; returns the
+/// max |(L*L^T - A)| element error (0 within fp tolerance when correct).
+double run_cholesky(runtime::Runtime& rt, const CholeskyParams& p);
+
+/// Serial reference of the same factorization; same error metric.
+double run_cholesky_serial(const CholeskyParams& p);
+
+/// Simulator model: sequential k phases, flat tile-op tasks inside each.
+DagBundle build_cholesky_dag(const CholeskyParams& p);
+
+}  // namespace cab::apps

@@ -1,0 +1,191 @@
+#include "apps/ck.hpp"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+namespace cab::apps {
+namespace {
+
+/// Board: 8x8, value per square: 0 empty, +1 white man, +2 white king,
+/// -1 black man, -2 black king. White moves "up" (decreasing row) and
+/// maximizes.
+using Board = std::array<std::int8_t, 64>;
+
+Board initial_board() {
+  Board b{};
+  for (int r = 0; r < 3; ++r)
+    for (int c = 0; c < 8; ++c)
+      if ((r + c) % 2 == 1) b[static_cast<std::size_t>(r * 8 + c)] = -1;
+  for (int r = 5; r < 8; ++r)
+    for (int c = 0; c < 8; ++c)
+      if ((r + c) % 2 == 1) b[static_cast<std::size_t>(r * 8 + c)] = 1;
+  return b;
+}
+
+struct Move {
+  std::int8_t from, to, captured;  // captured square or -1
+};
+
+bool own_piece(std::int8_t v, bool white) { return white ? v > 0 : v < 0; }
+bool enemy_piece(std::int8_t v, bool white) { return white ? v < 0 : v > 0; }
+
+void gen_moves(const Board& b, bool white, std::vector<Move>& out) {
+  out.clear();
+  std::vector<Move> quiet;
+  for (int sq = 0; sq < 64; ++sq) {
+    const std::int8_t v = b[static_cast<std::size_t>(sq)];
+    if (!own_piece(v, white)) continue;
+    const bool king = v == 2 || v == -2;
+    const int r = sq / 8, c = sq % 8;
+    for (int dr = -1; dr <= 1; dr += 2) {
+      // Men move only forward; kings both ways.
+      if (!king && ((white && dr != -1) || (!white && dr != 1))) continue;
+      for (int dc = -1; dc <= 1; dc += 2) {
+        const int nr = r + dr, nc = c + dc;
+        if (nr < 0 || nr >= 8 || nc < 0 || nc >= 8) continue;
+        const int nsq = nr * 8 + nc;
+        const std::int8_t nv = b[static_cast<std::size_t>(nsq)];
+        if (nv == 0) {
+          quiet.push_back({static_cast<std::int8_t>(sq),
+                           static_cast<std::int8_t>(nsq), -1});
+        } else if (enemy_piece(nv, white)) {
+          const int jr = nr + dr, jc = nc + dc;
+          if (jr < 0 || jr >= 8 || jc < 0 || jc >= 8) continue;
+          const int jsq = jr * 8 + jc;
+          if (b[static_cast<std::size_t>(jsq)] == 0) {
+            out.push_back({static_cast<std::int8_t>(sq),
+                           static_cast<std::int8_t>(jsq),
+                           static_cast<std::int8_t>(nsq)});
+          }
+        }
+      }
+    }
+  }
+  // Captures preferred (rudimentary "mandatory jump"): only fall back to
+  // quiet moves when no capture exists.
+  if (out.empty()) out = std::move(quiet);
+}
+
+Board apply_move(const Board& b, const Move& m) {
+  Board nb = b;
+  std::int8_t v = nb[static_cast<std::size_t>(m.from)];
+  nb[static_cast<std::size_t>(m.from)] = 0;
+  if (m.captured >= 0) nb[static_cast<std::size_t>(m.captured)] = 0;
+  // Promotion on the back rank.
+  const int to_row = m.to / 8;
+  if (v == 1 && to_row == 0) v = 2;
+  if (v == -1 && to_row == 7) v = -2;
+  nb[static_cast<std::size_t>(m.to)] = v;
+  return nb;
+}
+
+std::int32_t evaluate(const Board& b) {
+  std::int32_t score = 0;
+  for (int sq = 0; sq < 64; ++sq) {
+    switch (b[static_cast<std::size_t>(sq)]) {
+      case 1: score += 100 + (7 - sq / 8); break;   // advance bonus
+      case 2: score += 250; break;
+      case -1: score -= 100 + sq / 8; break;
+      case -2: score -= 250; break;
+      default: break;
+    }
+  }
+  return score;
+}
+
+std::int32_t minimax(const Board& b, bool white, std::int32_t depth,
+                     std::uint64_t* nodes = nullptr) {
+  if (nodes) ++*nodes;
+  if (depth == 0) return evaluate(b);
+  std::vector<Move> moves;
+  gen_moves(b, white, moves);
+  if (moves.empty()) return white ? -100000 : 100000;  // no moves: loss
+  std::int32_t best = white ? -1000000 : 1000000;
+  for (const Move& m : moves) {
+    const std::int32_t v = minimax(apply_move(b, m), !white, depth - 1, nodes);
+    best = white ? std::max(best, v) : std::min(best, v);
+  }
+  return best;
+}
+
+void ck_rec(const Board& b, bool white, std::int32_t depth,
+            std::int32_t spawn_depth, std::int32_t* out) {
+  if (depth == 0) {
+    *out = evaluate(b);
+    return;
+  }
+  std::vector<Move> moves;
+  gen_moves(b, white, moves);
+  if (moves.empty()) {
+    *out = white ? -100000 : 100000;
+    return;
+  }
+  if (spawn_depth <= 0) {
+    *out = minimax(b, white, depth);
+    return;
+  }
+  std::vector<std::int32_t> results(moves.size());
+  for (std::size_t i = 0; i < moves.size(); ++i) {
+    const Board nb = apply_move(b, moves[i]);
+    std::int32_t* slot = &results[i];
+    runtime::Runtime::spawn([=] {
+      ck_rec(nb, !white, depth - 1, spawn_depth - 1, slot);
+    });
+  }
+  runtime::Runtime::sync();
+  *out = white ? *std::max_element(results.begin(), results.end())
+               : *std::min_element(results.begin(), results.end());
+}
+
+}  // namespace
+
+std::int32_t run_ck(runtime::Runtime& rt, const CkParams& p) {
+  std::int32_t result = 0;
+  const Board b = initial_board();
+  rt.run([&] { ck_rec(b, true, p.depth, p.spawn_depth, &result); });
+  return result;
+}
+
+std::int32_t run_ck_serial(const CkParams& p) {
+  return minimax(initial_board(), true, p.depth);
+}
+
+DagBundle build_ck_dag(const CkParams& p) {
+  DagBundle bundle;
+  bundle.name = "ck";
+  bundle.branching = 7;  // typical move count
+  bundle.input_bytes = 0;
+
+  dag::TaskGraph& g = bundle.graph;
+  dag::NodeId root = g.add_root(1);
+
+  struct Builder {
+    dag::TaskGraph& g;
+    std::int32_t depth;
+
+    void expand(dag::NodeId parent, const Board& b, bool white,
+                std::int32_t d, std::int32_t spawn_d) {
+      if (d == 0 || spawn_d <= 0) {
+        std::uint64_t nodes = 0;
+        minimax(b, white, d, &nodes);
+        g.add_child(parent, 10 + nodes * 60);  // ~60 work units per node
+        return;
+      }
+      std::vector<Move> moves;
+      gen_moves(b, white, moves);
+      if (moves.empty()) {
+        g.add_child(parent, 10);
+        return;
+      }
+      dag::NodeId me = g.add_child(parent, 20);
+      for (const Move& m : moves)
+        expand(me, apply_move(b, m), !white, d - 1, spawn_d - 1);
+    }
+  } builder{g, p.depth};
+
+  builder.expand(root, initial_board(), true, p.depth, p.spawn_depth);
+  return bundle;
+}
+
+}  // namespace cab::apps

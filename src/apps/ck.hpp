@@ -1,0 +1,29 @@
+#pragma once
+
+#include "apps/app_common.hpp"
+#include "runtime/runtime.hpp"
+
+namespace cab::apps {
+
+/// "Ck" — rudimentary checkers (Table III CPU-bound benchmark): fixed-
+/// depth minimax over an 8x8 draughts position (men + kings, single jumps,
+/// captures preferred, no multi-jump chains — deliberately rudimentary,
+/// matching the benchmark's name). Tasks are spawned one per move above
+/// `spawn_depth`, serial minimax below: an irregular, data-light game
+/// tree — the classic CPU-bound stress for scheduler overhead.
+struct CkParams {
+  std::int32_t depth = 8;
+  std::int32_t spawn_depth = 3;
+};
+
+/// Minimax value of the initial position, computed on the runtime.
+std::int32_t run_ck(runtime::Runtime& rt, const CkParams& p);
+
+/// Serial reference.
+std::int32_t run_ck_serial(const CkParams& p);
+
+/// Simulator model: the real game tree expanded to spawn_depth with leaf
+/// work equal to the measured serial subtree size. Traces: none.
+DagBundle build_ck_dag(const CkParams& p);
+
+}  // namespace cab::apps

@@ -1,0 +1,169 @@
+#include "apps/fft.hpp"
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace cab::apps {
+namespace {
+
+using Cplx = std::complex<double>;
+
+/// Serial recursive FFT on data[0..n) with stride access into scratch.
+void fft_serial(Cplx* data, Cplx* scratch, std::int64_t n, int sign) {
+  if (n <= 1) return;
+  const std::int64_t half = n / 2;
+  for (std::int64_t i = 0; i < half; ++i) {
+    scratch[i] = data[2 * i];
+    scratch[i + half] = data[2 * i + 1];
+  }
+  for (std::int64_t i = 0; i < n; ++i) data[i] = scratch[i];
+  fft_serial(data, scratch, half, sign);
+  fft_serial(data + half, scratch + half, half, sign);
+  for (std::int64_t k = 0; k < half; ++k) {
+    const double angle =
+        sign * 2.0 * std::numbers::pi * static_cast<double>(k) /
+        static_cast<double>(n);
+    const Cplx w(std::cos(angle), std::sin(angle));
+    const Cplx even = data[k];
+    const Cplx odd = w * data[k + half];
+    data[k] = even + odd;
+    data[k + half] = even - odd;
+  }
+}
+
+void fft_rec(Cplx* data, Cplx* scratch, std::int64_t n, int sign,
+             std::int64_t leaf) {
+  if (n <= leaf) {
+    fft_serial(data, scratch, n, sign);
+    return;
+  }
+  const std::int64_t half = n / 2;
+  for (std::int64_t i = 0; i < half; ++i) {
+    scratch[i] = data[2 * i];
+    scratch[i + half] = data[2 * i + 1];
+  }
+  for (std::int64_t i = 0; i < n; ++i) data[i] = scratch[i];
+  runtime::Runtime::spawn([=] { fft_rec(data, scratch, half, sign, leaf); });
+  runtime::Runtime::spawn(
+      [=] { fft_rec(data + half, scratch + half, half, sign, leaf); });
+  runtime::Runtime::sync();
+  for (std::int64_t k = 0; k < half; ++k) {
+    const double angle =
+        sign * 2.0 * std::numbers::pi * static_cast<double>(k) /
+        static_cast<double>(n);
+    const Cplx w(std::cos(angle), std::sin(angle));
+    const Cplx even = data[k];
+    const Cplx odd = w * data[k + half];
+    data[k] = even + odd;
+    data[k + half] = even - odd;
+  }
+}
+
+std::vector<Cplx> make_signal(std::int64_t n) {
+  std::vector<Cplx> v(static_cast<std::size_t>(n));
+  util::Xorshift64 rng(7);
+  for (auto& c : v) c = Cplx(rng.next_double() - 0.5, rng.next_double() - 0.5);
+  return v;
+}
+
+double roundtrip_error(std::vector<Cplx> signal,
+                       const std::function<void(Cplx*, Cplx*, std::int64_t,
+                                                int)>& transform) {
+  const std::vector<Cplx> original = signal;
+  std::vector<Cplx> scratch(signal.size());
+  const auto n = static_cast<std::int64_t>(signal.size());
+  transform(signal.data(), scratch.data(), n, -1);
+  transform(signal.data(), scratch.data(), n, +1);
+  double max_err = 0;
+  for (std::size_t i = 0; i < signal.size(); ++i) {
+    max_err = std::max(
+        max_err, std::abs(signal[i] / static_cast<double>(n) - original[i]));
+  }
+  return max_err;
+}
+
+}  // namespace
+
+double run_fft_roundtrip(runtime::Runtime& rt, const FftParams& p) {
+  CAB_CHECK((p.n & (p.n - 1)) == 0, "fft size must be a power of two");
+  double err = 0;
+  auto signal = make_signal(p.n);
+  rt.run([&] {
+    err = roundtrip_error(std::move(signal),
+                          [&](Cplx* d, Cplx* s, std::int64_t n, int sign) {
+                            fft_rec(d, s, n, sign, p.leaf_elems);
+                          });
+  });
+  return err;
+}
+
+double run_fft_roundtrip_serial(const FftParams& p) {
+  CAB_CHECK((p.n & (p.n - 1)) == 0, "fft size must be a power of two");
+  return roundtrip_error(make_signal(p.n), fft_serial);
+}
+
+DagBundle build_fft_dag(const FftParams& p) {
+  DagBundle bundle;
+  bundle.name = "fft";
+  bundle.branching = 2;
+  bundle.input_bytes = static_cast<std::uint64_t>(p.n) * sizeof(Cplx);
+
+  dag::TaskGraph& g = bundle.graph;
+  cachesim::TraceStore& store = bundle.traces;
+  const std::uint64_t data = array_base(0);
+  const std::uint64_t scratch = array_base(1);
+  constexpr std::uint64_t kElem = sizeof(Cplx);
+
+  dag::NodeId root = g.add_root(1);
+
+  struct Builder {
+    dag::TaskGraph& g;
+    cachesim::TraceStore& store;
+    std::uint64_t data, scratch;
+    std::int64_t leaf;
+
+    void build(dag::NodeId parent, std::int64_t off, std::int64_t n) {
+      const std::uint64_t bytes = static_cast<std::uint64_t>(n) * kElem;
+      const std::uint64_t dbase = data + static_cast<std::uint64_t>(off) * kElem;
+      const std::uint64_t sbase =
+          scratch + static_cast<std::uint64_t>(off) * kElem;
+      if (n <= leaf) {
+        // Serial block: ~log2(n) sweeps but they fit in L2; model 2 data
+        // passes and charge ~12 flops per element per level as work.
+        cachesim::Trace t;
+        t.push_back({dbase, bytes, 2, true});
+        std::uint64_t levels = 1;
+        for (std::int64_t m = n; m > 1; m /= 2) ++levels;
+        g.set_traces(
+            g.add_child(parent, static_cast<std::uint64_t>(n) * 12 * levels),
+            store.add(std::move(t)), -1);
+        return;
+      }
+      // Pre: even/odd shuffle through scratch. Post: butterfly pass.
+      dag::NodeId me =
+          g.add_child(parent, static_cast<std::uint64_t>(n) * 4,
+                      static_cast<std::uint64_t>(n) * 14);
+      cachesim::Trace pre;
+      pre.push_back({dbase, bytes, 1, false});
+      pre.push_back({sbase, bytes, 1, true});
+      pre.push_back({dbase, bytes, 1, true});
+      cachesim::Trace post;
+      post.push_back({dbase, bytes, 1, true});
+      std::int32_t pre_id = store.add(std::move(pre));
+      std::int32_t post_id = store.add(std::move(post));
+      g.set_traces(me, pre_id, post_id);
+      build(me, off, n / 2);
+      build(me, off + n / 2, n / 2);
+    }
+  } builder{g, store, data, scratch, p.leaf_elems};
+
+  builder.build(root, 0, p.n);
+  return bundle;
+}
+
+}  // namespace cab::apps

@@ -1,0 +1,29 @@
+#pragma once
+
+#include "apps/app_common.hpp"
+#include "runtime/runtime.hpp"
+
+namespace cab::apps {
+
+/// Radix-2 Cooley-Tukey FFT over n complex doubles (Table III CPU-bound
+/// benchmark). Recursive out-of-place formulation: split even/odd into a
+/// scratch buffer, transform the halves in parallel, then combine with
+/// butterflies (the post part). The paper reports <5% CAB overhead for
+/// fft — the level bookkeeping on its many small frames (Section V-D).
+struct FftParams {
+  std::int64_t n = 1 << 18;       ///< must be a power of two
+  std::int64_t leaf_elems = 4096; ///< serial below this size
+};
+
+/// Runs FFT then inverse FFT on the threaded runtime; returns the maximum
+/// absolute round-trip error (should be ~1e-12 * n).
+double run_fft_roundtrip(runtime::Runtime& rt, const FftParams& p);
+
+/// Serial reference of the same round-trip.
+double run_fft_roundtrip_serial(const FftParams& p);
+
+/// Simulator model: binary split tree with split (pre) and butterfly
+/// (post) traces; high arithmetic intensity per byte => CPU-bound.
+DagBundle build_fft_dag(const FftParams& p);
+
+}  // namespace cab::apps

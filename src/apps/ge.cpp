@@ -1,0 +1,120 @@
+#include "apps/ge.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace cab::apps {
+namespace {
+
+void init_matrix(std::vector<double>& a, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t j = 0; j < n; ++j)
+      a[static_cast<std::size_t>(i * n + j)] =
+          (i == j) ? n + 2.0 : 1.0 + 0.01 * ((i * 13 + j * 7) % 23);
+  // Diagonal dominance keeps elimination without pivoting stable.
+}
+
+/// Eliminates column k from rows [r0, r1) using pivot row k.
+void ge_rows(double* a, std::int64_t n, std::int64_t k, std::int64_t r0,
+             std::int64_t r1) {
+  const double* pivot = a + k * n;
+  const double inv = 1.0 / pivot[k];
+  for (std::int64_t i = r0; i < r1; ++i) {
+    double* row = a + i * n;
+    const double factor = row[k] * inv;
+    row[k] = factor;  // store the L factor in place
+    for (std::int64_t j = k + 1; j < n; ++j) row[j] -= factor * pivot[j];
+  }
+}
+
+void ge_rec(double* a, std::int64_t n, std::int64_t k, std::int64_t r0,
+            std::int64_t r1, std::int64_t leaf_rows) {
+  if (r1 - r0 <= leaf_rows) {
+    ge_rows(a, n, k, r0, r1);
+    return;
+  }
+  const std::int64_t mid = r0 + (r1 - r0) / 2;
+  runtime::Runtime::spawn([=] { ge_rec(a, n, k, r0, mid, leaf_rows); });
+  runtime::Runtime::spawn([=] { ge_rec(a, n, k, mid, r1, leaf_rows); });
+  runtime::Runtime::sync();
+}
+
+double checksum(const std::vector<double>& a) {
+  double s = 0;
+  for (double v : a) s += v / (1.0 + std::abs(v));  // bounded per-element
+  return s;
+}
+
+}  // namespace
+
+double run_ge(runtime::Runtime& rt, const GeParams& p) {
+  std::vector<double> a(static_cast<std::size_t>(p.n * p.n));
+  init_matrix(a, p.n);
+  double* data = a.data();
+  rt.run([&] {
+    for (std::int64_t k = 0; k < p.n - 1; ++k) {
+      ge_rec(data, p.n, k, k + 1, p.n, p.leaf_rows);
+    }
+  });
+  return checksum(a);
+}
+
+double run_ge_serial(const GeParams& p) {
+  std::vector<double> a(static_cast<std::size_t>(p.n * p.n));
+  init_matrix(a, p.n);
+  for (std::int64_t k = 0; k < p.n - 1; ++k)
+    ge_rows(a.data(), p.n, k, k + 1, p.n);
+  return checksum(a);
+}
+
+DagBundle build_ge_dag(const GeParams& p, std::int64_t pivots_per_phase) {
+  DagBundle bundle;
+  bundle.name = "ge";
+  bundle.branching = p.branching();
+  bundle.input_bytes = p.input_bytes();
+
+  dag::TaskGraph& g = bundle.graph;
+  cachesim::TraceStore& store = bundle.traces;
+  const std::uint64_t base = array_base(0);
+  const std::uint64_t row_bytes =
+      static_cast<std::uint64_t>(p.n) * sizeof(double);
+
+  dag::NodeId root = g.add_root(1);
+  g.set_sequential(root, true);
+
+  for (std::int64_t k0 = 0; k0 < p.n - 1; k0 += pivots_per_phase) {
+    const std::int64_t k1 = std::min(k0 + pivots_per_phase, p.n - 1);
+    const std::int64_t first_row = k0 + 1;  // rows updated this panel
+    if (first_row >= p.n) break;
+    // Trailing-column extent for trace purposes (panel start).
+    const std::uint64_t tail_bytes =
+        static_cast<std::uint64_t>(p.n - k0) * sizeof(double);
+    const std::uint64_t col_off = static_cast<std::uint64_t>(k0) * sizeof(double);
+    split_range(
+        g, root, first_row, p.n, p.leaf_rows, /*divide_work=*/8,
+        [&](dag::NodeId parent, std::int64_t r0, std::int64_t r1) {
+          cachesim::Trace t;
+          // Shared pivot rows of the panel.
+          t.push_back({base + static_cast<std::uint64_t>(k0) * row_bytes +
+                           col_off,
+                       static_cast<std::uint64_t>(k1 - k0 - 1) * row_bytes +
+                           tail_bytes,
+                       1, false});
+          // Own rows, trailing part, updated once per pivot in the panel.
+          t.push_back({base + static_cast<std::uint64_t>(r0) * row_bytes +
+                           col_off,
+                       static_cast<std::uint64_t>(r1 - r0 - 1) * row_bytes +
+                           tail_bytes,
+                       static_cast<std::uint32_t>(k1 - k0), true});
+          // ~2 flops per updated element.
+          std::uint64_t work = static_cast<std::uint64_t>(r1 - r0) *
+                               static_cast<std::uint64_t>(k1 - k0) *
+                               static_cast<std::uint64_t>(p.n - k0) * 2;
+          dag::NodeId leaf = g.add_child(parent, work);
+          g.set_traces(leaf, store.add(std::move(t)), -1);
+        });
+  }
+  return bundle;
+}
+
+}  // namespace cab::apps

@@ -1,0 +1,38 @@
+#pragma once
+
+#include "apps/app_common.hpp"
+#include "runtime/runtime.hpp"
+
+namespace cab::apps {
+
+/// Gaussian elimination without pivoting on an n x n matrix of doubles
+/// (Fig. 4 / Table IV benchmark). For each pivot k the trailing rows
+/// k+1..n-1 are updated in parallel (binary row division); pivot steps are
+/// sequential phases. The TRICI angle: every update task reads the shared
+/// pivot row (constructive sharing inside a squad) and rewrites its own
+/// rows, which are revisited at every later pivot step (cross-phase reuse
+/// conditional on placement stability).
+struct GeParams {
+  std::int64_t n = 1024;
+  std::int64_t leaf_rows = 64;
+
+  std::int32_t branching() const { return 2; }
+  std::uint64_t input_bytes() const {
+    return static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n) *
+           sizeof(double);
+  }
+};
+
+/// Runs GE on the threaded runtime. Returns the checksum of U (the
+/// eliminated matrix).
+double run_ge(runtime::Runtime& rt, const GeParams& p);
+
+/// Serial reference for verification.
+double run_ge_serial(const GeParams& p);
+
+/// Simulator model: n-1 sequential pivot phases. To keep the phase count
+/// tractable at large n, consecutive pivots are grouped into panels of
+/// `pivots_per_phase` (trace granularity only; arithmetic volume matches).
+DagBundle build_ge_dag(const GeParams& p, std::int64_t pivots_per_phase = 8);
+
+}  // namespace cab::apps

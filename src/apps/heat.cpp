@@ -1,0 +1,160 @@
+#include "apps/heat.hpp"
+
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace cab::apps {
+
+void split_range(
+    dag::TaskGraph& g, dag::NodeId parent, std::int64_t lo, std::int64_t hi,
+    std::int64_t grain, std::uint64_t divide_work,
+    const std::function<void(dag::NodeId, std::int64_t, std::int64_t)>&
+        leaf_fn) {
+  CAB_CHECK(grain >= 1 && lo < hi, "invalid split range");
+  if (hi - lo <= grain) {
+    leaf_fn(parent, lo, hi);
+    return;
+  }
+  dag::NodeId n = g.add_child(parent, divide_work);
+  const std::int64_t mid = lo + (hi - lo) / 2;
+  split_range(g, n, lo, mid, grain, divide_work, leaf_fn);
+  split_range(g, n, mid, hi, grain, divide_work, leaf_fn);
+}
+
+std::int32_t split_depth(std::int64_t n, std::int64_t grain) {
+  std::int32_t d = 0;
+  while (n > grain) {
+    n = (n + 1) / 2;
+    ++d;
+  }
+  return d;
+}
+
+namespace {
+
+/// One Jacobi step over rows [r0, r1) (interior rows only; boundary rows
+/// 0 and rows-1 are fixed, as in the paper's 10x10 example).
+void heat_rows(const double* src, double* dst, std::int64_t cols,
+               std::int64_t r0, std::int64_t r1, std::int64_t rows) {
+  for (std::int64_t r = r0; r < r1; ++r) {
+    const double* up = src + (r - 1) * cols;
+    const double* mid = src + r * cols;
+    const double* down = src + (r + 1) * cols;
+    double* out = dst + r * cols;
+    if (r == 0 || r == rows - 1) {
+      for (std::int64_t c = 0; c < cols; ++c) out[c] = mid[c];
+      continue;
+    }
+    out[0] = mid[0];
+    out[cols - 1] = mid[cols - 1];
+    for (std::int64_t c = 1; c < cols - 1; ++c) {
+      out[c] =
+          0.25 * (up[c] + down[c] + mid[c - 1] + mid[c + 1]);
+    }
+  }
+}
+
+/// Recursive row division on the runtime: the exact DAG of Fig. 1.
+void heat_rec(const double* src, double* dst, std::int64_t cols,
+              std::int64_t r0, std::int64_t r1, std::int64_t rows,
+              std::int64_t leaf_rows) {
+  if (r1 - r0 <= leaf_rows) {
+    heat_rows(src, dst, cols, r0, r1, rows);
+    return;
+  }
+  const std::int64_t mid = r0 + (r1 - r0) / 2;
+  runtime::Runtime::spawn([=] {
+    heat_rec(src, dst, cols, r0, mid, rows, leaf_rows);
+  });
+  runtime::Runtime::spawn([=] {
+    heat_rec(src, dst, cols, mid, r1, rows, leaf_rows);
+  });
+  runtime::Runtime::sync();
+}
+
+void init_grid(std::vector<double>& a, std::int64_t rows, std::int64_t cols) {
+  for (std::int64_t r = 0; r < rows; ++r)
+    for (std::int64_t c = 0; c < cols; ++c)
+      a[static_cast<std::size_t>(r * cols + c)] =
+          (r == 0) ? 100.0 : (r == rows - 1 ? -40.0 : 0.5 * ((r * 31 + c) % 7));
+}
+
+double checksum(const std::vector<double>& a) {
+  double s = 0;
+  for (double v : a) s += v;
+  return s;
+}
+
+}  // namespace
+
+double run_heat(runtime::Runtime& rt, const HeatParams& p) {
+  std::vector<double> a(static_cast<std::size_t>(p.rows * p.cols));
+  std::vector<double> b(a.size());
+  init_grid(a, p.rows, p.cols);
+
+  double* src = a.data();
+  double* dst = b.data();
+  rt.run([&] {
+    for (std::int32_t s = 0; s < p.steps; ++s) {
+      heat_rec(src, dst, p.cols, 0, p.rows, p.rows, p.leaf_rows);
+      std::swap(src, dst);
+    }
+  });
+  return checksum(src == a.data() ? a : b);
+}
+
+double run_heat_serial(const HeatParams& p) {
+  std::vector<double> a(static_cast<std::size_t>(p.rows * p.cols));
+  std::vector<double> b(a.size());
+  init_grid(a, p.rows, p.cols);
+  double* src = a.data();
+  double* dst = b.data();
+  for (std::int32_t s = 0; s < p.steps; ++s) {
+    heat_rows(src, dst, p.cols, 0, p.rows, p.rows);
+    std::swap(src, dst);
+  }
+  return checksum(src == a.data() ? a : b);
+}
+
+DagBundle build_heat_dag(const HeatParams& p) {
+  DagBundle bundle;
+  bundle.name = "heat";
+  bundle.branching = p.branching();
+  bundle.input_bytes = p.input_bytes();
+
+  dag::TaskGraph& g = bundle.graph;
+  cachesim::TraceStore& store = bundle.traces;
+  const std::uint64_t row_bytes =
+      static_cast<std::uint64_t>(p.cols) * sizeof(double);
+  // Work: ~4 flops + address arithmetic per point.
+  const std::uint64_t work_per_row = static_cast<std::uint64_t>(p.cols) * 4;
+
+  dag::NodeId root = g.add_root(1);
+  g.set_sequential(root, true);
+
+  for (std::int32_t step = 0; step < p.steps; ++step) {
+    const std::uint64_t src = array_base(step % 2);
+    const std::uint64_t dst = array_base((step + 1) % 2);
+    // Each step: the spawn of Fig. 1 — one task dividing rows in two.
+    split_range(
+        g, root, 0, p.rows, p.leaf_rows, /*divide_work=*/8,
+        [&](dag::NodeId parent, std::int64_t r0, std::int64_t r1) {
+          const std::int64_t lo = r0 > 0 ? r0 - 1 : 0;
+          const std::int64_t hi = r1 < p.rows ? r1 + 1 : p.rows;
+          cachesim::Trace t;
+          t.push_back({src + static_cast<std::uint64_t>(lo) * row_bytes,
+                       static_cast<std::uint64_t>(hi - lo) * row_bytes, 1,
+                       false});
+          t.push_back({dst + static_cast<std::uint64_t>(r0) * row_bytes,
+                       static_cast<std::uint64_t>(r1 - r0) * row_bytes, 1,
+                       true});
+          dag::NodeId leaf = g.add_child(
+              parent, static_cast<std::uint64_t>(r1 - r0) * work_per_row);
+          g.set_traces(leaf, store.add(std::move(t)), -1);
+        });
+  }
+  return bundle;
+}
+
+}  // namespace cab::apps

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+
+#include "apps/app_common.hpp"
+#include "runtime/runtime.hpp"
+
+namespace cab::apps {
+
+/// Five-point heat diffusion on a rows x cols grid of doubles, the
+/// paper's running example (Fig. 1/2) and a Fig. 4/5/6/7 benchmark.
+/// Double-buffered Jacobi iteration: step t+1 row r reads rows r-1, r,
+/// r+1 of step t. The recursion divides rows in two until <= leaf_rows
+/// (the paper splits until 128 rows, Section V-B).
+struct HeatParams {
+  std::int64_t rows = 1024;
+  std::int64_t cols = 1024;
+  std::int32_t steps = 10;
+  std::int64_t leaf_rows = 128;
+
+  std::int32_t branching() const { return 2; }
+  /// Sd: the input matrix (the paper's Section V-B worked example counts
+  /// one rows x cols x 8 buffer: 3k*2k -> 48 MB).
+  std::uint64_t input_bytes() const {
+    return static_cast<std::uint64_t>(rows) *
+           static_cast<std::uint64_t>(cols) * sizeof(double);
+  }
+};
+
+/// Runs heat on the threaded runtime. Returns the final grid checksum.
+double run_heat(runtime::Runtime& rt, const HeatParams& p);
+
+/// Serial reference (same arithmetic) for verification.
+double run_heat_serial(const HeatParams& p);
+
+/// Simulator model: sequential step phases, each a binary row-division
+/// tree whose leaves read their rows +- halo from the step's source
+/// buffer and write their rows to the destination buffer.
+DagBundle build_heat_dag(const HeatParams& p);
+
+}  // namespace cab::apps

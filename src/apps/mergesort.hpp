@@ -1,0 +1,33 @@
+#pragma once
+
+#include "apps/app_common.hpp"
+#include "runtime/runtime.hpp"
+
+namespace cab::apps {
+
+/// Parallel mergesort on n 64-bit keys (Fig. 4 / Table IV benchmark:
+/// "Merge sort on 1024*1024 numbers"). Classic recursive structure: sort
+/// the two halves in parallel, then merge (the merge is the *post* part
+/// of each task). CAB's benefit: a subtree below the boundary level stays
+/// in one socket, so every merge below it re-reads its children's output
+/// from the shared L3 instead of across sockets.
+struct MergesortParams {
+  std::int64_t n = 1024 * 1024;
+  std::int64_t leaf_elems = 32 * 1024;
+
+  std::int32_t branching() const { return 2; }
+  std::uint64_t input_bytes() const {
+    return static_cast<std::uint64_t>(n) * sizeof(std::int64_t);
+  }
+};
+
+/// Runs mergesort on the threaded runtime. Returns true when the output
+/// is a sorted permutation of the input.
+bool run_mergesort(runtime::Runtime& rt, const MergesortParams& p);
+
+/// Simulator model: binary sort tree; leaves sort blocks (1 read + 1
+/// write pass over the block), internal nodes merge in their post part
+/// (read both halves, write the destination buffer).
+DagBundle build_mergesort_dag(const MergesortParams& p);
+
+}  // namespace cab::apps

@@ -1,0 +1,169 @@
+#include "apps/queens.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+namespace cab::apps {
+namespace {
+
+/// Bitmask backtracking: cols/diag1/diag2 mark attacked lines.
+/// Returns the number of solutions below this partial placement; adds the
+/// number of visited nodes to *nodes when non-null.
+std::uint64_t solve(std::int32_t n, std::int32_t row, std::uint32_t cols,
+                    std::uint32_t d1, std::uint32_t d2,
+                    std::uint64_t* nodes = nullptr) {
+  if (row == n) return 1;
+  std::uint64_t count = 0;
+  std::uint32_t free = ~(cols | d1 | d2) & ((1u << n) - 1);
+  while (free != 0) {
+    std::uint32_t bit = free & (~free + 1);
+    free ^= bit;
+    if (nodes) ++*nodes;
+    count += solve(n, row + 1, cols | bit, (d1 | bit) << 1, (d2 | bit) >> 1,
+                   nodes);
+  }
+  return count;
+}
+
+void queens_rec(std::int32_t n, std::int32_t row, std::uint32_t cols,
+                std::uint32_t d1, std::uint32_t d2, std::int32_t spawn_depth,
+                std::atomic<std::uint64_t>& total) {
+  if (row >= spawn_depth) {
+    total.fetch_add(solve(n, row, cols, d1, d2),
+                    std::memory_order_relaxed);
+    return;
+  }
+  std::uint32_t free = ~(cols | d1 | d2) & ((1u << n) - 1);
+  while (free != 0) {
+    std::uint32_t bit = free & (~free + 1);
+    free ^= bit;
+    runtime::Runtime::spawn([=, &total] {
+      queens_rec(n, row + 1, cols | bit, (d1 | bit) << 1, (d2 | bit) >> 1,
+                 spawn_depth, total);
+    });
+  }
+  runtime::Runtime::sync();
+}
+
+}  // namespace
+
+std::uint64_t run_queens(runtime::Runtime& rt, const QueensParams& p) {
+  std::atomic<std::uint64_t> total{0};
+  rt.run([&] { queens_rec(p.n, 0, 0, 0, 0, p.spawn_depth, total); });
+  return total.load();
+}
+
+std::uint64_t run_queens_serial(const QueensParams& p) {
+  return solve(p.n, 0, 0, 0, 0);
+}
+
+namespace {
+
+/// Shared state of the speculative first-solution search.
+struct FirstSearch {
+  std::int32_t n;
+  std::int32_t spawn_depth;
+  std::atomic<bool> found{false};
+  std::mutex mu;
+  std::vector<std::int32_t> solution;
+
+  void publish(const std::vector<std::int32_t>& cols) {
+    std::lock_guard<std::mutex> g(mu);
+    if (found.load(std::memory_order_relaxed)) return;
+    solution = cols;
+    found.store(true, std::memory_order_release);
+  }
+
+  /// Serial backtracking below the spawn frontier; aborts eagerly when
+  /// another task already published.
+  bool solve_serial(std::int32_t row, std::uint32_t cols, std::uint32_t d1,
+                    std::uint32_t d2, std::vector<std::int32_t>& placed) {
+    if (found.load(std::memory_order_acquire)) return false;
+    if (row == n) {
+      publish(placed);
+      return true;
+    }
+    std::uint32_t free = ~(cols | d1 | d2) & ((1u << n) - 1);
+    while (free != 0) {
+      std::uint32_t bit = free & (~free + 1);
+      free ^= bit;
+      placed.push_back(static_cast<std::int32_t>(__builtin_ctz(bit)));
+      if (solve_serial(row + 1, cols | bit, (d1 | bit) << 1, (d2 | bit) >> 1,
+                       placed)) {
+        return true;
+      }
+      placed.pop_back();
+    }
+    return false;
+  }
+
+  void search(std::int32_t row, std::uint32_t cols, std::uint32_t d1,
+              std::uint32_t d2, std::vector<std::int32_t> placed) {
+    if (found.load(std::memory_order_acquire)) return;
+    if (row >= spawn_depth || row == n) {
+      solve_serial(row, cols, d1, d2, placed);
+      return;
+    }
+    std::uint32_t free = ~(cols | d1 | d2) & ((1u << n) - 1);
+    while (free != 0) {
+      std::uint32_t bit = free & (~free + 1);
+      free ^= bit;
+      std::vector<std::int32_t> next = placed;
+      next.push_back(static_cast<std::int32_t>(__builtin_ctz(bit)));
+      runtime::Runtime::spawn(
+          [this, row, cols, d1, d2, bit, next = std::move(next)] {
+            search(row + 1, cols | bit, (d1 | bit) << 1, (d2 | bit) >> 1,
+                   next);
+          });
+    }
+    runtime::Runtime::sync();
+  }
+};
+
+}  // namespace
+
+std::vector<std::int32_t> run_queens_first(runtime::Runtime& rt,
+                                           const QueensParams& p) {
+  FirstSearch fs{p.n, p.spawn_depth};
+  rt.run([&] { fs.search(0, 0, 0, 0, {}); });
+  return fs.solution;
+}
+
+DagBundle build_queens_dag(const QueensParams& p) {
+  DagBundle bundle;
+  bundle.name = "queens";
+  bundle.branching = p.n;  // up to n placements per row
+  bundle.input_bytes = 0;  // CPU-bound: negligible data
+
+  dag::TaskGraph& g = bundle.graph;
+  dag::NodeId root = g.add_root(1);
+
+  struct Builder {
+    dag::TaskGraph& g;
+    std::int32_t n, spawn_depth;
+
+    void expand(dag::NodeId parent, std::int32_t row, std::uint32_t cols,
+                std::uint32_t d1, std::uint32_t d2) {
+      if (row >= spawn_depth) {
+        std::uint64_t nodes = 1;
+        solve(n, row, cols, d1, d2, &nodes);
+        // ~20 work units per visited backtracking node.
+        g.add_child(parent, nodes * 20);
+        return;
+      }
+      std::uint32_t free = ~(cols | d1 | d2) & ((1u << n) - 1);
+      dag::NodeId me = g.add_child(parent, 4);
+      while (free != 0) {
+        std::uint32_t bit = free & (~free + 1);
+        free ^= bit;
+        expand(me, row + 1, cols | bit, (d1 | bit) << 1, (d2 | bit) >> 1);
+      }
+    }
+  } builder{g, p.n, p.spawn_depth};
+
+  builder.expand(root, 0, 0, 0, 0);
+  return bundle;
+}
+
+}  // namespace cab::apps

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+#include "apps/app_common.hpp"
+#include "runtime/runtime.hpp"
+
+namespace cab::apps {
+
+/// N-queens solution counting (Table III CPU-bound benchmark). The
+/// recursion spawns one task per legal placement in the next row down to
+/// `spawn_depth`, then solves serially — the classic Cilk nqueens shape.
+/// CPU-bound: no shared data beyond tiny board vectors, so the paper runs
+/// it with BL = 0 (Fig. 8) and measures pure scheduler overhead.
+struct QueensParams {
+  std::int32_t n = 12;
+  std::int32_t spawn_depth = 4;
+};
+
+/// Counts all solutions on the threaded runtime.
+std::uint64_t run_queens(runtime::Runtime& rt, const QueensParams& p);
+
+/// First-solution (speculative) search — the variant that makes
+/// "Queens(20)" (Table III) feasible: parallel tasks abandon their
+/// subtrees once any task has published a solution. Returns the column
+/// of each row's queen, empty if no solution exists.
+std::vector<std::int32_t> run_queens_first(runtime::Runtime& rt,
+                                           const QueensParams& p);
+
+/// Serial reference.
+std::uint64_t run_queens_serial(const QueensParams& p);
+
+/// Simulator model: the real backtracking tree expanded to spawn_depth;
+/// each leaf carries work proportional to its true serial subtree size
+/// (measured during the build). Traces are empty — CPU-bound.
+DagBundle build_queens_dag(const QueensParams& p);
+
+}  // namespace cab::apps

@@ -1,0 +1,39 @@
+#include "apps/registry.hpp"
+
+#include "apps/ck.hpp"
+#include "apps/cholesky.hpp"
+#include "apps/fft.hpp"
+#include "apps/ge.hpp"
+#include "apps/heat.hpp"
+#include "apps/mergesort.hpp"
+#include "apps/queens.hpp"
+#include "apps/sor.hpp"
+#include "util/assert.hpp"
+
+namespace cab::apps {
+
+const std::vector<AppEntry>& app_registry() {
+  static const std::vector<AppEntry> entries = {
+      {"heat", true, [] { return build_heat_dag(HeatParams{}); }},
+      {"mergesort", true,
+       [] { return build_mergesort_dag(MergesortParams{}); }},
+      {"sor", true, [] { return build_sor_dag(SorParams{}); }},
+      {"ge", true, [] { return build_ge_dag(GeParams{}); }},
+      {"queens", false, [] { return build_queens_dag(QueensParams{}); }},
+      {"fft", false, [] { return build_fft_dag(FftParams{}); }},
+      {"ck", false, [] { return build_ck_dag(CkParams{}); }},
+      {"cholesky", false,
+       [] { return build_cholesky_dag(CholeskyParams{}); }},
+  };
+  return entries;
+}
+
+DagBundle build_app(const std::string& name) {
+  for (const AppEntry& e : app_registry()) {
+    if (e.name == name) return e.build_default();
+  }
+  CAB_CHECK(false, ("unknown app: " + name).c_str());
+  return {};
+}
+
+}  // namespace cab::apps

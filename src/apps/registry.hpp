@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/app_common.hpp"
+
+namespace cab::apps {
+
+/// One Table III benchmark with its paper-default configuration.
+struct AppEntry {
+  std::string name;
+  bool memory_bound = false;
+  DagBundle (*build_default)() = nullptr;
+};
+
+/// All eight Table III benchmarks (memory-bound: heat, mergesort, sor,
+/// ge; CPU-bound: queens, fft, ck, cholesky), each building its
+/// paper-default simulator model (1k x 1k matrices for the memory-bound
+/// four, Fig. 4's configuration).
+const std::vector<AppEntry>& app_registry();
+
+/// Builds a registered app's default model by name; aborts on unknown
+/// names (programming error).
+DagBundle build_app(const std::string& name);
+
+}  // namespace cab::apps

@@ -1,0 +1,129 @@
+#include "apps/serialize.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace cab::apps {
+
+void save_bundle(const DagBundle& bundle, std::ostream& out) {
+  out << "CABDAG 1\n";
+  out << "name " << (bundle.name.empty() ? "unnamed" : bundle.name) << "\n";
+  out << "branching " << bundle.branching << "\n";
+  out << "input_bytes " << bundle.input_bytes << "\n";
+  out << "nodes " << bundle.graph.size() << "\n";
+  for (std::size_t i = 0; i < bundle.graph.size(); ++i) {
+    const dag::TaskGraph::Node& n =
+        bundle.graph.node(static_cast<dag::NodeId>(i));
+    out << "n " << n.parent << ' ' << n.pre_work << ' ' << n.post_work << ' '
+        << n.pre_trace << ' ' << n.post_trace << ' '
+        << (n.sequential ? 1 : 0) << "\n";
+  }
+  out << "traces " << bundle.traces.size() << "\n";
+  for (std::size_t i = 0; i < bundle.traces.size(); ++i) {
+    const cachesim::Trace& t =
+        bundle.traces.get(static_cast<std::int32_t>(i));
+    out << "t " << t.size();
+    for (const cachesim::RangeAccess& r : t) {
+      out << ' ' << r.base << ' ' << r.bytes << ' ' << r.passes << ' '
+          << (r.write ? 1 : 0);
+    }
+    out << "\n";
+  }
+}
+
+DagBundle load_bundle(std::istream& in) {
+  DagBundle bundle;
+  std::string magic;
+  int version = 0;
+  CAB_CHECK(static_cast<bool>(in >> magic >> version) && magic == "CABDAG" &&
+                version == 1,
+            "not a CABDAG v1 stream");
+
+  std::string key;
+  CAB_CHECK(static_cast<bool>(in >> key >> bundle.name) && key == "name",
+            "expected 'name'");
+  CAB_CHECK(static_cast<bool>(in >> key >> bundle.branching) &&
+                key == "branching",
+            "expected 'branching'");
+  CAB_CHECK(static_cast<bool>(in >> key >> bundle.input_bytes) &&
+                key == "input_bytes",
+            "expected 'input_bytes'");
+
+  std::size_t node_count = 0;
+  CAB_CHECK(static_cast<bool>(in >> key >> node_count) && key == "nodes",
+            "expected 'nodes'");
+  std::vector<dag::NodeId> ids;
+  ids.reserve(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    std::int32_t parent = 0, pre_trace = -1, post_trace = -1, seq = 0;
+    std::uint64_t pre_work = 0, post_work = 0;
+    CAB_CHECK(static_cast<bool>(in >> key >> parent >> pre_work >>
+                                post_work >> pre_trace >> post_trace >> seq) &&
+                  key == "n",
+              "malformed node line");
+    dag::NodeId id;
+    if (parent < 0) {
+      CAB_CHECK(i == 0, "only the first node may be the root");
+      id = bundle.graph.add_root(pre_work, post_work);
+    } else {
+      CAB_CHECK(static_cast<std::size_t>(parent) < i,
+                "parent must precede child");
+      id = bundle.graph.add_child(ids[static_cast<std::size_t>(parent)],
+                                  pre_work, post_work);
+    }
+    bundle.graph.set_traces(id, pre_trace, post_trace);
+    bundle.graph.set_sequential(id, seq != 0);
+    ids.push_back(id);
+  }
+
+  std::size_t trace_count = 0;
+  CAB_CHECK(static_cast<bool>(in >> key >> trace_count) && key == "traces",
+            "expected 'traces'");
+  for (std::size_t i = 0; i < trace_count; ++i) {
+    std::size_t ranges = 0;
+    CAB_CHECK(static_cast<bool>(in >> key >> ranges) && key == "t",
+              "malformed trace line");
+    cachesim::Trace t;
+    t.reserve(ranges);
+    for (std::size_t r = 0; r < ranges; ++r) {
+      cachesim::RangeAccess ra;
+      int write = 0;
+      CAB_CHECK(static_cast<bool>(in >> ra.base >> ra.bytes >> ra.passes >>
+                                  write),
+                "malformed range");
+      ra.write = write != 0;
+      t.push_back(ra);
+    }
+    bundle.traces.add(std::move(t));
+  }
+
+  // Referenced trace ids must exist.
+  for (std::size_t i = 0; i < bundle.graph.size(); ++i) {
+    const auto& n = bundle.graph.node(static_cast<dag::NodeId>(i));
+    CAB_CHECK(n.pre_trace < static_cast<std::int32_t>(trace_count),
+              "pre_trace out of range");
+    CAB_CHECK(n.post_trace < static_cast<std::int32_t>(trace_count),
+              "post_trace out of range");
+  }
+  CAB_CHECK(bundle.graph.validate(), "loaded graph failed validation");
+  return bundle;
+}
+
+bool save_bundle_file(const DagBundle& bundle, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  save_bundle(bundle, out);
+  return static_cast<bool>(out);
+}
+
+DagBundle load_bundle_file(const std::string& path) {
+  std::ifstream in(path);
+  CAB_CHECK(static_cast<bool>(in), "cannot open bundle file");
+  return load_bundle(in);
+}
+
+}  // namespace cab::apps

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "apps/app_common.hpp"
+
+namespace cab::apps {
+
+/// Serializes a workload bundle (DAG + traces + partition parameters) to
+/// a line-based text format, so workloads can be saved once and replayed
+/// across machines/configurations (cab_explore --save / --load).
+///
+/// Format (version 1):
+///   CABDAG 1
+///   name <string-without-spaces>
+///   branching <B>
+///   input_bytes <Sd>
+///   nodes <count>
+///   n <parent|-1> <pre_work> <post_work> <pre_trace|-1> <post_trace|-1> <seq 0|1>
+///   ... (count lines, topological/id order)
+///   traces <count>
+///   t <ranges> {<base> <bytes> <passes> <write 0|1>} x ranges
+///   ... (count lines)
+void save_bundle(const DagBundle& bundle, std::ostream& out);
+
+/// Parses a bundle; aborts via CAB_CHECK on malformed input (this is a
+/// trusted-tool format, not an adversarial parser).
+DagBundle load_bundle(std::istream& in);
+
+/// Convenience file wrappers. Return false / abort on I/O failure.
+bool save_bundle_file(const DagBundle& bundle, const std::string& path);
+DagBundle load_bundle_file(const std::string& path);
+
+}  // namespace cab::apps

@@ -1,0 +1,117 @@
+#include "apps/sor.hpp"
+
+#include <vector>
+
+namespace cab::apps {
+namespace {
+
+/// One half-sweep (color = 0 for red, 1 for black) over interior rows
+/// [r0, r1), in place.
+void sor_rows(double* a, std::int64_t cols, std::int64_t r0, std::int64_t r1,
+              int color, double omega) {
+  for (std::int64_t r = r0; r < r1; ++r) {
+    double* up = a + (r - 1) * cols;
+    double* mid = a + r * cols;
+    double* down = a + (r + 1) * cols;
+    // Points where (r + c) % 2 == color.
+    std::int64_t c0 = 1 + ((r + 1 + color) % 2);
+    for (std::int64_t c = c0; c < cols - 1; c += 2) {
+      const double stencil =
+          0.25 * (up[c] + down[c] + mid[c - 1] + mid[c + 1]);
+      mid[c] = mid[c] + omega * (stencil - mid[c]);
+    }
+  }
+}
+
+void sor_rec(double* a, std::int64_t cols, std::int64_t r0, std::int64_t r1,
+             int color, double omega, std::int64_t leaf_rows) {
+  if (r1 - r0 <= leaf_rows) {
+    sor_rows(a, cols, r0, r1, color, omega);
+    return;
+  }
+  const std::int64_t mid = r0 + (r1 - r0) / 2;
+  runtime::Runtime::spawn(
+      [=] { sor_rec(a, cols, r0, mid, color, omega, leaf_rows); });
+  runtime::Runtime::spawn(
+      [=] { sor_rec(a, cols, mid, r1, color, omega, leaf_rows); });
+  runtime::Runtime::sync();
+}
+
+void init_grid(std::vector<double>& a, std::int64_t rows, std::int64_t cols) {
+  for (std::int64_t r = 0; r < rows; ++r)
+    for (std::int64_t c = 0; c < cols; ++c)
+      a[static_cast<std::size_t>(r * cols + c)] =
+          (r == 0 || c == 0) ? 1.0 : 0.001 * ((r * 17 + c * 3) % 101);
+}
+
+double checksum(const std::vector<double>& a) {
+  double s = 0;
+  for (double v : a) s += v;
+  return s;
+}
+
+}  // namespace
+
+double run_sor(runtime::Runtime& rt, const SorParams& p) {
+  std::vector<double> a(static_cast<std::size_t>(p.rows * p.cols));
+  init_grid(a, p.rows, p.cols);
+  double* data = a.data();
+  rt.run([&] {
+    for (std::int32_t it = 0; it < p.iterations; ++it) {
+      for (int color = 0; color < 2; ++color) {
+        sor_rec(data, p.cols, 1, p.rows - 1, color, p.omega, p.leaf_rows);
+      }
+    }
+  });
+  return checksum(a);
+}
+
+double run_sor_serial(const SorParams& p) {
+  std::vector<double> a(static_cast<std::size_t>(p.rows * p.cols));
+  init_grid(a, p.rows, p.cols);
+  for (std::int32_t it = 0; it < p.iterations; ++it)
+    for (int color = 0; color < 2; ++color)
+      sor_rows(a.data(), p.cols, 1, p.rows - 1, color, p.omega);
+  return checksum(a);
+}
+
+DagBundle build_sor_dag(const SorParams& p) {
+  DagBundle bundle;
+  bundle.name = "sor";
+  bundle.branching = p.branching();
+  bundle.input_bytes = p.input_bytes();
+
+  dag::TaskGraph& g = bundle.graph;
+  cachesim::TraceStore& store = bundle.traces;
+  const std::uint64_t base = array_base(0);
+  const std::uint64_t row_bytes =
+      static_cast<std::uint64_t>(p.cols) * sizeof(double);
+  // ~6 flops per updated point, half the points per half-sweep.
+  const std::uint64_t work_per_row = static_cast<std::uint64_t>(p.cols) * 3;
+
+  dag::NodeId root = g.add_root(1);
+  g.set_sequential(root, true);
+
+  for (std::int32_t phase = 0; phase < 2 * p.iterations; ++phase) {
+    split_range(
+        g, root, 1, p.rows - 1, p.leaf_rows, /*divide_work=*/8,
+        [&](dag::NodeId parent, std::int64_t r0, std::int64_t r1) {
+          // Reads rows r0-1..r1, writes (half of) rows r0..r1-1 in place.
+          cachesim::Trace t;
+          t.push_back({base + static_cast<std::uint64_t>(r0 - 1) * row_bytes,
+                       static_cast<std::uint64_t>(r1 - r0 + 2) * row_bytes, 1,
+                       false});
+          // In-place update: every line of the task's own rows is written
+          // (both colors live in every line — 8 doubles per 64B line).
+          t.push_back({base + static_cast<std::uint64_t>(r0) * row_bytes,
+                       static_cast<std::uint64_t>(r1 - r0) * row_bytes, 1,
+                       true});
+          dag::NodeId leaf = g.add_child(
+              parent, static_cast<std::uint64_t>(r1 - r0) * work_per_row);
+          g.set_traces(leaf, store.add(std::move(t)), -1);
+        });
+  }
+  return bundle;
+}
+
+}  // namespace cab::apps

@@ -1,0 +1,37 @@
+#pragma once
+
+#include "apps/app_common.hpp"
+#include "runtime/runtime.hpp"
+
+namespace cab::apps {
+
+/// 2D Successive Over-Relaxation (Fig. 4/6/7 benchmark). Red-black
+/// Gauss-Seidel with over-relaxation factor omega: each iteration is two
+/// in-place half-sweeps (first the "red" points, then the "black" points),
+/// each parallelized by binary row division. In-place writes are what make
+/// SOR the paper's most TRICI-sensitive benchmark (68.7% gain at 512x512):
+/// a socket only reuses rows it itself updated last iteration.
+struct SorParams {
+  std::int64_t rows = 1024;
+  std::int64_t cols = 1024;
+  std::int32_t iterations = 10;
+  std::int64_t leaf_rows = 128;
+  double omega = 1.25;
+
+  std::int32_t branching() const { return 2; }
+  std::uint64_t input_bytes() const {
+    return static_cast<std::uint64_t>(rows) *
+           static_cast<std::uint64_t>(cols) * sizeof(double);
+  }
+};
+
+/// Runs SOR on the threaded runtime. Returns the final grid checksum.
+double run_sor(runtime::Runtime& rt, const SorParams& p);
+
+/// Serial reference for verification.
+double run_sor_serial(const SorParams& p);
+
+/// Simulator model: 2*iterations sequential half-sweep phases.
+DagBundle build_sor_dag(const SorParams& p);
+
+}  // namespace cab::apps

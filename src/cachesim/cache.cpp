@@ -1,0 +1,165 @@
+#include "cachesim/cache.hpp"
+
+#include "util/assert.hpp"
+
+namespace cab::cachesim {
+
+const char* to_string(Replacement r) {
+  switch (r) {
+    case Replacement::kLru: return "LRU";
+    case Replacement::kRandom: return "random";
+    case Replacement::kTreePlru: return "tree-PLRU";
+  }
+  return "?";
+}
+
+Cache::Cache(const hw::CacheSpec& spec, Replacement policy, std::uint64_t seed)
+    : spec_(spec),
+      policy_(policy),
+      set_count_(spec.sets()),
+      assoc_(spec.associativity),
+      rng_(seed) {
+  CAB_CHECK(set_count_ >= 1, "cache must have at least one set");
+  if (policy_ == Replacement::kTreePlru) {
+    CAB_CHECK((assoc_ & (assoc_ - 1)) == 0,
+              "tree-PLRU needs power-of-two associativity");
+    CAB_CHECK(assoc_ <= 32, "tree-PLRU supports up to 32 ways here");
+  }
+  tags_.assign(set_count_ * assoc_, kInvalid);
+  meta_.assign(set_count_ * (policy_ == Replacement::kTreePlru ? 1 : assoc_),
+               0);
+  if (policy_ == Replacement::kLru) {
+    // Initialize recency ranks 0..assoc-1 per set.
+    for (std::size_t s = 0; s < set_count_; ++s)
+      for (std::uint32_t w = 0; w < assoc_; ++w) meta_[s * assoc_ + w] = w;
+  }
+}
+
+int Cache::find_way(std::size_t set, std::uint64_t line) const {
+  const std::uint64_t* ways = &tags_[set * assoc_];
+  for (std::uint32_t i = 0; i < assoc_; ++i) {
+    if (ways[i] == line) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void Cache::touch(std::size_t set, std::uint32_t way) {
+  switch (policy_) {
+    case Replacement::kLru: {
+      // Promote `way` to rank 0; bump everything younger than it.
+      std::uint32_t* rank = &meta_[set * assoc_];
+      const std::uint32_t old = rank[way];
+      for (std::uint32_t w = 0; w < assoc_; ++w) {
+        if (rank[w] < old) ++rank[w];
+      }
+      rank[way] = 0;
+      break;
+    }
+    case Replacement::kTreePlru: {
+      // Flip the tree path bits to point *away* from this way.
+      std::uint32_t& bits = meta_[set];
+      std::uint32_t node = 1;
+      for (std::uint32_t span = assoc_ / 2; span >= 1; span /= 2) {
+        const bool right = (way / span) % 2 != 0;
+        if (right) {
+          bits &= ~(1u << node);  // point left (away)
+          node = node * 2 + 1;
+        } else {
+          bits |= (1u << node);  // point right (away)
+          node = node * 2;
+        }
+      }
+      break;
+    }
+    case Replacement::kRandom:
+      break;  // stateless
+  }
+}
+
+std::uint32_t Cache::pick_victim(std::size_t set) {
+  // Empty ways first, regardless of policy.
+  const std::uint64_t* ways = &tags_[set * assoc_];
+  for (std::uint32_t i = 0; i < assoc_; ++i) {
+    if (ways[i] == kInvalid) return i;
+  }
+  switch (policy_) {
+    case Replacement::kLru: {
+      const std::uint32_t* rank = &meta_[set * assoc_];
+      std::uint32_t victim = 0;
+      for (std::uint32_t w = 0; w < assoc_; ++w) {
+        if (rank[w] == assoc_ - 1) {
+          victim = w;
+          break;
+        }
+      }
+      return victim;
+    }
+    case Replacement::kRandom:
+      return static_cast<std::uint32_t>(rng_.next_below(assoc_));
+    case Replacement::kTreePlru: {
+      const std::uint32_t bits = meta_[set];
+      std::uint32_t node = 1;
+      std::uint32_t way = 0;
+      for (std::uint32_t span = assoc_ / 2; span >= 1; span /= 2) {
+        const bool right = (bits >> node) & 1u;
+        if (right) {
+          way += span;
+          node = node * 2 + 1;
+        } else {
+          node = node * 2;
+        }
+      }
+      return way;
+    }
+  }
+  return 0;
+}
+
+bool Cache::access_line(std::uint64_t line) {
+  ++accesses_;
+  const std::size_t set = static_cast<std::size_t>(line % set_count_);
+  const int hit_way = find_way(set, line);
+  if (hit_way >= 0) {
+    touch(set, static_cast<std::uint32_t>(hit_way));
+    return true;
+  }
+  ++misses_;
+  const std::uint32_t victim = pick_victim(set);
+  tags_[set * assoc_ + victim] = line;
+  touch(set, victim);
+  return false;
+}
+
+void Cache::fill_line(std::uint64_t line) {
+  const std::size_t set = static_cast<std::size_t>(line % set_count_);
+  if (find_way(set, line) >= 0) return;
+  const std::uint32_t victim = pick_victim(set);
+  tags_[set * assoc_ + victim] = line;
+  touch(set, victim);
+}
+
+bool Cache::invalidate_line(std::uint64_t line) {
+  const std::size_t set = static_cast<std::size_t>(line % set_count_);
+  const int way = find_way(set, line);
+  if (way < 0) return false;
+  tags_[set * assoc_ + static_cast<std::uint32_t>(way)] = kInvalid;
+  ++invalidations_;
+  // LRU rank of the invalidated way is demoted to oldest so the empty
+  // way is reused promptly (pick_victim prefers empty ways anyway).
+  return true;
+}
+
+bool Cache::contains(std::uint64_t line) const {
+  const std::size_t set = static_cast<std::size_t>(line % set_count_);
+  return find_way(set, line) >= 0;
+}
+
+void Cache::reset_stats() {
+  accesses_ = 0;
+  misses_ = 0;
+  invalidations_ = 0;
+}
+
+void Cache::invalidate_all() { tags_.assign(set_count_ * assoc_, kInvalid); }
+
+}  // namespace cab::cachesim

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/topology.hpp"
+#include "util/rng.hpp"
+
+namespace cab::cachesim {
+
+/// Replacement policy of a set-associative cache.
+enum class Replacement : std::uint8_t {
+  kLru,       ///< true LRU (move-to-front); the default model
+  kRandom,    ///< random way eviction (seeded, reproducible)
+  kTreePlru,  ///< tree pseudo-LRU (associativity must be a power of two)
+};
+
+const char* to_string(Replacement r);
+
+/// Set-associative cache, trace-driven.
+///
+/// Addresses are presented as *line numbers* (byte address / line size).
+/// The model is read/write agnostic at this level (coherence lives in
+/// CacheHierarchy): the paper's TRICI effect is about capacity/compulsory/
+/// conflict misses as a function of where the scheduler places data-
+/// sharing tasks, which a placement-driven hit/miss model captures.
+class Cache {
+ public:
+  explicit Cache(const hw::CacheSpec& spec,
+                 Replacement policy = Replacement::kLru,
+                 std::uint64_t seed = 1);
+
+  /// Looks up one line; fills it (evicting per policy) on miss.
+  /// Returns true on hit.
+  bool access_line(std::uint64_t line);
+
+  /// Inserts a line without counting an access (prefetch fill). No-op if
+  /// already present.
+  void fill_line(std::uint64_t line);
+
+  /// Removes one line if present (coherence invalidation). Does not touch
+  /// the access/miss counters. Returns true if the line was present.
+  bool invalidate_line(std::uint64_t line);
+
+  /// True if the line is currently cached (no counter or LRU update).
+  bool contains(std::uint64_t line) const;
+
+  std::uint64_t accesses() const { return accesses_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t hits() const { return accesses_ - misses_; }
+  std::uint64_t invalidations() const { return invalidations_; }
+
+  void reset_stats();
+  /// Drop all contents (cold caches), keep stats.
+  void invalidate_all();
+
+  const hw::CacheSpec& spec() const { return spec_; }
+  Replacement policy() const { return policy_; }
+
+ private:
+  /// Way index of `line` in its set, or -1.
+  int find_way(std::size_t set, std::uint64_t line) const;
+  /// Victim way per policy (empty ways first).
+  std::uint32_t pick_victim(std::size_t set);
+  void touch(std::size_t set, std::uint32_t way);
+
+  hw::CacheSpec spec_;
+  Replacement policy_;
+  std::uint64_t set_count_;
+  std::uint32_t assoc_;
+  /// tags_[set*assoc + way]; kInvalid marks empty ways.
+  std::vector<std::uint64_t> tags_;
+  /// kLru: recency rank per way (0 = most recent).
+  /// kTreePlru: per-set tree bits (bit i of the set's word).
+  std::vector<std::uint32_t> meta_;
+  util::Xorshift64 rng_;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t invalidations_ = 0;
+
+  static constexpr std::uint64_t kInvalid = ~0ull;
+};
+
+}  // namespace cab::cachesim

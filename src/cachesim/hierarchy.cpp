@@ -1,0 +1,135 @@
+#include "cachesim/hierarchy.hpp"
+
+#include "util/assert.hpp"
+
+namespace cab::cachesim {
+
+CacheHierarchy::CacheHierarchy(const hw::Topology& topo,
+                               const HierarchyOptions& opts)
+    : topo_(topo), opts_(opts) {
+  std::uint64_t seed = opts.seed;
+  if (opts_.with_l1) {
+    l1_.reserve(static_cast<std::size_t>(topo_.total_cores()));
+    for (int c = 0; c < topo_.total_cores(); ++c)
+      l1_.emplace_back(opts_.l1, opts_.policy, util::splitmix64(seed));
+  }
+  l2_.reserve(static_cast<std::size_t>(topo_.total_cores()));
+  for (int c = 0; c < topo_.total_cores(); ++c)
+    l2_.emplace_back(topo_.l2(), opts_.policy, util::splitmix64(seed));
+  l3_.reserve(static_cast<std::size_t>(topo_.sockets()));
+  for (int s = 0; s < topo_.sockets(); ++s)
+    l3_.emplace_back(topo_.l3(), opts_.policy, util::splitmix64(seed));
+}
+
+HitLevel CacheHierarchy::access_line(int core, std::uint64_t line,
+                                     bool write) {
+  CAB_CHECK(core >= 0 && core < topo_.total_cores(), "core out of range");
+  const int my_socket = topo_.socket_of(core);
+  if (write) {
+    // Write-invalidate: the writer gains exclusive ownership; every other
+    // cache's copy dies. The writer's own caches keep (and fill) the line.
+    for (int c = 0; c < topo_.total_cores(); ++c) {
+      if (c == core) continue;
+      if (opts_.with_l1) l1_[static_cast<std::size_t>(c)].invalidate_line(line);
+      l2_[static_cast<std::size_t>(c)].invalidate_line(line);
+    }
+    for (int s = 0; s < topo_.sockets(); ++s) {
+      if (s != my_socket)
+        l3_[static_cast<std::size_t>(s)].invalidate_line(line);
+    }
+  }
+
+  HitLevel level;
+  if (opts_.with_l1 && l1_[static_cast<std::size_t>(core)].access_line(line)) {
+    level = HitLevel::kL1;
+  } else if (l2_[static_cast<std::size_t>(core)].access_line(line)) {
+    level = HitLevel::kL2;
+    if (opts_.with_l1) l1_[static_cast<std::size_t>(core)].fill_line(line);
+  } else if (l3_[static_cast<std::size_t>(my_socket)].access_line(line)) {
+    level = HitLevel::kL3;
+    if (opts_.with_l1) l1_[static_cast<std::size_t>(core)].fill_line(line);
+  } else {
+    level = HitLevel::kMemory;
+    if (opts_.with_l1) l1_[static_cast<std::size_t>(core)].fill_line(line);
+    if (opts_.next_line_prefetch) {
+      // Stream prefetcher: pull the next line alongside the demand fill.
+      const std::uint64_t next = line + 1;
+      if (opts_.with_l1) l1_[static_cast<std::size_t>(core)].fill_line(next);
+      l2_[static_cast<std::size_t>(core)].fill_line(next);
+      l3_[static_cast<std::size_t>(my_socket)].fill_line(next);
+    }
+  }
+  return level;
+}
+
+StreamCost CacheHierarchy::stream(int core, const Trace& trace) {
+  StreamCost cost;
+  const std::uint32_t line_bytes = topo_.l2().line_bytes;
+  for (const RangeAccess& r : trace) {
+    if (r.bytes == 0) continue;
+    const std::uint64_t first = r.base / line_bytes;
+    const std::uint64_t last = (r.base + r.bytes - 1) / line_bytes;
+    for (std::uint32_t p = 0; p < r.passes; ++p) {
+      for (std::uint64_t line = first; line <= last; ++line) {
+        switch (access_line(core, line, r.write)) {
+          case HitLevel::kL1: ++cost.l1_hits; break;
+          case HitLevel::kL2: ++cost.l2_hits; break;
+          case HitLevel::kL3: ++cost.l3_hits; break;
+          case HitLevel::kMemory: ++cost.memory_fills; break;
+        }
+      }
+    }
+  }
+  return cost;
+}
+
+LevelStats CacheHierarchy::totals() const {
+  LevelStats s;
+  for (const Cache& c : l1_) {
+    s.l1_accesses += c.accesses();
+    s.l1_misses += c.misses();
+    s.invalidations += c.invalidations();
+  }
+  for (const Cache& c : l2_) {
+    s.l2_accesses += c.accesses();
+    s.l2_misses += c.misses();
+    s.invalidations += c.invalidations();
+  }
+  for (const Cache& c : l3_) {
+    s.l3_accesses += c.accesses();
+    s.l3_misses += c.misses();
+    s.invalidations += c.invalidations();
+  }
+  return s;
+}
+
+LevelStats CacheHierarchy::socket_stats(int socket) const {
+  CAB_CHECK(socket >= 0 && socket < topo_.sockets(), "socket out of range");
+  LevelStats s;
+  for (int c = topo_.first_core_of(socket);
+       c < topo_.first_core_of(socket) + topo_.cores_per_socket(); ++c) {
+    if (opts_.with_l1) {
+      s.l1_accesses += l1_[static_cast<std::size_t>(c)].accesses();
+      s.l1_misses += l1_[static_cast<std::size_t>(c)].misses();
+    }
+    s.l2_accesses += l2_[static_cast<std::size_t>(c)].accesses();
+    s.l2_misses += l2_[static_cast<std::size_t>(c)].misses();
+  }
+  s.l3_accesses += l3_[static_cast<std::size_t>(socket)].accesses();
+  s.l3_misses += l3_[static_cast<std::size_t>(socket)].misses();
+  return s;
+}
+
+void CacheHierarchy::reset_stats() {
+  for (Cache& c : l1_) c.reset_stats();
+  for (Cache& c : l2_) c.reset_stats();
+  for (Cache& c : l3_) c.reset_stats();
+}
+
+void CacheHierarchy::invalidate_all() {
+  for (Cache& c : l1_) c.invalidate_all();
+  for (Cache& c : l2_) c.invalidate_all();
+  for (Cache& c : l3_) c.invalidate_all();
+}
+
+}  // namespace cab::cachesim

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cachesim/cache.hpp"
+#include "cachesim/trace.hpp"
+#include "hw/topology.hpp"
+
+namespace cab::cachesim {
+
+/// Where an access was satisfied.
+enum class HitLevel : std::uint8_t { kL1, kL2, kL3, kMemory };
+
+/// Per-level access/miss totals, shaped like the paper's Table IV rows.
+struct LevelStats {
+  std::uint64_t l1_accesses = 0;
+  std::uint64_t l1_misses = 0;
+  std::uint64_t l2_accesses = 0;
+  std::uint64_t l2_misses = 0;
+  std::uint64_t l3_accesses = 0;
+  std::uint64_t l3_misses = 0;
+  std::uint64_t invalidations = 0;
+
+  LevelStats& operator+=(const LevelStats& o) {
+    l1_accesses += o.l1_accesses;
+    l1_misses += o.l1_misses;
+    l2_accesses += o.l2_accesses;
+    l2_misses += o.l2_misses;
+    l3_accesses += o.l3_accesses;
+    l3_misses += o.l3_misses;
+    invalidations += o.invalidations;
+    return *this;
+  }
+};
+
+/// Cost (virtual cycles) of streaming a trace through the hierarchy,
+/// bucketed by where each line access hit.
+struct StreamCost {
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l2_hits = 0;
+  std::uint64_t l3_hits = 0;
+  std::uint64_t memory_fills = 0;
+
+  std::uint64_t total_accesses() const {
+    return l1_hits + l2_hits + l3_hits + memory_fills;
+  }
+};
+
+/// Optional refinements over the paper's base L2+L3 model.
+struct HierarchyOptions {
+  /// Model a private L1D in front of each core's L2 (Opteron 8380:
+  /// 64 KiB, 2-way; we default to 8-way for a generic modern shape).
+  bool with_l1 = false;
+  hw::CacheSpec l1{64ull << 10, 64, 8};
+
+  /// Replacement policy used by every level.
+  Replacement policy = Replacement::kLru;
+
+  /// Sequential next-line prefetch: a memory fill of line L also fills
+  /// L+1 into the same caches (no access counted) — first-order model of
+  /// the Opteron's L1/L2 stream prefetcher.
+  bool next_line_prefetch = false;
+
+  std::uint64_t seed = 1;  ///< for Replacement::kRandom
+};
+
+/// The MSMC memory system of the paper's testbed: a private L2 per core
+/// and one shared L3 per socket (Section V), optionally fronted by a
+/// private L1. An L2 miss looks up the L3 of the core's socket; an L3
+/// miss fills from memory. Writes invalidate every *other* cache's copy
+/// (MESI-style write-invalidate) — cross-iteration reuse therefore
+/// requires the same socket to have been the last writer, which is the
+/// heart of the TRICI syndrome for iterative codes.
+class CacheHierarchy {
+ public:
+  explicit CacheHierarchy(const hw::Topology& topo,
+                          const HierarchyOptions& opts = {});
+
+  /// One line access issued by `core`.
+  HitLevel access_line(int core, std::uint64_t line, bool write = false);
+
+  /// Streams a whole range-compressed trace from `core`; returns the
+  /// hit-level breakdown so cost models can price it.
+  StreamCost stream(int core, const Trace& trace);
+
+  LevelStats totals() const;
+  LevelStats socket_stats(int socket) const;
+
+  std::uint64_t l2_misses_total() const { return totals().l2_misses; }
+  std::uint64_t l3_misses_total() const { return totals().l3_misses; }
+
+  void reset_stats();
+  void invalidate_all();
+
+  const hw::Topology& topology() const { return topo_; }
+  const HierarchyOptions& options() const { return opts_; }
+
+ private:
+  hw::Topology topo_;
+  HierarchyOptions opts_;
+  std::vector<Cache> l1_;  // one per core (empty unless opts_.with_l1)
+  std::vector<Cache> l2_;  // one per core
+  std::vector<Cache> l3_;  // one per socket
+};
+
+}  // namespace cab::cachesim

@@ -1,0 +1,22 @@
+#include "cachesim/trace.hpp"
+
+namespace cab::cachesim {
+
+std::uint64_t trace_line_count(const Trace& t, std::uint32_t line_bytes) {
+  std::uint64_t lines = 0;
+  for (const RangeAccess& r : t) {
+    if (r.bytes == 0) continue;
+    std::uint64_t first = r.base / line_bytes;
+    std::uint64_t last = (r.base + r.bytes - 1) / line_bytes;
+    lines += (last - first + 1) * r.passes;
+  }
+  return lines;
+}
+
+std::uint64_t trace_bytes(const Trace& t) {
+  std::uint64_t total = 0;
+  for (const RangeAccess& r : t) total += r.bytes;
+  return total;
+}
+
+}  // namespace cab::cachesim

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cab::cachesim {
+
+/// One contiguous memory region touched sequentially, `passes` times.
+/// Traces are range-compressed: the paper's benchmarks sweep rows/blocks of
+/// dense arrays, so (base, bytes, passes) captures each task's access
+/// stream exactly while keeping traces tiny.
+struct RangeAccess {
+  std::uint64_t base = 0;   ///< starting byte address (virtual)
+  std::uint64_t bytes = 0;  ///< extent of the region
+  std::uint32_t passes = 1; ///< how many times the region is swept
+  /// Writes invalidate the line in every *other* socket's caches
+  /// (MESI-style write-invalidate). This is what makes cross-iteration
+  /// reuse conditional on the same socket being the last writer — the
+  /// heart of the TRICI syndrome for iterative stencil codes.
+  bool write = false;
+};
+
+using Trace = std::vector<RangeAccess>;
+
+/// Total cache-line accesses a trace generates with the given line size.
+std::uint64_t trace_line_count(const Trace& t, std::uint32_t line_bytes);
+
+/// Total distinct bytes referenced (footprint, ignoring passes/overlap).
+std::uint64_t trace_bytes(const Trace& t);
+
+/// Owns traces for a whole application DAG; TaskGraph nodes refer to
+/// entries by index (TaskGraph::Node::pre_trace / post_trace).
+class TraceStore {
+ public:
+  std::int32_t add(Trace t) {
+    traces_.push_back(std::move(t));
+    return static_cast<std::int32_t>(traces_.size() - 1);
+  }
+
+  const Trace& get(std::int32_t id) const { return traces_[static_cast<std::size_t>(id)]; }
+  bool has(std::int32_t id) const {
+    return id >= 0 && static_cast<std::size_t>(id) < traces_.size();
+  }
+  std::size_t size() const { return traces_.size(); }
+
+ private:
+  std::vector<Trace> traces_;
+};
+
+}  // namespace cab::cachesim

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file
+/// Umbrella header of the CAB library — the reproduction of
+/// "CAB: Cache Aware Bi-tier Task-stealing in Multi-socket Multi-core
+/// Architecture" (Chen, Huang, Guo, Zhou — ICPP 2011).
+///
+/// Layers (each usable on its own):
+///  - cab::hw       — MSMC machine model (sockets, cores, caches, affinity)
+///  - cab::deque    — Chase-Lev and locked work-stealing deques
+///  - cab::dag      — execution DAGs, Eq. 4 bi-tier partitioning
+///  - cab::cachesim — set-associative write-invalidate cache hierarchy
+///  - cab::runtime  — the threaded CAB scheduler + baselines (spawn/sync)
+///  - cab::simsched — deterministic virtual-time scheduler simulator
+///  - cab::apps     — the paper's eight Table III benchmarks
+///
+/// Quick start (threaded runtime):
+/// \code
+///   cab::runtime::Options opts;
+///   opts.topo = cab::hw::Topology::detect();
+///   opts.kind = cab::runtime::SchedulerKind::kCab;
+///   opts.boundary_level =
+///       cab::runtime::auto_boundary_level(opts.topo, input_bytes);
+///   cab::runtime::Runtime rt(opts);
+///   rt.run([] { /* spawn/sync */ });
+/// \endcode
+
+#include "cachesim/cache.hpp"       // IWYU pragma: export
+#include "cachesim/hierarchy.hpp"   // IWYU pragma: export
+#include "cachesim/trace.hpp"       // IWYU pragma: export
+#include "core/experiment.hpp"      // IWYU pragma: export
+#include "dag/generators.hpp"       // IWYU pragma: export
+#include "dag/partition.hpp"        // IWYU pragma: export
+#include "dag/task_graph.hpp"       // IWYU pragma: export
+#include "deque/chase_lev_deque.hpp"  // IWYU pragma: export
+#include "deque/locked_deque.hpp"   // IWYU pragma: export
+#include "hw/affinity.hpp"          // IWYU pragma: export
+#include "hw/topology.hpp"          // IWYU pragma: export
+#include "runtime/runtime.hpp"      // IWYU pragma: export
+#include "simsched/sim_scheduler.hpp"  // IWYU pragma: export

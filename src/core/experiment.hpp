@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <algorithm>
+
+#include "apps/app_common.hpp"
+#include "dag/partition.hpp"
+#include "simsched/sim_scheduler.hpp"
+
+namespace cab {
+
+/// One CAB-vs-baseline simulated comparison — the unit every figure/table
+/// bench is built from.
+struct Comparison {
+  simsched::SimResult cab;
+  simsched::SimResult cilk;  ///< classic random task-stealing baseline
+  std::int32_t boundary_level = 0;
+
+  /// Paper's "normalized execution time" (Fig. 4/6/8): CAB / Cilk.
+  double normalized_time() const {
+    return cilk.makespan > 0 ? cab.makespan / cilk.makespan : 0.0;
+  }
+  /// Performance gain as the paper quotes it (e.g. "68.7%").
+  double gain_percent() const { return (1.0 - normalized_time()) * 100.0; }
+};
+
+/// Eq. 4 boundary level for an application bundle on a topology, with the
+/// Section III-B third constraint applied: BL is clamped so each leaf
+/// inter-socket subtree still holds at least cores-per-socket leaf tasks
+/// (see dag::clamp_boundary_level).
+inline std::int32_t bundle_boundary_level(const apps::DagBundle& b,
+                                          const hw::Topology& topo) {
+  dag::PartitionParams p;
+  p.branching = b.branching < 2 ? 2 : b.branching;
+  p.sockets = topo.sockets();
+  p.input_bytes = b.input_bytes;
+  p.shared_cache_bytes = topo.shared_cache_bytes();
+  const std::int32_t bl = dag::boundary_level(p);
+  return dag::clamp_boundary_level(bl, b.graph.max_level(),
+                                   topo.cores_per_socket(), topo.sockets(),
+                                   p.branching);
+}
+
+/// Simulates an app under CAB (with the given boundary level, or Eq. 4
+/// when bl < 0; pass 0 for the CPU-bound Fig. 8 configuration) and under
+/// the classic random-stealing baseline, on the same topology and cost
+/// model. Victim selection: round-robin for CAB, uniform-random for the
+/// baseline — see DESIGN.md "Victim selection".
+inline Comparison compare_schedulers(const apps::DagBundle& bundle,
+                                     const hw::Topology& topo,
+                                     std::int32_t bl = -1,
+                                     std::uint64_t seed = 1,
+                                     const simsched::CostModel& cost = {}) {
+  Comparison out;
+  out.boundary_level = bl >= 0 ? bl : bundle_boundary_level(bundle, topo);
+
+  simsched::SimOptions cab_opts;
+  cab_opts.topo = topo;
+  cab_opts.policy = simsched::SimPolicy::kCab;
+  cab_opts.boundary_level = out.boundary_level;
+  cab_opts.victims = simsched::VictimSelection::kRoundRobin;
+  cab_opts.cost = cost;
+  cab_opts.seed = seed;
+  out.cab = simsched::Simulator(cab_opts).run(bundle.graph, bundle.traces);
+
+  simsched::SimOptions cilk_opts = cab_opts;
+  cilk_opts.policy = simsched::SimPolicy::kRandomStealing;
+  cilk_opts.boundary_level = 0;
+  cilk_opts.victims = simsched::VictimSelection::kUniformRandom;
+  // Real-machine timing noise feeds the baseline's random-victim
+  // scattering; without it a deterministic simulation can lock even a
+  // random scheduler into an accidentally stable placement (see
+  // CostModel::duration_jitter).
+  cilk_opts.cost.duration_jitter =
+      std::max(cost.duration_jitter, simsched::CostModel::kScrambleJitter);
+  out.cilk = simsched::Simulator(cilk_opts).run(bundle.graph, bundle.traces);
+  return out;
+}
+
+}  // namespace cab

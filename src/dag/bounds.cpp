@@ -1,0 +1,88 @@
+#include "dag/bounds.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/format.hpp"
+
+namespace cab::dag {
+
+TierAnalysis analyze_tiers(const TaskGraph& g, const TierAssignment& tier) {
+  TierAnalysis a;
+  if (g.empty()) return a;
+
+  // Bottom-up sweep (children have larger ids): per-node subtree work,
+  // span, and live-frame depth.
+  const std::size_t n = g.size();
+  std::vector<std::uint64_t> sub_work(n, 0), sub_span(n, 0), depth(n, 0);
+  for (std::size_t i = n; i-- > 0;) {
+    const TaskGraph::Node& node = g.node(static_cast<NodeId>(i));
+    std::uint64_t w = node.pre_work + node.post_work;
+    std::uint64_t child_span = 0, child_span_sum = 0, child_depth = 0;
+    for (NodeId c : node.children) {
+      w += sub_work[static_cast<std::size_t>(c)];
+      child_span = std::max(child_span, sub_span[static_cast<std::size_t>(c)]);
+      child_span_sum += sub_span[static_cast<std::size_t>(c)];
+      child_depth =
+          std::max(child_depth, depth[static_cast<std::size_t>(c)]);
+    }
+    sub_work[i] = w;
+    sub_span[i] = node.pre_work + node.post_work +
+                  (node.sequential ? child_span_sum : child_span);
+    depth[i] = 1 + child_depth;
+  }
+
+  a.t1_total = g.total_work();
+  a.tinf_total = g.critical_path();
+  a.serial_live_frames = depth[0];
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const TaskGraph::Node& node = g.node(static_cast<NodeId>(i));
+    if (tier.is_leaf_inter(node.level)) {
+      ++a.leaf_inter_count;
+      a.t1_intra += sub_work[i];
+      a.tinf_intra_max = std::max(a.tinf_intra_max, sub_span[i]);
+      a.tinf_intra_sum += sub_span[i];
+    } else if (tier.is_inter(node.level)) {
+      a.t1_inter += node.pre_work + node.post_work;
+    } else if (node.level == 0 && tier.bl == 0) {
+      // BL == 0: everything is one intra tier rooted at the root.
+      a.t1_intra = sub_work[0];
+      a.tinf_intra_max = a.tinf_intra_sum = sub_span[0];
+      a.leaf_inter_count = 1;
+      break;
+    }
+  }
+  return a;
+}
+
+double time_bound_eq13(const TierAnalysis& a, std::int32_t sockets,
+                       std::int32_t cores_per_socket) {
+  const double m = sockets;
+  const double mn = static_cast<double>(sockets) * cores_per_socket;
+  return static_cast<double>(a.t1_inter) / m +
+         static_cast<double>(a.t1_intra) / mn +
+         static_cast<double>(a.tinf_total);
+}
+
+std::uint64_t space_bound_eq15(const TierAnalysis& a, std::int32_t sockets,
+                               std::int32_t cores_per_socket) {
+  const std::uint64_t s1 = a.serial_live_frames;
+  const std::uint64_t workers =
+      static_cast<std::uint64_t>(sockets) *
+      static_cast<std::uint64_t>(cores_per_socket);
+  return std::max(a.leaf_inter_count * s1, workers * s1);
+}
+
+std::string TierAnalysis::summary() const {
+  std::string s;
+  s += "T1=" + util::human_count(t1_total);
+  s += " (inter " + util::human_count(t1_inter) + ", intra " +
+       util::human_count(t1_intra) + ")";
+  s += " Tinf=" + util::human_count(tinf_total);
+  s += " K=" + util::human_count(leaf_inter_count);
+  s += " S1=" + util::human_count(serial_live_frames) + " frames";
+  return s;
+}
+
+}  // namespace cab::dag

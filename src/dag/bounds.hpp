@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dag/partition.hpp"
+#include "dag/task_graph.hpp"
+
+namespace cab::dag {
+
+/// Work/span decomposition of a DAG under a bi-tier assignment — the
+/// quantities of the paper's Section III-E (Eq. 5-15).
+struct TierAnalysis {
+  /// T1(G): total work.
+  std::uint64_t t1_total = 0;
+  /// T1(G_inter): work of the inter-socket tier (Eq. 5, first term).
+  std::uint64_t t1_inter = 0;
+  /// Sum of T1(G_gamma_i) over the leaf inter-socket subtrees (Eq. 5).
+  std::uint64_t t1_intra = 0;
+  /// T_inf(G): critical path of the whole DAG.
+  std::uint64_t tinf_total = 0;
+  /// max_i T_inf(G_gamma_i): the deepest leaf inter-socket subtree.
+  std::uint64_t tinf_intra_max = 0;
+  /// Sum_i T_inf(G_gamma_i): third term of Eq. 12 before merging.
+  std::uint64_t tinf_intra_sum = 0;
+  /// K: number of leaf inter-socket tasks actually present.
+  std::uint64_t leaf_inter_count = 0;
+  /// Deepest nesting of live frames on one stack in a serial (depth-
+  /// first) execution — the S1(G) proxy of Eq. 14/15 (frames, not bytes).
+  std::uint64_t serial_live_frames = 0;
+
+  std::string summary() const;
+};
+
+/// Decomposes `g` per the tier assignment. Nodes at level <= bl form
+/// G_inter; each node at level == bl roots a G_gamma_i subtree (its own
+/// work is counted in both G_inter's frontier and its subtree per the
+/// paper's convention that leaf inter-socket tasks belong to the
+/// boundary; here the leaf inter-socket node's own work is charged to
+/// its subtree, matching Eq. 5's partition into disjoint sets).
+TierAnalysis analyze_tiers(const TaskGraph& g, const TierAssignment& tier);
+
+/// Eq. 13's bound expression (in work units, unit-cost model):
+///   T1(G_inter)/M + T1(G_intra)/(M*N) + T_inf(G)
+/// Any greedy bi-tier execution must satisfy
+///   makespan <= c * time_bound_eq13(...) for a modest constant c.
+double time_bound_eq13(const TierAnalysis& a, std::int32_t sockets,
+                       std::int32_t cores_per_socket);
+
+/// Eq. 15's space bound in frames:
+///   max(K * S1(G), M*N * S1(G))
+std::uint64_t space_bound_eq15(const TierAnalysis& a, std::int32_t sockets,
+                               std::int32_t cores_per_socket);
+
+}  // namespace cab::dag

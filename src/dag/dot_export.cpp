@@ -1,0 +1,44 @@
+#include "dag/dot_export.hpp"
+
+namespace cab::dag {
+
+std::string to_dot(const TaskGraph& g, const TierAssignment& tier,
+                   std::size_t max_nodes) {
+  std::string out;
+  out += "digraph cab_dag {\n";
+  out += "  rankdir=TB;\n";
+  out += "  node [shape=box, style=filled, fontname=\"monospace\"];\n";
+
+  const std::size_t limit = g.size() < max_nodes ? g.size() : max_nodes;
+  for (std::size_t i = 0; i < limit; ++i) {
+    const TaskGraph::Node& n = g.node(static_cast<NodeId>(i));
+    std::string color = "white";
+    std::string extra;
+    if (tier.is_leaf_inter(n.level)) {
+      color = "lightsteelblue";
+      extra = ", penwidth=2";
+    } else if (tier.is_inter(n.level)) {
+      color = "lightgrey";
+    }
+    out += "  n" + std::to_string(i) + " [label=\"L" +
+           std::to_string(n.level) + "\\nw=" + std::to_string(n.pre_work);
+    if (n.post_work > 0) out += "+" + std::to_string(n.post_work);
+    if (n.sequential) out += "\\nseq";
+    out += "\", fillcolor=" + color + extra + "];\n";
+  }
+  for (std::size_t i = 0; i < limit; ++i) {
+    const TaskGraph::Node& n = g.node(static_cast<NodeId>(i));
+    for (NodeId c : n.children) {
+      if (static_cast<std::size_t>(c) >= limit) continue;
+      out += "  n" + std::to_string(i) + " -> n" + std::to_string(c) + ";\n";
+    }
+  }
+  if (limit < g.size()) {
+    out += "  truncated [label=\"... " + std::to_string(g.size() - limit) +
+           " more nodes\", fillcolor=mistyrose];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace cab::dag

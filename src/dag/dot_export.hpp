@@ -1,0 +1,19 @@
+#pragma once
+
+#include <string>
+
+#include "dag/partition.hpp"
+#include "dag/task_graph.hpp"
+
+namespace cab::dag {
+
+/// Renders the DAG as Graphviz DOT, one node per task labeled with its
+/// level and work, colored by tier (inter-socket tier shaded, leaf
+/// inter-socket tasks outlined, intra-socket tier plain) — Fig. 1 of the
+/// paper, generated. Pipe through `dot -Tsvg` to render.
+///
+/// `max_nodes` truncates huge graphs (an ellipsis node marks the cut).
+std::string to_dot(const TaskGraph& g, const TierAssignment& tier,
+                   std::size_t max_nodes = 256);
+
+}  // namespace cab::dag

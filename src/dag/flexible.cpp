@@ -1,0 +1,97 @@
+#include "dag/flexible.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/assert.hpp"
+
+namespace cab::dag {
+
+std::size_t NodeTiers::cut_count() const {
+  std::size_t n = 0;
+  for (std::uint8_t v : is_leaf_inter) n += v;
+  return n;
+}
+
+NodeTiers NodeTiers::from_boundary_level(const TaskGraph& g,
+                                         const TierAssignment& tier) {
+  NodeTiers t;
+  t.is_inter.assign(g.size(), 0);
+  t.is_leaf_inter.assign(g.size(), 0);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    const auto& n = g.node(static_cast<NodeId>(i));
+    t.is_inter[i] = tier.is_inter(n.level) ? 1 : 0;
+    t.is_leaf_inter[i] = tier.is_leaf_inter(n.level) ? 1 : 0;
+  }
+  return t;
+}
+
+NodeTiers footprint_partition(const TaskGraph& g, const TraceBytesFn& bytes,
+                              std::uint64_t sc_bytes, std::int32_t sockets) {
+  CAB_CHECK(!g.empty(), "cannot partition an empty graph");
+  CAB_CHECK(sockets >= 1, "socket count must be >= 1");
+  const std::size_t n = g.size();
+
+  // Bottom-up subtree footprints (children have larger ids).
+  std::vector<std::uint64_t> footprint(n, 0);
+  for (std::size_t i = n; i-- > 0;) {
+    const TaskGraph::Node& node = g.node(static_cast<NodeId>(i));
+    std::uint64_t f = bytes(node.pre_trace) + bytes(node.post_trace);
+    for (NodeId c : node.children) f += footprint[static_cast<std::size_t>(c)];
+    footprint[i] = f;
+  }
+
+  NodeTiers tiers;
+  tiers.is_inter.assign(n, 0);
+  tiers.is_leaf_inter.assign(n, 0);
+
+  // Phase 1: top-down, cut at the highest nodes that fit the cache.
+  // Nodes above cuts are inter; at/below cuts nothing more is examined.
+  std::vector<NodeId> cuts;
+  std::queue<NodeId> frontier;
+  frontier.push(g.root());
+  while (!frontier.empty()) {
+    NodeId id = frontier.front();
+    frontier.pop();
+    const TaskGraph::Node& node = g.node(id);
+    const bool fits = footprint[static_cast<std::size_t>(id)] <= sc_bytes;
+    if (fits || node.children.empty()) {
+      cuts.push_back(id);
+      continue;
+    }
+    tiers.is_inter[static_cast<std::size_t>(id)] = 1;
+    for (NodeId c : node.children) frontier.push(c);
+  }
+
+  // Phase 2: while fewer cuts than sockets, split the largest splittable
+  // cut (Eq. 1's "at least one leaf inter-socket task per squad").
+  auto splittable = [&](NodeId id) {
+    return !g.node(id).children.empty();
+  };
+  while (static_cast<std::int32_t>(cuts.size()) < sockets) {
+    auto best = cuts.end();
+    for (auto it = cuts.begin(); it != cuts.end(); ++it) {
+      if (!splittable(*it)) continue;
+      if (best == cuts.end() ||
+          footprint[static_cast<std::size_t>(*it)] >
+              footprint[static_cast<std::size_t>(*best)]) {
+        best = it;
+      }
+    }
+    if (best == cuts.end()) break;  // nothing splittable left
+    NodeId victim = *best;
+    cuts.erase(best);
+    tiers.is_inter[static_cast<std::size_t>(victim)] = 1;
+    for (NodeId c : g.node(victim).children) cuts.push_back(c);
+  }
+
+  for (NodeId c : cuts) {
+    tiers.is_leaf_inter[static_cast<std::size_t>(c)] = 1;
+    // Cut nodes belong to the inter tier too (they are acquired through
+    // the inter-socket pools, like level-BL tasks under uniform BL).
+    tiers.is_inter[static_cast<std::size_t>(c)] = 1;
+  }
+  return tiers;
+}
+
+}  // namespace cab::dag

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "dag/partition.hpp"
+#include "dag/task_graph.hpp"
+
+namespace cab::dag {
+
+/// Per-node tier assignment — the generalization the paper proposes as
+/// future work (Section VII): "a more flexible DAG partitioning method
+/// that can decide inter-socket and intra-socket tasks with heuristic
+/// information ... instead of a single boundary level".
+///
+/// A *cut node* roots a shared-cache residency unit (the flexible
+/// analogue of a leaf inter-socket task); its proper ancestors form the
+/// inter-socket tier; everything below is intra-socket.
+struct NodeTiers {
+  std::vector<std::uint8_t> is_inter;       ///< node in the inter tier
+  std::vector<std::uint8_t> is_leaf_inter;  ///< node is a cut point
+
+  bool inter(NodeId n) const {
+    return is_inter[static_cast<std::size_t>(n)] != 0;
+  }
+  bool leaf_inter(NodeId n) const {
+    return is_leaf_inter[static_cast<std::size_t>(n)] != 0;
+  }
+  std::size_t cut_count() const;
+
+  /// Uniform-BL assignment expressed as NodeTiers (for comparison).
+  static NodeTiers from_boundary_level(const TaskGraph& g,
+                                       const TierAssignment& tier);
+};
+
+/// Returns the total distinct bytes a trace id touches; -1 (no trace)
+/// must map to 0. Passed in so dag/ stays independent of cachesim.
+using TraceBytesFn = std::function<std::uint64_t(std::int32_t)>;
+
+/// Footprint-driven partition: cut the spawn tree at the *highest* nodes
+/// whose subtree data footprint fits the shared cache (<= sc_bytes),
+/// then, while there are fewer cuts than `sockets`, split the largest cut
+/// further. Guarantees >= min(sockets, reachable) cuts and never cuts a
+/// childless node's parent chain below the root.
+///
+/// Footprints are the sum of trace bytes in the subtree — an upper bound
+/// that ignores overlap, exactly like Eq. 2's Sd/B^(BL-1) estimate.
+NodeTiers footprint_partition(const TaskGraph& g, const TraceBytesFn& bytes,
+                              std::uint64_t sc_bytes, std::int32_t sockets);
+
+}  // namespace cab::dag

@@ -1,0 +1,69 @@
+#include "dag/generators.hpp"
+
+#include <deque>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace cab::dag {
+
+TaskGraph make_recursive_dnc(std::int32_t branching, std::int32_t depth,
+                             std::uint64_t leaf_work,
+                             std::uint64_t divide_work,
+                             std::uint64_t join_work) {
+  CAB_CHECK(branching >= 1, "branching must be >= 1");
+  CAB_CHECK(depth >= 1, "depth must be >= 1 (level 0 is main)");
+  TaskGraph g;
+  NodeId root = g.add_root(divide_work, join_work);
+
+  // Breadth-first expansion keeps ids level-ordered, handy in tests.
+  std::deque<NodeId> frontier{g.add_child(
+      root, depth == 1 ? leaf_work : divide_work, depth == 1 ? 0 : join_work)};
+  while (!frontier.empty()) {
+    NodeId n = frontier.front();
+    frontier.pop_front();
+    if (g.node(n).level >= depth) continue;
+    bool child_is_leaf = g.node(n).level + 1 == depth;
+    for (std::int32_t b = 0; b < branching; ++b) {
+      NodeId c = g.add_child(n, child_is_leaf ? leaf_work : divide_work,
+                             child_is_leaf ? 0 : join_work);
+      if (!child_is_leaf) frontier.push_back(c);
+    }
+  }
+  return g;
+}
+
+TaskGraph make_flat(std::int32_t count, std::uint64_t task_work) {
+  CAB_CHECK(count >= 1, "flat graph needs at least one task");
+  TaskGraph g;
+  NodeId root = g.add_root(1);
+  for (std::int32_t i = 0; i < count; ++i) g.add_child(root, task_work);
+  return g;
+}
+
+TaskGraph make_irregular(std::uint64_t seed, std::int32_t max_branching,
+                         std::int32_t max_depth, std::int32_t max_nodes,
+                         std::uint64_t max_work) {
+  CAB_CHECK(max_branching >= 0 && max_depth >= 0 && max_nodes >= 1,
+            "invalid irregular-graph bounds");
+  util::Xorshift64 rng(seed);
+  TaskGraph g;
+  g.add_root(1 + rng.next_below(max_work));
+  std::deque<NodeId> frontier{g.root()};
+  while (!frontier.empty() &&
+         g.size() < static_cast<std::size_t>(max_nodes)) {
+    NodeId n = frontier.front();
+    frontier.pop_front();
+    if (g.node(n).level >= max_depth) continue;
+    auto kids = static_cast<std::int32_t>(
+        rng.next_below(static_cast<std::uint64_t>(max_branching) + 1));
+    for (std::int32_t k = 0; k < kids; ++k) {
+      if (g.size() >= static_cast<std::size_t>(max_nodes)) break;
+      frontier.push_back(g.add_child(n, 1 + rng.next_below(max_work),
+                                     rng.next_below(max_work)));
+    }
+  }
+  return g;
+}
+
+}  // namespace cab::dag

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+
+#include "dag/task_graph.hpp"
+
+namespace cab::dag {
+
+/// Regular B-ary divide-and-conquer tree: level 0 is "main" (divide_work),
+/// which spawns one level-1 task; every non-leaf task spawns `branching`
+/// children; leaves (at level `depth`) carry `leaf_work`. This is the shape
+/// of Fig. 1 and of all the paper's recursive benchmarks.
+TaskGraph make_recursive_dnc(std::int32_t branching, std::int32_t depth,
+                             std::uint64_t leaf_work,
+                             std::uint64_t divide_work = 1,
+                             std::uint64_t join_work = 0);
+
+/// Flat task generation (Section IV-D): main spawns `count` children at
+/// level 1 in one go.
+TaskGraph make_flat(std::int32_t count, std::uint64_t task_work);
+
+/// Irregular random spawn tree for property tests: child counts in
+/// [0, max_branching], work in [1, max_work], expansion stops at max_nodes.
+/// Deterministic in `seed`.
+TaskGraph make_irregular(std::uint64_t seed, std::int32_t max_branching,
+                         std::int32_t max_depth, std::int32_t max_nodes,
+                         std::uint64_t max_work);
+
+}  // namespace cab::dag

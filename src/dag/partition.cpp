@@ -1,0 +1,86 @@
+#include "dag/partition.hpp"
+
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace cab::dag {
+
+std::int32_t boundary_level(const PartitionParams& p) {
+  CAB_CHECK(p.branching >= 2, "branching degree must be >= 2");
+  CAB_CHECK(p.sockets >= 1, "socket count must be >= 1");
+  CAB_CHECK(p.shared_cache_bytes >= 1, "shared cache size must be >= 1");
+  if (p.sockets == 1) return 0;
+
+  const std::uint64_t m = static_cast<std::uint64_t>(p.sockets);
+  // ceil(Sd / Sc): the factor the input must be split by to fit a socket.
+  const std::uint64_t split =
+      p.input_bytes == 0
+          ? 1
+          : (p.input_bytes + p.shared_cache_bytes - 1) / p.shared_cache_bytes;
+  const std::uint64_t target = m > split ? m : split;
+
+  // Smallest BL >= 1 with B^(BL-1) >= target.
+  std::int32_t bl = 1;
+  std::uint64_t leaves = 1;  // B^(BL-1)
+  while (leaves < target) {
+    CAB_CHECK(bl < 64, "boundary level does not converge");
+    // Overflow-safe multiply; once leaves would overflow it certainly
+    // exceeds any realistic target.
+    if (leaves > std::numeric_limits<std::uint64_t>::max() /
+                     static_cast<std::uint64_t>(p.branching)) {
+      ++bl;
+      break;
+    }
+    leaves *= static_cast<std::uint64_t>(p.branching);
+    ++bl;
+  }
+  return bl;
+}
+
+std::uint64_t leaf_inter_task_count(std::int32_t branching, std::int32_t bl) {
+  if (bl <= 1) return 1;
+  std::uint64_t n = 1;
+  for (std::int32_t i = 1; i < bl; ++i) {
+    CAB_CHECK(n <= std::numeric_limits<std::uint64_t>::max() /
+                       static_cast<std::uint64_t>(branching),
+              "leaf inter-socket task count overflows");
+    n *= static_cast<std::uint64_t>(branching);
+  }
+  return n;
+}
+
+std::int32_t clamp_boundary_level(std::int32_t bl, std::int32_t leaf_level,
+                                  std::int32_t cores_per_socket,
+                                  std::int32_t sockets,
+                                  std::int32_t branching) {
+  if (bl <= 0) return bl;
+  CAB_CHECK(branching >= 2, "branching degree must be >= 2");
+  // Levels needed below a leaf inter-socket task so its subtree holds at
+  // least cores_per_socket leaves: smallest d with B^d >= N.
+  std::int32_t depth_for_squad = 0;
+  std::uint64_t width = 1;
+  while (width < static_cast<std::uint64_t>(cores_per_socket)) {
+    width *= static_cast<std::uint64_t>(branching);
+    ++depth_for_squad;
+  }
+  std::int32_t cap = leaf_level - depth_for_squad;
+  // Eq. 1 floor: at least one leaf inter-socket task per squad.
+  std::int32_t floor_bl = 1;
+  std::uint64_t leaves = 1;
+  while (leaves < static_cast<std::uint64_t>(sockets)) {
+    leaves *= static_cast<std::uint64_t>(branching);
+    ++floor_bl;
+  }
+  std::int32_t clamped = bl < cap ? bl : cap;
+  return clamped > floor_bl ? clamped : floor_bl;
+}
+
+std::string TierAssignment::describe() const {
+  if (bl == 0) return "BL=0 (classic work-stealing, all tasks intra-socket)";
+  return "BL=" + std::to_string(bl) + " (levels 0.." + std::to_string(bl) +
+         " inter-socket, leaf inter-socket tasks at level " +
+         std::to_string(bl) + ")";
+}
+
+}  // namespace cab::dag

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cab::dag {
+
+/// Inputs of the automatic DAG partitioning model (Section III-B).
+struct PartitionParams {
+  /// Branching degree B of the recursive divide-and-conquer procedure.
+  std::int32_t branching = 2;
+  /// Socket count M of the MSMC machine.
+  std::int32_t sockets = 1;
+  /// Input data size Sd in bytes.
+  std::uint64_t input_bytes = 0;
+  /// Shared (per-socket) cache size Sc in bytes.
+  std::uint64_t shared_cache_bytes = 1;
+};
+
+/// Computes the boundary level BL of Eq. 4:
+///
+///   BL = max( ceil(log_B M + 1), ceil(log_B (Sd/Sc) + 1) )
+///
+/// realized in exact integer arithmetic as the smallest BL >= 1 with
+///   B^(BL-1) >= M            (Eq. 1: >= one leaf inter-socket task/squad)
+///   B^(BL-1) >= ceil(Sd/Sc)  (Eq. 2: leaf inter task data fits in Sc)
+///
+/// Returns 0 when sockets == 1 (Algorithm II step 2: single-socket machines
+/// degenerate to classic work-stealing, every task intra-socket).
+std::int32_t boundary_level(const PartitionParams& p);
+
+/// Number of leaf inter-socket tasks a regular B-ary D&C DAG has at the
+/// boundary level: B^(BL-1) (paper Section III-B). Returns 1 for BL <= 1.
+std::uint64_t leaf_inter_task_count(std::int32_t branching, std::int32_t bl);
+
+/// Section III-B's *third* constraint, which Eq. 4 leaves in prose: "a
+/// leaf inter-socket task should be large enough to enable a squad to
+/// have sufficient intra-socket tasks". When Eq. 4's cache constraint
+/// pushes BL to (or past) the DAG's leaf level, every squad degenerates
+/// to one worker (the paper's own BL=6 discussion under Fig. 5). This
+/// clamps `bl` so each leaf inter-socket subtree keeps at least
+/// cores_per_socket leaves — without ever violating Eq. 1 (>= one leaf
+/// inter-socket task per squad), which takes priority.
+///
+/// `leaf_level` is the DAG level of the recursion's leaf tasks.
+std::int32_t clamp_boundary_level(std::int32_t bl, std::int32_t leaf_level,
+                                  std::int32_t cores_per_socket,
+                                  std::int32_t sockets,
+                                  std::int32_t branching);
+
+/// Tier classification for a given boundary level, mirroring the modified
+/// cilk2c of Section IV-B: a spawn by a task at level < BL produces an
+/// inter-socket child, so tasks at level <= BL form the inter-socket tier
+/// and tasks at level == BL are the *leaf* inter-socket tasks.
+struct TierAssignment {
+  std::int32_t bl = 0;
+
+  /// True when a task at `level` belongs to the inter-socket tier.
+  /// With bl == 0 nothing is inter-socket (classic stealing).
+  bool is_inter(std::int32_t level) const { return bl > 0 && level <= bl; }
+  bool is_intra(std::int32_t level) const { return !is_inter(level); }
+  bool is_leaf_inter(std::int32_t level) const {
+    return bl > 0 && level == bl;
+  }
+  /// Policy choice of Section III-C: parent-first while expanding the
+  /// inter-socket tier, child-first inside a squad.
+  bool spawns_inter_child(std::int32_t parent_level) const {
+    return bl > 0 && parent_level < bl;
+  }
+
+  std::string describe() const;
+};
+
+}  // namespace cab::dag

@@ -1,0 +1,114 @@
+#include "dag/task_graph.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace cab::dag {
+
+NodeId TaskGraph::add_root(std::uint64_t pre_work, std::uint64_t post_work) {
+  CAB_CHECK(nodes_.empty(), "root must be the first node");
+  Node n;
+  n.pre_work = pre_work;
+  n.post_work = post_work;
+  nodes_.push_back(std::move(n));
+  return 0;
+}
+
+NodeId TaskGraph::add_child(NodeId parent, std::uint64_t pre_work,
+                            std::uint64_t post_work) {
+  CAB_CHECK(parent >= 0 && static_cast<std::size_t>(parent) < nodes_.size(),
+            "parent id out of range");
+  Node n;
+  n.parent = parent;
+  n.level = nodes_[static_cast<std::size_t>(parent)].level + 1;
+  n.pre_work = pre_work;
+  n.post_work = post_work;
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::move(n));
+  nodes_[static_cast<std::size_t>(parent)].children.push_back(id);
+  return id;
+}
+
+void TaskGraph::set_traces(NodeId n, std::int32_t pre_trace,
+                           std::int32_t post_trace) {
+  CAB_CHECK(n >= 0 && static_cast<std::size_t>(n) < nodes_.size(),
+            "node id out of range");
+  nodes_[static_cast<std::size_t>(n)].pre_trace = pre_trace;
+  nodes_[static_cast<std::size_t>(n)].post_trace = post_trace;
+}
+
+void TaskGraph::set_sequential(NodeId n, bool sequential) {
+  CAB_CHECK(n >= 0 && static_cast<std::size_t>(n) < nodes_.size(),
+            "node id out of range");
+  nodes_[static_cast<std::size_t>(n)].sequential = sequential;
+}
+
+std::uint64_t TaskGraph::total_work() const {
+  std::uint64_t sum = 0;
+  for (const Node& n : nodes_) sum += n.pre_work + n.post_work;
+  return sum;
+}
+
+std::uint64_t TaskGraph::critical_path() const {
+  if (nodes_.empty()) return 0;
+  // Children have larger ids than parents, so a reverse id sweep is a
+  // bottom-up (post-order-compatible) traversal with no recursion.
+  std::vector<std::uint64_t> span(nodes_.size(), 0);
+  for (std::size_t i = nodes_.size(); i-- > 0;) {
+    const Node& n = nodes_[i];
+    std::uint64_t child_part = 0;
+    if (n.sequential) {
+      for (NodeId c : n.children)
+        child_part += span[static_cast<std::size_t>(c)];
+    } else {
+      for (NodeId c : n.children)
+        child_part = std::max(child_part, span[static_cast<std::size_t>(c)]);
+    }
+    span[i] = n.pre_work + child_part + n.post_work;
+  }
+  return span[0];
+}
+
+std::int32_t TaskGraph::max_level() const {
+  std::int32_t m = 0;
+  for (const Node& n : nodes_) m = std::max(m, n.level);
+  return m;
+}
+
+std::int32_t TaskGraph::branching_degree() const {
+  std::size_t b = 0;
+  for (const Node& n : nodes_) b = std::max(b, n.children.size());
+  return static_cast<std::int32_t>(b);
+}
+
+std::vector<NodeId> TaskGraph::nodes_at_level(std::int32_t level) const {
+  std::vector<NodeId> out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    if (nodes_[i].level == level) out.push_back(static_cast<NodeId>(i));
+  return out;
+}
+
+std::size_t TaskGraph::count_at_level(std::int32_t level) const {
+  std::size_t c = 0;
+  for (const Node& n : nodes_)
+    if (n.level == level) ++c;
+  return c;
+}
+
+bool TaskGraph::validate() const {
+  if (nodes_.empty()) return true;
+  if (nodes_[0].parent != kNoNode || nodes_[0].level != 0) return false;
+  for (std::size_t i = 1; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (n.parent < 0 || static_cast<std::size_t>(n.parent) >= i) return false;
+    const Node& p = nodes_[static_cast<std::size_t>(n.parent)];
+    if (n.level != p.level + 1) return false;
+    if (std::find(p.children.begin(), p.children.end(),
+                  static_cast<NodeId>(i)) == p.children.end())
+      return false;
+  }
+  return true;
+}
+
+}  // namespace cab::dag

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cab::dag {
+
+/// Node identifier inside a TaskGraph. Nodes are created parent-before-child
+/// so ids are a topological order.
+using NodeId = std::int32_t;
+inline constexpr NodeId kNoNode = -1;
+
+/// Execution DAG of a fork-join program (Section I / III-E of the paper).
+///
+/// The graph is a *spawn tree* with fork-join (series-parallel) semantics:
+/// a task runs its `pre` part, spawns its children, syncs, then runs its
+/// `post` part (e.g. the merge step of mergesort). This is exactly the
+/// class of DAGs Cilk-style spawn/sync can express and the class the
+/// paper's model (Eq. 5-15) reasons about.
+///
+/// `level` follows the paper's numbering: the task executing `main` is the
+/// only node at level 0; a task spawned by a level-i task is at level i+1.
+///
+/// Work is in abstract units (the simulator's cost model converts units to
+/// virtual cycles). `pre_trace` / `post_trace` are opaque handles into an
+/// application-owned trace store describing the memory touched by each
+/// part; kNoNode-like -1 means "touches nothing".
+class TaskGraph {
+ public:
+  struct Node {
+    NodeId parent = kNoNode;
+    std::int32_t level = 0;
+    std::uint64_t pre_work = 0;
+    std::uint64_t post_work = 0;
+    std::int32_t pre_trace = -1;
+    std::int32_t post_trace = -1;
+    /// When true the children are *phases*: child i+1 may only start after
+    /// child i's subtree completed (a `for { spawn...; sync; }` loop, e.g.
+    /// heat's timesteps or GE's pivot steps). When false (default) all
+    /// children run in parallel between one spawn burst and one sync.
+    bool sequential = false;
+    std::vector<NodeId> children;
+  };
+
+  /// Creates the level-0 "main" node. Must be called exactly once, first.
+  NodeId add_root(std::uint64_t pre_work, std::uint64_t post_work = 0);
+
+  /// Adds a child of `parent` (level = parent's level + 1).
+  NodeId add_child(NodeId parent, std::uint64_t pre_work,
+                   std::uint64_t post_work = 0);
+
+  void set_traces(NodeId n, std::int32_t pre_trace, std::int32_t post_trace);
+  void set_sequential(NodeId n, bool sequential);
+
+  const Node& node(NodeId n) const {
+    return nodes_[static_cast<std::size_t>(n)];
+  }
+  NodeId root() const { return 0; }
+  std::size_t size() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+
+  /// T1: total work of all nodes (pre + post), Eq. 5's left-hand side.
+  std::uint64_t total_work() const;
+
+  /// T-infinity: longest pre->child->post chain from root, fork-join span.
+  std::uint64_t critical_path() const;
+
+  /// Deepest level present in the graph.
+  std::int32_t max_level() const;
+
+  /// Maximum number of children spawned by any single node — the `B` of
+  /// the partitioning model when the graph is a regular D&C tree.
+  std::int32_t branching_degree() const;
+
+  std::vector<NodeId> nodes_at_level(std::int32_t level) const;
+  std::size_t count_at_level(std::int32_t level) const;
+
+  /// Structural invariants: ids topologically ordered, levels consistent
+  /// with parents, children lists match parent pointers.
+  bool validate() const;
+
+ private:
+  std::vector<Node> nodes_;
+};
+
+}  // namespace cab::dag

@@ -1,0 +1,140 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/cache_line.hpp"
+
+namespace cab::deque {
+
+/// Lock-free work-stealing deque of pointers, after Chase & Lev, "Dynamic
+/// Circular Work-Stealing Deque" (SPAA 2005), with the C11 memory-order
+/// treatment of Lê et al. (PPoPP 2013).
+///
+/// Single owner thread calls push_bottom / pop_bottom; any number of thief
+/// threads call steal_top. The backing ring grows on demand; retired rings
+/// are kept alive until destruction, which makes concurrent readers of an
+/// old ring safe without a reclamation scheme (memory cost is at most 2x
+/// the high-water mark).
+///
+/// This is the intra-socket task pool of the CAB runtime (Fig. 3) and the
+/// per-worker pool of the classic work-stealing baseline.
+template <typename T>
+class ChaseLevDeque {
+  static_assert(std::is_pointer_v<T>, "stores raw pointers to task frames");
+
+ public:
+  explicit ChaseLevDeque(std::size_t initial_capacity = 64)
+      : top_(0), bottom_(0) {
+    rings_.push_back(std::make_unique<Ring>(round_up_pow2(initial_capacity)));
+    ring_.store(rings_.back().get(), std::memory_order_relaxed);
+  }
+
+  ChaseLevDeque(const ChaseLevDeque&) = delete;
+  ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
+
+  /// Owner only. Pushes onto the bottom (LIFO end).
+  void push_bottom(T item) {
+    std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    Ring* r = ring_.load(std::memory_order_relaxed);
+    if (b - t > static_cast<std::int64_t>(r->capacity) - 1) {
+      r = grow(r, t, b);
+    }
+    r->put(b, item);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  /// Owner only. Pops from the bottom (LIFO). Returns nullptr when empty.
+  T pop_bottom() {
+    std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Ring* r = ring_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t > b) {
+      // Deque was empty; restore.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    T item = r->get(b);
+    if (t == b) {
+      // Last element: race against thieves via CAS on top.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        item = nullptr;  // a thief won
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return item;
+  }
+
+  /// Thieves (any thread). Steals from the top (FIFO end). Returns nullptr
+  /// when empty or when the steal raced and lost.
+  T steal_top() {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return nullptr;
+    Ring* r = ring_.load(std::memory_order_consume);
+    T item = r->get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return nullptr;  // lost the race
+    }
+    return item;
+  }
+
+  /// Racy size estimate, for victim-selection heuristics and stats only.
+  std::size_t size_estimate() const {
+    std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+  bool empty_estimate() const { return size_estimate() == 0; }
+
+ private:
+  struct Ring {
+    explicit Ring(std::size_t cap) : capacity(cap), mask(cap - 1), slots(cap) {
+      for (auto& s : slots) s.store(nullptr, std::memory_order_relaxed);
+    }
+    T get(std::int64_t i) const {
+      return slots[static_cast<std::size_t>(i) & mask].load(
+          std::memory_order_relaxed);
+    }
+    void put(std::int64_t i, T v) {
+      slots[static_cast<std::size_t>(i) & mask].store(
+          v, std::memory_order_relaxed);
+    }
+    const std::size_t capacity;
+    const std::size_t mask;
+    std::vector<std::atomic<T>> slots;
+  };
+
+  static std::size_t round_up_pow2(std::size_t v) {
+    std::size_t p = 1;
+    while (p < v) p <<= 1;
+    return p < 8 ? 8 : p;
+  }
+
+  Ring* grow(Ring* old, std::int64_t t, std::int64_t b) {
+    auto bigger = std::make_unique<Ring>(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
+    Ring* raw = bigger.get();
+    rings_.push_back(std::move(bigger));  // owner-only; old ring stays alive
+    ring_.store(raw, std::memory_order_release);
+    return raw;
+  }
+
+  alignas(util::kCacheLineSize) std::atomic<std::int64_t> top_;
+  alignas(util::kCacheLineSize) std::atomic<std::int64_t> bottom_;
+  alignas(util::kCacheLineSize) std::atomic<Ring*> ring_;
+  std::vector<std::unique_ptr<Ring>> rings_;  // owner-mutated only
+};
+
+}  // namespace cab::deque

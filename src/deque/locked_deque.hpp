@@ -1,0 +1,63 @@
+#pragma once
+
+#include <deque>
+#include <mutex>
+
+#include "util/spin_lock.hpp"
+
+namespace cab::deque {
+
+/// Mutex-guarded double-ended queue.
+///
+/// Two uses in this codebase:
+///  - the per-squad *inter-socket task pool* (paper Fig. 3): the owning
+///    squad obtains tasks from the bottom, thief squads steal from the top;
+///    traffic is throttled to head workers so a lock is cheap and keeps the
+///    implementation obviously correct;
+///  - the central pool of the *task-sharing* baseline (Section II), where
+///    lock contention is the point being measured.
+template <typename T>
+class LockedDeque {
+ public:
+  LockedDeque() = default;
+  LockedDeque(const LockedDeque&) = delete;
+  LockedDeque& operator=(const LockedDeque&) = delete;
+
+  void push_bottom(T item) {
+    std::lock_guard<util::SpinLock> g(lock_);
+    items_.push_back(item);
+  }
+
+  /// Owner end (LIFO relative to push_bottom). Returns nullptr when empty.
+  T pop_bottom() {
+    std::lock_guard<util::SpinLock> g(lock_);
+    if (items_.empty()) return nullptr;
+    T item = items_.back();
+    items_.pop_back();
+    return item;
+  }
+
+  /// Thief end (oldest task — for the inter tier this is the task closest
+  /// to the DAG root, i.e. the largest subtree, which is what parent-first
+  /// expansion wants distributed first). Returns nullptr when empty.
+  T steal_top() {
+    std::lock_guard<util::SpinLock> g(lock_);
+    if (items_.empty()) return nullptr;
+    T item = items_.front();
+    items_.pop_front();
+    return item;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<util::SpinLock> g(lock_);
+    return items_.size();
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  mutable util::SpinLock lock_;
+  std::deque<T> items_;
+};
+
+}  // namespace cab::deque

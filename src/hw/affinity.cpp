@@ -1,0 +1,30 @@
+#include "hw/affinity.hpp"
+
+#include <pthread.h>
+#include <sched.h>
+
+#include <thread>
+
+namespace cab::hw {
+
+int online_cpus() {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+    int n = CPU_COUNT(&set);
+    if (n > 0) return n;
+  }
+  int hc = static_cast<int>(std::thread::hardware_concurrency());
+  return hc > 0 ? hc : 1;
+}
+
+bool bind_current_thread(int cpu) {
+  int n = online_cpus();
+  if (n <= 0) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(cpu % n), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+}
+
+}  // namespace cab::hw

@@ -1,0 +1,15 @@
+#pragma once
+
+namespace cab::hw {
+
+/// Pin the calling thread to the given logical CPU. Returns true on
+/// success. When the requested CPU does not exist on the physical host
+/// (virtual topology wider than the machine), the binding wraps modulo the
+/// number of online CPUs so workers of the same virtual socket still land
+/// near each other.
+bool bind_current_thread(int cpu);
+
+/// Number of CPUs the calling process may run on (affinity mask size).
+int online_cpus();
+
+}  // namespace cab::hw

@@ -1,0 +1,159 @@
+#include "hw/sysfs_topology.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <set>
+
+namespace cab::hw {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::string s;
+  if (in) std::getline(in, s);
+  while (!s.empty() && (s.back() == '\n' || s.back() == '\r' || s.back() == ' '))
+    s.pop_back();
+  return s;
+}
+
+bool is_number(const std::string& s) {
+  return !s.empty() &&
+         std::all_of(s.begin(), s.end(),
+                     [](unsigned char c) { return std::isdigit(c); });
+}
+
+}  // namespace
+
+std::vector<int> parse_cpulist(const std::string& s) {
+  std::vector<int> cpus;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    std::size_t j = i;
+    while (j < s.size() && s[j] != ',') ++j;
+    const std::string item = s.substr(i, j - i);
+    const std::size_t dash = item.find('-');
+    if (dash == std::string::npos) {
+      if (!is_number(item)) return {};
+      cpus.push_back(std::stoi(item));
+    } else {
+      const std::string lo = item.substr(0, dash);
+      const std::string hi = item.substr(dash + 1);
+      if (!is_number(lo) || !is_number(hi)) return {};
+      const int a = std::stoi(lo), b = std::stoi(hi);
+      if (b < a) return {};
+      for (int c = a; c <= b; ++c) cpus.push_back(c);
+    }
+    i = j + 1;
+  }
+  return cpus;
+}
+
+std::uint64_t parse_cache_size(const std::string& s) {
+  if (s.empty()) return 0;
+  std::size_t i = 0;
+  while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) ++i;
+  if (i == 0) return 0;
+  const std::uint64_t v = std::stoull(s.substr(0, i));
+  if (i == s.size()) return v;
+  switch (s[i]) {
+    case 'K': case 'k': return v << 10;
+    case 'M': case 'm': return v << 20;
+    case 'G': case 'g': return v << 30;
+    default: return 0;
+  }
+}
+
+bool detect_from_sysfs(const std::string& root, Topology* out,
+                       std::string* notes) {
+  // Enumerate cpuN while topology files exist.
+  struct CacheInfo {
+    int level = 0;
+    std::uint64_t size = 0;
+    std::uint32_t line = 64;
+    std::uint32_t ways = 8;
+    std::size_t sharers = 1;
+  };
+  std::map<int, int> package_of;  // cpu -> package
+  std::vector<std::vector<CacheInfo>> caches_by_cpu;
+
+  for (int cpu = 0;; ++cpu) {
+    const std::string base = root + "/cpu" + std::to_string(cpu);
+    const std::string pkg =
+        read_file(base + "/topology/physical_package_id");
+    if (pkg.empty() || !is_number(pkg)) break;
+    package_of[cpu] = std::stoi(pkg);
+
+    std::vector<CacheInfo> caches;
+    for (int idx = 0; idx < 8; ++idx) {
+      const std::string cbase = base + "/cache/index" + std::to_string(idx);
+      const std::string level = read_file(cbase + "/level");
+      if (level.empty()) break;
+      const std::string type = read_file(cbase + "/type");
+      if (type == "Instruction") continue;  // model data/unified only
+      CacheInfo ci;
+      ci.level = is_number(level) ? std::stoi(level) : 0;
+      ci.size = parse_cache_size(read_file(cbase + "/size"));
+      const std::string line = read_file(cbase + "/coherency_line_size");
+      if (is_number(line)) ci.line = static_cast<std::uint32_t>(std::stoi(line));
+      const std::string ways = read_file(cbase + "/ways_of_associativity");
+      if (is_number(ways)) ci.ways = static_cast<std::uint32_t>(std::stoi(ways));
+      const std::vector<int> sharers =
+          parse_cpulist(read_file(cbase + "/shared_cpu_list"));
+      ci.sharers = sharers.empty() ? 1 : sharers.size();
+      if (ci.level > 0 && ci.size > 0) caches.push_back(ci);
+    }
+    caches_by_cpu.push_back(std::move(caches));
+  }
+
+  if (package_of.empty()) return false;
+
+  std::set<int> packages;
+  for (const auto& [cpu, pkg] : package_of) packages.insert(pkg);
+  const int sockets = static_cast<int>(packages.size());
+  const int cpus = static_cast<int>(package_of.size());
+  if (cpus % sockets != 0) return false;  // asymmetric: bail out
+  const int per_socket = cpus / sockets;
+
+  // From cpu0's caches: the model's private L2 is the largest level<=2
+  // data/unified cache; the shared L3 is the largest level>=3 one (the
+  // sysfs `level` field is authoritative — sharer counts are ambiguous
+  // for small sockets and SMT siblings).
+  CacheInfo l2{2, 512ull << 10, 64, 16, 1};
+  CacheInfo l3{3, 6ull << 20, 64, 48, static_cast<std::size_t>(per_socket)};
+  bool have_l2 = false, have_l3 = false;
+  for (const CacheInfo& ci : caches_by_cpu.front()) {
+    if (ci.level <= 2) {
+      if (!have_l2 || ci.size > l2.size) {
+        l2 = ci;
+        have_l2 = true;
+      }
+    } else {
+      if (!have_l3 || ci.size > l3.size) {
+        l3 = ci;
+        have_l3 = true;
+      }
+    }
+  }
+
+  auto legalize = [](CacheInfo ci) {
+    CacheSpec spec{ci.size, ci.line, ci.ways};
+    while (spec.associativity > 1 &&
+           spec.size_bytes % (static_cast<std::uint64_t>(spec.line_bytes) *
+                              spec.associativity) != 0) {
+      --spec.associativity;
+    }
+    return spec;
+  };
+
+  *out = Topology(sockets, per_socket, legalize(l2), legalize(l3));
+  if (notes != nullptr) {
+    *notes = std::to_string(cpus) + " cpus in " + std::to_string(sockets) +
+             " packages; L2 " + (have_l2 ? "detected" : "defaulted") +
+             ", L3 " + (have_l3 ? "detected" : "defaulted");
+  }
+  return true;
+}
+
+}  // namespace cab::hw

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/topology.hpp"
+
+namespace cab::hw {
+
+/// Parses a Linux cpulist string ("0-3,8,10-11") into CPU ids.
+/// Returns an empty vector on malformed input.
+std::vector<int> parse_cpulist(const std::string& s);
+
+/// Parses a sysfs cache-size string ("512K", "6144K", "8M") into bytes;
+/// 0 on malformed input.
+std::uint64_t parse_cache_size(const std::string& s);
+
+/// Detailed topology detection from a sysfs-style directory tree
+/// (`root` defaults to /sys/devices/system/cpu). Reads, per cpuN:
+///   topology/physical_package_id
+///   cache/indexK/{level,type,size,shared_cpu_list,ways_of_associativity,
+///                 coherency_line_size}
+/// and derives: socket count, cores per socket (requires a symmetric
+/// machine — falls back otherwise), the largest *private* cache as the
+/// model's L2 and the largest *shared* cache as the L3.
+///
+/// Returns true and fills `out` on success; false when the tree is
+/// missing/asymmetric (caller falls back to Topology::detect()'s
+/// defaults). `notes` (optional) receives a human-readable description
+/// of what was found.
+bool detect_from_sysfs(const std::string& root, Topology* out,
+                       std::string* notes = nullptr);
+
+}  // namespace cab::hw

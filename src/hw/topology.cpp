@@ -1,0 +1,68 @@
+#include "hw/topology.hpp"
+
+#include <fstream>
+
+#include "hw/sysfs_topology.hpp"
+#include <set>
+#include <thread>
+
+#include "util/assert.hpp"
+#include "util/format.hpp"
+
+namespace cab::hw {
+
+Topology::Topology(int sockets, int cores_per_socket, CacheSpec l2_per_core,
+                   CacheSpec l3_per_socket)
+    : sockets_(sockets),
+      cores_per_socket_(cores_per_socket),
+      l2_(l2_per_core),
+      l3_(l3_per_socket) {
+  CAB_CHECK(sockets >= 1, "topology needs at least one socket");
+  CAB_CHECK(cores_per_socket >= 1, "topology needs at least one core/socket");
+  CAB_CHECK(l2_.size_bytes % (static_cast<std::uint64_t>(l2_.line_bytes) *
+                              l2_.associativity) == 0,
+            "L2 size must be line*assoc aligned");
+  CAB_CHECK(l3_.size_bytes % (static_cast<std::uint64_t>(l3_.line_bytes) *
+                              l3_.associativity) == 0,
+            "L3 size must be line*assoc aligned");
+}
+
+Topology Topology::synthetic(int sockets, int cores_per_socket,
+                             std::uint64_t l3_bytes, std::uint64_t l2_bytes) {
+  CacheSpec l2{l2_bytes, 64, 16};
+  CacheSpec l3{l3_bytes, 64, 48};
+  // Keep the set count integral for unusual sizes by relaxing associativity.
+  while (l2.size_bytes % (static_cast<std::uint64_t>(l2.line_bytes) *
+                          l2.associativity) != 0) {
+    l2.associativity /= 2;
+    CAB_CHECK(l2.associativity >= 1, "unrepresentable L2 size");
+  }
+  while (l3.size_bytes % (static_cast<std::uint64_t>(l3.line_bytes) *
+                          l3.associativity) != 0) {
+    l3.associativity -= 1;
+    CAB_CHECK(l3.associativity >= 1, "unrepresentable L3 size");
+  }
+  return Topology(sockets, cores_per_socket, l2, l3);
+}
+
+Topology Topology::opteron_8380() { return synthetic(4, 4); }
+
+Topology Topology::detect() {
+  Topology detected = synthetic(1, 1);
+  if (detect_from_sysfs("/sys/devices/system/cpu", &detected))
+    return detected;
+  // No usable sysfs tree (containers, non-Linux): single socket with
+  // hardware_concurrency cores and Opteron-like default caches.
+  int cpus = static_cast<int>(std::thread::hardware_concurrency());
+  if (cpus <= 0) cpus = 1;
+  return synthetic(1, cpus);
+}
+
+std::string Topology::describe() const {
+  return std::to_string(sockets_) + " sockets x " +
+         std::to_string(cores_per_socket_) + " cores, L2 " +
+         util::human_bytes(l2_.size_bytes) + "/core, L3 " +
+         util::human_bytes(l3_.size_bytes) + "/socket";
+}
+
+}  // namespace cab::hw

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cab::hw {
+
+/// Geometry of one cache level.
+struct CacheSpec {
+  std::uint64_t size_bytes = 0;
+  std::uint32_t line_bytes = 64;
+  std::uint32_t associativity = 8;
+
+  /// Number of sets; size must be divisible by line * associativity.
+  std::uint64_t sets() const {
+    return size_bytes / (static_cast<std::uint64_t>(line_bytes) * associativity);
+  }
+};
+
+/// A multi-socket multi-core (MSMC) machine model: M sockets x N cores, a
+/// private L2 per core and a shared L3 per socket — the architecture the
+/// paper targets (Section I, Section V).
+///
+/// The topology can be *virtual*: the CAB protocol only depends on the
+/// declared socket/core structure, so schedulers and simulators accept any
+/// Topology regardless of the physical host. `detect()` builds a model of
+/// the actual machine from sysfs when available.
+class Topology {
+ public:
+  /// Construct an M-socket, N-cores-per-socket topology.
+  Topology(int sockets, int cores_per_socket, CacheSpec l2_per_core,
+           CacheSpec l3_per_socket);
+
+  /// Arbitrary virtual topology with Opteron-like cache geometry scaled by
+  /// the given L3 size (paper Sec. V: 512 KiB 16-way L2, 6 MiB 48-way L3).
+  static Topology synthetic(int sockets, int cores_per_socket,
+                            std::uint64_t l3_bytes = 6ull << 20,
+                            std::uint64_t l2_bytes = 512ull << 10);
+
+  /// The paper's evaluation machine: 4 sockets x 4 cores (AMD Opteron 8380
+  /// "Shanghai"), 512 KiB per-core L2, 6 MiB per-socket shared L3.
+  static Topology opteron_8380();
+
+  /// Best-effort detection of the physical host via
+  /// /sys/devices/system/cpu; falls back to a single-socket topology with
+  /// hardware_concurrency cores and default cache sizes.
+  static Topology detect();
+
+  int sockets() const { return sockets_; }
+  int cores_per_socket() const { return cores_per_socket_; }
+  int total_cores() const { return sockets_ * cores_per_socket_; }
+
+  /// Cores are numbered 0..total-1, socket-major: core c lives in socket
+  /// c / cores_per_socket.
+  int socket_of(int core) const { return core / cores_per_socket_; }
+  /// First core of a socket (the squad head's core in the runtime).
+  int first_core_of(int socket) const { return socket * cores_per_socket_; }
+
+  const CacheSpec& l2() const { return l2_; }
+  const CacheSpec& l3() const { return l3_; }
+
+  /// Shared cache size per socket (the `Sc` of Eq. 2/4).
+  std::uint64_t shared_cache_bytes() const { return l3_.size_bytes; }
+
+  /// "4 sockets x 4 cores, L2 512.0 KiB/core, L3 6.0 MiB/socket"
+  std::string describe() const;
+
+ private:
+  int sockets_;
+  int cores_per_socket_;
+  CacheSpec l2_;
+  CacheSpec l3_;
+};
+
+}  // namespace cab::hw

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstdint>
+
+#include "dag/task_graph.hpp"
+#include "runtime/runtime.hpp"
+
+namespace cab::runtime {
+
+/// Executes an explicit dag::TaskGraph on the threaded runtime: every
+/// node becomes a real task burning ~`work x work_scale` arithmetic
+/// operations (pre before spawning children, post after their sync);
+/// `sequential` nodes run their children as consecutive phases, exactly
+/// like the simulator's model. This is the bridge between the two
+/// engines: a workload bundle captured for the simulator replays on real
+/// threads (cab_explore --real), and protocol invariants can be audited
+/// on both sides of the same DAG.
+///
+/// Returns the number of nodes executed (== g.size() on success).
+std::size_t run_graph(Runtime& rt, const dag::TaskGraph& g,
+                      double work_scale = 1.0);
+
+}  // namespace cab::runtime

@@ -1,0 +1,222 @@
+#include "runtime/runtime.hpp"
+
+#include "util/assert.hpp"
+
+namespace cab::runtime {
+
+extern thread_local Worker* tls_worker;  // defined in worker.cpp
+
+std::int32_t auto_boundary_level(const hw::Topology& topo,
+                                 std::uint64_t input_bytes,
+                                 std::int32_t branching) {
+  dag::PartitionParams p;
+  p.branching = branching;
+  p.sockets = topo.sockets();
+  p.input_bytes = input_bytes;
+  p.shared_cache_bytes = topo.shared_cache_bytes();
+  return dag::boundary_level(p);
+}
+
+Runtime::Runtime(Options opts) : opts_(opts), engine_(new Engine(opts.topo)) {
+  Engine& e = *engine_;
+  e.kind = opts.kind;
+  e.tier.bl = opts.boundary_level;
+  e.pin_threads = opts.pin_threads;
+  e.record_events = opts.record_events;
+  CAB_CHECK(opts.boundary_level >= 0, "boundary level must be >= 0");
+
+  const int m = e.topo.sockets();
+  const int n = e.topo.cores_per_socket();
+
+  e.squads.reserve(static_cast<std::size_t>(m));
+  for (int s = 0; s < m; ++s) {
+    auto sq = std::make_unique<Squad>();
+    sq->id = s;
+    sq->first_worker = s * n;
+    sq->head_worker = s * n;  // smallest id in the squad (Section IV-C)
+    sq->worker_count = n;
+    e.squads.push_back(std::move(sq));
+  }
+
+  std::uint64_t seed_state = opts.seed;
+  e.workers.reserve(static_cast<std::size_t>(m * n));
+  for (int w = 0; w < m * n; ++w) {
+    auto worker = std::make_unique<Worker>();
+    worker->id = w;
+    worker->core = w;  // worker id == core id (Section IV-C)
+    worker->squad = e.squads[static_cast<std::size_t>(e.topo.socket_of(w))].get();
+    worker->is_head = (w == worker->squad->head_worker);
+    worker->engine = &e;
+    worker->rng = util::Xorshift64(util::splitmix64(seed_state));
+    e.workers.push_back(std::move(worker));
+  }
+  // Threads start only after the workers vector is fully built: workers
+  // address each other through engine->workers during stealing.
+  for (auto& worker : e.workers) {
+    Worker* raw = worker.get();
+    raw->thread = std::thread([&e, raw] { e.worker_main(*raw); });
+  }
+}
+
+Runtime::~Runtime() {
+  Engine& e = *engine_;
+  {
+    std::lock_guard<std::mutex> lk(e.lifecycle_mu);
+    e.shutdown = true;
+  }
+  e.lifecycle_cv.notify_all();
+  for (auto& w : e.workers) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+void Runtime::run(std::function<void()> root) {
+  Engine& e = *engine_;
+  CAB_CHECK(tls_worker == nullptr, "run() must not be called from a task");
+  const bool root_inter =
+      e.kind == SchedulerKind::kCab && !e.cab_degenerate();
+  {
+    std::lock_guard<std::mutex> lk(e.exception_mu);
+    e.first_exception = nullptr;
+  }
+  auto* frame = new TaskFrame(std::move(root), nullptr, 0, root_inter);
+  e.frame_created();
+  e.pending.store(1, std::memory_order_release);
+  e.central_pool.push_bottom(frame);
+  {
+    std::lock_guard<std::mutex> lk(e.lifecycle_mu);
+    ++e.epoch;
+  }
+  e.lifecycle_cv.notify_all();
+
+  {
+    std::unique_lock<std::mutex> lk(e.lifecycle_mu);
+    e.done_cv.wait(lk, [&] {
+      return e.pending.load(std::memory_order_acquire) == 0;
+    });
+  }
+  std::exception_ptr thrown;
+  {
+    std::lock_guard<std::mutex> lk(e.exception_mu);
+    thrown = e.first_exception;
+  }
+  if (thrown) std::rethrow_exception(thrown);
+}
+
+namespace {
+
+void spawn_impl(std::function<void()> fn, bool force_inter) {
+  Worker* w = tls_worker;
+  CAB_CHECK(w != nullptr && w->current != nullptr,
+            "spawn() called outside a task");
+  Engine& e = *w->engine;
+  TaskFrame* parent = w->current;
+  const bool inter =
+      e.kind == SchedulerKind::kCab && !e.cab_degenerate() &&
+      (force_inter || e.tier.spawns_inter_child(parent->level));
+  auto* t = new TaskFrame(std::move(fn), parent, parent->level + 1, inter);
+  e.frame_created();
+  parent->outstanding.fetch_add(1, std::memory_order_acq_rel);
+  e.pending.fetch_add(1, std::memory_order_relaxed);
+  if (inter) {
+    // Algorithm II(a): inter-socket child goes to the spawner's squad pool
+    // (parent-first: the spawner continues with the parent).
+    ++w->stats.spawns_inter;
+    w->squad->inter_pool.push_bottom(t);
+  } else if (e.kind == SchedulerKind::kTaskSharing) {
+    ++w->stats.spawns_intra;
+    e.central_pool.push_bottom(t);
+  } else {
+    // Intra-socket child onto the worker's own deque; LIFO pops make the
+    // local execution order depth-first (the child-first policy's order).
+    parent->has_intra_children = true;
+    ++w->stats.spawns_intra;
+    w->intra.push_bottom(t);
+  }
+}
+
+}  // namespace
+
+void Runtime::spawn(std::function<void()> fn) {
+  spawn_impl(std::move(fn), /*force_inter=*/false);
+}
+
+void Runtime::spawn_inter(std::function<void()> fn) {
+  spawn_impl(std::move(fn), /*force_inter=*/true);
+}
+
+void Runtime::sync() {
+  Worker* w = tls_worker;
+  CAB_CHECK(w != nullptr && w->current != nullptr,
+            "sync() called outside a task");
+  TaskFrame* t = w->current;
+  w->release_busy_on_suspend(t);
+  while (t->outstanding.load(std::memory_order_acquire) != 0) {
+    ++w->stats.help_iterations;
+    if (!w->help_once()) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+int Runtime::current_worker() {
+  return tls_worker != nullptr ? tls_worker->id : -1;
+}
+
+int Runtime::current_squad() {
+  return tls_worker != nullptr ? tls_worker->squad->id : -1;
+}
+
+int Runtime::worker_count() const {
+  return static_cast<int>(engine_->workers.size());
+}
+
+SchedulerStats Runtime::stats() const {
+  SchedulerStats s;
+  s.per_worker.reserve(engine_->workers.size());
+  for (const auto& w : engine_->workers) {
+    s.per_worker.push_back(w->stats);
+    s.total += w->stats;
+  }
+  return s;
+}
+
+void Runtime::reset_stats() {
+  for (auto& w : engine_->workers) {
+    w->stats = WorkerStats{};
+    w->exec_log.clear();
+  }
+  engine_->peak_frames.store(0, std::memory_order_relaxed);
+}
+
+std::int64_t Runtime::peak_live_frames() const {
+  return engine_->peak_frames.load(std::memory_order_relaxed);
+}
+
+std::vector<ExecRecord> Runtime::execution_log() const {
+  std::vector<ExecRecord> merged;
+  for (const auto& w : engine_->workers)
+    merged.insert(merged.end(), w->exec_log.begin(), w->exec_log.end());
+  return merged;
+}
+
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& body) {
+  CAB_CHECK(grain >= 1, "grain must be >= 1");
+  if (begin >= end) return;
+  if (end - begin <= grain) {
+    body(begin, end);
+    return;
+  }
+  const std::int64_t mid = begin + (end - begin) / 2;
+  // `body` outlives the children: the sync below joins them before return.
+  Runtime::spawn([begin, mid, grain, &body] {
+    parallel_for(begin, mid, grain, body);
+  });
+  Runtime::spawn([mid, end, grain, &body] {
+    parallel_for(mid, end, grain, body);
+  });
+  Runtime::sync();
+}
+
+}  // namespace cab::runtime

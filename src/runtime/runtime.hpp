@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "dag/partition.hpp"
+#include "hw/topology.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/stats.hpp"
+
+namespace cab::runtime {
+
+/// Runtime construction options.
+struct Options {
+  /// Machine model; may be virtual (more sockets/cores than the host).
+  hw::Topology topo = hw::Topology::detect();
+
+  SchedulerKind kind = SchedulerKind::kCab;
+
+  /// Boundary level BL for kCab. 0 degenerates to classic work-stealing
+  /// (what the paper does for CPU-bound programs and single-socket hosts).
+  /// Compute it with dag::boundary_level(...) or auto_boundary_level(...).
+  std::int32_t boundary_level = 0;
+
+  /// Seed for all victim-selection RNGs (expanded per worker).
+  std::uint64_t seed = 1;
+
+  /// Pin worker threads to cores (wraps modulo physical CPUs when the
+  /// virtual topology is wider than the host).
+  bool pin_threads = false;
+
+  /// Record one ExecRecord per executed task (protocol auditing; adds a
+  /// per-task vector push on the hot path — testing/diagnostics only).
+  bool record_events = false;
+};
+
+/// Convenience wrapper over Eq. 4: BL from topology + program parameters
+/// (the two command-line inputs of the paper's semi-automatic method).
+std::int32_t auto_boundary_level(const hw::Topology& topo,
+                                 std::uint64_t input_bytes,
+                                 std::int32_t branching = 2);
+
+/// The CAB task-stealing runtime (plus the two baseline schedulers).
+///
+/// Usage:
+///   Runtime rt(opts);
+///   rt.run([&] {
+///     Runtime::spawn([&] { left(); });
+///     Runtime::spawn([&] { right(); });
+///     Runtime::sync();
+///   });
+///
+/// spawn/sync may only be called from inside a task. Every task gets an
+/// implicit sync before it completes, so forgetting sync() is safe (Cilk
+/// semantics); explicit sync() lets a task consume child results mid-body.
+class Runtime {
+ public:
+  explicit Runtime(Options opts);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Executes `root` as the level-0 task and blocks until the whole DAG
+  /// has completed. May be called repeatedly (sequentially).
+  void run(std::function<void()> root);
+
+  /// Spawns a child of the current task. Tier (inter/intra-socket) and
+  /// destination pool are chosen per Algorithm II(a).
+  static void spawn(std::function<void()> fn);
+
+  /// The paper's `inter_spawn` keyword (Section IV-D): explicitly spawns
+  /// the child as an inter-socket task regardless of its DAG level,
+  /// letting programmers hand-tune task placement. Under the baseline
+  /// schedulers (no inter-socket tier) this is an ordinary spawn.
+  static void spawn_inter(std::function<void()> fn);
+
+  /// Waits for all children of the current task, executing other tasks
+  /// while waiting (help-first sync).
+  static void sync();
+
+  /// Worker id executing the caller, or -1 outside any task.
+  static int current_worker();
+  /// Squad (socket) id of the calling worker, or -1 outside any task.
+  static int current_squad();
+
+  const Options& options() const { return opts_; }
+  int worker_count() const;
+
+  /// Aggregated counters from the most recent run()s (cleared on demand).
+  SchedulerStats stats() const;
+  void reset_stats();
+
+  /// Merged per-worker execution logs (empty unless record_events). Order
+  /// within a worker is execution order; across workers it is
+  /// concatenation by worker id.
+  std::vector<ExecRecord> execution_log() const;
+
+  /// High-water mark of simultaneously live task frames across all runs
+  /// since construction / reset_stats() — the measured left-hand side of
+  /// the paper's Eq. 15 space bound.
+  std::int64_t peak_live_frames() const;
+
+ private:
+  Options opts_;
+  std::unique_ptr<Engine> engine_;
+};
+
+/// Recursive binary-splitting parallel loop over [begin, end) built on
+/// spawn/sync; `grain` bounds the leaf range size. Must be called inside a
+/// task (e.g. from the root closure passed to run()).
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& body);
+
+}  // namespace cab::runtime

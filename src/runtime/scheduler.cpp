@@ -1,0 +1,28 @@
+#include "runtime/scheduler.hpp"
+
+#include "util/format.hpp"
+
+namespace cab::runtime {
+
+const char* to_string(SchedulerKind k) {
+  switch (k) {
+    case SchedulerKind::kCab: return "CAB";
+    case SchedulerKind::kRandomStealing: return "random-stealing";
+    case SchedulerKind::kTaskSharing: return "task-sharing";
+  }
+  return "?";
+}
+
+std::string SchedulerStats::summary() const {
+  std::string s;
+  s += "tasks=" + util::human_count(total.tasks_executed);
+  s += " spawns(intra/inter)=" + util::human_count(total.spawns_intra) + "/" +
+       util::human_count(total.spawns_inter);
+  s += " intra-steals=" + util::human_count(total.intra_steals);
+  s += " inter(acquire/steal)=" + util::human_count(total.inter_acquires) +
+       "/" + util::human_count(total.inter_steals);
+  s += " failed-steals=" + util::human_count(total.failed_steal_attempts);
+  return s;
+}
+
+}  // namespace cab::runtime

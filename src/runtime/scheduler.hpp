@@ -1,0 +1,176 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "deque/chase_lev_deque.hpp"
+#include "deque/locked_deque.hpp"
+#include "dag/partition.hpp"
+#include "hw/topology.hpp"
+#include "runtime/stats.hpp"
+#include "runtime/task.hpp"
+#include "util/cache_line.hpp"
+#include "util/rng.hpp"
+
+namespace cab::runtime {
+
+/// Which scheduling policy the runtime executes. The latter two are the
+/// baselines of the paper's Sections II and V ("Cilk" = classic random
+/// task-stealing; task-sharing = one central locked pool).
+enum class SchedulerKind : std::uint8_t {
+  kCab,
+  kRandomStealing,
+  kTaskSharing,
+};
+
+const char* to_string(SchedulerKind k);
+
+struct Engine;
+
+/// A squad: the group of workers affiliated with one socket (Fig. 3).
+struct Squad {
+  int id = 0;
+  int head_worker = 0;        ///< smallest worker id in the squad
+  int first_worker = 0;
+  int worker_count = 0;
+
+  /// The squad's inter-socket task pool.
+  deque::LockedDeque<TaskFrame*> inter_pool;
+
+  /// The paper's per-squad `busy_state`, generalized from a boolean to a
+  /// count so that *nested* inter-socket tasks (an inter task helping run
+  /// its own inter children while suspended at sync — see DESIGN.md) keep
+  /// it consistent. busy_state == (active_inter > 0).
+  alignas(util::kCacheLineSize) std::atomic<std::int32_t> active_inter{0};
+
+  bool busy() const {
+    return active_inter.load(std::memory_order_acquire) > 0;
+  }
+};
+
+/// One worker thread, affiliated with one (virtual) core.
+struct Worker {
+  int id = 0;
+  int core = 0;
+  Squad* squad = nullptr;
+  bool is_head = false;
+  Engine* engine = nullptr;
+
+  /// Intra-socket task pool (per-worker deque of Fig. 3); also the plain
+  /// work-stealing deque under kRandomStealing.
+  deque::ChaseLevDeque<TaskFrame*> intra;
+
+  util::Xorshift64 rng;
+  WorkerStats stats;
+
+  /// Per-worker execution log (only filled when Engine::record_events).
+  std::vector<ExecRecord> exec_log;
+
+  /// Innermost task this worker is currently executing (nullptr if idle).
+  TaskFrame* current = nullptr;
+
+  std::thread thread;
+
+  /// Runs `t` to completion: body, implicit sync (helping while waiting),
+  /// then joins the parent and releases the squad busy-state if needed.
+  void execute(TaskFrame* t);
+
+  /// One attempt to find and run a task while blocked in a sync.
+  /// Returns true if a task was executed.
+  bool help_once();
+
+  /// Releases the squad busy-state when a non-leaf inter-socket task
+  /// suspends at its sync (leaf inter-socket tasks hold it to completion).
+  void release_busy_on_suspend(TaskFrame* t);
+
+  /// One attempt to acquire a task as a *free* worker (Algorithm I).
+  /// Returns nullptr when nothing was found (caller backs off).
+  TaskFrame* acquire();
+
+ private:
+  TaskFrame* acquire_cab();
+  TaskFrame* acquire_random();
+  TaskFrame* acquire_sharing();
+  TaskFrame* steal_intra_in_squad();
+  TaskFrame* steal_intra_global();
+  TaskFrame* steal_inter_from_other_squads();
+  TaskFrame* take_inter_from_own_squad();
+
+  void finish(TaskFrame* t);
+};
+
+/// Shared scheduler state: all workers, all squads, the policy, and the
+/// run lifecycle. Owned by Runtime via unique_ptr (stable address —
+/// workers keep raw pointers).
+struct Engine {
+  explicit Engine(const hw::Topology& t) : topo(t) {}
+
+  hw::Topology topo;
+  SchedulerKind kind = SchedulerKind::kCab;
+  dag::TierAssignment tier;  ///< tier.bl == 0 => classic behaviour
+  bool pin_threads = false;
+  bool record_events = false;
+
+  std::vector<std::unique_ptr<Worker>> workers;
+  std::vector<std::unique_ptr<Squad>> squads;
+
+  /// Central pool for kTaskSharing, and the injection queue every policy
+  /// uses for the root task (the main thread may not touch worker deques).
+  deque::LockedDeque<TaskFrame*> central_pool;
+
+  /// Tasks spawned but not yet completed, across the whole run.
+  alignas(util::kCacheLineSize) std::atomic<std::int64_t> pending{0};
+
+  /// Live task frames and their high-water mark — the measured quantity
+  /// behind the paper's Eq. 15 space bound (frames, not bytes).
+  alignas(util::kCacheLineSize) std::atomic<std::int64_t> live_frames{0};
+  std::atomic<std::int64_t> peak_frames{0};
+
+  void frame_created() {
+    const std::int64_t cur =
+        live_frames.fetch_add(1, std::memory_order_relaxed) + 1;
+    std::int64_t p = peak_frames.load(std::memory_order_relaxed);
+    while (cur > p && !peak_frames.compare_exchange_weak(
+                          p, cur, std::memory_order_relaxed)) {
+    }
+  }
+  void frame_destroyed() {
+    live_frames.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  /// First exception thrown by any task body this run; rethrown by
+  /// Runtime::run() after the DAG has drained. Later exceptions are
+  /// dropped (the run still completes every queued task).
+  std::mutex exception_mu;
+  std::exception_ptr first_exception;
+
+  void capture_exception(std::exception_ptr e) {
+    std::lock_guard<std::mutex> lk(exception_mu);
+    if (!first_exception) first_exception = std::move(e);
+  }
+
+  /// Run lifecycle: workers park until `active`, exit on `shutdown`.
+  std::mutex lifecycle_mu;
+  std::condition_variable lifecycle_cv;
+  std::condition_variable done_cv;
+  bool active = false;
+  bool shutdown = false;
+  std::uint64_t epoch = 0;
+
+  void worker_main(Worker& w);
+  void notify_if_done();
+
+  /// True when CAB must degrade to classic random stealing (BL == 0,
+  /// Algorithm II step 2 / Section V-D).
+  bool cab_degenerate() const {
+    return kind == SchedulerKind::kCab && tier.bl == 0;
+  }
+};
+
+}  // namespace cab::runtime

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <optional>
+#include <type_traits>
+#include <utility>
+
+#include "runtime/runtime.hpp"
+#include "util/assert.hpp"
+
+namespace cab::runtime {
+
+/// Typed result slot for a spawned computation — the ergonomic layer over
+/// the raw spawn/sync API for the common "spawn two halves, combine"
+/// pattern:
+///
+/// \code
+///   auto left  = SpawnValue<long>([&] { return fib(n - 1); });
+///   auto right = SpawnValue<long>([&] { return fib(n - 2); });
+///   Runtime::sync();
+///   return left.get() + right.get();
+/// \endcode
+///
+/// The slot must stay at its construction address until the enclosing
+/// task syncs (the spawned child writes through `this`), so SpawnValue is
+/// pinned: neither movable nor copyable. The enclosing task's sync —
+/// explicit or the implicit one before task completion — is the release
+/// point; calling get() earlier aborts.
+template <typename T>
+class SpawnValue {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                std::is_convertible_v<std::invoke_result_t<F&>, T>>>
+  explicit SpawnValue(F&& fn) {
+    Runtime::spawn([this, fn = std::forward<F>(fn)]() mutable {
+      value_.emplace(fn());
+    });
+  }
+
+  SpawnValue(const SpawnValue&) = delete;
+  SpawnValue& operator=(const SpawnValue&) = delete;
+  SpawnValue(SpawnValue&&) = delete;
+  SpawnValue& operator=(SpawnValue&&) = delete;
+
+  /// The computed value. Only valid after the enclosing task has synced.
+  T& get() {
+    CAB_CHECK(value_.has_value(), "SpawnValue::get() before sync()");
+    return *value_;
+  }
+  const T& get() const {
+    CAB_CHECK(value_.has_value(), "SpawnValue::get() before sync()");
+    return *value_;
+  }
+
+  /// True once the child has produced the value (after sync it always is).
+  bool ready() const { return value_.has_value(); }
+
+ private:
+  std::optional<T> value_;
+};
+
+/// Deduction-friendly maker: `auto h = spawn_value([&] { return f(x); });`
+template <typename F>
+auto spawn_value(F&& fn) {
+  return SpawnValue<std::invoke_result_t<F&>>(std::forward<F>(fn));
+}
+
+}  // namespace cab::runtime

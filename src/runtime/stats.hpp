@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cab::runtime {
+
+/// Per-worker event counters, aggregated by Runtime::stats(). Collected
+/// with plain (non-atomic) increments on the owning worker and read only
+/// after run() returns, so no synchronization is needed.
+struct WorkerStats {
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t spawns_intra = 0;
+  std::uint64_t spawns_inter = 0;
+  std::uint64_t intra_pop_hits = 0;       ///< tasks from own deque
+  std::uint64_t intra_steals = 0;         ///< successful in-squad steals
+  std::uint64_t inter_acquires = 0;       ///< from own squad's inter pool
+  std::uint64_t inter_steals = 0;         ///< from another squad's pool
+  std::uint64_t failed_steal_attempts = 0;
+  std::uint64_t help_iterations = 0;      ///< sync-help loop turns
+
+  WorkerStats& operator+=(const WorkerStats& o) {
+    tasks_executed += o.tasks_executed;
+    spawns_intra += o.spawns_intra;
+    spawns_inter += o.spawns_inter;
+    intra_pop_hits += o.intra_pop_hits;
+    intra_steals += o.intra_steals;
+    inter_acquires += o.inter_acquires;
+    inter_steals += o.inter_steals;
+    failed_steal_attempts += o.failed_steal_attempts;
+    help_iterations += o.help_iterations;
+    return *this;
+  }
+};
+
+/// One task execution, recorded when Options::record_events is set.
+/// Enough to audit the protocol after a run: which worker ran which tier
+/// at which level (e.g. "inter-socket tasks execute on head workers
+/// only", "intra-socket tasks never cross squads").
+struct ExecRecord {
+  std::int32_t worker = 0;
+  std::int32_t squad = 0;
+  std::int32_t level = 0;
+  bool inter = false;
+  bool on_head = false;
+};
+
+/// Aggregate over a full run.
+struct SchedulerStats {
+  WorkerStats total;
+  std::vector<WorkerStats> per_worker;
+
+  std::string summary() const;
+};
+
+}  // namespace cab::runtime

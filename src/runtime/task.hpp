@@ -1,0 +1,53 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+namespace cab::runtime {
+
+struct Squad;
+
+/// Heap-allocated task frame, the library analogue of the Cilk frame the
+/// paper extends in Section IV-B. The paper adds `level`, `parent` and
+/// `inter_counter` to every frame; we carry the same information
+/// (`outstanding` joins both task kinds — see DESIGN.md).
+///
+/// Lifecycle: created by spawn(), executed exactly once by some worker,
+/// joined into the parent at completion, then deleted by the executing
+/// worker. A frame always outlives its children because every task runs an
+/// implicit sync before completing (Cilk semantics), which also makes
+/// by-reference captures of the parent's locals safe in child closures.
+struct TaskFrame {
+  std::function<void()> body;
+
+  /// Join target; nullptr only for the root frame.
+  TaskFrame* parent = nullptr;
+
+  /// Children spawned but not yet completed. The paper's inter_counter
+  /// plus the intra join count, folded into one atomic.
+  std::atomic<std::int32_t> outstanding{0};
+
+  /// DAG level, paper numbering (root/"main" = 0).
+  std::int32_t level = 0;
+
+  /// True when this task belongs to the inter-socket tier (level <= BL,
+  /// or forced via Runtime::spawn_inter — the paper's inter_spawn).
+  bool inter = false;
+
+  /// Set when this task spawned at least one intra-socket child. An
+  /// inter-socket task with intra children is a *leaf* inter-socket task:
+  /// its subtree is the squad's cache-residency unit, so it holds the
+  /// squad busy_state through its sync instead of releasing at suspend.
+  bool has_intra_children = false;
+
+  /// Set when the task was acquired from an inter-socket pool; the squad
+  /// whose busy-state (active_inter) must be released at completion.
+  Squad* inter_acquired_by = nullptr;
+
+  TaskFrame(std::function<void()> b, TaskFrame* p, std::int32_t lvl,
+            bool is_inter)
+      : body(std::move(b)), parent(p), level(lvl), inter(is_inter) {}
+};
+
+}  // namespace cab::runtime

@@ -1,0 +1,255 @@
+#include <chrono>
+#include <thread>
+
+#include "hw/affinity.hpp"
+#include "runtime/runtime.hpp"
+#include "runtime/scheduler.hpp"
+#include "util/assert.hpp"
+#include "util/spin_lock.hpp"
+
+namespace cab::runtime {
+
+/// Worker executing on the calling thread (nullptr on non-worker threads).
+thread_local Worker* tls_worker = nullptr;
+
+namespace {
+
+/// Progressive backoff for spin points. With virtual topologies the worker
+/// count can exceed the physical cores many times over, so we yield early:
+/// the task we are waiting for is likely on a descheduled thread.
+void backoff(int& fails) {
+  ++fails;
+  if (fails < 16) {
+    util::cpu_relax();
+  } else if (fails < 4096) {
+    std::this_thread::yield();
+  } else {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+}
+
+}  // namespace
+
+void Worker::execute(TaskFrame* t) {
+  TaskFrame* saved = current;
+  current = t;
+  ++stats.tasks_executed;
+  if (engine->record_events) {
+    exec_log.push_back(
+        ExecRecord{id, squad->id, t->level, t->inter, is_head});
+  }
+  try {
+    t->body();
+  } catch (...) {
+    // Task bodies must not tear down the worker: capture the first
+    // exception for Runtime::run() to rethrow once the DAG has drained
+    // (children already spawned by the failing body still execute).
+    engine->capture_exception(std::current_exception());
+  }
+  t->body = nullptr;  // release captured resources before the sync wait
+
+  // Implicit sync (Cilk semantics): a task completes only after all its
+  // children have. Helping here is what drains the DAG below this task.
+  release_busy_on_suspend(t);
+  int fails = 0;
+  while (t->outstanding.load(std::memory_order_acquire) != 0) {
+    ++stats.help_iterations;
+    if (help_once()) {
+      fails = 0;
+    } else {
+      backoff(fails);
+    }
+  }
+
+  current = saved;
+  finish(t);
+}
+
+void Worker::finish(TaskFrame* t) {
+  if (Squad* sq = t->inter_acquired_by) {
+    // The paper's "busy_state := false" when an inter-socket task returns.
+    std::int32_t prev = sq->active_inter.fetch_sub(1, std::memory_order_acq_rel);
+    CAB_CHECK(prev >= 1, "squad busy-state underflow");
+  }
+  TaskFrame* parent = t->parent;
+  Engine& e = *engine;
+  delete t;
+  e.frame_destroyed();
+  if (parent) parent->outstanding.fetch_sub(1, std::memory_order_acq_rel);
+  if (e.pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    e.notify_if_done();
+  }
+}
+
+bool Worker::help_once() {
+  // A worker blocked at a sync behaves like a free worker: the suspended
+  // task released the squad's busy-state already (release_busy_on_suspend),
+  // so Algorithm I — including head-worker inter-socket stealing — applies
+  // unchanged. This is what keeps a squad fed while its own subtree work
+  // is exhausted but other squads still hold inter-socket tasks.
+  TaskFrame* t = acquire();
+  if (!t) return false;
+  execute(t);
+  return true;
+}
+
+void Worker::release_busy_on_suspend(TaskFrame* t) {
+  // A *non-leaf* inter-socket task that reaches its sync stops executing
+  // on the squad: it must release busy_state or the squad would be barred
+  // from inter-socket work for the task's entire (possibly run-long)
+  // subtree lifetime. Leaf inter-socket tasks (level == BL) keep the
+  // squad busy until their intra-socket subtree completes — that subtree
+  // is the shared-cache residency unit the paper protects.
+  Squad* sq = t->inter_acquired_by;
+  if (sq == nullptr) return;
+  if (t->has_intra_children) return;  // leaf inter-socket task: hold
+  t->inter_acquired_by = nullptr;
+  std::int32_t prev = sq->active_inter.fetch_sub(1, std::memory_order_acq_rel);
+  CAB_CHECK(prev >= 1, "squad busy-state underflow at suspend");
+}
+
+TaskFrame* Worker::acquire() {
+  if (engine->kind == SchedulerKind::kCab && !engine->cab_degenerate())
+    return acquire_cab();
+  if (engine->kind == SchedulerKind::kTaskSharing) return acquire_sharing();
+  return acquire_random();
+}
+
+TaskFrame* Worker::acquire_cab() {
+  // Step 1: own intra-socket pool.
+  if (TaskFrame* t = intra.pop_bottom()) {
+    ++stats.intra_pop_hits;
+    return t;
+  }
+  // Step 2: squad busy => only intra-socket stealing within the squad.
+  if (squad->busy()) {
+    // Step 3 + 6(a): random in-squad victim, single attempt per call.
+    return steal_intra_in_squad();
+  }
+  // Step 2 (cont.): non-head workers loop back to Step 1.
+  if (!is_head) return nullptr;
+  // Step 4: own squad's inter-socket pool (FIFO end: oldest task = the
+  // subtree closest to the root, which parent-first expansion wants
+  // distributed first).
+  if (TaskFrame* t = take_inter_from_own_squad()) {
+    ++stats.inter_acquires;
+    return t;
+  }
+  // Step 5 + 6(b): steal an inter-socket task from a random other squad.
+  if (TaskFrame* t = steal_inter_from_other_squads()) {
+    ++stats.inter_steals;
+    return t;
+  }
+  return nullptr;
+}
+
+TaskFrame* Worker::acquire_random() {
+  if (TaskFrame* t = intra.pop_bottom()) {
+    ++stats.intra_pop_hits;
+    return t;
+  }
+  if (TaskFrame* t = steal_intra_global()) return t;
+  return engine->central_pool.steal_top();  // root injection
+}
+
+TaskFrame* Worker::acquire_sharing() {
+  return engine->central_pool.pop_bottom();
+}
+
+TaskFrame* Worker::steal_intra_in_squad() {
+  const int n = squad->worker_count;
+  if (n <= 1) {
+    ++stats.failed_steal_attempts;
+    return nullptr;
+  }
+  auto pick = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n - 1)));
+  int victim = squad->first_worker + pick;
+  if (victim >= id) ++victim;  // skip self
+  TaskFrame* t = engine->workers[static_cast<std::size_t>(victim)]->intra.steal_top();
+  if (t) {
+    ++stats.intra_steals;
+  } else {
+    ++stats.failed_steal_attempts;
+  }
+  return t;
+}
+
+TaskFrame* Worker::steal_intra_global() {
+  const int n = static_cast<int>(engine->workers.size());
+  if (n <= 1) {
+    ++stats.failed_steal_attempts;
+    return nullptr;
+  }
+  auto pick = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n - 1)));
+  int victim = pick;
+  if (victim >= id) ++victim;
+  TaskFrame* t = engine->workers[static_cast<std::size_t>(victim)]->intra.steal_top();
+  if (t) {
+    ++stats.intra_steals;
+  } else {
+    ++stats.failed_steal_attempts;
+  }
+  return t;
+}
+
+TaskFrame* Worker::take_inter_from_own_squad() {
+  TaskFrame* t = squad->inter_pool.steal_top();
+  if (!t) t = engine->central_pool.steal_top();  // root injection
+  if (t) {
+    squad->active_inter.fetch_add(1, std::memory_order_acq_rel);
+    t->inter_acquired_by = squad;
+  }
+  return t;
+}
+
+TaskFrame* Worker::steal_inter_from_other_squads() {
+  const int m = static_cast<int>(engine->squads.size());
+  if (m <= 1) return nullptr;
+  // One randomized round over the other squads.
+  auto start = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(m)));
+  for (int i = 0; i < m; ++i) {
+    int victim = (start + i) % m;
+    if (victim == squad->id) continue;
+    if (TaskFrame* t = engine->squads[static_cast<std::size_t>(victim)]
+                           ->inter_pool.steal_top()) {
+      squad->active_inter.fetch_add(1, std::memory_order_acq_rel);
+      t->inter_acquired_by = squad;
+      return t;
+    }
+    ++stats.failed_steal_attempts;
+  }
+  return nullptr;
+}
+
+void Engine::worker_main(Worker& w) {
+  tls_worker = &w;
+  if (pin_threads) hw::bind_current_thread(w.core);
+
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(lifecycle_mu);
+      lifecycle_cv.wait(
+          lk, [&] { return shutdown || epoch != seen_epoch; });
+      if (shutdown) break;
+      seen_epoch = epoch;
+    }
+    int fails = 0;
+    while (pending.load(std::memory_order_acquire) > 0) {
+      if (TaskFrame* t = w.acquire()) {
+        fails = 0;
+        w.execute(t);
+      } else {
+        backoff(fails);
+      }
+    }
+  }
+  tls_worker = nullptr;
+}
+
+void Engine::notify_if_done() {
+  std::lock_guard<std::mutex> lk(lifecycle_mu);
+  done_cv.notify_all();
+}
+
+}  // namespace cab::runtime

@@ -1,0 +1,67 @@
+#pragma once
+
+#include "cachesim/hierarchy.hpp"
+
+namespace cab::simsched {
+
+/// Converts abstract work units and cache-hierarchy events into virtual
+/// cycles. Latencies are in the ballpark of the paper's AMD Opteron 8380
+/// ("Shanghai"): L2 ~3ns, L3 ~15-20ns, DRAM ~100ns at 2.5 GHz. Absolute
+/// values only scale the virtual clock; the CAB-vs-Cilk *ratios* the
+/// benches report are driven by hit/miss counts and load balance.
+struct CostModel {
+  double cycles_per_work = 1.0;     ///< compute cost per work unit
+  double l1_hit_cycles = 2.0;       ///< line found in the core's L1 (if on)
+  double l2_hit_cycles = 8.0;       ///< line found in the core's L2
+  double l3_hit_cycles = 40.0;      ///< line found in the socket's L3
+  double memory_cycles = 250.0;     ///< line filled from DRAM
+  double spawn_cycles = 30.0;       ///< per child pushed
+  double pop_cycles = 10.0;         ///< task from own pool
+  double intra_steal_cycles = 150.0;  ///< steal within the squad
+  double inter_steal_cycles = 600.0;  ///< steal across sockets
+
+  /// Per-socket DRAM channel occupancy per line filled from memory, in
+  /// cycles (0 = unlimited bandwidth). When set, all memory fills issued
+  /// by one socket's cores serialize on the socket's channel: k
+  /// concurrent streaming tasks each see ~k-fold fill latency once the
+  /// channel saturates — the bandwidth wall that makes memory-bound
+  /// leaves stop scaling with cores (and softens the penalty of CAB's
+  /// one-inter-task-per-socket rule at large inputs). ~64 B / 12.8 GB/s
+  /// at 2.5 GHz is ~12.5 cycles; the default 0 keeps the figure benches
+  /// on the latency-only model.
+  double socket_bandwidth_cycles_per_line = 0.0;
+
+  /// Multiplicative task-duration noise: each piece's duration is scaled
+  /// by a factor uniform in [1 - j, 1 + j], drawn from the executing
+  /// worker's seeded RNG (runs stay bit-reproducible). Real machines have
+  /// this jitter (interrupts, DVFS, DRAM refresh); in the simulator it is
+  /// what keeps a *random-victim* scheduler from accidentally locking
+  /// into a stable placement — the figure benches enable it for the Cilk
+  /// baseline (kScrambleJitter) and leave CAB jitter-free, representing
+  /// the two fixed points the paper's measurements exhibit (see
+  /// DESIGN.md "Victim selection").
+  double duration_jitter = 0.0;
+
+  /// How long an idle worker takes to *notice* newly pushed work, as a
+  /// fraction of the corresponding steal cost (intra/inter). 0 (default)
+  /// models continuously spinning thieves with instant notice — pool
+  /// owners still win simultaneous races because their wake is queued
+  /// first. Values > 0 delay remote thieves by scale * steal_cycles,
+  /// which strengthens owner locality but lets slow ("straggler") squads
+  /// lose their usual partition at iteration boundaries; measured by
+  /// bench_ablation_protocol. See DESIGN.md "Victim selection".
+  double steal_notice_scale = 0.0;
+
+  /// Default jitter the experiment helpers apply to the random-stealing
+  /// baseline (2%).
+  static constexpr double kScrambleJitter = 0.02;
+
+  double stream_cost(const cachesim::StreamCost& c) const {
+    return l1_hit_cycles * static_cast<double>(c.l1_hits) +
+           l2_hit_cycles * static_cast<double>(c.l2_hits) +
+           l3_hit_cycles * static_cast<double>(c.l3_hits) +
+           memory_cycles * static_cast<double>(c.memory_fills);
+  }
+};
+
+}  // namespace cab::simsched

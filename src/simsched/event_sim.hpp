@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace cab::simsched {
+
+/// Virtual time in cycles.
+using SimTime = double;
+
+/// Deterministic discrete-event core: a min-heap of events ordered by
+/// (time, priority, sequence). The priority lets the scheduler model fix
+/// an arbitration rule for simultaneous events (e.g. "all completions
+/// publish their pushes, then idle workers probe in worker-id order"),
+/// so race outcomes do not depend on incidental insertion order. The
+/// sequence number makes the remaining ties bit-reproducible.
+template <typename Payload>
+class EventQueue {
+ public:
+  void push(SimTime at, Payload p, std::uint32_t priority = 0) {
+    heap_.push(Entry{at, priority, seq_++, std::move(p)});
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  SimTime next_time() const { return heap_.top().at; }
+
+  Payload pop(SimTime& at) {
+    Entry e = heap_.top();
+    heap_.pop();
+    at = e.at;
+    return std::move(e.payload);
+  }
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint32_t priority;
+    std::uint64_t seq;
+    Payload payload;
+
+    bool operator>(const Entry& o) const {
+      if (at != o.at) return at > o.at;
+      if (priority != o.priority) return priority > o.priority;
+      return seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace cab::simsched

@@ -1,0 +1,59 @@
+#include "simsched/report.hpp"
+
+#include "util/format.hpp"
+
+namespace cab::simsched {
+
+double SimResult::utilization() const {
+  if (makespan <= 0 || workers.empty()) return 0.0;
+  return total_busy / (makespan * static_cast<double>(workers.size()));
+}
+
+double SimResult::inter_tier_fraction() const {
+  return total_busy > 0 ? inter_tier_busy / total_busy : 0.0;
+}
+
+std::string SimResult::summary() const {
+  std::string s;
+  s += "makespan=" + util::format_fixed(makespan, 0) + " cycles";
+  s += " util=" + util::format_fixed(utilization() * 100.0, 1) + "%";
+  s += " L2-miss=" + util::human_count(cache.l2_misses);
+  s += " L3-miss=" + util::human_count(cache.l3_misses);
+  s += " tasks=" + util::human_count(tasks);
+  s += " inter-tier=" + util::format_fixed(inter_tier_fraction() * 100.0, 1) +
+       "%";
+  return s;
+}
+
+std::string SimResult::to_json() const {
+  std::string j = "{";
+  auto num = [&](const char* key, double v, bool comma = true) {
+    j += std::string("\"") + key + "\":" + util::format_fixed(v, 0);
+    if (comma) j += ",";
+  };
+  num("makespan_cycles", makespan);
+  j += "\"utilization\":" + util::format_fixed(utilization(), 4) + ",";
+  j += "\"inter_tier_fraction\":" +
+       util::format_fixed(inter_tier_fraction(), 4) + ",";
+  num("tasks", static_cast<double>(tasks));
+  num("l2_accesses", static_cast<double>(cache.l2_accesses));
+  num("l2_misses", static_cast<double>(cache.l2_misses));
+  num("l3_accesses", static_cast<double>(cache.l3_accesses));
+  num("l3_misses", static_cast<double>(cache.l3_misses));
+  num("invalidations", static_cast<double>(cache.invalidations));
+  j += "\"sockets\":[";
+  for (std::size_t s = 0; s < socket_cache.size(); ++s) {
+    if (s) j += ",";
+    j += "{\"l2_misses\":" +
+         util::format_fixed(static_cast<double>(socket_cache[s].l2_misses),
+                            0) +
+         ",\"l3_misses\":" +
+         util::format_fixed(static_cast<double>(socket_cache[s].l3_misses),
+                            0) +
+         "}";
+  }
+  j += "]}";
+  return j;
+}
+
+}  // namespace cab::simsched

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cachesim/hierarchy.hpp"
+#include "simsched/event_sim.hpp"
+
+namespace cab::simsched {
+
+/// Per-worker activity summary from one simulated run.
+struct SimWorkerReport {
+  SimTime busy = 0;          ///< cycles spent executing task pieces
+  std::uint64_t pieces = 0;  ///< pre/post pieces executed
+  std::uint64_t intra_steals = 0;
+  std::uint64_t inter_acquires = 0;
+  std::uint64_t inter_steals = 0;
+};
+
+/// Result of simulating one TaskGraph under one policy.
+struct SimResult {
+  SimTime makespan = 0;
+  cachesim::LevelStats cache;                 ///< whole-machine totals
+  std::vector<cachesim::LevelStats> socket_cache;  ///< per socket
+  std::vector<SimWorkerReport> workers;
+
+  SimTime total_busy = 0;
+  SimTime inter_tier_busy = 0;  ///< busy cycles inside inter-tier pieces
+  std::uint64_t tasks = 0;
+
+  /// Mean worker utilization over the makespan, in [0, 1].
+  double utilization() const;
+  /// Fraction of busy cycles spent in the inter-socket tier (the paper's
+  /// "often less than 5%" observation, Section III-E).
+  double inter_tier_fraction() const;
+
+  std::string summary() const;
+
+  /// Compact JSON object with the headline metrics and per-socket cache
+  /// stats — the machine-readable form (cab_explore --json).
+  std::string to_json() const;
+};
+
+}  // namespace cab::simsched

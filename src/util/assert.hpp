@@ -1,0 +1,16 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+/// CAB_CHECK: always-on invariant check. The scheduler and simulator are the
+/// subject of this library, so their internal invariants stay verified even
+/// in release builds; the cost is a predictable branch on cold paths only.
+#define CAB_CHECK(cond, msg)                                                  \
+  do {                                                                        \
+    if (!(cond)) [[unlikely]] {                                               \
+      std::fprintf(stderr, "CAB_CHECK failed at %s:%d: %s\n  %s\n", __FILE__, \
+                   __LINE__, #cond, msg);                                     \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace cab::util {
+
+/// Size every concurrency-sensitive object is padded to. We deliberately use
+/// a fixed 64 rather than std::hardware_destructive_interference_size so the
+/// ABI of padded types does not change across compilers/flags.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Wraps a value in its own cache line to prevent false sharing between
+/// adjacent per-worker slots (e.g. steal counters, deque anchors).
+template <typename T>
+struct alignas(kCacheLineSize) CacheAligned {
+  T value{};
+
+  CacheAligned() = default;
+  explicit CacheAligned(const T& v) : value(v) {}
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+};
+
+}  // namespace cab::util

@@ -1,0 +1,85 @@
+#include "util/format.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace cab::util {
+
+std::string human_bytes(std::uint64_t bytes) {
+  static constexpr const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  int unit = 0;
+  double v = static_cast<double>(bytes);
+  while (v >= 1024.0 && unit < 4) {
+    v /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", v, kUnits[unit]);
+  }
+  return buf;
+}
+
+std::string human_count(std::uint64_t n) {
+  std::string digits = std::to_string(n);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  int run = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (run == 3) {
+      out.push_back(',');
+      run = 0;
+    }
+    out.push_back(*it);
+    ++run;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string format_fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto emit_row = [&](const std::vector<std::string>& cells, std::string& out) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) out += " | ";
+      out += cells[c];
+      out.append(widths[c] - cells[c].size(), ' ');
+    }
+    out += '\n';
+  };
+
+  std::string out;
+  emit_row(headers_, out);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) out += "-+-";
+    out.append(widths[c], '-');
+  }
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+}  // namespace cab::util

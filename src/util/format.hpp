@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cab::util {
+
+/// "6.0 MiB", "512.0 KiB", "17 B" — for topology and report printing.
+std::string human_bytes(std::uint64_t bytes);
+
+/// "12,345,678" — thousands separators for miss-count tables.
+std::string human_count(std::uint64_t n);
+
+/// Fixed-point decimal: format_fixed(0.687, 3) == "0.687".
+std::string format_fixed(double v, int decimals);
+
+/// Minimal ASCII table printer used by the experiment benches so their
+/// output mirrors the paper's tables row-for-row.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Render with column widths fitted to content, e.g.
+  ///   name     | Cilk  | CAB
+  ///   ---------+-------+------
+  ///   GE       | 42    | 17
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cab::util

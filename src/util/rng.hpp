@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+
+namespace cab::util {
+
+/// SplitMix64: used to expand a user seed into well-distributed per-worker
+/// stream seeds. Reference: Steele, Lea & Flood, "Fast Splittable
+/// Pseudorandom Number Generators" (OOPSLA 2014).
+inline std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// xorshift64* PRNG. Tiny, fast, and state is a single word, which keeps a
+/// per-worker RNG inside one cache line. Quality is more than sufficient for
+/// victim selection; all schedulers and simulators seed it explicitly so
+/// every run is reproducible.
+class Xorshift64 {
+ public:
+  explicit Xorshift64(std::uint64_t seed = 0x9E3779B97F4A7C15ull) noexcept {
+    // Avoid the all-zero fixed point and decorrelate small seeds.
+    std::uint64_t s = seed;
+    state_ = splitmix64(s) | 1ull;
+  }
+
+  std::uint64_t next() noexcept {
+    std::uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545F4914F6CDD1Dull;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    // Multiply-shift range reduction (Lemire); bias is negligible for the
+    // small bounds (worker counts) used here.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace cab::util

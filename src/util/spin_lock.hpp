@@ -1,0 +1,56 @@
+#pragma once
+
+#include <atomic>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace cab::util {
+
+/// Relax the CPU inside a spin loop (PAUSE on x86, yield elsewhere).
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// Test-and-test-and-set spin lock with exponential backoff.
+///
+/// Used for the inter-socket task pools: the paper's protocol funnels all
+/// inter-socket pool traffic through squad head workers precisely so that a
+/// simple lock suffices; contention is M-way at most.
+/// Satisfies Lockable, so it works with std::lock_guard / std::unique_lock.
+class SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void lock() noexcept {
+    int spins = 1;
+    for (;;) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      // Spin read-only until the lock looks free, with capped backoff.
+      while (flag_.load(std::memory_order_relaxed)) {
+        for (int i = 0; i < spins; ++i) cpu_relax();
+        if (spins < 1024) spins <<= 1;
+      }
+    }
+  }
+
+  bool try_lock() noexcept {
+    return !flag_.load(std::memory_order_relaxed) &&
+           !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace cab::util

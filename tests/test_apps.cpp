@@ -1,0 +1,360 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "apps/ck.hpp"
+#include "apps/cholesky.hpp"
+#include "apps/fft.hpp"
+#include "apps/ge.hpp"
+#include "apps/heat.hpp"
+#include "apps/mergesort.hpp"
+#include "apps/queens.hpp"
+#include "apps/registry.hpp"
+#include "apps/sor.hpp"
+
+namespace cab::apps {
+namespace {
+
+runtime::Options small_cab() {
+  runtime::Options o;
+  o.topo = hw::Topology::synthetic(2, 2, 1ull << 20);
+  o.kind = runtime::SchedulerKind::kCab;
+  o.boundary_level = 2;
+  return o;
+}
+
+runtime::Options small_random() {
+  runtime::Options o = small_cab();
+  o.kind = runtime::SchedulerKind::kRandomStealing;
+  o.boundary_level = 0;
+  return o;
+}
+
+// ---------------------------------------------------------------------------
+// Correctness: parallel == serial on the threaded runtime.
+
+TEST(Heat, ParallelMatchesSerial) {
+  HeatParams p;
+  p.rows = 96;
+  p.cols = 64;
+  p.steps = 4;
+  p.leaf_rows = 16;
+  const double expected = run_heat_serial(p);
+  runtime::Runtime cab_rt(small_cab());
+  EXPECT_DOUBLE_EQ(run_heat(cab_rt, p), expected);
+  runtime::Runtime rnd_rt(small_random());
+  EXPECT_DOUBLE_EQ(run_heat(rnd_rt, p), expected);
+}
+
+TEST(Sor, ParallelMatchesSerial) {
+  SorParams p;
+  p.rows = 80;
+  p.cols = 64;
+  p.iterations = 3;
+  p.leaf_rows = 16;
+  const double expected = run_sor_serial(p);
+  runtime::Runtime rt(small_cab());
+  // Red-black half-sweeps only read/write disjoint colors, so the parallel
+  // row partition is race-free and bitwise deterministic.
+  EXPECT_DOUBLE_EQ(run_sor(rt, p), expected);
+}
+
+TEST(Ge, ParallelMatchesSerial) {
+  GeParams p;
+  p.n = 96;
+  p.leaf_rows = 16;
+  const double expected = run_ge_serial(p);
+  runtime::Runtime rt(small_cab());
+  EXPECT_DOUBLE_EQ(run_ge(rt, p), expected);
+}
+
+TEST(Mergesort, SortsCorrectly) {
+  MergesortParams p;
+  p.n = 40000;
+  p.leaf_elems = 1024;
+  runtime::Runtime rt(small_cab());
+  EXPECT_TRUE(run_mergesort(rt, p));
+  runtime::Runtime rnd(small_random());
+  EXPECT_TRUE(run_mergesort(rnd, p));
+}
+
+TEST(Queens, CountsMatchKnownValuesAndSerial) {
+  // Known N-queens counts: 8 -> 92, 9 -> 352, 10 -> 724.
+  QueensParams p;
+  p.n = 8;
+  p.spawn_depth = 3;
+  EXPECT_EQ(run_queens_serial(p), 92u);
+  runtime::Runtime rt(small_cab());
+  EXPECT_EQ(run_queens(rt, p), 92u);
+  p.n = 10;
+  EXPECT_EQ(run_queens_serial(p), 724u);
+  runtime::Runtime rt2(small_cab());
+  EXPECT_EQ(run_queens(rt2, p), 724u);
+}
+
+TEST(Queens, FirstSolutionIsValid) {
+  QueensParams p;
+  p.n = 20;  // Table III's "Queens(20)" — feasible as first-solution search
+  p.spawn_depth = 3;
+  runtime::Runtime rt(small_cab());
+  std::vector<std::int32_t> sol = run_queens_first(rt, p);
+  ASSERT_EQ(sol.size(), 20u);
+  for (std::size_t i = 0; i < sol.size(); ++i) {
+    for (std::size_t j = i + 1; j < sol.size(); ++j) {
+      EXPECT_NE(sol[i], sol[j]);  // distinct columns
+      EXPECT_NE(std::abs(sol[i] - sol[j]),
+                static_cast<std::int32_t>(j - i));  // no diagonal attacks
+    }
+  }
+}
+
+TEST(Queens, FirstSolutionEmptyWhenNoneExists) {
+  QueensParams p;
+  p.n = 3;  // 3-queens has no solution
+  p.spawn_depth = 2;
+  runtime::Runtime rt(small_cab());
+  EXPECT_TRUE(run_queens_first(rt, p).empty());
+}
+
+TEST(Fft, RoundTripErrorTiny) {
+  FftParams p;
+  p.n = 1 << 12;
+  p.leaf_elems = 256;
+  EXPECT_LT(run_fft_roundtrip_serial(p), 1e-9);
+  runtime::Runtime rt(small_cab());
+  EXPECT_LT(run_fft_roundtrip(rt, p), 1e-9);
+}
+
+TEST(Cholesky, FactorizationReconstructsA) {
+  CholeskyParams p;
+  p.n = 128;
+  p.tile = 32;
+  EXPECT_LT(run_cholesky_serial(p), 1e-8);
+  runtime::Runtime rt(small_cab());
+  EXPECT_LT(run_cholesky(rt, p), 1e-8);
+}
+
+TEST(Ck, ParallelMatchesSerialMinimax) {
+  CkParams p;
+  p.depth = 6;
+  p.spawn_depth = 2;
+  const std::int32_t expected = run_ck_serial(p);
+  runtime::Runtime rt(small_cab());
+  EXPECT_EQ(run_ck(rt, p), expected);
+  runtime::Runtime rnd(small_random());
+  EXPECT_EQ(run_ck(rnd, p), expected);
+}
+
+// ---------------------------------------------------------------------------
+// Simulator models: structure and bookkeeping.
+
+TEST(HeatDag, ShapeMatchesPaperExample) {
+  // Fig. 1 scale-up: one step, 8 leaves -> levels 0..4.
+  HeatParams p;
+  p.rows = 1024;
+  p.cols = 512;
+  p.steps = 1;
+  p.leaf_rows = 128;
+  DagBundle b = build_heat_dag(p);
+  EXPECT_TRUE(b.graph.validate());
+  EXPECT_EQ(b.graph.max_level(), 4);
+  EXPECT_EQ(b.graph.count_at_level(4), 8u);
+  EXPECT_EQ(b.branching, 2);
+  EXPECT_EQ(b.input_bytes, 1024ull * 512 * 8);
+  EXPECT_EQ(b.graph.node(b.graph.root()).sequential, true);
+}
+
+TEST(HeatDag, StepsAddSequentialPhases) {
+  HeatParams p;
+  p.rows = 256;
+  p.cols = 64;
+  p.steps = 5;
+  p.leaf_rows = 64;
+  DagBundle b = build_heat_dag(p);
+  EXPECT_EQ(b.graph.node(b.graph.root()).children.size(), 5u);
+}
+
+TEST(SorDag, TwoPhasesPerIteration) {
+  SorParams p;
+  p.rows = 130;
+  p.cols = 64;
+  p.iterations = 3;
+  p.leaf_rows = 32;
+  DagBundle b = build_sor_dag(p);
+  EXPECT_TRUE(b.graph.validate());
+  EXPECT_EQ(b.graph.node(b.graph.root()).children.size(), 6u);
+}
+
+TEST(GeDag, PanelsCoverAllPivots) {
+  GeParams p;
+  p.n = 64;
+  p.leaf_rows = 8;
+  DagBundle b = build_ge_dag(p, /*pivots_per_phase=*/8);
+  EXPECT_TRUE(b.graph.validate());
+  // ceil(63 / 8) = 8 panel phases.
+  EXPECT_EQ(b.graph.node(b.graph.root()).children.size(), 8u);
+  EXPECT_GT(b.graph.total_work(), 0u);
+}
+
+TEST(MergesortDag, TreeWithMergePosts) {
+  MergesortParams p;
+  p.n = 1 << 16;
+  p.leaf_elems = 1 << 12;
+  DagBundle b = build_mergesort_dag(p);
+  EXPECT_TRUE(b.graph.validate());
+  // 16 leaves + 15 internal merge nodes + root.
+  EXPECT_EQ(b.graph.size(), 32u);
+  std::size_t with_post = 0;
+  for (std::size_t i = 0; i < b.graph.size(); ++i)
+    if (b.graph.node(static_cast<dag::NodeId>(i)).post_trace >= 0)
+      ++with_post;
+  EXPECT_EQ(with_post, 15u);
+}
+
+TEST(QueensDag, LeafWorkReflectsSubtreeSizes) {
+  QueensParams p;
+  p.n = 8;
+  p.spawn_depth = 2;
+  DagBundle b = build_queens_dag(p);
+  EXPECT_TRUE(b.graph.validate());
+  EXPECT_GT(b.graph.size(), 8u);
+  // Total leaf work must dominate divide work (CPU-bound leaves).
+  std::uint64_t leaf_work = 0, divide_work = 0;
+  for (std::size_t i = 0; i < b.graph.size(); ++i) {
+    const auto& n = b.graph.node(static_cast<dag::NodeId>(i));
+    if (n.children.empty()) leaf_work += n.pre_work;
+    else divide_work += n.pre_work;
+  }
+  EXPECT_GT(leaf_work, 20 * divide_work);
+}
+
+TEST(FftDag, PowerOfTwoTree) {
+  FftParams p;
+  p.n = 1 << 14;
+  p.leaf_elems = 1 << 11;
+  DagBundle b = build_fft_dag(p);
+  EXPECT_TRUE(b.graph.validate());
+  EXPECT_EQ(b.graph.count_at_level(b.graph.max_level()), 8u);
+}
+
+TEST(CholeskyDag, SequentialPhasesPerTileColumn) {
+  CholeskyParams p;
+  p.n = 256;
+  p.tile = 64;
+  DagBundle b = build_cholesky_dag(p);
+  EXPECT_TRUE(b.graph.validate());
+  EXPECT_EQ(b.graph.node(b.graph.root()).children.size(), 4u);  // 4 phases
+}
+
+TEST(CkDag, IrregularGameTree) {
+  CkParams p;
+  p.depth = 5;
+  p.spawn_depth = 2;
+  DagBundle b = build_ck_dag(p);
+  EXPECT_TRUE(b.graph.validate());
+  EXPECT_GT(b.graph.size(), 10u);
+}
+
+// ---------------------------------------------------------------------------
+// Full matrix: every Table III benchmark, on every scheduler, verified.
+
+struct MatrixCase {
+  std::string app;
+  runtime::SchedulerKind kind;
+};
+
+void PrintTo(const MatrixCase& c, std::ostream* os) {
+  *os << c.app << "/" << to_string(c.kind);
+}
+
+class AppSchedulerMatrix : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(AppSchedulerMatrix, SmallConfigProducesCorrectResult) {
+  const MatrixCase& c = GetParam();
+  runtime::Options o;
+  o.topo = hw::Topology::synthetic(2, 2, 1ull << 20);
+  o.kind = c.kind;
+  o.boundary_level = c.kind == runtime::SchedulerKind::kCab ? 2 : 0;
+  runtime::Runtime rt(o);
+
+  if (c.app == "heat") {
+    HeatParams p;
+    p.rows = 64;
+    p.cols = 64;
+    p.steps = 3;
+    p.leaf_rows = 16;
+    EXPECT_DOUBLE_EQ(run_heat(rt, p), run_heat_serial(p));
+  } else if (c.app == "sor") {
+    SorParams p;
+    p.rows = 64;
+    p.cols = 64;
+    p.iterations = 2;
+    p.leaf_rows = 16;
+    EXPECT_DOUBLE_EQ(run_sor(rt, p), run_sor_serial(p));
+  } else if (c.app == "ge") {
+    GeParams p;
+    p.n = 64;
+    p.leaf_rows = 16;
+    EXPECT_DOUBLE_EQ(run_ge(rt, p), run_ge_serial(p));
+  } else if (c.app == "mergesort") {
+    MergesortParams p;
+    p.n = 10000;
+    p.leaf_elems = 512;
+    EXPECT_TRUE(run_mergesort(rt, p));
+  } else if (c.app == "queens") {
+    QueensParams p;
+    p.n = 9;
+    p.spawn_depth = 3;
+    EXPECT_EQ(run_queens(rt, p), 352u);  // known count for n=9
+  } else if (c.app == "fft") {
+    FftParams p;
+    p.n = 1 << 10;
+    p.leaf_elems = 128;
+    EXPECT_LT(run_fft_roundtrip(rt, p), 1e-10);
+  } else if (c.app == "cholesky") {
+    CholeskyParams p;
+    p.n = 64;
+    p.tile = 16;
+    EXPECT_LT(run_cholesky(rt, p), 1e-9);
+  } else if (c.app == "ck") {
+    CkParams p;
+    p.depth = 5;
+    p.spawn_depth = 2;
+    EXPECT_EQ(run_ck(rt, p), run_ck_serial(p));
+  } else {
+    FAIL() << "unknown app " << c.app;
+  }
+}
+
+std::vector<MatrixCase> matrix_cases() {
+  std::vector<MatrixCase> cases;
+  for (const auto& e : app_registry()) {
+    for (auto kind : {runtime::SchedulerKind::kCab,
+                      runtime::SchedulerKind::kRandomStealing,
+                      runtime::SchedulerKind::kTaskSharing}) {
+      cases.push_back({e.name, kind});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAppsAllSchedulers, AppSchedulerMatrix,
+                         ::testing::ValuesIn(matrix_cases()));
+
+TEST(Registry, AllEightBenchmarksPresent) {
+  const auto& reg = app_registry();
+  ASSERT_EQ(reg.size(), 8u);
+  int memory_bound = 0;
+  for (const auto& e : reg)
+    if (e.memory_bound) ++memory_bound;
+  EXPECT_EQ(memory_bound, 4);  // heat, mergesort, sor, ge (Table III)
+}
+
+TEST(Registry, BuildAppByName) {
+  DagBundle b = build_app("mergesort");
+  EXPECT_EQ(b.name, "mergesort");
+  EXPECT_TRUE(b.graph.validate());
+}
+
+}  // namespace
+}  // namespace cab::apps

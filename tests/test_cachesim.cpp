@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "cachesim/cache.hpp"
+#include "cachesim/hierarchy.hpp"
+#include "cachesim/trace.hpp"
+#include "hw/topology.hpp"
+
+namespace cab::cachesim {
+namespace {
+
+hw::CacheSpec tiny_spec(std::uint64_t size, std::uint32_t assoc) {
+  return hw::CacheSpec{size, 64, assoc};
+}
+
+TEST(Cache, ColdMissThenHit) {
+  Cache c(tiny_spec(4096, 4));  // 16 sets x 4 ways
+  EXPECT_FALSE(c.access_line(7));
+  EXPECT_TRUE(c.access_line(7));
+  EXPECT_EQ(c.accesses(), 2u);
+  EXPECT_EQ(c.misses(), 1u);
+  EXPECT_EQ(c.hits(), 1u);
+}
+
+TEST(Cache, LruEvictionOrder) {
+  Cache c(tiny_spec(64 * 2, 2));  // 1 set, 2 ways
+  c.access_line(1);               // miss, [1]
+  c.access_line(2);               // miss, [2,1]
+  c.access_line(1);               // hit,  [1,2]
+  c.access_line(3);               // miss, evicts 2 (LRU), [3,1]
+  EXPECT_TRUE(c.access_line(1));
+  EXPECT_TRUE(c.access_line(3));
+  EXPECT_FALSE(c.access_line(2));  // was evicted
+}
+
+TEST(Cache, SetIndexingSeparatesConflicts) {
+  Cache c(tiny_spec(64 * 8, 2));  // 4 sets x 2 ways
+  // Lines 0 and 4 map to set 0; lines 1 and 5 to set 1.
+  c.access_line(0);
+  c.access_line(4);
+  c.access_line(1);
+  EXPECT_TRUE(c.access_line(0));
+  EXPECT_TRUE(c.access_line(4));
+  EXPECT_TRUE(c.access_line(1));
+  // A third set-0 line evicts the LRU of set 0 only.
+  c.access_line(8);
+  EXPECT_TRUE(c.access_line(1));  // other set untouched
+}
+
+TEST(Cache, CapacityWorkingSetLargerThanCacheAlwaysMisses) {
+  Cache c(tiny_spec(64 * 16, 4));  // 16 lines total
+  // Sweep 32 lines repeatedly: LRU + exact wrap = every access misses.
+  for (int pass = 0; pass < 3; ++pass)
+    for (std::uint64_t l = 0; l < 32; ++l) c.access_line(l);
+  EXPECT_EQ(c.misses(), c.accesses());
+}
+
+TEST(Cache, InvalidateLineRemovesOnlyThatLine) {
+  Cache c(tiny_spec(64 * 4, 4));  // 1 set x 4 ways
+  for (std::uint64_t l = 0; l < 4; ++l) c.access_line(l);
+  EXPECT_TRUE(c.invalidate_line(2));
+  EXPECT_FALSE(c.invalidate_line(2));  // already gone
+  EXPECT_TRUE(c.access_line(0));
+  EXPECT_TRUE(c.access_line(1));
+  EXPECT_TRUE(c.access_line(3));
+  EXPECT_FALSE(c.access_line(2));  // must refill
+}
+
+TEST(Cache, InvalidateAllEmptiesCache) {
+  Cache c(tiny_spec(4096, 4));
+  for (std::uint64_t l = 0; l < 10; ++l) c.access_line(l);
+  c.invalidate_all();
+  EXPECT_FALSE(c.access_line(3));
+}
+
+TEST(Trace, LineCountCountsLinesTimesPasses) {
+  Trace t;
+  t.push_back({0, 128, 1, false});    // 2 lines
+  t.push_back({64, 65, 3, false});    // spans 2 lines, 3 passes
+  t.push_back({0, 0, 5, false});      // empty: ignored
+  EXPECT_EQ(trace_line_count(t, 64), 2u + 6u);
+  EXPECT_EQ(trace_bytes(t), 128u + 65u);
+}
+
+TEST(TraceStore, AddAndGet) {
+  TraceStore s;
+  EXPECT_FALSE(s.has(-1));
+  EXPECT_FALSE(s.has(0));
+  std::int32_t id = s.add({{0, 64, 1, false}});
+  EXPECT_TRUE(s.has(id));
+  EXPECT_EQ(s.get(id).size(), 1u);
+}
+
+TEST(Hierarchy, L2ThenL3ThenMemory) {
+  hw::Topology topo = hw::Topology::synthetic(2, 2, /*l3=*/64 * 128,
+                                              /*l2=*/64 * 16);
+  CacheHierarchy h(topo);
+  EXPECT_EQ(h.access_line(0, 5), HitLevel::kMemory);
+  EXPECT_EQ(h.access_line(0, 5), HitLevel::kL2);
+  // A different core of the same socket: misses its own L2, hits the
+  // shared L3 — the constructive sharing CAB exploits.
+  EXPECT_EQ(h.access_line(1, 5), HitLevel::kL3);
+  // A core of the *other* socket gets no such benefit.
+  EXPECT_EQ(h.access_line(2, 5), HitLevel::kMemory);
+}
+
+TEST(Hierarchy, WriteInvalidatesOtherSocketsOnly) {
+  hw::Topology topo = hw::Topology::synthetic(2, 2, 64 * 128, 64 * 16);
+  CacheHierarchy h(topo);
+  h.access_line(0, 9);                  // socket 0 caches line 9
+  h.access_line(2, 9);                  // socket 1 caches line 9
+  h.access_line(3, 9);                  // core 3 L2 caches it too
+  EXPECT_EQ(h.access_line(0, 9, /*write=*/true), HitLevel::kL2);
+  // Socket 1 lost every copy.
+  EXPECT_EQ(h.access_line(3, 9), HitLevel::kMemory);
+  // Writer's socket keeps it: core 1 hits socket 0's L3.
+  EXPECT_EQ(h.access_line(1, 9), HitLevel::kL3);
+}
+
+TEST(Hierarchy, StreamCostBuckets) {
+  hw::Topology topo = hw::Topology::synthetic(1, 1, 64 * 128, 64 * 16);
+  CacheHierarchy h(topo);
+  Trace t{{0, 64 * 8, 2, false}};  // 8 lines, 2 passes
+  StreamCost c = h.stream(0, t);
+  EXPECT_EQ(c.total_accesses(), 16u);
+  EXPECT_EQ(c.memory_fills, 8u);  // first pass cold
+  EXPECT_EQ(c.l2_hits, 8u);       // second pass hits (8 lines < 16-line L2)
+}
+
+TEST(Hierarchy, SocketStatsPartitionTotals) {
+  hw::Topology topo = hw::Topology::synthetic(2, 2, 64 * 128, 64 * 16);
+  CacheHierarchy h(topo);
+  for (std::uint64_t l = 0; l < 10; ++l) h.access_line(0, l);
+  for (std::uint64_t l = 0; l < 4; ++l) h.access_line(2, 100 + l);
+  LevelStats total = h.totals();
+  LevelStats s0 = h.socket_stats(0);
+  LevelStats s1 = h.socket_stats(1);
+  EXPECT_EQ(s0.l2_accesses + s1.l2_accesses, total.l2_accesses);
+  EXPECT_EQ(s0.l3_misses + s1.l3_misses, total.l3_misses);
+  EXPECT_EQ(s0.l2_accesses, 10u);
+  EXPECT_EQ(s1.l2_accesses, 4u);
+}
+
+TEST(Hierarchy, ResetStatsKeepsContents) {
+  hw::Topology topo = hw::Topology::synthetic(1, 1, 64 * 128, 64 * 16);
+  CacheHierarchy h(topo);
+  h.access_line(0, 1);
+  h.reset_stats();
+  EXPECT_EQ(h.totals().l2_accesses, 0u);
+  EXPECT_EQ(h.access_line(0, 1), HitLevel::kL2);  // still cached
+}
+
+TEST(Cache, RandomReplacementIsSeededAndInRange) {
+  Cache a(tiny_spec(64 * 8, 4), Replacement::kRandom, 42);
+  Cache b(tiny_spec(64 * 8, 4), Replacement::kRandom, 42);
+  // Same seed => identical behaviour.
+  for (std::uint64_t l = 0; l < 400; ++l) {
+    EXPECT_EQ(a.access_line(l % 37), b.access_line(l % 37));
+  }
+  EXPECT_EQ(a.misses(), b.misses());
+}
+
+TEST(Cache, TreePlruHitsRecentlyUsedLines) {
+  // 1 set x 4 ways: touching A,B,C,D then A again must keep A resident
+  // through the next single eviction.
+  Cache c(tiny_spec(64 * 4, 4), Replacement::kTreePlru);
+  c.access_line(1);
+  c.access_line(2);
+  c.access_line(3);
+  c.access_line(4);
+  c.access_line(1);     // A most-recently-used
+  c.access_line(5);     // evicts some non-A way
+  EXPECT_TRUE(c.contains(1));
+}
+
+TEST(Cache, TreePlruRequiresPowerOfTwoAssoc) {
+  // (Construction with assoc 48 would abort via CAB_CHECK; verified by
+  // only constructing valid shapes here.)
+  Cache c(tiny_spec(64 * 16, 16), Replacement::kTreePlru);
+  for (std::uint64_t l = 0; l < 64; ++l) c.access_line(l);
+  EXPECT_EQ(c.accesses(), 64u);
+}
+
+TEST(Cache, FillLineDoesNotCountAccesses) {
+  Cache c(tiny_spec(64 * 8, 4));
+  c.fill_line(7);
+  EXPECT_EQ(c.accesses(), 0u);
+  EXPECT_TRUE(c.access_line(7));  // prefetched line hits
+}
+
+TEST(Cache, InvalidationCounterTracksCoherenceTraffic) {
+  Cache c(tiny_spec(64 * 8, 4));
+  c.access_line(1);
+  c.access_line(2);
+  EXPECT_TRUE(c.invalidate_line(1));
+  EXPECT_FALSE(c.invalidate_line(1));
+  EXPECT_EQ(c.invalidations(), 1u);
+  c.reset_stats();
+  EXPECT_EQ(c.invalidations(), 0u);
+}
+
+/// Reference-model check: the LRU cache must agree, access for access,
+/// with a brute-force list-based LRU simulation on a random access
+/// stream (the gold standard for replacement correctness).
+TEST(Cache, LruMatchesBruteForceReference) {
+  constexpr std::uint64_t kSets = 4, kWays = 4;
+  Cache c(tiny_spec(64 * kSets * kWays, kWays));
+  std::vector<std::vector<std::uint64_t>> ref(kSets);  // MRU-first lists
+  util::Xorshift64 rng(2026);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t line = rng.next_below(64);
+    const std::size_t set = line % kSets;
+    auto& lst = ref[set];
+    auto it = std::find(lst.begin(), lst.end(), line);
+    const bool ref_hit = it != lst.end();
+    if (ref_hit) lst.erase(it);
+    lst.insert(lst.begin(), line);
+    if (lst.size() > kWays) lst.pop_back();
+    ASSERT_EQ(c.access_line(line), ref_hit) << "access " << i;
+  }
+}
+
+TEST(Hierarchy, L1FrontsTheL2) {
+  hw::Topology topo = hw::Topology::synthetic(1, 2, 64 * 128, 64 * 16);
+  HierarchyOptions o;
+  o.with_l1 = true;
+  o.l1 = hw::CacheSpec{64 * 4, 64, 4};
+  CacheHierarchy h(topo, o);
+  EXPECT_EQ(h.access_line(0, 9), HitLevel::kMemory);
+  EXPECT_EQ(h.access_line(0, 9), HitLevel::kL1);  // filled on the way in
+  LevelStats s = h.totals();
+  EXPECT_EQ(s.l1_accesses, 2u);
+  EXPECT_EQ(s.l1_misses, 1u);
+}
+
+TEST(Hierarchy, NextLinePrefetchTurnsSequentialMissesIntoHits) {
+  hw::Topology topo = hw::Topology::synthetic(1, 1, 64 * 1024, 64 * 64);
+  HierarchyOptions with;
+  with.next_line_prefetch = true;
+  CacheHierarchy pf(topo, with);
+  CacheHierarchy nopf(topo);
+  Trace t{{0, 64 * 512, 1, false}};
+  StreamCost a = pf.stream(0, t);
+  StreamCost b = nopf.stream(0, t);
+  // Sequential sweep: every other fill is prefetched away.
+  EXPECT_EQ(b.memory_fills, 512u);
+  EXPECT_EQ(a.memory_fills, 256u);
+  EXPECT_EQ(a.l2_hits, 256u);
+}
+
+TEST(Hierarchy, InvalidationsReportedInTotals) {
+  hw::Topology topo = hw::Topology::synthetic(2, 1, 64 * 128, 64 * 16);
+  CacheHierarchy h(topo);
+  h.access_line(0, 5);
+  h.access_line(1, 5);
+  h.access_line(0, 5, /*write=*/true);  // kills socket 1's L2+L3 copies
+  EXPECT_EQ(h.totals().invalidations, 2u);
+}
+
+/// Property: streaming a working set through one core, misses equal the
+/// footprint when it fits, and accesses when it far exceeds the cache.
+class FootprintProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FootprintProperty, MissesMatchFootprintRegime) {
+  const int lines = GetParam();
+  hw::Topology topo = hw::Topology::synthetic(1, 1, /*l3=*/64 * 1024,
+                                              /*l2=*/64 * 64);
+  CacheHierarchy h(topo);
+  Trace t{{0, static_cast<std::uint64_t>(lines) * 64, 4, false}};
+  h.stream(0, t);
+  LevelStats s = h.totals();
+  if (lines <= 1024) {
+    // Fits in L3: only the first pass misses to memory.
+    EXPECT_EQ(s.l3_misses, static_cast<std::uint64_t>(lines));
+  } else {
+    // Far larger than L3 with LRU + sequential sweep: near-zero reuse.
+    EXPECT_EQ(s.l3_misses, s.l3_accesses);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FootprintProperty,
+                         ::testing::Values(16, 64, 512, 1024, 2048, 8192));
+
+}  // namespace
+}  // namespace cab::cachesim

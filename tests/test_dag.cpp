@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "dag/generators.hpp"
+#include "dag/task_graph.hpp"
+
+namespace cab::dag {
+namespace {
+
+TEST(TaskGraph, RootOnlyGraph) {
+  TaskGraph g;
+  g.add_root(5, 3);
+  EXPECT_EQ(g.size(), 1u);
+  EXPECT_EQ(g.total_work(), 8u);
+  EXPECT_EQ(g.critical_path(), 8u);
+  EXPECT_EQ(g.max_level(), 0);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(TaskGraph, LevelsFollowPaperNumbering) {
+  // Fig. 1: main at level 0, heat at 1, leaves at 3.
+  TaskGraph g;
+  NodeId main = g.add_root(1);
+  NodeId heat = g.add_child(main, 1);
+  NodeId l = g.add_child(heat, 1);
+  NodeId r = g.add_child(heat, 1);
+  NodeId t4 = g.add_child(l, 10);
+  g.add_child(l, 10);
+  g.add_child(r, 10);
+  NodeId t7 = g.add_child(r, 10);
+  EXPECT_EQ(g.node(main).level, 0);
+  EXPECT_EQ(g.node(heat).level, 1);
+  EXPECT_EQ(g.node(t4).level, 3);
+  EXPECT_EQ(g.node(t7).level, 3);
+  EXPECT_EQ(g.count_at_level(3), 4u);
+  EXPECT_EQ(g.nodes_at_level(2).size(), 2u);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(TaskGraph, CriticalPathParallelTakesMax) {
+  TaskGraph g;
+  NodeId root = g.add_root(2, 1);
+  g.add_child(root, 10);
+  g.add_child(root, 50);
+  g.add_child(root, 20);
+  EXPECT_EQ(g.total_work(), 2u + 1 + 10 + 50 + 20);
+  EXPECT_EQ(g.critical_path(), 2u + 50 + 1);
+}
+
+TEST(TaskGraph, CriticalPathSequentialSumsPhases) {
+  TaskGraph g;
+  NodeId root = g.add_root(2, 1);
+  g.set_sequential(root, true);
+  g.add_child(root, 10);
+  g.add_child(root, 50);
+  g.add_child(root, 20);
+  EXPECT_EQ(g.critical_path(), 2u + 10 + 50 + 20 + 1);
+}
+
+TEST(TaskGraph, CriticalPathNested) {
+  TaskGraph g;
+  NodeId root = g.add_root(1);
+  NodeId a = g.add_child(root, 1, 4);  // post work counts on the path
+  g.add_child(a, 100);
+  g.add_child(a, 7);
+  NodeId b = g.add_child(root, 1);
+  g.add_child(b, 30);
+  EXPECT_EQ(g.critical_path(), 1u + (1 + 100 + 4));
+}
+
+TEST(TaskGraph, BranchingDegree) {
+  TaskGraph g = make_recursive_dnc(3, 2, 5);
+  EXPECT_EQ(g.branching_degree(), 3);
+}
+
+TEST(Generators, RecursiveDncShape) {
+  // B=2, depth 3: main(0) -> 1 -> 2 -> 4 leaves at level 3.
+  TaskGraph g = make_recursive_dnc(2, 3, 100, 1);
+  EXPECT_TRUE(g.validate());
+  EXPECT_EQ(g.max_level(), 3);
+  EXPECT_EQ(g.count_at_level(0), 1u);
+  EXPECT_EQ(g.count_at_level(1), 1u);
+  EXPECT_EQ(g.count_at_level(2), 2u);
+  EXPECT_EQ(g.count_at_level(3), 4u);
+  EXPECT_EQ(g.size(), 8u);
+  // Leaves carry leaf work.
+  for (NodeId n : g.nodes_at_level(3)) EXPECT_EQ(g.node(n).pre_work, 100u);
+}
+
+TEST(Generators, RecursiveDncDepthOne) {
+  TaskGraph g = make_recursive_dnc(2, 1, 42);
+  EXPECT_EQ(g.size(), 2u);  // main + one leaf
+  EXPECT_EQ(g.node(1).pre_work, 42u);
+}
+
+TEST(Generators, FlatGraph) {
+  TaskGraph g = make_flat(10, 7);
+  EXPECT_TRUE(g.validate());
+  EXPECT_EQ(g.size(), 11u);
+  EXPECT_EQ(g.count_at_level(1), 10u);
+  EXPECT_EQ(g.max_level(), 1);
+}
+
+TEST(Generators, IrregularIsDeterministicPerSeed) {
+  TaskGraph a = make_irregular(5, 4, 6, 500, 100);
+  TaskGraph b = make_irregular(5, 4, 6, 500, 100);
+  EXPECT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.total_work(), b.total_work());
+  EXPECT_EQ(a.critical_path(), b.critical_path());
+  TaskGraph c = make_irregular(6, 4, 6, 500, 100);
+  EXPECT_TRUE(a.size() != c.size() || a.total_work() != c.total_work());
+}
+
+/// Property sweep: structural invariants hold over many random graphs.
+class IrregularGraphProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(IrregularGraphProperty, InvariantsHold) {
+  TaskGraph g = make_irregular(GetParam(), 5, 8, 400, 50);
+  ASSERT_TRUE(g.validate());
+  EXPECT_GE(g.size(), 1u);
+  EXPECT_LE(g.size(), 400u);
+  EXPECT_LE(g.max_level(), 8);
+  // T_inf <= T_1 always; equality iff the graph is a chain.
+  EXPECT_LE(g.critical_path(), g.total_work());
+  EXPECT_GT(g.critical_path(), 0u);
+  // Children count at each level is consistent with parents.
+  std::size_t total = 0;
+  for (std::int32_t lvl = 0; lvl <= g.max_level(); ++lvl)
+    total += g.count_at_level(lvl);
+  EXPECT_EQ(total, g.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IrregularGraphProperty,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+}  // namespace
+}  // namespace cab::dag

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "deque/chase_lev_deque.hpp"
+#include "deque/locked_deque.hpp"
+
+namespace cab::deque {
+namespace {
+
+int* tok(std::intptr_t v) { return reinterpret_cast<int*>(v); }
+std::intptr_t val(int* p) { return reinterpret_cast<std::intptr_t>(p); }
+
+TEST(ChaseLev, EmptyPopsReturnNull) {
+  ChaseLevDeque<int*> d;
+  EXPECT_EQ(d.pop_bottom(), nullptr);
+  EXPECT_EQ(d.steal_top(), nullptr);
+  EXPECT_TRUE(d.empty_estimate());
+}
+
+TEST(ChaseLev, LifoForOwner) {
+  ChaseLevDeque<int*> d;
+  for (std::intptr_t i = 1; i <= 5; ++i) d.push_bottom(tok(i));
+  for (std::intptr_t i = 5; i >= 1; --i) EXPECT_EQ(val(d.pop_bottom()), i);
+  EXPECT_EQ(d.pop_bottom(), nullptr);
+}
+
+TEST(ChaseLev, FifoForThief) {
+  ChaseLevDeque<int*> d;
+  for (std::intptr_t i = 1; i <= 5; ++i) d.push_bottom(tok(i));
+  for (std::intptr_t i = 1; i <= 5; ++i) EXPECT_EQ(val(d.steal_top()), i);
+  EXPECT_EQ(d.steal_top(), nullptr);
+}
+
+TEST(ChaseLev, GrowsPastInitialCapacity) {
+  ChaseLevDeque<int*> d(8);
+  constexpr std::intptr_t kN = 10000;
+  for (std::intptr_t i = 1; i <= kN; ++i) d.push_bottom(tok(i));
+  EXPECT_EQ(d.size_estimate(), static_cast<std::size_t>(kN));
+  for (std::intptr_t i = kN; i >= 1; --i) EXPECT_EQ(val(d.pop_bottom()), i);
+}
+
+TEST(ChaseLev, InterleavedPushPopSteal) {
+  ChaseLevDeque<int*> d;
+  d.push_bottom(tok(1));
+  d.push_bottom(tok(2));
+  EXPECT_EQ(val(d.steal_top()), 1);
+  d.push_bottom(tok(3));
+  EXPECT_EQ(val(d.pop_bottom()), 3);
+  EXPECT_EQ(val(d.pop_bottom()), 2);
+  EXPECT_EQ(d.pop_bottom(), nullptr);
+}
+
+/// Owner pushes/pops while thieves steal: every token must be consumed
+/// exactly once (no loss, no duplication) — the core Chase-Lev contract.
+TEST(ChaseLev, StressNoLossNoDuplication) {
+  constexpr std::intptr_t kItems = 200000;
+  constexpr int kThieves = 3;
+  ChaseLevDeque<int*> d;
+  std::vector<std::atomic<int>> seen(kItems + 1);
+  for (auto& s : seen) s.store(0);
+  std::atomic<bool> done{false};
+  std::atomic<std::intptr_t> consumed{0};
+
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire) ||
+             consumed.load() < kItems) {
+        if (int* p = d.steal_top()) {
+          seen[static_cast<std::size_t>(val(p))].fetch_add(1);
+          consumed.fetch_add(1);
+        }
+        if (consumed.load() >= kItems) break;
+      }
+    });
+  }
+
+  // Owner: push all, popping a few along the way.
+  for (std::intptr_t i = 1; i <= kItems; ++i) {
+    d.push_bottom(tok(i));
+    if (i % 3 == 0) {
+      if (int* p = d.pop_bottom()) {
+        seen[static_cast<std::size_t>(val(p))].fetch_add(1);
+        consumed.fetch_add(1);
+      }
+    }
+  }
+  // Owner drains the rest.
+  while (int* p = d.pop_bottom()) {
+    seen[static_cast<std::size_t>(val(p))].fetch_add(1);
+    consumed.fetch_add(1);
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : thieves) t.join();
+  // Thieves may have taken what the owner could not; drain remainder.
+  while (int* p = d.steal_top()) {
+    seen[static_cast<std::size_t>(val(p))].fetch_add(1);
+    consumed.fetch_add(1);
+  }
+
+  EXPECT_EQ(consumed.load(), kItems);
+  for (std::intptr_t i = 1; i <= kItems; ++i)
+    EXPECT_EQ(seen[static_cast<std::size_t>(i)].load(), 1) << "token " << i;
+}
+
+TEST(LockedDeque, BottomIsLifoTopIsFifo) {
+  LockedDeque<int*> d;
+  for (std::intptr_t i = 1; i <= 4; ++i) d.push_bottom(tok(i));
+  EXPECT_EQ(d.size(), 4u);
+  EXPECT_EQ(val(d.pop_bottom()), 4);
+  EXPECT_EQ(val(d.steal_top()), 1);
+  EXPECT_EQ(val(d.steal_top()), 2);
+  EXPECT_EQ(val(d.pop_bottom()), 3);
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.pop_bottom(), nullptr);
+  EXPECT_EQ(d.steal_top(), nullptr);
+}
+
+TEST(LockedDeque, ConcurrentMixedTraffic) {
+  LockedDeque<int*> d;
+  constexpr std::intptr_t kItems = 50000;
+  std::atomic<std::intptr_t> popped{0};
+  std::thread producer([&] {
+    for (std::intptr_t i = 1; i <= kItems; ++i) d.push_bottom(tok(i));
+  });
+  std::vector<std::thread> consumers;
+  for (int t = 0; t < 3; ++t) {
+    consumers.emplace_back([&] {
+      while (popped.load() < kItems) {
+        if (d.steal_top() != nullptr) popped.fetch_add(1);
+      }
+    });
+  }
+  producer.join();
+  for (auto& c : consumers) c.join();
+  EXPECT_EQ(popped.load(), kItems);
+  EXPECT_TRUE(d.empty());
+}
+
+}  // namespace
+}  // namespace cab::deque

@@ -1,0 +1,161 @@
+// The future-work extension (Section VII): footprint-driven per-node tier
+// assignment, replacing the single boundary level.
+
+#include <gtest/gtest.h>
+
+#include "apps/heat.hpp"
+#include "core/cab.hpp"
+#include "dag/flexible.hpp"
+#include "dag/generators.hpp"
+
+namespace cab::dag {
+namespace {
+
+/// bytes(trace_id) for graphs whose leaves all touch `leaf_bytes`.
+TraceBytesFn uniform_bytes(std::uint64_t leaf_bytes) {
+  return [leaf_bytes](std::int32_t id) -> std::uint64_t {
+    return id >= 0 ? leaf_bytes : 0;
+  };
+}
+
+TEST(FootprintPartition, UniformTreeCutsWhereSubtreesFit) {
+  // Depth-4 B=2 tree: 8 leaves (level 4) of 1 MiB; subtree footprints by
+  // level are 8, 4, 2, 1 MiB. Sc = 4 MiB: phase 1 cuts at level 2 (the
+  // highest fitting nodes, 2 of them); Eq. 1 then splits both to reach
+  // 4 cuts — final cuts are the four level-3 nodes.
+  TaskGraph g2 = make_recursive_dnc(2, 4, 100, 1);
+  for (std::size_t i = 0; i < g2.size(); ++i) {
+    if (g2.node(static_cast<NodeId>(i)).children.empty())
+      g2.set_traces(static_cast<NodeId>(i), static_cast<std::int32_t>(i), -1);
+  }
+  NodeTiers t = footprint_partition(g2, uniform_bytes(1ull << 20),
+                                    /*sc=*/4ull << 20, /*sockets=*/4);
+  EXPECT_EQ(t.cut_count(), 4u);
+  for (std::size_t i = 0; i < g2.size(); ++i) {
+    const auto& n = g2.node(static_cast<NodeId>(i));
+    if (t.leaf_inter(static_cast<NodeId>(i))) {
+      EXPECT_EQ(n.level, 3);
+      EXPECT_TRUE(t.inter(static_cast<NodeId>(i)));
+    } else if (n.level < 3) {
+      EXPECT_TRUE(t.inter(static_cast<NodeId>(i)));
+    } else if (n.level > 3) {
+      EXPECT_FALSE(t.inter(static_cast<NodeId>(i)));
+    }
+  }
+}
+
+TEST(FootprintPartition, SplitsLargestCutUntilEnoughForSockets) {
+  // Everything fits Sc at the root => one cut; Eq. 1 forces splitting
+  // down to >= 4 cuts.
+  TaskGraph g = make_recursive_dnc(2, 3, 10, 1);
+  NodeTiers t = footprint_partition(g, uniform_bytes(64), 1ull << 30, 4);
+  EXPECT_GE(t.cut_count(), 4u);
+}
+
+TEST(FootprintPartition, ImbalancedTreeCutsAtDifferentDepths) {
+  // Left subtree heavy (8 MiB), right subtree light (1 MiB), Sc = 2 MiB:
+  // the left side must be cut deeper than the right.
+  TaskGraph g;
+  NodeId root = g.add_root(1);
+  NodeId top = g.add_child(root, 1);
+  NodeId heavy = g.add_child(top, 1);
+  NodeId light = g.add_child(top, 1);
+  std::vector<std::uint64_t> bytes_by_trace;
+  auto add_leaf = [&](NodeId parent, std::uint64_t mib) {
+    NodeId l = g.add_child(parent, 10);
+    g.set_traces(l, static_cast<std::int32_t>(bytes_by_trace.size()), -1);
+    bytes_by_trace.push_back(mib << 20);
+    return l;
+  };
+  // Heavy: 2 children with two 2-MiB leaves each (8 MiB total).
+  NodeId h1 = g.add_child(heavy, 1);
+  NodeId h2 = g.add_child(heavy, 1);
+  add_leaf(h1, 2);
+  add_leaf(h1, 2);
+  add_leaf(h2, 2);
+  add_leaf(h2, 2);
+  // Light: two half-MiB leaves.
+  add_leaf(light, 1);
+
+  NodeTiers t = footprint_partition(
+      g,
+      [&](std::int32_t id) -> std::uint64_t {
+        return id >= 0 ? bytes_by_trace[static_cast<std::size_t>(id)] : 0;
+      },
+      /*sc=*/2ull << 20, /*sockets=*/2);
+  // Light subtree fits whole (1 MiB <= 2 MiB) => cut at `light`.
+  EXPECT_TRUE(t.leaf_inter(light));
+  // Heavy side: neither `heavy` (8 MiB) nor h1/h2 (4 MiB each) fit; cuts
+  // land on the 2 MiB leaves.
+  EXPECT_FALSE(t.leaf_inter(heavy));
+  EXPECT_FALSE(t.leaf_inter(h1));
+  EXPECT_TRUE(t.inter(h1));
+}
+
+TEST(FootprintPartition, FromBoundaryLevelMatchesUniformAssignment) {
+  TaskGraph g = make_recursive_dnc(2, 4, 100, 1);
+  TierAssignment tier{2};
+  NodeTiers t = NodeTiers::from_boundary_level(g, tier);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    const auto& n = g.node(static_cast<NodeId>(i));
+    EXPECT_EQ(t.inter(static_cast<NodeId>(i)), tier.is_inter(n.level));
+    EXPECT_EQ(t.leaf_inter(static_cast<NodeId>(i)),
+              tier.is_leaf_inter(n.level));
+  }
+}
+
+TEST(FlexibleSim, EquivalentToUniformBlOnRegularTree) {
+  // On heat's regular DAG the footprint cuts coincide with a uniform
+  // level, so both partitioners must produce the same schedule.
+  apps::HeatParams p;
+  p.rows = 512;
+  p.cols = 256;
+  p.steps = 3;
+  p.leaf_rows = 64;
+  apps::DagBundle b = apps::build_heat_dag(p);
+  const hw::Topology topo = hw::Topology::opteron_8380();
+
+  simsched::SimOptions o;
+  o.topo = topo;
+  o.policy = simsched::SimPolicy::kCab;
+  o.boundary_level = bundle_boundary_level(b, topo);
+  simsched::SimResult uniform =
+      simsched::Simulator(o).run(b.graph, b.traces);
+
+  NodeTiers flex = NodeTiers::from_boundary_level(
+      b.graph, TierAssignment{o.boundary_level});
+  o.flexible_tiers = &flex;
+  simsched::SimResult flexible =
+      simsched::Simulator(o).run(b.graph, b.traces);
+  EXPECT_DOUBLE_EQ(uniform.makespan, flexible.makespan);
+  EXPECT_EQ(uniform.cache.l3_misses, flexible.cache.l3_misses);
+}
+
+TEST(FlexibleSim, RunsFootprintTiersEndToEnd) {
+  apps::HeatParams p;
+  p.rows = 512;
+  p.cols = 512;
+  p.steps = 4;
+  p.leaf_rows = 64;
+  apps::DagBundle b = apps::build_heat_dag(p);
+  const hw::Topology topo = hw::Topology::opteron_8380();
+  NodeTiers flex = footprint_partition(
+      b.graph,
+      [&](std::int32_t id) -> std::uint64_t {
+        return id >= 0 ? cachesim::trace_bytes(
+                             b.traces.get(id))
+                       : 0;
+      },
+      topo.shared_cache_bytes(), topo.sockets());
+  EXPECT_GE(flex.cut_count(), static_cast<std::size_t>(topo.sockets()));
+
+  simsched::SimOptions o;
+  o.topo = topo;
+  o.policy = simsched::SimPolicy::kCab;
+  o.flexible_tiers = &flex;
+  simsched::SimResult r = simsched::Simulator(o).run(b.graph, b.traces);
+  EXPECT_GT(r.makespan, 0.0);
+}
+
+}  // namespace
+}  // namespace cab::dag

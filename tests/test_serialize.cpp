@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "apps/heat.hpp"
+#include "apps/mergesort.hpp"
+#include "apps/queens.hpp"
+#include "apps/serialize.hpp"
+#include "core/cab.hpp"
+
+namespace cab::apps {
+namespace {
+
+void expect_bundles_equal(const DagBundle& a, const DagBundle& b) {
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.branching, b.branching);
+  EXPECT_EQ(a.input_bytes, b.input_bytes);
+  ASSERT_EQ(a.graph.size(), b.graph.size());
+  for (std::size_t i = 0; i < a.graph.size(); ++i) {
+    const auto& na = a.graph.node(static_cast<dag::NodeId>(i));
+    const auto& nb = b.graph.node(static_cast<dag::NodeId>(i));
+    EXPECT_EQ(na.parent, nb.parent) << i;
+    EXPECT_EQ(na.level, nb.level) << i;
+    EXPECT_EQ(na.pre_work, nb.pre_work) << i;
+    EXPECT_EQ(na.post_work, nb.post_work) << i;
+    EXPECT_EQ(na.pre_trace, nb.pre_trace) << i;
+    EXPECT_EQ(na.post_trace, nb.post_trace) << i;
+    EXPECT_EQ(na.sequential, nb.sequential) << i;
+    EXPECT_EQ(na.children, nb.children) << i;
+  }
+  ASSERT_EQ(a.traces.size(), b.traces.size());
+  for (std::size_t i = 0; i < a.traces.size(); ++i) {
+    const auto& ta = a.traces.get(static_cast<std::int32_t>(i));
+    const auto& tb = b.traces.get(static_cast<std::int32_t>(i));
+    ASSERT_EQ(ta.size(), tb.size()) << "trace " << i;
+    for (std::size_t r = 0; r < ta.size(); ++r) {
+      EXPECT_EQ(ta[r].base, tb[r].base);
+      EXPECT_EQ(ta[r].bytes, tb[r].bytes);
+      EXPECT_EQ(ta[r].passes, tb[r].passes);
+      EXPECT_EQ(ta[r].write, tb[r].write);
+    }
+  }
+}
+
+TEST(Serialize, HeatRoundTrip) {
+  HeatParams p;
+  p.rows = 256;
+  p.cols = 128;
+  p.steps = 3;
+  p.leaf_rows = 64;
+  DagBundle original = build_heat_dag(p);
+  std::stringstream ss;
+  save_bundle(original, ss);
+  DagBundle loaded = load_bundle(ss);
+  expect_bundles_equal(original, loaded);
+}
+
+TEST(Serialize, MergesortRoundTripWithPostTraces) {
+  MergesortParams p;
+  p.n = 1 << 14;
+  p.leaf_elems = 1 << 12;
+  DagBundle original = build_mergesort_dag(p);
+  std::stringstream ss;
+  save_bundle(original, ss);
+  DagBundle loaded = load_bundle(ss);
+  expect_bundles_equal(original, loaded);
+}
+
+TEST(Serialize, CpuBoundBundleWithoutTraces) {
+  QueensParams p;
+  p.n = 7;
+  p.spawn_depth = 2;
+  DagBundle original = build_queens_dag(p);
+  std::stringstream ss;
+  save_bundle(original, ss);
+  DagBundle loaded = load_bundle(ss);
+  expect_bundles_equal(original, loaded);
+}
+
+TEST(Serialize, LoadedBundleSimulatesIdentically) {
+  HeatParams p;
+  p.rows = 256;
+  p.cols = 256;
+  p.steps = 4;
+  p.leaf_rows = 64;
+  DagBundle original = build_heat_dag(p);
+  std::stringstream ss;
+  save_bundle(original, ss);
+  DagBundle loaded = load_bundle(ss);
+
+  const hw::Topology topo = hw::Topology::synthetic(2, 2, 1ull << 20);
+  Comparison a = compare_schedulers(original, topo);
+  Comparison b = compare_schedulers(loaded, topo);
+  EXPECT_DOUBLE_EQ(a.cab.makespan, b.cab.makespan);
+  EXPECT_DOUBLE_EQ(a.cilk.makespan, b.cilk.makespan);
+  EXPECT_EQ(a.cab.cache.l3_misses, b.cab.cache.l3_misses);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  HeatParams p;
+  p.rows = 128;
+  p.cols = 64;
+  p.steps = 2;
+  p.leaf_rows = 64;
+  DagBundle original = build_heat_dag(p);
+  const std::string path = ::testing::TempDir() + "/cab_bundle_test.dag";
+  ASSERT_TRUE(save_bundle_file(original, path));
+  DagBundle loaded = load_bundle_file(path);
+  expect_bundles_equal(original, loaded);
+}
+
+TEST(Serialize, RejectsWrongMagic) {
+  std::stringstream ss("NOTCAB 1\n");
+  EXPECT_DEATH(load_bundle(ss), "CABDAG");
+}
+
+TEST(Serialize, RejectsForwardParentReference) {
+  std::stringstream ss(
+      "CABDAG 1\nname x\nbranching 2\ninput_bytes 0\nnodes 2\n"
+      "n -1 1 0 -1 -1 0\n"
+      "n 5 1 0 -1 -1 0\n"
+      "traces 0\n");
+  EXPECT_DEATH(load_bundle(ss), "parent");
+}
+
+}  // namespace
+}  // namespace cab::apps

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "hw/sysfs_topology.hpp"
+
+namespace cab::hw {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(ParseCpulist, SinglesRangesAndMixes) {
+  EXPECT_EQ(parse_cpulist("0"), (std::vector<int>{0}));
+  EXPECT_EQ(parse_cpulist("0-3"), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(parse_cpulist("0-1,4,6-7"), (std::vector<int>{0, 1, 4, 6, 7}));
+  EXPECT_EQ(parse_cpulist("15"), (std::vector<int>{15}));
+}
+
+TEST(ParseCpulist, RejectsMalformed) {
+  EXPECT_TRUE(parse_cpulist("").empty());
+  EXPECT_TRUE(parse_cpulist("a-b").empty());
+  EXPECT_TRUE(parse_cpulist("3-1").empty());
+  EXPECT_TRUE(parse_cpulist("1,,2").empty());
+}
+
+TEST(ParseCacheSize, UnitsAndPlainBytes) {
+  EXPECT_EQ(parse_cache_size("512K"), 512ull << 10);
+  EXPECT_EQ(parse_cache_size("6144K"), 6ull << 20);
+  EXPECT_EQ(parse_cache_size("8M"), 8ull << 20);
+  EXPECT_EQ(parse_cache_size("1G"), 1ull << 30);
+  EXPECT_EQ(parse_cache_size("4096"), 4096u);
+  EXPECT_EQ(parse_cache_size(""), 0u);
+  EXPECT_EQ(parse_cache_size("junk"), 0u);
+  EXPECT_EQ(parse_cache_size("64X"), 0u);
+}
+
+/// Builds a fake sysfs tree mimicking the paper's 4x4 Opteron 8380.
+class FakeSysfs : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::path(::testing::TempDir()) /
+            ("cab_sysfs_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  void write(const fs::path& rel, const std::string& content) {
+    const fs::path p = root_ / rel;
+    fs::create_directories(p.parent_path());
+    std::ofstream(p) << content << "\n";
+  }
+
+  void add_cpu(int cpu, int package, const std::string& l2_size,
+               const std::string& l3_size, const std::string& l3_sharers) {
+    const std::string base = "cpu" + std::to_string(cpu);
+    write(base + "/topology/physical_package_id", std::to_string(package));
+    // index0: L1d (private), index1: L1i (skipped), index2: L2, index3: L3.
+    write(base + "/cache/index0/level", "1");
+    write(base + "/cache/index0/type", "Data");
+    write(base + "/cache/index0/size", "64K");
+    write(base + "/cache/index0/shared_cpu_list", std::to_string(cpu));
+    write(base + "/cache/index0/coherency_line_size", "64");
+    write(base + "/cache/index0/ways_of_associativity", "2");
+    write(base + "/cache/index1/level", "1");
+    write(base + "/cache/index1/type", "Instruction");
+    write(base + "/cache/index1/size", "64K");
+    write(base + "/cache/index2/level", "2");
+    write(base + "/cache/index2/type", "Unified");
+    write(base + "/cache/index2/size", l2_size);
+    write(base + "/cache/index2/shared_cpu_list", std::to_string(cpu));
+    write(base + "/cache/index2/coherency_line_size", "64");
+    write(base + "/cache/index2/ways_of_associativity", "16");
+    write(base + "/cache/index3/level", "3");
+    write(base + "/cache/index3/type", "Unified");
+    write(base + "/cache/index3/size", l3_size);
+    write(base + "/cache/index3/shared_cpu_list", l3_sharers);
+    write(base + "/cache/index3/coherency_line_size", "64");
+    write(base + "/cache/index3/ways_of_associativity", "48");
+  }
+
+  fs::path root_;
+};
+
+TEST_F(FakeSysfs, DetectsOpteronLikeMachine) {
+  for (int cpu = 0; cpu < 16; ++cpu) {
+    const int pkg = cpu / 4;
+    const int lo = pkg * 4;
+    add_cpu(cpu, pkg, "512K", "6144K",
+            std::to_string(lo) + "-" + std::to_string(lo + 3));
+  }
+  Topology t = Topology::synthetic(1, 1);
+  std::string notes;
+  ASSERT_TRUE(detect_from_sysfs(root_.string(), &t, &notes));
+  EXPECT_EQ(t.sockets(), 4);
+  EXPECT_EQ(t.cores_per_socket(), 4);
+  EXPECT_EQ(t.l2().size_bytes, 512ull << 10);
+  EXPECT_EQ(t.l2().associativity, 16u);
+  EXPECT_EQ(t.l3().size_bytes, 6ull << 20);
+  EXPECT_EQ(t.l3().associativity, 48u);
+  EXPECT_NE(notes.find("16 cpus in 4 packages"), std::string::npos);
+}
+
+TEST_F(FakeSysfs, SingleSocketMachine) {
+  for (int cpu = 0; cpu < 2; ++cpu)
+    add_cpu(cpu, 0, "512K", "6144K", "0-1");
+  Topology t = Topology::synthetic(1, 1);
+  ASSERT_TRUE(detect_from_sysfs(root_.string(), &t));
+  EXPECT_EQ(t.sockets(), 1);
+  EXPECT_EQ(t.cores_per_socket(), 2);
+}
+
+TEST_F(FakeSysfs, MissingTreeFails) {
+  Topology t = Topology::synthetic(1, 1);
+  EXPECT_FALSE(detect_from_sysfs((root_ / "nothing").string(), &t));
+}
+
+TEST_F(FakeSysfs, AsymmetricPackagesRejected) {
+  // 3 cpus over 2 packages: not symmetric; detection must bail out.
+  add_cpu(0, 0, "512K", "6144K", "0-1");
+  add_cpu(1, 0, "512K", "6144K", "0-1");
+  add_cpu(2, 1, "512K", "6144K", "2");
+  Topology t = Topology::synthetic(1, 1);
+  EXPECT_FALSE(detect_from_sysfs(root_.string(), &t));
+}
+
+TEST_F(FakeSysfs, OddCacheSizeGetsLegalizedAssociativity) {
+  // 5 MiB 48-way is not line*ways aligned; detection must adjust the
+  // associativity instead of aborting.
+  for (int cpu = 0; cpu < 4; ++cpu) add_cpu(cpu, cpu / 2, "512K", "5M", "0-1");
+  Topology t = Topology::synthetic(1, 1);
+  ASSERT_TRUE(detect_from_sysfs(root_.string(), &t));
+  EXPECT_EQ(t.l3().size_bytes, 5ull << 20);
+  EXPECT_EQ(t.l3().size_bytes %
+                (static_cast<std::uint64_t>(t.l3().line_bytes) *
+                 t.l3().associativity),
+            0u);
+}
+
+}  // namespace
+}  // namespace cab::hw

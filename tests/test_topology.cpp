@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "hw/affinity.hpp"
+#include "hw/topology.hpp"
+
+namespace cab::hw {
+namespace {
+
+TEST(Topology, Opteron8380MatchesPaperTestbed) {
+  Topology t = Topology::opteron_8380();
+  EXPECT_EQ(t.sockets(), 4);
+  EXPECT_EQ(t.cores_per_socket(), 4);
+  EXPECT_EQ(t.total_cores(), 16);
+  EXPECT_EQ(t.l2().size_bytes, 512ull << 10);
+  EXPECT_EQ(t.l3().size_bytes, 6ull << 20);
+  EXPECT_EQ(t.shared_cache_bytes(), 6ull << 20);
+}
+
+TEST(Topology, SocketOfMapsSocketMajor) {
+  Topology t = Topology::synthetic(3, 4);
+  EXPECT_EQ(t.socket_of(0), 0);
+  EXPECT_EQ(t.socket_of(3), 0);
+  EXPECT_EQ(t.socket_of(4), 1);
+  EXPECT_EQ(t.socket_of(11), 2);
+  EXPECT_EQ(t.first_core_of(0), 0);
+  EXPECT_EQ(t.first_core_of(2), 8);
+}
+
+TEST(Topology, CacheSpecSets) {
+  CacheSpec spec{6ull << 20, 64, 48};
+  EXPECT_EQ(spec.sets(), (6ull << 20) / (64 * 48));
+}
+
+TEST(Topology, SyntheticAdjustsAssociativityForOddSizes) {
+  // 5 MiB is not divisible by 64*48; constructor must still succeed.
+  Topology t = Topology::synthetic(2, 2, 5ull << 20);
+  EXPECT_GT(t.l3().associativity, 0u);
+  EXPECT_EQ(t.l3().size_bytes %
+                (static_cast<std::uint64_t>(t.l3().line_bytes) *
+                 t.l3().associativity),
+            0u);
+}
+
+TEST(Topology, DetectReturnsUsableTopology) {
+  Topology t = Topology::detect();
+  EXPECT_GE(t.sockets(), 1);
+  EXPECT_GE(t.cores_per_socket(), 1);
+  EXPECT_GT(t.l3().size_bytes, 0u);
+}
+
+TEST(Topology, DescribeMentionsGeometry) {
+  Topology t = Topology::opteron_8380();
+  std::string d = t.describe();
+  EXPECT_NE(d.find("4 sockets"), std::string::npos);
+  EXPECT_NE(d.find("6.0 MiB"), std::string::npos);
+}
+
+TEST(Affinity, BindCurrentThreadSucceedsModuloHost) {
+  EXPECT_GE(online_cpus(), 1);
+  // Core 1000 wraps modulo online CPUs — must not fail.
+  EXPECT_TRUE(bind_current_thread(1000));
+  EXPECT_TRUE(bind_current_thread(0));
+}
+
+}  // namespace
+}  // namespace cab::hw

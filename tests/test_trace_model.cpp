@@ -1,0 +1,207 @@
+// Model-integrity checks: the simulator trace models must cover exactly
+// the memory the real kernels touch — per iteration, every output row is
+// written once, reads cover the stencil halo, totals account for the
+// declared input size. These catch silent model drift (e.g. a builder
+// change that forgets the halo rows would shift every cache result).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "apps/ge.hpp"
+#include "apps/heat.hpp"
+#include "apps/mergesort.hpp"
+#include "apps/sor.hpp"
+
+namespace cab::apps {
+namespace {
+
+struct Interval {
+  std::uint64_t lo, hi;  // [lo, hi)
+};
+
+/// Union length of a set of byte intervals.
+std::uint64_t union_bytes(std::vector<Interval> v) {
+  std::sort(v.begin(), v.end(),
+            [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+  std::uint64_t total = 0, end = 0;
+  bool first = true;
+  for (const Interval& i : v) {
+    if (first || i.lo > end) {
+      total += i.hi - i.lo;
+      end = i.hi;
+      first = false;
+    } else if (i.hi > end) {
+      total += i.hi - end;
+      end = i.hi;
+    }
+  }
+  return total;
+}
+
+/// Collects per-node trace intervals of a bundle, keyed by 8 GiB array
+/// slots (apps::array_base spacing), split by read/write.
+struct Coverage {
+  std::map<std::uint64_t, std::vector<Interval>> reads, writes;
+};
+
+Coverage collect(const DagBundle& b) {
+  Coverage c;
+  auto add = [&](std::int32_t trace_id) {
+    if (!b.traces.has(trace_id)) return;
+    for (const cachesim::RangeAccess& r : b.traces.get(trace_id)) {
+      const std::uint64_t slot = r.base >> 33;
+      (r.write ? c.writes : c.reads)[slot].push_back(
+          {r.base, r.base + r.bytes});
+    }
+  };
+  for (std::size_t i = 0; i < b.graph.size(); ++i) {
+    const auto& n = b.graph.node(static_cast<dag::NodeId>(i));
+    add(n.pre_trace);
+    add(n.post_trace);
+  }
+  return c;
+}
+
+TEST(HeatTraceModel, EveryStepWritesTheWholeDestinationGrid) {
+  HeatParams p;
+  p.rows = 256;
+  p.cols = 128;
+  p.steps = 4;
+  p.leaf_rows = 32;
+  DagBundle b = build_heat_dag(p);
+  Coverage c = collect(b);
+  const std::uint64_t grid =
+      static_cast<std::uint64_t>(p.rows * p.cols) * sizeof(double);
+  // Two buffers alternate as dst: each accumulates steps/2 full writes;
+  // the union per buffer must equal exactly one grid.
+  ASSERT_EQ(c.writes.size(), 2u);
+  for (auto& [slot, intervals] : c.writes) {
+    EXPECT_EQ(union_bytes(intervals), grid) << "buffer slot " << slot;
+  }
+  // Reads cover the full grid too (halos included).
+  ASSERT_EQ(c.reads.size(), 2u);
+  for (auto& [slot, intervals] : c.reads) {
+    EXPECT_EQ(union_bytes(intervals), grid) << "buffer slot " << slot;
+  }
+}
+
+TEST(HeatTraceModel, LeafReadsIncludeHaloRows) {
+  HeatParams p;
+  p.rows = 128;
+  p.cols = 64;
+  p.steps = 1;
+  p.leaf_rows = 32;
+  DagBundle b = build_heat_dag(p);
+  const std::uint64_t row = static_cast<std::uint64_t>(p.cols) * 8;
+  // Interior leaves read (leaf_rows + 2) rows, write leaf_rows rows.
+  int interior_leaves = 0;
+  for (std::size_t i = 0; i < b.graph.size(); ++i) {
+    const auto& n = b.graph.node(static_cast<dag::NodeId>(i));
+    if (!b.traces.has(n.pre_trace)) continue;
+    const auto& t = b.traces.get(n.pre_trace);
+    ASSERT_EQ(t.size(), 2u);
+    EXPECT_FALSE(t[0].write);
+    EXPECT_TRUE(t[1].write);
+    if (t[0].bytes == (32 + 2) * row) ++interior_leaves;
+    EXPECT_EQ(t[1].bytes, 32 * row);
+  }
+  EXPECT_EQ(interior_leaves, 2);  // 4 leaves; 2 interior, 2 boundary
+}
+
+TEST(SorTraceModel, InPlaceWritesCoverInteriorPerPhase) {
+  SorParams p;
+  p.rows = 130;
+  p.cols = 64;
+  p.iterations = 1;
+  p.leaf_rows = 32;
+  DagBundle b = build_sor_dag(p);
+  Coverage c = collect(b);
+  ASSERT_EQ(c.writes.size(), 1u);  // single in-place buffer
+  const std::uint64_t interior =
+      static_cast<std::uint64_t>(p.rows - 2) * p.cols * sizeof(double);
+  // Union over both half-sweeps covers the interior rows exactly once.
+  EXPECT_EQ(union_bytes(c.writes.begin()->second), interior);
+}
+
+TEST(GeTraceModel, PanelsReadPivotRowsAndWriteTrailingRows) {
+  GeParams p;
+  p.n = 64;
+  p.leaf_rows = 16;
+  DagBundle b = build_ge_dag(p, /*pivots_per_phase=*/8);
+  // Every leaf's trace: first range read (pivot panel), second write
+  // (own rows), and the write's passes equal the panel's pivot count.
+  int leaves = 0;
+  for (std::size_t i = 0; i < b.graph.size(); ++i) {
+    const auto& n = b.graph.node(static_cast<dag::NodeId>(i));
+    if (!b.traces.has(n.pre_trace)) continue;
+    const auto& t = b.traces.get(n.pre_trace);
+    ASSERT_EQ(t.size(), 2u);
+    EXPECT_FALSE(t[0].write);
+    EXPECT_TRUE(t[1].write);
+    EXPECT_GE(t[1].passes, 1u);
+    EXPECT_LE(t[1].passes, 8u);
+    ++leaves;
+  }
+  EXPECT_GT(leaves, 0);
+}
+
+TEST(MergesortTraceModel, EveryLevelTouchesTheWholeArray) {
+  MergesortParams p;
+  p.n = 1 << 14;
+  p.leaf_elems = 1 << 11;
+  DagBundle b = build_mergesort_dag(p);
+  const std::uint64_t array =
+      static_cast<std::uint64_t>(p.n) * sizeof(std::int64_t);
+  // Leaf sorts cover [0, n) in the data buffer.
+  std::vector<Interval> leaf_writes;
+  // Merge posts per level also cover [0, n).
+  std::map<std::int32_t, std::vector<Interval>> merge_by_level;
+  for (std::size_t i = 0; i < b.graph.size(); ++i) {
+    const auto& n = b.graph.node(static_cast<dag::NodeId>(i));
+    if (b.traces.has(n.pre_trace) && n.children.empty()) {
+      const auto& t = b.traces.get(n.pre_trace);
+      leaf_writes.push_back({t[1].base, t[1].base + t[1].bytes});
+    }
+    if (b.traces.has(n.post_trace)) {
+      const auto& t = b.traces.get(n.post_trace);
+      merge_by_level[n.level].push_back({t[0].base, t[0].base + t[0].bytes});
+    }
+  }
+  EXPECT_EQ(union_bytes(leaf_writes), array);
+  for (auto& [level, intervals] : merge_by_level) {
+    EXPECT_EQ(union_bytes(intervals), array) << "merge level " << level;
+  }
+}
+
+TEST(TraceModel, DeclaredInputBytesMatchTracedFootprint) {
+  // Sd (what Eq. 4 sees) must equal the single-copy footprint the traces
+  // actually touch.
+  {
+    HeatParams p;
+    p.rows = 256;
+    p.cols = 256;
+    p.steps = 2;
+    p.leaf_rows = 64;
+    DagBundle b = build_heat_dag(p);
+    Coverage c = collect(b);
+    EXPECT_EQ(b.input_bytes, union_bytes(c.writes.begin()->second));
+  }
+  {
+    SorParams p;
+    p.rows = 256;
+    p.cols = 256;
+    p.iterations = 2;
+    p.leaf_rows = 64;
+    DagBundle b = build_sor_dag(p);
+    Coverage c = collect(b);
+    // SOR's Sd counts the whole grid; traces touch interior + halo reads
+    // = whole grid as well.
+    EXPECT_EQ(union_bytes(c.reads.begin()->second), b.input_bytes);
+  }
+}
+
+}  // namespace
+}  // namespace cab::apps

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "util/format.hpp"
+#include "util/rng.hpp"
+#include "util/spin_lock.hpp"
+
+namespace cab::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Xorshift64 a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xorshift64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Xorshift64 rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 7ull, 100ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Xorshift64 rng(99);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Xorshift64 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, SplitmixAdvancesState) {
+  std::uint64_t s = 0;
+  std::uint64_t a = splitmix64(s);
+  std::uint64_t b = splitmix64(s);
+  EXPECT_NE(a, b);
+  EXPECT_NE(s, 0u);
+}
+
+TEST(Format, HumanBytes) {
+  EXPECT_EQ(human_bytes(17), "17 B");
+  EXPECT_EQ(human_bytes(512ull << 10), "512.0 KiB");
+  EXPECT_EQ(human_bytes(6ull << 20), "6.0 MiB");
+  EXPECT_EQ(human_bytes(3ull << 30), "3.0 GiB");
+}
+
+TEST(Format, HumanCount) {
+  EXPECT_EQ(human_count(0), "0");
+  EXPECT_EQ(human_count(999), "999");
+  EXPECT_EQ(human_count(1000), "1,000");
+  EXPECT_EQ(human_count(1234567), "1,234,567");
+  EXPECT_EQ(human_count(12345678), "12,345,678");
+}
+
+TEST(Format, FormatFixed) {
+  EXPECT_EQ(format_fixed(0.6875, 3), "0.688");
+  EXPECT_EQ(format_fixed(68.7, 1), "68.7");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+}
+
+TEST(Format, TablePrinterAlignsColumns) {
+  TablePrinter t({"name", "Cilk", "CAB"});
+  t.add_row({"GE", "4203604", "2617207"});
+  t.add_row({"SOR", "14134418", "10863876"});
+  std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("GE"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(s.find("-+-"), std::string::npos);
+  // All lines equal length (alignment).
+  std::size_t first_nl = s.find('\n');
+  ASSERT_NE(first_nl, std::string::npos);
+}
+
+TEST(Format, TablePrinterPadsShortRows) {
+  TablePrinter t({"a", "b"});
+  t.add_row({"only-one"});
+  EXPECT_NE(t.to_string().find("only-one"), std::string::npos);
+}
+
+TEST(Format, HumanBytesBoundaries) {
+  EXPECT_EQ(human_bytes(0), "0 B");
+  EXPECT_EQ(human_bytes(1023), "1023 B");
+  EXPECT_EQ(human_bytes(1024), "1.0 KiB");
+  EXPECT_EQ(human_bytes((1ull << 20) + (1ull << 19)), "1.5 MiB");
+}
+
+TEST(Format, FormatFixedNegativeAndZero) {
+  EXPECT_EQ(format_fixed(-1.25, 2), "-1.25");
+  EXPECT_EQ(format_fixed(0.0, 1), "0.0");
+}
+
+TEST(SpinLock, MutualExclusionUnderContention) {
+  SpinLock lock;
+  std::int64_t counter = 0;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        std::lock_guard<SpinLock> g(lock);
+        ++counter;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, static_cast<std::int64_t>(kThreads) * kIters);
+}
+
+TEST(SpinLock, TryLockReflectsState) {
+  SpinLock lock;
+  EXPECT_TRUE(lock.try_lock());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+}  // namespace
+}  // namespace cab::util

@@ -1,0 +1,227 @@
+// cab_explore — command-line front end for the CAB simulator.
+//
+// Runs any registered Table III benchmark (or a synthetic D&C workload)
+// under CAB and/or the random-stealing baseline on an arbitrary virtual
+// MSMC topology, printing makespan, cache behavior and tier statistics.
+//
+// Usage:
+//   cab_explore [options]
+//     --app <name>        heat|sor|ge|mergesort|queens|fft|cholesky|ck
+//                         (default heat)
+//     --sockets <M>       virtual socket count       (default 4)
+//     --cores <N>         cores per socket           (default 4)
+//     --l3 <MiB>          shared cache per socket    (default 6)
+//     --bl <level>        boundary level; -1 = Eq. 4 (default -1)
+//     --policy <p>        cab|cilk|both              (default both)
+//     --seed <s>          RNG seed                   (default 1)
+//     --l1                model a private L1
+//     --prefetch          next-line prefetcher
+//     --bw <cyc/line>     per-socket bandwidth cap   (default off)
+//     --json              machine-readable result output
+//     --real              replay the DAG on the threaded runtime instead
+//     --dot               dump the (truncated) DAG as Graphviz instead
+//     --save <file>       serialize the workload bundle and exit
+//     --load <file>       run a previously saved bundle
+//     --list              list registered benchmarks
+//
+// Examples:
+//   cab_explore --app sor --sockets 8 --cores 4
+//   cab_explore --app mergesort --bl 2 --policy cab
+//   cab_explore --app heat --dot | dot -Tsvg > heat.svg
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "apps/registry.hpp"
+#include "apps/serialize.hpp"
+#include "core/cab.hpp"
+#include "runtime/graph_runner.hpp"
+#include "dag/bounds.hpp"
+#include "dag/dot_export.hpp"
+#include "util/format.hpp"
+
+namespace {
+
+struct Args {
+  std::string app = "heat";
+  int sockets = 4;
+  int cores = 4;
+  std::uint64_t l3_mib = 6;
+  int bl = -1;
+  std::string policy = "both";
+  std::uint64_t seed = 1;
+  bool l1 = false;
+  bool prefetch = false;
+  double bw = 0;
+  bool dot = false;
+  bool list = false;
+  bool real = false;
+  bool json = false;
+  std::string save_path;
+  std::string load_path;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--app NAME] [--sockets M] [--cores N] [--l3 MiB]"
+               " [--bl L|-1] [--policy cab|cilk|both] [--seed S] [--l1]"
+               " [--prefetch] [--bw CYC] [--dot] [--list]\n",
+               argv0);
+  std::exit(2);
+}
+
+Args parse(int argc, char** argv) {
+  Args a;
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage(argv[0]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* s = argv[i];
+    if (!std::strcmp(s, "--app")) a.app = need(i);
+    else if (!std::strcmp(s, "--sockets")) a.sockets = std::atoi(need(i));
+    else if (!std::strcmp(s, "--cores")) a.cores = std::atoi(need(i));
+    else if (!std::strcmp(s, "--l3"))
+      a.l3_mib = static_cast<std::uint64_t>(std::atoll(need(i)));
+    else if (!std::strcmp(s, "--bl")) a.bl = std::atoi(need(i));
+    else if (!std::strcmp(s, "--policy")) a.policy = need(i);
+    else if (!std::strcmp(s, "--seed"))
+      a.seed = static_cast<std::uint64_t>(std::atoll(need(i)));
+    else if (!std::strcmp(s, "--l1")) a.l1 = true;
+    else if (!std::strcmp(s, "--prefetch")) a.prefetch = true;
+    else if (!std::strcmp(s, "--bw")) a.bw = std::atof(need(i));
+    else if (!std::strcmp(s, "--dot")) a.dot = true;
+    else if (!std::strcmp(s, "--real")) a.real = true;
+    else if (!std::strcmp(s, "--json")) a.json = true;
+    else if (!std::strcmp(s, "--save")) a.save_path = need(i);
+    else if (!std::strcmp(s, "--load")) a.load_path = need(i);
+    else if (!std::strcmp(s, "--list")) a.list = true;
+    else usage(argv[0]);
+  }
+  return a;
+}
+
+void run_policy(const cab::apps::DagBundle& bundle, const Args& a,
+                const cab::hw::Topology& topo, int bl, bool is_cab) {
+  cab::simsched::SimOptions o;
+  o.topo = topo;
+  o.policy = is_cab ? cab::simsched::SimPolicy::kCab
+                    : cab::simsched::SimPolicy::kRandomStealing;
+  o.boundary_level = bl;
+  o.seed = a.seed;
+  o.hierarchy.with_l1 = a.l1;
+  o.hierarchy.next_line_prefetch = a.prefetch;
+  o.cost.socket_bandwidth_cycles_per_line = a.bw;
+  if (!is_cab) {
+    o.victims = cab::simsched::VictimSelection::kUniformRandom;
+    o.cost.duration_jitter = cab::simsched::CostModel::kScrambleJitter;
+  }
+  cab::simsched::SimResult r =
+      cab::simsched::Simulator(o).run(bundle.graph, bundle.traces);
+  if (a.json) {
+    std::printf("{\"policy\":\"%s\",\"result\":%s}\n",
+                to_string(o.policy), r.to_json().c_str());
+    return;
+  }
+  std::printf("%-16s %s\n", to_string(o.policy), r.summary().c_str());
+  for (std::size_t s = 0; s < r.socket_cache.size(); ++s) {
+    std::printf("  socket %zu: L2 miss %s, L3 miss %s\n", s,
+                cab::util::human_count(r.socket_cache[s].l2_misses).c_str(),
+                cab::util::human_count(r.socket_cache[s].l3_misses).c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args a = parse(argc, argv);
+
+  if (a.list) {
+    for (const auto& e : cab::apps::app_registry()) {
+      std::printf("%-10s %s\n", e.name.c_str(),
+                  e.memory_bound ? "memory-bound" : "CPU-bound");
+    }
+    return 0;
+  }
+
+  cab::apps::DagBundle bundle;
+  if (!a.load_path.empty()) {
+    bundle = cab::apps::load_bundle_file(a.load_path);
+    a.app = bundle.name;
+  } else {
+    bool known = false;
+    for (const auto& e : cab::apps::app_registry()) known |= e.name == a.app;
+    if (!known) {
+      std::fprintf(stderr, "unknown app '%s' (try --list)\n", a.app.c_str());
+      return 2;
+    }
+    bundle = cab::apps::build_app(a.app);
+  }
+  if (!a.save_path.empty()) {
+    if (!cab::apps::save_bundle_file(bundle, a.save_path)) {
+      std::fprintf(stderr, "cannot write %s\n", a.save_path.c_str());
+      return 1;
+    }
+    std::printf("saved %s (%zu tasks) to %s\n", a.app.c_str(),
+                bundle.graph.size(), a.save_path.c_str());
+    return 0;
+  }
+
+  cab::hw::Topology topo =
+      cab::hw::Topology::synthetic(a.sockets, a.cores, a.l3_mib << 20);
+  const int bl =
+      a.bl >= 0 ? a.bl : cab::bundle_boundary_level(bundle, topo);
+
+  if (a.dot) {
+    std::fputs(
+        cab::dag::to_dot(bundle.graph, cab::dag::TierAssignment{bl}).c_str(),
+        stdout);
+    return 0;
+  }
+
+  if (!a.json)
+  std::printf("app: %s (%zu tasks, Sd=%s, B=%d)\n", a.app.c_str(),
+              bundle.graph.size(),
+              cab::util::human_bytes(bundle.input_bytes).c_str(),
+              bundle.branching);
+  if (!a.json) {
+    std::printf("machine: %s\n", topo.describe().c_str());
+    cab::dag::TierAnalysis ta =
+        cab::dag::analyze_tiers(bundle.graph, cab::dag::TierAssignment{bl});
+    std::printf("partition: BL=%d (%s)\n", bl, ta.summary().c_str());
+  }
+
+  if (a.real) {
+    // Replay the DAG on the *threaded* runtime (virtual topology; thread
+    // count = sockets x cores). Work units become spin cycles.
+    for (const char* pol : {"cab", "cilk"}) {
+      if (a.policy != "both" && a.policy != pol) continue;
+      cab::runtime::Options ro;
+      ro.topo = topo;
+      ro.kind = pol == std::string("cab")
+                    ? cab::runtime::SchedulerKind::kCab
+                    : cab::runtime::SchedulerKind::kRandomStealing;
+      ro.boundary_level = ro.kind == cab::runtime::SchedulerKind::kCab ? bl : 0;
+      cab::runtime::Runtime rt(ro);
+      const auto t0 = std::chrono::steady_clock::now();
+      const std::size_t nodes =
+          cab::runtime::run_graph(rt, bundle.graph, /*work_scale=*/0.25);
+      const double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+      std::printf("%-16s real threads: %zu tasks in %.1f ms (%s)\n",
+                  to_string(ro.kind), nodes, ms,
+                  rt.stats().summary().c_str());
+    }
+    return 0;
+  }
+
+  if (a.policy == "cab" || a.policy == "both")
+    run_policy(bundle, a, topo, bl, /*is_cab=*/true);
+  if (a.policy == "cilk" || a.policy == "both")
+    run_policy(bundle, a, topo, /*bl=*/0, /*is_cab=*/false);
+  return 0;
+}
