@@ -2,9 +2,12 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <string>
 
 #include "core/cab.hpp"
+#include "obs/chrome_trace.hpp"
+#include "runtime/graph_runner.hpp"
 
 namespace cab::bench {
 
@@ -23,6 +26,50 @@ inline double bench_scale() {
 
 inline std::int64_t scaled(std::int64_t v) {
   return static_cast<std::int64_t>(static_cast<double>(v) * bench_scale());
+}
+
+/// Value of `--trace=<file>` (or `--trace <file>`) in argv, else "".
+inline std::string trace_path_from_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--trace=", 0) == 0) return a.substr(8);
+    if (a == "--trace" && i + 1 < argc) return argv[i + 1];
+  }
+  return "";
+}
+
+/// `--trace=<file>` support for the figure benches: when the flag is
+/// present, replays the bench's representative workload (built lazily by
+/// `make_bundle`) on the *real threaded runtime* — paper topology, Eq. 4
+/// boundary level, timeline tracing on — and writes a Chrome-trace JSON
+/// dump. View it in chrome://tracing / Perfetto, or summarize
+/// steal-latency percentiles and squad occupancy with `tools/cab_trace`.
+/// Returns the bench's exit code (0 when the flag is absent).
+inline int dump_trace_if_requested(
+    int argc, char** argv,
+    const std::function<apps::DagBundle()>& make_bundle) {
+  const std::string path = trace_path_from_args(argc, argv);
+  if (path.empty()) return 0;
+  apps::DagBundle bundle = make_bundle();
+  runtime::Options o;
+  o.topo = paper_topology();
+  o.kind = runtime::SchedulerKind::kCab;
+  o.boundary_level = bundle_boundary_level(bundle, o.topo);
+  o.trace = true;
+  runtime::Runtime rt(o);
+  runtime::run_graph(rt, bundle.graph);
+  const obs::Trace t = rt.trace();
+  if (!obs::write_chrome_trace_file(t, path)) {
+    std::fprintf(stderr, "cannot write trace file: %s\n", path.c_str());
+    return 1;
+  }
+  std::printf(
+      "trace: %s on %s (BL=%d) -> %s (%zu events, %llu dropped)\n"
+      "view in chrome://tracing or summarize with: cab_trace %s\n",
+      bundle.name.c_str(), to_string(o.kind), o.boundary_level, path.c_str(),
+      t.event_count(), static_cast<unsigned long long>(t.dropped_count()),
+      path.c_str());
+  return 0;
 }
 
 inline void print_header(const char* title, const char* paper_ref) {

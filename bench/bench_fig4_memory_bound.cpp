@@ -62,7 +62,9 @@ void run() {
 }  // namespace
 }  // namespace cab::bench
 
-int main() {
+int main(int argc, char** argv) {
   cab::bench::run();
-  return 0;
+  // --trace=<file>: dump a real-runtime timeline of the heat workload.
+  return cab::bench::dump_trace_if_requested(
+      argc, argv, [] { return cab::bench::build("heat"); });
 }

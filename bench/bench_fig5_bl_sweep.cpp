@@ -79,7 +79,14 @@ void run() {
 }  // namespace
 }  // namespace cab::bench
 
-int main() {
+int main(int argc, char** argv) {
   cab::bench::run();
-  return 0;
+  // --trace=<file>: dump a real-runtime timeline of the 2k x 2k heat case.
+  return cab::bench::dump_trace_if_requested(argc, argv, [] {
+    cab::apps::HeatParams p;
+    p.rows = cab::bench::scaled(2048);
+    p.cols = cab::bench::scaled(2048);
+    p.steps = 6;
+    return cab::apps::build_heat_dag(p);
+  });
 }

@@ -71,7 +71,14 @@ void run() {
 }  // namespace
 }  // namespace cab::bench
 
-int main() {
+int main(int argc, char** argv) {
   cab::bench::run();
-  return 0;
+  // --trace=<file>: dump a real-runtime timeline of the 1k x 1k heat case.
+  return cab::bench::dump_trace_if_requested(argc, argv, [] {
+    cab::apps::HeatParams p;
+    p.rows = cab::bench::scaled(1024);
+    p.cols = cab::bench::scaled(1024);
+    p.steps = 6;
+    return cab::apps::build_heat_dag(p);
+  });
 }

@@ -72,7 +72,14 @@ void run() {
 }  // namespace
 }  // namespace cab::bench
 
-int main() {
+int main(int argc, char** argv) {
   cab::bench::run();
-  return 0;
+  // --trace=<file>: dump a real-runtime timeline of the 1k x 1k SOR case.
+  return cab::bench::dump_trace_if_requested(argc, argv, [] {
+    cab::apps::SorParams p;
+    p.rows = cab::bench::scaled(1024);
+    p.cols = cab::bench::scaled(1024);
+    p.iterations = 3;
+    return cab::apps::build_sor_dag(p);
+  });
 }

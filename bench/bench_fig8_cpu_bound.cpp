@@ -141,7 +141,15 @@ void run() {
 }  // namespace
 }  // namespace cab::bench
 
-int main() {
+int main(int argc, char** argv) {
   cab::bench::run();
-  return 0;
+  // --trace=<file>: dump a real-runtime timeline of the queens workload
+  // (the CPU-bound Fig. 8 shape: BL=0 degenerates CAB to classic
+  // stealing, so the trace shows pure intra-tier behaviour).
+  return cab::bench::dump_trace_if_requested(argc, argv, [] {
+    cab::apps::QueensParams p;
+    p.n = 10;
+    p.spawn_depth = 4;
+    return cab::apps::build_queens_dag(p);
+  });
 }

@@ -45,8 +45,11 @@ class ChaseLevDeque {
       r = grow(r, t, b);
     }
     r->put(b, item);
-    std::atomic_thread_fence(std::memory_order_release);
-    bottom_.store(b + 1, std::memory_order_relaxed);
+    // Release *store* (not a release fence + relaxed store, which is
+    // equivalent on the metal but invisible to TSan): pairs with the
+    // thief's acquire load of bottom_ to publish the slot and the task
+    // frame behind it. This is the PPoPP'13 formulation.
+    bottom_.store(b + 1, std::memory_order_release);
   }
 
   /// Owner only. Pops from the bottom (LIFO). Returns nullptr when empty.

@@ -1,0 +1,328 @@
+#include "obs/chrome_trace.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace cab::obs {
+
+const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::kTaskExec: return "task";
+    case EventKind::kStealIntra: return "steal:intra";
+    case EventKind::kStealInter: return "steal:inter";
+    case EventKind::kInterAcquire: return "inter:acquire";
+    case EventKind::kSpawnIntra: return "spawn:intra";
+    case EventKind::kSpawnInter: return "spawn:inter";
+    case EventKind::kActiveInter: return "active_inter";
+    case EventKind::kSyncWait: return "sync:wait";
+    case EventKind::kIdle: return "idle";
+  }
+  return "?";
+}
+
+namespace {
+
+bool kind_from_name(const std::string& name, EventKind& out) {
+  for (int i = 0; i < kEventKindCount; ++i) {
+    auto k = static_cast<EventKind>(i);
+    if (name == to_string(k)) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// ns -> chrome microseconds with 3 decimals (exact round trip).
+void append_us(std::string& out, std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  out += buf;
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+}
+
+/// Emits one traceEvents entry for `e` owned by worker `w`.
+void append_event(std::string& out, const WorkerTimeline& w,
+                  const TraceEvent& e) {
+  char buf[64];
+  // Counter events live on the lane of the squad they describe (e.a),
+  // which the emitting worker need not belong to (an inter task's final
+  // busy_state release runs on the acquiring squad's worker).
+  const std::int32_t pid = e.kind == EventKind::kActiveInter ? e.a : w.squad;
+  out += "{\"name\":\"";
+  out += to_string(e.kind);
+  std::snprintf(buf, sizeof(buf), "\",\"pid\":%d,\"tid\":%d,\"ts\":",
+                pid, w.worker);
+  out += buf;
+  append_us(out, e.t0);
+  if (e.kind == EventKind::kActiveInter) {
+    std::snprintf(buf, sizeof(buf), ",\"ph\":\"C\",\"args\":{\"value\":%d}}",
+                  e.b);
+    out += buf;
+    return;
+  }
+  if (is_span(e.kind)) {
+    out += ",\"ph\":\"X\",\"dur\":";
+    append_us(out, e.t1 >= e.t0 ? e.t1 - e.t0 : 0);
+  } else {
+    out += ",\"ph\":\"i\",\"s\":\"t\"";
+  }
+  out += ",\"args\":{";
+  switch (e.kind) {
+    case EventKind::kTaskExec:
+      std::snprintf(buf, sizeof(buf), "\"level\":%d,\"inter\":%d", e.a, e.b);
+      break;
+    case EventKind::kStealIntra:
+      std::snprintf(buf, sizeof(buf), "\"victim\":%d,\"ok\":%d", e.a, e.b);
+      break;
+    case EventKind::kStealInter:
+      std::snprintf(buf, sizeof(buf), "\"victim_squad\":%d,\"ok\":%d", e.a,
+                    e.b);
+      break;
+    case EventKind::kInterAcquire:
+      std::snprintf(buf, sizeof(buf), "\"squad\":%d,\"ok\":%d", e.a, e.b);
+      break;
+    case EventKind::kSpawnIntra:
+    case EventKind::kSpawnInter:
+      std::snprintf(buf, sizeof(buf), "\"level\":%d", e.a);
+      break;
+    case EventKind::kSyncWait:
+      std::snprintf(buf, sizeof(buf), "\"help_iters\":%d,\"tasks\":%d", e.a,
+                    e.b);
+      break;
+    case EventKind::kIdle:
+      std::snprintf(buf, sizeof(buf), "\"fails\":%d", e.a);
+      break;
+    case EventKind::kActiveInter:
+      buf[0] = '\0';
+      break;
+  }
+  out += buf;
+  out += "}}";
+}
+
+}  // namespace
+
+void write_chrome_trace(const Trace& trace, std::ostream& out) {
+  std::string s;
+  s.reserve(256 + trace.event_count() * 96);
+  s += "{\"displayTimeUnit\":\"ns\",\"otherData\":{";
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "\"sockets\":%d,\"cores_per_socket\":%d,\"dropped_events\":%llu,"
+                "\"scheduler\":",
+                trace.sockets, trace.cores_per_socket,
+                static_cast<unsigned long long>(trace.dropped_count()));
+  s += buf;
+  append_escaped(s, trace.scheduler);
+  s += "},\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) s += ",\n";
+    first = false;
+  };
+  // Metadata: squad process names once, then one display name plus one
+  // machine-readable "cab_worker" record per worker (the latter is what
+  // parse_chrome_trace enumerates workers from, so even an event-less
+  // worker survives a round trip).
+  for (std::int32_t sq = 0; sq < trace.sockets; ++sq) {
+    sep();
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"
+                  "\"args\":{\"name\":\"squad %d\"}}",
+                  sq, sq);
+    s += buf;
+  }
+  for (const WorkerTimeline& w : trace.workers) {
+    sep();
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,"
+                  "\"tid\":%d,\"args\":{\"name\":\"worker %d%s\"}}",
+                  w.squad, w.worker, w.worker, w.is_head ? " (head)" : "");
+    s += buf;
+    sep();
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"cab_worker\",\"ph\":\"M\",\"pid\":%d,"
+                  "\"tid\":%d,\"args\":{\"head\":%d,\"dropped\":%llu}}",
+                  w.squad, w.worker, w.is_head ? 1 : 0,
+                  static_cast<unsigned long long>(w.dropped));
+    s += buf;
+  }
+  for (const WorkerTimeline& w : trace.workers) {
+    for (const TraceEvent& e : w.events) {
+      sep();
+      append_event(s, w, e);
+    }
+  }
+  s += "]}\n";
+  out << s;
+}
+
+bool write_chrome_trace_file(const Trace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_trace(trace, out);
+  return out.good();
+}
+
+namespace {
+
+std::uint64_t us_to_ns(double us) {
+  if (us < 0) throw std::runtime_error("negative timestamp in trace");
+  return static_cast<std::uint64_t>(std::llround(us * 1000.0));
+}
+
+}  // namespace
+
+Trace parse_chrome_trace(const std::string& json_text) {
+  const json::Value doc = json::parse(json_text);
+  if (!doc.is_object()) throw std::runtime_error("trace: not a JSON object");
+
+  Trace t;
+  const json::Value& other = doc["otherData"];
+  t.sockets = static_cast<std::int32_t>(other.number_or("sockets", 0));
+  t.cores_per_socket =
+      static_cast<std::int32_t>(other.number_or("cores_per_socket", 0));
+  t.scheduler = other.string_or("scheduler", "");
+  if (t.sockets <= 0 || t.cores_per_socket <= 0) {
+    throw std::runtime_error("trace: missing or invalid machine shape");
+  }
+  const std::int32_t worker_count = t.sockets * t.cores_per_socket;
+
+  const json::Value& events = doc["traceEvents"];
+  if (!events.is_array()) throw std::runtime_error("trace: no traceEvents");
+
+  auto check_worker = [&](std::int32_t w) {
+    if (w < 0 || w >= worker_count) {
+      throw std::runtime_error("trace: worker id out of range: " +
+                               std::to_string(w));
+    }
+  };
+  auto check_squad = [&](std::int32_t s) {
+    if (s < 0 || s >= t.sockets) {
+      throw std::runtime_error("trace: squad id out of range: " +
+                               std::to_string(s));
+    }
+  };
+
+  std::vector<WorkerTimeline> workers(
+      static_cast<std::size_t>(worker_count));
+  std::vector<bool> seen(static_cast<std::size_t>(worker_count), false);
+
+  for (const json::Value& ev : events.as_array()) {
+    const std::string ph = ev.string_or("ph", "");
+    const std::string name = ev.string_or("name", "");
+    const auto tid = static_cast<std::int32_t>(ev.number_or("tid", -1));
+    const auto pid = static_cast<std::int32_t>(ev.number_or("pid", -1));
+    if (ph == "M") {
+      if (name != "cab_worker") continue;  // display-only metadata
+      check_worker(tid);
+      check_squad(pid);
+      WorkerTimeline& w = workers[static_cast<std::size_t>(tid)];
+      w.worker = tid;
+      w.squad = pid;
+      w.is_head = ev["args"].number_or("head", 0) != 0;
+      w.dropped =
+          static_cast<std::uint64_t>(ev["args"].number_or("dropped", 0));
+      seen[static_cast<std::size_t>(tid)] = true;
+      continue;
+    }
+    EventKind kind;
+    if (!kind_from_name(name, kind)) {
+      throw std::runtime_error("trace: unknown event name: " + name);
+    }
+    check_worker(tid);
+    check_squad(pid);
+    TraceEvent e;
+    e.kind = kind;
+    e.t0 = us_to_ns(ev.number_or("ts", -1));
+    e.t1 = is_span(kind) ? e.t0 + us_to_ns(ev.number_or("dur", 0)) : e.t0;
+    const json::Value& args = ev["args"];
+    switch (kind) {
+      case EventKind::kTaskExec:
+        e.a = static_cast<std::int32_t>(args.number_or("level", -1));
+        e.b = static_cast<std::int32_t>(args.number_or("inter", 0));
+        break;
+      case EventKind::kStealIntra:
+        e.a = static_cast<std::int32_t>(args.number_or("victim", -1));
+        e.b = static_cast<std::int32_t>(args.number_or("ok", 0));
+        break;
+      case EventKind::kStealInter:
+        e.a = static_cast<std::int32_t>(args.number_or("victim_squad", -1));
+        e.b = static_cast<std::int32_t>(args.number_or("ok", 0));
+        break;
+      case EventKind::kInterAcquire:
+        e.a = static_cast<std::int32_t>(args.number_or("squad", -1));
+        e.b = static_cast<std::int32_t>(args.number_or("ok", 0));
+        break;
+      case EventKind::kSpawnIntra:
+      case EventKind::kSpawnInter:
+        e.a = static_cast<std::int32_t>(args.number_or("level", -1));
+        e.b = 0;
+        break;
+      case EventKind::kActiveInter:
+        e.a = pid;  // the squad whose counter this samples
+        e.b = static_cast<std::int32_t>(args.number_or("value", 0));
+        check_squad(e.a);
+        break;
+      case EventKind::kSyncWait:
+        e.a = static_cast<std::int32_t>(args.number_or("help_iters", 0));
+        e.b = static_cast<std::int32_t>(args.number_or("tasks", 0));
+        break;
+      case EventKind::kIdle:
+        e.a = static_cast<std::int32_t>(args.number_or("fails", 0));
+        e.b = 0;
+        break;
+    }
+    workers[static_cast<std::size_t>(tid)].events.push_back(e);
+    if (!seen[static_cast<std::size_t>(tid)]) {
+      // Event before (or without) its cab_worker metadata: identify the
+      // worker from the event itself.
+      WorkerTimeline& w = workers[static_cast<std::size_t>(tid)];
+      w.worker = tid;
+      if (kind != EventKind::kActiveInter) w.squad = pid;
+      seen[static_cast<std::size_t>(tid)] = true;
+    }
+  }
+
+  for (std::int32_t w = 0; w < worker_count; ++w) {
+    if (seen[static_cast<std::size_t>(w)]) {
+      t.workers.push_back(std::move(workers[static_cast<std::size_t>(w)]));
+    }
+  }
+  return t;
+}
+
+Trace parse_chrome_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open trace file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_chrome_trace(ss.str());
+}
+
+}  // namespace cab::obs

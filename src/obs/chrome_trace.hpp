@@ -1,0 +1,35 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/timeline.hpp"
+
+namespace cab::obs {
+
+/// Writes a trace in the Chrome Trace Event ("Trace Event Format") JSON
+/// layout, loadable in chrome://tracing and Perfetto:
+///   - pid = squad id (one "process" lane group per socket),
+///   - tid = worker id,
+///   - spans as "X" complete events (ts/dur in microseconds),
+///   - instants as "i", squad busy_state as "C" counter tracks,
+///   - metadata "M" events naming every squad and worker,
+///   - machine shape + scheduler + drop counts under "otherData".
+void write_chrome_trace(const Trace& trace, std::ostream& out);
+
+/// Convenience: write_chrome_trace to a file. Returns false (and writes
+/// nothing) when the file cannot be opened.
+bool write_chrome_trace_file(const Trace& trace, const std::string& path);
+
+/// Reconstructs a Trace from Chrome-trace JSON produced by
+/// write_chrome_trace (the exporter's exact inverse: timestamps round-trip
+/// to the nanosecond, events regain their worker timelines). Throws
+/// std::runtime_error on malformed JSON or ids that reference workers or
+/// squads outside the declared machine shape.
+Trace parse_chrome_trace(const std::string& json_text);
+
+/// Reads a whole file and parses it. Throws std::runtime_error when the
+/// file cannot be read.
+Trace parse_chrome_trace_file(const std::string& path);
+
+}  // namespace cab::obs

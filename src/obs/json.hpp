@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cab::obs::json {
+
+/// Minimal JSON document model — just enough to read back the Chrome
+/// traces this library writes (and any hand-edited variant of them).
+/// Numbers are kept as double, which is exact for the integer ids and
+/// microsecond stamps we emit.
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<Value>;
+  using Object = std::map<std::string, Value>;
+
+  Value() = default;
+  explicit Value(bool b) : type_(Type::kBool), bool_(b) {}
+  explicit Value(double n) : type_(Type::kNumber), num_(n) {}
+  explicit Value(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+  explicit Value(Array a) : type_(Type::kArray), arr_(std::move(a)) {}
+  explicit Value(Object o) : type_(Type::kObject), obj_(std::move(o)) {}
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return num_; }
+  const std::string& as_string() const { return str_; }
+  const Array& as_array() const { return arr_; }
+  const Object& as_object() const { return obj_; }
+
+  /// Object member access; returns a shared null for missing keys so
+  /// chained lookups (`v["args"]["victim"]`) never throw.
+  const Value& operator[](const std::string& key) const;
+
+  /// Numeric member with default — the workhorse for event decoding.
+  double number_or(const std::string& key, double fallback) const {
+    const Value& v = (*this)[key];
+    return v.is_number() ? v.as_number() : fallback;
+  }
+  std::string string_or(const std::string& key,
+                        const std::string& fallback) const {
+    const Value& v = (*this)[key];
+    return v.is_string() ? v.as_string() : fallback;
+  }
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+/// Parses a complete JSON document. Throws std::runtime_error with a
+/// byte offset on malformed input.
+Value parse(std::string_view text);
+
+}  // namespace cab::obs::json

@@ -1,0 +1,272 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/format.hpp"
+
+namespace cab::obs {
+
+namespace {
+
+LatencySummary summarize(std::vector<std::uint64_t>& durations) {
+  LatencySummary s;
+  s.count = durations.size();
+  if (durations.empty()) return s;
+  std::sort(durations.begin(), durations.end());
+  auto pct = [&](double q) {
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(durations.size() - 1) + 0.5);
+    return durations[std::min(idx, durations.size() - 1)];
+  };
+  s.p50_ns = pct(0.50);
+  s.p90_ns = pct(0.90);
+  s.p99_ns = pct(0.99);
+  s.max_ns = durations.back();
+  double sum = 0;
+  for (std::uint64_t d : durations) sum += static_cast<double>(d);
+  s.mean_ns = sum / static_cast<double>(durations.size());
+  return s;
+}
+
+int log2_bucket(std::uint64_t ns) {
+  int b = 0;
+  while (ns > 1 && b < 63) {
+    ns >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+std::string ns_str(std::uint64_t ns) {
+  char buf[32];
+  if (ns >= 1000000) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", static_cast<double>(ns) / 1e6);
+  } else if (ns >= 1000) {
+    std::snprintf(buf, sizeof(buf), "%.2fus", static_cast<double>(ns) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lluns",
+                  static_cast<unsigned long long>(ns));
+  }
+  return buf;
+}
+
+void add_summary_row(util::TablePrinter& t, const char* label,
+                     const LatencySummary& s) {
+  if (s.count == 0) {
+    t.add_row({label, "0", "-", "-", "-", "-", "-"});
+    return;
+  }
+  t.add_row({label, util::human_count(s.count),
+             ns_str(static_cast<std::uint64_t>(s.mean_ns)), ns_str(s.p50_ns),
+             ns_str(s.p90_ns), ns_str(s.p99_ns), ns_str(s.max_ns)});
+}
+
+/// Total coverage of a set of (possibly nested/overlapping) spans.
+std::uint64_t merged_span_ns(std::vector<std::pair<std::uint64_t, std::uint64_t>>& iv) {
+  if (iv.empty()) return 0;
+  std::sort(iv.begin(), iv.end());
+  std::uint64_t covered = 0;
+  std::uint64_t lo = iv[0].first, hi = iv[0].second;
+  for (std::size_t i = 1; i < iv.size(); ++i) {
+    if (iv[i].first > hi) {
+      covered += hi - lo;
+      lo = iv[i].first;
+      hi = iv[i].second;
+    } else {
+      hi = std::max(hi, iv[i].second);
+    }
+  }
+  covered += hi - lo;
+  return covered;
+}
+
+}  // namespace
+
+std::size_t StealLatencyReport::total_attempts() const {
+  return intra_hit.count + intra_miss.count + inter_steal_hit.count +
+         inter_steal_miss.count + inter_acquire_hit.count +
+         inter_acquire_miss.count;
+}
+
+StealLatencyReport steal_latency(const Trace& trace) {
+  StealLatencyReport r;
+  std::vector<std::uint64_t> intra_hit, intra_miss, is_hit, is_miss, ia_hit,
+      ia_miss;
+  r.histogram.assign(40, 0);
+  for (const WorkerTimeline& w : trace.workers) {
+    for (const TraceEvent& e : w.events) {
+      std::vector<std::uint64_t>* dst = nullptr;
+      switch (e.kind) {
+        case EventKind::kStealIntra:
+          dst = e.b != 0 ? &intra_hit : &intra_miss;
+          break;
+        case EventKind::kStealInter:
+          dst = e.b != 0 ? &is_hit : &is_miss;
+          break;
+        case EventKind::kInterAcquire:
+          dst = e.b != 0 ? &ia_hit : &ia_miss;
+          break;
+        default:
+          break;
+      }
+      if (!dst) continue;
+      const std::uint64_t d = e.t1 >= e.t0 ? e.t1 - e.t0 : 0;
+      dst->push_back(d);
+      const int b = log2_bucket(d);
+      if (static_cast<std::size_t>(b) < r.histogram.size()) {
+        ++r.histogram[static_cast<std::size_t>(b)];
+      }
+    }
+  }
+  r.intra_hit = summarize(intra_hit);
+  r.intra_miss = summarize(intra_miss);
+  r.inter_steal_hit = summarize(is_hit);
+  r.inter_steal_miss = summarize(is_miss);
+  r.inter_acquire_hit = summarize(ia_hit);
+  r.inter_acquire_miss = summarize(ia_miss);
+  return r;
+}
+
+std::string StealLatencyReport::to_string() const {
+  util::TablePrinter t(
+      {"steal path", "count", "mean", "p50", "p90", "p99", "max"});
+  add_summary_row(t, "intra hit", intra_hit);
+  add_summary_row(t, "intra miss", intra_miss);
+  add_summary_row(t, "inter steal hit", inter_steal_hit);
+  add_summary_row(t, "inter steal miss", inter_steal_miss);
+  add_summary_row(t, "inter acquire hit", inter_acquire_hit);
+  add_summary_row(t, "inter acquire miss", inter_acquire_miss);
+  std::string out = t.to_string();
+  // Compact log2 histogram: print only the populated range.
+  std::size_t lo = histogram.size(), hi = 0;
+  for (std::size_t i = 0; i < histogram.size(); ++i) {
+    if (histogram[i] > 0) {
+      lo = std::min(lo, i);
+      hi = i;
+    }
+  }
+  if (lo <= hi && lo < histogram.size()) {
+    std::uint64_t peak = 0;
+    for (std::size_t i = lo; i <= hi; ++i) peak = std::max(peak, histogram[i]);
+    out += "latency histogram (all steal attempts, log2 ns buckets):\n";
+    for (std::size_t i = lo; i <= hi; ++i) {
+      const int bar = peak == 0 ? 0
+                                : static_cast<int>(
+                                      (histogram[i] * 40 + peak - 1) / peak);
+      char line[128];
+      std::snprintf(line, sizeof(line), "  %8s | %-40.*s %s\n",
+                    ns_str(1ull << i).c_str(), bar,
+                    "########################################",
+                    util::human_count(histogram[i]).c_str());
+      out += line;
+    }
+  }
+  return out;
+}
+
+OccupancyReport squad_occupancy(const Trace& trace) {
+  OccupancyReport r;
+  std::uint64_t t_min = ~0ull, t_max = 0;
+  for (const WorkerTimeline& w : trace.workers) {
+    for (const TraceEvent& e : w.events) {
+      t_min = std::min(t_min, e.t0);
+      t_max = std::max(t_max, e.t1);
+    }
+  }
+  if (t_max <= t_min) return r;
+  r.wall_ns = t_max - t_min;
+
+  // busy_state occupancy: merge every squad's counter samples from all
+  // workers (a worker can release another squad's busy_state at an inter
+  // task's completion), sort by time, integrate value > 0.
+  std::int32_t squad_count = 0;
+  for (const WorkerTimeline& w : trace.workers) {
+    squad_count = std::max(squad_count, w.squad + 1);
+  }
+  std::vector<std::vector<std::pair<std::uint64_t, std::int32_t>>> samples(
+      static_cast<std::size_t>(squad_count));
+  for (const WorkerTimeline& w : trace.workers) {
+    for (const TraceEvent& e : w.events) {
+      if (e.kind != EventKind::kActiveInter) continue;
+      if (e.a < 0 || e.a >= squad_count) continue;
+      samples[static_cast<std::size_t>(e.a)].push_back({e.t0, e.b});
+    }
+  }
+  for (std::int32_t sq = 0; sq < squad_count; ++sq) {
+    auto& sv = samples[static_cast<std::size_t>(sq)];
+    std::sort(sv.begin(), sv.end());
+    SquadOccupancy o;
+    o.squad = sq;
+    std::uint64_t busy = 0, prev_t = t_min;
+    std::int32_t value = 0;
+    for (const auto& [t, v] : sv) {
+      if (value > 0) busy += t - prev_t;
+      prev_t = t;
+      value = v;
+      o.max_active = std::max(o.max_active, v);
+    }
+    if (value > 0) busy += t_max - prev_t;
+    o.busy_fraction =
+        static_cast<double>(busy) / static_cast<double>(r.wall_ns);
+    r.squads.push_back(o);
+  }
+
+  // Per-worker execution coverage: union of (nested) task spans.
+  std::vector<double> squad_exec_sum(static_cast<std::size_t>(squad_count), 0);
+  std::vector<int> squad_workers(static_cast<std::size_t>(squad_count), 0);
+  for (const WorkerTimeline& w : trace.workers) {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> iv;
+    std::uint64_t tasks = 0;
+    for (const TraceEvent& e : w.events) {
+      if (e.kind != EventKind::kTaskExec) continue;
+      ++tasks;
+      iv.push_back({e.t0, std::max(e.t1, e.t0)});
+    }
+    WorkerOccupancy o;
+    o.worker = w.worker;
+    o.squad = w.squad;
+    o.is_head = w.is_head;
+    o.tasks = tasks;
+    o.exec_fraction = static_cast<double>(merged_span_ns(iv)) /
+                      static_cast<double>(r.wall_ns);
+    r.workers.push_back(o);
+    if (w.squad >= 0 && w.squad < squad_count) {
+      squad_exec_sum[static_cast<std::size_t>(w.squad)] += o.exec_fraction;
+      ++squad_workers[static_cast<std::size_t>(w.squad)];
+    }
+  }
+  for (SquadOccupancy& o : r.squads) {
+    const int n = squad_workers[static_cast<std::size_t>(o.squad)];
+    if (n > 0) {
+      o.mean_exec_fraction =
+          squad_exec_sum[static_cast<std::size_t>(o.squad)] / n;
+    }
+  }
+  return r;
+}
+
+std::string OccupancyReport::to_string() const {
+  std::string out;
+  out += "wall span: " + ns_str(wall_ns) + "\n";
+  util::TablePrinter squads_t(
+      {"squad", "busy_state occupancy", "peak active_inter", "mean exec occ"});
+  for (const SquadOccupancy& o : squads) {
+    squads_t.add_row({std::to_string(o.squad),
+                      util::format_fixed(o.busy_fraction * 100.0, 1) + "%",
+                      std::to_string(o.max_active),
+                      util::format_fixed(o.mean_exec_fraction * 100.0, 1) +
+                          "%"});
+  }
+  out += squads_t.to_string();
+  util::TablePrinter workers_t({"worker", "squad", "head", "tasks", "exec occ"});
+  for (const WorkerOccupancy& o : workers) {
+    workers_t.add_row({std::to_string(o.worker), std::to_string(o.squad),
+                       o.is_head ? "*" : "", util::human_count(o.tasks),
+                       util::format_fixed(o.exec_fraction * 100.0, 1) + "%"});
+  }
+  out += workers_t.to_string();
+  return out;
+}
+
+}  // namespace cab::obs

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/timeline.hpp"
+
+namespace cab::obs {
+
+/// Order statistics over one class of steal-attempt durations.
+struct LatencySummary {
+  std::size_t count = 0;
+  std::uint64_t p50_ns = 0;
+  std::uint64_t p90_ns = 0;
+  std::uint64_t p99_ns = 0;
+  std::uint64_t max_ns = 0;
+  double mean_ns = 0;
+};
+
+/// Steal-attempt latencies split the way the protocol splits them: by
+/// tier (intra deque steal vs. inter pool steal/acquire) and by outcome.
+/// The histogram is log2-bucketed over all attempts together (bucket i
+/// covers [2^i, 2^(i+1)) ns).
+struct StealLatencyReport {
+  LatencySummary intra_hit, intra_miss;
+  LatencySummary inter_steal_hit, inter_steal_miss;
+  LatencySummary inter_acquire_hit, inter_acquire_miss;
+  std::vector<std::uint64_t> histogram;  ///< log2 buckets, all attempts
+
+  std::size_t total_attempts() const;
+  std::string to_string() const;
+};
+
+StealLatencyReport steal_latency(const Trace& trace);
+
+/// How occupied one squad was, integrated over the trace's wall span.
+struct SquadOccupancy {
+  std::int32_t squad = 0;
+  double busy_fraction = 0;   ///< time with active_inter > 0 / wall time
+  std::int32_t max_active = 0;  ///< peak active_inter observed
+  double mean_exec_fraction = 0;  ///< avg over workers of task-span coverage
+};
+
+/// Per-worker task-execution coverage (union of task spans / wall time).
+struct WorkerOccupancy {
+  std::int32_t worker = 0;
+  std::int32_t squad = 0;
+  bool is_head = false;
+  double exec_fraction = 0;
+  std::uint64_t tasks = 0;
+};
+
+/// The per-squad `busy_state` occupancy report of the paper's Section III
+/// argument: where inter-socket work sat over time, and how busy each
+/// worker's lane actually was.
+struct OccupancyReport {
+  std::uint64_t wall_ns = 0;  ///< [first event, last event] span
+  std::vector<SquadOccupancy> squads;
+  std::vector<WorkerOccupancy> workers;
+
+  std::string to_string() const;
+};
+
+OccupancyReport squad_occupancy(const Trace& trace);
+
+}  // namespace cab::obs

@@ -1,0 +1,151 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/cache_line.hpp"
+
+namespace cab::obs {
+
+/// Monotonic nanoseconds (steady clock). All trace timestamps are stored
+/// relative to an epoch captured at Runtime construction so they fit
+/// comfortably in 64 bits and are directly comparable across workers.
+inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// What one timeline entry describes. Spans carry [t0, t1]; instants have
+/// t0 == t1. The `a`/`b` payload is kind-specific (see each comment).
+enum class EventKind : std::uint8_t {
+  kTaskExec = 0,  ///< span: task body + implicit sync; a=level, b=inter?1:0
+  kStealIntra,    ///< span: one intra steal attempt; a=victim worker, b=hit
+  kStealInter,    ///< span: one inter-squad steal round; a=victim squad, b=hit
+  kInterAcquire,  ///< span: own squad inter-pool take; a=squad id, b=hit
+  kSpawnIntra,    ///< instant: intra child pushed; a=child level
+  kSpawnInter,    ///< instant: inter child pushed; a=child level
+  kActiveInter,   ///< instant: squad busy_state transition; a=squad, b=new count
+  kSyncWait,      ///< span: blocked at a sync; a=help iterations, b=tasks run
+  kIdle,          ///< span: free worker found nothing; a=failed acquires
+};
+
+inline constexpr int kEventKindCount = 9;
+
+const char* to_string(EventKind k);
+
+/// True for kinds whose [t0, t1] is a duration (vs. a point event).
+inline bool is_span(EventKind k) {
+  switch (k) {
+    case EventKind::kTaskExec:
+    case EventKind::kStealIntra:
+    case EventKind::kStealInter:
+    case EventKind::kInterAcquire:
+    case EventKind::kSyncWait:
+    case EventKind::kIdle:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// One timeline entry. 24 bytes; a worker's buffer is append-only and the
+/// entries are ordered by *completion* time (spans are recorded when they
+/// end), so a nested task span appears before its enclosing span.
+struct TraceEvent {
+  std::uint64_t t0 = 0;  ///< ns since trace epoch
+  std::uint64_t t1 = 0;  ///< ns since trace epoch; == t0 for instants
+  std::int32_t a = -1;
+  std::int32_t b = -1;
+  EventKind kind = EventKind::kTaskExec;
+};
+
+/// Per-worker timeline buffer. Lock-free by construction rather than by
+/// cleverness: only the owning worker thread ever appends, and readers
+/// (Runtime::trace()) run strictly after run() has returned and the
+/// workers are parked — the same single-writer/quiescent-reader discipline
+/// WorkerStats uses. Cache-line aligned so adjacent workers' write
+/// cursors never share a line.
+///
+/// Cost when disabled: one predictable branch per emit site, no clock
+/// reads. When enabled, events past `capacity` are counted in `dropped`
+/// and discarded (the head of the run is kept, which is where schedule
+/// shape lives).
+struct alignas(util::kCacheLineSize) TimelineBuffer {
+  bool enabled = false;
+  std::uint64_t epoch_ns = 0;
+  std::size_t capacity = 0;
+  std::uint64_t dropped = 0;
+  std::vector<TraceEvent> events;
+
+  void configure(bool on, std::size_t cap, std::uint64_t epoch) {
+    enabled = on;
+    capacity = cap;
+    epoch_ns = epoch;
+    events.clear();
+    dropped = 0;
+    if (on) events.reserve(cap < 4096 ? cap : 4096);
+  }
+
+  void clear() {
+    events.clear();
+    dropped = 0;
+  }
+
+  /// Appends one event with absolute steady-clock stamps `t0`/`t1`.
+  void record(EventKind k, std::uint64_t t0, std::uint64_t t1,
+              std::int32_t a, std::int32_t b) {
+    if (events.size() >= capacity) {
+      ++dropped;
+      return;
+    }
+    TraceEvent e;
+    e.t0 = t0 - epoch_ns;
+    e.t1 = t1 - epoch_ns;
+    e.a = a;
+    e.b = b;
+    e.kind = k;
+    events.push_back(e);
+  }
+
+  /// Instant-event convenience: stamps the clock itself.
+  void mark(EventKind k, std::int32_t a, std::int32_t b) {
+    const std::uint64_t t = now_ns();
+    record(k, t, t, a, b);
+  }
+};
+
+/// One worker's collected timeline plus its identity.
+struct WorkerTimeline {
+  std::int32_t worker = 0;
+  std::int32_t squad = 0;
+  bool is_head = false;
+  std::uint64_t dropped = 0;
+  std::vector<TraceEvent> events;
+};
+
+/// A full scheduler trace: every worker's timeline plus the machine shape
+/// needed to interpret squad/worker ids. Produced by Runtime::trace() and
+/// reconstructed from disk by obs::parse_chrome_trace().
+struct Trace {
+  std::int32_t sockets = 0;
+  std::int32_t cores_per_socket = 0;
+  std::string scheduler;  ///< to_string(SchedulerKind)
+  std::vector<WorkerTimeline> workers;
+
+  std::size_t event_count() const {
+    std::size_t n = 0;
+    for (const WorkerTimeline& w : workers) n += w.events.size();
+    return n;
+  }
+  std::uint64_t dropped_count() const {
+    std::uint64_t n = 0;
+    for (const WorkerTimeline& w : workers) n += w.dropped;
+    return n;
+  }
+};
+
+}  // namespace cab::obs

@@ -23,6 +23,9 @@ Runtime::Runtime(Options opts) : opts_(opts), engine_(new Engine(opts.topo)) {
   e.tier.bl = opts.boundary_level;
   e.pin_threads = opts.pin_threads;
   e.record_events = opts.record_events;
+  e.trace = opts.trace;
+  e.trace_capacity = opts.trace_capacity;
+  e.trace_epoch_ns = obs::now_ns();
   CAB_CHECK(opts.boundary_level >= 0, "boundary level must be >= 0");
 
   const int m = e.topo.sockets();
@@ -48,6 +51,7 @@ Runtime::Runtime(Options opts) : opts_(opts), engine_(new Engine(opts.topo)) {
     worker->is_head = (w == worker->squad->head_worker);
     worker->engine = &e;
     worker->rng = util::Xorshift64(util::splitmix64(seed_state));
+    worker->tl.configure(e.trace, e.trace_capacity, e.trace_epoch_ns);
     e.workers.push_back(std::move(worker));
   }
   // Threads start only after the workers vector is fully built: workers
@@ -90,9 +94,13 @@ void Runtime::run(std::function<void()> root) {
   e.lifecycle_cv.notify_all();
 
   {
+    // Both conditions: the DAG is drained *and* every worker that joined
+    // this epoch has left its drain loop (see Engine::working) — only
+    // then are the per-worker stats/exec-log/timeline buffers quiescent.
     std::unique_lock<std::mutex> lk(e.lifecycle_mu);
     e.done_cv.wait(lk, [&] {
-      return e.pending.load(std::memory_order_acquire) == 0;
+      return e.pending.load(std::memory_order_acquire) == 0 &&
+             e.working == 0;
     });
   }
   std::exception_ptr thrown;
@@ -133,6 +141,10 @@ void spawn_impl(std::function<void()> fn, bool force_inter) {
     ++w->stats.spawns_intra;
     w->intra.push_bottom(t);
   }
+  if (w->tl.enabled) {
+    w->tl.mark(inter ? obs::EventKind::kSpawnInter : obs::EventKind::kSpawnIntra,
+               parent->level + 1, 0);
+  }
 }
 
 }  // namespace
@@ -151,11 +163,25 @@ void Runtime::sync() {
             "sync() called outside a task");
   TaskFrame* t = w->current;
   w->release_busy_on_suspend(t);
+  if (t->outstanding.load(std::memory_order_acquire) == 0) return;
+  const bool tr = w->tl.enabled;
+  const std::uint64_t wait_start = tr ? obs::now_ns() : 0;
+  const std::uint64_t help0 = w->stats.help_iterations;
+  const std::uint64_t exec0 = w->stats.tasks_executed;
+  int fails = 0;
   while (t->outstanding.load(std::memory_order_acquire) != 0) {
     ++w->stats.help_iterations;
-    if (!w->help_once()) {
+    if (w->help_once(fails >= kStarvationEscapeFails)) {
+      fails = 0;
+    } else {
+      ++fails;
       std::this_thread::yield();
     }
+  }
+  if (tr) {
+    w->tl.record(obs::EventKind::kSyncWait, wait_start, obs::now_ns(),
+                 static_cast<std::int32_t>(w->stats.help_iterations - help0),
+                 static_cast<std::int32_t>(w->stats.tasks_executed - exec0));
   }
 }
 
@@ -185,8 +211,27 @@ void Runtime::reset_stats() {
   for (auto& w : engine_->workers) {
     w->stats = WorkerStats{};
     w->exec_log.clear();
+    w->tl.clear();
   }
   engine_->peak_frames.store(0, std::memory_order_relaxed);
+}
+
+obs::Trace Runtime::trace() const {
+  obs::Trace t;
+  t.sockets = engine_->topo.sockets();
+  t.cores_per_socket = engine_->topo.cores_per_socket();
+  t.scheduler = to_string(engine_->kind);
+  t.workers.reserve(engine_->workers.size());
+  for (const auto& w : engine_->workers) {
+    obs::WorkerTimeline wt;
+    wt.worker = w->id;
+    wt.squad = w->squad->id;
+    wt.is_head = w->is_head;
+    wt.dropped = w->tl.dropped;
+    wt.events = w->tl.events;
+    t.workers.push_back(std::move(wt));
+  }
+  return t;
 }
 
 std::int64_t Runtime::peak_live_frames() const {

@@ -22,6 +22,7 @@ std::string SchedulerStats::summary() const {
   s += " inter(acquire/steal)=" + util::human_count(total.inter_acquires) +
        "/" + util::human_count(total.inter_steals);
   s += " failed-steals=" + util::human_count(total.failed_steal_attempts);
+  s += " help-iters=" + util::human_count(total.help_iterations);
   return s;
 }
 

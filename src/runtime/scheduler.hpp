@@ -13,6 +13,7 @@
 #include "deque/locked_deque.hpp"
 #include "dag/partition.hpp"
 #include "hw/topology.hpp"
+#include "obs/timeline.hpp"
 #include "runtime/stats.hpp"
 #include "runtime/task.hpp"
 #include "util/cache_line.hpp"
@@ -30,6 +31,16 @@ enum class SchedulerKind : std::uint8_t {
 };
 
 const char* to_string(SchedulerKind k);
+
+/// Consecutive failed acquire attempts after which a spinning *head*
+/// worker may bypass the squad-busy gate of Algorithm I step 2 and reach
+/// the inter-socket pools anyway. Needed for liveness: a leaf inter-socket
+/// task holds busy_state across its implicit sync, and if its pending
+/// subtree contains forced inter-socket children (Runtime::spawn_inter
+/// below BL), those sit in the squad pool that the busy gate is barring
+/// every head from — a livelock with every worker spinning. The threshold
+/// sits past the backoff sleep tier, so normal contention never hits it.
+inline constexpr int kStarvationEscapeFails = 8192;
 
 struct Engine;
 
@@ -72,6 +83,11 @@ struct Worker {
   /// Per-worker execution log (only filled when Engine::record_events).
   std::vector<ExecRecord> exec_log;
 
+  /// Timestamped timeline of spans/events (only filled when
+  /// Options::trace). Single-writer: appended to by this worker's thread
+  /// only, read by Runtime::trace() after run() has returned.
+  obs::TimelineBuffer tl;
+
   /// Innermost task this worker is currently executing (nullptr if idle).
   TaskFrame* current = nullptr;
 
@@ -82,8 +98,9 @@ struct Worker {
   void execute(TaskFrame* t);
 
   /// One attempt to find and run a task while blocked in a sync.
-  /// Returns true if a task was executed.
-  bool help_once();
+  /// Returns true if a task was executed. `desperate` is set by spin
+  /// loops whose failed streak crossed kStarvationEscapeFails.
+  bool help_once(bool desperate = false);
 
   /// Releases the squad busy-state when a non-leaf inter-socket task
   /// suspends at its sync (leaf inter-socket tasks hold it to completion).
@@ -91,10 +108,10 @@ struct Worker {
 
   /// One attempt to acquire a task as a *free* worker (Algorithm I).
   /// Returns nullptr when nothing was found (caller backs off).
-  TaskFrame* acquire();
+  TaskFrame* acquire(bool desperate = false);
 
  private:
-  TaskFrame* acquire_cab();
+  TaskFrame* acquire_cab(bool desperate);
   TaskFrame* acquire_random();
   TaskFrame* acquire_sharing();
   TaskFrame* steal_intra_in_squad();
@@ -116,6 +133,9 @@ struct Engine {
   dag::TierAssignment tier;  ///< tier.bl == 0 => classic behaviour
   bool pin_threads = false;
   bool record_events = false;
+  bool trace = false;
+  std::size_t trace_capacity = 0;
+  std::uint64_t trace_epoch_ns = 0;
 
   std::vector<std::unique_ptr<Worker>> workers;
   std::vector<std::unique_ptr<Squad>> squads;
@@ -162,6 +182,15 @@ struct Engine {
   bool active = false;
   bool shutdown = false;
   std::uint64_t epoch = 0;
+
+  /// Workers currently inside the drain loop of the running epoch
+  /// (guarded by lifecycle_mu). run() returns only once this is back to
+  /// zero: a worker's very last acquire attempt can write stats/timeline
+  /// entries *after* `pending` hit zero, so waiting on pending alone
+  /// would let the main thread read those buffers mid-write. The mutex
+  /// hand-off at the final decrement is the happens-before edge that
+  /// makes post-run stats()/trace() reads safe.
+  int working = 0;
 
   void worker_main(Worker& w);
   void notify_if_done();

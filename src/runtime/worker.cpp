@@ -38,6 +38,8 @@ void Worker::execute(TaskFrame* t) {
     exec_log.push_back(
         ExecRecord{id, squad->id, t->level, t->inter, is_head});
   }
+  const bool tr = tl.enabled;
+  const std::uint64_t exec_start = tr ? obs::now_ns() : 0;
   try {
     t->body();
   } catch (...) {
@@ -51,14 +53,30 @@ void Worker::execute(TaskFrame* t) {
   // Implicit sync (Cilk semantics): a task completes only after all its
   // children have. Helping here is what drains the DAG below this task.
   release_busy_on_suspend(t);
-  int fails = 0;
-  while (t->outstanding.load(std::memory_order_acquire) != 0) {
-    ++stats.help_iterations;
-    if (help_once()) {
-      fails = 0;
-    } else {
-      backoff(fails);
+  if (t->outstanding.load(std::memory_order_acquire) != 0) {
+    const std::uint64_t wait_start = tr ? obs::now_ns() : 0;
+    const std::uint64_t help0 = stats.help_iterations;
+    const std::uint64_t exec0 = stats.tasks_executed;
+    int fails = 0;
+    while (t->outstanding.load(std::memory_order_acquire) != 0) {
+      ++stats.help_iterations;
+      if (help_once(fails >= kStarvationEscapeFails)) {
+        fails = 0;
+      } else {
+        backoff(fails);
+      }
     }
+    if (tr) {
+      tl.record(obs::EventKind::kSyncWait, wait_start, obs::now_ns(),
+                static_cast<std::int32_t>(stats.help_iterations - help0),
+                static_cast<std::int32_t>(stats.tasks_executed - exec0));
+    }
+  }
+  if (tr) {
+    // Recorded at completion: nested spans (tasks run while helping in
+    // the sync above) precede this one in the buffer.
+    tl.record(obs::EventKind::kTaskExec, exec_start, obs::now_ns(), t->level,
+              t->inter ? 1 : 0);
   }
 
   current = saved;
@@ -70,6 +88,7 @@ void Worker::finish(TaskFrame* t) {
     // The paper's "busy_state := false" when an inter-socket task returns.
     std::int32_t prev = sq->active_inter.fetch_sub(1, std::memory_order_acq_rel);
     CAB_CHECK(prev >= 1, "squad busy-state underflow");
+    if (tl.enabled) tl.mark(obs::EventKind::kActiveInter, sq->id, prev - 1);
   }
   TaskFrame* parent = t->parent;
   Engine& e = *engine;
@@ -81,13 +100,13 @@ void Worker::finish(TaskFrame* t) {
   }
 }
 
-bool Worker::help_once() {
+bool Worker::help_once(bool desperate) {
   // A worker blocked at a sync behaves like a free worker: the suspended
   // task released the squad's busy-state already (release_busy_on_suspend),
   // so Algorithm I — including head-worker inter-socket stealing — applies
   // unchanged. This is what keeps a squad fed while its own subtree work
   // is exhausted but other squads still hold inter-socket tasks.
-  TaskFrame* t = acquire();
+  TaskFrame* t = acquire(desperate);
   if (!t) return false;
   execute(t);
   return true;
@@ -106,16 +125,17 @@ void Worker::release_busy_on_suspend(TaskFrame* t) {
   t->inter_acquired_by = nullptr;
   std::int32_t prev = sq->active_inter.fetch_sub(1, std::memory_order_acq_rel);
   CAB_CHECK(prev >= 1, "squad busy-state underflow at suspend");
+  if (tl.enabled) tl.mark(obs::EventKind::kActiveInter, sq->id, prev - 1);
 }
 
-TaskFrame* Worker::acquire() {
+TaskFrame* Worker::acquire(bool desperate) {
   if (engine->kind == SchedulerKind::kCab && !engine->cab_degenerate())
-    return acquire_cab();
+    return acquire_cab(desperate);
   if (engine->kind == SchedulerKind::kTaskSharing) return acquire_sharing();
   return acquire_random();
 }
 
-TaskFrame* Worker::acquire_cab() {
+TaskFrame* Worker::acquire_cab(bool desperate) {
   // Step 1: own intra-socket pool.
   if (TaskFrame* t = intra.pop_bottom()) {
     ++stats.intra_pop_hits;
@@ -124,10 +144,18 @@ TaskFrame* Worker::acquire_cab() {
   // Step 2: squad busy => only intra-socket stealing within the squad.
   if (squad->busy()) {
     // Step 3 + 6(a): random in-squad victim, single attempt per call.
-    return steal_intra_in_squad();
+    TaskFrame* t = steal_intra_in_squad();
+    // Starvation escape: a head that has failed kStarvationEscapeFails
+    // times in a row falls through to the inter-socket pools despite the
+    // busy gate — the only acquire path that unsticks a squad whose
+    // busy-holder is itself waiting on pooled inter-socket descendants
+    // (see kStarvationEscapeFails). Deviation from the paper's policy is
+    // confined to runs that would otherwise livelock or starve.
+    if (t != nullptr || !desperate || !is_head) return t;
+  } else if (!is_head) {
+    // Step 2 (cont.): non-head workers loop back to Step 1.
+    return nullptr;
   }
-  // Step 2 (cont.): non-head workers loop back to Step 1.
-  if (!is_head) return nullptr;
   // Step 4: own squad's inter-socket pool (FIFO end: oldest task = the
   // subtree closest to the root, which parent-first expansion wants
   // distributed first).
@@ -162,6 +190,8 @@ TaskFrame* Worker::steal_intra_in_squad() {
     ++stats.failed_steal_attempts;
     return nullptr;
   }
+  const bool tr = tl.enabled;
+  const std::uint64_t t0 = tr ? obs::now_ns() : 0;
   auto pick = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n - 1)));
   int victim = squad->first_worker + pick;
   if (victim >= id) ++victim;  // skip self
@@ -170,6 +200,10 @@ TaskFrame* Worker::steal_intra_in_squad() {
     ++stats.intra_steals;
   } else {
     ++stats.failed_steal_attempts;
+  }
+  if (tr) {
+    tl.record(obs::EventKind::kStealIntra, t0, obs::now_ns(), victim,
+              t != nullptr ? 1 : 0);
   }
   return t;
 }
@@ -180,6 +214,8 @@ TaskFrame* Worker::steal_intra_global() {
     ++stats.failed_steal_attempts;
     return nullptr;
   }
+  const bool tr = tl.enabled;
+  const std::uint64_t t0 = tr ? obs::now_ns() : 0;
   auto pick = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n - 1)));
   int victim = pick;
   if (victim >= id) ++victim;
@@ -189,15 +225,27 @@ TaskFrame* Worker::steal_intra_global() {
   } else {
     ++stats.failed_steal_attempts;
   }
+  if (tr) {
+    tl.record(obs::EventKind::kStealIntra, t0, obs::now_ns(), victim,
+              t != nullptr ? 1 : 0);
+  }
   return t;
 }
 
 TaskFrame* Worker::take_inter_from_own_squad() {
+  const bool tr = tl.enabled;
+  const std::uint64_t t0 = tr ? obs::now_ns() : 0;
   TaskFrame* t = squad->inter_pool.steal_top();
   if (!t) t = engine->central_pool.steal_top();  // root injection
   if (t) {
-    squad->active_inter.fetch_add(1, std::memory_order_acq_rel);
+    const std::int32_t prev =
+        squad->active_inter.fetch_add(1, std::memory_order_acq_rel);
     t->inter_acquired_by = squad;
+    if (tr) tl.mark(obs::EventKind::kActiveInter, squad->id, prev + 1);
+  }
+  if (tr) {
+    tl.record(obs::EventKind::kInterAcquire, t0, obs::now_ns(), squad->id,
+              t != nullptr ? 1 : 0);
   }
   return t;
 }
@@ -205,6 +253,8 @@ TaskFrame* Worker::take_inter_from_own_squad() {
 TaskFrame* Worker::steal_inter_from_other_squads() {
   const int m = static_cast<int>(engine->squads.size());
   if (m <= 1) return nullptr;
+  const bool tr = tl.enabled;
+  const std::uint64_t t0 = tr ? obs::now_ns() : 0;
   // One randomized round over the other squads.
   auto start = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(m)));
   for (int i = 0; i < m; ++i) {
@@ -212,12 +262,18 @@ TaskFrame* Worker::steal_inter_from_other_squads() {
     if (victim == squad->id) continue;
     if (TaskFrame* t = engine->squads[static_cast<std::size_t>(victim)]
                            ->inter_pool.steal_top()) {
-      squad->active_inter.fetch_add(1, std::memory_order_acq_rel);
+      const std::int32_t prev =
+          squad->active_inter.fetch_add(1, std::memory_order_acq_rel);
       t->inter_acquired_by = squad;
+      if (tr) {
+        tl.mark(obs::EventKind::kActiveInter, squad->id, prev + 1);
+        tl.record(obs::EventKind::kStealInter, t0, obs::now_ns(), victim, 1);
+      }
       return t;
     }
     ++stats.failed_steal_attempts;
   }
+  if (tr) tl.record(obs::EventKind::kStealInter, t0, obs::now_ns(), -1, 0);
   return nullptr;
 }
 
@@ -233,15 +289,35 @@ void Engine::worker_main(Worker& w) {
           lk, [&] { return shutdown || epoch != seen_epoch; });
       if (shutdown) break;
       seen_epoch = epoch;
+      ++working;
     }
+    const bool tr = w.tl.enabled;
     int fails = 0;
+    std::uint64_t idle_start = 0;
+    // One kIdle span per streak of failed acquires, not one event per
+    // attempt: idle spins are the highest-frequency state a worker has,
+    // and a span per streak keeps the buffer proportional to schedule
+    // structure instead of spin speed.
+    auto close_idle = [&] {
+      if (tr && fails > 0) {
+        w.tl.record(obs::EventKind::kIdle, idle_start, obs::now_ns(), fails,
+                    0);
+      }
+    };
     while (pending.load(std::memory_order_acquire) > 0) {
-      if (TaskFrame* t = w.acquire()) {
+      if (TaskFrame* t = w.acquire(fails >= kStarvationEscapeFails)) {
+        close_idle();
         fails = 0;
         w.execute(t);
       } else {
+        if (tr && fails == 0) idle_start = obs::now_ns();
         backoff(fails);
       }
+    }
+    close_idle();
+    {
+      std::lock_guard<std::mutex> lk(lifecycle_mu);
+      if (--working == 0) done_cv.notify_all();
     }
   }
   tls_worker = nullptr;

@@ -1,0 +1,326 @@
+// Observability-layer invariants: timeline spans nest, trace events agree
+// with the scheduler's own counters, the Chrome-trace JSON round-trips,
+// and tracing never perturbs what it observes.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "obs/chrome_trace.hpp"
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+#include "runtime/runtime.hpp"
+
+namespace cab::runtime {
+namespace {
+
+Options traced_options(int sockets, int cores, int bl) {
+  Options o;
+  o.topo = hw::Topology::synthetic(sockets, cores, 1ull << 20);
+  o.kind = SchedulerKind::kCab;
+  o.boundary_level = bl;
+  o.trace = true;
+  o.seed = 7;
+  return o;
+}
+
+void spawn_tree(int depth, std::atomic<int>* leaves) {
+  if (depth == 0) {
+    volatile double x = 1.0;
+    for (int i = 0; i < 15000; ++i) x = x * 1.0000001;
+    leaves->fetch_add(1);
+    return;
+  }
+  Runtime::spawn([depth, leaves] { spawn_tree(depth - 1, leaves); });
+  Runtime::spawn([depth, leaves] { spawn_tree(depth - 1, leaves); });
+  Runtime::sync();
+}
+
+obs::Trace traced_tree_run(Runtime& rt, int depth) {
+  std::atomic<int> leaves{0};
+  rt.run([&] { spawn_tree(depth, &leaves); });
+  EXPECT_EQ(leaves.load(), 1 << depth);
+  return rt.trace();
+}
+
+TEST(Obs, TraceOffProducesNoEvents) {
+  Options o = traced_options(2, 2, 2);
+  o.trace = false;
+  Runtime rt(o);
+  std::atomic<int> leaves{0};
+  rt.run([&] { spawn_tree(4, &leaves); });
+  obs::Trace t = rt.trace();
+  EXPECT_EQ(t.workers.size(), 4u);
+  EXPECT_EQ(t.event_count(), 0u);
+  EXPECT_EQ(t.dropped_count(), 0u);
+}
+
+TEST(Obs, EventTimesWellFormed) {
+  Runtime rt(traced_options(2, 2, 2));
+  obs::Trace t = traced_tree_run(rt, 5);
+  ASSERT_GT(t.event_count(), 0u);
+  for (const obs::WorkerTimeline& w : t.workers) {
+    for (const obs::TraceEvent& e : w.events) {
+      EXPECT_LE(e.t0, e.t1);
+      if (!obs::is_span(e.kind)) {
+        EXPECT_EQ(e.t0, e.t1);
+      }
+    }
+  }
+}
+
+TEST(Obs, TaskSpansNestPerWorker) {
+  Runtime rt(traced_options(2, 2, 2));
+  obs::Trace t = traced_tree_run(rt, 6);
+  // Task spans on one worker form a laminar family: a worker only starts
+  // another task inside a task while *helping at a sync*, so any two of
+  // its spans are either disjoint or nested — partial overlap would mean
+  // the timeline lies about execution structure.
+  std::size_t spans_checked = 0;
+  for (const obs::WorkerTimeline& w : t.workers) {
+    std::vector<const obs::TraceEvent*> spans;
+    for (const obs::TraceEvent& e : w.events) {
+      if (e.kind == obs::EventKind::kTaskExec) spans.push_back(&e);
+    }
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+      for (std::size_t j = i + 1; j < spans.size(); ++j) {
+        const auto* a = spans[i];
+        const auto* b = spans[j];
+        const bool disjoint = a->t1 <= b->t0 || b->t1 <= a->t0;
+        const bool a_in_b = b->t0 <= a->t0 && a->t1 <= b->t1;
+        const bool b_in_a = a->t0 <= b->t0 && b->t1 <= a->t1;
+        EXPECT_TRUE(disjoint || a_in_b || b_in_a)
+            << "partial overlap on worker " << w.worker << ": [" << a->t0
+            << "," << a->t1 << ") vs [" << b->t0 << "," << b->t1 << ")";
+        ++spans_checked;
+      }
+    }
+  }
+  EXPECT_GT(spans_checked, 0u);
+}
+
+TEST(Obs, CountersMatchTraceEvents) {
+  Runtime rt(traced_options(2, 2, 2));
+  obs::Trace t = traced_tree_run(rt, 6);
+  SchedulerStats s = rt.stats();
+  ASSERT_EQ(t.workers.size(), s.per_worker.size());
+  std::uint64_t inter_steal_events = 0;
+  for (std::size_t i = 0; i < t.workers.size(); ++i) {
+    const obs::WorkerTimeline& w = t.workers[i];
+    ASSERT_EQ(w.dropped, 0u) << "grow the workload-independent capacity";
+    std::uint64_t tasks = 0, spawns_intra = 0, spawns_inter = 0;
+    std::uint64_t intra_hits = 0, inter_hits = 0, acquire_hits = 0;
+    for (const obs::TraceEvent& e : w.events) {
+      switch (e.kind) {
+        case obs::EventKind::kTaskExec: ++tasks; break;
+        case obs::EventKind::kSpawnIntra: ++spawns_intra; break;
+        case obs::EventKind::kSpawnInter: ++spawns_inter; break;
+        case obs::EventKind::kStealIntra: intra_hits += e.b != 0; break;
+        case obs::EventKind::kStealInter: inter_hits += e.b != 0; break;
+        case obs::EventKind::kInterAcquire: acquire_hits += e.b != 0; break;
+        default: break;
+      }
+    }
+    const WorkerStats& ws = s.per_worker[i];
+    // Every counter increment has a matching timeline event (and vice
+    // versa) — the trace and the cheap counters tell one story.
+    EXPECT_EQ(tasks, ws.tasks_executed) << "worker " << w.worker;
+    EXPECT_EQ(spawns_intra, ws.spawns_intra) << "worker " << w.worker;
+    EXPECT_EQ(spawns_inter, ws.spawns_inter) << "worker " << w.worker;
+    EXPECT_EQ(intra_hits, ws.intra_steals) << "worker " << w.worker;
+    EXPECT_EQ(inter_hits, ws.inter_steals) << "worker " << w.worker;
+    EXPECT_EQ(acquire_hits, ws.inter_acquires) << "worker " << w.worker;
+    inter_steal_events += inter_hits;
+  }
+  EXPECT_EQ(inter_steal_events, s.total.inter_steals);
+}
+
+TEST(Obs, ChromeJsonParsesAndReferencesValidIds) {
+  Runtime rt(traced_options(2, 2, 2));
+  obs::Trace t = traced_tree_run(rt, 5);
+  std::ostringstream out;
+  obs::write_chrome_trace(t, out);
+  const std::string text = out.str();
+
+  // (a) It is valid JSON with the Chrome trace top-level shape.
+  const obs::json::Value doc = obs::json::parse(text);
+  ASSERT_TRUE(doc.is_object());
+  ASSERT_TRUE(doc["traceEvents"].is_array());
+  const int workers = 4, squads = 2;
+  const std::set<std::string> known = {
+      "task",        "steal:intra",  "steal:inter",
+      "inter:acquire", "spawn:intra", "spawn:inter",
+      "active_inter", "sync:wait",   "idle",
+      "process_name", "thread_name", "cab_worker"};
+  for (const obs::json::Value& ev : doc["traceEvents"].as_array()) {
+    ASSERT_TRUE(ev.is_object());
+    EXPECT_TRUE(known.count(ev.string_or("name", "?")))
+        << ev.string_or("name", "?");
+    const double pid = ev.number_or("pid", -1);
+    EXPECT_GE(pid, 0);
+    EXPECT_LT(pid, squads);
+    if (ev.string_or("ph", "") != "M" || ev.string_or("name", "") != "process_name") {
+      const double tid = ev.number_or("tid", -1);
+      EXPECT_GE(tid, 0);
+      EXPECT_LT(tid, workers);
+    }
+    if (ev.string_or("ph", "") == "X") {
+      EXPECT_GE(ev.number_or("dur", -1), 0);
+      EXPECT_GE(ev.number_or("ts", -1), 0);
+    }
+  }
+
+  // (b) The parser reconstructs the identical trace (exact inverse).
+  obs::Trace back = obs::parse_chrome_trace(text);
+  EXPECT_EQ(back.sockets, t.sockets);
+  EXPECT_EQ(back.cores_per_socket, t.cores_per_socket);
+  EXPECT_EQ(back.scheduler, t.scheduler);
+  ASSERT_EQ(back.workers.size(), t.workers.size());
+  for (std::size_t i = 0; i < t.workers.size(); ++i) {
+    const obs::WorkerTimeline& a = t.workers[i];
+    const obs::WorkerTimeline& b = back.workers[i];
+    EXPECT_EQ(a.worker, b.worker);
+    EXPECT_EQ(a.squad, b.squad);
+    EXPECT_EQ(a.is_head, b.is_head);
+    EXPECT_EQ(a.dropped, b.dropped);
+    ASSERT_EQ(a.events.size(), b.events.size());
+    for (std::size_t j = 0; j < a.events.size(); ++j) {
+      EXPECT_EQ(a.events[j].kind, b.events[j].kind);
+      EXPECT_EQ(a.events[j].t0, b.events[j].t0);
+      EXPECT_EQ(a.events[j].t1, b.events[j].t1);
+      EXPECT_EQ(a.events[j].a, b.events[j].a);
+      EXPECT_EQ(a.events[j].b, b.events[j].b);
+    }
+  }
+}
+
+TEST(Obs, ParserRejectsOutOfRangeIds) {
+  const std::string bad =
+      "{\"otherData\":{\"sockets\":2,\"cores_per_socket\":2,"
+      "\"scheduler\":\"CAB\"},\"traceEvents\":[{\"name\":\"task\","
+      "\"ph\":\"X\",\"pid\":0,\"tid\":99,\"ts\":0,\"dur\":1,"
+      "\"args\":{\"level\":0,\"inter\":0}}]}";
+  EXPECT_THROW(obs::parse_chrome_trace(bad), std::runtime_error);
+  EXPECT_THROW(obs::parse_chrome_trace("{nonsense"), std::runtime_error);
+}
+
+TEST(Obs, PerWorkerStatsSumExactlyToTotal) {
+  Runtime rt(traced_options(2, 2, 2));
+  (void)traced_tree_run(rt, 6);
+  SchedulerStats s = rt.stats();
+  WorkerStats sum;
+  for (const WorkerStats& w : s.per_worker) sum += w;
+  EXPECT_EQ(sum.tasks_executed, s.total.tasks_executed);
+  EXPECT_EQ(sum.spawns_intra, s.total.spawns_intra);
+  EXPECT_EQ(sum.spawns_inter, s.total.spawns_inter);
+  EXPECT_EQ(sum.intra_pop_hits, s.total.intra_pop_hits);
+  EXPECT_EQ(sum.intra_steals, s.total.intra_steals);
+  EXPECT_EQ(sum.inter_acquires, s.total.inter_acquires);
+  EXPECT_EQ(sum.inter_steals, s.total.inter_steals);
+  EXPECT_EQ(sum.failed_steal_attempts, s.total.failed_steal_attempts);
+  EXPECT_EQ(sum.help_iterations, s.total.help_iterations);
+}
+
+TEST(Obs, TracingDoesNotChangeCountersOnDeterministicWorkload) {
+  // One worker => one deterministic execution order; with tracing on and
+  // off every counter must agree exactly (tracing observes, never
+  // steers). On multi-worker machines only the scheduling-independent
+  // counters are deterministic — checked below.
+  auto run_once = [](bool trace) {
+    Options o;
+    o.topo = hw::Topology::synthetic(1, 1, 1ull << 20);
+    o.kind = SchedulerKind::kCab;
+    o.boundary_level = 2;
+    o.trace = trace;
+    Runtime rt(o);
+    std::atomic<int> leaves{0};
+    rt.run([&] { spawn_tree(6, &leaves); });
+    return rt.stats();
+  };
+  SchedulerStats off = run_once(false);
+  SchedulerStats on = run_once(true);
+  EXPECT_EQ(on.total.tasks_executed, off.total.tasks_executed);
+  EXPECT_EQ(on.total.spawns_intra, off.total.spawns_intra);
+  EXPECT_EQ(on.total.spawns_inter, off.total.spawns_inter);
+  EXPECT_EQ(on.total.intra_pop_hits, off.total.intra_pop_hits);
+  EXPECT_EQ(on.total.intra_steals, off.total.intra_steals);
+  EXPECT_EQ(on.total.inter_acquires, off.total.inter_acquires);
+  EXPECT_EQ(on.total.inter_steals, off.total.inter_steals);
+  EXPECT_EQ(on.total.help_iterations, off.total.help_iterations);
+
+  auto multi = [](bool trace) {
+    Options o = traced_options(2, 2, 2);
+    o.trace = trace;
+    Runtime rt(o);
+    std::atomic<int> leaves{0};
+    rt.run([&] { spawn_tree(6, &leaves); });
+    return rt.stats();
+  };
+  SchedulerStats m_off = multi(false);
+  SchedulerStats m_on = multi(true);
+  EXPECT_EQ(m_on.total.tasks_executed, m_off.total.tasks_executed);
+  EXPECT_EQ(m_on.total.spawns_intra + m_on.total.spawns_inter,
+            m_off.total.spawns_intra + m_off.total.spawns_inter);
+}
+
+TEST(Obs, CapacityOverflowCountsDrops) {
+  Options o = traced_options(2, 2, 2);
+  o.trace_capacity = 8;
+  Runtime rt(o);
+  std::atomic<int> leaves{0};
+  rt.run([&] { spawn_tree(6, &leaves); });
+  obs::Trace t = rt.trace();
+  EXPECT_GT(t.dropped_count(), 0u);
+  for (const obs::WorkerTimeline& w : t.workers) {
+    EXPECT_LE(w.events.size(), 8u);
+  }
+  // reset_stats clears timelines and drop counts.
+  rt.reset_stats();
+  obs::Trace cleared = rt.trace();
+  EXPECT_EQ(cleared.event_count(), 0u);
+  EXPECT_EQ(cleared.dropped_count(), 0u);
+}
+
+TEST(Obs, ReportsComputeSaneFractions) {
+  Runtime rt(traced_options(2, 2, 2));
+  obs::Trace t = traced_tree_run(rt, 6);
+
+  obs::StealLatencyReport lat = obs::steal_latency(t);
+  SchedulerStats s = rt.stats();
+  EXPECT_EQ(lat.intra_hit.count, s.total.intra_steals);
+  EXPECT_EQ(lat.inter_steal_hit.count, s.total.inter_steals);
+  EXPECT_EQ(lat.inter_acquire_hit.count, s.total.inter_acquires);
+  EXPECT_FALSE(lat.to_string().empty());
+
+  obs::OccupancyReport occ = obs::squad_occupancy(t);
+  EXPECT_GT(occ.wall_ns, 0u);
+  ASSERT_EQ(occ.squads.size(), 2u);
+  for (const obs::SquadOccupancy& sq : occ.squads) {
+    EXPECT_GE(sq.busy_fraction, 0.0);
+    EXPECT_LE(sq.busy_fraction, 1.0);
+    EXPECT_GE(sq.max_active, 0);
+  }
+  ASSERT_EQ(occ.workers.size(), 4u);
+  std::uint64_t tasks = 0;
+  for (const obs::WorkerOccupancy& w : occ.workers) {
+    EXPECT_GE(w.exec_fraction, 0.0);
+    EXPECT_LE(w.exec_fraction, 1.0 + 1e-9);
+    tasks += w.tasks;
+  }
+  EXPECT_EQ(tasks, s.total.tasks_executed);
+  EXPECT_FALSE(occ.to_string().empty());
+}
+
+TEST(Obs, SummaryReportsAllCollectedCounters) {
+  Runtime rt(traced_options(2, 2, 2));
+  (void)traced_tree_run(rt, 5);
+  const std::string s = rt.stats().summary();
+  EXPECT_NE(s.find("failed-steals="), std::string::npos) << s;
+  EXPECT_NE(s.find("help-iters="), std::string::npos) << s;
+}
+
+}  // namespace
+}  // namespace cab::runtime

@@ -1,0 +1,172 @@
+// Sanitizer-backed stress suite for Algorithm I/II (ctest label: stress).
+//
+// These tests hammer the bi-tier protocol — deep nesting, all three
+// SchedulerKinds, oversubscription, forced inter spawns, repeated reuse —
+// with assertions kept to cheap global invariants. Their real value is
+// under -DCAB_SANITIZE=thread (TSan) or address (ASan): every steal,
+// busy_state transition and timeline append happens here thousands of
+// times, so a protocol data race or lifetime bug trips the sanitizer.
+// Workloads are sized to stay fast even at TSan's ~10x slowdown.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+
+#include "runtime/runtime.hpp"
+
+namespace cab::runtime {
+namespace {
+
+Options stress_options(SchedulerKind kind, int sockets, int cores, int bl) {
+  Options o;
+  o.topo = hw::Topology::synthetic(sockets, cores, 1ull << 20);
+  o.kind = kind;
+  o.boundary_level = bl;
+  o.seed = 99;
+  return o;
+}
+
+void spawn_tree(int depth, std::atomic<int>* leaves) {
+  if (depth == 0) {
+    leaves->fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Runtime::spawn([depth, leaves] { spawn_tree(depth - 1, leaves); });
+  Runtime::spawn([depth, leaves] { spawn_tree(depth - 1, leaves); });
+  Runtime::sync();
+}
+
+TEST(StressProtocol, DeepNestedSpawnChain) {
+  // A 400-deep single-spawn chain: every level suspends at a sync and
+  // resumes, exercising release_busy_on_suspend and the help-first sync
+  // nesting at maximum depth (the level counter crosses BL once but the
+  // inter machinery stays live the whole way down).
+  Runtime rt(stress_options(SchedulerKind::kCab, 2, 2, 3));
+  std::atomic<int> reached{0};
+  std::function<void(int)> chain = [&](int depth) {
+    if (depth == 0) {
+      reached.fetch_add(1);
+      return;
+    }
+    Runtime::spawn([&chain, depth] { chain(depth - 1); });
+    Runtime::sync();
+  };
+  rt.run([&] { chain(400); });
+  EXPECT_EQ(reached.load(), 1);
+  EXPECT_EQ(rt.stats().total.tasks_executed, 401u);
+}
+
+TEST(StressProtocol, AllSchedulerKindsRepeatedTrees) {
+  for (SchedulerKind kind :
+       {SchedulerKind::kCab, SchedulerKind::kRandomStealing,
+        SchedulerKind::kTaskSharing}) {
+    const int bl = kind == SchedulerKind::kCab ? 2 : 0;
+    Runtime rt(stress_options(kind, 2, 2, bl));
+    for (int run = 0; run < 3; ++run) {
+      std::atomic<int> leaves{0};
+      rt.run([&] { spawn_tree(9, &leaves); });
+      EXPECT_EQ(leaves.load(), 512) << to_string(kind) << " run " << run;
+    }
+    // 3 runs x (1 root + 2^10-2 spawned) tasks each.
+    EXPECT_EQ(rt.stats().total.tasks_executed, 3u * 1023u) << to_string(kind);
+  }
+}
+
+TEST(StressProtocol, OversubscribedWorkers) {
+  // 16 virtual workers on however few physical cores the host has: the
+  // preempted-victim and descheduled-thief interleavings the backoff
+  // logic exists for. Tracing is on so timeline appends run under the
+  // sanitizer too (single-writer discipline is a claim TSan can check).
+  Options o = stress_options(SchedulerKind::kCab, 4, 4, 2);
+  o.trace = true;
+  Runtime rt(o);
+  for (int run = 0; run < 2; ++run) {
+    std::atomic<int> leaves{0};
+    rt.run([&] { spawn_tree(10, &leaves); });
+    EXPECT_EQ(leaves.load(), 1024);
+  }
+  SchedulerStats s = rt.stats();
+  EXPECT_EQ(s.total.tasks_executed, 2u * 2047u);
+  WorkerStats sum;
+  for (const WorkerStats& w : s.per_worker) sum += w;
+  EXPECT_EQ(sum.tasks_executed, s.total.tasks_executed);
+}
+
+TEST(StressProtocol, ForcedInterSpawnsAtEveryLevel) {
+  // spawn_inter from deep intra levels forces traffic through the
+  // inter pools and busy_state from places Algorithm II never would,
+  // stressing acquire/release pairing on all squads.
+  Runtime rt(stress_options(SchedulerKind::kCab, 2, 2, 1));
+  std::atomic<int> ran{0};
+  std::function<void(int)> tree = [&](int depth) {
+    if (depth == 0) {
+      ran.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    Runtime::spawn([&tree, depth] { tree(depth - 1); });
+    Runtime::spawn_inter([&tree, depth] { tree(depth - 1); });
+    Runtime::sync();
+  };
+  rt.run([&] { tree(8); });
+  EXPECT_EQ(ran.load(), 256);
+  EXPECT_GT(rt.stats().total.spawns_inter, 0u);
+}
+
+TEST(StressProtocol, ParallelForAllKinds) {
+  for (SchedulerKind kind :
+       {SchedulerKind::kCab, SchedulerKind::kRandomStealing,
+        SchedulerKind::kTaskSharing}) {
+    Runtime rt(stress_options(kind, 2, 2, kind == SchedulerKind::kCab ? 2 : 0));
+    std::atomic<std::int64_t> sum{0};
+    rt.run([&] {
+      parallel_for(0, 20000, 7, [&](std::int64_t lo, std::int64_t hi) {
+        std::int64_t local = 0;
+        for (std::int64_t i = lo; i < hi; ++i) local += i;
+        sum.fetch_add(local, std::memory_order_relaxed);
+      });
+    });
+    EXPECT_EQ(sum.load(), 20000ll * 19999 / 2) << to_string(kind);
+  }
+}
+
+TEST(StressProtocol, ExplicitSyncsMidBody) {
+  // Two spawn/sync rounds per task: the second round's children reuse a
+  // frame whose outstanding already hit zero once — the join counter and
+  // busy_state must survive re-arming.
+  Runtime rt(stress_options(SchedulerKind::kCab, 2, 2, 2));
+  std::atomic<int> ran{0};
+  std::function<void(int)> phases = [&](int depth) {
+    if (depth == 0) {
+      ran.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    Runtime::spawn([&phases, depth] { phases(depth - 1); });
+    Runtime::sync();
+    Runtime::spawn([&phases, depth] { phases(depth - 1); });
+    Runtime::sync();
+  };
+  rt.run([&] { phases(7); });
+  EXPECT_EQ(ran.load(), 128);
+}
+
+TEST(StressProtocol, ExceptionsUnderLoad) {
+  // A task body throwing mid-DAG must not wedge the run: the DAG drains,
+  // the first exception resurfaces from run(), and the runtime stays
+  // usable for the next run.
+  Runtime rt(stress_options(SchedulerKind::kCab, 2, 2, 2));
+  std::atomic<int> leaves{0};
+  EXPECT_THROW(
+      rt.run([&] {
+        spawn_tree(6, &leaves);
+        throw std::runtime_error("boom");
+      }),
+      std::runtime_error);
+  EXPECT_EQ(leaves.load(), 64);
+  std::atomic<int> after{0};
+  rt.run([&] { spawn_tree(5, &after); });
+  EXPECT_EQ(after.load(), 32);
+}
+
+}  // namespace
+}  // namespace cab::runtime

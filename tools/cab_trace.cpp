@@ -1,0 +1,84 @@
+// cab_trace — converts and summarizes scheduler timeline dumps.
+//
+// The benches' --trace=<file> flag (and any program calling
+// obs::write_chrome_trace on Runtime::trace()) writes a Chrome-trace
+// JSON. This tool reads such a dump back and prints the numbers the
+// paper's Section III argument is about: where steal attempts went, how
+// long they took, and how occupied each squad's busy_state was.
+//
+//   cab_trace out.json                 # summary: latencies + occupancy
+//   cab_trace out.json --export x.json # also re-emit normalized JSON
+//
+// The exported file round-trips through the same parser, so --export
+// doubles as a validity check of hand-edited traces.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "obs/chrome_trace.hpp"
+#include "obs/report.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <trace.json> [--export <out.json>]\n"
+               "  Summarizes a CAB scheduler timeline dump (steal-latency\n"
+               "  percentiles, per-squad busy-state occupancy). Dumps come\n"
+               "  from any fig4-fig8 bench run with --trace=<file>.\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string in_path, export_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--export") == 0 && i + 1 < argc) {
+      export_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--export=", 9) == 0) {
+      export_path = argv[i] + 9;
+    } else if (argv[i][0] == '-') {
+      return usage(argv[0]);
+    } else if (in_path.empty()) {
+      in_path = argv[i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (in_path.empty()) return usage(argv[0]);
+
+  cab::obs::Trace trace;
+  try {
+    trace = cab::obs::parse_chrome_trace_file(in_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cab_trace: %s\n", e.what());
+    return 1;
+  }
+
+  std::printf("%s: %s scheduler on %d socket(s) x %d core(s), %zu workers "
+              "with events, %zu events (%llu dropped)\n\n",
+              in_path.c_str(), trace.scheduler.c_str(), trace.sockets,
+              trace.cores_per_socket, trace.workers.size(),
+              trace.event_count(),
+              static_cast<unsigned long long>(trace.dropped_count()));
+
+  const cab::obs::StealLatencyReport lat = cab::obs::steal_latency(trace);
+  std::printf("steal latency (%zu attempts):\n%s\n", lat.total_attempts(),
+              lat.to_string().c_str());
+
+  const cab::obs::OccupancyReport occ = cab::obs::squad_occupancy(trace);
+  std::printf("squad occupancy:\n%s", occ.to_string().c_str());
+
+  if (!export_path.empty()) {
+    if (!cab::obs::write_chrome_trace_file(trace, export_path)) {
+      std::fprintf(stderr, "cab_trace: cannot write %s\n",
+                   export_path.c_str());
+      return 1;
+    }
+    std::printf("\nnormalized trace re-exported to %s\n", export_path.c_str());
+  }
+  return 0;
+}
