@@ -82,6 +82,13 @@ void run() {
     simsched::SimResult rr =
         simsched::Simulator(cilk).run(bundle.graph, bundle.traces);
 
+    JsonRecorder::instance().add_values(
+        v.name,
+        {{"cilk_makespan", rr.makespan},
+         {"cab_makespan", rc.makespan},
+         {"normalized_time", rc.makespan / rr.makespan},
+         {"cab_l3_misses", static_cast<double>(rc.cache.l3_misses)},
+         {"cilk_l3_misses", static_cast<double>(rr.cache.l3_misses)}});
     table.add_row({v.name, util::format_fixed(rr.makespan, 0),
                    util::format_fixed(rc.makespan, 0),
                    util::format_fixed(rc.makespan / rr.makespan, 3),
@@ -95,7 +102,15 @@ void run() {
 }  // namespace
 }  // namespace cab::bench
 
-int main() {
+int main(int argc, char** argv) {
+  if (int rc = cab::bench::parse_args(argc, argv)) return rc;
   cab::bench::run();
-  return 0;
+  // --trace/--json replay: the heat workload on the real runtime.
+  return cab::bench::finish("ablation_cache", [] {
+    cab::apps::HeatParams p;
+    p.rows = cab::bench::scaled(1024);
+    p.cols = cab::bench::scaled(1024);
+    p.steps = 10;
+    return cab::apps::build_heat_dag(p);
+  });
 }

@@ -50,6 +50,11 @@ void run() {
     o.victims = c.victims;
     simsched::SimResult r =
         simsched::Simulator(o).run(bundle.graph, bundle.traces);
+    JsonRecorder::instance().add_values(
+        std::string(to_string(c.policy)) + "/" + to_string(c.victims),
+        {{"makespan", r.makespan},
+         {"l3_misses", static_cast<double>(r.cache.l3_misses)},
+         {"utilization", r.utilization()}});
     table.add_row({to_string(c.policy), to_string(c.victims),
                    util::format_fixed(r.makespan, 0),
                    util::human_count(r.cache.l3_misses),
@@ -61,7 +66,15 @@ void run() {
 }  // namespace
 }  // namespace cab::bench
 
-int main() {
+int main(int argc, char** argv) {
+  if (int rc = cab::bench::parse_args(argc, argv)) return rc;
   cab::bench::run();
-  return 0;
+  // --trace/--json replay: the heat workload on the real runtime.
+  return cab::bench::finish("ablation_victims", [] {
+    cab::apps::HeatParams p;
+    p.rows = cab::bench::scaled(1024);
+    p.cols = cab::bench::scaled(1024);
+    p.steps = 10;
+    return cab::apps::build_heat_dag(p);
+  });
 }

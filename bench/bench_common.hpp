@@ -1,13 +1,20 @@
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <ctime>
 #include <functional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/cab.hpp"
 #include "obs/chrome_trace.hpp"
+#include "obs/metrics/perf_source.hpp"
 #include "runtime/graph_runner.hpp"
+#include "util/format.hpp"
 
 namespace cab::bench {
 
@@ -28,47 +35,264 @@ inline std::int64_t scaled(std::int64_t v) {
   return static_cast<std::int64_t>(static_cast<double>(v) * bench_scale());
 }
 
-/// Value of `--trace=<file>` (or `--trace <file>`) in argv, else "".
-inline std::string trace_path_from_args(int argc, char** argv) {
+/// Value of `--<name>=<v>` (or `--<name> <v>`) in argv, else "".
+/// `name` is the bare flag name without dashes, e.g. "trace".
+inline std::string arg_value(int argc, char** argv, const char* name) {
+  const std::string eq = std::string("--") + name + "=";
+  const std::string sep = std::string("--") + name;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
-    if (a.rfind("--trace=", 0) == 0) return a.substr(8);
-    if (a == "--trace" && i + 1 < argc) return argv[i + 1];
+    if (a.rfind(eq, 0) == 0) return a.substr(eq.size());
+    if (a == sep && i + 1 < argc) return argv[i + 1];
   }
   return "";
 }
 
-/// `--trace=<file>` support for the figure benches: when the flag is
-/// present, replays the bench's representative workload (built lazily by
-/// `make_bundle`) on the *real threaded runtime* — paper topology, Eq. 4
-/// boundary level, timeline tracing on — and writes a Chrome-trace JSON
-/// dump. View it in chrome://tracing / Perfetto, or summarize
-/// steal-latency percentiles and squad occupancy with `tools/cab_trace`.
-/// Returns the bench's exit code (0 when the flag is absent).
-inline int dump_trace_if_requested(
-    int argc, char** argv,
-    const std::function<apps::DagBundle()>& make_bundle) {
-  const std::string path = trace_path_from_args(argc, argv);
-  if (path.empty()) return 0;
+/// Flags shared by every figure/table/ablation bench, validated up front.
+struct BenchArgs {
+  std::string trace_path;  ///< --trace=<file>: Chrome-trace replay dump
+  std::string json_path;   ///< --json=<file>: machine-readable record
+};
+
+inline BenchArgs& bench_args() {
+  static BenchArgs a;
+  return a;
+}
+
+/// Parses and validates argv before the bench runs. Unknown `--` flags
+/// are rejected with a usage message (exit code 2) instead of being
+/// silently ignored — a misspelled --json must not discard an hour-long
+/// run's record. Returns 0 to proceed.
+inline int parse_args(int argc, char** argv) {
+  bench_args().trace_path = arg_value(argc, argv, "trace");
+  bench_args().json_path = arg_value(argc, argv, "json");
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--", 0) != 0) continue;
+    if (a.rfind("--trace", 0) == 0 || a.rfind("--json", 0) == 0) {
+      if (a == "--trace" || a == "--json") ++i;  // space-separated value
+      continue;
+    }
+    std::fprintf(stderr,
+                 "%s: unknown flag: %s\n"
+                 "usage: %s [--trace=<chrome_trace.json>] "
+                 "[--json=<record.json>]\n"
+                 "  --trace  replay the bench's representative workload on "
+                 "the threaded\n"
+                 "           runtime and dump a Chrome-trace timeline "
+                 "(view: chrome://tracing,\n"
+                 "           summarize: tools/cab_trace)\n"
+                 "  --json   write a schema-versioned machine-readable "
+                 "record of every\n"
+                 "           configuration this bench ran (merge/diff: "
+                 "tools/cab_bench_report)\n",
+                 argv[0], a.c_str(), argv[0]);
+    return 2;
+  }
+  return 0;
+}
+
+/// Collects per-configuration results while a bench runs; written out by
+/// finish() when --json was requested. Entries are prebuilt JSON objects.
+class JsonRecorder {
+ public:
+  static JsonRecorder& instance() {
+    static JsonRecorder r;
+    return r;
+  }
+
+  /// Records one CAB-vs-baseline comparison under a config name unique
+  /// within the bench (e.g. "heat/1kx1k").
+  void add_comparison(const std::string& config, const Comparison& c,
+                      double wall_s) {
+    std::string j = "{\"name\":\"" + config + "\"";
+    j += ",\"wall_s\":" + util::format_fixed(wall_s, 6);
+    j += ",\"boundary_level\":" + std::to_string(c.boundary_level);
+    j += ",\"normalized_time\":" + util::format_fixed(c.normalized_time(), 4);
+    j += ",\"gain_percent\":" + util::format_fixed(c.gain_percent(), 2);
+    j += ",\"cab\":" + c.cab.to_json();
+    j += ",\"cilk\":" + c.cilk.to_json();
+    j += "}";
+    entries_.push_back(std::move(j));
+  }
+
+  /// Records free-form numeric results for benches whose unit of work is
+  /// not a Comparison (BL sweeps, ablations, flexible partitioning).
+  void add_values(
+      const std::string& config,
+      const std::vector<std::pair<std::string, double>>& values,
+      double wall_s = -1.0) {
+    std::string j = "{\"name\":\"" + config + "\"";
+    if (wall_s >= 0) j += ",\"wall_s\":" + util::format_fixed(wall_s, 6);
+    for (const auto& [k, v] : values) {
+      j += ",\"" + k + "\":" + util::format_fixed(v, 6);
+    }
+    j += "}";
+    entries_.push_back(std::move(j));
+  }
+
+  const std::vector<std::string>& entries() const { return entries_; }
+
+ private:
+  std::vector<std::string> entries_;
+};
+
+/// compare_schedulers plus wall-clock timing and JSON recording — the
+/// drop-in the figure/table benches use so every printed row also lands
+/// in the --json record.
+inline Comparison compare_and_record(const std::string& config,
+                                     const apps::DagBundle& bundle,
+                                     const hw::Topology& topo,
+                                     std::int32_t bl = -1,
+                                     std::uint64_t seed = 1,
+                                     const simsched::CostModel& cost = {}) {
+  const auto t0 = std::chrono::steady_clock::now();
+  Comparison c = compare_schedulers(bundle, topo, bl, seed, cost);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  JsonRecorder::instance().add_comparison(config, c, wall_s);
+  return c;
+}
+
+namespace detail {
+
+inline void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+}
+
+/// Best-effort build identity: CAB_GIT_REV env (CI sets it), else a
+/// `git rev-parse` of the working tree, else "unknown".
+inline std::string git_rev() {
+  if (const char* v = std::getenv("CAB_GIT_REV"); v != nullptr && *v) {
+    return v;
+  }
+#if defined(__unix__) || defined(__APPLE__)
+  if (FILE* p = ::popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+    char buf[64] = {0};
+    const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, p);
+    ::pclose(p);
+    std::string rev(buf, n);
+    while (!rev.empty() && (rev.back() == '\n' || rev.back() == '\r')) {
+      rev.pop_back();
+    }
+    if (!rev.empty()) return rev;
+  }
+#endif
+  return "unknown";
+}
+
+}  // namespace detail
+
+/// Handles the post-run side of --trace and --json: replays the bench's
+/// representative workload (built lazily by `make_bundle`) once on the
+/// *real threaded runtime* — paper topology, Eq. 4 boundary level,
+/// timeline tracing and hardware counters on — then writes whichever
+/// outputs were requested:
+///   --trace  Chrome-trace JSON with the metrics registry merged in as
+///            counter tracks,
+///   --json   a schema-versioned `cab-bench-v1` record: bench id, scale,
+///            git rev, topology, every recorded per-config result
+///            (wall time + simulator cache stats), and the runtime
+///            replay's metrics snapshot incl. HW counters (marked
+///            unavailable when perf is not permitted).
+/// Returns the bench's exit code (0 when neither flag is present).
+inline int finish(const char* bench_id,
+                  const std::function<apps::DagBundle()>& make_bundle) {
+  const std::string trace_path = bench_args().trace_path;
+  const std::string json_path = bench_args().json_path;
+  if (trace_path.empty() && json_path.empty()) return 0;
+
   apps::DagBundle bundle = make_bundle();
   runtime::Options o;
   o.topo = paper_topology();
   o.kind = runtime::SchedulerKind::kCab;
   o.boundary_level = bundle_boundary_level(bundle, o.topo);
-  o.trace = true;
+  o.trace = !trace_path.empty();
+  o.metrics = true;
+  o.hw_counters = true;
+  const auto t0 = std::chrono::steady_clock::now();
   runtime::Runtime rt(o);
   runtime::run_graph(rt, bundle.graph);
-  const obs::Trace t = rt.trace();
-  if (!obs::write_chrome_trace_file(t, path)) {
-    std::fprintf(stderr, "cannot write trace file: %s\n", path.c_str());
-    return 1;
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const obs::metrics::Snapshot metrics = rt.metrics_snapshot();
+
+  if (!trace_path.empty()) {
+    const obs::Trace t = rt.trace();
+    if (!obs::write_chrome_trace_file(t, trace_path, &metrics)) {
+      std::fprintf(stderr, "cannot write trace file: %s\n",
+                   trace_path.c_str());
+      return 1;
+    }
+    std::printf(
+        "trace: %s on %s (BL=%d) -> %s (%zu events, %llu dropped)\n"
+        "view in chrome://tracing or summarize with: cab_trace %s\n",
+        bundle.name.c_str(), to_string(o.kind), o.boundary_level,
+        trace_path.c_str(), t.event_count(),
+        static_cast<unsigned long long>(t.dropped_count()),
+        trace_path.c_str());
   }
-  std::printf(
-      "trace: %s on %s (BL=%d) -> %s (%zu events, %llu dropped)\n"
-      "view in chrome://tracing or summarize with: cab_trace %s\n",
-      bundle.name.c_str(), to_string(o.kind), o.boundary_level, path.c_str(),
-      t.event_count(), static_cast<unsigned long long>(t.dropped_count()),
-      path.c_str());
+
+  if (!json_path.empty()) {
+    std::string j = "{\"schema\":\"cab-bench-v1\"";
+    j += ",\"bench\":";
+    detail::append_escaped(j, bench_id);
+    j += ",\"scale\":" + util::format_fixed(bench_scale(), 2);
+    j += ",\"git_rev\":";
+    detail::append_escaped(j, detail::git_rev());
+    j += ",\"generated_unix\":" +
+         std::to_string(static_cast<long long>(std::time(nullptr)));
+    const hw::Topology& topo = o.topo;
+    j += ",\"topology\":{\"sockets\":" + std::to_string(topo.sockets());
+    j += ",\"cores_per_socket\":" + std::to_string(topo.cores_per_socket());
+    j += ",\"shared_cache_bytes\":" +
+         std::to_string(topo.shared_cache_bytes());
+    j += ",\"describe\":";
+    detail::append_escaped(j, topo.describe());
+    j += "},\"configs\":[";
+    const auto& entries = JsonRecorder::instance().entries();
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      if (i) j += ',';
+      j += '\n';
+      j += entries[i];
+    }
+    j += "],\"runtime\":{\"workload\":";
+    detail::append_escaped(j, bundle.name);
+    j += ",\"boundary_level\":" + std::to_string(o.boundary_level);
+    j += ",\"wall_s\":" + util::format_fixed(wall_s, 6);
+    j += ",\"hw_available\":";
+    j += metrics.hw_available ? "true" : "false";
+    j += ",\"hw_reason\":";
+    detail::append_escaped(j, metrics.hw_reason);
+    j += ",\"metrics\":" + metrics.to_json();
+    j += "}}\n";
+    if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+      std::fwrite(j.data(), 1, j.size(), f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "cannot write json record: %s\n",
+                   json_path.c_str());
+      return 1;
+    }
+    std::printf("json record: %s (%zu configs, hw counters %s)\n",
+                json_path.c_str(), entries.size(),
+                metrics.hw_available ? "available" : "unavailable");
+  }
   return 0;
 }
 

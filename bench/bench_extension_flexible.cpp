@@ -120,6 +120,11 @@ void run() {
     simsched::SimResult r = simsched::Simulator(o).run(b.graph, b.traces);
     std::size_t cuts = tiers ? tiers->cut_count()
                              : dag::leaf_inter_task_count(2, level);
+    JsonRecorder::instance().add_values(
+        name, {{"cuts", static_cast<double>(cuts)},
+               {"makespan", r.makespan},
+               {"l3_misses", static_cast<double>(r.cache.l3_misses)},
+               {"utilization", r.utilization()}});
     table.add_row({name, std::to_string(cuts),
                    util::format_fixed(r.makespan, 0),
                    util::human_count(r.cache.l3_misses),
@@ -136,6 +141,11 @@ void run() {
   cilk.victims = simsched::VictimSelection::kUniformRandom;
   cilk.cost.duration_jitter = simsched::CostModel::kScrambleJitter;
   simsched::SimResult rr = simsched::Simulator(cilk).run(b.graph, b.traces);
+  JsonRecorder::instance().add_values(
+      "random stealing",
+      {{"makespan", rr.makespan},
+       {"l3_misses", static_cast<double>(rr.cache.l3_misses)},
+       {"utilization", rr.utilization()}});
   table.add_row({"random stealing", "-", util::format_fixed(rr.makespan, 0),
                  util::human_count(rr.cache.l3_misses),
                  util::format_fixed(rr.utilization() * 100, 1)});
@@ -147,7 +157,13 @@ void run() {
 }  // namespace
 }  // namespace cab::bench
 
-int main() {
+int main(int argc, char** argv) {
+  if (int rc = cab::bench::parse_args(argc, argv)) return rc;
   cab::bench::run();
-  return 0;
+  // --trace/--json replay: the imbalanced AMR heat grid on the real
+  // runtime (uniform Eq. 4 cut — the runtime has no flexible tiers yet).
+  return cab::bench::finish("extension_flexible", [] {
+    return cab::bench::build_amr_heat(cab::bench::scaled(1024),
+                                      cab::bench::scaled(3072), 8, 32);
+  });
 }

@@ -47,7 +47,7 @@ void run() {
   util::TablePrinter table({"benchmark", "BL(Eq.4)", "Cilk makespan",
                             "CAB makespan", "normalized(CAB)", "gain %"});
   for (const char* name : {"ge", "mergesort", "heat", "sor"}) {
-    Comparison c = compare_schedulers(build(name), paper_topology());
+    Comparison c = compare_and_record(name, build(name), paper_topology());
     table.add_row({name, std::to_string(c.boundary_level),
                    util::format_fixed(c.cilk.makespan, 0),
                    util::format_fixed(c.cab.makespan, 0),
@@ -63,8 +63,9 @@ void run() {
 }  // namespace cab::bench
 
 int main(int argc, char** argv) {
+  if (int rc = cab::bench::parse_args(argc, argv)) return rc;
   cab::bench::run();
-  // --trace=<file>: dump a real-runtime timeline of the heat workload.
-  return cab::bench::dump_trace_if_requested(
-      argc, argv, [] { return cab::bench::build("heat"); });
+  // --trace/--json replay: the heat workload on the real runtime.
+  return cab::bench::finish("fig4_memory_bound",
+                            [] { return cab::bench::build("heat"); });
 }

@@ -65,6 +65,12 @@ void run() {
         best_time = t;
         best_bl = bl;
       }
+      JsonRecorder::instance().add_values(
+          std::string(sc.label) + "/bl" + std::to_string(bl),
+          {{"boundary_level", static_cast<double>(bl)},
+           {"makespan", t},
+           {"vs_cilk", t / cilk_time},
+           {"is_eq4_choice", bl == auto_bl ? 1.0 : 0.0}});
       table.add_row({std::to_string(bl), util::format_fixed(t, 0),
                      util::format_fixed(t / cilk_time, 3),
                      bl == auto_bl ? "<- Eq.4 choice" : ""});
@@ -80,9 +86,10 @@ void run() {
 }  // namespace cab::bench
 
 int main(int argc, char** argv) {
+  if (int rc = cab::bench::parse_args(argc, argv)) return rc;
   cab::bench::run();
-  // --trace=<file>: dump a real-runtime timeline of the 2k x 2k heat case.
-  return cab::bench::dump_trace_if_requested(argc, argv, [] {
+  // --trace/--json replay: the 2k x 2k heat case on the real runtime.
+  return cab::bench::finish("fig5_bl_sweep", [] {
     cab::apps::HeatParams p;
     p.rows = cab::bench::scaled(2048);
     p.cols = cab::bench::scaled(2048);

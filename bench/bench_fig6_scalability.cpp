@@ -46,7 +46,8 @@ void run_app(const char* app) {
       p.iterations = 3;
       return apps::build_sor_dag(p);
     }();
-    Comparison c = compare_schedulers(bundle, paper_topology());
+    Comparison c = compare_and_record(std::string(app) + "/" + sc.label,
+                                      bundle, paper_topology());
     if (sc.rows == 512) first_gain = c.gain_percent();
     last_gain = c.gain_percent();
     table.add_row({sc.label, std::to_string(c.boundary_level),
@@ -72,9 +73,10 @@ void run() {
 }  // namespace cab::bench
 
 int main(int argc, char** argv) {
+  if (int rc = cab::bench::parse_args(argc, argv)) return rc;
   cab::bench::run();
-  // --trace=<file>: dump a real-runtime timeline of the 1k x 1k heat case.
-  return cab::bench::dump_trace_if_requested(argc, argv, [] {
+  // --trace/--json replay: the 1k x 1k heat case on the real runtime.
+  return cab::bench::finish("fig6_scalability", [] {
     cab::apps::HeatParams p;
     p.rows = cab::bench::scaled(1024);
     p.cols = cab::bench::scaled(1024);

@@ -41,7 +41,8 @@ void run_app(const char* app) {
       p.iterations = 3;
       return apps::build_sor_dag(p);
     }();
-    Comparison c = compare_schedulers(bundle, paper_topology());
+    Comparison c = compare_and_record(std::string(app) + "/" + sc.label,
+                                      bundle, paper_topology());
     const double red =
         c.cilk.cache.l3_misses > 0
             ? 100.0 * (1.0 - static_cast<double>(c.cab.cache.l3_misses) /
@@ -73,9 +74,10 @@ void run() {
 }  // namespace cab::bench
 
 int main(int argc, char** argv) {
+  if (int rc = cab::bench::parse_args(argc, argv)) return rc;
   cab::bench::run();
-  // --trace=<file>: dump a real-runtime timeline of the 1k x 1k SOR case.
-  return cab::bench::dump_trace_if_requested(argc, argv, [] {
+  // --trace/--json replay: the 1k x 1k SOR case on the real runtime.
+  return cab::bench::finish("fig7_cache_scaling", [] {
     cab::apps::SorParams p;
     p.rows = cab::bench::scaled(1024);
     p.cols = cab::bench::scaled(1024);

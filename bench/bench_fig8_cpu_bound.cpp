@@ -73,6 +73,11 @@ void run_real(const char* name, const std::function<void(runtime::Runtime&)>& bo
     });
   }
   const int total_reps = 3 * (reps / 3 + 1);
+  JsonRecorder::instance().add_values(
+      std::string("real/") + name,
+      {{"cilk_cpu_ms", cilk * 1e3 / total_reps},
+       {"cab_cpu_ms", cab * 1e3 / total_reps},
+       {"ratio", cab / cilk}});
   table.add_row({name, util::format_fixed(cilk * 1e3 / total_reps, 1),
                  util::format_fixed(cab * 1e3 / total_reps, 1),
                  util::format_fixed(cab / cilk, 3)});
@@ -98,6 +103,11 @@ void run() {
     o.policy = simsched::SimPolicy::kRandomStealing;
     simsched::SimResult cilk =
         simsched::Simulator(o).run(bundle.graph, bundle.traces);
+    JsonRecorder::instance().add_values(
+        std::string("sim/") + name,
+        {{"cilk_makespan", cilk.makespan},
+         {"cab_makespan", cab.makespan},
+         {"ratio", cab.makespan / cilk.makespan}});
     sim_table.add_row({name, util::format_fixed(cilk.makespan, 0),
                        util::format_fixed(cab.makespan, 0),
                        util::format_fixed(cab.makespan / cilk.makespan, 3)});
@@ -142,11 +152,12 @@ void run() {
 }  // namespace cab::bench
 
 int main(int argc, char** argv) {
+  if (int rc = cab::bench::parse_args(argc, argv)) return rc;
   cab::bench::run();
-  // --trace=<file>: dump a real-runtime timeline of the queens workload
+  // --trace/--json replay: the queens workload on the real runtime
   // (the CPU-bound Fig. 8 shape: BL=0 degenerates CAB to classic
   // stealing, so the trace shows pure intra-tier behaviour).
-  return cab::bench::dump_trace_if_requested(argc, argv, [] {
+  return cab::bench::finish("fig8_cpu_bound", [] {
     cab::apps::QueensParams p;
     p.n = 10;
     p.spawn_depth = 4;

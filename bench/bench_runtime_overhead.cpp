@@ -31,8 +31,8 @@ Options host_options(SchedulerKind kind, int bl) {
   return o;
 }
 
-void run_fib(benchmark::State& state, SchedulerKind kind, int bl) {
-  Runtime rt(host_options(kind, bl));
+void run_fib_opts(benchmark::State& state, const Options& o) {
+  Runtime rt(o);
   const int n = static_cast<int>(state.range(0));
   long result = 0;
   for (auto _ : state) {
@@ -42,6 +42,10 @@ void run_fib(benchmark::State& state, SchedulerKind kind, int bl) {
   // fib(n) spawns ~2*fib(n+1) tasks; report per-task cost.
   state.SetItemsProcessed(state.iterations() * 2 *
                           static_cast<std::int64_t>(result));
+}
+
+void run_fib(benchmark::State& state, SchedulerKind kind, int bl) {
+  run_fib_opts(state, host_options(kind, bl));
 }
 
 void BM_Spawn_Cab_BL0(benchmark::State& state) {
@@ -63,6 +67,33 @@ void BM_Spawn_TaskSharing(benchmark::State& state) {
   run_fib(state, SchedulerKind::kTaskSharing, 0);
 }
 BENCHMARK(BM_Spawn_TaskSharing)->Arg(18);
+
+// Acceptance check for the metrics registry: the three variants below
+// must not separate. Metrics off vs on exercises the hot path (the only
+// registry touch there is the idle-backoff counter inside the 50 us sleep
+// tier); hw-counters-on adds the per-epoch perf enable/disable syscalls
+// (a no-op fallback where perf_event_open is not permitted).
+void BM_Spawn_Cab_MetricsOff(benchmark::State& state) {
+  Options o = host_options(SchedulerKind::kCab, 0);
+  o.metrics = false;
+  run_fib_opts(state, o);
+}
+BENCHMARK(BM_Spawn_Cab_MetricsOff)->Arg(18);
+
+void BM_Spawn_Cab_MetricsOn(benchmark::State& state) {
+  Options o = host_options(SchedulerKind::kCab, 0);
+  o.metrics = true;
+  run_fib_opts(state, o);
+}
+BENCHMARK(BM_Spawn_Cab_MetricsOn)->Arg(18);
+
+void BM_Spawn_Cab_HwCounters(benchmark::State& state) {
+  Options o = host_options(SchedulerKind::kCab, 0);
+  o.metrics = true;
+  o.hw_counters = true;
+  run_fib_opts(state, o);
+}
+BENCHMARK(BM_Spawn_Cab_HwCounters)->Arg(18);
 
 void BM_ParallelFor(benchmark::State& state) {
   Runtime rt(host_options(SchedulerKind::kCab, 0));

@@ -36,6 +36,13 @@ void run() {
     apps::DagBundle b = e.build_default();
     const std::int32_t bl =
         e.memory_bound ? bundle_boundary_level(b, topo) : 0;
+    JsonRecorder::instance().add_values(
+        e.name, {{"memory_bound", e.memory_bound ? 1.0 : 0.0},
+                 {"tasks", static_cast<double>(b.graph.size())},
+                 {"work", static_cast<double>(b.graph.total_work())},
+                 {"span", static_cast<double>(b.graph.critical_path())},
+                 {"input_bytes", static_cast<double>(b.input_bytes)},
+                 {"boundary_level", static_cast<double>(bl)}});
     table.add_row({e.name, e.memory_bound ? "Memory" : "CPU",
                    describe(e.name), util::human_count(b.graph.size()),
                    util::human_count(b.graph.total_work()),
@@ -51,7 +58,11 @@ void run() {
 }  // namespace
 }  // namespace cab::bench
 
-int main() {
+int main(int argc, char** argv) {
+  if (int rc = cab::bench::parse_args(argc, argv)) return rc;
   cab::bench::run();
-  return 0;
+  // --trace/--json replay: heat's default DAG on the real runtime.
+  return cab::bench::finish("table3_benchmarks", [] {
+    return cab::apps::build_app("heat");
+  });
 }

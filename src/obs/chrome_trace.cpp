@@ -125,9 +125,65 @@ void append_event(std::string& out, const WorkerTimeline& w,
   out += "}}";
 }
 
+/// "metric:<name>" plus the registration labels as "k=v" suffixes, e.g.
+/// "metric:hw.llc_load_misses tier=inter" — one counter track per name.
+std::string metric_track_name(const metrics::MetricSnapshot& m) {
+  std::string name = "metric:" + m.name;
+  for (const auto& [k, v] : m.labels) {
+    name += ' ';
+    name += k;
+    name += '=';
+    name += v;
+  }
+  return name;
+}
+
+/// Largest event end stamp — where the merged metric counter events sit.
+std::uint64_t trace_end_ns(const Trace& trace) {
+  std::uint64_t end = 0;
+  for (const WorkerTimeline& w : trace.workers) {
+    for (const TraceEvent& e : w.events) {
+      if (e.t1 > end) end = e.t1;
+    }
+  }
+  return end;
+}
+
+void append_metric_events(std::string& s, const Trace& trace,
+                          const metrics::Snapshot& metrics, bool& first) {
+  const std::uint64_t end = trace_end_ns(trace);
+  for (const metrics::MetricSnapshot& m : metrics.metrics) {
+    if (m.kind == metrics::Kind::kHistogram) continue;  // no counter form
+    const std::vector<std::int64_t> by_squad = metrics.squad_totals(m);
+    const std::string track = metric_track_name(m);
+    auto emit = [&](std::int32_t pid, std::int64_t value) {
+      if (!first) s += ",\n";
+      first = false;
+      s += "{\"name\":";
+      append_escaped(s, track);
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), ",\"ph\":\"C\",\"pid\":%d,\"ts\":",
+                    pid);
+      s += buf;
+      append_us(s, end);
+      std::snprintf(buf, sizeof(buf), ",\"args\":{\"value\":%lld}}",
+                    static_cast<long long>(value));
+      s += buf;
+    };
+    if (by_squad.empty()) {
+      emit(0, m.total);  // no squad map: one whole-machine track
+    } else {
+      for (std::size_t sq = 0; sq < by_squad.size(); ++sq) {
+        emit(static_cast<std::int32_t>(sq), by_squad[sq]);
+      }
+    }
+  }
+}
+
 }  // namespace
 
-void write_chrome_trace(const Trace& trace, std::ostream& out) {
+void write_chrome_trace(const Trace& trace, std::ostream& out,
+                        const metrics::Snapshot* metrics) {
   std::string s;
   s.reserve(256 + trace.event_count() * 96);
   s += "{\"displayTimeUnit\":\"ns\",\"otherData\":{";
@@ -178,14 +234,16 @@ void write_chrome_trace(const Trace& trace, std::ostream& out) {
       append_event(s, w, e);
     }
   }
+  if (metrics != nullptr) append_metric_events(s, trace, *metrics, first);
   s += "]}\n";
   out << s;
 }
 
-bool write_chrome_trace_file(const Trace& trace, const std::string& path) {
+bool write_chrome_trace_file(const Trace& trace, const std::string& path,
+                             const metrics::Snapshot* metrics) {
   std::ofstream out(path);
   if (!out) return false;
-  write_chrome_trace(trace, out);
+  write_chrome_trace(trace, out, metrics);
   return out.good();
 }
 
@@ -251,6 +309,7 @@ Trace parse_chrome_trace(const std::string& json_text) {
       seen[static_cast<std::size_t>(tid)] = true;
       continue;
     }
+    if (name.rfind("metric:", 0) == 0) continue;  // merged registry tracks
     EventKind kind;
     if (!kind_from_name(name, kind)) {
       throw std::runtime_error("trace: unknown event name: " + name);

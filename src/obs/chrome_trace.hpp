@@ -3,6 +3,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "obs/metrics/registry.hpp"
 #include "obs/timeline.hpp"
 
 namespace cab::obs {
@@ -15,11 +16,19 @@ namespace cab::obs {
 ///   - instants as "i", squad busy_state as "C" counter tracks,
 ///   - metadata "M" events naming every squad and worker,
 ///   - machine shape + scheduler + drop counts under "otherData".
-void write_chrome_trace(const Trace& trace, std::ostream& out);
+///
+/// When a metrics snapshot is supplied, its counters and gauges are
+/// merged in as "C" counter tracks named "metric:<name>" — one per squad
+/// (using the snapshot's writer->squad map) stamped at the trace end, so
+/// registry totals line up against the timeline lanes in the viewer.
+/// parse_chrome_trace skips these (a Trace has nowhere to hold them).
+void write_chrome_trace(const Trace& trace, std::ostream& out,
+                        const metrics::Snapshot* metrics = nullptr);
 
 /// Convenience: write_chrome_trace to a file. Returns false (and writes
 /// nothing) when the file cannot be opened.
-bool write_chrome_trace_file(const Trace& trace, const std::string& path);
+bool write_chrome_trace_file(const Trace& trace, const std::string& path,
+                             const metrics::Snapshot* metrics = nullptr);
 
 /// Reconstructs a Trace from Chrome-trace JSON produced by
 /// write_chrome_trace (the exporter's exact inverse: timestamps round-trip

@@ -1,0 +1,235 @@
+#include "obs/metrics/perf_source.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace cab::obs::metrics {
+
+const char* to_string(HwCounter c) {
+  switch (c) {
+    case HwCounter::kCycles: return "cycles";
+    case HwCounter::kInstructions: return "instructions";
+    case HwCounter::kCacheReferences: return "cache_references";
+    case HwCounter::kLlcLoads: return "llc_loads";
+    case HwCounter::kLlcLoadMisses: return "llc_load_misses";
+  }
+  return "?";
+}
+
+namespace {
+
+/// CAB_PERF=off|0 force-disables the source — the supported way to test
+/// (and CI-pin) the fallback path on hosts where perf would work.
+bool env_disabled() {
+  const char* v = std::getenv("CAB_PERF");
+  return v != nullptr &&
+         (std::strcmp(v, "off") == 0 || std::strcmp(v, "0") == 0);
+}
+
+}  // namespace
+
+}  // namespace cab::obs::metrics
+
+#if defined(CAB_HAVE_PERF)
+
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <mutex>
+
+namespace cab::obs::metrics {
+
+namespace {
+
+long sys_perf_event_open(perf_event_attr* attr, pid_t pid, int cpu,
+                         int group_fd, unsigned long flags) {
+  return syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags);
+}
+
+perf_event_attr make_attr(HwCounter c) {
+  perf_event_attr a;
+  std::memset(&a, 0, sizeof a);
+  a.size = sizeof a;
+  a.disabled = c == HwCounter::kCycles ? 1 : 0;  // leader gates the group
+  a.exclude_kernel = 1;
+  a.exclude_hv = 1;
+  a.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                  PERF_FORMAT_TOTAL_TIME_RUNNING;
+  switch (c) {
+    case HwCounter::kCycles:
+      a.type = PERF_TYPE_HARDWARE;
+      a.config = PERF_COUNT_HW_CPU_CYCLES;
+      break;
+    case HwCounter::kInstructions:
+      a.type = PERF_TYPE_HARDWARE;
+      a.config = PERF_COUNT_HW_INSTRUCTIONS;
+      break;
+    case HwCounter::kCacheReferences:
+      a.type = PERF_TYPE_HARDWARE;
+      a.config = PERF_COUNT_HW_CACHE_REFERENCES;
+      break;
+    case HwCounter::kLlcLoads:
+      a.type = PERF_TYPE_HW_CACHE;
+      a.config = PERF_COUNT_HW_CACHE_LL |
+                 (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+                 (PERF_COUNT_HW_CACHE_RESULT_ACCESS << 16);
+      break;
+    case HwCounter::kLlcLoadMisses:
+      a.type = PERF_TYPE_HW_CACHE;
+      a.config = PERF_COUNT_HW_CACHE_LL |
+                 (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+                 (PERF_COUNT_HW_CACHE_RESULT_MISS << 16);
+      break;
+  }
+  return a;
+}
+
+/// One-time probe: can this process open a plain cycles counter? Cached
+/// because the answer cannot change within a process (short of privilege
+/// changes); the CAB_PERF override is checked separately on every call.
+struct Probe {
+  bool ok = false;
+  std::string reason;
+};
+
+const Probe& probe() {
+  static Probe p = [] {
+    Probe out;
+    perf_event_attr a = make_attr(HwCounter::kCycles);
+    a.read_format = 0;  // standalone probe, no group
+    const long fd = sys_perf_event_open(&a, 0, -1, -1, 0);
+    if (fd >= 0) {
+      ::close(static_cast<int>(fd));
+      out.ok = true;
+      return out;
+    }
+    const int err = errno;
+    out.reason = std::string("perf_event_open failed: ") + std::strerror(err);
+    if (err == EACCES || err == EPERM) {
+      out.reason +=
+          " (check /proc/sys/kernel/perf_event_paranoid; <= 2 is needed "
+          "for user-space counting)";
+    }
+    return out;
+  }();
+  return p;
+}
+
+}  // namespace
+
+bool perf_supported() { return true; }
+
+bool perf_available() { return !env_disabled() && probe().ok; }
+
+std::string perf_unavailable_reason() {
+  if (env_disabled()) return "disabled via CAB_PERF environment variable";
+  return probe().ok ? std::string() : probe().reason;
+}
+
+PerfGroup::~PerfGroup() { close(); }
+
+bool PerfGroup::open() {
+  if (open_) return true;
+  if (!perf_available()) return false;
+  for (int i = 0; i < kHwCounterCount; ++i) {
+    const auto c = static_cast<HwCounter>(i);
+    perf_event_attr a = make_attr(c);
+    const int group = c == HwCounter::kCycles
+                          ? -1
+                          : fd_[static_cast<std::size_t>(HwCounter::kCycles)];
+    const long fd = sys_perf_event_open(&a, 0, -1, group, 0);
+    if (fd < 0) {
+      if (c == HwCounter::kCycles) return false;  // no leader, no group
+      continue;  // e.g. LLC events unsupported on this PMU: count without
+    }
+    fd_[static_cast<std::size_t>(i)] = static_cast<int>(fd);
+  }
+  open_ = true;
+  return true;
+}
+
+void PerfGroup::enable() {
+  // No RESET: counts accumulate across enable/disable windows, mirroring
+  // the cumulative WorkerStats the registry flushes.
+  if (!open_) return;
+  const int leader = fd_[static_cast<std::size_t>(HwCounter::kCycles)];
+  ioctl(leader, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+}
+
+void PerfGroup::disable() {
+  if (!open_) return;
+  const int leader = fd_[static_cast<std::size_t>(HwCounter::kCycles)];
+  ioctl(leader, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+}
+
+HwSample PerfGroup::read() const {
+  HwSample s;
+  if (!open_) return s;
+  const int leader = fd_[static_cast<std::size_t>(HwCounter::kCycles)];
+  // Layout (PERF_FORMAT_GROUP + both times): nr, time_enabled,
+  // time_running, value[nr] — values in group-creation order, which is
+  // the order of the opened subset of HwCounter.
+  std::uint64_t buf[3 + kHwCounterCount];
+  const ssize_t n = ::read(leader, buf, sizeof buf);
+  if (n < static_cast<ssize_t>(3 * sizeof(std::uint64_t))) return s;
+  const std::uint64_t nr = buf[0];
+  const std::uint64_t enabled = buf[1];
+  const std::uint64_t running = buf[2];
+  const double scale =
+      running > 0 ? static_cast<double>(enabled) / static_cast<double>(running)
+                  : 0.0;
+  std::uint64_t slot = 0;
+  for (int i = 0; i < kHwCounterCount && slot < nr; ++i) {
+    if (fd_[static_cast<std::size_t>(i)] < 0) continue;
+    const std::uint64_t raw = buf[3 + slot++];
+    s.value[static_cast<std::size_t>(i)] =
+        running > 0 && running != enabled
+            ? static_cast<std::uint64_t>(static_cast<double>(raw) * scale)
+            : raw;
+    s.opened |= 1u << static_cast<unsigned>(i);
+  }
+  s.valid = true;
+  return s;
+}
+
+void PerfGroup::close() {
+  // Members first, leader last (the kernel frees member events with the
+  // group, but explicit close keeps fd accounting exact).
+  for (int i = kHwCounterCount - 1; i >= 0; --i) {
+    int& fd = fd_[static_cast<std::size_t>(i)];
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+  open_ = false;
+}
+
+}  // namespace cab::obs::metrics
+
+#else  // !CAB_HAVE_PERF — stub: everything reports unavailable.
+
+namespace cab::obs::metrics {
+
+bool perf_supported() { return false; }
+
+bool perf_available() { return false; }
+
+std::string perf_unavailable_reason() {
+  if (env_disabled()) return "disabled via CAB_PERF environment variable";
+  return "built without perf support (<linux/perf_event.h> not found)";
+}
+
+PerfGroup::~PerfGroup() = default;
+bool PerfGroup::open() { return false; }
+void PerfGroup::enable() {}
+void PerfGroup::disable() {}
+HwSample PerfGroup::read() const { return HwSample{}; }
+void PerfGroup::close() {}
+
+}  // namespace cab::obs::metrics
+
+#endif  // CAB_HAVE_PERF

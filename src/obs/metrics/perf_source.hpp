@@ -1,0 +1,92 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace cab::obs::metrics {
+
+/// The fixed hardware counter set read per worker: enough to compute IPC
+/// and the shared-cache (LLC) miss picture of the paper's Table IV on a
+/// real machine. LLC-loads/LLC-load-misses are the load-side last-level
+/// events (perf's LLC-loads / LLC-load-misses); cache-references is the
+/// all-level reference count used as the denominator for miss ratios.
+enum class HwCounter : int {
+  kCycles = 0,
+  kInstructions,
+  kCacheReferences,
+  kLlcLoads,
+  kLlcLoadMisses,
+};
+
+inline constexpr int kHwCounterCount = 5;
+
+const char* to_string(HwCounter c);
+
+/// One read of a counter group. Values are scaled for kernel multiplexing
+/// (value * time_enabled / time_running) so they stay comparable when the
+/// PMU is oversubscribed. A counter the host could not open reads as 0
+/// with its bit cleared in `opened`.
+struct HwSample {
+  std::array<std::uint64_t, kHwCounterCount> value{};
+  std::uint32_t opened = 0;  ///< bit i set => counter i was opened
+  bool valid = false;        ///< leader opened and the read succeeded
+
+  std::uint64_t operator[](HwCounter c) const {
+    return value[static_cast<std::size_t>(c)];
+  }
+  bool has(HwCounter c) const {
+    return (opened >> static_cast<unsigned>(c)) & 1u;
+  }
+};
+
+/// Compile-time support: true when the build saw <linux/perf_event.h>
+/// (CMake defines CAB_HAVE_PERF). When false every PerfGroup::open fails
+/// with a "built without perf support" reason.
+bool perf_supported();
+
+/// Runtime availability: perf_supported(), not force-disabled via the
+/// CAB_PERF=off environment variable, and a probe perf_event_open of a
+/// cycles counter succeeded (the syscall is often blocked in containers
+/// or restricted by kernel.perf_event_paranoid). The probe result is
+/// cached; the environment variable is re-read on every call so tests
+/// can toggle it.
+bool perf_available();
+
+/// Human-readable reason why perf_available() is false ("" when true).
+/// Mentions perf_event_paranoid when the probe failed with EACCES.
+std::string perf_unavailable_reason();
+
+/// A per-thread group of the kHwCounterCount events above, led by the
+/// cycles counter so one read() returns a consistent set. Counters
+/// measure the *opening thread* only (pid = 0, cpu = -1): each worker
+/// owns one group, and per-squad / per-machine totals are sums over
+/// workers. Open/enable/disable/read are all no-ops returning failure
+/// when perf is unavailable — callers need no platform branches.
+class PerfGroup {
+ public:
+  PerfGroup() = default;
+  ~PerfGroup();
+
+  PerfGroup(const PerfGroup&) = delete;
+  PerfGroup& operator=(const PerfGroup&) = delete;
+
+  /// Opens the group for the calling thread, counters created disabled.
+  /// Partial success is success: any subset containing the cycles leader
+  /// works (unsupported LLC events just stay closed). Returns false and
+  /// leaves the group closed when the leader cannot be opened.
+  bool open();
+  bool is_open() const { return open_; }
+
+  void enable();
+  void disable();
+  /// Reads the group (scaled for multiplexing). Invalid when closed.
+  HwSample read() const;
+  void close();
+
+ private:
+  std::array<int, kHwCounterCount> fd_{{-1, -1, -1, -1, -1}};
+  bool open_ = false;
+};
+
+}  // namespace cab::obs::metrics

@@ -1,0 +1,388 @@
+#include "obs/metrics/registry.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+#include "util/assert.hpp"
+
+namespace cab::obs::metrics {
+
+const char* to_string(Kind k) {
+  switch (k) {
+    case Kind::kCounter: return "counter";
+    case Kind::kGauge: return "gauge";
+    case Kind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+bool kind_from_string(const std::string& s, Kind& out) {
+  for (Kind k : {Kind::kCounter, Kind::kGauge, Kind::kHistogram}) {
+    if (s == to_string(k)) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::int64_t Counter::total() const {
+  std::int64_t t = 0;
+  for (const Slot& s : slots_) t += s.load();
+  return t;
+}
+
+std::int64_t Gauge::total() const {
+  std::int64_t t = 0;
+  for (const Slot& s : slots_) t += s.load();
+  return t;
+}
+
+Histogram::Histogram(int writers, std::vector<std::int64_t> bounds)
+    : bounds_(std::move(bounds)), writers_(writers) {
+  CAB_CHECK(!bounds_.empty(), "histogram needs at least one bucket bound");
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    CAB_CHECK(bounds_[i] > bounds_[i - 1],
+              "histogram bounds must be strictly increasing");
+  }
+  // Row: buckets (bounds + overflow) + count + sum, padded to a whole
+  // number of cache lines so writers never false-share.
+  const std::size_t used = bounds_.size() + 3;
+  const std::size_t per_line =
+      util::kCacheLineSize >= sizeof(Slot)
+          ? util::kCacheLineSize / sizeof(Slot)
+          : 1;
+  stride_ = (used + per_line - 1) / per_line * per_line;
+  cells_ = std::vector<Slot>(static_cast<std::size_t>(writers_) * stride_);
+}
+
+std::size_t Histogram::bucket_index(std::int64_t v) const {
+  // First bound >= v; strictly increasing bounds => lower_bound.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  return static_cast<std::size_t>(it - bounds_.begin());
+}
+
+std::int64_t Histogram::bucket_total(std::size_t b) const {
+  std::int64_t t = 0;
+  for (int w = 0; w < writers_; ++w) t += row_ptr(w)[b].load();
+  return t;
+}
+
+std::int64_t Histogram::count() const {
+  std::int64_t t = 0;
+  for (int w = 0; w < writers_; ++w)
+    t += row_ptr(w)[bounds_.size() + 1].load();
+  return t;
+}
+
+std::int64_t Histogram::sum() const {
+  std::int64_t t = 0;
+  for (int w = 0; w < writers_; ++w)
+    t += row_ptr(w)[bounds_.size() + 2].load();
+  return t;
+}
+
+Registry::Registry(int writers) : writers_(writers) {
+  CAB_CHECK(writers >= 1, "registry needs at least one writer slot");
+}
+
+void Registry::set_writer_squads(std::vector<std::int32_t> squads) {
+  std::lock_guard<std::mutex> lk(mu_);
+  CAB_CHECK(static_cast<int>(squads.size()) == writers_,
+            "writer_squad size must equal writer count");
+  writer_squad_ = std::move(squads);
+}
+
+void Registry::set_hw_status(bool available, std::string reason) {
+  std::lock_guard<std::mutex> lk(mu_);
+  hw_available_ = available;
+  hw_reason_ = std::move(reason);
+}
+
+Registry::Entry* Registry::find_entry(const std::string& name,
+                                      const Labels& labels) {
+  for (auto& e : entries_) {
+    if (e->name == name && e->labels == labels) return e.get();
+  }
+  return nullptr;
+}
+
+Counter& Registry::counter(const std::string& name, const Labels& labels) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (Entry* e = find_entry(name, labels)) {
+    CAB_CHECK(e->kind == Kind::kCounter,
+              "metric re-registered under a different kind");
+    return *e->counter;
+  }
+  auto e = std::make_unique<Entry>();
+  e->name = name;
+  e->labels = labels;
+  e->kind = Kind::kCounter;
+  e->counter.reset(new Counter(writers_));
+  Counter& ref = *e->counter;
+  entries_.push_back(std::move(e));
+  return ref;
+}
+
+Gauge& Registry::gauge(const std::string& name, const Labels& labels) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (Entry* e = find_entry(name, labels)) {
+    CAB_CHECK(e->kind == Kind::kGauge,
+              "metric re-registered under a different kind");
+    return *e->gauge;
+  }
+  auto e = std::make_unique<Entry>();
+  e->name = name;
+  e->labels = labels;
+  e->kind = Kind::kGauge;
+  e->gauge.reset(new Gauge(writers_));
+  Gauge& ref = *e->gauge;
+  entries_.push_back(std::move(e));
+  return ref;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<std::int64_t> bounds,
+                               const Labels& labels) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (Entry* e = find_entry(name, labels)) {
+    CAB_CHECK(e->kind == Kind::kHistogram,
+              "metric re-registered under a different kind");
+    CAB_CHECK(e->histogram->bounds() == bounds,
+              "histogram re-registered under different bounds");
+    return *e->histogram;
+  }
+  auto e = std::make_unique<Entry>();
+  e->name = name;
+  e->labels = labels;
+  e->kind = Kind::kHistogram;
+  e->histogram.reset(new Histogram(writers_, std::move(bounds)));
+  Histogram& ref = *e->histogram;
+  entries_.push_back(std::move(e));
+  return ref;
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  Snapshot s;
+  s.writers = writers_;
+  s.writer_squad = writer_squad_;
+  s.hw_available = hw_available_;
+  s.hw_reason = hw_reason_;
+  s.metrics.reserve(entries_.size());
+  for (const auto& e : entries_) {
+    MetricSnapshot m;
+    m.name = e->name;
+    m.kind = e->kind;
+    m.labels = e->labels;
+    switch (e->kind) {
+      case Kind::kCounter:
+      case Kind::kGauge: {
+        m.per_writer.reserve(static_cast<std::size_t>(writers_));
+        for (int w = 0; w < writers_; ++w) {
+          const std::int64_t v = e->kind == Kind::kCounter
+                                     ? e->counter->value(w)
+                                     : e->gauge->value(w);
+          m.per_writer.push_back(v);
+          m.total += v;
+        }
+        break;
+      }
+      case Kind::kHistogram: {
+        const Histogram& h = *e->histogram;
+        m.bounds = h.bounds();
+        m.buckets.reserve(m.bounds.size() + 1);
+        for (std::size_t b = 0; b <= m.bounds.size(); ++b) {
+          m.buckets.push_back(h.bucket_total(b));
+        }
+        m.count = h.count();
+        m.sum = h.sum();
+        m.total = m.count;
+        break;
+      }
+    }
+    s.metrics.push_back(std::move(m));
+  }
+  return s;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& e : entries_) {
+    switch (e->kind) {
+      case Kind::kCounter:
+        for (Slot& s : e->counter->slots_) s.store(0);
+        break;
+      case Kind::kGauge:
+        for (Slot& s : e->gauge->slots_) s.store(0);
+        break;
+      case Kind::kHistogram:
+        for (Slot& s : e->histogram->cells_) s.store(0);
+        break;
+    }
+  }
+}
+
+const MetricSnapshot* Snapshot::find(const std::string& name,
+                                     const Labels& labels) const {
+  for (const MetricSnapshot& m : metrics) {
+    if (m.name == name && m.labels == labels) return &m;
+  }
+  return nullptr;
+}
+
+std::vector<std::int64_t> Snapshot::squad_totals(
+    const MetricSnapshot& m) const {
+  std::vector<std::int64_t> out;
+  if (writer_squad.empty() || m.per_writer.size() != writer_squad.size()) {
+    return out;
+  }
+  std::int32_t squads = 0;
+  for (std::int32_t s : writer_squad) squads = std::max(squads, s + 1);
+  out.assign(static_cast<std::size_t>(squads), 0);
+  for (std::size_t w = 0; w < m.per_writer.size(); ++w) {
+    out[static_cast<std::size_t>(writer_squad[w])] += m.per_writer[w];
+  }
+  return out;
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+}
+
+void append_i64_array(std::string& out, const std::vector<std::int64_t>& v) {
+  out += '[';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) out += ',';
+    out += std::to_string(v[i]);
+  }
+  out += ']';
+}
+
+std::vector<std::int64_t> i64_array(const json::Value& v) {
+  std::vector<std::int64_t> out;
+  if (!v.is_array()) return out;
+  out.reserve(v.as_array().size());
+  for (const json::Value& x : v.as_array()) {
+    out.push_back(static_cast<std::int64_t>(x.as_number()));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Snapshot::to_json() const {
+  std::string j;
+  j.reserve(256 + metrics.size() * 160);
+  j += "{\"schema\":\"";
+  j += kSchema;
+  j += "\",\"writers\":" + std::to_string(writers);
+  j += ",\"writer_squad\":";
+  std::vector<std::int64_t> squads(writer_squad.begin(), writer_squad.end());
+  append_i64_array(j, squads);
+  j += ",\"hw\":{\"available\":";
+  j += hw_available ? "true" : "false";
+  j += ",\"reason\":";
+  append_escaped(j, hw_reason);
+  j += "},\"metrics\":[";
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    const MetricSnapshot& m = metrics[i];
+    if (i) j += ',';
+    j += "\n{\"name\":";
+    append_escaped(j, m.name);
+    j += ",\"kind\":\"";
+    j += to_string(m.kind);
+    j += "\",\"labels\":{";
+    bool first = true;
+    for (const auto& [k, v] : m.labels) {
+      if (!first) j += ',';
+      first = false;
+      append_escaped(j, k);
+      j += ':';
+      append_escaped(j, v);
+    }
+    j += "},\"total\":" + std::to_string(m.total);
+    if (m.kind == Kind::kHistogram) {
+      j += ",\"bounds\":";
+      append_i64_array(j, m.bounds);
+      j += ",\"buckets\":";
+      append_i64_array(j, m.buckets);
+      j += ",\"count\":" + std::to_string(m.count);
+      j += ",\"sum\":" + std::to_string(m.sum);
+    } else {
+      j += ",\"per_writer\":";
+      append_i64_array(j, m.per_writer);
+    }
+    j += '}';
+  }
+  j += "]}";
+  return j;
+}
+
+Snapshot Snapshot::from_json(const std::string& text) {
+  const json::Value doc = json::parse(text);
+  if (!doc.is_object()) {
+    throw std::runtime_error("metrics snapshot: not a JSON object");
+  }
+  if (doc.string_or("schema", "") != kSchema) {
+    throw std::runtime_error("metrics snapshot: unknown schema: " +
+                             doc.string_or("schema", "(missing)"));
+  }
+  Snapshot s;
+  s.writers = static_cast<int>(doc.number_or("writers", 0));
+  for (std::int64_t v : i64_array(doc["writer_squad"])) {
+    s.writer_squad.push_back(static_cast<std::int32_t>(v));
+  }
+  const json::Value& hw = doc["hw"];
+  s.hw_available = hw["available"].type() == json::Value::Type::kBool &&
+                   hw["available"].as_bool();
+  s.hw_reason = hw.string_or("reason", "");
+  const json::Value& ms = doc["metrics"];
+  if (!ms.is_array()) {
+    throw std::runtime_error("metrics snapshot: no metrics array");
+  }
+  for (const json::Value& mv : ms.as_array()) {
+    MetricSnapshot m;
+    m.name = mv.string_or("name", "");
+    if (!kind_from_string(mv.string_or("kind", ""), m.kind)) {
+      throw std::runtime_error("metrics snapshot: unknown kind for " +
+                               m.name);
+    }
+    const json::Value& labels = mv["labels"];
+    if (labels.is_object()) {
+      for (const auto& [k, v] : labels.as_object()) {
+        if (v.is_string()) m.labels[k] = v.as_string();
+      }
+    }
+    m.total = static_cast<std::int64_t>(mv.number_or("total", 0));
+    if (m.kind == Kind::kHistogram) {
+      m.bounds = i64_array(mv["bounds"]);
+      m.buckets = i64_array(mv["buckets"]);
+      m.count = static_cast<std::int64_t>(mv.number_or("count", 0));
+      m.sum = static_cast<std::int64_t>(mv.number_or("sum", 0));
+    } else {
+      m.per_writer = i64_array(mv["per_writer"]);
+    }
+    s.metrics.push_back(std::move(m));
+  }
+  return s;
+}
+
+}  // namespace cab::obs::metrics

@@ -1,0 +1,208 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/cache_line.hpp"
+
+namespace cab::obs::metrics {
+
+/// Label set attached to a metric at registration (squad, tier, ...).
+/// The *worker* dimension is not a label: every metric holds one padded
+/// slot per writer (worker), and per-worker values survive into the
+/// snapshot, so worker/squad breakdowns come for free.
+using Labels = std::map<std::string, std::string>;
+
+enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+const char* to_string(Kind k);
+bool kind_from_string(const std::string& s, Kind& out);
+
+/// One single-writer cell, padded so adjacent writers never share a cache
+/// line. Writers update with plain load/store (no RMW): only the owning
+/// worker thread writes, any thread may read a snapshot concurrently.
+struct alignas(util::kCacheLineSize) Slot {
+  std::atomic<std::int64_t> v{0};
+
+  std::int64_t load() const { return v.load(std::memory_order_relaxed); }
+  void add(std::int64_t d) {
+    v.store(v.load(std::memory_order_relaxed) + d,
+            std::memory_order_relaxed);
+  }
+  void store(std::int64_t x) { v.store(x, std::memory_order_relaxed); }
+};
+
+class Registry;
+
+/// Monotonic counter: one slot per writer.
+class Counter {
+ public:
+  /// Single-writer increment: only writer `w`'s owning thread may call.
+  void add(int w, std::int64_t delta = 1) {
+    slots_[static_cast<std::size_t>(w)].add(delta);
+  }
+  /// Sync-point overwrite — for flushing an externally accumulated
+  /// cumulative value (e.g. WorkerStats) while writers are quiescent.
+  void store(int w, std::int64_t value) {
+    slots_[static_cast<std::size_t>(w)].store(value);
+  }
+  std::int64_t value(int w) const {
+    return slots_[static_cast<std::size_t>(w)].load();
+  }
+  std::int64_t total() const;
+
+ private:
+  friend class Registry;
+  explicit Counter(int writers) : slots_(static_cast<std::size_t>(writers)) {}
+  std::vector<Slot> slots_;
+};
+
+/// Last-value gauge: one slot per writer; total() sums (which is the
+/// aggregation the HW counter source wants: per-squad = sum of workers).
+class Gauge {
+ public:
+  void set(int w, std::int64_t value) {
+    slots_[static_cast<std::size_t>(w)].store(value);
+  }
+  std::int64_t value(int w) const {
+    return slots_[static_cast<std::size_t>(w)].load();
+  }
+  std::int64_t total() const;
+
+ private:
+  friend class Registry;
+  explicit Gauge(int writers) : slots_(static_cast<std::size_t>(writers)) {}
+  std::vector<Slot> slots_;
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations v with
+/// bounds[i-1] < v <= bounds[i]; one overflow bucket counts v > last
+/// bound. Per writer the bucket row also tracks count and sum, and the
+/// row is padded out to a cache-line multiple so writers never share.
+class Histogram {
+ public:
+  void observe(int w, std::int64_t v) {
+    Slot* row = row_ptr(w);
+    row[bucket_index(v)].add(1);
+    row[bounds_.size() + 1].add(1);  // count
+    row[bounds_.size() + 2].add(v);  // sum
+  }
+  const std::vector<std::int64_t>& bounds() const { return bounds_; }
+  /// Index of the bucket `v` falls into (== bounds().size() => overflow).
+  std::size_t bucket_index(std::int64_t v) const;
+  std::int64_t bucket_total(std::size_t b) const;
+  std::int64_t count() const;
+  std::int64_t sum() const;
+
+ private:
+  friend class Registry;
+  Histogram(int writers, std::vector<std::int64_t> bounds);
+  Slot* row_ptr(int w) {
+    return cells_.data() + static_cast<std::size_t>(w) * stride_;
+  }
+  const Slot* row_ptr(int w) const {
+    return cells_.data() + static_cast<std::size_t>(w) * stride_;
+  }
+
+  std::vector<std::int64_t> bounds_;  ///< strictly increasing
+  std::size_t stride_ = 0;            ///< slots per writer row
+  int writers_ = 0;
+  std::vector<Slot> cells_;
+};
+
+/// Point-in-time copy of one metric, name + labels + values.
+struct MetricSnapshot {
+  std::string name;
+  Kind kind = Kind::kCounter;
+  Labels labels;
+  std::vector<std::int64_t> per_writer;  ///< counters and gauges
+  std::int64_t total = 0;
+  /// Histograms only: aggregated buckets (size bounds.size() + 1).
+  std::vector<std::int64_t> bounds;
+  std::vector<std::int64_t> buckets;
+  std::int64_t count = 0;
+  std::int64_t sum = 0;
+};
+
+/// A full registry snapshot: every metric, plus the writer -> squad map
+/// needed to aggregate per-worker values per socket. Serializes to a
+/// schema-versioned JSON object and parses back exactly (all values are
+/// integers well below 2^53, so the double-backed JSON model is lossless).
+struct Snapshot {
+  static constexpr const char* kSchema = "cab-metrics-v1";
+
+  int writers = 0;
+  std::vector<std::int32_t> writer_squad;  ///< empty when unknown
+  bool hw_available = false;
+  std::string hw_reason;  ///< why HW counters are unavailable ("" if available)
+  std::vector<MetricSnapshot> metrics;
+
+  const MetricSnapshot* find(const std::string& name,
+                             const Labels& labels = {}) const;
+  /// Per-squad sums of a counter/gauge snapshot (needs writer_squad).
+  std::vector<std::int64_t> squad_totals(const MetricSnapshot& m) const;
+
+  std::string to_json() const;
+  static Snapshot from_json(const std::string& text);
+};
+
+/// The metrics registry: named metrics with padded per-writer slots.
+/// Registration (and snapshotting) takes a mutex; the write paths touch
+/// only the returned metric's own slots and never synchronize. Metrics
+/// live as long as the registry; returned references are stable.
+class Registry {
+ public:
+  explicit Registry(int writers);
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  int writers() const { return writers_; }
+
+  /// Worker -> squad mapping used by Snapshot::squad_totals.
+  void set_writer_squads(std::vector<std::int32_t> squads);
+  /// Recorded verdict of the HW counter source (Snapshot carries it).
+  void set_hw_status(bool available, std::string reason);
+
+  /// Registration is idempotent: the same (name, labels) returns the same
+  /// metric. Registering a name+labels that exists under a different kind
+  /// (or a histogram under different bounds) aborts via CAB_CHECK.
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  Histogram& histogram(const std::string& name,
+                       std::vector<std::int64_t> bounds,
+                       const Labels& labels = {});
+
+  /// Point-in-time copy. Safe to call while writers are active (relaxed
+  /// reads of single-writer slots — each value is internally consistent,
+  /// the set is approximate, exact once writers are quiescent).
+  Snapshot snapshot() const;
+
+  /// Zeroes every slot. Callers must ensure writers are quiescent.
+  void reset();
+
+ private:
+  struct Entry {
+    std::string name;
+    Labels labels;
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  Entry* find_entry(const std::string& name, const Labels& labels);
+
+  int writers_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+  std::vector<std::int32_t> writer_squad_;
+  bool hw_available_ = false;
+  std::string hw_reason_ = "hardware counter source not attached";
+};
+
+}  // namespace cab::obs::metrics

@@ -24,12 +24,43 @@ Runtime::Runtime(Options opts) : opts_(opts), engine_(new Engine(opts.topo)) {
   e.pin_threads = opts.pin_threads;
   e.record_events = opts.record_events;
   e.trace = opts.trace;
+  e.metrics = opts.metrics;
+  e.hw_counters = opts.metrics && opts.hw_counters;
   e.trace_capacity = opts.trace_capacity;
   e.trace_epoch_ns = obs::now_ns();
   CAB_CHECK(opts.boundary_level >= 0, "boundary level must be >= 0");
 
   const int m = e.topo.sockets();
   const int n = e.topo.cores_per_socket();
+
+  if (e.metrics) {
+    std::vector<std::int32_t> squads_of;
+    squads_of.reserve(static_cast<std::size_t>(m * n));
+    for (int w = 0; w < m * n; ++w) {
+      squads_of.push_back(static_cast<std::int32_t>(e.topo.socket_of(w)));
+    }
+    e.registry.set_writer_squads(std::move(squads_of));
+    // HW counter slots are pre-registered (and worker threads only store
+    // into their own slots), so no registration ever races a worker.
+    for (int i = 0; i < obs::metrics::kHwCounterCount; ++i) {
+      const auto c = static_cast<obs::metrics::HwCounter>(i);
+      const std::string name = std::string("hw.") + obs::metrics::to_string(c);
+      e.hw_total[static_cast<std::size_t>(i)] =
+          &e.registry.counter(name, {{"tier", "total"}});
+      e.hw_inter[static_cast<std::size_t>(i)] =
+          &e.registry.counter(name, {{"tier", "inter"}});
+      e.registry.counter(name, {{"tier", "intra"}});  // derived at flush
+    }
+    if (!e.hw_counters) {
+      e.registry.set_hw_status(false,
+                               "hardware counters not requested "
+                               "(Options::hw_counters)");
+    } else if (!obs::metrics::perf_available()) {
+      e.registry.set_hw_status(false, obs::metrics::perf_unavailable_reason());
+    } else {
+      e.registry.set_hw_status(true, "");
+    }
+  }
 
   e.squads.reserve(static_cast<std::size_t>(m));
   for (int s = 0; s < m; ++s) {
@@ -213,7 +244,66 @@ void Runtime::reset_stats() {
     w->exec_log.clear();
     w->tl.clear();
   }
+  engine_->registry.reset();
   engine_->peak_frames.store(0, std::memory_order_relaxed);
+}
+
+bool Runtime::hw_counters_active() const {
+  return engine_->hw_counters && obs::metrics::perf_available();
+}
+
+obs::metrics::Snapshot Runtime::metrics_snapshot() const {
+  Engine& e = *engine_;
+  if (!e.metrics) return e.registry.snapshot();  // empty, hw unavailable
+  // Flush the cumulative WorkerStats into registry counters. Workers are
+  // parked between run()s, so the main thread may store into their slots.
+  const std::int64_t sleep_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(kIdleBackoffSleep)
+          .count();
+  struct Field {
+    const char* name;
+    std::uint64_t WorkerStats::*member;
+  };
+  static constexpr Field kFields[] = {
+      {"scheduler.tasks_executed", &WorkerStats::tasks_executed},
+      {"scheduler.spawns_intra", &WorkerStats::spawns_intra},
+      {"scheduler.spawns_inter", &WorkerStats::spawns_inter},
+      {"scheduler.intra_pop_hits", &WorkerStats::intra_pop_hits},
+      {"scheduler.intra_steals", &WorkerStats::intra_steals},
+      {"scheduler.inter_acquires", &WorkerStats::inter_acquires},
+      {"scheduler.inter_steals", &WorkerStats::inter_steals},
+      {"scheduler.failed_steal_attempts", &WorkerStats::failed_steal_attempts},
+      {"scheduler.help_iterations", &WorkerStats::help_iterations},
+      {"scheduler.idle_backoff_sleeps", &WorkerStats::idle_backoff_sleeps},
+  };
+  for (const Field& f : kFields) {
+    obs::metrics::Counter& c = e.registry.counter(f.name);
+    for (const auto& w : e.workers) {
+      c.store(w->id, static_cast<std::int64_t>(w->stats.*f.member));
+    }
+  }
+  obs::metrics::Counter& idle_ns =
+      e.registry.counter("scheduler.idle_backoff_ns");
+  for (const auto& w : e.workers) {
+    idle_ns.store(w->id, static_cast<std::int64_t>(
+                             w->stats.idle_backoff_sleeps) *
+                             sleep_ns);
+  }
+  // Derived intra tier: what ran outside every inter-task body.
+  for (int i = 0; i < obs::metrics::kHwCounterCount; ++i) {
+    const auto c = static_cast<obs::metrics::HwCounter>(i);
+    const std::string name = std::string("hw.") + obs::metrics::to_string(c);
+    obs::metrics::Counter& intra =
+        e.registry.counter(name, {{"tier", "intra"}});
+    for (const auto& w : e.workers) {
+      const std::int64_t total =
+          e.hw_total[static_cast<std::size_t>(i)]->value(w->id);
+      const std::int64_t inter =
+          e.hw_inter[static_cast<std::size_t>(i)]->value(w->id);
+      intra.store(w->id, total > inter ? total - inter : 0);
+    }
+  }
+  return e.registry.snapshot();
 }
 
 obs::Trace Runtime::trace() const {

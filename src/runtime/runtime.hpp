@@ -44,6 +44,21 @@ struct Options {
   /// Max timeline events kept per worker; later events are dropped and
   /// counted (Trace reports the drop total).
   std::size_t trace_capacity = 1u << 18;
+
+  /// Populate the metrics registry: scheduler counters (flushed from
+  /// WorkerStats when a snapshot is taken — nothing on the hot path) and
+  /// the idle-backoff totals. Off: metrics_snapshot() returns an empty
+  /// registry and no metric is ever registered.
+  bool metrics = true;
+
+  /// Open per-worker hardware counter groups (perf_event_open: cycles,
+  /// instructions, cache-references, LLC-loads/-load-misses), enabled
+  /// while run() executes and aggregated per squad and per tier in the
+  /// metrics registry. Degrades gracefully when perf is unavailable
+  /// (blocked syscall, perf_event_paranoid, CAB_PERF=off): the registry
+  /// still works and the snapshot reports hw_available = false. Implies
+  /// nothing unless `metrics` is also on.
+  bool hw_counters = false;
 };
 
 /// Convenience wrapper over Eq. 4: BL from topology + program parameters
@@ -106,6 +121,17 @@ class Runtime {
   /// Snapshot of every worker's timeline (empty event lists unless
   /// Options::trace). Call between run()s only — workers must be parked.
   obs::Trace trace() const;
+
+  /// Metrics registry snapshot: scheduler counters (flushed from
+  /// WorkerStats here), idle-backoff totals, and — when Options::
+  /// hw_counters and perf is available — the hw.* counters with
+  /// tier=total/inter/intra labels, per worker (aggregate per squad via
+  /// Snapshot::squad_totals). Call between run()s only.
+  obs::metrics::Snapshot metrics_snapshot() const;
+
+  /// True when hardware counters were requested *and* the perf source is
+  /// usable on this host (mirrors the snapshot's hw_available flag).
+  bool hw_counters_active() const;
 
   /// Merged per-worker execution logs (empty unless record_events). Order
   /// within a worker is execution order; across workers it is

@@ -23,6 +23,7 @@ std::string SchedulerStats::summary() const {
        "/" + util::human_count(total.inter_steals);
   s += " failed-steals=" + util::human_count(total.failed_steal_attempts);
   s += " help-iters=" + util::human_count(total.help_iterations);
+  s += " idle-sleeps=" + util::human_count(total.idle_backoff_sleeps);
   return s;
 }
 

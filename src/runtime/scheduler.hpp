@@ -1,6 +1,8 @@
 #pragma once
 
+#include <array>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
@@ -13,6 +15,8 @@
 #include "deque/locked_deque.hpp"
 #include "dag/partition.hpp"
 #include "hw/topology.hpp"
+#include "obs/metrics/perf_source.hpp"
+#include "obs/metrics/registry.hpp"
 #include "obs/timeline.hpp"
 #include "runtime/stats.hpp"
 #include "runtime/task.hpp"
@@ -41,6 +45,17 @@ const char* to_string(SchedulerKind k);
 /// every head from — a livelock with every worker spinning. The threshold
 /// sits past the backoff sleep tier, so normal contention never hits it.
 inline constexpr int kStarvationEscapeFails = 8192;
+
+/// Progressive-backoff tiers of the worker spin loops (worker.cpp
+/// backoff()): cpu_relax below kBackoffRelaxFails consecutive failures,
+/// sched-yield below kBackoffYieldFails, then every further failed
+/// acquire parks the thread for kIdleBackoffSleep. The sleep count is
+/// tracked in WorkerStats::idle_backoff_sleeps, so parked time is always
+/// count * kIdleBackoffSleep — keep reports computing it from this
+/// constant rather than a re-typed literal.
+inline constexpr int kBackoffRelaxFails = 16;
+inline constexpr int kBackoffYieldFails = 4096;
+inline constexpr std::chrono::microseconds kIdleBackoffSleep{50};
 
 struct Engine;
 
@@ -88,6 +103,16 @@ struct Worker {
   /// only, read by Runtime::trace() after run() has returned.
   obs::TimelineBuffer tl;
 
+  /// This worker's hardware counter group (opened on the worker's own
+  /// thread when Options::hw_counters and perf is available; otherwise
+  /// stays closed and every call is a no-op).
+  obs::metrics::PerfGroup perf;
+  /// Depth of open inter-tier counter measurements on this worker: only
+  /// the outermost inter-socket task body is sampled, so nested inter
+  /// tasks (run while helping inside a sync) are counted once, as part
+  /// of the enclosing span.
+  int hw_inter_depth = 0;
+
   /// Innermost task this worker is currently executing (nullptr if idle).
   TaskFrame* current = nullptr;
 
@@ -126,7 +151,8 @@ struct Worker {
 /// run lifecycle. Owned by Runtime via unique_ptr (stable address —
 /// workers keep raw pointers).
 struct Engine {
-  explicit Engine(const hw::Topology& t) : topo(t) {}
+  explicit Engine(const hw::Topology& t)
+      : topo(t), registry(t.sockets() * t.cores_per_socket()) {}
 
   hw::Topology topo;
   SchedulerKind kind = SchedulerKind::kCab;
@@ -134,8 +160,24 @@ struct Engine {
   bool pin_threads = false;
   bool record_events = false;
   bool trace = false;
+  bool metrics = true;
+  bool hw_counters = false;
   std::size_t trace_capacity = 0;
   std::uint64_t trace_epoch_ns = 0;
+
+  /// Metrics registry: one writer slot per worker. Scheduler counters
+  /// are flushed into it from WorkerStats at snapshot time (zero hot-path
+  /// cost); the HW counter gauges below are stored by the workers
+  /// themselves at epoch boundaries and around inter-tier task bodies.
+  obs::metrics::Registry registry;
+  /// Pre-registered per-tier HW counters, indexed by HwCounter; null when
+  /// Options::metrics is off. "total" is cumulative over every enabled
+  /// epoch; "inter" accumulates deltas measured around outermost
+  /// inter-socket task bodies (intra = total - inter, derived at flush).
+  std::array<obs::metrics::Counter*, obs::metrics::kHwCounterCount>
+      hw_total{};
+  std::array<obs::metrics::Counter*, obs::metrics::kHwCounterCount>
+      hw_inter{};
 
   std::vector<std::unique_ptr<Worker>> workers;
   std::vector<std::unique_ptr<Squad>> squads;

@@ -19,6 +19,11 @@ struct WorkerStats {
   std::uint64_t inter_steals = 0;         ///< from another squad's pool
   std::uint64_t failed_steal_attempts = 0;
   std::uint64_t help_iterations = 0;      ///< sync-help loop turns
+  /// Times the deepest backoff tier parked this worker (one
+  /// kIdleBackoffSleep each) — total parked time is the product, exposed
+  /// as scheduler.idle_backoff_ns in the metrics registry so it lines up
+  /// with the idle spans of the steal-latency reports.
+  std::uint64_t idle_backoff_sleeps = 0;
 
   WorkerStats& operator+=(const WorkerStats& o) {
     tasks_executed += o.tasks_executed;
@@ -30,6 +35,7 @@ struct WorkerStats {
     inter_steals += o.inter_steals;
     failed_steal_attempts += o.failed_steal_attempts;
     help_iterations += o.help_iterations;
+    idle_backoff_sleeps += o.idle_backoff_sleeps;
     return *this;
   }
 };

@@ -16,16 +16,28 @@ namespace {
 
 /// Progressive backoff for spin points. With virtual topologies the worker
 /// count can exceed the physical cores many times over, so we yield early:
-/// the task we are waiting for is likely on a descheduled thread.
-void backoff(int& fails) {
+/// the task we are waiting for is likely on a descheduled thread. Sleeps
+/// are counted so parked time is reconstructible as
+/// idle_backoff_sleeps * kIdleBackoffSleep.
+void backoff(int& fails, WorkerStats& stats) {
   ++fails;
-  if (fails < 16) {
+  if (fails < kBackoffRelaxFails) {
     util::cpu_relax();
-  } else if (fails < 4096) {
+  } else if (fails < kBackoffYieldFails) {
     std::this_thread::yield();
   } else {
-    std::this_thread::sleep_for(std::chrono::microseconds(50));
+    ++stats.idle_backoff_sleeps;
+    std::this_thread::sleep_for(kIdleBackoffSleep);
   }
+}
+
+/// Clamped per-counter difference of two group reads; multiplex scaling
+/// can make a later scaled value land a hair below an earlier one.
+std::int64_t hw_delta(const obs::metrics::HwSample& after,
+                      const obs::metrics::HwSample& before, int i) {
+  const auto a = after.value[static_cast<std::size_t>(i)];
+  const auto b = before.value[static_cast<std::size_t>(i)];
+  return a > b ? static_cast<std::int64_t>(a - b) : 0;
 }
 
 }  // namespace
@@ -40,6 +52,17 @@ void Worker::execute(TaskFrame* t) {
   }
   const bool tr = tl.enabled;
   const std::uint64_t exec_start = tr ? obs::now_ns() : 0;
+  // Attribute HW counts of the outermost inter-socket task body to the
+  // inter tier (two read() syscalls per such task — inter tasks are the
+  // rare tier, Section III-E's "often less than 5%"). The span covers
+  // the body only, including tasks run while helping inside an explicit
+  // mid-body sync, but not the implicit sync below.
+  const bool hw = t->inter && hw_inter_depth == 0 && perf.is_open();
+  obs::metrics::HwSample hw0;
+  if (hw) {
+    ++hw_inter_depth;
+    hw0 = perf.read();
+  }
   try {
     t->body();
   } catch (...) {
@@ -47,6 +70,14 @@ void Worker::execute(TaskFrame* t) {
     // exception for Runtime::run() to rethrow once the DAG has drained
     // (children already spawned by the failing body still execute).
     engine->capture_exception(std::current_exception());
+  }
+  if (hw) {
+    const obs::metrics::HwSample hw1 = perf.read();
+    for (int i = 0; i < obs::metrics::kHwCounterCount; ++i) {
+      engine->hw_inter[static_cast<std::size_t>(i)]->add(
+          id, hw_delta(hw1, hw0, i));
+    }
+    --hw_inter_depth;
   }
   t->body = nullptr;  // release captured resources before the sync wait
 
@@ -63,7 +94,7 @@ void Worker::execute(TaskFrame* t) {
       if (help_once(fails >= kStarvationEscapeFails)) {
         fails = 0;
       } else {
-        backoff(fails);
+        backoff(fails, stats);
       }
     }
     if (tr) {
@@ -280,6 +311,10 @@ TaskFrame* Worker::steal_inter_from_other_squads() {
 void Engine::worker_main(Worker& w) {
   tls_worker = &w;
   if (pin_threads) hw::bind_current_thread(w.core);
+  // perf_event_open counts the calling thread, so the group must be
+  // opened here, on the worker's own thread. Fails quietly (and leaves
+  // every perf call a no-op) when the syscall is blocked or CAB_PERF=off.
+  if (hw_counters) w.perf.open();
 
   std::uint64_t seen_epoch = 0;
   for (;;) {
@@ -291,6 +326,9 @@ void Engine::worker_main(Worker& w) {
       seen_epoch = epoch;
       ++working;
     }
+    // Counters run only inside epochs: enabled here, disabled below, so
+    // hw.* totals cover run() execution rather than parked time.
+    w.perf.enable();
     const bool tr = w.tl.enabled;
     int fails = 0;
     std::uint64_t idle_start = 0;
@@ -311,10 +349,21 @@ void Engine::worker_main(Worker& w) {
         w.execute(t);
       } else {
         if (tr && fails == 0) idle_start = obs::now_ns();
-        backoff(fails);
+        backoff(fails, w.stats);
       }
     }
     close_idle();
+    w.perf.disable();
+    if (w.perf.is_open()) {
+      // Cumulative totals (counters stay live across epochs) stored into
+      // this worker's own registry slots — still single-writer.
+      const obs::metrics::HwSample s = w.perf.read();
+      for (int i = 0; i < obs::metrics::kHwCounterCount; ++i) {
+        hw_total[static_cast<std::size_t>(i)]->store(
+            w.id, static_cast<std::int64_t>(
+                      s.value[static_cast<std::size_t>(i)]));
+      }
+    }
     {
       std::lock_guard<std::mutex> lk(lifecycle_mu);
       if (--working == 0) done_cv.notify_all();

@@ -1,0 +1,261 @@
+// Tests for the metrics registry (src/obs/metrics/): single-writer
+// slot discipline under concurrency, histogram bucket boundaries, the
+// JSON snapshot round trip, the runtime integration (scheduler counters
+// mirror SchedulerStats), the forced-unavailable perf path, and the
+// chrome-trace metrics merge surviving a parse round trip.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics/perf_source.hpp"
+#include "obs/metrics/registry.hpp"
+#include "runtime/runtime.hpp"
+
+namespace cab::obs::metrics {
+namespace {
+
+TEST(Counter, ConcurrentPerWriterIncrementsSumExactly) {
+  constexpr int kWriters = 8;
+  constexpr std::int64_t kPerWriter = 200000;
+  Registry reg(kWriters);
+  Counter& c = reg.counter("test.ops", {{"tier", "intra"}});
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&c, w] {
+      for (std::int64_t i = 0; i < kPerWriter; ++i) c.add(w);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Each writer owns its slot, so despite the relaxed non-RMW updates
+  // the per-writer values — and hence the total — are exact.
+  for (int w = 0; w < kWriters; ++w) EXPECT_EQ(c.value(w), kPerWriter);
+  EXPECT_EQ(c.total(), kWriters * kPerWriter);
+}
+
+TEST(Registry, RegistrationIsIdempotentAndLabelsDisambiguate) {
+  Registry reg(2);
+  Counter& a = reg.counter("x", {{"tier", "inter"}});
+  Counter& b = reg.counter("x", {{"tier", "inter"}});
+  Counter& c = reg.counter("x", {{"tier", "intra"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &c);
+  a.add(0, 5);
+  EXPECT_EQ(b.total(), 5);
+  EXPECT_EQ(c.total(), 0);
+}
+
+TEST(Gauge, SetOverwritesAndTotalSums) {
+  Registry reg(3);
+  Gauge& g = reg.gauge("depth");
+  g.set(0, 7);
+  g.set(0, 3);
+  g.set(2, 10);
+  EXPECT_EQ(g.value(0), 3);
+  EXPECT_EQ(g.value(1), 0);
+  EXPECT_EQ(g.total(), 13);
+}
+
+TEST(Histogram, BucketBoundariesAreLeftOpenRightClosed) {
+  Registry reg(1);
+  Histogram& h = reg.histogram("lat", {10, 100, 1000});
+
+  // bucket 0: v <= 10; bucket 1: 10 < v <= 100; ...; bucket 3: v > 1000.
+  EXPECT_EQ(h.bucket_index(-5), 0u);
+  EXPECT_EQ(h.bucket_index(10), 0u);
+  EXPECT_EQ(h.bucket_index(11), 1u);
+  EXPECT_EQ(h.bucket_index(100), 1u);
+  EXPECT_EQ(h.bucket_index(101), 2u);
+  EXPECT_EQ(h.bucket_index(1000), 2u);
+  EXPECT_EQ(h.bucket_index(1001), 3u);
+
+  h.observe(0, 10);
+  h.observe(0, 11);
+  h.observe(0, 5000);
+  EXPECT_EQ(h.bucket_total(0), 1);
+  EXPECT_EQ(h.bucket_total(1), 1);
+  EXPECT_EQ(h.bucket_total(2), 0);
+  EXPECT_EQ(h.bucket_total(3), 1);
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_EQ(h.sum(), 10 + 11 + 5000);
+}
+
+TEST(Histogram, WritersDoNotShareRows) {
+  constexpr int kWriters = 4;
+  constexpr int kObs = 50000;
+  Registry reg(kWriters);
+  Histogram& h = reg.histogram("lat", {1, 2, 4, 8});
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&h, w] {
+      for (int i = 0; i < kObs; ++i) h.observe(w, i % 10);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), kWriters * kObs);
+}
+
+TEST(Snapshot, JsonRoundTripsExactly) {
+  Registry reg(2);
+  reg.set_writer_squads({0, 1});
+  reg.set_hw_status(false, "perf not permitted");
+  reg.counter("ops", {{"tier", "total"}}).add(0, 41);
+  reg.counter("ops", {{"tier", "total"}}).add(1, 1);
+  reg.gauge("depth").set(1, -3);
+  Histogram& h = reg.histogram("lat", {10, 100});
+  h.observe(0, 7);
+  h.observe(1, 70);
+  h.observe(1, 700);
+
+  const Snapshot a = reg.snapshot();
+  const Snapshot b = Snapshot::from_json(a.to_json());
+
+  EXPECT_EQ(b.writers, a.writers);
+  EXPECT_EQ(b.writer_squad, a.writer_squad);
+  EXPECT_EQ(b.hw_available, a.hw_available);
+  EXPECT_EQ(b.hw_reason, a.hw_reason);
+  ASSERT_EQ(b.metrics.size(), a.metrics.size());
+  for (std::size_t i = 0; i < a.metrics.size(); ++i) {
+    const MetricSnapshot& ma = a.metrics[i];
+    const MetricSnapshot& mb = b.metrics[i];
+    EXPECT_EQ(mb.name, ma.name);
+    EXPECT_EQ(mb.kind, ma.kind);
+    EXPECT_EQ(mb.labels, ma.labels);
+    EXPECT_EQ(mb.per_writer, ma.per_writer);
+    EXPECT_EQ(mb.total, ma.total);
+    EXPECT_EQ(mb.bounds, ma.bounds);
+    EXPECT_EQ(mb.buckets, ma.buckets);
+    EXPECT_EQ(mb.count, ma.count);
+    EXPECT_EQ(mb.sum, ma.sum);
+  }
+
+  const MetricSnapshot* ops = b.find("ops", {{"tier", "total"}});
+  ASSERT_NE(ops, nullptr);
+  EXPECT_EQ(ops->total, 42);
+  const std::vector<std::int64_t> squads = b.squad_totals(*ops);
+  ASSERT_EQ(squads.size(), 2u);
+  EXPECT_EQ(squads[0], 41);
+  EXPECT_EQ(squads[1], 1);
+}
+
+TEST(Snapshot, RejectsWrongSchema) {
+  EXPECT_THROW(Snapshot::from_json("{\"schema\":\"bogus\"}"),
+               std::runtime_error);
+}
+
+runtime::Options small_options() {
+  runtime::Options o;
+  o.topo = hw::Topology::synthetic(2, 2, 1ull << 20);
+  o.kind = runtime::SchedulerKind::kCab;
+  o.boundary_level = 1;
+  o.seed = 7;
+  return o;
+}
+
+void spawn_tree(int depth) {
+  if (depth == 0) return;
+  runtime::Runtime::spawn([depth] { spawn_tree(depth - 1); });
+  runtime::Runtime::spawn([depth] { spawn_tree(depth - 1); });
+  runtime::Runtime::sync();
+}
+
+TEST(RuntimeMetrics, SchedulerCountersMirrorStats) {
+  runtime::Runtime rt(small_options());
+  rt.run([] { spawn_tree(8); });
+  const runtime::SchedulerStats stats = rt.stats();
+  const Snapshot snap = rt.metrics_snapshot();
+
+  const MetricSnapshot* tasks = snap.find("scheduler.tasks_executed");
+  ASSERT_NE(tasks, nullptr);
+  EXPECT_EQ(tasks->total,
+            static_cast<std::int64_t>(stats.total.tasks_executed));
+
+  const MetricSnapshot* sleeps = snap.find("scheduler.idle_backoff_sleeps");
+  ASSERT_NE(sleeps, nullptr);
+  EXPECT_EQ(sleeps->total,
+            static_cast<std::int64_t>(stats.total.idle_backoff_sleeps));
+
+  // The derived parked-time counter is count x kIdleBackoffSleep.
+  const MetricSnapshot* ns = snap.find("scheduler.idle_backoff_ns");
+  ASSERT_NE(ns, nullptr);
+  EXPECT_EQ(ns->total, sleeps->total * 50 * 1000);
+
+  // Per-writer layout matches the topology.
+  EXPECT_EQ(snap.writers, 4);
+  EXPECT_EQ(snap.writer_squad,
+            (std::vector<std::int32_t>{0, 0, 1, 1}));
+}
+
+TEST(RuntimeMetrics, MetricsOffYieldsEmptySnapshot) {
+  runtime::Options o = small_options();
+  o.metrics = false;
+  runtime::Runtime rt(o);
+  rt.run([] { spawn_tree(6); });
+  const Snapshot snap = rt.metrics_snapshot();
+  EXPECT_TRUE(snap.metrics.empty());
+}
+
+TEST(RuntimeMetrics, ForcedUnavailablePerfDegradesGracefully) {
+  // CAB_PERF=off forces the perf source to report unavailable even where
+  // perf_event_open would work — the acceptance path for CI containers.
+  ::setenv("CAB_PERF", "off", 1);
+  EXPECT_FALSE(perf_available());
+  EXPECT_FALSE(perf_unavailable_reason().empty());
+
+  runtime::Options o = small_options();
+  o.hw_counters = true;
+  runtime::Runtime rt(o);
+  EXPECT_FALSE(rt.hw_counters_active());
+  rt.run([] { spawn_tree(8); });
+  const Snapshot snap = rt.metrics_snapshot();
+  EXPECT_FALSE(snap.hw_available);
+  EXPECT_FALSE(snap.hw_reason.empty());
+
+  // The hw.* counters exist (pre-registered) but stay zero.
+  const MetricSnapshot* cyc = snap.find("hw.cycles", {{"tier", "total"}});
+  ASSERT_NE(cyc, nullptr);
+  EXPECT_EQ(cyc->total, 0);
+  ::unsetenv("CAB_PERF");
+}
+
+TEST(RuntimeMetrics, ResetStatsClearsRegistry) {
+  runtime::Runtime rt(small_options());
+  rt.run([] { spawn_tree(8); });
+  ASSERT_GT(rt.metrics_snapshot().find("scheduler.tasks_executed")->total,
+            0);
+  rt.reset_stats();
+  // Before any new work the flushed counters are zero again.
+  rt.run([] {});
+  const Snapshot snap = rt.metrics_snapshot();
+  EXPECT_LT(snap.find("scheduler.tasks_executed")->total, 10);
+}
+
+TEST(ChromeTrace, MetricsMergeSurvivesParseRoundTrip) {
+  runtime::Options o = small_options();
+  o.trace = true;
+  runtime::Runtime rt(o);
+  rt.run([] { spawn_tree(8); });
+  const Snapshot snap = rt.metrics_snapshot();
+  const Trace trace = rt.trace();
+
+  std::ostringstream out;
+  write_chrome_trace(trace, out, &snap);
+  const std::string text = out.str();
+
+  // Metric counter tracks are present in the JSON...
+  EXPECT_NE(text.find("metric:scheduler.tasks_executed"),
+            std::string::npos);
+
+  // ...and the parser skips them, recovering the original span events.
+  const Trace back = parse_chrome_trace(text);
+  EXPECT_EQ(back.event_count(), trace.event_count());
+}
+
+}  // namespace
+}  // namespace cab::obs::metrics

@@ -1,0 +1,311 @@
+// cab_bench_report — merges and diffs the benches' machine-readable
+// records.
+//
+// Every fig/table/ablation bench run with --json=<file> writes one
+// schema-versioned `cab-bench-v1` record. This tool turns a directory's
+// worth of such records into a single summary, and compares two
+// summaries run-over-run:
+//
+//   cab_bench_report merge BENCH_summary.json rec1.json rec2.json ...
+//   cab_bench_report diff  baseline.json current.json
+//                          [--threshold=<pct>] [--warn-only]
+//
+// diff flattens every per-config record into (bench, config, metric)
+// triples and reports percent deltas. Metrics where lower is better
+// (wall time, makespans, cache misses, normalized time, overhead
+// ratios) that regress by more than the threshold (default 5%) make the
+// tool exit 1 — a CI tripwire — unless --warn-only is given. Everything
+// else is informational: simulator makespans are deterministic, but
+// wall-clock fields are noisy on shared runners, hence warn-only there.
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace {
+
+using cab::obs::json::Value;
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s merge <out_summary.json> <record.json>...\n"
+      "       %s diff <baseline_summary.json> <current_summary.json>\n"
+      "            [--threshold=<pct>] [--warn-only]\n"
+      "  merge  combine per-bench --json records into one\n"
+      "         cab-bench-summary-v1 file\n"
+      "  diff   compare two summaries; regressions beyond the threshold\n"
+      "         (default 5%%) on lower-is-better metrics exit 1\n"
+      "         (suppressed by --warn-only)\n",
+      argv0, argv0);
+  return 2;
+}
+
+Value parse_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return cab::obs::json::parse(ss.str());
+}
+
+/// Re-serializes a parsed document. The parser stores numbers as double,
+/// which is exact for every integer the benches emit (counts < 2^53);
+/// integral values are printed without a fraction so merged summaries
+/// stay byte-stable across a parse/emit round trip.
+void write_value(std::string& out, const Value& v) {
+  switch (v.type()) {
+    case Value::Type::kNull: out += "null"; return;
+    case Value::Type::kBool: out += v.as_bool() ? "true" : "false"; return;
+    case Value::Type::kNumber: {
+      const double d = v.as_number();
+      char buf[40];
+      if (std::isfinite(d) && d == std::floor(d) && std::fabs(d) < 9e15) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(d));
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.9g", d);
+      }
+      out += buf;
+      return;
+    }
+    case Value::Type::kString: {
+      out += '"';
+      for (char c : v.as_string()) {
+        if (c == '"' || c == '\\') {
+          out += '\\';
+          out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+      }
+      out += '"';
+      return;
+    }
+    case Value::Type::kArray: {
+      out += '[';
+      bool first = true;
+      for (const Value& e : v.as_array()) {
+        if (!first) out += ',';
+        first = false;
+        write_value(out, e);
+      }
+      out += ']';
+      return;
+    }
+    case Value::Type::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, e] : v.as_object()) {
+        if (!first) out += ',';
+        first = false;
+        write_value(out, Value(k));
+        out += ':';
+        write_value(out, e);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+int cmd_merge(const std::string& out_path,
+              const std::vector<std::string>& inputs) {
+  Value::Array benches;
+  std::string git_rev = "unknown";
+  double scale = 1.0;
+  double generated = 0;
+  for (const std::string& path : inputs) {
+    Value rec;
+    try {
+      rec = parse_file(path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "cab_bench_report: %s: %s\n", path.c_str(),
+                   e.what());
+      return 1;
+    }
+    if (rec.string_or("schema", "") != "cab-bench-v1") {
+      std::fprintf(stderr,
+                   "cab_bench_report: %s: not a cab-bench-v1 record "
+                   "(schema=\"%s\")\n",
+                   path.c_str(), rec.string_or("schema", "?").c_str());
+      return 1;
+    }
+    if (git_rev == "unknown") git_rev = rec.string_or("git_rev", "unknown");
+    scale = rec.number_or("scale", scale);
+    generated = std::max(generated, rec.number_or("generated_unix", 0));
+    benches.push_back(rec);
+  }
+
+  Value::Object summary;
+  summary["schema"] = Value(std::string("cab-bench-summary-v1"));
+  summary["git_rev"] = Value(git_rev);
+  summary["scale"] = Value(scale);
+  summary["generated_unix"] = Value(generated);
+  summary["benches"] = Value(std::move(benches));
+
+  std::string out;
+  write_value(out, Value(std::move(summary)));
+  out += '\n';
+  if (std::FILE* f = std::fopen(out_path.c_str(), "w")) {
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+  } else {
+    std::fprintf(stderr, "cab_bench_report: cannot write %s\n",
+                 out_path.c_str());
+    return 1;
+  }
+  std::printf("merged %zu record(s) -> %s (git %s, scale %.2f)\n",
+              inputs.size(), out_path.c_str(), git_rev.c_str(), scale);
+  return 0;
+}
+
+/// Flattened numeric view of a summary: "bench/config/dotted.path" ->
+/// value. Strings, booleans and the metrics snapshot's per-writer arrays
+/// are skipped — the diff is about headline per-config numbers.
+using Flat = std::map<std::string, double>;
+
+void flatten_into(Flat& flat, const std::string& prefix, const Value& v) {
+  if (v.is_number()) {
+    flat[prefix] = v.as_number();
+    return;
+  }
+  if (!v.is_object()) return;  // arrays (per-writer rows) not comparable
+  for (const auto& [k, e] : v.as_object()) {
+    if (k == "name") continue;
+    flatten_into(flat, prefix + "." + k, e);
+  }
+}
+
+Flat flatten_summary(const Value& summary) {
+  Flat flat;
+  for (const Value& bench : summary["benches"].as_array()) {
+    const std::string id = bench.string_or("bench", "?");
+    for (const Value& cfg : bench["configs"].as_array()) {
+      flatten_into(flat, id + "/" + cfg.string_or("name", "?"), cfg);
+    }
+    // Headline runtime-replay numbers (not the full metrics snapshot:
+    // worker-level counters are machine- and load-dependent).
+    flat[id + "/runtime.wall_s"] = bench["runtime"].number_or("wall_s", 0);
+  }
+  return flat;
+}
+
+/// Lower-is-better keys are the regression-gated ones. Wall-clock keys
+/// are compared but never gate: shared CI runners make them too noisy.
+bool lower_is_better(const std::string& key) {
+  for (const char* s : {"makespan", "miss", "normalized_time", "ratio",
+                        "cpu_ms", "wall_s", "idle", "cuts"}) {
+    if (key.find(s) != std::string::npos) return true;
+  }
+  return false;
+}
+
+bool wall_clock(const std::string& key) {
+  return key.find("wall_s") != std::string::npos ||
+         key.find("cpu_ms") != std::string::npos;
+}
+
+int cmd_diff(const std::string& base_path, const std::string& cur_path,
+             double threshold_pct, bool warn_only) {
+  Value base, cur;
+  try {
+    base = parse_file(base_path);
+    cur = parse_file(cur_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cab_bench_report: %s\n", e.what());
+    return 1;
+  }
+  for (const auto* p : {&base, &cur}) {
+    if ((*p)["schema"].string_or("", "") != "cab-bench-summary-v1" &&
+        p->string_or("schema", "") != "cab-bench-summary-v1") {
+      std::fprintf(stderr,
+                   "cab_bench_report: diff expects cab-bench-summary-v1 "
+                   "files (made by the merge subcommand)\n");
+      return 1;
+    }
+  }
+
+  const Flat a = flatten_summary(base);
+  const Flat b = flatten_summary(cur);
+
+  std::printf("diff: %s (git %s) -> %s (git %s), threshold %.1f%%\n",
+              base_path.c_str(), base.string_or("git_rev", "?").c_str(),
+              cur_path.c_str(), cur.string_or("git_rev", "?").c_str(),
+              threshold_pct);
+
+  int gating = 0, compared = 0, missing = 0;
+  for (const auto& [key, old_v] : a) {
+    auto it = b.find(key);
+    if (it == b.end()) {
+      ++missing;
+      continue;
+    }
+    ++compared;
+    const double new_v = it->second;
+    if (old_v == 0.0) continue;
+    const double delta_pct = 100.0 * (new_v - old_v) / std::fabs(old_v);
+    if (!lower_is_better(key) || std::fabs(delta_pct) < threshold_pct) {
+      continue;
+    }
+    const bool worse = delta_pct > 0;
+    const bool gates = worse && !wall_clock(key);
+    if (gates) ++gating;
+    std::printf("  %-12s %s: %.6g -> %.6g (%+.1f%%)%s\n",
+                worse ? (gates ? "REGRESSION" : "slower(warn)")
+                      : "improvement",
+                key.c_str(), old_v, new_v, delta_pct,
+                worse && !gates ? "  [wall clock: not gating]" : "");
+  }
+  std::printf(
+      "compared %d metric(s): %d gating regression(s), %d new/missing\n",
+      compared, gating, missing);
+  if (gating > 0 && !warn_only) return 1;
+  if (gating > 0) std::printf("(--warn-only: exiting 0)\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  std::string cmd = argv[1];
+  if (cmd == "--diff") cmd = "diff";  // CI-friendly alias
+
+  if (cmd == "merge") {
+    if (argc < 4) return usage(argv[0]);
+    std::vector<std::string> inputs;
+    for (int i = 3; i < argc; ++i) inputs.emplace_back(argv[i]);
+    return cmd_merge(argv[2], inputs);
+  }
+  if (cmd == "diff") {
+    double threshold = 5.0;
+    bool warn_only = false;
+    std::vector<std::string> paths;
+    for (int i = 2; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--threshold=", 12) == 0) {
+        threshold = std::atof(argv[i] + 12);
+      } else if (std::strcmp(argv[i], "--warn-only") == 0) {
+        warn_only = true;
+      } else if (argv[i][0] == '-') {
+        return usage(argv[0]);
+      } else {
+        paths.emplace_back(argv[i]);
+      }
+    }
+    if (paths.size() != 2) return usage(argv[0]);
+    return cmd_diff(paths[0], paths[1], threshold, warn_only);
+  }
+  return usage(argv[0]);
+}
