@@ -1,11 +1,13 @@
 #pragma once
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <ctime>
 #include <functional>
+#include <map>
 #include <string>
 #include <utility>
 #include <vector>
@@ -52,6 +54,11 @@ inline std::string arg_value(int argc, char** argv, const char* name) {
 struct BenchArgs {
   std::string trace_path;  ///< --trace=<file>: Chrome-trace replay dump
   std::string json_path;   ///< --json=<file>: machine-readable record
+  /// --adapt=static|adaptive|fixed:<bl>: BL policy for the --trace/--json
+  /// runtime replay. Adaptive replays run several epochs so the
+  /// controller has decisions to record; the cab-adapt-v1 report is
+  /// embedded in the cab-bench-v1 record either way.
+  adapt::Policy adapt;
 };
 
 inline BenchArgs& bench_args() {
@@ -66,17 +73,29 @@ inline BenchArgs& bench_args() {
 inline int parse_args(int argc, char** argv) {
   bench_args().trace_path = arg_value(argc, argv, "trace");
   bench_args().json_path = arg_value(argc, argv, "json");
+  const std::string adapt_spec = arg_value(argc, argv, "adapt");
+  if (!adapt_spec.empty() &&
+      !adapt::parse_policy(adapt_spec, bench_args().adapt)) {
+    std::fprintf(stderr,
+                 "%s: bad --adapt policy \"%s\" "
+                 "(expected static|adaptive|fixed:<bl>)\n",
+                 argv[0], adapt_spec.c_str());
+    return 2;
+  }
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a.rfind("--", 0) != 0) continue;
-    if (a.rfind("--trace", 0) == 0 || a.rfind("--json", 0) == 0) {
-      if (a == "--trace" || a == "--json") ++i;  // space-separated value
+    if (a.rfind("--trace", 0) == 0 || a.rfind("--json", 0) == 0 ||
+        a.rfind("--adapt", 0) == 0) {
+      if (a == "--trace" || a == "--json" || a == "--adapt") {
+        ++i;  // space-separated value
+      }
       continue;
     }
     std::fprintf(stderr,
                  "%s: unknown flag: %s\n"
                  "usage: %s [--trace=<chrome_trace.json>] "
-                 "[--json=<record.json>]\n"
+                 "[--json=<record.json>] [--adapt=<policy>]\n"
                  "  --trace  replay the bench's representative workload on "
                  "the threaded\n"
                  "           runtime and dump a Chrome-trace timeline "
@@ -85,7 +104,12 @@ inline int parse_args(int argc, char** argv) {
                  "  --json   write a schema-versioned machine-readable "
                  "record of every\n"
                  "           configuration this bench ran (merge/diff: "
-                 "tools/cab_bench_report)\n",
+                 "tools/cab_bench_report)\n"
+                 "  --adapt  BL policy for the runtime replay: static "
+                 "(default), adaptive\n"
+                 "           (multi-epoch feedback retuning), or "
+                 "fixed:<bl>; the cab-adapt-v1\n"
+                 "           decision record lands in the --json output\n",
                  argv[0], a.c_str(), argv[0]);
     return 2;
   }
@@ -155,6 +179,81 @@ inline Comparison compare_and_record(const std::string& config,
   return c;
 }
 
+/// One deterministic CAB simulation of a bundle at a fixed BL (the
+/// round-robin victim configuration every figure bench uses).
+inline double simulate_cab_bl(const apps::DagBundle& bundle,
+                              const hw::Topology& topo, std::int32_t bl,
+                              std::uint64_t seed = 1) {
+  simsched::SimOptions o;
+  o.topo = topo;
+  o.policy = simsched::SimPolicy::kCab;
+  o.boundary_level = bl;
+  o.victims = simsched::VictimSelection::kRoundRobin;
+  o.seed = seed;
+  return simsched::Simulator(o).run(bundle.graph, bundle.traces).makespan;
+}
+
+/// Trajectory of an adaptive-BL episode driven by simulator makespans.
+struct AdaptiveSimResult {
+  std::vector<std::int32_t> bls;  ///< BL each epoch executed under
+  std::vector<double> makespans;  ///< simulated makespan per epoch
+  std::int32_t final_bl = 0;      ///< BL in force after the last epoch
+  double final_makespan = 0.0;    ///< makespan at final_bl
+  adapt::Report report;           ///< every controller decision
+};
+
+/// Drives an adapt::Controller for `epochs` epochs, scoring each epoch
+/// with the deterministic simulator (memoized per BL — revisiting a BL
+/// reproduces its score exactly, so trajectories are reproducible and
+/// comparable against a fixed-BL oracle sweep of the same bundle). The
+/// epoch samples carry the DAG's true shape counters, exactly what the
+/// threaded runtime's profiler would accumulate.
+inline AdaptiveSimResult run_adaptive_sim(const apps::DagBundle& bundle,
+                                          const hw::Topology& topo,
+                                          std::int32_t seed_bl, int epochs,
+                                          std::uint64_t seed = 1) {
+  std::uint64_t spawning = 0;
+  for (std::size_t i = 0; i < bundle.graph.size(); ++i) {
+    if (!bundle.graph.node(static_cast<dag::NodeId>(i)).children.empty()) {
+      ++spawning;
+    }
+  }
+  adapt::Policy pol;
+  pol.mode = adapt::Mode::kAdaptive;
+  pol.input_bytes_hint = bundle.input_bytes;
+  adapt::Controller ctl(pol, topo);
+
+  std::map<std::int32_t, double> memo;
+  AdaptiveSimResult r;
+  std::int32_t bl = seed_bl;
+  for (int ep = 1; ep <= epochs; ++ep) {
+    auto it = memo.find(bl);
+    if (it == memo.end()) {
+      it = memo.emplace(bl, simulate_cab_bl(bundle, topo, bl, seed)).first;
+    }
+    const double makespan = it->second;
+    r.bls.push_back(bl);
+    r.makespans.push_back(makespan);
+
+    adapt::EpochSample s;
+    s.epoch = static_cast<std::uint64_t>(ep);
+    s.bl = bl;
+    s.wall_ns = static_cast<std::uint64_t>(std::llround(makespan));
+    s.tasks = bundle.graph.size();
+    s.spawns = bundle.graph.size() - 1;  // every non-root node was spawned
+    s.spawning_tasks = spawning;
+    s.max_level = bundle.graph.max_level();
+    s.working_set_hint = bundle.input_bytes;
+    bl = ctl.on_epoch_end(s);
+  }
+  r.final_bl = bl;
+  r.final_makespan = memo.count(bl) != 0
+                         ? memo[bl]
+                         : simulate_cab_bl(bundle, topo, bl, seed);
+  r.report = ctl.report();
+  return r;
+}
+
 namespace detail {
 
 inline void append_escaped(std::string& out, const std::string& s) {
@@ -214,7 +313,12 @@ inline int finish(const char* bench_id,
                   const std::function<apps::DagBundle()>& make_bundle) {
   const std::string trace_path = bench_args().trace_path;
   const std::string json_path = bench_args().json_path;
-  if (trace_path.empty() && json_path.empty()) return 0;
+  // --adapt alone still runs the replay (the trajectory print is the
+  // output); without any of the three flags there is nothing to do.
+  if (trace_path.empty() && json_path.empty() &&
+      bench_args().adapt.mode == adapt::Mode::kStatic) {
+    return 0;
+  }
 
   apps::DagBundle bundle = make_bundle();
   runtime::Options o;
@@ -224,13 +328,30 @@ inline int finish(const char* bench_id,
   o.trace = !trace_path.empty();
   o.metrics = true;
   o.hw_counters = true;
+  o.adapt = bench_args().adapt;
+  if (o.adapt.input_bytes_hint == 0) {
+    o.adapt.input_bytes_hint = bundle.input_bytes;
+  }
+  // One epoch suffices for a static/pinned replay; an adaptive replay
+  // runs several so the controller has something to climb on (BL only
+  // ever changes between run() epochs).
+  const int epochs = o.adapt.mode == adapt::Mode::kAdaptive ? 6 : 1;
   const auto t0 = std::chrono::steady_clock::now();
   runtime::Runtime rt(o);
-  runtime::run_graph(rt, bundle.graph);
+  for (int ep = 0; ep < epochs; ++ep) {
+    runtime::run_graph(rt, bundle.graph);
+  }
   const double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   const obs::metrics::Snapshot metrics = rt.metrics_snapshot();
+  const adapt::Report adapt_report = rt.adapt_report();
+  if (o.adapt.mode != adapt::Mode::kStatic) {
+    std::printf("adapt replay: policy %s, %d epoch(s), BL %d -> %d (%zu "
+                "decisions)\n",
+                adapt::to_string(o.adapt).c_str(), epochs, o.boundary_level,
+                rt.current_boundary_level(), adapt_report.decisions.size());
+  }
 
   if (!trace_path.empty()) {
     const obs::Trace t = rt.trace();
@@ -274,7 +395,11 @@ inline int finish(const char* bench_id,
     j += "],\"runtime\":{\"workload\":";
     detail::append_escaped(j, bundle.name);
     j += ",\"boundary_level\":" + std::to_string(o.boundary_level);
+    j += ",\"final_boundary_level\":" +
+         std::to_string(rt.current_boundary_level());
+    j += ",\"epochs\":" + std::to_string(epochs);
     j += ",\"wall_s\":" + util::format_fixed(wall_s, 6);
+    j += ",\"adapt\":" + adapt_report.to_json();
     j += ",\"hw_available\":";
     j += metrics.hw_available ? "true" : "false";
     j += ",\"hw_reason\":";

@@ -75,10 +75,27 @@ void run() {
                      util::format_fixed(t / cilk_time, 3),
                      bl == auto_bl ? "<- Eq.4 choice" : ""});
     }
+    // Adaptive overlay: where the feedback controller lands on the same
+    // U-shaped curve when seeded at the Eq. 4 level and scored by the
+    // identical simulator (8 epochs, the ablation bench's budget).
+    const AdaptiveSimResult adaptive =
+        run_adaptive_sim(bundle, topo, auto_bl, /*epochs=*/8);
+    JsonRecorder::instance().add_values(
+        std::string(sc.label) + "/adaptive",
+        {{"boundary_level", static_cast<double>(adaptive.final_bl)},
+         {"makespan", adaptive.final_makespan},
+         {"vs_cilk", adaptive.final_makespan / cilk_time},
+         {"vs_best_fixed", adaptive.final_makespan / best_time},
+         {"epochs", static_cast<double>(adaptive.bls.size())}});
+    table.add_row({"adapt", util::format_fixed(adaptive.final_makespan, 0),
+                   util::format_fixed(adaptive.final_makespan / cilk_time, 3),
+                   "<- adaptive lands at BL=" +
+                       std::to_string(adaptive.final_bl)});
     std::printf("input %s (Sd=%s, Eq.4 BL=%d):\n%s", sc.label,
                 util::human_bytes(bundle.input_bytes).c_str(), auto_bl,
                 table.to_string().c_str());
-    std::printf("best BL measured: %d (Eq.4 chose %d)\n\n", best_bl, auto_bl);
+    std::printf("best BL measured: %d (Eq.4 chose %d, adaptive reached %d)\n\n",
+                best_bl, auto_bl, adaptive.final_bl);
   }
 }
 

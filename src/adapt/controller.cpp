@@ -1,0 +1,284 @@
+#include "adapt/controller.hpp"
+
+#include <cstdlib>
+
+#include "dag/partition.hpp"
+#include "util/assert.hpp"
+
+namespace cab::adapt {
+
+bool parse_policy(const std::string& text, Policy& out) {
+  Policy p = out;  // keep the caller's tuning knobs; set mode/fixed_bl only
+  if (text == "static") {
+    p.mode = Mode::kStatic;
+  } else if (text == "adaptive") {
+    p.mode = Mode::kAdaptive;
+  } else if (text.rfind("fixed:", 0) == 0) {
+    const std::string num = text.substr(6);
+    if (num.empty()) return false;
+    char* end = nullptr;
+    const long v = std::strtol(num.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || v < 0 || v > 64) return false;
+    p.mode = Mode::kFixed;
+    p.fixed_bl = static_cast<std::int32_t>(v);
+  } else {
+    return false;
+  }
+  out = p;
+  return true;
+}
+
+std::string to_string(const Policy& p) {
+  switch (p.mode) {
+    case Mode::kStatic: return "static";
+    case Mode::kAdaptive: return "adaptive";
+    case Mode::kFixed: return "fixed:" + std::to_string(p.fixed_bl);
+  }
+  return "static";
+}
+
+Controller::Controller(Policy policy, hw::Topology topo)
+    : policy_(policy), topo_(topo) {
+  report_.policy = to_string(policy_);
+  report_.sockets = topo_.sockets();
+  report_.cores_per_socket = topo_.cores_per_socket();
+}
+
+void Controller::reset() {
+  report_.decisions.clear();
+  phase_ = Phase::kWarmup;
+  dir_ = 1;
+  failed_probes_ = 0;
+  resume_probe_ = false;
+  hold_left_ = 0;
+  best_bl_ = 0;
+  best_score_ = 0.0;
+}
+
+void Controller::enter_hold() {
+  phase_ = Phase::kHold;
+  hold_left_ = policy_.hold_epochs;
+  resume_probe_ = false;
+}
+
+std::int32_t Controller::static_bl(const WorkloadProfile& p) const {
+  if (topo_.sockets() <= 1) return 0;
+  dag::PartitionParams pp;
+  pp.branching = p.branching;
+  pp.sockets = topo_.sockets();
+  pp.input_bytes = p.working_set_bytes;
+  const std::uint64_t sc = topo_.shared_cache_bytes();
+  pp.shared_cache_bytes = sc >= 1 ? sc : 1;
+  const std::int32_t bl = dag::boundary_level(pp);
+  const std::int32_t depth = p.depth > 0 ? p.depth : bl;
+  return dag::clamp_boundary_level(bl, depth, topo_.cores_per_socket(),
+                                   topo_.sockets(), pp.branching);
+}
+
+std::int32_t Controller::clamp_candidate(std::int32_t from,
+                                         std::int32_t candidate,
+                                         const WorkloadProfile& p) const {
+  if (from <= 0) return from;  // BL 0 only leaves via the bootstrap jump
+  const std::int32_t lo_step = from - policy_.max_step;
+  const std::int32_t hi_step = from + policy_.max_step;
+  if (candidate < lo_step) candidate = lo_step;
+  if (candidate > hi_step) candidate = hi_step;
+  if (candidate < 1) candidate = 1;
+  // Guard rails: Eq. 1 floor and the third-constraint cap, both computed
+  // from the *observed* depth and branching.
+  const std::int32_t depth = p.depth > 0 ? p.depth : from;
+  const std::int32_t clamped = dag::clamp_boundary_level(
+      candidate, depth, topo_.cores_per_socket(), topo_.sockets(),
+      p.branching);
+  // Rails narrow the climb; they never teleport it. A clamp landing
+  // outside the step window means "no legal move": stay put.
+  if (clamped < lo_step || clamped > hi_step) return from;
+  return clamped;
+}
+
+std::int32_t Controller::decide_adaptive(const EpochSample& s, Decision& d) {
+  const WorkloadProfile& p = d.profile;
+  std::int32_t next = s.bl;
+
+  if (topo_.sockets() <= 1) {
+    d.reason = "single-socket-static";
+    return 0;
+  }
+  if (!s.signal_ok) {
+    // Metrics pipeline off: no profiling signal — hold the statically
+    // configured (Eq. 4) boundary level, never climb blind.
+    d.reason = "fallback-static";
+    return s.bl;
+  }
+  if (!p.sufficient) {
+    d.reason = "insufficient-signal";
+    return s.bl;
+  }
+
+  switch (phase_) {
+    case Phase::kWarmup: {
+      best_bl_ = s.bl;
+      best_score_ = d.score;
+      phase_ = Phase::kClimb;
+      dir_ = 1;
+      failed_probes_ = 0;
+      if (s.bl == 0) {
+        // Seeded on the classic path: bootstrap straight to the profiled
+        // Eq. 4 level (the one deliberate exception to max_step).
+        next = d.static_bl;
+        if (next == 0) {
+          enter_hold();
+          d.reason = "static-zero";
+        } else {
+          d.reason = "bootstrap-static";
+        }
+        return next;
+      }
+      next = clamp_candidate(s.bl, s.bl + dir_, p);
+      if (next == s.bl) {
+        dir_ = -dir_;
+        next = clamp_candidate(s.bl, s.bl + dir_, p);
+      }
+      if (next == s.bl) {
+        enter_hold();
+        d.reason = "converged";
+      } else {
+        d.reason = "warmup-probe";
+      }
+      return next;
+    }
+
+    case Phase::kClimb: {
+      const bool improved =
+          d.score < best_score_ * (1.0 - policy_.improve_threshold);
+      if (improved) {
+        best_bl_ = s.bl;
+        best_score_ = d.score;
+        failed_probes_ = 0;
+        resume_probe_ = false;
+        next = clamp_candidate(best_bl_, best_bl_ + dir_, p);
+        if (next == best_bl_) {
+          dir_ = -dir_;
+          next = clamp_candidate(best_bl_, best_bl_ + dir_, p);
+        }
+        if (next == best_bl_) {
+          enter_hold();
+          d.reason = "converged";
+        } else {
+          d.reason = "climb";
+        }
+        return next;
+      }
+      if (s.bl != best_bl_) {
+        // Probe rejected: step back to the best-known BL (the bounded
+        // step never allows jumping past it to the other neighbour) and
+        // flag the opposite direction for the next epoch's probe.
+        ++failed_probes_;
+        dir_ = -dir_;
+        const std::int32_t cand =
+            clamp_candidate(best_bl_, best_bl_ + dir_, p);
+        if (failed_probes_ >= 2 || cand == best_bl_) {
+          enter_hold();
+          d.reason = "revert-hold";
+          return best_bl_;
+        }
+        resume_probe_ = true;
+        d.reason = "revert";
+        return best_bl_;
+      }
+      // Re-measured the best BL without improvement: refresh the score
+      // estimate (EMA absorbs run-to-run noise) and probe the other side
+      // — unless a revert already flipped dir_, in which case probe it
+      // directly and keep the failed-probe count (so the second failed
+      // direction still converges the climb).
+      best_score_ = 0.5 * (best_score_ + d.score);
+      if (!resume_probe_) {
+        dir_ = -dir_;
+        failed_probes_ = 0;
+      }
+      resume_probe_ = false;
+      const std::int32_t cand = clamp_candidate(best_bl_, best_bl_ + dir_, p);
+      if (cand == best_bl_) {
+        enter_hold();
+        d.reason = "converged";
+        return best_bl_;
+      }
+      d.reason = "probe";
+      return cand;
+    }
+
+    case Phase::kHold: {
+      next = best_bl_;
+      if (s.bl == best_bl_ &&
+          d.score > best_score_ * (1.0 + policy_.drift_threshold)) {
+        // The workload drifted under the held BL: reopen the climb.
+        phase_ = Phase::kClimb;
+        failed_probes_ = 0;
+        best_score_ = d.score;
+        const std::int32_t cand =
+            clamp_candidate(best_bl_, best_bl_ + dir_, p);
+        if (cand == best_bl_) {
+          enter_hold();
+          d.reason = "hold";
+          return best_bl_;
+        }
+        d.reason = "drift-reprobe";
+        return cand;
+      }
+      if (s.bl == best_bl_) {
+        best_score_ = 0.5 * (best_score_ + d.score);
+      }
+      if (--hold_left_ <= 0) {
+        // Periodic single-sided re-probe; a failure re-holds immediately
+        // (failed_probes_ starts at 1).
+        phase_ = Phase::kClimb;
+        failed_probes_ = 1;
+        dir_ = -dir_;
+        const std::int32_t cand =
+            clamp_candidate(best_bl_, best_bl_ + dir_, p);
+        if (cand == best_bl_) {
+          enter_hold();
+          d.reason = "hold";
+          return best_bl_;
+        }
+        d.reason = "periodic-reprobe";
+        return cand;
+      }
+      d.reason = "hold";
+      return next;
+    }
+  }
+  return next;
+}
+
+std::int32_t Controller::on_epoch_end(const EpochSample& s) {
+  CAB_CHECK(s.bl >= 0, "epoch sample carries a negative boundary level");
+  Decision d;
+  d.epoch = s.epoch;
+  d.prev_bl = s.bl;
+  d.score = static_cast<double>(s.wall_ns);
+  d.profile = profile_epoch(s, topo_.l3().line_bytes, policy_.min_epoch_tasks);
+  d.static_bl = static_bl(d.profile);
+
+  std::int32_t next = s.bl;
+  switch (policy_.mode) {
+    case Mode::kStatic:
+      d.reason = "static";
+      break;
+    case Mode::kFixed:
+      next = policy_.fixed_bl >= 0 ? policy_.fixed_bl : 0;
+      d.reason = "pinned";
+      break;
+    case Mode::kAdaptive:
+      next = decide_adaptive(s, d);
+      break;
+  }
+  CAB_CHECK(next >= 0, "controller produced a negative boundary level");
+  d.next_bl = next;
+  d.best_bl = best_bl_;
+  d.best_score = best_score_;
+  report_.decisions.push_back(std::move(d));
+  return next;
+}
+
+}  // namespace cab::adapt

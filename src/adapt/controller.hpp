@@ -1,0 +1,148 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "adapt/profile.hpp"
+#include "hw/topology.hpp"
+
+namespace cab::adapt {
+
+/// How the boundary level is chosen across run() epochs.
+enum class Mode : std::uint8_t {
+  kStatic,    ///< Options::boundary_level, never retuned (the default).
+  kAdaptive,  ///< guarded hill-climb between epochs, Eq. 4 fallback.
+  kFixed,     ///< pinned to Policy::fixed_bl for every epoch.
+};
+
+/// Adaptive-scheduling policy: the mode plus the controller's guard
+/// rails. The defaults are the hysteresis constants documented in
+/// DESIGN.md ("Adaptive BL").
+struct Policy {
+  Mode mode = Mode::kStatic;
+
+  /// BL every epoch runs under when mode == kFixed.
+  std::int32_t fixed_bl = 0;
+
+  /// Hill-climb step bound per epoch boundary (Decision::next_bl differs
+  /// from prev_bl by at most this much, before guard-rail clamping).
+  std::int32_t max_step = 1;
+
+  /// Relative score improvement required to *accept* a probe (hysteresis
+  /// against measurement noise; score is epoch wall time, lower better).
+  double improve_threshold = 0.03;
+
+  /// Relative score degradation at the held BL that re-opens probing
+  /// (the workload changed under us).
+  double drift_threshold = 0.25;
+
+  /// Epochs to sit at a converged BL before re-probing a neighbor.
+  int hold_epochs = 16;
+
+  /// Signal floor: epochs executing fewer tasks than this are treated as
+  /// insufficient signal (no hill-climb move).
+  std::uint64_t min_epoch_tasks = 64;
+
+  /// `Sd` hint in bytes for the profiler when hardware LLC counters are
+  /// unavailable (e.g. the bundle's input size). 0 = unknown.
+  std::uint64_t input_bytes_hint = 0;
+};
+
+/// Parses "static" | "adaptive" | "fixed:<bl>" (the Options::adapt /
+/// bench --adapt syntax). Returns false on anything else; `out` is only
+/// written on success.
+bool parse_policy(const std::string& text, Policy& out);
+
+/// "static", "adaptive" or "fixed:<bl>" — parse_policy's exact inverse.
+std::string to_string(const Policy& p);
+
+/// One epoch-boundary decision: every input the controller saw and what
+/// it chose. Serialized verbatim into the cab-adapt-v1 report.
+struct Decision {
+  std::uint64_t epoch = 0;     ///< epoch the sample came from
+  std::int32_t prev_bl = 0;    ///< BL that epoch ran under
+  std::int32_t next_bl = 0;    ///< BL chosen for the next epoch
+  std::int32_t best_bl = 0;    ///< controller's best-known BL so far
+  std::int32_t static_bl = 0;  ///< Eq. 4 (+ clamp) from the profile
+  double score = 0.0;          ///< epoch score (wall ns; lower better)
+  double best_score = 0.0;     ///< best accepted score so far
+  std::string reason;          ///< state-machine edge taken (DESIGN.md)
+  WorkloadProfile profile;     ///< profiler output for the epoch
+};
+
+/// The machine-readable adaptive-control record: schema cab-adapt-v1.
+/// Round-trips through JSON exactly (to_json(from_json(x)) == x for any
+/// x this library wrote).
+struct Report {
+  static constexpr const char* kSchema = "cab-adapt-v1";
+
+  std::string policy = "static";
+  std::int32_t sockets = 0;
+  std::int32_t cores_per_socket = 0;
+  std::vector<Decision> decisions;
+
+  /// BL in force after the last decision (`fallback` when no decisions).
+  std::int32_t final_bl(std::int32_t fallback) const {
+    return decisions.empty() ? fallback : decisions.back().next_bl;
+  }
+
+  std::string to_json() const;
+  /// Throws std::runtime_error on malformed input or a wrong schema tag.
+  static Report from_json(const std::string& text);
+};
+
+/// The feedback controller: consumes one EpochSample per run() epoch and
+/// returns the boundary level for the *next* epoch. Implements a guarded
+/// hill-climb over BL (see DESIGN.md "Adaptive BL"):
+///
+///   - bounded step: next_bl moves by at most Policy::max_step per epoch;
+///   - hysteresis: a probe is accepted only when it improves the score by
+///     improve_threshold; two consecutive failed probes converge the
+///     climb, and the controller then holds for hold_epochs;
+///   - guard rails: every candidate passes through
+///     dag::clamp_boundary_level (Eq. 1 floor, third-constraint cap from
+///     the *observed* depth and branching);
+///   - hard fallbacks: single-socket topologies pin BL = 0; epochs with
+///     no metrics signal or too few tasks hold the current BL; a BL-0
+///     seed bootstraps to the profiled Eq. 4 level.
+///
+/// Single-threaded by design: the runtime calls it between epochs, while
+/// workers are parked; benches drive it directly from simulator scores.
+class Controller {
+ public:
+  Controller(Policy policy, hw::Topology topo);
+
+  /// Consumes the finished epoch's sample; returns next epoch's BL
+  /// (always >= 0) and appends one Decision to the report.
+  std::int32_t on_epoch_end(const EpochSample& s);
+
+  const Report& report() const { return report_; }
+  const Policy& policy() const { return policy_; }
+
+  /// Forgets all climb state and decisions (new workload).
+  void reset();
+
+ private:
+  enum class Phase : std::uint8_t { kWarmup, kClimb, kHold };
+
+  std::int32_t static_bl(const WorkloadProfile& p) const;
+  std::int32_t clamp_candidate(std::int32_t from, std::int32_t candidate,
+                               const WorkloadProfile& p) const;
+  std::int32_t decide_adaptive(const EpochSample& s, Decision& d);
+  void enter_hold();
+
+  Policy policy_;
+  hw::Topology topo_;
+  Report report_;
+
+  Phase phase_ = Phase::kWarmup;
+  int dir_ = 1;               ///< current probe direction (+1 / -1)
+  int failed_probes_ = 0;     ///< consecutive rejected probes
+  bool resume_probe_ = false; ///< a revert queued a probe in dir_
+  int hold_left_ = 0;
+  std::int32_t best_bl_ = 0;
+  double best_score_ = 0.0;
+};
+
+}  // namespace cab::adapt

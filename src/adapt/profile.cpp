@@ -1,0 +1,56 @@
+#include "adapt/profile.hpp"
+
+#include <cmath>
+
+namespace cab::adapt {
+
+WorkloadProfile profile_epoch(const EpochSample& s,
+                              std::uint32_t cache_line_bytes,
+                              std::uint64_t min_tasks) {
+  WorkloadProfile p;
+  p.tasks = s.tasks;
+  p.spawns = s.spawns;
+  p.depth = s.max_level;
+
+  if (s.spawning_tasks > 0) {
+    p.effective_branching = static_cast<double>(s.spawns) /
+                            static_cast<double>(s.spawning_tasks);
+    const auto rounded =
+        static_cast<std::int32_t>(std::llround(p.effective_branching));
+    p.branching = rounded < 2 ? 2 : (rounded > 64 ? 64 : rounded);
+  }
+
+  if (s.hw_valid && s.llc_misses > 0) {
+    // Compulsory LLC line traffic approximates the epoch footprint: every
+    // byte of the working set crosses the LLC boundary at least once.
+    p.working_set_bytes =
+        s.llc_misses * static_cast<std::uint64_t>(cache_line_bytes);
+    p.working_set_from_hw = true;
+  } else {
+    p.working_set_bytes = s.working_set_hint;
+  }
+
+  if (s.hw_valid && s.llc_loads > 0) {
+    p.llc_miss_rate = static_cast<double>(s.llc_misses) /
+                      static_cast<double>(s.llc_loads);
+    if (s.llc_loads_inter > 0) {
+      p.llc_miss_rate_inter = static_cast<double>(s.llc_misses_inter) /
+                              static_cast<double>(s.llc_loads_inter);
+    }
+    const std::uint64_t intra_loads =
+        s.llc_loads > s.llc_loads_inter ? s.llc_loads - s.llc_loads_inter : 0;
+    const std::uint64_t intra_misses =
+        s.llc_misses > s.llc_misses_inter ? s.llc_misses - s.llc_misses_inter
+                                          : 0;
+    if (intra_loads > 0) {
+      p.llc_miss_rate_intra = static_cast<double>(intra_misses) /
+                              static_cast<double>(intra_loads);
+    }
+  }
+
+  p.sufficient = s.signal_ok && s.wall_ns > 0 && s.tasks >= min_tasks &&
+                 s.spawning_tasks > 0 && s.max_level >= 1;
+  return p;
+}
+
+}  // namespace cab::adapt

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+
+namespace cab::adapt {
+
+/// Raw per-epoch observations handed to the adaptive controller after a
+/// Runtime::run() epoch completes. All counters are *deltas over the
+/// epoch* (the runtime keeps cumulative WorkerStats; the adapt layer
+/// subtracts the previous epoch's totals). Plain data — the adapt
+/// subsystem must not depend on cab::runtime, so the runtime (and the
+/// benches, which drive the controller from simulator results) fill this
+/// struct themselves.
+struct EpochSample {
+  /// 1-based run() epoch index this sample describes.
+  std::uint64_t epoch = 0;
+  /// Boundary level the epoch executed under.
+  std::int32_t bl = 0;
+  /// Wall time of the epoch — the controller's score (lower is better).
+  std::uint64_t wall_ns = 0;
+
+  /// Spawn-tree shape counters (from WorkerStats deltas).
+  std::uint64_t tasks = 0;           ///< tasks executed
+  std::uint64_t spawns = 0;          ///< children spawned (intra + inter)
+  std::uint64_t spawning_tasks = 0;  ///< tasks that spawned >= 1 child
+  std::int32_t max_level = 0;        ///< deepest task level observed
+
+  /// Steal traffic (informational; surfaced in the decision record).
+  std::uint64_t intra_steals = 0;
+  std::uint64_t inter_steals = 0;
+  std::uint64_t failed_steals = 0;
+
+  /// Working-set hint in bytes (e.g. the bundle's Sd) used when hardware
+  /// LLC counters are unavailable. 0 = unknown.
+  std::uint64_t working_set_hint = 0;
+
+  /// False when the metrics pipeline is off (Options::metrics = false):
+  /// the controller must fall back to the statically configured Eq. 4 BL
+  /// instead of hill-climbing on unprofiled epochs.
+  bool signal_ok = true;
+
+  /// Hardware LLC counters for the epoch (deltas), split by tier. Only
+  /// meaningful when hw_valid (perf open and counting).
+  bool hw_valid = false;
+  std::uint64_t llc_loads = 0;
+  std::uint64_t llc_misses = 0;
+  std::uint64_t llc_loads_inter = 0;
+  std::uint64_t llc_misses_inter = 0;
+};
+
+/// Derived picture of the running workload: the profiler's replacement
+/// for the user-supplied `B`/`Sd` guesses feeding Eq. 4.
+struct WorkloadProfile {
+  /// spawns / spawning_tasks — the measured branching degree.
+  double effective_branching = 0.0;
+  /// effective_branching rounded and clamped to [2, 64]: the `B` fed to
+  /// boundary_level()/clamp_boundary_level().
+  std::int32_t branching = 2;
+  /// Observed spawn-tree depth (deepest task level) — the `leaf_level`
+  /// fed to clamp_boundary_level().
+  std::int32_t depth = 0;
+
+  std::uint64_t tasks = 0;
+  std::uint64_t spawns = 0;
+
+  /// Working-set estimate in bytes — the `Sd` fed to boundary_level().
+  /// From LLC-miss line traffic when hardware counters ran, else the
+  /// caller's hint, else 0 (Eq. 4 then reduces to the Eq. 1 socket
+  /// constraint).
+  std::uint64_t working_set_bytes = 0;
+  bool working_set_from_hw = false;
+
+  /// LLC miss rates (misses / loads) for the epoch; < 0 = unavailable.
+  double llc_miss_rate = -1.0;
+  double llc_miss_rate_inter = -1.0;
+  double llc_miss_rate_intra = -1.0;
+
+  /// True when the sample carries enough signal to hill-climb on: the
+  /// metrics pipeline was up, the epoch ran a meaningful number of tasks,
+  /// a wall time was measured, and the spawn tree had real depth.
+  bool sufficient = false;
+};
+
+/// Derives a WorkloadProfile from one epoch's raw counters.
+/// `cache_line_bytes` converts LLC miss counts into a byte footprint;
+/// `min_tasks` is the signal floor below which `sufficient` stays false.
+WorkloadProfile profile_epoch(const EpochSample& s,
+                              std::uint32_t cache_line_bytes = 64,
+                              std::uint64_t min_tasks = 64);
+
+}  // namespace cab::adapt

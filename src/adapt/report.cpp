@@ -1,0 +1,178 @@
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "adapt/controller.hpp"
+#include "obs/json.hpp"
+
+namespace cab::adapt {
+namespace {
+
+// Same convention as the bench JSON writers: integral values print as
+// integers, everything else as %.9g. Deterministic formatting is what
+// makes to_json(from_json(x)) == x hold at the byte level.
+void append_number(std::string& out, double v) {
+  char buf[64];
+  if (std::isfinite(v) && v == std::floor(v) &&
+      std::fabs(v) < 9007199254740992.0) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+  }
+  out += buf;
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_field(std::string& out, const char* key, double v,
+                  bool comma = true) {
+  out += '"';
+  out += key;
+  out += "\":";
+  append_number(out, v);
+  if (comma) out += ',';
+}
+
+void append_bool(std::string& out, const char* key, bool v,
+                 bool comma = true) {
+  out += '"';
+  out += key;
+  out += "\":";
+  out += v ? "true" : "false";
+  if (comma) out += ',';
+}
+
+double require_number(const obs::json::Value& obj, const char* key) {
+  const obs::json::Value& v = obj[key];
+  if (!v.is_number()) {
+    throw std::runtime_error(std::string("cab-adapt-v1: missing number '") +
+                             key + "'");
+  }
+  return v.as_number();
+}
+
+std::uint64_t require_u64(const obs::json::Value& obj, const char* key) {
+  return static_cast<std::uint64_t>(require_number(obj, key));
+}
+
+std::int32_t require_i32(const obs::json::Value& obj, const char* key) {
+  return static_cast<std::int32_t>(require_number(obj, key));
+}
+
+}  // namespace
+
+std::string Report::to_json() const {
+  std::string out;
+  out.reserve(256 + decisions.size() * 512);
+  out += "{\"schema\":\"";
+  out += kSchema;
+  out += "\",\"policy\":";
+  append_escaped(out, policy);
+  out += ',';
+  append_field(out, "sockets", sockets);
+  append_field(out, "cores_per_socket", cores_per_socket);
+  out += "\"decisions\":[";
+  for (std::size_t i = 0; i < decisions.size(); ++i) {
+    const Decision& d = decisions[i];
+    if (i) out += ',';
+    out += '{';
+    append_field(out, "epoch", static_cast<double>(d.epoch));
+    append_field(out, "prev_bl", d.prev_bl);
+    append_field(out, "next_bl", d.next_bl);
+    append_field(out, "best_bl", d.best_bl);
+    append_field(out, "static_bl", d.static_bl);
+    append_field(out, "score", d.score);
+    append_field(out, "best_score", d.best_score);
+    out += "\"reason\":";
+    append_escaped(out, d.reason);
+    out += ",\"profile\":{";
+    const WorkloadProfile& p = d.profile;
+    append_field(out, "effective_branching", p.effective_branching);
+    append_field(out, "branching", p.branching);
+    append_field(out, "depth", p.depth);
+    append_field(out, "tasks", static_cast<double>(p.tasks));
+    append_field(out, "spawns", static_cast<double>(p.spawns));
+    append_field(out, "working_set_bytes",
+                 static_cast<double>(p.working_set_bytes));
+    append_bool(out, "working_set_from_hw", p.working_set_from_hw);
+    append_field(out, "llc_miss_rate", p.llc_miss_rate);
+    append_field(out, "llc_miss_rate_inter", p.llc_miss_rate_inter);
+    append_field(out, "llc_miss_rate_intra", p.llc_miss_rate_intra);
+    append_bool(out, "sufficient", p.sufficient, /*comma=*/false);
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+Report Report::from_json(const std::string& text) {
+  const obs::json::Value doc = obs::json::parse(text);
+  if (!doc.is_object()) {
+    throw std::runtime_error("cab-adapt-v1: document is not an object");
+  }
+  if (doc.string_or("schema", "") != kSchema) {
+    throw std::runtime_error("cab-adapt-v1: wrong or missing schema tag");
+  }
+  Report r;
+  r.policy = doc.string_or("policy", "static");
+  r.sockets = require_i32(doc, "sockets");
+  r.cores_per_socket = require_i32(doc, "cores_per_socket");
+  const obs::json::Value& decisions = doc["decisions"];
+  if (!decisions.is_array()) {
+    throw std::runtime_error("cab-adapt-v1: 'decisions' is not an array");
+  }
+  for (const obs::json::Value& v : decisions.as_array()) {
+    if (!v.is_object()) {
+      throw std::runtime_error("cab-adapt-v1: decision is not an object");
+    }
+    Decision d;
+    d.epoch = require_u64(v, "epoch");
+    d.prev_bl = require_i32(v, "prev_bl");
+    d.next_bl = require_i32(v, "next_bl");
+    d.best_bl = require_i32(v, "best_bl");
+    d.static_bl = require_i32(v, "static_bl");
+    d.score = require_number(v, "score");
+    d.best_score = require_number(v, "best_score");
+    d.reason = v.string_or("reason", "");
+    const obs::json::Value& prof = v["profile"];
+    if (!prof.is_object()) {
+      throw std::runtime_error("cab-adapt-v1: decision without profile");
+    }
+    WorkloadProfile& p = d.profile;
+    p.effective_branching = require_number(prof, "effective_branching");
+    p.branching = require_i32(prof, "branching");
+    p.depth = require_i32(prof, "depth");
+    p.tasks = require_u64(prof, "tasks");
+    p.spawns = require_u64(prof, "spawns");
+    p.working_set_bytes = require_u64(prof, "working_set_bytes");
+    p.working_set_from_hw = prof["working_set_from_hw"].as_bool();
+    p.llc_miss_rate = require_number(prof, "llc_miss_rate");
+    p.llc_miss_rate_inter = require_number(prof, "llc_miss_rate_inter");
+    p.llc_miss_rate_intra = require_number(prof, "llc_miss_rate_intra");
+    p.sufficient = prof["sufficient"].as_bool();
+    r.decisions.push_back(std::move(d));
+  }
+  return r;
+}
+
+}  // namespace cab::adapt

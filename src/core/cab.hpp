@@ -10,6 +10,7 @@
 ///  - cab::deque    — Chase-Lev and locked work-stealing deques
 ///  - cab::dag      — execution DAGs, Eq. 4 bi-tier partitioning
 ///  - cab::cachesim — set-associative write-invalidate cache hierarchy
+///  - cab::adapt    — online workload profiling + adaptive BL control
 ///  - cab::runtime  — the threaded CAB scheduler + baselines (spawn/sync)
 ///  - cab::simsched — deterministic virtual-time scheduler simulator
 ///  - cab::apps     — the paper's eight Table III benchmarks
@@ -25,6 +26,8 @@
 ///   rt.run([] { /* spawn/sync */ });
 /// \endcode
 
+#include "adapt/controller.hpp"     // IWYU pragma: export
+#include "adapt/profile.hpp"        // IWYU pragma: export
 #include "cachesim/cache.hpp"       // IWYU pragma: export
 #include "cachesim/hierarchy.hpp"   // IWYU pragma: export
 #include "cachesim/trace.hpp"       // IWYU pragma: export

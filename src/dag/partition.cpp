@@ -7,10 +7,15 @@
 namespace cab::dag {
 
 std::int32_t boundary_level(const PartitionParams& p) {
-  CAB_CHECK(p.branching >= 2, "branching degree must be >= 2");
   CAB_CHECK(p.sockets >= 1, "socket count must be >= 1");
-  CAB_CHECK(p.shared_cache_bytes >= 1, "shared cache size must be >= 1");
+  // M == 1 is the degenerate classic-work-stealing machine (DESIGN.md):
+  // BL = 0 unconditionally, before the parameters Eq. 4 would divide by
+  // are validated — a single-socket caller may not know B or Sc at all
+  // (e.g. Sd < Sc with an irregular DAG), and must still get BL = 0
+  // deterministically instead of an assertion failure.
   if (p.sockets == 1) return 0;
+  CAB_CHECK(p.branching >= 2, "branching degree must be >= 2");
+  CAB_CHECK(p.shared_cache_bytes >= 1, "shared cache size must be >= 1");
 
   const std::uint64_t m = static_cast<std::uint64_t>(p.sockets);
   // ceil(Sd / Sc): the factor the input must be split by to fit a socket.

@@ -30,6 +30,14 @@ Runtime::Runtime(Options opts) : opts_(opts), engine_(new Engine(opts.topo)) {
   e.trace_epoch_ns = obs::now_ns();
   CAB_CHECK(opts.boundary_level >= 0, "boundary level must be >= 0");
 
+  if (opts_.adapt.mode != adapt::Mode::kStatic) {
+    adapt_ = std::make_unique<adapt::Controller>(opts_.adapt, opts_.topo);
+    if (opts_.adapt.mode == adapt::Mode::kFixed &&
+        e.kind == SchedulerKind::kCab) {
+      e.tier.bl = opts_.adapt.fixed_bl >= 0 ? opts_.adapt.fixed_bl : 0;
+    }
+  }
+
   const int m = e.topo.sockets();
   const int n = e.topo.cores_per_socket();
 
@@ -110,6 +118,8 @@ void Runtime::run(std::function<void()> root) {
   CAB_CHECK(tls_worker == nullptr, "run() must not be called from a task");
   const bool root_inter =
       e.kind == SchedulerKind::kCab && !e.cab_degenerate();
+  const std::int32_t epoch_bl = e.tier.bl;
+  const std::uint64_t wall0 = adapt_ ? obs::now_ns() : 0;
   {
     std::lock_guard<std::mutex> lk(e.exception_mu);
     e.first_exception = nullptr;
@@ -118,9 +128,10 @@ void Runtime::run(std::function<void()> root) {
   e.frame_created();
   e.pending.store(1, std::memory_order_release);
   e.central_pool.push_bottom(frame);
+  std::uint64_t this_epoch = 0;
   {
     std::lock_guard<std::mutex> lk(e.lifecycle_mu);
-    ++e.epoch;
+    this_epoch = ++e.epoch;
   }
   e.lifecycle_cv.notify_all();
 
@@ -133,6 +144,13 @@ void Runtime::run(std::function<void()> root) {
       return e.pending.load(std::memory_order_acquire) == 0 &&
              e.working == 0;
     });
+  }
+  if (adapt_) {
+    // Workers are parked (working == 0): their stats and hw.* slots are
+    // quiescent, and a tier.bl store here is published to every worker by
+    // the lifecycle_mu hand-off of the next epoch increment. BL therefore
+    // only ever changes *between* epochs.
+    retune_after_epoch(this_epoch, epoch_bl, obs::now_ns() - wall0);
   }
   std::exception_ptr thrown;
   {
@@ -155,6 +173,10 @@ void spawn_impl(std::function<void()> fn, bool force_inter) {
       (force_inter || e.tier.spawns_inter_child(parent->level));
   auto* t = new TaskFrame(std::move(fn), parent, parent->level + 1, inter);
   e.frame_created();
+  if (!parent->has_children) {
+    parent->has_children = true;
+    ++w->stats.spawning_tasks;
+  }
   parent->outstanding.fetch_add(1, std::memory_order_acq_rel);
   e.pending.fetch_add(1, std::memory_order_relaxed);
   if (inter) {
@@ -246,10 +268,105 @@ void Runtime::reset_stats() {
   }
   engine_->registry.reset();
   engine_->peak_frames.store(0, std::memory_order_relaxed);
+  // The epoch-delta baselines mirror the cumulative WorkerStats and hw.*
+  // slots just cleared; left stale they would underflow the next sample.
+  adapt_base_ = AdaptBaseline{};
 }
 
 bool Runtime::hw_counters_active() const {
   return engine_->hw_counters && obs::metrics::perf_available();
+}
+
+std::int32_t Runtime::current_boundary_level() const {
+  return engine_->tier.bl;
+}
+
+adapt::Report Runtime::adapt_report() const {
+  if (adapt_) return adapt_->report();
+  adapt::Report r;
+  r.policy = adapt::to_string(opts_.adapt);
+  r.sockets = opts_.topo.sockets();
+  r.cores_per_socket = opts_.topo.cores_per_socket();
+  return r;
+}
+
+void Runtime::retune_after_epoch(std::uint64_t epoch, std::int32_t epoch_bl,
+                                 std::uint64_t wall_ns) {
+  Engine& e = *engine_;
+  WorkerStats tot;
+  for (const auto& w : e.workers) tot += w->stats;
+
+  const auto delta = [](std::uint64_t cur, std::uint64_t base) {
+    return cur > base ? cur - base : 0;
+  };
+  adapt::EpochSample s;
+  s.epoch = epoch;
+  s.bl = epoch_bl;
+  s.wall_ns = wall_ns;
+  s.tasks = delta(tot.tasks_executed, adapt_base_.tasks);
+  s.spawns =
+      delta(tot.spawns_intra + tot.spawns_inter, adapt_base_.spawns);
+  s.spawning_tasks = delta(tot.spawning_tasks, adapt_base_.spawning_tasks);
+  s.max_level = tot.max_task_level;
+  s.intra_steals = delta(tot.intra_steals, adapt_base_.intra_steals);
+  s.inter_steals = delta(tot.inter_steals, adapt_base_.inter_steals);
+  s.failed_steals =
+      delta(tot.failed_steal_attempts, adapt_base_.failed_steals);
+  s.working_set_hint = opts_.adapt.input_bytes_hint;
+  s.signal_ok = e.metrics;
+  adapt_base_.tasks = tot.tasks_executed;
+  adapt_base_.spawns = tot.spawns_intra + tot.spawns_inter;
+  adapt_base_.spawning_tasks = tot.spawning_tasks;
+  adapt_base_.intra_steals = tot.intra_steals;
+  adapt_base_.inter_steals = tot.inter_steals;
+  adapt_base_.failed_steals = tot.failed_steal_attempts;
+
+  if (hw_counters_active()) {
+    const auto sum = [&](obs::metrics::Counter* c) {
+      std::int64_t t = 0;
+      for (const auto& w : e.workers) t += c->value(w->id);
+      return t;
+    };
+    const auto d64 = [](std::int64_t cur, std::int64_t base) {
+      return cur > base ? static_cast<std::uint64_t>(cur - base) : 0;
+    };
+    const auto idx = [](obs::metrics::HwCounter c) {
+      return static_cast<std::size_t>(c);
+    };
+    const std::int64_t loads =
+        sum(e.hw_total[idx(obs::metrics::HwCounter::kLlcLoads)]);
+    const std::int64_t misses =
+        sum(e.hw_total[idx(obs::metrics::HwCounter::kLlcLoadMisses)]);
+    const std::int64_t loads_inter =
+        sum(e.hw_inter[idx(obs::metrics::HwCounter::kLlcLoads)]);
+    const std::int64_t misses_inter =
+        sum(e.hw_inter[idx(obs::metrics::HwCounter::kLlcLoadMisses)]);
+    s.hw_valid = true;
+    s.llc_loads = d64(loads, adapt_base_.llc_loads);
+    s.llc_misses = d64(misses, adapt_base_.llc_misses);
+    s.llc_loads_inter = d64(loads_inter, adapt_base_.llc_loads_inter);
+    s.llc_misses_inter = d64(misses_inter, adapt_base_.llc_misses_inter);
+    adapt_base_.llc_loads = loads;
+    adapt_base_.llc_misses = misses;
+    adapt_base_.llc_loads_inter = loads_inter;
+    adapt_base_.llc_misses_inter = misses_inter;
+  }
+
+  const std::int32_t next = adapt_->on_epoch_end(s);
+  if (e.kind == SchedulerKind::kCab && next != e.tier.bl) {
+    e.tier.bl = next;
+  }
+  if (e.metrics) {
+    // Mirror the decision into the registry so Chrome traces pick it up
+    // as counter tracks (metric:adapt.*). Writer slot 0: the decision is
+    // one value per epoch, not a per-worker quantity.
+    const adapt::Decision& d = adapt_->report().decisions.back();
+    e.registry.gauge("adapt.bl").set(0, next);
+    e.registry.gauge("adapt.static_bl").set(0, d.static_bl);
+    e.registry.gauge("adapt.epoch").set(0, static_cast<std::int64_t>(epoch));
+    e.registry.gauge("adapt.score_ns").set(
+        0, static_cast<std::int64_t>(wall_ns));
+  }
 }
 
 obs::metrics::Snapshot Runtime::metrics_snapshot() const {
@@ -275,12 +392,18 @@ obs::metrics::Snapshot Runtime::metrics_snapshot() const {
       {"scheduler.failed_steal_attempts", &WorkerStats::failed_steal_attempts},
       {"scheduler.help_iterations", &WorkerStats::help_iterations},
       {"scheduler.idle_backoff_sleeps", &WorkerStats::idle_backoff_sleeps},
+      {"scheduler.spawning_tasks", &WorkerStats::spawning_tasks},
   };
   for (const Field& f : kFields) {
     obs::metrics::Counter& c = e.registry.counter(f.name);
     for (const auto& w : e.workers) {
       c.store(w->id, static_cast<std::int64_t>(w->stats.*f.member));
     }
+  }
+  obs::metrics::Gauge& max_level =
+      e.registry.gauge("scheduler.max_task_level");
+  for (const auto& w : e.workers) {
+    max_level.set(w->id, w->stats.max_task_level);
   }
   obs::metrics::Counter& idle_ns =
       e.registry.counter("scheduler.idle_backoff_ns");

@@ -4,6 +4,7 @@
 #include <functional>
 #include <memory>
 
+#include "adapt/controller.hpp"
 #include "dag/partition.hpp"
 #include "hw/topology.hpp"
 #include "runtime/scheduler.hpp"
@@ -59,6 +60,17 @@ struct Options {
   /// still works and the snapshot reports hw_available = false. Implies
   /// nothing unless `metrics` is also on.
   bool hw_counters = false;
+
+  /// Adaptive boundary-level policy (kCab only). kStatic (default) keeps
+  /// `boundary_level` for every epoch. kAdaptive profiles each run()
+  /// epoch and hill-climbs BL *between* epochs (never mid-epoch), seeded
+  /// at `boundary_level` (a 0 seed bootstraps to the profiled Eq. 4
+  /// level); with Options::metrics off it holds the seed (no blind
+  /// climbing). kFixed pins Policy::fixed_bl. Every decision is recorded
+  /// in Runtime::adapt_report() (schema cab-adapt-v1), and — when
+  /// metrics are on — mirrored as adapt.* gauges in the registry (and
+  /// therefore as counter tracks in Chrome traces).
+  adapt::Policy adapt;
 };
 
 /// Convenience wrapper over Eq. 4: BL from topology + program parameters
@@ -143,9 +155,40 @@ class Runtime {
   /// the paper's Eq. 15 space bound.
   std::int64_t peak_live_frames() const;
 
+  /// Boundary level the *next* run() epoch will execute under (the seed
+  /// before the first epoch; thereafter whatever the adaptive controller
+  /// last chose). Call between run()s only.
+  std::int32_t current_boundary_level() const;
+
+  /// Every adaptive decision taken so far (schema cab-adapt-v1): one
+  /// Decision per completed run() epoch, including the profiler inputs,
+  /// scores, and the chosen BL. Empty decision list under
+  /// Mode::kStatic. Call between run()s only.
+  adapt::Report adapt_report() const;
+
  private:
+  void retune_after_epoch(std::uint64_t epoch, std::int32_t epoch_bl,
+                          std::uint64_t wall_ns);
+
   Options opts_;
   std::unique_ptr<Engine> engine_;
+  std::unique_ptr<adapt::Controller> adapt_;
+
+  /// Cumulative totals at the last epoch boundary; subtracted from the
+  /// current totals to form per-epoch deltas for the profiler. Zeroed by
+  /// reset_stats() alongside the WorkerStats they mirror.
+  struct AdaptBaseline {
+    std::uint64_t tasks = 0;
+    std::uint64_t spawns = 0;
+    std::uint64_t spawning_tasks = 0;
+    std::uint64_t intra_steals = 0;
+    std::uint64_t inter_steals = 0;
+    std::uint64_t failed_steals = 0;
+    std::int64_t llc_loads = 0;
+    std::int64_t llc_misses = 0;
+    std::int64_t llc_loads_inter = 0;
+    std::int64_t llc_misses_inter = 0;
+  } adapt_base_;
 };
 
 /// Recursive binary-splitting parallel loop over [begin, end) built on

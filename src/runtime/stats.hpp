@@ -24,6 +24,12 @@ struct WorkerStats {
   /// as scheduler.idle_backoff_ns in the metrics registry so it lines up
   /// with the idle spans of the steal-latency reports.
   std::uint64_t idle_backoff_sleeps = 0;
+  /// Tasks that spawned at least one child — divides `spawns` into the
+  /// effective branching degree the adaptive profiler feeds to Eq. 4.
+  std::uint64_t spawning_tasks = 0;
+  /// Deepest task level this worker executed (observed spawn-tree depth;
+  /// aggregates by max, not sum).
+  std::int32_t max_task_level = 0;
 
   WorkerStats& operator+=(const WorkerStats& o) {
     tasks_executed += o.tasks_executed;
@@ -36,6 +42,8 @@ struct WorkerStats {
     failed_steal_attempts += o.failed_steal_attempts;
     help_iterations += o.help_iterations;
     idle_backoff_sleeps += o.idle_backoff_sleeps;
+    spawning_tasks += o.spawning_tasks;
+    if (o.max_task_level > max_task_level) max_task_level = o.max_task_level;
     return *this;
   }
 };

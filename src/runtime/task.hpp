@@ -35,6 +35,11 @@ struct TaskFrame {
   /// or forced via Runtime::spawn_inter — the paper's inter_spawn).
   bool inter = false;
 
+  /// Set by the first spawn() out of this task's body; only ever touched
+  /// by the worker executing the task, so it needs no synchronization.
+  /// Feeds WorkerStats::spawning_tasks (the adaptive profiler's divisor).
+  bool has_children = false;
+
   /// Set when this task spawned at least one intra-socket child. An
   /// inter-socket task with intra children is a *leaf* inter-socket task:
   /// its subtree is the squad's cache-residency unit, so it holds the

@@ -46,6 +46,7 @@ void Worker::execute(TaskFrame* t) {
   TaskFrame* saved = current;
   current = t;
   ++stats.tasks_executed;
+  if (t->level > stats.max_task_level) stats.max_task_level = t->level;
   if (engine->record_events) {
     exec_log.push_back(
         ExecRecord{id, squad->id, t->level, t->inter, is_head});

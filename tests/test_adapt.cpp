@@ -1,0 +1,456 @@
+// Tests for the adaptive scheduling subsystem (src/adapt/) and its
+// runtime integration: policy parsing, the workload profiler, the
+// guarded hill-climb controller (bounded step, hysteresis, fallbacks),
+// the cab-adapt-v1 report round trip, and the Runtime-level guarantees
+// the ISSUE pins down — BL changes only *between* run() epochs,
+// fixed:<bl> pins, and metrics-off holds the Eq. 4 seed.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "adapt/controller.hpp"
+#include "adapt/profile.hpp"
+#include "runtime/runtime.hpp"
+
+namespace cab::adapt {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Policy parsing
+
+TEST(Policy, ParseRoundTripsEveryMode) {
+  for (const char* text : {"static", "adaptive", "fixed:0", "fixed:7",
+                           "fixed:64"}) {
+    Policy p;
+    ASSERT_TRUE(parse_policy(text, p)) << text;
+    EXPECT_EQ(to_string(p), text);
+  }
+}
+
+TEST(Policy, ParseRejectsMalformedSpecs) {
+  for (const char* text : {"", "auto", "Fixed:3", "fixed:", "fixed:-1",
+                           "fixed:65", "fixed:3x", "fixed:3.5", "adaptive "}) {
+    Policy p;
+    p.mode = Mode::kStatic;
+    EXPECT_FALSE(parse_policy(text, p)) << text;
+    EXPECT_EQ(p.mode, Mode::kStatic) << "out written on failure for " << text;
+  }
+}
+
+TEST(Policy, ParsePreservesTuningKnobs) {
+  Policy p;
+  p.improve_threshold = 0.10;
+  p.hold_epochs = 4;
+  p.input_bytes_hint = 123;
+  ASSERT_TRUE(parse_policy("adaptive", p));
+  EXPECT_EQ(p.mode, Mode::kAdaptive);
+  EXPECT_DOUBLE_EQ(p.improve_threshold, 0.10);
+  EXPECT_EQ(p.hold_epochs, 4);
+  EXPECT_EQ(p.input_bytes_hint, 123u);
+}
+
+// ---------------------------------------------------------------------------
+// Profiler
+
+EpochSample healthy_sample() {
+  EpochSample s;
+  s.epoch = 1;
+  s.bl = 3;
+  s.wall_ns = 1'000'000;
+  s.tasks = 1023;
+  s.spawns = 1022;
+  s.spawning_tasks = 511;  // binary tree: interior nodes spawn 2 each
+  s.max_level = 9;
+  return s;
+}
+
+TEST(Profiler, DerivesBranchingFromSpawnCounters) {
+  const WorkloadProfile p = profile_epoch(healthy_sample());
+  EXPECT_DOUBLE_EQ(p.effective_branching, 1022.0 / 511.0);
+  EXPECT_EQ(p.branching, 2);
+  EXPECT_EQ(p.depth, 9);
+  EXPECT_TRUE(p.sufficient);
+}
+
+TEST(Profiler, ClampsBranchingToSaneRange) {
+  EpochSample s = healthy_sample();
+  s.spawns = 1000;
+  s.spawning_tasks = 1000;  // B_eff = 1: below any real fan-out
+  EXPECT_EQ(profile_epoch(s).branching, 2);
+  s.spawns = 100'000;
+  s.spawning_tasks = 10;  // B_eff = 10000: clamp to 64
+  EXPECT_EQ(profile_epoch(s).branching, 64);
+}
+
+TEST(Profiler, WorkingSetPrefersHardwareCounters) {
+  EpochSample s = healthy_sample();
+  s.working_set_hint = 1u << 20;
+  s.hw_valid = true;
+  s.llc_loads = 10'000;
+  s.llc_misses = 4'000;
+  const WorkloadProfile hw = profile_epoch(s, /*cache_line_bytes=*/64);
+  EXPECT_TRUE(hw.working_set_from_hw);
+  EXPECT_EQ(hw.working_set_bytes, 4'000u * 64u);
+  EXPECT_DOUBLE_EQ(hw.llc_miss_rate, 0.4);
+
+  s.hw_valid = false;
+  const WorkloadProfile hint = profile_epoch(s);
+  EXPECT_FALSE(hint.working_set_from_hw);
+  EXPECT_EQ(hint.working_set_bytes, 1u << 20);
+  EXPECT_LT(hint.llc_miss_rate, 0.0);  // unavailable
+}
+
+TEST(Profiler, SplitsMissRatesByTier) {
+  EpochSample s = healthy_sample();
+  s.hw_valid = true;
+  s.llc_loads = 1000;
+  s.llc_misses = 300;
+  s.llc_loads_inter = 400;
+  s.llc_misses_inter = 200;
+  const WorkloadProfile p = profile_epoch(s);
+  EXPECT_DOUBLE_EQ(p.llc_miss_rate, 0.3);
+  EXPECT_DOUBLE_EQ(p.llc_miss_rate_inter, 0.5);
+  // intra = (300-200) misses / (1000-400) loads
+  EXPECT_DOUBLE_EQ(p.llc_miss_rate_intra, 100.0 / 600.0);
+}
+
+TEST(Profiler, InsufficientSignalConditions) {
+  EpochSample s = healthy_sample();
+  EXPECT_TRUE(profile_epoch(s).sufficient);
+  s = healthy_sample();
+  s.signal_ok = false;
+  EXPECT_FALSE(profile_epoch(s).sufficient);
+  s = healthy_sample();
+  s.wall_ns = 0;
+  EXPECT_FALSE(profile_epoch(s).sufficient);
+  s = healthy_sample();
+  s.tasks = 63;  // below the default min_tasks floor
+  EXPECT_FALSE(profile_epoch(s).sufficient);
+  s = healthy_sample();
+  s.spawning_tasks = 0;
+  EXPECT_FALSE(profile_epoch(s).sufficient);
+  s = healthy_sample();
+  s.max_level = 0;
+  EXPECT_FALSE(profile_epoch(s).sufficient);
+}
+
+// ---------------------------------------------------------------------------
+// Controller
+
+/// Sample for one epoch at `bl` under a binary tree deep enough that the
+/// guard rails allow BL in [3, 10] on the 4x4 machine (Eq. 1 floor 3,
+/// third-constraint cap max_level - 2).
+EpochSample sample_at(std::uint64_t epoch, std::int32_t bl,
+                      std::uint64_t wall_ns) {
+  EpochSample s;
+  s.epoch = epoch;
+  s.bl = bl;
+  s.wall_ns = wall_ns;
+  s.tasks = 8191;
+  s.spawns = 8190;
+  s.spawning_tasks = 4095;
+  s.max_level = 12;
+  return s;
+}
+
+/// Deterministic V-shaped score centred on kBestBl: the landscape a
+/// U-shaped Fig. 5 curve hands the controller.
+constexpr std::int32_t kBestBl = 5;
+std::uint64_t v_score(std::int32_t bl) {
+  const std::int32_t d = bl > kBestBl ? bl - kBestBl : kBestBl - bl;
+  return 1'000'000 + 200'000 * static_cast<std::uint64_t>(d);
+}
+
+Policy adaptive_policy() {
+  Policy p;
+  EXPECT_TRUE(parse_policy("adaptive", p));
+  return p;
+}
+
+TEST(Controller, ConvergesToVShapeMinimumWithinEightEpochs) {
+  for (std::int32_t seed : {3, 5, 7}) {
+    Controller c(adaptive_policy(), hw::Topology::synthetic(4, 4));
+    std::int32_t bl = seed;
+    for (std::uint64_t ep = 1; ep <= 8; ++ep) {
+      bl = c.on_epoch_end(sample_at(ep, bl, v_score(bl)));
+    }
+    EXPECT_EQ(bl, kBestBl) << "seed " << seed;
+    EXPECT_EQ(c.report().decisions.size(), 8u);
+    EXPECT_EQ(c.report().final_bl(seed), kBestBl);
+  }
+}
+
+TEST(Controller, StepIsBoundedByMaxStep) {
+  Controller c(adaptive_policy(), hw::Topology::synthetic(4, 4));
+  std::int32_t bl = 8;
+  for (std::uint64_t ep = 1; ep <= 12; ++ep) {
+    const std::int32_t next = c.on_epoch_end(sample_at(ep, bl, v_score(bl)));
+    EXPECT_LE(std::abs(next - bl), c.policy().max_step) << "epoch " << ep;
+    bl = next;
+  }
+}
+
+TEST(Controller, RejectedProbeRevertsToBestKnownBl) {
+  // Seed at the optimum: both neighbour probes fail, so the controller
+  // must return to kBestBl and converge (hold) — never drift away.
+  Controller c(adaptive_policy(), hw::Topology::synthetic(4, 4));
+  std::int32_t bl = kBestBl;
+  for (std::uint64_t ep = 1; ep <= 6; ++ep) {
+    bl = c.on_epoch_end(sample_at(ep, bl, v_score(bl)));
+  }
+  EXPECT_EQ(bl, kBestBl);
+  bool held = false;
+  for (const Decision& d : c.report().decisions) {
+    if (d.reason == "revert-hold" || d.reason == "converged") held = true;
+  }
+  EXPECT_TRUE(held);
+}
+
+TEST(Controller, BootstrapsFromZeroToProfiledEq4Level) {
+  // BL-0 seed with an 8 MiB working-set hint on a 4-socket machine with
+  // 1 MiB shared caches: Eq. 4 says split by 8 -> BL 4 for B = 2. The
+  // bootstrap jump is the one allowed exception to max_step.
+  Policy p = adaptive_policy();
+  p.input_bytes_hint = 8u << 20;
+  Controller c(p, hw::Topology::synthetic(4, 4, /*l3_bytes=*/1u << 20));
+  EpochSample s = sample_at(1, /*bl=*/0, /*wall_ns=*/1'000'000);
+  s.working_set_hint = p.input_bytes_hint;
+  const std::int32_t next = c.on_epoch_end(s);
+  EXPECT_EQ(next, 4);
+  ASSERT_EQ(c.report().decisions.size(), 1u);
+  EXPECT_EQ(c.report().decisions.back().reason, "bootstrap-static");
+  EXPECT_EQ(c.report().decisions.back().static_bl, 4);
+}
+
+TEST(Controller, SingleSocketPinsZero) {
+  Controller c(adaptive_policy(), hw::Topology::synthetic(1, 8));
+  EXPECT_EQ(c.on_epoch_end(sample_at(1, 3, v_score(3))), 0);
+  EXPECT_EQ(c.report().decisions.back().reason, "single-socket-static");
+}
+
+TEST(Controller, NoSignalFallsBackToSeed) {
+  Controller c(adaptive_policy(), hw::Topology::synthetic(4, 4));
+  EpochSample s = sample_at(1, 3, v_score(3));
+  s.signal_ok = false;  // metrics pipeline off
+  EXPECT_EQ(c.on_epoch_end(s), 3);
+  EXPECT_EQ(c.report().decisions.back().reason, "fallback-static");
+
+  EpochSample tiny = sample_at(2, 3, v_score(3));
+  tiny.tasks = 10;  // below min_epoch_tasks
+  EXPECT_EQ(c.on_epoch_end(tiny), 3);
+  EXPECT_EQ(c.report().decisions.back().reason, "insufficient-signal");
+}
+
+TEST(Controller, FixedModePinsEveryEpoch) {
+  Policy p;
+  ASSERT_TRUE(parse_policy("fixed:4", p));
+  Controller c(p, hw::Topology::synthetic(4, 4));
+  for (std::uint64_t ep = 1; ep <= 4; ++ep) {
+    EXPECT_EQ(c.on_epoch_end(sample_at(ep, 4, v_score(4))), 4);
+    EXPECT_EQ(c.report().decisions.back().reason, "pinned");
+  }
+}
+
+TEST(Controller, ResetForgetsClimbState) {
+  Controller c(adaptive_policy(), hw::Topology::synthetic(4, 4));
+  std::int32_t bl = 3;
+  for (std::uint64_t ep = 1; ep <= 4; ++ep) {
+    bl = c.on_epoch_end(sample_at(ep, bl, v_score(bl)));
+  }
+  ASSERT_FALSE(c.report().decisions.empty());
+  c.reset();
+  EXPECT_TRUE(c.report().decisions.empty());
+  // The next sample is treated as a fresh warmup.
+  c.on_epoch_end(sample_at(1, 5, v_score(5)));
+  EXPECT_EQ(c.report().decisions.back().reason, "warmup-probe");
+}
+
+// ---------------------------------------------------------------------------
+// Report JSON round trip
+
+TEST(Report, JsonRoundTripsExactly) {
+  Controller c(adaptive_policy(), hw::Topology::synthetic(4, 4));
+  std::int32_t bl = 3;
+  for (std::uint64_t ep = 1; ep <= 6; ++ep) {
+    EpochSample s = sample_at(ep, bl, v_score(bl));
+    s.hw_valid = true;  // exercise the fractional miss-rate fields too
+    s.llc_loads = 1000 * ep;
+    s.llc_misses = 300 * ep;
+    s.llc_loads_inter = 400 * ep;
+    s.llc_misses_inter = 100 * ep;
+    s.intra_steals = 17 * ep;
+    s.inter_steals = 5 * ep;
+    s.failed_steals = 2 * ep;
+    bl = c.on_epoch_end(s);
+  }
+  const Report& r = c.report();
+  const std::string json = r.to_json();
+  const Report back = Report::from_json(json);
+  EXPECT_EQ(back.to_json(), json);  // byte-stable round trip
+  EXPECT_EQ(back.policy, "adaptive");
+  EXPECT_EQ(back.sockets, 4);
+  EXPECT_EQ(back.cores_per_socket, 4);
+  ASSERT_EQ(back.decisions.size(), r.decisions.size());
+  for (std::size_t i = 0; i < r.decisions.size(); ++i) {
+    EXPECT_EQ(back.decisions[i].reason, r.decisions[i].reason);
+    EXPECT_EQ(back.decisions[i].prev_bl, r.decisions[i].prev_bl);
+    EXPECT_EQ(back.decisions[i].next_bl, r.decisions[i].next_bl);
+    EXPECT_DOUBLE_EQ(back.decisions[i].score, r.decisions[i].score);
+    EXPECT_DOUBLE_EQ(back.decisions[i].profile.llc_miss_rate,
+                     r.decisions[i].profile.llc_miss_rate);
+  }
+}
+
+TEST(Report, FromJsonRejectsWrongSchemaAndGarbage) {
+  EXPECT_THROW(Report::from_json("{\"schema\":\"bogus\"}"),
+               std::runtime_error);
+  EXPECT_THROW(Report::from_json("not json"), std::runtime_error);
+  EXPECT_THROW(Report::from_json("{\"schema\":\"cab-adapt-v1\"}"),
+               std::runtime_error);  // missing required keys
+}
+
+}  // namespace
+}  // namespace cab::adapt
+
+// ---------------------------------------------------------------------------
+// Runtime integration
+
+namespace cab::runtime {
+namespace {
+
+Options adapt_options(const char* policy, std::int32_t bl) {
+  Options o;
+  o.topo = hw::Topology::synthetic(2, 2, 1u << 20);
+  o.kind = SchedulerKind::kCab;
+  o.boundary_level = bl;
+  o.seed = 7;
+  EXPECT_TRUE(adapt::parse_policy(policy, o.adapt));
+  return o;
+}
+
+void tree(int depth, std::atomic<int>* leaves) {
+  if (depth == 0) {
+    leaves->fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Runtime::spawn([depth, leaves] { tree(depth - 1, leaves); });
+  Runtime::spawn([depth, leaves] { tree(depth - 1, leaves); });
+  Runtime::sync();
+}
+
+TEST(RuntimeAdapt, BlChangesOnlyBetweenEpochs) {
+  Options o = adapt_options("adaptive", 2);
+  o.adapt.input_bytes_hint = 4u << 20;
+  Runtime rt(o);
+  constexpr int kEpochs = 6;
+  for (int ep = 0; ep < kEpochs; ++ep) {
+    const std::int32_t bl_before = rt.current_boundary_level();
+    std::atomic<int> leaves{0};
+    rt.run([&] { tree(9, &leaves); });
+    EXPECT_EQ(leaves.load(), 512);
+    // The epoch that just finished must have run, in full, under the BL
+    // in force when it started: the decision's prev_bl records it.
+    const adapt::Report r = rt.adapt_report();
+    ASSERT_EQ(r.decisions.size(), static_cast<std::size_t>(ep + 1));
+    EXPECT_EQ(r.decisions.back().prev_bl, bl_before);
+    EXPECT_EQ(rt.current_boundary_level(), r.decisions.back().next_bl);
+  }
+  // The decision chain is contiguous: epoch i+1 ran under the BL epoch i
+  // chose — no mid-epoch move can hide between two records.
+  const adapt::Report r = rt.adapt_report();
+  for (std::size_t i = 1; i < r.decisions.size(); ++i) {
+    EXPECT_EQ(r.decisions[i].prev_bl, r.decisions[i - 1].next_bl);
+    EXPECT_EQ(r.decisions[i].epoch, r.decisions[i - 1].epoch + 1);
+  }
+}
+
+TEST(RuntimeAdapt, FixedPolicyPinsBoundaryLevel) {
+  Runtime rt(adapt_options("fixed:1", /*bl=*/3));
+  for (int ep = 0; ep < 3; ++ep) {
+    std::atomic<int> leaves{0};
+    rt.run([&] { tree(8, &leaves); });
+    EXPECT_EQ(leaves.load(), 256);
+    EXPECT_EQ(rt.current_boundary_level(), 1);
+  }
+  for (const adapt::Decision& d : rt.adapt_report().decisions) {
+    EXPECT_EQ(d.reason, "pinned");
+    EXPECT_EQ(d.next_bl, 1);
+  }
+}
+
+TEST(RuntimeAdapt, MetricsOffHoldsTheStaticSeed) {
+  Options o = adapt_options("adaptive", 2);
+  o.metrics = false;  // no profiling signal: Eq. 4 fallback, no climbing
+  Runtime rt(o);
+  for (int ep = 0; ep < 3; ++ep) {
+    std::atomic<int> leaves{0};
+    rt.run([&] { tree(8, &leaves); });
+    EXPECT_EQ(leaves.load(), 256);
+    EXPECT_EQ(rt.current_boundary_level(), 2);
+  }
+  for (const adapt::Decision& d : rt.adapt_report().decisions) {
+    EXPECT_EQ(d.reason, "fallback-static");
+    EXPECT_FALSE(d.profile.sufficient);
+  }
+}
+
+TEST(RuntimeAdapt, StaticModeReportsEmptyDecisions) {
+  Runtime rt(adapt_options("static", 2));
+  std::atomic<int> leaves{0};
+  rt.run([&] { tree(6, &leaves); });
+  EXPECT_EQ(leaves.load(), 64);
+  const adapt::Report r = rt.adapt_report();
+  EXPECT_EQ(r.policy, "static");
+  EXPECT_TRUE(r.decisions.empty());
+  EXPECT_EQ(r.final_bl(2), 2);
+  EXPECT_EQ(rt.current_boundary_level(), 2);
+}
+
+TEST(RuntimeAdapt, DecisionGaugesAppearInMetricsSnapshot) {
+  Runtime rt(adapt_options("adaptive", 2));
+  std::atomic<int> leaves{0};
+  rt.run([&] { tree(9, &leaves); });
+  EXPECT_EQ(leaves.load(), 512);
+  const obs::metrics::Snapshot snap = rt.metrics_snapshot();
+  const obs::metrics::MetricSnapshot* bl = snap.find("adapt.bl");
+  ASSERT_NE(bl, nullptr);
+  EXPECT_EQ(bl->total, rt.current_boundary_level());
+  const obs::metrics::MetricSnapshot* epoch = snap.find("adapt.epoch");
+  ASSERT_NE(epoch, nullptr);
+  EXPECT_EQ(epoch->total, 1);
+  EXPECT_NE(snap.find("adapt.static_bl"), nullptr);
+  EXPECT_NE(snap.find("adapt.score_ns"), nullptr);
+}
+
+TEST(RuntimeAdapt, AdaptiveSurvivesExceptionEpochs) {
+  // An epoch whose root throws still produces a decision (the retune runs
+  // before the rethrow) and the runtime stays usable and adaptive.
+  Runtime rt(adapt_options("adaptive", 2));
+  EXPECT_THROW(rt.run([] { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+  ASSERT_EQ(rt.adapt_report().decisions.size(), 1u);
+  std::atomic<int> leaves{0};
+  rt.run([&] { tree(8, &leaves); });
+  EXPECT_EQ(leaves.load(), 256);
+  EXPECT_EQ(rt.adapt_report().decisions.size(), 2u);
+}
+
+TEST(RuntimeAdapt, NonCabSchedulersNeverRetune) {
+  // The controller still records decisions, but tier.bl is only written
+  // for kCab: classic work-stealing has no boundary level to move.
+  Options o = adapt_options("fixed:3", 0);
+  o.kind = SchedulerKind::kRandomStealing;
+  Runtime rt(o);
+  std::atomic<int> leaves{0};
+  rt.run([&] { tree(8, &leaves); });
+  EXPECT_EQ(leaves.load(), 256);
+  EXPECT_EQ(rt.current_boundary_level(), 0);
+}
+
+}  // namespace
+}  // namespace cab::runtime

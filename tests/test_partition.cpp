@@ -27,6 +27,19 @@ TEST(BoundaryLevel, SingleSocketIsZero) {
   EXPECT_EQ(boundary_level(params(2, 1, 1ull << 30, 6ull << 20)), 0);
 }
 
+TEST(BoundaryLevel, SingleSocketDegeneratesBeforeParameterChecks) {
+  // M == 1 must yield BL = 0 deterministically even when the parameters
+  // Eq. 4 would otherwise consume are degenerate or unknown — a
+  // single-socket caller with Sd < Sc (or no B/Sc estimate at all, as
+  // with the paper's irregular Queens/CK DAGs) must not trip the
+  // branching/cache assertions that only matter for M >= 2.
+  EXPECT_EQ(boundary_level(params(2, 1, 1024, 6ull << 20)), 0);  // Sd < Sc
+  EXPECT_EQ(boundary_level(params(0, 1, 1024, 6ull << 20)), 0);  // no B
+  EXPECT_EQ(boundary_level(params(1, 1, 1024, 6ull << 20)), 0);
+  EXPECT_EQ(boundary_level(params(2, 1, 1024, 0)), 0);  // no Sc
+  EXPECT_EQ(boundary_level(params(0, 1, 0, 0)), 0);
+}
+
 TEST(BoundaryLevel, SocketCountConstraintDominatesSmallInputs) {
   // Tiny input: Eq. 1 (B^(BL-1) >= M) decides. M=4, B=2 -> BL = 3.
   EXPECT_EQ(boundary_level(params(2, 4, 1024, 6ull << 20)), 3);

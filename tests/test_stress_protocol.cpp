@@ -150,6 +150,29 @@ TEST(StressProtocol, ExplicitSyncsMidBody) {
   EXPECT_EQ(ran.load(), 128);
 }
 
+TEST(StressProtocol, AdaptiveRetuningAcrossEpochs) {
+  // Adaptive BL retuning under oversubscription: the between-epoch
+  // retune reads every worker's stats and hw slots and rewrites tier.bl
+  // while threads are parked — exactly the hand-off TSan must agree is
+  // race-free. Eight epochs give the hill-climb room to actually move BL
+  // (not just hold), so workers observe several distinct tier splits.
+  Options o = stress_options(SchedulerKind::kCab, 4, 4, 2);
+  ASSERT_TRUE(adapt::parse_policy("adaptive", o.adapt));
+  o.adapt.input_bytes_hint = 8ull << 20;
+  Runtime rt(o);
+  for (int ep = 0; ep < 8; ++ep) {
+    std::atomic<int> leaves{0};
+    rt.run([&] { spawn_tree(10, &leaves); });
+    EXPECT_EQ(leaves.load(), 1024) << "epoch " << ep;
+    EXPECT_GE(rt.current_boundary_level(), 0);
+  }
+  const adapt::Report r = rt.adapt_report();
+  EXPECT_EQ(r.decisions.size(), 8u);
+  for (std::size_t i = 1; i < r.decisions.size(); ++i) {
+    EXPECT_EQ(r.decisions[i].prev_bl, r.decisions[i - 1].next_bl);
+  }
+}
+
 TEST(StressProtocol, ExceptionsUnderLoad) {
   // A task body throwing mid-DAG must not wedge the run: the DAG drains,
   // the first exception resurfaces from run(), and the runtime stays

@@ -8,7 +8,8 @@
 //
 //   cab_bench_report merge BENCH_summary.json rec1.json rec2.json ...
 //   cab_bench_report diff  baseline.json current.json
-//                          [--threshold=<pct>] [--warn-only]
+//                          [--threshold=<pct>]
+//                          [--threshold=<metric>=<pct>]... [--warn-only]
 //
 // diff flattens every per-config record into (bench, config, metric)
 // triples and reports percent deltas. Metrics where lower is better
@@ -17,6 +18,13 @@
 // tool exit 1 — a CI tripwire — unless --warn-only is given. Everything
 // else is informational: simulator makespans are deterministic, but
 // wall-clock fields are noisy on shared runners, hence warn-only there.
+//
+// --threshold=<metric>=<pct> overrides the threshold for every
+// flattened key containing <metric> (longest match wins when several
+// overrides apply). Overridden metrics *always* gate — through
+// --warn-only and through the wall-clock exemption — so deterministic
+// keys (LLC misses, makespans) can stay load-bearing in a CI job that
+// otherwise runs warn-only because of noisy steal-latency percentiles.
 
 #include <cmath>
 #include <cstdio>
@@ -38,12 +46,16 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s merge <out_summary.json> <record.json>...\n"
       "       %s diff <baseline_summary.json> <current_summary.json>\n"
-      "            [--threshold=<pct>] [--warn-only]\n"
+      "            [--threshold=<pct>] [--threshold=<metric>=<pct>]...\n"
+      "            [--warn-only]\n"
       "  merge  combine per-bench --json records into one\n"
       "         cab-bench-summary-v1 file\n"
       "  diff   compare two summaries; regressions beyond the threshold\n"
       "         (default 5%%) on lower-is-better metrics exit 1\n"
-      "         (suppressed by --warn-only)\n",
+      "         (suppressed by --warn-only)\n"
+      "         --threshold=<metric>=<pct> sets a per-metric threshold\n"
+      "         (substring match, longest wins); overridden metrics gate\n"
+      "         even under --warn-only and for wall-clock keys\n",
       argv0, argv0);
   return 2;
 }
@@ -217,8 +229,26 @@ bool wall_clock(const std::string& key) {
          key.find("cpu_ms") != std::string::npos;
 }
 
+/// --threshold=<metric>=<pct>: a per-metric gate that survives both
+/// --warn-only and the wall-clock exemption.
+struct ThresholdOverride {
+  std::string metric;  ///< substring of the flattened key
+  double pct = 0.0;
+};
+
+const ThresholdOverride* find_override(
+    const std::vector<ThresholdOverride>& overrides, const std::string& key) {
+  const ThresholdOverride* best = nullptr;
+  for (const ThresholdOverride& o : overrides) {
+    if (key.find(o.metric) == std::string::npos) continue;
+    if (best == nullptr || o.metric.size() > best->metric.size()) best = &o;
+  }
+  return best;
+}
+
 int cmd_diff(const std::string& base_path, const std::string& cur_path,
-             double threshold_pct, bool warn_only) {
+             double threshold_pct, bool warn_only,
+             const std::vector<ThresholdOverride>& overrides) {
   Value base, cur;
   try {
     base = parse_file(base_path);
@@ -245,7 +275,7 @@ int cmd_diff(const std::string& base_path, const std::string& cur_path,
               cur_path.c_str(), cur.string_or("git_rev", "?").c_str(),
               threshold_pct);
 
-  int gating = 0, compared = 0, missing = 0;
+  int gating = 0, forced = 0, compared = 0, missing = 0;
   for (const auto& [key, old_v] : a) {
     auto it = b.find(key);
     if (it == b.end()) {
@@ -256,21 +286,31 @@ int cmd_diff(const std::string& base_path, const std::string& cur_path,
     const double new_v = it->second;
     if (old_v == 0.0) continue;
     const double delta_pct = 100.0 * (new_v - old_v) / std::fabs(old_v);
-    if (!lower_is_better(key) || std::fabs(delta_pct) < threshold_pct) {
+    const ThresholdOverride* ov = find_override(overrides, key);
+    const double threshold = ov != nullptr ? ov->pct : threshold_pct;
+    if (!lower_is_better(key) || std::fabs(delta_pct) < threshold) {
       continue;
     }
     const bool worse = delta_pct > 0;
-    const bool gates = worse && !wall_clock(key);
-    if (gates) ++gating;
-    std::printf("  %-12s %s: %.6g -> %.6g (%+.1f%%)%s\n",
+    // An explicit per-metric override makes the metric load-bearing:
+    // it gates regardless of the wall-clock exemption and --warn-only.
+    const bool gates = worse && (ov != nullptr || !wall_clock(key));
+    if (gates) {
+      ++gating;
+      if (ov != nullptr) ++forced;
+    }
+    std::printf("  %-12s %s: %.6g -> %.6g (%+.1f%%)%s%s\n",
                 worse ? (gates ? "REGRESSION" : "slower(warn)")
                       : "improvement",
                 key.c_str(), old_v, new_v, delta_pct,
-                worse && !gates ? "  [wall clock: not gating]" : "");
+                worse && !gates ? "  [wall clock: not gating]" : "",
+                ov != nullptr ? "  [--threshold override]" : "");
   }
   std::printf(
-      "compared %d metric(s): %d gating regression(s), %d new/missing\n",
-      compared, gating, missing);
+      "compared %d metric(s): %d gating regression(s) (%d overridden), "
+      "%d new/missing\n",
+      compared, gating, forced, missing);
+  if (forced > 0) return 1;  // overrides gate even under --warn-only
   if (gating > 0 && !warn_only) return 1;
   if (gating > 0) std::printf("(--warn-only: exiting 0)\n");
   return 0;
@@ -292,10 +332,19 @@ int main(int argc, char** argv) {
   if (cmd == "diff") {
     double threshold = 5.0;
     bool warn_only = false;
+    std::vector<ThresholdOverride> overrides;
     std::vector<std::string> paths;
     for (int i = 2; i < argc; ++i) {
       if (std::strncmp(argv[i], "--threshold=", 12) == 0) {
-        threshold = std::atof(argv[i] + 12);
+        const char* spec = argv[i] + 12;
+        if (const char* eq = std::strchr(spec, '=')) {
+          // --threshold=<metric>=<pct>: per-metric override.
+          if (eq == spec) return usage(argv[0]);
+          overrides.push_back(
+              ThresholdOverride{std::string(spec, eq), std::atof(eq + 1)});
+        } else {
+          threshold = std::atof(spec);
+        }
       } else if (std::strcmp(argv[i], "--warn-only") == 0) {
         warn_only = true;
       } else if (argv[i][0] == '-') {
@@ -305,7 +354,7 @@ int main(int argc, char** argv) {
       }
     }
     if (paths.size() != 2) return usage(argv[0]);
-    return cmd_diff(paths[0], paths[1], threshold, warn_only);
+    return cmd_diff(paths[0], paths[1], threshold, warn_only, overrides);
   }
   return usage(argv[0]);
 }
