@@ -62,11 +62,11 @@ namespace {
 
 /// Shared state of the speculative first-solution search.
 struct FirstSearch {
-  std::int32_t n;
-  std::int32_t spawn_depth;
+  std::int32_t n = 0;
+  std::int32_t spawn_depth = 0;
   std::atomic<bool> found{false};
-  std::mutex mu;
-  std::vector<std::int32_t> solution;
+  std::mutex mu{};
+  std::vector<std::int32_t> solution{};
 
   void publish(const std::vector<std::int32_t>& cols) {
     std::lock_guard<std::mutex> g(mu);

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace cab::chk {
+
+/// Hard cap on model threads per execution. Exhaustive exploration is
+/// exponential in thread count; 8 is already far beyond what completes.
+inline constexpr int kMaxThreads = 8;
+
+/// Plain vector clock over model-thread ids. Drives the happens-before
+/// race detector on `chk::var` accesses: release-class atomic writes
+/// publish the writer's clock into the location, acquire-class reads join
+/// it back into the reader (FastTrack-style, but full clocks — model
+/// executions are tiny, so the epoch optimization is not worth the code).
+struct VectorClock {
+  std::array<std::uint32_t, kMaxThreads> c{};
+
+  void join(const VectorClock& o) {
+    for (int i = 0; i < kMaxThreads; ++i) {
+      if (o.c[i] > c[i]) c[i] = o.c[i];
+    }
+  }
+
+  void clear() { c.fill(0); }
+};
+
+}  // namespace cab::chk

@@ -1,0 +1,540 @@
+#include "chk/engine.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+// ASan must be told about fiber stack switches or it poisons/misreads the
+// fake stacks. The annotations are no-ops in non-ASan builds.
+#if defined(__SANITIZE_ADDRESS__)
+#define CAB_CHK_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define CAB_CHK_ASAN 1
+#endif
+#endif
+
+#if defined(CAB_CHK_ASAN)
+extern "C" {
+void __sanitizer_start_switch_fiber(void** fake_stack_save,
+                                    const void* stack_bottom,
+                                    size_t stack_size);
+void __sanitizer_finish_switch_fiber(void* fake_stack_save,
+                                     const void** stack_bottom_old,
+                                     size_t* stack_size_old);
+}
+#endif
+
+namespace cab::chk {
+
+namespace {
+
+constexpr std::size_t kFiberStackSize = 256 * 1024;
+constexpr char kSeedPrefix[] = "chk1:";
+
+Engine* g_engine = nullptr;
+
+// Captured at the first fiber entry: the scheduler's (real) stack, needed
+// to annotate switches back out of fibers under ASan.
+const void* g_sched_stack_bottom = nullptr;
+size_t g_sched_stack_size = 0;
+
+void asan_start_switch(void** save, const void* bottom, size_t size) {
+#if defined(CAB_CHK_ASAN)
+  __sanitizer_start_switch_fiber(save, bottom, size);
+#else
+  (void)save;
+  (void)bottom;
+  (void)size;
+#endif
+}
+
+void asan_finish_switch(void* save, const void** bottom_old,
+                        size_t* size_old) {
+#if defined(CAB_CHK_ASAN)
+  __sanitizer_finish_switch_fiber(save, bottom_old, size_old);
+#else
+  (void)save;
+  (void)bottom_old;
+  (void)size_old;
+#endif
+}
+
+}  // namespace
+
+Engine& cur() {
+  if (g_engine == nullptr) {
+    std::fprintf(stderr,
+                 "chk: sync primitive used outside explore()/replay()\n");
+    std::abort();
+  }
+  return *g_engine;
+}
+
+bool active() { return g_engine != nullptr; }
+
+Engine::Engine(const Options& opts) : opts_(opts) {
+  if (g_engine != nullptr) {
+    std::fprintf(stderr, "chk: explore() is not reentrant\n");
+    std::abort();
+  }
+  oplog_.resize(opts_.oplog_capacity);
+  g_engine = this;
+}
+
+Engine::~Engine() { g_engine = nullptr; }
+
+// Fiber entry. makecontext() only takes int arguments, so the engine and
+// thread id travel via globals (single real thread — no races).
+void trampoline_entry() {
+  Engine& g = *g_engine;
+  // First arrival on this fiber: complete the ASan switch and capture the
+  // scheduler's stack bounds (reported as the "old" stack).
+  detail::ThreadRec& t = *g.threads_[static_cast<std::size_t>(g.current_)];
+  asan_finish_switch(t.asan_fake_stack, &g_sched_stack_bottom,
+                     &g_sched_stack_size);
+  try {
+    t.fn();
+  } catch (detail::AbortExec&) {
+    // Unwound by abort_all() — fall through to finish.
+  } catch (const std::exception& e) {
+    g.fail_soft(std::string("model thread threw: ") + e.what());
+  } catch (...) {
+    g.fail_soft("model thread threw a non-std exception");
+  }
+  g.finish_current();
+}
+
+void Engine::finish_current() {
+  detail::ThreadRec& t = *threads_[static_cast<std::size_t>(current_)];
+  t.phase = detail::Phase::kFinished;
+  wake_waiters(&t);
+  // Back to the scheduler, permanently.
+  asan_start_switch(&t.asan_fake_stack, g_sched_stack_bottom,
+                    g_sched_stack_size);
+  swapcontext(&t.ctx, &sched_ctx_);
+  // Unreachable: the scheduler never resumes a finished thread.
+  std::abort();
+}
+
+int Engine::spawn(std::function<void()> fn) {
+  const int id = static_cast<int>(threads_.size());
+  if (id >= kMaxThreads) {
+    fail_now("chk: too many model threads (kMaxThreads)");
+  }
+  auto rec = std::make_unique<detail::ThreadRec>();
+  rec->id = id;
+  rec->fn = std::move(fn);
+  rec->stack.resize(kFiberStackSize);
+  getcontext(&rec->ctx);
+  rec->ctx.uc_stack.ss_sp = rec->stack.data();
+  rec->ctx.uc_stack.ss_size = rec->stack.size();
+  rec->ctx.uc_link = nullptr;
+  makecontext(&rec->ctx, trampoline_entry, 0);
+  if (current_ >= 0) {
+    // Thread creation is a happens-before edge: child starts with the
+    // parent's clock.
+    tick();
+    rec->clock = threads_[static_cast<std::size_t>(current_)]->clock;
+  }
+  rec->clock.c[static_cast<std::size_t>(id)] = 1;
+  threads_.push_back(std::move(rec));
+  return id;
+}
+
+VectorClock& Engine::clock() {
+  return threads_[static_cast<std::size_t>(current_)]->clock;
+}
+
+void Engine::tick() {
+  detail::ThreadRec& t = *threads_[static_cast<std::size_t>(current_)];
+  ++t.clock.c[static_cast<std::size_t>(t.id)];
+}
+
+void Engine::acquire_from(const VectorClock& src) {
+  if (inline_mode()) return;
+  clock().join(src);
+}
+
+void Engine::release_into(VectorClock& dst) {
+  if (inline_mode()) return;
+  tick();
+  dst = clock();
+}
+
+void Engine::release_join(VectorClock& dst) {
+  if (inline_mode()) return;
+  tick();
+  dst.join(clock());
+}
+
+void Engine::fence_op(std::memory_order mo) {
+  (void)mo;
+  op_point(nullptr, "fence");
+  if (inline_mode()) return;
+  // Conservative fence model: every fence participates in one global
+  // fence order (joins from, then publishes into, a global fence clock).
+  // Exact for seq_cst fences under the SC exploration; acquire/release
+  // fences are strengthened to seq_cst (documented in DESIGN.md §6).
+  clock().join(fence_clock_);
+  tick();
+  fence_clock_.join(clock());
+}
+
+void Engine::state_changed() {
+  if (inline_mode()) return;
+  // Shared state changed: spinners deprioritized by yield() get another
+  // probe (their next probe can observe the new state).
+  for (auto& t : threads_) {
+    if (t->id != current_) t->yielded = false;
+  }
+}
+
+bool Engine::inline_mode() const {
+  return aborting_ && current_ >= 0 &&
+         threads_[static_cast<std::size_t>(current_)]->unwinding;
+}
+
+void Engine::op_point(const void* obj, const char* what) {
+  if (inline_mode()) return;  // unwinding: complete ops inline
+  if (!oplog_.empty()) {
+    char buf[160];
+    std::snprintf(buf, sizeof buf, "T%d %s @%p", current_, what, obj);
+    oplog_[oplog_next_ % oplog_.size()] = buf;
+    ++oplog_next_;
+  }
+  if (++steps_ > opts_.max_steps) {
+    truncated_ = true;
+    detail::ThreadRec& t = *threads_[static_cast<std::size_t>(current_)];
+    t.unwinding = true;
+    aborting_ = true;
+    throw detail::AbortExec{};
+  }
+  switch_to_scheduler();
+  if (aborting_) {
+    detail::ThreadRec& t = *threads_[static_cast<std::size_t>(current_)];
+    if (!t.unwinding) {
+      t.unwinding = true;
+      throw detail::AbortExec{};
+    }
+  }
+}
+
+void Engine::switch_to_scheduler() {
+  detail::ThreadRec& t = *threads_[static_cast<std::size_t>(current_)];
+  asan_start_switch(&t.asan_fake_stack, g_sched_stack_bottom,
+                    g_sched_stack_size);
+  swapcontext(&t.ctx, &sched_ctx_);
+  // Resumed by the scheduler.
+  asan_finish_switch(t.asan_fake_stack, nullptr, nullptr);
+}
+
+void Engine::resume(int tid) {
+  current_ = tid;
+  detail::ThreadRec& t = *threads_[static_cast<std::size_t>(tid)];
+  t.yielded = false;
+  asan_start_switch(&sched_fake_stack_, t.stack.data(), t.stack.size());
+  swapcontext(&sched_ctx_, &t.ctx);
+  asan_finish_switch(sched_fake_stack_, nullptr, nullptr);
+  last_run_ = tid;
+  current_ = -1;
+}
+
+void Engine::yield_op() {
+  detail::ThreadRec& t = *threads_[static_cast<std::size_t>(current_)];
+  t.yielded = true;
+  op_point(nullptr, "yield");
+}
+
+void Engine::block_on(const void* addr) {
+  detail::ThreadRec& t = *threads_[static_cast<std::size_t>(current_)];
+  t.phase = detail::Phase::kBlocked;
+  t.wait_addr = addr;
+  switch_to_scheduler();
+  if (aborting_ && !t.unwinding) {
+    t.unwinding = true;
+    throw detail::AbortExec{};
+  }
+}
+
+void Engine::wake_waiters(const void* addr) {
+  for (auto& t : threads_) {
+    if (t->phase == detail::Phase::kBlocked && t->wait_addr == addr) {
+      t->phase = detail::Phase::kRunnable;
+      t->wait_addr = nullptr;
+    }
+  }
+}
+
+void Engine::join_thread(int tid) {
+  detail::ThreadRec& target = *threads_[static_cast<std::size_t>(tid)];
+  for (;;) {
+    op_point(&target, "thread.join");
+    if (inline_mode()) return;
+    if (target.phase == detail::Phase::kFinished) {
+      // Join edge: the child's whole history happens-before the joiner.
+      clock().join(target.clock);
+      tick();
+      return;
+    }
+    block_on(&target);
+  }
+}
+
+void Engine::var_write(detail::RaceState& rs, const char* what) {
+  if (inline_mode() || aborting_) return;
+  VectorClock& clk = clock();
+  if (rs.last_writer >= 0 &&
+      rs.write_epoch > clk.c[static_cast<std::size_t>(rs.last_writer)]) {
+    fail_now(std::string("data race: write to ") + what +
+             " is concurrent with a write by T" +
+             std::to_string(rs.last_writer));
+  }
+  for (int i = 0; i < kMaxThreads; ++i) {
+    if (rs.read_epochs[static_cast<std::size_t>(i)] >
+        clk.c[static_cast<std::size_t>(i)]) {
+      fail_now(std::string("data race: write to ") + what +
+               " is concurrent with a read by T" + std::to_string(i));
+    }
+  }
+  tick();
+  rs.last_writer = current_;
+  rs.write_epoch = clk.c[static_cast<std::size_t>(current_)];
+  rs.read_epochs.fill(0);
+}
+
+void Engine::var_read(detail::RaceState& rs, const char* what) {
+  if (inline_mode() || aborting_) return;
+  VectorClock& clk = clock();
+  if (rs.last_writer >= 0 && rs.last_writer != current_ &&
+      rs.write_epoch > clk.c[static_cast<std::size_t>(rs.last_writer)]) {
+    fail_now(std::string("data race: read of ") + what +
+             " is concurrent with a write by T" +
+             std::to_string(rs.last_writer));
+  }
+  rs.read_epochs[static_cast<std::size_t>(current_)] =
+      clk.c[static_cast<std::size_t>(current_)];
+}
+
+void Engine::fail_now(const std::string& msg) {
+  fail_soft(msg);
+  aborting_ = true;
+  if (current_ >= 0) {
+    threads_[static_cast<std::size_t>(current_)]->unwinding = true;
+  }
+  throw detail::AbortExec{};
+}
+
+void Engine::fail_soft(const std::string& msg) {
+  if (!failed_) {
+    failed_ = true;
+    fail_msg_ = msg;
+  }
+}
+
+int Engine::decide(int n_eligible) {
+  if (n_eligible <= 1) return 0;
+  if (pos_ < stack_.size()) {
+    Decision& d = stack_[pos_++];
+    if (d.n >= 0 && d.n != n_eligible) {
+      // The model branched on something other than our choices.
+      std::fprintf(stderr,
+                   "chk: nondeterministic model (eligible-set size changed "
+                   "under replay: %d vs %d at decision %zu)\n",
+                   d.n, n_eligible, pos_ - 1);
+      std::abort();
+    }
+    d.n = n_eligible;
+    return d.choice;
+  }
+  stack_.push_back({0, n_eligible});
+  ++pos_;
+  return 0;
+}
+
+Engine::Outcome Engine::run_execution(const std::function<void()>& body) {
+  threads_.clear();
+  current_ = -1;
+  last_run_ = -1;
+  preemptions_ = 0;
+  steps_ = 0;
+  pos_ = 0;
+  fence_clock_.clear();
+  aborting_ = false;
+  failed_ = false;
+  truncated_ = false;
+  fail_msg_.clear();
+  oplog_next_ = 0;
+  for (auto& s : oplog_) s.clear();
+
+  spawn(body);  // model thread 0
+
+  std::vector<int> eligible;
+  eligible.reserve(kMaxThreads);
+  for (;;) {
+    eligible.clear();
+    int runnable = 0;
+    bool any_unfinished = false;
+    for (auto& t : threads_) {
+      if (t->phase != detail::Phase::kFinished) any_unfinished = true;
+      if (t->phase == detail::Phase::kRunnable) {
+        ++runnable;
+        if (!t->yielded) eligible.push_back(t->id);
+      }
+    }
+    if (!any_unfinished) {
+      return failed_ ? Outcome::kFailed : Outcome::kDone;
+    }
+    if (runnable == 0) {
+      fail_soft("deadlock: every live model thread is blocked");
+      abort_all();
+      return Outcome::kFailed;
+    }
+    if (eligible.empty()) {
+      // Everyone runnable is a deprioritized spinner: let them all probe.
+      for (auto& t : threads_) t->yielded = false;
+      continue;
+    }
+    // CHESS-style preemption bound: once spent, a still-eligible previous
+    // thread keeps running (voluntary switches unaffected).
+    bool last_eligible = false;
+    for (int id : eligible) last_eligible |= (id == last_run_);
+    if (opts_.preemption_bound >= 0 && last_eligible &&
+        preemptions_ >= opts_.preemption_bound) {
+      eligible.assign(1, last_run_);
+    }
+    const int chosen =
+        eligible[static_cast<std::size_t>(decide(static_cast<int>(eligible.size())))];
+    if (last_eligible && chosen != last_run_) ++preemptions_;
+    resume(chosen);
+    if (failed_) {
+      abort_all();
+      return Outcome::kFailed;
+    }
+    if (truncated_) {
+      abort_all();
+      return Outcome::kTruncated;
+    }
+  }
+}
+
+void Engine::abort_all() {
+  aborting_ = true;
+  // Resume every unfinished fiber; each throws AbortExec at its pending
+  // schedule point and unwinds (running destructors — later sync ops
+  // complete inline via inline_mode()).
+  for (std::size_t i = 0; i < threads_.size(); ++i) {
+    if (threads_[i]->phase != detail::Phase::kFinished) {
+      threads_[i]->phase = detail::Phase::kRunnable;
+      resume(static_cast<int>(i));
+    }
+  }
+}
+
+bool Engine::backtrack() {
+  while (!stack_.empty() && stack_.back().choice + 1 >= stack_.back().n) {
+    stack_.pop_back();
+  }
+  if (stack_.empty()) return false;
+  ++stack_.back().choice;
+  return true;
+}
+
+void Engine::load_seed(const std::string& seed) {
+  std::string s = seed;
+  if (s.rfind(kSeedPrefix, 0) == 0) s = s.substr(sizeof(kSeedPrefix) - 1);
+  stack_.clear();
+  std::stringstream ss(s);
+  std::string tok;
+  while (std::getline(ss, tok, '.')) {
+    if (tok.empty()) continue;
+    stack_.push_back({std::atoi(tok.c_str()), -1});
+  }
+}
+
+std::string Engine::seed_string() const {
+  std::string s = kSeedPrefix;
+  for (std::size_t i = 0; i < pos_ && i < stack_.size(); ++i) {
+    if (i != 0) s += '.';
+    s += std::to_string(stack_[i].choice);
+  }
+  return s;
+}
+
+std::vector<std::string> Engine::oplog() const {
+  std::vector<std::string> out;
+  const std::size_t n = oplog_.size();
+  if (n == 0) return out;
+  for (std::size_t i = (oplog_next_ > n ? oplog_next_ - n : 0);
+       i < oplog_next_; ++i) {
+    out.push_back(oplog_[i % n]);
+  }
+  return out;
+}
+
+std::string Result::summary() const {
+  std::string s = "chk: " + std::to_string(interleavings) + " interleavings";
+  s += exhausted ? " (exhausted)" : " (capped)";
+  if (truncated > 0) s += ", " + std::to_string(truncated) + " truncated";
+  s += ", max depth " + std::to_string(max_depth);
+  if (failure.has_value()) {
+    s += "\nFAILURE: " + failure->message + "\nseed: " + failure->seed;
+  }
+  return s;
+}
+
+Result explore(const std::function<void()>& body, const Options& opts) {
+  Engine g(opts);
+  Result r;
+  for (;;) {
+    const Engine::Outcome out = g.run_execution(body);
+    r.max_depth = std::max(r.max_depth, g.steps());
+    if (out == Engine::Outcome::kTruncated) {
+      ++r.truncated;
+    } else {
+      ++r.interleavings;
+    }
+    if (out == Engine::Outcome::kFailed) {
+      r.failure = Failure{g.fail_msg(), g.seed_string(), g.oplog()};
+      return r;
+    }
+    if (opts.max_interleavings != 0 &&
+        r.interleavings >= opts.max_interleavings) {
+      return r;
+    }
+    if (!g.backtrack()) {
+      r.exhausted = true;
+      return r;
+    }
+  }
+}
+
+Result replay(const std::function<void()>& body, const std::string& seed,
+              const Options& opts) {
+  Engine g(opts);
+  g.load_seed(seed);
+  Result r;
+  const Engine::Outcome out = g.run_execution(body);
+  r.max_depth = g.steps();
+  if (out == Engine::Outcome::kTruncated) {
+    ++r.truncated;
+  } else {
+    ++r.interleavings;
+  }
+  if (out == Engine::Outcome::kFailed) {
+    r.failure = Failure{g.fail_msg(), g.seed_string(), g.oplog()};
+  }
+  return r;
+}
+
+void assert_now(bool cond, const std::string& msg) {
+  if (!cond) cur().fail_now("oracle failed: " + msg);
+}
+
+void yield() { cur().yield_op(); }
+
+void fence(std::memory_order mo) { cur().fence_op(mo); }
+
+}  // namespace cab::chk

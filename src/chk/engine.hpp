@@ -1,0 +1,213 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <ucontext.h>
+#include <vector>
+
+#include "chk/clock.hpp"
+
+namespace cab::chk {
+
+/// Exploration parameters of one explore()/replay() call.
+struct Options {
+  /// Stop after this many completed interleavings (0 = run the DFS to
+  /// exhaustion). A capped run reports exhausted == false.
+  std::uint64_t max_interleavings = 0;
+
+  /// Per-execution step (schedule-point) budget. Exceeding it aborts the
+  /// execution and counts it as truncated — the backstop against
+  /// unbounded spins (a genuine livelock shows up as every execution of
+  /// a branch truncating).
+  std::uint64_t max_steps = 1u << 20;
+
+  /// CHESS-style preemption bound: maximum number of *forced* context
+  /// switches (away from a thread that could have kept running) per
+  /// execution; voluntary switches (yield, block, finish) are always
+  /// allowed, which keeps spin loops live. -1 = unbounded. Exhaustive
+  /// search under a bound b proves every invariant for all schedules
+  /// with <= b preemptions (see DESIGN.md §6 for the bounds used).
+  int preemption_bound = -1;
+
+  /// Keep the trailing op log of a failing execution (diagnostics).
+  std::size_t oplog_capacity = 64;
+};
+
+/// A failed execution: the violated oracle plus a replayable schedule.
+struct Failure {
+  std::string message;
+  std::string seed;               ///< pass to replay() to reproduce
+  std::vector<std::string> ops;   ///< trailing op log of the failing run
+};
+
+struct Result {
+  std::uint64_t interleavings = 0;  ///< completed distinct schedules
+  std::uint64_t truncated = 0;      ///< runs cut by max_steps
+  std::uint64_t max_depth = 0;      ///< longest schedule, in steps
+  bool exhausted = false;           ///< DFS ran out of unexplored branches
+  std::optional<Failure> failure;
+
+  bool ok() const { return !failure.has_value(); }
+  std::string summary() const;
+};
+
+namespace detail {
+
+enum class Phase : std::uint8_t { kRunnable, kBlocked, kFinished };
+
+struct ThreadRec {
+  int id = 0;
+  std::function<void()> fn;
+  ucontext_t ctx{};
+  std::vector<char> stack;
+  void* asan_fake_stack = nullptr;
+  Phase phase = Phase::kRunnable;
+  bool yielded = false;
+  bool unwinding = false;
+  const void* wait_addr = nullptr;
+  VectorClock clock;
+};
+
+/// Race-detector state of one chk::var cell.
+struct RaceState {
+  int last_writer = -1;
+  std::uint32_t write_epoch = 0;
+  std::array<std::uint32_t, kMaxThreads> read_epochs{};
+};
+
+/// Thrown through a model fiber to unwind it when the execution aborts
+/// (oracle failure, race, deadlock, or step budget). Never escapes the
+/// fiber trampoline.
+struct AbortExec {};
+
+}  // namespace detail
+
+/// The per-exploration engine: a cooperative fiber scheduler (ucontext)
+/// plus the DFS-with-replay explorer. All model threads run on fibers of
+/// ONE real OS thread; every visible operation (atomic access, mutex
+/// operation, yield) is a schedule point where control returns to the
+/// scheduler, which picks the next thread to advance — recording the
+/// choice so the exact interleaving can be re-run from a seed.
+class Engine {
+ public:
+  explicit Engine(const Options& opts);
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // ---- hooks called by chk::atomic / chk::mutex / chk::thread / etc ----
+
+  /// Schedule point: logs the op, charges the step budget, and hands
+  /// control to the scheduler. On resume, throws AbortExec if the
+  /// execution is aborting (unless this thread is already unwinding, in
+  /// which case ops complete inline with no scheduling).
+  void op_point(const void* obj, const char* what);
+
+  /// True when ops must complete inline without scheduling or checking
+  /// (the current thread is unwinding a dead execution).
+  bool inline_mode() const;
+
+  VectorClock& clock();                       ///< current thread's clock
+  void tick();                                ///< bump current thread epoch
+  void acquire_from(const VectorClock& src);  ///< reader joins location
+  void release_into(VectorClock& dst);        ///< location := writer clock
+  void release_join(VectorClock& dst);        ///< location |= writer clock
+  void fence_op(std::memory_order mo);
+  void state_changed();                       ///< wake spinners (clears yields)
+
+  void var_write(detail::RaceState& rs, const char* what);
+  void var_read(detail::RaceState& rs, const char* what);
+
+  int spawn(std::function<void()> fn);
+  void join_thread(int tid);
+  void block_on(const void* addr);
+  void wake_waiters(const void* addr);
+
+  void yield_op();
+
+  /// Oracle failure: records the message + seed and aborts the execution.
+  [[noreturn]] void fail_now(const std::string& msg);
+  /// Failure that must not throw (e.g. from destructors): recorded, and
+  /// the scheduler aborts at the next step.
+  void fail_soft(const std::string& msg);
+
+  bool aborting() const { return aborting_; }
+
+  // ---- driver ----
+
+  enum class Outcome { kDone, kFailed, kTruncated };
+  Outcome run_execution(const std::function<void()>& body);
+  bool backtrack();                 ///< advance DFS; false when exhausted
+  void load_seed(const std::string& seed);
+  std::string seed_string() const;
+  std::uint64_t steps() const { return steps_; }
+  const std::string& fail_msg() const { return fail_msg_; }
+  std::vector<std::string> oplog() const;
+
+ private:
+  friend void trampoline_entry();
+
+  struct Decision {
+    int choice = 0;
+    int n = 0;  ///< number of eligible threads at this point (-1: replay)
+  };
+
+  void resume(int tid);
+  void switch_to_scheduler();
+  void abort_all();
+  int decide(int n_eligible);
+  void finish_current();
+
+  Options opts_;
+  std::vector<std::unique_ptr<detail::ThreadRec>> threads_;
+  int current_ = -1;
+  int last_run_ = -1;
+  int preemptions_ = 0;
+  ucontext_t sched_ctx_{};
+  void* sched_fake_stack_ = nullptr;
+  std::uint64_t steps_ = 0;
+  VectorClock fence_clock_;
+
+  std::vector<Decision> stack_;
+  std::size_t pos_ = 0;
+
+  bool aborting_ = false;
+  bool failed_ = false;
+  bool truncated_ = false;
+  std::string fail_msg_;
+  std::vector<std::string> oplog_;
+  std::size_t oplog_next_ = 0;
+};
+
+/// The engine of the exploration in progress. Asserts one is active.
+Engine& cur();
+/// True while explore()/replay() is running a model body.
+bool active();
+
+/// Explore interleavings of `body` depth-first until exhaustion (or the
+/// caps in `opts`). `body` runs once per interleaving as model thread 0;
+/// it may spawn chk::thread's (join them all before returning) and must
+/// be deterministic apart from scheduling.
+Result explore(const std::function<void()>& body, const Options& opts = {});
+
+/// Re-run the single interleaving recorded in `seed` (from
+/// Result::failure). Returns that execution's outcome.
+Result replay(const std::function<void()>& body, const std::string& seed,
+              const Options& opts = {});
+
+/// Oracle assertion: fails the current execution with a replayable seed.
+void assert_now(bool cond, const std::string& msg);
+
+/// Marks the calling model thread as spinning: the scheduler deprioritizes
+/// it until another thread runs or shared state changes. Model spin loops
+/// must call this (via Sync::spin_pause) or idle-probe loops would explore
+/// unbounded schedules.
+void yield();
+
+void fence(std::memory_order mo);
+
+}  // namespace cab::chk

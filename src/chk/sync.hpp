@@ -1,0 +1,262 @@
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <type_traits>
+#include <utility>
+
+#include "chk/engine.hpp"
+
+namespace cab::chk {
+
+namespace detail {
+
+inline bool is_acquire(std::memory_order mo) {
+  return mo == std::memory_order_acquire || mo == std::memory_order_consume ||
+         mo == std::memory_order_acq_rel || mo == std::memory_order_seq_cst;
+}
+
+inline bool is_release(std::memory_order mo) {
+  return mo == std::memory_order_release || mo == std::memory_order_acq_rel ||
+         mo == std::memory_order_seq_cst;
+}
+
+}  // namespace detail
+
+/// Virtualized std::atomic. Same value semantics (the exploration itself
+/// is sequentially consistent — single real thread), but:
+///  - every access is a schedule point of the controllable scheduler, so
+///    the explorer interleaves at atomic granularity;
+///  - memory orders drive the vector-clock synchronizes-with edges used
+///    by the chk::var race detector, so an under-strict order surfaces as
+///    a detected data race on the payload it was supposed to publish
+///    (store-buffer/TSO value weakening is NOT modeled — DESIGN.md §6).
+template <typename T>
+class atomic {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  atomic() noexcept = default;
+  atomic(T v) noexcept : value_(v) {}  // NOLINT: mirror std::atomic
+  atomic(const atomic&) = delete;
+  atomic& operator=(const atomic&) = delete;
+
+  T load(std::memory_order mo = std::memory_order_seq_cst) const {
+    Engine& g = cur();
+    g.op_point(this, "atomic.load");
+    if (detail::is_acquire(mo)) g.acquire_from(sync_);
+    return value_;
+  }
+
+  void store(T v, std::memory_order mo = std::memory_order_seq_cst) {
+    Engine& g = cur();
+    g.op_point(this, "atomic.store");
+    if (detail::is_release(mo)) {
+      // A plain store heads a new release sequence: replace, not join.
+      g.release_into(sync_);
+    } else {
+      // Relaxed store: breaks the release sequence — a later acquire load
+      // of this value synchronizes with nothing.
+      sync_.clear();
+    }
+    value_ = v;
+    g.state_changed();
+  }
+
+  T exchange(T v, std::memory_order mo = std::memory_order_seq_cst) {
+    Engine& g = cur();
+    g.op_point(this, "atomic.exchange");
+    T old = value_;
+    rmw_orders(g, mo);
+    value_ = v;
+    g.state_changed();
+    return old;
+  }
+
+  T fetch_add(T d, std::memory_order mo = std::memory_order_seq_cst) {
+    Engine& g = cur();
+    g.op_point(this, "atomic.fetch_add");
+    T old = value_;
+    rmw_orders(g, mo);
+    value_ = static_cast<T>(value_ + d);
+    g.state_changed();
+    return old;
+  }
+
+  T fetch_sub(T d, std::memory_order mo = std::memory_order_seq_cst) {
+    Engine& g = cur();
+    g.op_point(this, "atomic.fetch_sub");
+    T old = value_;
+    rmw_orders(g, mo);
+    value_ = static_cast<T>(value_ - d);
+    g.state_changed();
+    return old;
+  }
+
+  bool compare_exchange_strong(
+      T& expected, T desired,
+      std::memory_order succ = std::memory_order_seq_cst,
+      std::memory_order fail = std::memory_order_seq_cst) {
+    Engine& g = cur();
+    g.op_point(this, "atomic.cas");
+    if (value_ == expected) {
+      rmw_orders(g, succ);
+      value_ = desired;
+      g.state_changed();
+      return true;
+    }
+    if (detail::is_acquire(fail)) g.acquire_from(sync_);
+    expected = value_;
+    return false;
+  }
+
+  bool compare_exchange_weak(T& expected, T desired,
+                             std::memory_order succ = std::memory_order_seq_cst,
+                             std::memory_order fail = std::memory_order_seq_cst) {
+    // No spurious-failure modeling: weak == strong in the model.
+    return compare_exchange_strong(expected, desired, succ, fail);
+  }
+
+  operator T() const { return load(); }  // NOLINT: mirror std::atomic
+
+ private:
+  void rmw_orders(Engine& g, std::memory_order mo) {
+    if (detail::is_acquire(mo)) g.acquire_from(sync_);
+    // Any RMW continues an existing release sequence, so the location
+    // keeps its prior clock; a releasing RMW additionally joins the
+    // writer's clock in.
+    if (detail::is_release(mo)) g.release_join(sync_);
+  }
+
+  T value_{};
+  mutable VectorClock sync_;
+};
+
+/// Plain (non-atomic) shared data under the happens-before race detector:
+/// any pair of concurrent accesses (at least one write) without a
+/// synchronizes-with chain between them fails the execution with a
+/// replayable seed. Use for every payload whose publication the checked
+/// protocol is supposed to order.
+template <typename T>
+class var {
+ public:
+  var() = default;
+  explicit var(T v) : value_(std::move(v)) {}
+  var(const var&) = delete;
+  var& operator=(const var&) = delete;
+
+  T get() const {
+    if (active()) cur().var_read(rs_, "var");
+    return value_;
+  }
+
+  void set(T v) {
+    if (active()) cur().var_write(rs_, "var");
+    value_ = std::move(v);
+  }
+
+ private:
+  T value_{};
+  mutable detail::RaceState rs_;
+};
+
+/// Virtualized mutex (Lockable). Blocking is modeled: a thread that finds
+/// the mutex held parks until unlock, so schedules never busy-wait here.
+/// lock/unlock carry release/acquire clock edges like the real thing.
+class mutex {
+ public:
+  mutex() = default;
+  mutex(const mutex&) = delete;
+  mutex& operator=(const mutex&) = delete;
+
+  void lock() {
+    Engine& g = cur();
+    for (;;) {
+      g.op_point(this, "mutex.lock");
+      if (g.inline_mode()) return;
+      if (!locked_) {
+        locked_ = true;
+        g.acquire_from(sync_);
+        g.tick();
+        return;
+      }
+      g.block_on(this);
+    }
+  }
+
+  bool try_lock() {
+    Engine& g = cur();
+    g.op_point(this, "mutex.try_lock");
+    if (g.inline_mode()) return true;
+    if (locked_) return false;
+    locked_ = true;
+    g.acquire_from(sync_);
+    g.tick();
+    return true;
+  }
+
+  void unlock() {
+    Engine& g = cur();
+    g.op_point(this, "mutex.unlock");
+    if (g.inline_mode()) return;
+    locked_ = false;
+    g.release_into(sync_);
+    g.wake_waiters(this);
+    g.state_changed();
+  }
+
+ private:
+  bool locked_ = false;
+  VectorClock sync_;
+};
+
+/// Virtualized thread. Must be joined before destruction (like
+/// std::thread), except while an execution is being aborted.
+class thread {
+ public:
+  thread() = default;
+  explicit thread(std::function<void()> fn) : id_(cur().spawn(std::move(fn))) {}
+  thread(const thread&) = delete;
+  thread& operator=(const thread&) = delete;
+  thread(thread&& o) noexcept : id_(o.id_) { o.id_ = -1; }
+  thread& operator=(thread&& o) noexcept {
+    id_ = o.id_;
+    o.id_ = -1;
+    return *this;
+  }
+  ~thread() {
+    if (id_ >= 0 && active() && !cur().aborting()) {
+      cur().fail_soft("chk::thread destroyed without join()");
+    }
+  }
+
+  bool joinable() const { return id_ >= 0; }
+
+  void join() {
+    cur().join_thread(id_);
+    id_ = -1;
+  }
+
+ private:
+  int id_ = -1;
+};
+
+/// The Sync policy (util/sync_policy.hpp contract) that compiles the
+/// production synchronization cores — ChaseLevDeque, LockedDeque,
+/// BasicSpinLock, runtime::protocol — against the model checker.
+struct ModelSync {
+  template <typename T>
+  using atomic_t = chk::atomic<T>;
+
+  static void fence(std::memory_order mo) { chk::fence(mo); }
+
+  /// Spin backoff becomes a scheduler yield: the spinner is deprioritized
+  /// until shared state changes, which keeps exhaustive exploration of
+  /// spin loops finite.
+  static void spin_pause(int& spins) {
+    (void)spins;
+    chk::yield();
+  }
+};
+
+}  // namespace cab::chk

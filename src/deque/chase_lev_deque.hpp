@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "util/cache_line.hpp"
+#include "util/sync_policy.hpp"
 
 namespace cab::deque {
 
@@ -22,14 +23,26 @@ namespace cab::deque {
 ///
 /// This is the intra-socket task pool of the CAB runtime (Fig. 3) and the
 /// per-worker pool of the classic work-stealing baseline.
-template <typename T>
+///
+/// Templated on the Sync policy (util/sync_policy.hpp): production code
+/// uses the default `util::RealSync` (plain std::atomic); the model
+/// checker instantiates the same template over `chk::atomic` and explores
+/// every interleaving of the push/pop/steal races exhaustively
+/// (tests/test_model_check.cpp). Every memory_order below carries a
+/// `mo:`/`seq_cst:` justification audited against that checked model.
+template <typename T, typename Sync = util::RealSync>
 class ChaseLevDeque {
   static_assert(std::is_pointer_v<T>, "stores raw pointers to task frames");
+
+  template <typename U>
+  using Atomic = typename Sync::template atomic_t<U>;
 
  public:
   explicit ChaseLevDeque(std::size_t initial_capacity = 64)
       : top_(0), bottom_(0) {
     rings_.push_back(std::make_unique<Ring>(round_up_pow2(initial_capacity)));
+    // mo: relaxed — single-threaded construction; the object is published
+    // to thieves by whatever hand-off publishes the deque itself.
     ring_.store(rings_.back().get(), std::memory_order_relaxed);
   }
 
@@ -38,39 +51,62 @@ class ChaseLevDeque {
 
   /// Owner only. Pushes onto the bottom (LIFO end).
   void push_bottom(T item) {
+    // mo: relaxed — bottom_ is owner-written only; the owner's own prior
+    // store is visible to itself without ordering.
     std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    // mo: acquire — pairs with the release CAS in steal_top so the slot a
+    // thief vacated is observed empty before we overwrite top-side state
+    // (Lê et al. Fig. 1 load of top in push).
     std::int64_t t = top_.load(std::memory_order_acquire);
     Ring* r = ring_.load(std::memory_order_relaxed);
     if (b - t > static_cast<std::int64_t>(r->capacity) - 1) {
       r = grow(r, t, b);
     }
     r->put(b, item);
-    // Release *store* (not a release fence + relaxed store, which is
+    // mo: release *store* (not a release fence + relaxed store, which is
     // equivalent on the metal but invisible to TSan): pairs with the
     // thief's acquire load of bottom_ to publish the slot and the task
-    // frame behind it. This is the PPoPP'13 formulation.
+    // frame behind it. This is the PPoPP'13 formulation. Weakening this
+    // to relaxed is the checked negative model
+    // (ModelCheckNegative.RelaxedPublicationRace shape): the thief would
+    // read the task frame without a happens-before edge.
     bottom_.store(b + 1, std::memory_order_release);
   }
 
   /// Owner only. Pops from the bottom (LIFO). Returns nullptr when empty.
   T pop_bottom() {
+    // mo: relaxed — owner-only index maths; ordering is supplied by the
+    // fence below.
     std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
     Ring* r = ring_.load(std::memory_order_relaxed);
     bottom_.store(b, std::memory_order_relaxed);
-    std::atomic_thread_fence(std::memory_order_seq_cst);
+    // seq_cst: the store of the decremented bottom_ must be globally
+    // ordered against the thief's load of bottom_ in steal_top (whose own
+    // seq_cst fence is the other half). With anything weaker, owner and
+    // thief can both observe the *pre-race* state of the single remaining
+    // element and both take it — the classic Chase–Lev lost/double-take
+    // race (the checker's BrokenStealDoubleTake negative model shows the
+    // double-take when this protocol is weakened).
+    Sync::fence(std::memory_order_seq_cst);
     std::int64_t t = top_.load(std::memory_order_relaxed);
     if (t > b) {
       // Deque was empty; restore.
+      // mo: relaxed — owner-only restore; no payload is published.
       bottom_.store(b + 1, std::memory_order_relaxed);
       return nullptr;
     }
     T item = r->get(b);
     if (t == b) {
       // Last element: race against thieves via CAS on top.
+      // seq_cst: the CAS participates in the same total order as the
+      // fences above/in steal_top; exactly one of {owner, thief} wins the
+      // final element. Failure order relaxed — on failure we only restore
+      // bottom_ (owner-local).
       if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                         std::memory_order_relaxed)) {
         item = nullptr;  // a thief won
       }
+      // mo: relaxed — owner-only restore to the canonical empty shape.
       bottom_.store(b + 1, std::memory_order_relaxed);
     }
     return item;
@@ -79,12 +115,28 @@ class ChaseLevDeque {
   /// Thieves (any thread). Steals from the top (FIFO end). Returns nullptr
   /// when empty or when the steal raced and lost.
   T steal_top() {
+    // mo: acquire — pairs with the release CAS of competing thieves so a
+    // freshly incremented top_ is seen before bottom_ is probed.
     std::int64_t t = top_.load(std::memory_order_acquire);
-    std::atomic_thread_fence(std::memory_order_seq_cst);
+    // seq_cst: orders the top_ load above against the bottom_ load below
+    // in the global fence order shared with pop_bottom — the thief must
+    // not read a stale bottom_ from before an owner's in-flight pop
+    // (Lê et al. Fig. 2).
+    Sync::fence(std::memory_order_seq_cst);
+    // mo: acquire — pairs with the owner's release store in push_bottom:
+    // observing b > t here is what publishes the slot contents and the
+    // task frame behind the pointer.
     std::int64_t b = bottom_.load(std::memory_order_acquire);
     if (t >= b) return nullptr;
-    Ring* r = ring_.load(std::memory_order_consume);
+    // mo: acquire (was consume — consume is deprecated and compilers
+    // promote it to acquire anyway; the checked model needs the explicit
+    // edge): pairs with the release store in grow() so the new ring's
+    // slots are initialized before we index them.
+    Ring* r = ring_.load(std::memory_order_acquire);
     T item = r->get(t);
+    // seq_cst: same total order as pop_bottom's CAS — arbitration for the
+    // final element. Failure order relaxed: a lost race returns nullptr
+    // without touching shared state.
     if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                       std::memory_order_relaxed)) {
       return nullptr;  // lost the race
@@ -94,6 +146,7 @@ class ChaseLevDeque {
 
   /// Racy size estimate, for victim-selection heuristics and stats only.
   std::size_t size_estimate() const {
+    // mo: relaxed — heuristic readers tolerate any interleaving.
     std::int64_t b = bottom_.load(std::memory_order_relaxed);
     std::int64_t t = top_.load(std::memory_order_relaxed);
     return b > t ? static_cast<std::size_t>(b - t) : 0;
@@ -104,25 +157,36 @@ class ChaseLevDeque {
  private:
   struct Ring {
     explicit Ring(std::size_t cap) : capacity(cap), mask(cap - 1), slots(cap) {
+      // mo: relaxed — construction precedes publication via ring_.
       for (auto& s : slots) s.store(nullptr, std::memory_order_relaxed);
     }
     T get(std::int64_t i) const {
+      // mo: relaxed — slot contents are published by bottom_ (push) or
+      // ring_ (grow) release stores, never by the slot itself.
       return slots[static_cast<std::size_t>(i) & mask].load(
           std::memory_order_relaxed);
     }
     void put(std::int64_t i, T v) {
+      // mo: relaxed — see get().
       slots[static_cast<std::size_t>(i) & mask].store(
           v, std::memory_order_relaxed);
     }
     const std::size_t capacity;
     const std::size_t mask;
-    std::vector<std::atomic<T>> slots;
+    // pad-ok: ring slots are deliberately dense — the owner streams
+    // through adjacent slots on push/pop, so padding each slot to a cache
+    // line would trade that locality (and multiply the Θ(C) ring memory)
+    // for a thief contention case the top_-CAS already serializes.
+    std::vector<Atomic<T>> slots;
   };
 
   static std::size_t round_up_pow2(std::size_t v) {
     std::size_t p = 1;
     while (p < v) p <<= 1;
-    return p < 8 ? 8 : p;
+    // Floor of 2: a 1-slot ring would make push/grow ambiguous. (The old
+    // floor of 8 was arbitrary; 2 lets the model checker exercise grow()
+    // with a handful of schedule points.)
+    return p < 2 ? 2 : p;
   }
 
   Ring* grow(Ring* old, std::int64_t t, std::int64_t b) {
@@ -130,13 +194,16 @@ class ChaseLevDeque {
     for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
     Ring* raw = bigger.get();
     rings_.push_back(std::move(bigger));  // owner-only; old ring stays alive
+    // mo: release — publishes the copied slots to thieves that acquire
+    // ring_ in steal_top. Thieves still racing on the *old* ring are safe
+    // because retired rings are kept alive until destruction.
     ring_.store(raw, std::memory_order_release);
     return raw;
   }
 
-  alignas(util::kCacheLineSize) std::atomic<std::int64_t> top_;
-  alignas(util::kCacheLineSize) std::atomic<std::int64_t> bottom_;
-  alignas(util::kCacheLineSize) std::atomic<Ring*> ring_;
+  alignas(util::kCacheLineSize) Atomic<std::int64_t> top_;
+  alignas(util::kCacheLineSize) Atomic<std::int64_t> bottom_;
+  alignas(util::kCacheLineSize) Atomic<Ring*> ring_;
   std::vector<std::unique_ptr<Ring>> rings_;  // owner-mutated only
 };
 

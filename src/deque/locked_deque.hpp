@@ -16,7 +16,13 @@ namespace cab::deque {
 ///    implementation obviously correct;
 ///  - the central pool of the *task-sharing* baseline (Section II), where
 ///    lock contention is the point being measured.
-template <typename T>
+///
+/// Templated on the Lock type (any Lockable): production uses the real
+/// `util::SpinLock`; the model checker instantiates it with
+/// `util::BasicSpinLock<chk::ModelSync>` (or `chk::mutex`) so the pool's
+/// hand-off protocol is explored under the virtualized scheduler
+/// (tests/test_model_check.cpp).
+template <typename T, typename Lock = util::SpinLock>
 class LockedDeque {
  public:
   LockedDeque() = default;
@@ -24,13 +30,13 @@ class LockedDeque {
   LockedDeque& operator=(const LockedDeque&) = delete;
 
   void push_bottom(T item) {
-    std::lock_guard<util::SpinLock> g(lock_);
+    std::lock_guard<Lock> g(lock_);
     items_.push_back(item);
   }
 
   /// Owner end (LIFO relative to push_bottom). Returns nullptr when empty.
   T pop_bottom() {
-    std::lock_guard<util::SpinLock> g(lock_);
+    std::lock_guard<Lock> g(lock_);
     if (items_.empty()) return nullptr;
     T item = items_.back();
     items_.pop_back();
@@ -41,7 +47,7 @@ class LockedDeque {
   /// to the DAG root, i.e. the largest subtree, which is what parent-first
   /// expansion wants distributed first). Returns nullptr when empty.
   T steal_top() {
-    std::lock_guard<util::SpinLock> g(lock_);
+    std::lock_guard<Lock> g(lock_);
     if (items_.empty()) return nullptr;
     T item = items_.front();
     items_.pop_front();
@@ -49,14 +55,17 @@ class LockedDeque {
   }
 
   std::size_t size() const {
-    std::lock_guard<util::SpinLock> g(lock_);
+    std::lock_guard<Lock> g(lock_);
     return items_.size();
   }
 
   bool empty() const { return size() == 0; }
 
  private:
-  mutable util::SpinLock lock_;
+  // pad-ok: the lock and the queue it guards are accessed together on
+  // every operation; separating them buys nothing, and the enclosing
+  // Squad/Engine pads the pool object as a unit.
+  mutable Lock lock_;
   std::deque<T> items_;
 };
 

@@ -14,6 +14,7 @@
 #include "deque/chase_lev_deque.hpp"
 #include "deque/locked_deque.hpp"
 #include "dag/partition.hpp"
+#include "runtime/squad_protocol.hpp"
 #include "hw/topology.hpp"
 #include "obs/metrics/perf_source.hpp"
 #include "obs/metrics/registry.hpp"
@@ -69,15 +70,13 @@ struct Squad {
   /// The squad's inter-socket task pool.
   deque::LockedDeque<TaskFrame*> inter_pool;
 
-  /// The paper's per-squad `busy_state`, generalized from a boolean to a
-  /// count so that *nested* inter-socket tasks (an inter task helping run
-  /// its own inter children while suspended at sync — see DESIGN.md) keep
-  /// it consistent. busy_state == (active_inter > 0).
-  alignas(util::kCacheLineSize) std::atomic<std::int32_t> active_inter{0};
+  /// The paper's per-squad `busy_state` (see protocol::BusyState: count,
+  /// not boolean, so nested inter-socket tasks keep it consistent). The
+  /// transitions live in runtime/squad_protocol.hpp, where the model
+  /// checker proves them over chk::atomic (DESIGN.md §6).
+  alignas(util::kCacheLineSize) protocol::BusyState<> busy_state;
 
-  bool busy() const {
-    return active_inter.load(std::memory_order_acquire) > 0;
-  }
+  bool busy() const { return busy_state.busy(); }
 };
 
 /// One worker thread, affiliated with one (virtual) core.
@@ -192,7 +191,7 @@ struct Engine {
   /// Live task frames and their high-water mark — the measured quantity
   /// behind the paper's Eq. 15 space bound (frames, not bytes).
   alignas(util::kCacheLineSize) std::atomic<std::int64_t> live_frames{0};
-  std::atomic<std::int64_t> peak_frames{0};
+  alignas(util::kCacheLineSize) std::atomic<std::int64_t> peak_frames{0};
 
   void frame_created() {
     const std::int64_t cur =

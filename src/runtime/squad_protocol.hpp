@@ -1,0 +1,105 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/sync_policy.hpp"
+
+namespace cab::runtime::protocol {
+
+/// The synchronization core of the paper's bi-tier protocol (Algorithm I /
+/// Algorithm II), extracted header-only and templated on the Sync policy
+/// (util/sync_policy.hpp) so the identical transitions run against real
+/// `std::atomic` inside the scheduler (worker.cpp) and against
+/// `chk::atomic` under the exhaustive-interleaving model checker
+/// (tests/test_model_check.cpp, DESIGN.md §6).
+///
+/// Checked invariants (the model's oracles):
+///  - the busy count never goes negative (releases match acquires);
+///  - without the starvation escape, a squad holds at most one *active*
+///    inter-socket task at a time (the count exceeds 1 only for nested
+///    inter tasks run while helping inside a sync);
+///  - a task is tagged with the acquiring squad before it becomes
+///    runnable on the acquiring worker (bind_inter ordering).
+
+/// The paper's per-squad `busy_state`, generalized from a boolean to a
+/// count so that *nested* inter-socket tasks (an inter task helping run
+/// its own inter children while suspended at sync — see DESIGN.md) keep
+/// it consistent. busy_state == (count() > 0).
+template <typename Sync = util::RealSync>
+struct BusyState {
+  typename Sync::template atomic_t<std::int32_t> active_inter{0};
+
+  bool busy() const {
+    // mo: acquire — pairs with the release half of the acq_rel RMWs
+    // below: a worker that observes "busy" also observes the hand-off
+    // that made it so (Algorithm I step 2's gate read).
+    return active_inter.load(std::memory_order_acquire) > 0;
+  }
+
+  std::int32_t count() const {
+    // mo: acquire — see busy().
+    return active_inter.load(std::memory_order_acquire);
+  }
+
+  /// Marks one more active inter-socket task; returns the new count.
+  std::int32_t acquire() {
+    // mo: acq_rel — the increment is the squad-busy hand-off: release so
+    // the acquiring worker's prior pool operations are visible to gate
+    // readers, acquire so this worker sees the previous holder's release.
+    return active_inter.fetch_add(1, std::memory_order_acq_rel) + 1;
+  }
+
+  /// Releases one active inter-socket task; returns the new count. The
+  /// caller must check the result is >= 0 (underflow means a protocol
+  /// bug: a release without a matching acquire — a checked negative
+  /// model, ModelCheckNegative.DoubleBusyRelease).
+  std::int32_t release() {
+    // mo: acq_rel — see acquire(); the release half publishes the
+    // finished task's effects to the next gate reader.
+    return active_inter.fetch_sub(1, std::memory_order_acq_rel) - 1;
+  }
+};
+
+/// Which acquire paths Algorithm I opens for a free worker, given its
+/// role and the squad gate. Step 1 (own intra pool) always runs first and
+/// is not gated; this decides steps 2–6:
+///  - squad busy  => intra-socket stealing within the squad only (steps
+///    3/6a); the inter-socket pools open up only for a *desperate* head
+///    (the starvation escape, see kStarvationEscapeFails);
+///  - squad free  => the head goes to the inter-socket pools (steps 4/5/
+///    6b); non-head workers loop back to step 1.
+struct AcquirePaths {
+  bool steal_intra_in_squad;
+  bool inter_pools;
+};
+
+constexpr AcquirePaths plan_acquire(bool is_head, bool squad_busy,
+                                    bool desperate) noexcept {
+  if (squad_busy) return {true, is_head && desperate};
+  return {false, is_head};
+}
+
+/// Algorithm II at a sync point: a *leaf* inter-socket task (one that
+/// spawned intra-socket children — its subtree is the squad's shared-cache
+/// residency unit) holds busy_state through its sync; a non-leaf inter
+/// task releases it so the squad is not barred from inter-socket work for
+/// the task's entire subtree lifetime.
+constexpr bool holds_busy_through_sync(bool has_intra_children) noexcept {
+  return has_intra_children;
+}
+
+/// Inter-socket task hand-off: marks the acquiring squad busy and tags
+/// the task with that squad *before* the task is returned to the worker
+/// loop — the gate must close before the task can start executing (and
+/// spawning), or a second head probe could slip an extra inter task into
+/// the squad between execution start and gate close. Returns the new
+/// busy count.
+template <typename Sync, typename Task, typename SquadT>
+std::int32_t bind_inter(BusyState<Sync>& busy, Task* t, SquadT* sq) {
+  const std::int32_t now = busy.acquire();
+  t->inter_acquired_by = sq;
+  return now;
+}
+
+}  // namespace cab::runtime::protocol

@@ -26,6 +26,9 @@ struct TaskFrame {
 
   /// Children spawned but not yet completed. The paper's inter_counter
   /// plus the intra join count, folded into one atomic.
+  // pad-ok: per-frame field — padding every frame to a cache line would
+  // multiply the Eq. 15 space bound; contention is bounded by the frame's
+  // own children.
   std::atomic<std::int32_t> outstanding{0};
 
   /// DAG level, paper numbering (root/"main" = 0).

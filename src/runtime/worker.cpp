@@ -27,6 +27,9 @@ void backoff(int& fails, WorkerStats& stats) {
     std::this_thread::yield();
   } else {
     ++stats.idle_backoff_sleeps;
+    // blocking-ok: deep-idle backoff — only reached after kBackoffYieldFails
+    // consecutive failed acquires, i.e. the worker has left the hot steal
+    // path and is throttling its probe rate to spare the memory bus.
     std::this_thread::sleep_for(kIdleBackoffSleep);
   }
 }
@@ -118,9 +121,9 @@ void Worker::execute(TaskFrame* t) {
 void Worker::finish(TaskFrame* t) {
   if (Squad* sq = t->inter_acquired_by) {
     // The paper's "busy_state := false" when an inter-socket task returns.
-    std::int32_t prev = sq->active_inter.fetch_sub(1, std::memory_order_acq_rel);
-    CAB_CHECK(prev >= 1, "squad busy-state underflow");
-    if (tl.enabled) tl.mark(obs::EventKind::kActiveInter, sq->id, prev - 1);
+    const std::int32_t now = sq->busy_state.release();
+    CAB_CHECK(now >= 0, "squad busy-state underflow");
+    if (tl.enabled) tl.mark(obs::EventKind::kActiveInter, sq->id, now);
   }
   TaskFrame* parent = t->parent;
   Engine& e = *engine;
@@ -153,11 +156,13 @@ void Worker::release_busy_on_suspend(TaskFrame* t) {
   // is the shared-cache residency unit the paper protects.
   Squad* sq = t->inter_acquired_by;
   if (sq == nullptr) return;
-  if (t->has_intra_children) return;  // leaf inter-socket task: hold
+  if (protocol::holds_busy_through_sync(t->has_intra_children)) {
+    return;  // leaf inter-socket task: hold
+  }
   t->inter_acquired_by = nullptr;
-  std::int32_t prev = sq->active_inter.fetch_sub(1, std::memory_order_acq_rel);
-  CAB_CHECK(prev >= 1, "squad busy-state underflow at suspend");
-  if (tl.enabled) tl.mark(obs::EventKind::kActiveInter, sq->id, prev - 1);
+  const std::int32_t now = sq->busy_state.release();
+  CAB_CHECK(now >= 0, "squad busy-state underflow at suspend");
+  if (tl.enabled) tl.mark(obs::EventKind::kActiveInter, sq->id, now);
 }
 
 TaskFrame* Worker::acquire(bool desperate) {
@@ -173,21 +178,26 @@ TaskFrame* Worker::acquire_cab(bool desperate) {
     ++stats.intra_pop_hits;
     return t;
   }
-  // Step 2: squad busy => only intra-socket stealing within the squad.
-  if (squad->busy()) {
+  // Steps 2–6: the gate decision is protocol::plan_acquire (model-checked
+  // in tests/test_model_check.cpp). Squad busy => intra-socket stealing
+  // within the squad only; squad free => the head reaches the
+  // inter-socket pools while non-heads loop back to Step 1.
+  //
+  // Starvation escape (`desperate`): a head that has failed
+  // kStarvationEscapeFails times in a row falls through to the
+  // inter-socket pools despite the busy gate — the only acquire path that
+  // unsticks a squad whose busy-holder is itself waiting on pooled
+  // inter-socket descendants (see kStarvationEscapeFails). Deviation from
+  // the paper's policy is confined to runs that would otherwise livelock
+  // or starve.
+  const protocol::AcquirePaths paths =
+      protocol::plan_acquire(is_head, squad->busy(), desperate);
+  if (paths.steal_intra_in_squad) {
     // Step 3 + 6(a): random in-squad victim, single attempt per call.
     TaskFrame* t = steal_intra_in_squad();
-    // Starvation escape: a head that has failed kStarvationEscapeFails
-    // times in a row falls through to the inter-socket pools despite the
-    // busy gate — the only acquire path that unsticks a squad whose
-    // busy-holder is itself waiting on pooled inter-socket descendants
-    // (see kStarvationEscapeFails). Deviation from the paper's policy is
-    // confined to runs that would otherwise livelock or starve.
-    if (t != nullptr || !desperate || !is_head) return t;
-  } else if (!is_head) {
-    // Step 2 (cont.): non-head workers loop back to Step 1.
-    return nullptr;
+    if (t != nullptr || !paths.inter_pools) return t;
   }
+  if (!paths.inter_pools) return nullptr;
   // Step 4: own squad's inter-socket pool (FIFO end: oldest task = the
   // subtree closest to the root, which parent-first expansion wants
   // distributed first).
@@ -270,10 +280,8 @@ TaskFrame* Worker::take_inter_from_own_squad() {
   TaskFrame* t = squad->inter_pool.steal_top();
   if (!t) t = engine->central_pool.steal_top();  // root injection
   if (t) {
-    const std::int32_t prev =
-        squad->active_inter.fetch_add(1, std::memory_order_acq_rel);
-    t->inter_acquired_by = squad;
-    if (tr) tl.mark(obs::EventKind::kActiveInter, squad->id, prev + 1);
+    const std::int32_t now = protocol::bind_inter(squad->busy_state, t, squad);
+    if (tr) tl.mark(obs::EventKind::kActiveInter, squad->id, now);
   }
   if (tr) {
     tl.record(obs::EventKind::kInterAcquire, t0, obs::now_ns(), squad->id,
@@ -294,11 +302,10 @@ TaskFrame* Worker::steal_inter_from_other_squads() {
     if (victim == squad->id) continue;
     if (TaskFrame* t = engine->squads[static_cast<std::size_t>(victim)]
                            ->inter_pool.steal_top()) {
-      const std::int32_t prev =
-          squad->active_inter.fetch_add(1, std::memory_order_acq_rel);
-      t->inter_acquired_by = squad;
+      const std::int32_t now =
+          protocol::bind_inter(squad->busy_state, t, squad);
       if (tr) {
-        tl.mark(obs::EventKind::kActiveInter, squad->id, prev + 1);
+        tl.mark(obs::EventKind::kActiveInter, squad->id, now);
         tl.record(obs::EventKind::kStealInter, t0, obs::now_ns(), victim, 1);
       }
       return t;
@@ -321,6 +328,8 @@ void Engine::worker_main(Worker& w) {
   for (;;) {
     {
       std::unique_lock<std::mutex> lk(lifecycle_mu);
+      // blocking-ok: parked between run() epochs — no DAG is in flight,
+      // so there is nothing to steal and nothing this wait can delay.
       lifecycle_cv.wait(
           lk, [&] { return shutdown || epoch != seen_epoch; });
       if (shutdown) break;

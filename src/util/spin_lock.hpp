@@ -1,22 +1,10 @@
 #pragma once
 
 #include <atomic>
-#include <thread>
 
-#if defined(__x86_64__) || defined(__i386__)
-#include <immintrin.h>
-#endif
+#include "util/sync_policy.hpp"
 
 namespace cab::util {
-
-/// Relax the CPU inside a spin loop (PAUSE on x86, yield elsewhere).
-inline void cpu_relax() noexcept {
-#if defined(__x86_64__) || defined(__i386__)
-  _mm_pause();
-#else
-  std::this_thread::yield();
-#endif
-}
 
 /// Test-and-test-and-set spin lock with exponential backoff.
 ///
@@ -24,33 +12,50 @@ inline void cpu_relax() noexcept {
 /// inter-socket pool traffic through squad head workers precisely so that a
 /// simple lock suffices; contention is M-way at most.
 /// Satisfies Lockable, so it works with std::lock_guard / std::unique_lock.
-class SpinLock {
+///
+/// Templated on the Sync policy (util/sync_policy.hpp) so the identical
+/// acquire/release protocol is exhaustively checked under `chk::atomic` in
+/// tests/test_model_check.cpp; `SpinLock` is the production instantiation.
+template <typename Sync = RealSync>
+class BasicSpinLock {
  public:
-  SpinLock() = default;
-  SpinLock(const SpinLock&) = delete;
-  SpinLock& operator=(const SpinLock&) = delete;
+  BasicSpinLock() = default;
+  BasicSpinLock(const BasicSpinLock&) = delete;
+  BasicSpinLock& operator=(const BasicSpinLock&) = delete;
 
   void lock() noexcept {
     int spins = 1;
     for (;;) {
+      // mo: exchange(acquire) — the winning probe is the lock acquisition;
+      // pairs with the release store in unlock() so the previous critical
+      // section happens-before this one.
       if (!flag_.exchange(true, std::memory_order_acquire)) return;
       // Spin read-only until the lock looks free, with capped backoff.
+      // mo: relaxed — the probe loop decides nothing; the next exchange
+      // re-synchronizes.
       while (flag_.load(std::memory_order_relaxed)) {
-        for (int i = 0; i < spins; ++i) cpu_relax();
-        if (spins < 1024) spins <<= 1;
+        Sync::spin_pause(spins);
       }
     }
   }
 
   bool try_lock() noexcept {
+    // mo: relaxed pre-check + exchange(acquire), same pairing as lock().
     return !flag_.load(std::memory_order_relaxed) &&
            !flag_.exchange(true, std::memory_order_acquire);
   }
 
-  void unlock() noexcept { flag_.store(false, std::memory_order_release); }
+  void unlock() noexcept {
+    // mo: release — publishes the critical section to the next acquirer.
+    flag_.store(false, std::memory_order_release);
+  }
 
  private:
-  std::atomic<bool> flag_{false};
+  // pad-ok: the lock is embedded in its owner (LockedDeque pads around the
+  // pair as a unit); padding every lock instance would bloat per-frame state.
+  typename Sync::template atomic_t<bool> flag_{false};
 };
+
+using SpinLock = BasicSpinLock<RealSync>;
 
 }  // namespace cab::util

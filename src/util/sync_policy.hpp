@@ -1,0 +1,50 @@
+#pragma once
+
+#include <atomic>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace cab::util {
+
+/// Relax the CPU inside a spin loop (PAUSE on x86, yield elsewhere).
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// Synchronization-primitive policy: the hot synchronization cores
+/// (ChaseLevDeque, LockedDeque, BasicSpinLock, runtime::protocol) are
+/// templates over a `Sync` type so the *same* code runs against real
+/// `std::atomic` in production and against `chk::atomic` (a virtualized
+/// atomic whose every access is a schedule point of the model checker's
+/// controllable scheduler) under `tests/test_model_check`. See
+/// DESIGN.md §6 and `src/chk/`.
+///
+/// A Sync policy provides:
+///  - `template <typename T> atomic_t` — the atomic template,
+///  - `fence(std::memory_order)`      — a thread fence,
+///  - `spin_pause(int& spins)`        — one backoff step of a failed spin
+///    probe (`spins` is loop-local backoff state owned by the caller).
+struct RealSync {
+  template <typename T>
+  using atomic_t = std::atomic<T>;
+
+  static void fence(std::memory_order mo) noexcept {
+    std::atomic_thread_fence(mo);
+  }
+
+  /// Exponential backoff, capped; identical to the historical SpinLock
+  /// behaviour (PAUSE bursts doubling up to 1024).
+  static void spin_pause(int& spins) noexcept {
+    for (int i = 0; i < spins; ++i) cpu_relax();
+    if (spins < 1024) spins <<= 1;
+  }
+};
+
+}  // namespace cab::util

@@ -1,0 +1,28 @@
+// Fixture: hot-path header with unjustified orderings and unpadded
+// atomic members. Expected findings:
+//   - seq-cst-justify   at the fence below (no `seq_cst:` comment)
+//   - hot-field-padding at top_ (no alignas, no `pad-ok:` comment)
+#pragma once
+
+#include <atomic>
+
+namespace fixture {
+
+struct BadDeque {
+  void fence_without_reason() {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+  }
+
+  void fence_with_reason() {
+    // seq_cst: justified — this one must NOT be flagged.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+  }
+
+  std::atomic<long> top_{0};
+
+  // pad-ok: single-writer field, false sharing is impossible here; this
+  // one must NOT be flagged.
+  std::atomic<long> bottom_{0};
+};
+
+}  // namespace fixture

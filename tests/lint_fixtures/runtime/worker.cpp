@@ -1,0 +1,31 @@
+// Fixture: blocking calls in a worker-loop translation unit. Expected
+// findings:
+//   - worker-blocking at the sleep_for (no `blocking-ok:` comment)
+//   - worker-blocking at the cv.wait
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace fixture {
+
+std::mutex mu;
+std::condition_variable cv;
+bool ready = false;
+
+void drain_loop() {
+  while (!ready) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::unique_lock<std::mutex> lk(mu);
+  cv.wait(lk, [] { return ready; });
+}
+
+void park_between_epochs() {
+  std::unique_lock<std::mutex> lk(mu);
+  // blocking-ok: parked outside the drain loop waiting for the next
+  // epoch; this one must NOT be flagged.
+  cv.wait(lk, [] { return ready; });
+}
+
+}  // namespace fixture

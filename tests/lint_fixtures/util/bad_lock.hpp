@@ -1,0 +1,23 @@
+// Fixture: unpadded atomic member in a util header, plus a seq_cst
+// exchange with no written-down ordering argument. Expected findings:
+//   - hot-field-padding at flag_
+//   - seq-cst-justify   at the exchange in lock()
+#pragma once
+
+#include <atomic>
+
+namespace fixture {
+
+class BadLock {
+ public:
+  void lock() {
+    while (flag_.exchange(true, std::memory_order_seq_cst)) {
+    }
+  }
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace fixture

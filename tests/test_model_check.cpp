@@ -1,0 +1,527 @@
+// Exhaustive-interleaving model checking of the bi-tier protocol cores
+// (DESIGN.md §6). Every sync primitive under test here is the *production*
+// header — ChaseLevDeque, LockedDeque, BasicSpinLock, runtime::protocol —
+// compiled against chk::ModelSync instead of util::RealSync, so the code
+// the checker explores is byte-for-byte the code the scheduler runs.
+//
+// Invariant oracles covered (see DESIGN.md §6 for the mapping):
+//   1. no lost task            — deque + protocol models drain to empty
+//   2. no double execution     — per-task exactly-once counters
+//   3. ≤1 inter task per squad — BusyState gate in the squad models
+//   4. deque linearizability   — FIFO steal order / LIFO pop, exactly-once
+//   5. BL epoch-boundary safety— race-detector proof on the retune model
+//
+// Negative models (ModelCheckNegative.*) seed real ordering bugs and
+// assert the checker (a) catches them and (b) reproduces the identical
+// failure from the reported schedule seed.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+
+#include "chk/sync.hpp"
+#include "deque/chase_lev_deque.hpp"
+#include "deque/locked_deque.hpp"
+#include "runtime/squad_protocol.hpp"
+#include "util/spin_lock.hpp"
+
+// The checker multiplexes model threads onto ucontext fibers on one OS
+// thread; TSan does not understand ucontext stack switches, so the model
+// suite is meaningless (and crash-prone) under -fsanitize=thread. The
+// TSan CI job covers the same primitives via the stress suite instead.
+#if defined(__SANITIZE_THREAD__)
+#define CAB_CHK_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define CAB_CHK_TSAN 1
+#endif
+#endif
+
+namespace {
+
+using namespace cab;
+namespace protocol = runtime::protocol;
+
+using ModelDeque = deque::ChaseLevDeque<int*, chk::ModelSync>;
+using ModelLock = util::BasicSpinLock<chk::ModelSync>;
+using ModelBusy = protocol::BusyState<chk::ModelSync>;
+
+/// Minimal task for the squad-protocol models: an exactly-once execution
+/// counter plus the squad tag bind_inter() writes.
+struct MTask {
+  chk::atomic<int> exec{0};
+  void* inter_acquired_by = nullptr;
+};
+using ModelPool = deque::LockedDeque<MTask*, ModelLock>;
+
+chk::Options bounded(int preemptions) {
+  chk::Options o;
+  o.preemption_bound = preemptions;
+  return o;
+}
+
+class ModelCheck : public ::testing::Test {
+ protected:
+  void SetUp() override {
+#if defined(CAB_CHK_TSAN)
+    GTEST_SKIP() << "chk fibers (ucontext) are unsupported under TSan; "
+                    "the stress suite covers this configuration";
+#endif
+  }
+};
+
+class ModelCheckNegative : public ModelCheck {};
+
+// ---------------------------------------------------------------------------
+// Chase-Lev deque (oracles 1, 2, 4)
+// ---------------------------------------------------------------------------
+
+// One item, owner pop racing one thief steal — the classic Chase-Lev
+// corner (both contend on the last element through the seq_cst fence /
+// top-CAS dance). Small enough to explore with NO preemption bound:
+// every SC interleaving of the two threads is visited.
+TEST_F(ModelCheck, ChaseLevLastItemOwnerVsThief) {
+  auto r = chk::explore([] {
+    std::array<int, 1> items{};
+    std::array<chk::atomic<int>, 1> taken{};
+    ModelDeque d(2);
+    d.push_bottom(&items[0]);
+    chk::thread thief([&] {
+      if (int* p = d.steal_top())
+        taken[p - items.data()].fetch_add(1, std::memory_order_relaxed);
+    });
+    while (int* p = d.pop_bottom())
+      taken[p - items.data()].fetch_add(1, std::memory_order_relaxed);
+    thief.join();
+    chk::assert_now(taken[0].load(std::memory_order_relaxed) == 1,
+                    "last item taken exactly once, by owner xor thief");
+  });
+  ASSERT_TRUE(r.ok()) << r.summary();
+  EXPECT_TRUE(r.exhausted) << r.summary();
+  // Measured 90k+; the floor just guards against the explorer silently
+  // degenerating into a single-schedule run.
+  EXPECT_GE(r.interleavings, 10000u) << r.summary();
+}
+
+// Two items: steals must observe push (FIFO) order and pops LIFO order —
+// the linearizability oracle. Bounded exploration (CHESS-style): every
+// schedule with at most 3 forced preemptions.
+TEST_F(ModelCheck, ChaseLevStealOrderLinearizable) {
+  auto r = chk::explore(
+      [] {
+        std::array<int, 2> items{};
+        std::array<chk::atomic<int>, 2> taken{};
+        ModelDeque d(2);
+        d.push_bottom(&items[0]);
+        d.push_bottom(&items[1]);
+        chk::thread thief([&] {
+          int last = -1;
+          for (int attempt = 0; attempt < 2; ++attempt) {
+            if (int* p = d.steal_top()) {
+              const int idx = static_cast<int>(p - items.data());
+              chk::assert_now(idx > last, "steals arrive in push (FIFO) order");
+              last = idx;
+              taken[idx].fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        });
+        int last = 2;
+        while (int* p = d.pop_bottom()) {
+          const int idx = static_cast<int>(p - items.data());
+          chk::assert_now(idx < last, "pops arrive in LIFO order");
+          last = idx;
+          taken[idx].fetch_add(1, std::memory_order_relaxed);
+        }
+        thief.join();
+        for (auto& t : taken)
+          chk::assert_now(t.load(std::memory_order_relaxed) == 1,
+                          "every pushed item taken exactly once");
+      },
+      bounded(3));
+  ASSERT_TRUE(r.ok()) << r.summary();
+  EXPECT_TRUE(r.exhausted) << r.summary();
+  EXPECT_GE(r.interleavings, 1000u) << r.summary();
+}
+
+// grow() while a thief steals: capacity 2, third push resizes the ring
+// concurrently with a steal of the oldest element (the ring-swap /
+// stale-top hazard grow()'s ordering comments argue about).
+TEST_F(ModelCheck, ChaseLevGrowUnderConcurrentSteal) {
+  auto r = chk::explore(
+      [] {
+        std::array<int, 3> items{};
+        std::array<chk::atomic<int>, 3> taken{};
+        ModelDeque d(2);
+        d.push_bottom(&items[0]);
+        d.push_bottom(&items[1]);
+        chk::thread thief([&] {
+          if (int* p = d.steal_top())
+            taken[p - items.data()].fetch_add(1, std::memory_order_relaxed);
+        });
+        d.push_bottom(&items[2]);  // grows the ring from 2 to 4 slots
+        while (int* p = d.pop_bottom())
+          taken[p - items.data()].fetch_add(1, std::memory_order_relaxed);
+        thief.join();
+        for (auto& t : taken)
+          chk::assert_now(t.load(std::memory_order_relaxed) == 1,
+                          "no task lost or duplicated across grow()");
+      },
+      bounded(3));
+  ASSERT_TRUE(r.ok()) << r.summary();
+  EXPECT_TRUE(r.exhausted) << r.summary();
+  EXPECT_GE(r.interleavings, 1000u) << r.summary();
+}
+
+// ---------------------------------------------------------------------------
+// Spin lock + locked deque (oracles 1, 2; satellite: locked_deque/spin_lock
+// model coverage)
+// ---------------------------------------------------------------------------
+
+TEST_F(ModelCheck, SpinLockMutualExclusion) {
+  auto r = chk::explore([] {
+    ModelLock lk;
+    chk::var<int> counter{0};
+    auto body = [&] {
+      for (int i = 0; i < 2; ++i) {
+        lk.lock();
+        // chk::var is under the happens-before race detector: if the lock
+        // failed to serialize the sections this read/write pair races.
+        counter.set(counter.get() + 1);
+        lk.unlock();
+      }
+    };
+    chk::thread t(body);
+    body();
+    t.join();
+    chk::assert_now(counter.get() == 4, "all guarded increments happened");
+  });
+  ASSERT_TRUE(r.ok()) << r.summary();
+  EXPECT_TRUE(r.exhausted) << r.summary();
+  EXPECT_GE(r.interleavings, 100u) << r.summary();
+}
+
+// LockedDeque (the inter-socket pool implementation) over the *model*
+// spin lock: owner push/pop vs thief steals, fully exhaustive.
+TEST_F(ModelCheck, LockedDequeExactlyOnceUnderContention) {
+  auto r = chk::explore([] {
+    std::array<int, 2> items{};
+    std::array<chk::atomic<int>, 2> taken{};
+    deque::LockedDeque<int*, ModelLock> pool;
+    pool.push_bottom(&items[0]);
+    chk::thread thief([&] {
+      for (int attempt = 0; attempt < 2; ++attempt) {
+        if (int* p = pool.steal_top())
+          taken[p - items.data()].fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    pool.push_bottom(&items[1]);
+    while (int* p = pool.pop_bottom())
+      taken[p - items.data()].fetch_add(1, std::memory_order_relaxed);
+    thief.join();
+    for (auto& t : taken)
+      chk::assert_now(t.load(std::memory_order_relaxed) == 1,
+                      "every item taken exactly once");
+  });
+  ASSERT_TRUE(r.ok()) << r.summary();
+  EXPECT_TRUE(r.exhausted) << r.summary();
+  EXPECT_GE(r.interleavings, 10000u) << r.summary();
+}
+
+// ---------------------------------------------------------------------------
+// 2-worker / 2-squad protocol models (oracles 1, 2, 3)
+// ---------------------------------------------------------------------------
+
+// Two squad heads racing Algorithm I steps 4/5 against a shared
+// inter-socket pool: gate probe -> steal -> bind_inter -> execute ->
+// release, then a trailing gate re-probe. Fully exhaustive (no
+// preemption bound); this is the headline state-space number quoted in
+// DESIGN.md §6.
+TEST_F(ModelCheck, SquadProtocolCrossSquadHeads) {
+  auto r = chk::explore([] {
+    ModelBusy busy0, busy1;
+    ModelPool pool;
+    std::array<MTask, 2> tasks;
+    pool.push_bottom(&tasks[0]);
+    pool.push_bottom(&tasks[1]);
+    auto head = [&](ModelBusy& busy) {
+      const auto paths = protocol::plan_acquire(true, busy.busy(), false);
+      if (paths.inter_pools) {
+        if (MTask* t = pool.steal_top()) {
+          const int now = protocol::bind_inter(busy, t, &busy);
+          chk::assert_now(now <= 1, "at most one inter-socket task per squad");
+          chk::assert_now(t->inter_acquired_by == &busy,
+                          "task tagged with acquiring squad before execution");
+          t->exec.fetch_add(1, std::memory_order_relaxed);
+          chk::assert_now(busy.release() >= 0, "busy release underflow");
+        }
+      }
+      const auto again = protocol::plan_acquire(true, busy.busy(), false);
+      chk::assert_now(again.inter_pools || again.steal_intra_in_squad,
+                      "the gate always opens some acquire path for a head");
+    };
+    chk::thread w1([&] { head(busy1); });
+    head(busy0);
+    w1.join();
+    while (MTask* t = pool.pop_bottom())
+      t->exec.fetch_add(1, std::memory_order_relaxed);
+    for (auto& t : tasks)
+      chk::assert_now(t.exec.load(std::memory_order_relaxed) == 1,
+                      "no inter-socket task lost or run twice");
+  });
+  ASSERT_TRUE(r.ok()) << r.summary();
+  EXPECT_TRUE(r.exhausted) << r.summary();
+  // Acceptance floor for the protocol models: >= 10k distinct
+  // interleavings, all visited (measured ~25.5k).
+  EXPECT_GE(r.interleavings, 10000u) << r.summary();
+}
+
+// Same pair of heads, but each runs TWO acquire rounds so release/re-probe
+// races (squad flapping busy->free->busy) are in scope. The unbounded
+// space is ~1.2M schedules; bound to 6 forced preemptions per schedule
+// (CHESS-style) to keep the suite fast while still visiting ~31k.
+TEST_F(ModelCheck, SquadProtocolCrossSquadHeadsTwoRounds) {
+  auto r = chk::explore(
+      [] {
+        ModelBusy busy0, busy1;
+        ModelPool pool;
+        std::array<MTask, 2> tasks;
+        pool.push_bottom(&tasks[0]);
+        pool.push_bottom(&tasks[1]);
+        auto head = [&](ModelBusy& busy) {
+          for (int round = 0; round < 2; ++round) {
+            const auto paths = protocol::plan_acquire(true, busy.busy(), false);
+            if (!paths.inter_pools) continue;
+            MTask* t = pool.steal_top();
+            if (!t) continue;
+            const int now = protocol::bind_inter(busy, t, &busy);
+            chk::assert_now(now <= 1,
+                            "at most one inter-socket task per squad");
+            t->exec.fetch_add(1, std::memory_order_relaxed);
+            chk::assert_now(busy.release() >= 0, "busy release underflow");
+          }
+        };
+        chk::thread w1([&] { head(busy1); });
+        head(busy0);
+        w1.join();
+        while (MTask* t = pool.pop_bottom())
+          t->exec.fetch_add(1, std::memory_order_relaxed);
+        for (auto& t : tasks)
+          chk::assert_now(t.exec.load(std::memory_order_relaxed) == 1,
+                          "no inter-socket task lost or run twice");
+      },
+      bounded(6));
+  ASSERT_TRUE(r.ok()) << r.summary();
+  EXPECT_TRUE(r.exhausted) << r.summary();
+  EXPECT_GE(r.interleavings, 10000u) << r.summary();
+}
+
+// One squad, head + non-head member: the member must never open the
+// inter-socket pools (Algorithm I's role split), and the squad's intra
+// ChaseLev deque still hands its task out exactly once while the head
+// binds an inter task from the other squad's pool.
+TEST_F(ModelCheck, SquadProtocolSameSquadRoleGating) {
+  auto r = chk::explore([] {
+    ModelBusy busy0;
+    ModelPool other_squad_pool;
+    ModelDeque intra(2);
+    MTask t_inter;
+    std::array<int, 1> intra_items{};
+    std::array<chk::atomic<int>, 1> intra_taken{};
+    other_squad_pool.push_bottom(&t_inter);
+    intra.push_bottom(&intra_items[0]);
+    chk::thread member([&] {
+      const auto paths = protocol::plan_acquire(false, busy0.busy(), false);
+      chk::assert_now(!paths.inter_pools,
+                      "a non-head worker never opens the inter-socket pools");
+      if (paths.steal_intra_in_squad) {
+        if (int* p = intra.steal_top())
+          intra_taken[p - intra_items.data()].fetch_add(
+              1, std::memory_order_relaxed);
+      }
+    });
+    const auto paths = protocol::plan_acquire(true, busy0.busy(), false);
+    if (paths.inter_pools) {
+      if (MTask* t = other_squad_pool.steal_top()) {
+        const int now = protocol::bind_inter(busy0, t, &busy0);
+        chk::assert_now(now == 1, "sole head: bind lands on a free squad");
+        t->exec.fetch_add(1, std::memory_order_relaxed);
+        chk::assert_now(busy0.release() >= 0, "busy release underflow");
+      }
+    }
+    member.join();
+    while (int* p = intra.pop_bottom())
+      intra_taken[p - intra_items.data()].fetch_add(1,
+                                                    std::memory_order_relaxed);
+    chk::assert_now(intra_taken[0].load(std::memory_order_relaxed) == 1,
+                    "intra task taken exactly once");
+    chk::assert_now(t_inter.exec.load(std::memory_order_relaxed) == 1 ||
+                        other_squad_pool.pop_bottom() == &t_inter,
+                    "inter task executed once or still pooled — never lost");
+  });
+  ASSERT_TRUE(r.ok()) << r.summary();
+  EXPECT_TRUE(r.exhausted) << r.summary();
+  EXPECT_GE(r.interleavings, 100u) << r.summary();
+}
+
+// Algorithm II leaf rule is pure (no interleaving): pin it here next to
+// the models that rely on it.
+TEST_F(ModelCheck, HoldsBusyThroughSyncIsLeafRule) {
+  EXPECT_TRUE(protocol::holds_busy_through_sync(true));
+  EXPECT_FALSE(protocol::holds_busy_through_sync(false));
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive BL store: epoch-boundary safety (oracle 5)
+// ---------------------------------------------------------------------------
+
+// Model of Runtime::run()'s retune hand-off: the controller waits for the
+// worker to park (working == 0, acquire), writes the *plain* BL field,
+// then publishes the next epoch under the lifecycle mutex. BL is a
+// chk::var, so the happens-before race detector proves the claim in
+// runtime.cpp that BL only ever changes between epochs: any schedule in
+// which the worker could read BL concurrently with the retune write would
+// fail this test with a replayable seed.
+TEST_F(ModelCheck, AdaptiveBlEpochBoundarySafety) {
+  auto r = chk::explore([] {
+    chk::var<int> bl{2};          // models Engine::tier.bl (plain field)
+    chk::atomic<int> working{1};  // models Engine::working
+    chk::mutex lifecycle_mu;
+    chk::var<int> epoch{1};  // guarded by lifecycle_mu
+    chk::atomic<int> observed{0};
+    chk::thread worker([&] {
+      working.fetch_sub(1, std::memory_order_acq_rel);  // park after epoch 1
+      for (;;) {  // lifecycle_cv wait loop, as a poll under the mutex
+        lifecycle_mu.lock();
+        const int e = epoch.get();
+        lifecycle_mu.unlock();
+        if (e == 2) break;
+        chk::yield();
+      }
+      observed.store(bl.get(), std::memory_order_relaxed);  // epoch 2 starts
+    });
+    while (working.load(std::memory_order_acquire) != 0) chk::yield();
+    bl.set(5);  // retune_after_epoch: workers are parked
+    lifecycle_mu.lock();
+    epoch.set(2);  // next run(): ++epoch under lifecycle_mu
+    lifecycle_mu.unlock();
+    worker.join();
+    chk::assert_now(observed.load(std::memory_order_relaxed) == 5,
+                    "worker observes the retuned BL at the epoch boundary");
+  });
+  ASSERT_TRUE(r.ok()) << r.summary();
+  EXPECT_TRUE(r.exhausted) << r.summary();
+}
+
+// ---------------------------------------------------------------------------
+// Negative models: seeded ordering bugs MUST be caught, with a seed that
+// replays to the identical failure.
+// ---------------------------------------------------------------------------
+
+namespace negative {
+
+// Publication with a relaxed store where a release is required.
+void relaxed_publication() {
+  chk::var<int> payload;
+  chk::atomic<int> flag{0};
+  chk::thread t([&] {
+    if (flag.load(std::memory_order_acquire) == 1) (void)payload.get();
+  });
+  payload.set(42);
+  flag.store(1, std::memory_order_relaxed);  // BUG: must be release
+  t.join();
+}
+
+// A Chase-Lev "optimization" that replaces the steal-side CAS on top with
+// a load/store pair — two thieves can both take the same element.
+struct BrokenStealPool {
+  std::array<int*, 2> items{};
+  chk::atomic<int> top{0};
+  int* steal() {
+    const int t = top.load(std::memory_order_acquire);
+    if (t >= 2) return nullptr;
+    top.store(t + 1, std::memory_order_release);  // BUG: must be a CAS
+    return items[static_cast<std::size_t>(t)];
+  }
+};
+
+void broken_steal_double_take() {
+  std::array<int, 2> slots{};
+  std::array<chk::atomic<int>, 2> taken{};
+  BrokenStealPool pool;
+  pool.items = {&slots[0], &slots[1]};
+  auto thief = [&] {
+    if (int* p = pool.steal())
+      taken[p - slots.data()].fetch_add(1, std::memory_order_relaxed);
+  };
+  chk::thread t(thief);
+  thief();
+  t.join();
+  for (auto& n : taken)
+    chk::assert_now(n.load(std::memory_order_relaxed) <= 1,
+                    "an element was stolen twice");
+}
+
+// A release() with no matching acquire() — the busy count underflows.
+void double_busy_release() {
+  ModelBusy busy;
+  chk::thread t([&] {
+    chk::assert_now(busy.release() >= 0, "busy release underflow");  // BUG
+  });
+  busy.acquire();
+  chk::assert_now(busy.release() >= 0, "busy release underflow");
+  t.join();
+}
+
+// Retuning BL *without* waiting for the worker to park: the write races
+// the in-epoch read, and the detector must say so.
+void mid_epoch_retune() {
+  chk::var<int> bl{2};
+  chk::atomic<int> working{1};
+  chk::thread worker([&] {
+    (void)bl.get();  // worker still inside the epoch
+    working.fetch_sub(1, std::memory_order_acq_rel);
+  });
+  bl.set(5);  // BUG: no wait for working == 0
+  worker.join();
+}
+
+}  // namespace negative
+
+// Asserts the model fails, the failure carries a replayable seed, and
+// replaying that seed reproduces the identical failure message.
+template <typename Body>
+void expect_caught_and_replayable(Body body, const std::string& expect_in_msg,
+                                  chk::Options opts = {}) {
+  auto r = chk::explore(body, opts);
+  ASSERT_FALSE(r.ok()) << "seeded bug was NOT caught: " << r.summary();
+  ASSERT_TRUE(r.failure.has_value());
+  EXPECT_NE(r.failure->message.find(expect_in_msg), std::string::npos)
+      << r.failure->message;
+  ASSERT_FALSE(r.failure->seed.empty());
+  EXPECT_EQ(r.failure->seed.rfind("chk1:", 0), 0u)
+      << "seed is not in the chk1: schedule format: " << r.failure->seed;
+  auto replayed = chk::replay(body, r.failure->seed, opts);
+  ASSERT_FALSE(replayed.ok()) << "seed did not replay the failure";
+  EXPECT_EQ(replayed.failure->message, r.failure->message);
+}
+
+TEST_F(ModelCheckNegative, RelaxedPublicationRace) {
+  expect_caught_and_replayable(negative::relaxed_publication, "data race");
+}
+
+TEST_F(ModelCheckNegative, BrokenStealDoubleTake) {
+  expect_caught_and_replayable(negative::broken_steal_double_take,
+                               "stolen twice");
+}
+
+TEST_F(ModelCheckNegative, DoubleBusyRelease) {
+  expect_caught_and_replayable(negative::double_busy_release,
+                               "busy release underflow");
+}
+
+TEST_F(ModelCheckNegative, MidEpochRetuneRace) {
+  expect_caught_and_replayable(negative::mid_epoch_retune, "data race");
+}
+
+}  // namespace
