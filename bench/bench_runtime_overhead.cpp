@@ -1,11 +1,34 @@
-// Micro-benchmarks of the threaded runtime (google-benchmark): spawn/sync
-// overhead per task on this host, for each scheduler. The real-machine
-// counterpart of Fig. 8's "CAB adds 1-2%": with BL = 0, the only extra
-// cost of CAB over classic stealing is the per-spawn level bookkeeping
-// and tier classification.
+// Micro-benchmarks of the threaded runtime: spawn/sync overhead per task
+// on this host, for each scheduler. The real-machine counterpart of
+// Fig. 8's "CAB adds 1-2%": with BL = 0, the only extra cost of CAB over
+// classic stealing is the per-spawn level bookkeeping and tier
+// classification.
+//
+// Two modes share this binary:
+//
+//   (default)       google-benchmark micro suite (BM_Spawn_*, BM_ParallelFor);
+//                   --frame-pool=off reruns it on the seed's heap-per-spawn
+//                   allocation strategy.
+//   --spawn         spawn-throughput mode: serial-elision fib vs the
+//                   1-worker runtime gives the per-spawn overhead in ns,
+//                   measured with the frame pool on AND off (the
+//                   allocation ablation), plus multi-worker throughput.
+//                   --json=<file> writes a cab-bench-v1 record gated in
+//                   CI via `cab_bench_report diff --threshold=
+//                   spawn_overhead_ns=<pct>`.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <cstdio>
+#include <ctime>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
 #include "runtime/runtime.hpp"
 
 namespace {
@@ -13,6 +36,10 @@ namespace {
 using cab::runtime::Options;
 using cab::runtime::Runtime;
 using cab::runtime::SchedulerKind;
+
+// --frame-pool=off: every spawn heap-allocates its frame and boxes its
+// callable (the seed allocation strategy), for both bench modes.
+bool g_frame_pool = true;
 
 long fib_task(int n) {
   if (n < 2) return n;
@@ -23,11 +50,19 @@ long fib_task(int n) {
   return a + b;
 }
 
+/// The serial elision of fib_task: same arithmetic, no runtime — the
+/// baseline that isolates pure spawn/sync/allocation overhead.
+long fib_serial(int n) {
+  if (n < 2) return n;
+  return fib_serial(n - 1) + fib_serial(n - 2);
+}
+
 Options host_options(SchedulerKind kind, int bl) {
   Options o;
   o.topo = cab::hw::Topology::detect();
   o.kind = kind;
   o.boundary_level = bl;
+  o.frame_pool = g_frame_pool;
   return o;
 }
 
@@ -112,6 +147,217 @@ void BM_ParallelFor(benchmark::State& state) {
 }
 BENCHMARK(BM_ParallelFor);
 
+// ---------------------------------------------------------------------------
+// --spawn mode: serial-elision vs spawn cost, pooled vs new ablation
+// ---------------------------------------------------------------------------
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct SpawnRun {
+  double wall_s = 0.0;       ///< median epoch wall x reps (post warm-up)
+  std::uint64_t spawns = 0;  ///< spawns executed in the measured epochs
+};
+
+/// Median epoch wall, scaled back to `reps` epochs so downstream
+/// per-spawn math is unchanged. The median (not the mean) because the
+/// bench also runs on loaded single-CPU CI machines, where a preempted
+/// epoch is an outlier of milliseconds — enough to swing the pooled/off
+/// ratio by +-0.2x when averaged in.
+double median_total(std::vector<double>& walls) {
+  std::sort(walls.begin(), walls.end());
+  const std::size_t n = walls.size();
+  const double med = (n % 2 != 0)
+                         ? walls[n / 2]
+                         : 0.5 * (walls[n / 2 - 1] + walls[n / 2]);
+  return med * static_cast<double>(n);
+}
+
+/// `reps` measured fib(n) epochs after one warm-up epoch (the warm-up
+/// carves the slabs / grows the deques; steady state is the claim).
+SpawnRun run_fib_epochs(const Options& o, int n, int reps) {
+  Runtime rt(o);
+  long sink = 0;
+  rt.run([&] { sink = fib_task(n); });
+  const auto warm = rt.stats().total;
+  std::vector<double> walls;
+  walls.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    const double t0 = now_s();
+    rt.run([&] { sink = fib_task(n); });
+    walls.push_back(now_s() - t0);
+  }
+  SpawnRun r;
+  r.wall_s = median_total(walls);
+  const auto done = rt.stats().total;
+  r.spawns = (done.spawns_intra + done.spawns_inter) -
+             (warm.spawns_intra + warm.spawns_inter);
+  benchmark::DoNotOptimize(sink);
+  return r;
+}
+
+double run_serial_epochs(int n, int reps) {
+  long sink = 0;
+  // DoNotOptimize on the argument each epoch: fib_serial(22) with a
+  // compile-time-constant argument constant-folds to zero work.
+  int m = n;
+  benchmark::DoNotOptimize(m);
+  sink = fib_serial(m);  // warm-up parity with run_fib_epochs
+  std::vector<double> walls;
+  walls.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    const double t0 = now_s();
+    m = n;
+    benchmark::DoNotOptimize(m);
+    sink += fib_serial(m);
+    benchmark::DoNotOptimize(sink);
+    walls.push_back(now_s() - t0);
+  }
+  return median_total(walls);
+}
+
+int run_spawn_mode(const std::string& json_path) {
+  namespace bench = cab::bench;
+  namespace util = cab::util;
+  const int n = 22;  // ~57k tasks per epoch: spawn-dense, trivial bodies
+  const int reps =
+      std::max(2, static_cast<int>(std::lround(12 * bench::bench_scale())));
+  const double total_t0 = now_s();
+
+  // Per-spawn overhead on one worker: no steal traffic, no contention —
+  // the difference to the serial elision is spawn+sync+allocation cost.
+  Options one = host_options(SchedulerKind::kCab, 0);
+  one.topo = cab::hw::Topology::synthetic(1, 1, 1ull << 20);
+  one.metrics = false;
+
+  const double serial_s = run_serial_epochs(n, reps);
+
+  one.frame_pool = true;
+  const SpawnRun pooled = run_fib_epochs(one, n, reps);
+  one.frame_pool = false;
+  const SpawnRun off = run_fib_epochs(one, n, reps);
+
+  auto overhead_ns = [&](const SpawnRun& r) {
+    return r.spawns == 0
+               ? 0.0
+               : 1e9 * (r.wall_s - serial_s) / static_cast<double>(r.spawns);
+  };
+  auto mspawns_per_s = [](const SpawnRun& r) {
+    return r.wall_s <= 0.0 ? 0.0
+                           : static_cast<double>(r.spawns) / r.wall_s / 1e6;
+  };
+  const double pooled_ns = overhead_ns(pooled);
+  const double off_ns = overhead_ns(off);
+  const double speedup = pooled.wall_s > 0.0 ? off.wall_s / pooled.wall_s : 0.0;
+
+  // Spawn throughput with every worker spawning and stealing: the
+  // cross-socket remote-free channel is on this path.
+  Options all = host_options(SchedulerKind::kCab, 0);
+  all.metrics = false;
+  all.frame_pool = true;
+  const SpawnRun multi = run_fib_epochs(all, n, reps);
+  const int workers = all.topo.total_cores();
+
+  std::printf("\nspawn-throughput mode: fib(%d), %d measured epoch(s)\n", n,
+              reps);
+  std::printf("  serial elision:        %8.3f ms/epoch\n",
+              1e3 * serial_s / reps);
+  std::printf("  1 worker, pool on:     %8.3f ms/epoch  %7.1f ns/spawn  "
+              "%6.2f Mspawn/s\n",
+              1e3 * pooled.wall_s / reps, pooled_ns, mspawns_per_s(pooled));
+  std::printf("  1 worker, pool off:    %8.3f ms/epoch  %7.1f ns/spawn  "
+              "%6.2f Mspawn/s\n",
+              1e3 * off.wall_s / reps, off_ns, mspawns_per_s(off));
+  std::printf("  pooled vs new speedup: %8.2fx\n", speedup);
+  std::printf("  %d workers, pool on:   %8.3f ms/epoch  %6.2f Mspawn/s\n",
+              workers, 1e3 * multi.wall_s / reps, mspawns_per_s(multi));
+
+  if (json_path.empty()) return 0;
+
+  auto& rec = bench::JsonRecorder::instance();
+  rec.add_values("spawn/pooled",
+                 {{"spawn_overhead_ns", pooled_ns},
+                  {"mspawns_per_s", mspawns_per_s(pooled)}},
+                 pooled.wall_s);
+  rec.add_values("spawn/frame-pool-off",
+                 {{"spawn_overhead_ns", off_ns},
+                  {"mspawns_per_s", mspawns_per_s(off)}},
+                 off.wall_s);
+  rec.add_values("spawn/ablation", {{"pooled_vs_new_speedup", speedup}});
+  rec.add_values("spawn/multiworker",
+                 {{"workers", static_cast<double>(workers)},
+                  {"mspawns_per_s", mspawns_per_s(multi)}},
+                 multi.wall_s);
+
+  // Minimal cab-bench-v1 record (no DAG-bundle replay: this bench's
+  // workload *is* the runtime), mergeable by cab_bench_report.
+  std::string j = "{\"schema\":\"cab-bench-v1\"";
+  j += ",\"bench\":\"runtime_overhead\"";
+  j += ",\"scale\":" + util::format_fixed(bench::bench_scale(), 2);
+  j += ",\"git_rev\":";
+  bench::detail::append_escaped(j, bench::detail::git_rev());
+  j += ",\"generated_unix\":" +
+       std::to_string(static_cast<long long>(std::time(nullptr)));
+  const cab::hw::Topology& topo = all.topo;
+  j += ",\"topology\":{\"sockets\":" + std::to_string(topo.sockets());
+  j += ",\"cores_per_socket\":" + std::to_string(topo.cores_per_socket());
+  j += ",\"shared_cache_bytes\":" + std::to_string(topo.shared_cache_bytes());
+  j += ",\"describe\":";
+  bench::detail::append_escaped(j, topo.describe());
+  j += "},\"configs\":[";
+  const auto& entries = rec.entries();
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (i) j += ',';
+    j += '\n';
+    j += entries[i];
+  }
+  j += "],\"runtime\":{\"workload\":\"fib\"";
+  j += ",\"boundary_level\":0";
+  j += ",\"epochs\":" + std::to_string(reps);
+  j += ",\"wall_s\":" + util::format_fixed(now_s() - total_t0, 6);
+  j += "}}\n";
+  if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+    std::fwrite(j.data(), 1, j.size(), f);
+    std::fclose(f);
+  } else {
+    std::fprintf(stderr, "cannot write json record: %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("json record: %s (%zu configs)\n", json_path.c_str(),
+              entries.size());
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: the cab-specific flags (--spawn, --frame-pool, --json) are
+// peeled off before google-benchmark parses the rest.
+int main(int argc, char** argv) {
+  bool spawn_mode = false;
+  std::string json_path;
+  std::vector<char*> rest{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--spawn") {
+      spawn_mode = true;
+    } else if (a == "--frame-pool=off") {
+      g_frame_pool = false;
+    } else if (a == "--frame-pool=on") {
+      g_frame_pool = true;
+    } else if (a.rfind("--json=", 0) == 0) {
+      json_path = a.substr(7);
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  if (spawn_mode) return run_spawn_mode(json_path);
+  int rest_argc = static_cast<int>(rest.size());
+  benchmark::Initialize(&rest_argc, rest.data());
+  if (benchmark::ReportUnrecognizedArguments(rest_argc, rest.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -3,6 +3,12 @@
 #include <pthread.h>
 #include <sched.h>
 
+#if defined(__linux__)
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+#include <cstdint>
 #include <thread>
 
 namespace cab::hw {
@@ -16,6 +22,28 @@ int online_cpus() {
   }
   int hc = static_cast<int>(std::thread::hardware_concurrency());
   return hc > 0 ? hc : 1;
+}
+
+bool bind_memory_local(void* addr, std::size_t bytes) {
+#if defined(__linux__) && defined(SYS_mbind)
+  if (addr == nullptr || bytes == 0) return false;
+  long page = sysconf(_SC_PAGESIZE);
+  if (page <= 0) page = 4096;
+  // mbind wants page-aligned start/length; widen the range to page edges.
+  const auto upage = static_cast<std::uintptr_t>(page);
+  const auto begin = reinterpret_cast<std::uintptr_t>(addr) & ~(upage - 1);
+  const auto end = (reinterpret_cast<std::uintptr_t>(addr) + bytes + upage -
+                    1) & ~(upage - 1);
+  // MPOL_LOCAL (linux/mempolicy.h): allocate on the node of the CPU that
+  // triggers the fault — raw value so no libnuma headers are required.
+  constexpr int kMpolLocal = 4;
+  return syscall(SYS_mbind, reinterpret_cast<void*>(begin), end - begin,
+                 kMpolLocal, nullptr, 0ul, 0u) == 0;
+#else
+  (void)addr;
+  (void)bytes;
+  return false;
+#endif
 }
 
 bool bind_current_thread(int cpu) {

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstddef>
+
 namespace cab::hw {
 
 /// Pin the calling thread to the given logical CPU. Returns true on
@@ -11,5 +13,14 @@ bool bind_current_thread(int cpu);
 
 /// Number of CPUs the calling process may run on (affinity mask size).
 int online_cpus();
+
+/// Best-effort NUMA placement of [addr, addr+bytes): binds the containing
+/// pages to the memory node the calling thread is running on (mbind with
+/// MPOL_LOCAL), so a slab carved by a pinned worker stays on that worker's
+/// socket even if the pages are later faulted from elsewhere. Returns
+/// false — and is a harmless no-op — when the syscall is unavailable or
+/// denied; callers should first-touch the range themselves as the
+/// fallback placement policy.
+bool bind_memory_local(void* addr, std::size_t bytes);
 
 }  // namespace cab::hw

@@ -1,0 +1,189 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+#include <vector>
+
+#include "hw/affinity.hpp"
+#include "runtime/stats.hpp"
+#include "runtime/task.hpp"
+#include "util/assert.hpp"
+#include "util/cache_line.hpp"
+#include "util/sync_policy.hpp"
+
+namespace cab::runtime {
+
+/// Intrusive Treiber stack, multi-producer / single-consumer: thieves
+/// that complete a frame on another worker (typically another socket)
+/// push it here; the owning worker drains the whole stack in one exchange
+/// when its freelist runs dry. `Node` must expose a `Node* pool_next`
+/// link, which the stack reuses — a node is never in a freelist and the
+/// remote stack at the same time.
+///
+/// Push-only CAS has no ABA window: a stale head is retried against the
+/// new value, never dereferenced, and the single consumer detaches the
+/// entire chain at once (no concurrent pop to race a reused node against).
+///
+/// Parameterized on the Sync policy (util/sync_policy.hpp) so
+/// tests/test_model_check.cpp explores every push/take_all interleaving
+/// over chk::atomic (DESIGN.md §6).
+template <typename Node, typename Sync = util::RealSync>
+class MpscIntrusiveStack {
+  template <typename U>
+  using Atomic = typename Sync::template atomic_t<U>;
+
+ public:
+  MpscIntrusiveStack() = default;
+  MpscIntrusiveStack(const MpscIntrusiveStack&) = delete;
+  MpscIntrusiveStack& operator=(const MpscIntrusiveStack&) = delete;
+
+  /// Any thread. Publishes `n` — and every write the producer made to it
+  /// beforehand — to the consumer that eventually drains the stack.
+  void push(Node* n) noexcept {
+    // mo: relaxed load — the CAS revalidates it; release on the successful
+    // CAS publishes n->pool_next and the producer's writes to *n (paired
+    // with the acquire exchange in take_all). Failure order relaxed: the
+    // retry only feeds the next attempt's expected value.
+    Node* head = head_.load(std::memory_order_relaxed);
+    do {
+      n->pool_next = head;
+    } while (!head_.compare_exchange_weak(head, n, std::memory_order_release,
+                                          std::memory_order_relaxed));
+  }
+
+  /// Consumer only. Detaches the whole chain (LIFO order) in a single
+  /// exchange; returns nullptr when the stack is empty.
+  Node* take_all() noexcept {
+    // mo: acquire pairs with the release CAS in push — after this the
+    // consumer may freely read, re-link and reuse every detached node.
+    return head_.exchange(nullptr, std::memory_order_acquire);
+  }
+
+  /// Racy emptiness probe — monitoring/tests only, never a correctness
+  /// decision.
+  bool empty() const noexcept {
+    return head_.load(std::memory_order_relaxed) == nullptr;
+  }
+
+ private:
+  // Remote completers hammer this line on every cross-socket free; keep
+  // it off whatever the enclosing object co-locates with the owner's hot
+  // fields.
+  alignas(util::kCacheLineSize) Atomic<Node*> head_{nullptr};
+};
+
+/// Per-worker NUMA-local recycling allocator for TaskFrames.
+///
+/// Steady state allocates nothing: acquire() is a freelist pop, release
+/// is a freelist push (local) or one CAS on the home pool's remote stack
+/// (cross-worker completion). Slabs are only carved when freelist *and*
+/// remote channel are empty — which, since frames only ever return to the
+/// pool that carved them, can happen at most until the pool's capacity
+/// covers its own peak of simultaneously-live frames (the Eq. 15 bound
+/// per worker; see DESIGN.md). Placement is NUMA-local twice over: the
+/// slab pages are mbind'ed to the carving worker's socket (best effort)
+/// and first-touched by it immediately after.
+///
+/// Threading: acquire/release_local/refill are owner-thread only;
+/// push_remote is any-thread. The owner is the worker that carved the
+/// slabs — except between run() epochs, when every worker is parked
+/// (Engine::working == 0) and the main thread may act as any pool's
+/// owner (Runtime::run uses this for the root frame).
+class FramePool {
+ public:
+  /// Frames per slab: 64 frames ≈ 8 KiB, i.e. two pages — big enough to
+  /// amortize cold-start carving to one allocation per 64 spawns, small
+  /// enough that an idle worker strands at most a few KiB.
+  static constexpr std::size_t kFramesPerSlab = 64;
+
+  FramePool() = default;
+  FramePool(const FramePool&) = delete;
+  FramePool& operator=(const FramePool&) = delete;
+
+  /// Teardown frees slab storage wholesale. Frames at rest own nothing —
+  /// the executing worker resets the body right after it returns, and
+  /// aborted spawns are reset by recycle() — so no per-frame destructor
+  /// needs to run, and frames parked in the remote channel are covered
+  /// because their storage is slab memory. Safe whenever no frame from
+  /// this pool is live: Runtime destruction joins all workers first.
+  ~FramePool() {
+    for (void* slab : slabs_) {
+      ::operator delete(slab, std::align_val_t{kSlabAlign});
+    }
+  }
+
+  /// Owner only. Freelist first; on miss, one bulk drain of the remote
+  /// channel; only when both are dry, carve a fresh slab. Exactly one of
+  /// the three alloc counters ticks per call, so
+  /// hits + drains + refills == acquires holds (tests rely on it).
+  TaskFrame* acquire(WorkerStats& stats) {
+    TaskFrame* t = free_;
+    if (t != nullptr) {
+      ++stats.alloc_freelist_hits;
+    } else {
+      free_ = remote_.take_all();
+      if (free_ != nullptr) {
+        ++stats.alloc_remote_drains;
+      } else {
+        refill(stats);
+      }
+      t = free_;
+    }
+    free_ = t->pool_next;
+    CAB_CHECK(t->completed.load(std::memory_order_relaxed) == t->spawned,
+              "recycled frame still has outstanding children "
+              "(double recycle or lost join)");
+    return t;
+  }
+
+  /// Owner only: the completing worker is this pool's owner.
+  void release_local(TaskFrame* t) noexcept {
+    t->pool_next = free_;
+    free_ = t;
+  }
+
+  /// Any thread: the remote-free return channel. The frame flows back to
+  /// its home socket's memory instead of crossing the allocator from
+  /// whichever socket stole it.
+  void push_remote(TaskFrame* t) noexcept { remote_.push(t); }
+
+  /// Slabs carved so far (== lifetime alloc_slab_refills of the owner).
+  std::size_t slab_count() const noexcept { return slabs_.size(); }
+
+  /// Racy probe of the remote channel — tests/monitoring only.
+  bool remote_empty() const noexcept { return remote_.empty(); }
+
+ private:
+  /// Page granularity: mbind operates on whole pages, and page-aligned
+  /// slabs keep a slab's frames from straddling into a neighbour's pages.
+  static constexpr std::size_t kSlabAlign = 4096;
+
+  void refill(WorkerStats& stats) {
+    ++stats.alloc_slab_refills;
+    const std::size_t bytes = kFramesPerSlab * sizeof(TaskFrame);
+    // alloc-ok: cold-start slab carve — amortized over kFramesPerSlab
+    // frames and flat at steady state (asserted via alloc.slab_refills in
+    // tests/test_frame_pool.cpp).
+    void* raw = ::operator new(bytes, std::align_val_t{kSlabAlign});
+    // Best-effort NUMA pin to the carving worker's socket; the
+    // placement-news below first-touch every page as the fallback policy.
+    hw::bind_memory_local(raw, bytes);
+    auto* frames = static_cast<TaskFrame*>(raw);
+    for (std::size_t i = 0; i < kFramesPerSlab; ++i) {
+      TaskFrame* f = ::new (static_cast<void*>(frames + i)) TaskFrame();
+      f->home = this;
+      f->pool_next = free_;
+      free_ = f;
+    }
+    slabs_.push_back(raw);
+  }
+
+  /// Owner-only freelist of ready frames (LIFO: the hottest frame — the
+  /// one just recycled, still in this core's cache — is handed out next).
+  TaskFrame* free_ = nullptr;
+  std::vector<void*> slabs_;
+  MpscIntrusiveStack<TaskFrame> remote_;
+};
+
+}  // namespace cab::runtime

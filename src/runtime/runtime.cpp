@@ -26,6 +26,8 @@ Runtime::Runtime(Options opts) : opts_(opts), engine_(new Engine(opts.topo)) {
   e.trace = opts.trace;
   e.metrics = opts.metrics;
   e.hw_counters = opts.metrics && opts.hw_counters;
+  e.frame_pool = opts.frame_pool;
+  e.frame_accounting = opts.metrics;
   e.trace_capacity = opts.trace_capacity;
   e.trace_epoch_ns = obs::now_ns();
   CAB_CHECK(opts.boundary_level >= 0, "boundary level must be >= 0");
@@ -124,9 +126,27 @@ void Runtime::run(std::function<void()> root) {
     std::lock_guard<std::mutex> lk(e.exception_mu);
     e.first_exception = nullptr;
   }
-  auto* frame = new TaskFrame(std::move(root), nullptr, 0, root_inter);
+  // The root frame comes from worker 0's pool: workers are parked between
+  // epochs (working == 0) and only woken by the epoch increment below, so
+  // the main thread temporarily owns every pool here, and the lifecycle_mu
+  // hand-off publishes these writes to whichever worker picks the frame
+  // up. A std::function is 32 bytes — inside TaskBody's inline budget —
+  // so even the type-erased root body allocates nothing.
+  TaskFrame* frame;
+  if (e.frame_pool) {
+    frame = e.workers.front()->pool.acquire(e.workers.front()->stats);
+    frame->prepare(nullptr, 0, root_inter);
+    frame->body.emplace(std::move(root));
+  } else {
+    // alloc-ok: --frame-pool=off ablation — plain heap frames throughout.
+    frame = new TaskFrame();
+    frame->prepare(nullptr, 0, root_inter);
+    frame->body.emplace_boxed(std::move(root));
+  }
   e.frame_created();
-  e.pending.store(1, std::memory_order_release);
+  // Plain store: the epoch increment below publishes it (workers read
+  // `epoch` under lifecycle_mu before their first root_done load).
+  e.root_done.store(false, std::memory_order_relaxed);
   e.central_pool.push_bottom(frame);
   std::uint64_t this_epoch = 0;
   {
@@ -141,8 +161,7 @@ void Runtime::run(std::function<void()> root) {
     // then are the per-worker stats/exec-log/timeline buffers quiescent.
     std::unique_lock<std::mutex> lk(e.lifecycle_mu);
     e.done_cv.wait(lk, [&] {
-      return e.pending.load(std::memory_order_acquire) == 0 &&
-             e.working == 0;
+      return e.root_done.load(std::memory_order_acquire) && e.working == 0;
     });
   }
   if (adapt_) {
@@ -160,9 +179,9 @@ void Runtime::run(std::function<void()> root) {
   if (thrown) std::rethrow_exception(thrown);
 }
 
-namespace {
+namespace spawn_detail {
 
-void spawn_impl(std::function<void()> fn, bool force_inter) {
+Pending begin_spawn(bool force_inter) {
   Worker* w = tls_worker;
   CAB_CHECK(w != nullptr && w->current != nullptr,
             "spawn() called outside a task");
@@ -171,15 +190,33 @@ void spawn_impl(std::function<void()> fn, bool force_inter) {
   const bool inter =
       e.kind == SchedulerKind::kCab && !e.cab_degenerate() &&
       (force_inter || e.tier.spawns_inter_child(parent->level));
-  auto* t = new TaskFrame(std::move(fn), parent, parent->level + 1, inter);
+  TaskFrame* t;
+  if (e.frame_pool) {
+    t = w->pool.acquire(w->stats);
+  } else {
+    // alloc-ok: --frame-pool=off ablation — the seed allocation strategy
+    // (one heap frame per spawn), kept as the bench baseline.
+    t = new TaskFrame();
+  }
+  t->prepare(parent, parent->level + 1, inter);
+  return Pending{w, t, /*boxed=*/!e.frame_pool};
+}
+
+void commit_spawn(const Pending& p) {
+  Worker* w = p.worker;
+  TaskFrame* t = p.frame;
+  TaskFrame* parent = t->parent;
+  Engine& e = *w->engine;
   e.frame_created();
   if (!parent->has_children) {
     parent->has_children = true;
     ++w->stats.spawning_tasks;
   }
-  parent->outstanding.fetch_add(1, std::memory_order_acq_rel);
-  e.pending.fetch_add(1, std::memory_order_relaxed);
-  if (inter) {
+  // Owner-only plain increment: spawn() runs on the worker executing
+  // `parent`, so the spawn half of the join counter needs no atomicity
+  // (the completion half does — see TaskFrame::completed).
+  ++parent->spawned;
+  if (t->inter) {
     // Algorithm II(a): inter-socket child goes to the spawner's squad pool
     // (parent-first: the spawner continues with the parent).
     ++w->stats.spawns_inter;
@@ -195,20 +232,20 @@ void spawn_impl(std::function<void()> fn, bool force_inter) {
     w->intra.push_bottom(t);
   }
   if (w->tl.enabled) {
-    w->tl.mark(inter ? obs::EventKind::kSpawnInter : obs::EventKind::kSpawnIntra,
-               parent->level + 1, 0);
+    w->tl.mark(t->inter ? obs::EventKind::kSpawnInter
+                        : obs::EventKind::kSpawnIntra,
+               t->level, 0);
   }
 }
 
-}  // namespace
-
-void Runtime::spawn(std::function<void()> fn) {
-  spawn_impl(std::move(fn), /*force_inter=*/false);
+void abort_spawn(const Pending& p) noexcept {
+  // Emplacing the callable threw. The frame was never published (no
+  // counter moved, nothing pushed), so returning it to its pool is the
+  // whole rollback.
+  p.worker->recycle(p.frame);
 }
 
-void Runtime::spawn_inter(std::function<void()> fn) {
-  spawn_impl(std::move(fn), /*force_inter=*/true);
-}
+}  // namespace spawn_detail
 
 void Runtime::sync() {
   Worker* w = tls_worker;
@@ -216,13 +253,13 @@ void Runtime::sync() {
             "sync() called outside a task");
   TaskFrame* t = w->current;
   w->release_busy_on_suspend(t);
-  if (t->outstanding.load(std::memory_order_acquire) == 0) return;
+  if (t->joined()) return;
   const bool tr = w->tl.enabled;
   const std::uint64_t wait_start = tr ? obs::now_ns() : 0;
   const std::uint64_t help0 = w->stats.help_iterations;
   const std::uint64_t exec0 = w->stats.tasks_executed;
   int fails = 0;
-  while (t->outstanding.load(std::memory_order_acquire) != 0) {
+  while (!t->joined()) {
     ++w->stats.help_iterations;
     if (w->help_once(fails >= kStarvationEscapeFails)) {
       fails = 0;
@@ -393,6 +430,10 @@ obs::metrics::Snapshot Runtime::metrics_snapshot() const {
       {"scheduler.help_iterations", &WorkerStats::help_iterations},
       {"scheduler.idle_backoff_sleeps", &WorkerStats::idle_backoff_sleeps},
       {"scheduler.spawning_tasks", &WorkerStats::spawning_tasks},
+      {"alloc.freelist_hits", &WorkerStats::alloc_freelist_hits},
+      {"alloc.slab_refills", &WorkerStats::alloc_slab_refills},
+      {"alloc.remote_frees", &WorkerStats::alloc_remote_frees},
+      {"alloc.remote_drains", &WorkerStats::alloc_remote_drains},
   };
   for (const Field& f : kFields) {
     obs::metrics::Counter& c = e.registry.counter(f.name);
@@ -405,6 +446,12 @@ obs::metrics::Snapshot Runtime::metrics_snapshot() const {
   for (const auto& w : e.workers) {
     max_level.set(w->id, w->stats.max_task_level);
   }
+  // Live-frame gauges in writer slot 0: one value per engine (the Eq. 15
+  // measured quantity), not a per-worker one.
+  e.registry.gauge("alloc.live_frames")
+      .set(0, e.live_frames.load(std::memory_order_relaxed));
+  e.registry.gauge("alloc.peak_live_frames")
+      .set(0, e.peak_frames.load(std::memory_order_relaxed));
   obs::metrics::Counter& idle_ns =
       e.registry.counter("scheduler.idle_backoff_ns");
   for (const auto& w : e.workers) {
@@ -456,25 +503,6 @@ std::vector<ExecRecord> Runtime::execution_log() const {
   for (const auto& w : engine_->workers)
     merged.insert(merged.end(), w->exec_log.begin(), w->exec_log.end());
   return merged;
-}
-
-void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
-                  const std::function<void(std::int64_t, std::int64_t)>& body) {
-  CAB_CHECK(grain >= 1, "grain must be >= 1");
-  if (begin >= end) return;
-  if (end - begin <= grain) {
-    body(begin, end);
-    return;
-  }
-  const std::int64_t mid = begin + (end - begin) / 2;
-  // `body` outlives the children: the sync below joins them before return.
-  Runtime::spawn([begin, mid, grain, &body] {
-    parallel_for(begin, mid, grain, body);
-  });
-  Runtime::spawn([mid, end, grain, &body] {
-    parallel_for(mid, end, grain, body);
-  });
-  Runtime::sync();
 }
 
 }  // namespace cab::runtime

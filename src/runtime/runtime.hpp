@@ -9,6 +9,7 @@
 #include "hw/topology.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/stats.hpp"
+#include "util/assert.hpp"
 
 namespace cab::runtime {
 
@@ -52,6 +53,13 @@ struct Options {
   /// registry and no metric is ever registered.
   bool metrics = true;
 
+  /// Recycle task frames through per-worker NUMA-local pools (the
+  /// zero-steady-state-allocation spawn path; DESIGN.md "Allocation
+  /// strategy"). Off = the `--frame-pool=off` ablation: every spawn pays
+  /// a heap frame plus a boxed callable, reproducing the seed allocation
+  /// strategy for overhead benchmarking. Leave on outside benches.
+  bool frame_pool = true;
+
   /// Open per-worker hardware counter groups (perf_event_open: cycles,
   /// instructions, cache-references, LLC-loads/-load-misses), enabled
   /// while run() executes and aggregated per squad and per tier in the
@@ -79,6 +87,31 @@ std::int32_t auto_boundary_level(const hw::Topology& topo,
                                  std::uint64_t input_bytes,
                                  std::int32_t branching = 2);
 
+/// Non-template half of the spawn path (runtime.cpp). Split so that
+/// Runtime::spawn can stay a template — constructing the callable in
+/// place inside the frame — without the header seeing the scheduling
+/// internals' implementation:
+///   begin_spawn   classifies the tier (Algorithm II(a)) and produces an
+///                 *unpublished* frame from the spawner's pool;
+///   commit_spawn  does the join (parent outstanding) bookkeeping and
+///                 publishes the
+///                 frame to the tier's pool (after this the frame may
+///                 execute concurrently — the body must already be in
+///                 place);
+///   abort_spawn   recycles the frame if emplacing the callable threw.
+namespace spawn_detail {
+struct Pending {
+  Worker* worker;
+  TaskFrame* frame;
+  /// Box the callable instead of emplacing it inline (frame_pool off —
+  /// reproduces the seed std::function allocation for the ablation).
+  bool boxed;
+};
+Pending begin_spawn(bool force_inter);
+void commit_spawn(const Pending& p);
+void abort_spawn(const Pending& p) noexcept;
+}  // namespace spawn_detail
+
 /// The CAB task-stealing runtime (plus the two baseline schedulers).
 ///
 /// Usage:
@@ -105,14 +138,19 @@ class Runtime {
   void run(std::function<void()> root);
 
   /// Spawns a child of the current task. Tier (inter/intra-socket) and
-  /// destination pool are chosen per Algorithm II(a).
-  static void spawn(std::function<void()> fn);
+  /// destination pool are chosen per Algorithm II(a). A template so the
+  /// callable is constructed in place inside the task frame: captures up
+  /// to TaskBody::kInlineSize (64 B) never touch the heap, and with
+  /// Options::frame_pool the whole steady-state spawn is allocation-free.
+  template <typename F>
+  static void spawn(F&& fn);
 
   /// The paper's `inter_spawn` keyword (Section IV-D): explicitly spawns
   /// the child as an inter-socket task regardless of its DAG level,
   /// letting programmers hand-tune task placement. Under the baseline
   /// schedulers (no inter-socket tier) this is an ordinary spawn.
-  static void spawn_inter(std::function<void()> fn);
+  template <typename F>
+  static void spawn_inter(F&& fn);
 
   /// Waits for all children of the current task, executing other tasks
   /// while waiting (help-first sync).
@@ -191,10 +229,61 @@ class Runtime {
   } adapt_base_;
 };
 
+template <typename F>
+void Runtime::spawn(F&& fn) {
+  spawn_detail::Pending p = spawn_detail::begin_spawn(/*force_inter=*/false);
+  try {
+    if (p.boxed) {
+      p.frame->body.emplace_boxed(std::forward<F>(fn));
+    } else {
+      p.frame->body.emplace(std::forward<F>(fn));
+    }
+  } catch (...) {
+    spawn_detail::abort_spawn(p);
+    throw;
+  }
+  spawn_detail::commit_spawn(p);
+}
+
+template <typename F>
+void Runtime::spawn_inter(F&& fn) {
+  spawn_detail::Pending p = spawn_detail::begin_spawn(/*force_inter=*/true);
+  try {
+    if (p.boxed) {
+      p.frame->body.emplace_boxed(std::forward<F>(fn));
+    } else {
+      p.frame->body.emplace(std::forward<F>(fn));
+    }
+  } catch (...) {
+    spawn_detail::abort_spawn(p);
+    throw;
+  }
+  spawn_detail::commit_spawn(p);
+}
+
 /// Recursive binary-splitting parallel loop over [begin, end) built on
 /// spawn/sync; `grain` bounds the leaf range size. Must be called inside a
-/// task (e.g. from the root closure passed to run()).
+/// task (e.g. from the root closure passed to run()). A template so each
+/// range split spawns a 32-byte inline capture instead of re-erasing the
+/// body into a fresh heap-allocated std::function closure.
+template <typename Body>
 void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
-                  const std::function<void(std::int64_t, std::int64_t)>& body);
+                  const Body& body) {
+  CAB_CHECK(grain >= 1, "grain must be >= 1");
+  if (begin >= end) return;
+  if (end - begin <= grain) {
+    body(begin, end);
+    return;
+  }
+  const std::int64_t mid = begin + (end - begin) / 2;
+  // `body` outlives the children: the sync below joins them before return.
+  Runtime::spawn([begin, mid, grain, &body] {
+    parallel_for(begin, mid, grain, body);
+  });
+  Runtime::spawn([mid, end, grain, &body] {
+    parallel_for(mid, end, grain, body);
+  });
+  Runtime::sync();
+}
 
 }  // namespace cab::runtime

@@ -24,6 +24,10 @@ std::string SchedulerStats::summary() const {
   s += " failed-steals=" + util::human_count(total.failed_steal_attempts);
   s += " help-iters=" + util::human_count(total.help_iterations);
   s += " idle-sleeps=" + util::human_count(total.idle_backoff_sleeps);
+  s += " alloc(hits/refills/remote)=" +
+       util::human_count(total.alloc_freelist_hits) + "/" +
+       util::human_count(total.alloc_slab_refills) + "/" +
+       util::human_count(total.alloc_remote_frees);
   return s;
 }
 

@@ -14,6 +14,7 @@
 #include "deque/chase_lev_deque.hpp"
 #include "deque/locked_deque.hpp"
 #include "dag/partition.hpp"
+#include "runtime/frame_pool.hpp"
 #include "runtime/squad_protocol.hpp"
 #include "hw/topology.hpp"
 #include "obs/metrics/perf_source.hpp"
@@ -91,6 +92,11 @@ struct Worker {
   /// work-stealing deque under kRandomStealing.
   deque::ChaseLevDeque<TaskFrame*> intra;
 
+  /// NUMA-local recycling pool for the frames this worker spawns (unused
+  /// when Engine::frame_pool is off). Owner-thread operations only, except
+  /// push_remote — see frame_pool.hpp.
+  FramePool pool;
+
   util::Xorshift64 rng;
   WorkerStats stats;
 
@@ -134,6 +140,12 @@ struct Worker {
   /// Returns nullptr when nothing was found (caller backs off).
   TaskFrame* acquire(bool desperate = false);
 
+  /// Returns a completed (or aborted, pre-publication) frame to its home
+  /// pool: freelist push when this worker owns it, MPSC remote-free push
+  /// when another worker does, plain delete for `--frame-pool=off` heap
+  /// frames (home == nullptr).
+  void recycle(TaskFrame* t);
+
  private:
   TaskFrame* acquire_cab(bool desperate);
   TaskFrame* acquire_random();
@@ -161,6 +173,11 @@ struct Engine {
   bool trace = false;
   bool metrics = true;
   bool hw_counters = false;
+  /// Frame recycling on (default). Off = the `--frame-pool=off` ablation:
+  /// every spawn heap-allocates its frame and boxes its callable, i.e.
+  /// the seed allocation strategy, kept measurable for the spawn-overhead
+  /// benches.
+  bool frame_pool = true;
   std::size_t trace_capacity = 0;
   std::uint64_t trace_epoch_ns = 0;
 
@@ -185,15 +202,27 @@ struct Engine {
   /// uses for the root task (the main thread may not touch worker deques).
   deque::LockedDeque<TaskFrame*> central_pool;
 
-  /// Tasks spawned but not yet completed, across the whole run.
-  alignas(util::kCacheLineSize) std::atomic<std::int64_t> pending{0};
+  /// The running epoch's DAG has fully drained. A flag, not a task
+  /// counter: a frame's finish() runs only after its own implicit sync,
+  /// and the parent's `completed` increment is finish()'s last join
+  /// step — so by induction the *root* frame finishing implies every
+  /// descendant already has. Counting tasks here would cost a shared
+  /// fetch_add/fetch_sub pair per spawn (two locked RMWs on one hot
+  /// line, ~20% of the pooled spawn budget); the flag is written twice
+  /// per epoch instead.
+  alignas(util::kCacheLineSize) std::atomic<bool> root_done{true};
 
   /// Live task frames and their high-water mark — the measured quantity
-  /// behind the paper's Eq. 15 space bound (frames, not bytes).
+  /// behind the paper's Eq. 15 space bound (frames, not bytes). Gated on
+  /// `frame_accounting` (= Options::metrics): the create/destroy pair is
+  /// two shared-cache-line RMWs per task, which is pure observability
+  /// cost the metrics-off spawn path must not pay.
+  bool frame_accounting = true;
   alignas(util::kCacheLineSize) std::atomic<std::int64_t> live_frames{0};
   alignas(util::kCacheLineSize) std::atomic<std::int64_t> peak_frames{0};
 
   void frame_created() {
+    if (!frame_accounting) return;
     const std::int64_t cur =
         live_frames.fetch_add(1, std::memory_order_relaxed) + 1;
     std::int64_t p = peak_frames.load(std::memory_order_relaxed);
@@ -202,6 +231,7 @@ struct Engine {
     }
   }
   void frame_destroyed() {
+    if (!frame_accounting) return;
     live_frames.fetch_sub(1, std::memory_order_relaxed);
   }
 
@@ -227,7 +257,7 @@ struct Engine {
   /// Workers currently inside the drain loop of the running epoch
   /// (guarded by lifecycle_mu). run() returns only once this is back to
   /// zero: a worker's very last acquire attempt can write stats/timeline
-  /// entries *after* `pending` hit zero, so waiting on pending alone
+  /// entries *after* `root_done` was set, so waiting on root_done alone
   /// would let the main thread read those buffers mid-write. The mutex
   /// hand-off at the final decrement is the happens-before edge that
   /// makes post-run stats()/trace() reads safe.

@@ -31,6 +31,21 @@ struct WorkerStats {
   /// aggregates by max, not sum).
   std::int32_t max_task_level = 0;
 
+  /// FramePool::acquire served from this worker's own freelist — the
+  /// steady-state (zero-allocation) spawn path.
+  std::uint64_t alloc_freelist_hits = 0;
+  /// FramePool::acquire had to carve a fresh slab (freelist and remote
+  /// channel both empty). Flat after warm-up on a steady workload — the
+  /// zero-steady-state-allocation property tests assert on.
+  std::uint64_t alloc_slab_refills = 0;
+  /// Frames this worker completed that belonged to another worker's pool
+  /// and were returned through the MPSC remote-free channel (mostly
+  /// cross-socket steal completions).
+  std::uint64_t alloc_remote_frees = 0;
+  /// FramePool::acquire served by draining the remote-free channel (one
+  /// bulk take_all per count, possibly recovering many frames).
+  std::uint64_t alloc_remote_drains = 0;
+
   WorkerStats& operator+=(const WorkerStats& o) {
     tasks_executed += o.tasks_executed;
     spawns_intra += o.spawns_intra;
@@ -43,6 +58,10 @@ struct WorkerStats {
     help_iterations += o.help_iterations;
     idle_backoff_sleeps += o.idle_backoff_sleeps;
     spawning_tasks += o.spawning_tasks;
+    alloc_freelist_hits += o.alloc_freelist_hits;
+    alloc_slab_refills += o.alloc_slab_refills;
+    alloc_remote_frees += o.alloc_remote_frees;
+    alloc_remote_drains += o.alloc_remote_drains;
     if (o.max_task_level > max_task_level) max_task_level = o.max_task_level;
     return *this;
   }

@@ -2,34 +2,60 @@
 
 #include <atomic>
 #include <cstdint>
-#include <functional>
+
+#include "runtime/task_body.hpp"
 
 namespace cab::runtime {
 
 struct Squad;
+class FramePool;
 
-/// Heap-allocated task frame, the library analogue of the Cilk frame the
-/// paper extends in Section IV-B. The paper adds `level`, `parent` and
-/// `inter_counter` to every frame; we carry the same information
-/// (`outstanding` joins both task kinds — see DESIGN.md).
+/// Task frame, the library analogue of the Cilk frame the paper extends
+/// in Section IV-B. The paper adds `level`, `parent` and `inter_counter`
+/// to every frame; we carry the same information (the `spawned`/
+/// `completed` join pair covers both task kinds — see DESIGN.md).
 ///
-/// Lifecycle: created by spawn(), executed exactly once by some worker,
-/// joined into the parent at completion, then deleted by the executing
-/// worker. A frame always outlives its children because every task runs an
-/// implicit sync before completing (Cilk semantics), which also makes
-/// by-reference captures of the parent's locals safe in child closures.
+/// Lifecycle: acquired from the spawning worker's FramePool (or heap-
+/// allocated under the `--frame-pool=off` ablation), executed exactly once
+/// by some worker, joined into the parent at completion, then *recycled*
+/// to its home pool by the executing worker — locally when the completer
+/// owns the pool, through the MPSC remote-free channel otherwise
+/// (frame_pool.hpp). A frame always outlives its children because every
+/// task runs an implicit sync before completing (Cilk semantics), which
+/// also makes by-reference captures of the parent's locals safe in child
+/// closures.
 struct TaskFrame {
-  std::function<void()> body;
+  /// The task's callable, constructed in place by Runtime::spawn (no
+  /// type-erasure heap allocation for captures within
+  /// TaskBody::kInlineSize) and reset by the executing worker right after
+  /// the body returns.
+  TaskBody body;
 
   /// Join target; nullptr only for the root frame.
   TaskFrame* parent = nullptr;
 
-  /// Children spawned but not yet completed. The paper's inter_counter
-  /// plus the intra join count, folded into one atomic.
+  /// Spawn half of the join counter: children spawned out of this frame's
+  /// body. Owner-only — spawn() always runs on the worker currently
+  /// executing this frame, and a frame is executed by exactly one worker
+  /// at a time — so a plain increment replaces what a single fused
+  /// counter would make a locked RMW on every spawn.
+  std::int32_t spawned = 0;
+
+  /// Completion half: incremented once by each child's finish(), possibly
+  /// from another worker, so this half stays atomic. The join is done
+  /// when completed == spawned — evaluated only by the owner (joined()),
+  /// which is the one thread allowed to read `spawned`.
   // pad-ok: per-frame field — padding every frame to a cache line would
   // multiply the Eq. 15 space bound; contention is bounded by the frame's
   // own children.
-  std::atomic<std::int32_t> outstanding{0};
+  std::atomic<std::int32_t> completed{0};
+
+  /// True when every spawned child has joined. Owner-only. The acquire
+  /// pairs with the release half of each child's completed increment,
+  /// publishing the children's writes to the resuming parent.
+  bool joined() const noexcept {
+    return completed.load(std::memory_order_acquire) == spawned;
+  }
 
   /// DAG level, paper numbering (root/"main" = 0).
   std::int32_t level = 0;
@@ -53,9 +79,32 @@ struct TaskFrame {
   /// whose busy-state (active_inter) must be released at completion.
   Squad* inter_acquired_by = nullptr;
 
-  TaskFrame(std::function<void()> b, TaskFrame* p, std::int32_t lvl,
-            bool is_inter)
-      : body(std::move(b)), parent(p), level(lvl), inter(is_inter) {}
+  /// Pool that owns this frame's storage (set once at slab construction,
+  /// never changed); nullptr for `--frame-pool=off` heap frames, which
+  /// are deleted instead of recycled.
+  FramePool* home = nullptr;
+
+  /// Intrusive freelist / remote-free-stack link. Only meaningful while
+  /// the frame is *not* live; the pool threads frames through it.
+  TaskFrame* pool_next = nullptr;
+
+  TaskFrame() = default;
+
+  /// Re-arms the scheduling fields for a fresh spawn. The body is emplaced
+  /// separately (it is the only field whose construction can throw);
+  /// `spawned == completed` on any correctly recycled frame (checked by
+  /// FramePool::acquire), so both halves restart at zero;
+  /// `home`/`pool_next` are pool-owned.
+  void prepare(TaskFrame* p, std::int32_t lvl, bool is_inter) noexcept {
+    parent = p;
+    level = lvl;
+    inter = is_inter;
+    spawned = 0;
+    completed.store(0, std::memory_order_relaxed);
+    has_children = false;
+    has_intra_children = false;
+    inter_acquired_by = nullptr;
+  }
 };
 
 }  // namespace cab::runtime

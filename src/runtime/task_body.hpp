@@ -1,0 +1,125 @@
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace cab::runtime {
+
+/// Move-only type-erased `void()` callable with inline small-buffer
+/// storage — the spawn hot path's replacement for `std::function<void()>`.
+///
+/// `std::function` heap-allocates any capture larger than two pointers,
+/// which put one allocator round trip on *every* spawn (on top of the
+/// frame itself) and one cross-socket free on every stolen task. TaskBody
+/// instead constructs the decayed callable directly inside the task frame:
+/// captures up to kInlineSize bytes never touch the heap, move-only
+/// captures (unique_ptr and friends) are supported because the erased
+/// object is never copied, and oversized captures degrade to a single
+/// boxed allocation rather than failing to compile.
+///
+/// Type erasure is a two-entry manual vtable (invoke + destroy) — no RTTI,
+/// no target()/copy machinery, because the runtime only ever calls a body
+/// once and then destroys it.
+class TaskBody {
+ public:
+  /// Inline capture budget. 64 bytes holds every closure the runtime and
+  /// the apps spawn today (a handful of pointers/scalars per capture) and
+  /// a whole `std::function` (32 bytes on libstdc++), so even erased
+  /// user bodies relay through run()/spawn without boxing.
+  static constexpr std::size_t kInlineSize = 64;
+  static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
+
+  TaskBody() noexcept = default;
+  TaskBody(const TaskBody&) = delete;
+  TaskBody& operator=(const TaskBody&) = delete;
+  ~TaskBody() { reset(); }
+
+  /// True when `F`'s decayed type is stored inline (test hook; also what
+  /// emplace() uses to pick the branch at compile time).
+  template <typename F>
+  static constexpr bool stores_inline() noexcept {
+    using D = std::decay_t<F>;
+    return sizeof(D) <= kInlineSize && alignof(D) <= kInlineAlign;
+  }
+
+  /// Constructs the callable in place (decay-copy/move of `fn`). The body
+  /// must be empty — frames arrive from the pool with the previous body
+  /// already reset by the executing worker.
+  template <typename F>
+  void emplace(F&& fn) {
+    using D = std::decay_t<F>;
+    static_assert(std::is_invocable_v<D&>,
+                  "task body must be callable with no arguments");
+    if constexpr (stores_inline<F>()) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(fn));
+      ops_ = &kInlineOps<D>;
+    } else {
+      emplace_boxed(std::forward<F>(fn));
+    }
+  }
+
+  /// Heap-boxes the callable even when it would fit inline. Two callers:
+  /// the oversized-capture branch of emplace(), and the
+  /// `--frame-pool=off` ablation, where it stands in for the seed
+  /// std::function path (one capture box per spawn).
+  template <typename F>
+  void emplace_boxed(F&& fn) {
+    using D = std::decay_t<F>;
+    static_assert(std::is_invocable_v<D&>,
+                  "task body must be callable with no arguments");
+    // alloc-ok: oversized-capture fallback / ablation baseline — the
+    // steady-state spawn path never reaches this for inline-sized
+    // captures (asserted by tests/test_frame_pool.cpp).
+    *reinterpret_cast<D**>(static_cast<void*>(storage_)) =
+        new D(std::forward<F>(fn));
+    ops_ = &kHeapOps<D>;
+  }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  /// Destroys the held callable; no-op when empty. ops_ is cleared before
+  /// the destructor runs so a re-entrant reset (e.g. from a capture's own
+  /// destructor) sees an empty body instead of a half-dead one. A null
+  /// destroy slot means the capture is trivially destructible — the
+  /// common case for scheduler-internal closures (pointers + indices),
+  /// which turns the per-task teardown from an indirect call into a
+  /// perfectly predicted branch.
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      const Ops* o = ops_;
+      ops_ = nullptr;
+      if (o->destroy != nullptr) o->destroy(storage_);
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*destroy)(void*);  ///< null => trivially destructible, skip
+  };
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      [](void* s) { (*std::launder(reinterpret_cast<D*>(s)))(); },
+      std::is_trivially_destructible_v<D>
+          ? static_cast<void (*)(void*)>(nullptr)
+          : static_cast<void (*)(void*)>(
+                [](void* s) { std::launder(reinterpret_cast<D*>(s))->~D(); })};
+
+  template <typename D>
+  static constexpr Ops kHeapOps = {
+      [](void* s) { (**reinterpret_cast<D**>(s))(); },
+      [](void* s) {
+        // alloc-ok: releases the heap box of emplace_boxed().
+        delete *reinterpret_cast<D**>(s);
+      }};
+
+  alignas(kInlineAlign) unsigned char storage_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace cab::runtime

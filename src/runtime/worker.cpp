@@ -83,17 +83,17 @@ void Worker::execute(TaskFrame* t) {
     }
     --hw_inter_depth;
   }
-  t->body = nullptr;  // release captured resources before the sync wait
+  t->body.reset();  // release captured resources before the sync wait
 
   // Implicit sync (Cilk semantics): a task completes only after all its
   // children have. Helping here is what drains the DAG below this task.
   release_busy_on_suspend(t);
-  if (t->outstanding.load(std::memory_order_acquire) != 0) {
+  if (!t->joined()) {
     const std::uint64_t wait_start = tr ? obs::now_ns() : 0;
     const std::uint64_t help0 = stats.help_iterations;
     const std::uint64_t exec0 = stats.tasks_executed;
     int fails = 0;
-    while (t->outstanding.load(std::memory_order_acquire) != 0) {
+    while (!t->joined()) {
       ++stats.help_iterations;
       if (help_once(fails >= kStarvationEscapeFails)) {
         fails = 0;
@@ -127,11 +127,41 @@ void Worker::finish(TaskFrame* t) {
   }
   TaskFrame* parent = t->parent;
   Engine& e = *engine;
-  delete t;
+  recycle(t);
   e.frame_destroyed();
-  if (parent) parent->outstanding.fetch_sub(1, std::memory_order_acq_rel);
-  if (e.pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+  if (parent) {
+    // acq_rel: release publishes this child's writes to the resuming
+    // parent (joined() acquires); acquire keeps the whole release
+    // sequence intact for the sibling that completes last.
+    parent->completed.fetch_add(1, std::memory_order_acq_rel);
+  } else {
+    // Root frame done => the whole DAG is done: execute() returned from
+    // the implicit sync (joined(), acquire), and every child's own
+    // finish() — including *its* implicit sync — happens-before the
+    // completed increment that released ours. No per-task counting
+    // needed.
+    e.root_done.store(true, std::memory_order_release);
     e.notify_if_done();
+  }
+}
+
+void Worker::recycle(TaskFrame* t) {
+  // Normally a no-op (execute() resets the body right after it returns);
+  // arms only for frames aborted before publication, whose capture must
+  // still be destroyed.
+  t->body.reset();
+  FramePool* home = t->home;
+  if (home == &pool) {
+    pool.release_local(t);
+  } else if (home != nullptr) {
+    // Completed away from the spawning worker (typically a cross-socket
+    // steal): hand the frame back to its home NUMA pool through the MPSC
+    // remote-free channel instead of freeing socket-remote memory here.
+    ++stats.alloc_remote_frees;
+    home->push_remote(t);
+  } else {
+    // alloc-ok: --frame-pool=off ablation — frames are plain heap objects.
+    delete t;
   }
 }
 
@@ -352,7 +382,7 @@ void Engine::worker_main(Worker& w) {
                     0);
       }
     };
-    while (pending.load(std::memory_order_acquire) > 0) {
+    while (!root_done.load(std::memory_order_acquire)) {
       if (TaskFrame* t = w.acquire(fails >= kStarvationEscapeFails)) {
         close_idle();
         fails = 0;

@@ -1,0 +1,35 @@
+// Fixture: frame allocation outside the pool in a runtime translation
+// unit. Expected findings:
+//   - no-hot-path-alloc at the naked `new TaskFrame` (no `alloc-ok:`)
+//   - no-hot-path-alloc at the naked `delete` (no `alloc-ok:`)
+
+namespace fixture {
+
+struct TaskFrame {
+  TaskFrame* parent = nullptr;
+};
+
+TaskFrame* spawn_like_the_seed_did() {
+  return new TaskFrame();
+}
+
+void finish_like_the_seed_did(TaskFrame* t) {
+  delete t;
+}
+
+void ablation_path(bool frame_pool, TaskFrame* t) {
+  if (!frame_pool) {
+    // alloc-ok: --frame-pool=off ablation; this one must NOT be flagged.
+    delete t;
+  }
+}
+
+// Deleted functions and allocation-function names are structure, not
+// deallocation — none of these may be flagged.
+struct NotAFrame {
+  NotAFrame(const NotAFrame&) = delete;
+  NotAFrame& operator=(const NotAFrame&) = delete;
+  static void operator delete(void* p) noexcept;
+};
+
+}  // namespace fixture

@@ -1,8 +1,9 @@
 // Exhaustive-interleaving model checking of the bi-tier protocol cores
 // (DESIGN.md §6). Every sync primitive under test here is the *production*
-// header — ChaseLevDeque, LockedDeque, BasicSpinLock, runtime::protocol —
-// compiled against chk::ModelSync instead of util::RealSync, so the code
-// the checker explores is byte-for-byte the code the scheduler runs.
+// header — ChaseLevDeque, LockedDeque, BasicSpinLock, runtime::protocol,
+// MpscIntrusiveStack — compiled against chk::ModelSync instead of
+// util::RealSync, so the code the checker explores is byte-for-byte the
+// code the scheduler runs.
 //
 // Invariant oracles covered (see DESIGN.md §6 for the mapping):
 //   1. no lost task            — deque + protocol models drain to empty
@@ -23,6 +24,7 @@
 #include "chk/sync.hpp"
 #include "deque/chase_lev_deque.hpp"
 #include "deque/locked_deque.hpp"
+#include "runtime/frame_pool.hpp"
 #include "runtime/squad_protocol.hpp"
 #include "util/spin_lock.hpp"
 
@@ -226,6 +228,63 @@ TEST_F(ModelCheck, LockedDequeExactlyOnceUnderContention) {
   ASSERT_TRUE(r.ok()) << r.summary();
   EXPECT_TRUE(r.exhausted) << r.summary();
   EXPECT_GE(r.interleavings, 10000u) << r.summary();
+}
+
+// ---------------------------------------------------------------------------
+// MPSC remote-free stack (frame recycling; oracles 1, 2)
+// ---------------------------------------------------------------------------
+
+/// Stand-in for TaskFrame in the remote-free channel models: the intrusive
+/// link the stack requires plus an exactly-once recovery counter.
+struct RNode {
+  RNode* pool_next = nullptr;
+  chk::atomic<int> taken{0};
+};
+using ModelRemoteStack = runtime::MpscIntrusiveStack<RNode, chk::ModelSync>;
+
+/// Detach the whole chain and mark every node recovered; returns the count.
+/// Mirrors FramePool::acquire's drain (take_all then walk pool_next links).
+int drain_all(ModelRemoteStack& stack) {
+  int recovered = 0;
+  for (RNode* n = stack.take_all(); n != nullptr;) {
+    RNode* next = n->pool_next;  // read before the node is (conceptually) reused
+    n->taken.fetch_add(1, std::memory_order_relaxed);
+    ++recovered;
+    n = next;
+  }
+  return recovered;
+}
+
+// Two remote completers push frames while the owning worker concurrently
+// drains — the exact shape of cross-socket completion racing
+// FramePool::acquire. Conservation oracle: after the dust settles every
+// frame came back exactly once (no lost frame: a push the exchange missed
+// is picked up by the final drain; no double pop: a frame never appears
+// in two detached chains).
+TEST_F(ModelCheck, MpscRemoteFreeStackConservation) {
+  auto r = chk::explore(
+      [] {
+        std::array<RNode, 3> nodes;
+        ModelRemoteStack stack;
+        chk::thread remote1([&] { stack.push(&nodes[0]); });
+        chk::thread remote2([&] {
+          stack.push(&nodes[1]);
+          stack.push(&nodes[2]);
+        });
+        int recovered = drain_all(stack);  // owner drains mid-push
+        remote1.join();
+        remote2.join();
+        recovered += drain_all(stack);  // owner's next acquire gets the rest
+        chk::assert_now(recovered == 3,
+                        "every remote-freed frame recovered exactly once");
+        for (auto& n : nodes)
+          chk::assert_now(n.taken.load(std::memory_order_relaxed) == 1,
+                          "a frame was lost or popped twice");
+      },
+      bounded(3));
+  ASSERT_TRUE(r.ok()) << r.summary();
+  EXPECT_TRUE(r.exhausted) << r.summary();
+  EXPECT_GE(r.interleavings, 100u) << r.summary();
 }
 
 // ---------------------------------------------------------------------------
@@ -473,6 +532,31 @@ void double_busy_release() {
   t.join();
 }
 
+// An MPSC push "simplified" to a load/store pair instead of the CAS:
+// two concurrent remote frees can both read the same head and the second
+// store orphans the first pusher's frame — a frame leak the conservation
+// oracle must catch.
+struct BrokenRemoteStack {
+  chk::atomic<RNode*> head{nullptr};
+  void push(RNode* n) {
+    RNode* h = head.load(std::memory_order_acquire);
+    n->pool_next = h;
+    head.store(n, std::memory_order_release);  // BUG: must be a CAS loop
+  }
+  RNode* take_all() { return head.exchange(nullptr, std::memory_order_acquire); }
+};
+
+void mpsc_store_push_loses_frame() {
+  std::array<RNode, 2> nodes;
+  BrokenRemoteStack stack;
+  chk::thread remote([&] { stack.push(&nodes[0]); });
+  stack.push(&nodes[1]);
+  remote.join();
+  int recovered = 0;
+  for (RNode* n = stack.take_all(); n != nullptr; n = n->pool_next) ++recovered;
+  chk::assert_now(recovered == 2, "a concurrently pushed frame was lost");
+}
+
 // Retuning BL *without* waiting for the worker to park: the write races
 // the in-epoch read, and the detector must say so.
 void mid_epoch_retune() {
@@ -513,6 +597,11 @@ TEST_F(ModelCheckNegative, RelaxedPublicationRace) {
 TEST_F(ModelCheckNegative, BrokenStealDoubleTake) {
   expect_caught_and_replayable(negative::broken_steal_double_take,
                                "stolen twice");
+}
+
+TEST_F(ModelCheckNegative, MpscStorePushLosesFrame) {
+  expect_caught_and_replayable(negative::mpsc_store_push_loses_frame,
+                               "frame was lost");
 }
 
 TEST_F(ModelCheckNegative, DoubleBusyRelease) {

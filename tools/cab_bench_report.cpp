@@ -218,7 +218,7 @@ Flat flatten_summary(const Value& summary) {
 /// are compared but never gate: shared CI runners make them too noisy.
 bool lower_is_better(const std::string& key) {
   for (const char* s : {"makespan", "miss", "normalized_time", "ratio",
-                        "cpu_ms", "wall_s", "idle", "cuts"}) {
+                        "cpu_ms", "wall_s", "idle", "cuts", "overhead_ns"}) {
     if (key.find(s) != std::string::npos) return true;
   }
   return false;

@@ -21,6 +21,14 @@
 //       condition-variable waits need a `// blocking-ok:` comment naming
 //       the idle/parked state that makes blocking correct there.
 //
+//   no-hot-path-alloc [runtime/]
+//       The spawn path recycles frames through per-worker NUMA pools;
+//       a naked `new TaskFrame` or a delete-expression in runtime code
+//       is either a regression to the one-allocation-per-spawn seed or a
+//       double-free hazard against the pool, unless an `// alloc-ok:`
+//       comment names why the heap is correct there (slab carving, the
+//       --frame-pool=off ablation, a boxed oversize callable).
+//
 // Justification comments are load-bearing: the lint turns "the author
 // thought about this" into a greppable, CI-gated artifact.
 //
@@ -116,6 +124,50 @@ bool looks_like_atomic_member(const std::string& line) {
   return true;
 }
 
+/// The line with any trailing `//` comment removed — alloc matching must
+/// not fire on prose that merely mentions the constructs.
+std::string strip_comment(const std::string& line) {
+  const auto comment = line.find("//");
+  return comment == std::string::npos ? line : line.substr(0, comment);
+}
+
+/// Heuristic: the line contains a delete-*expression* — `delete x` /
+/// `delete[] x` with an actual operand. Deleted functions (`= delete`),
+/// allocation-function names (`operator delete`) and comment text are
+/// structure, not deallocation.
+bool looks_like_delete_expr(const std::string& line) {
+  const std::string code = strip_comment(line);
+  auto is_ident = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '_';
+  };
+  std::size_t pos = 0;
+  while ((pos = code.find("delete", pos)) != std::string::npos) {
+    const std::size_t after = pos + 6;
+    const bool word = (pos == 0 || !is_ident(code[pos - 1])) &&
+                      (after >= code.size() || !is_ident(code[after]));
+    if (word) {
+      std::size_t p = pos;
+      while (p > 0 && (code[p - 1] == ' ' || code[p - 1] == '\t')) --p;
+      const bool deleted_fn = p > 0 && code[p - 1] == '=';
+      const bool op_name = p >= 8 && code.compare(p - 8, 8, "operator") == 0;
+      if (!deleted_fn && !op_name) {
+        std::size_t q = after;
+        while (q < code.size() &&
+               (code[q] == ' ' || code[q] == '[' || code[q] == ']')) {
+          ++q;
+        }
+        if (q < code.size() &&
+            (is_ident(code[q]) || code[q] == '*' || code[q] == '(')) {
+          return true;
+        }
+      }
+    }
+    pos = after;
+  }
+  return false;
+}
+
 void scan_file(const fs::path& path, std::vector<Finding>& out) {
   std::ifstream in(path);
   if (!in) {
@@ -147,6 +199,16 @@ void scan_file(const fs::path& path, std::vector<Finding>& out) {
       out.push_back({path.string(), i + 1, "hot-field-padding",
                      "atomic member without alignas padding or a "
                      "`// pad-ok:` justification comment"});
+    }
+
+    if (has_component(path, "runtime") &&
+        (contains(strip_comment(line), "new TaskFrame") ||
+         looks_like_delete_expr(line)) &&
+        !justified(lines, i, "alloc-ok:")) {
+      out.push_back({path.string(), i + 1, "no-hot-path-alloc",
+                     "frame allocation outside the pool (new TaskFrame / "
+                     "delete) without an `// alloc-ok:` justification "
+                     "comment"});
     }
 
     if (worker_loop &&
