@@ -9,8 +9,12 @@
 // between steps; the baseline is insensitive (it scatters at task
 // granularity either way). See DESIGN.md "Victim selection".
 
+#include <algorithm>
+#include <vector>
+
 #include "apps/heat.hpp"
 #include "bench_common.hpp"
+#include "obs/report.hpp"
 #include "util/format.hpp"
 
 namespace cab::bench {
@@ -63,12 +67,138 @@ void run() {
   std::printf("%s\n", table.to_string().c_str());
 }
 
+/// Per-acquired-task steal latencies from a trace: a successful
+/// kStealIntra event that moved b tasks (its b payload — 1 for a single
+/// steal, the batch size for steal-half) cost each of those tasks d/b, so
+/// it contributes b samples of d/b. Percentiles are therefore taken over
+/// the population of *acquired tasks*, not bookkeeping events — the
+/// distribution a task experiences, which is what amortization improves.
+std::vector<double> per_task_steal_latencies(const obs::Trace& trace,
+                                             std::size_t& hits,
+                                             std::size_t& misses) {
+  std::vector<double> out;
+  hits = 0;
+  misses = 0;
+  for (const obs::WorkerTimeline& w : trace.workers) {
+    for (const obs::TraceEvent& e : w.events) {
+      if (e.kind != obs::EventKind::kStealIntra) continue;
+      if (e.b <= 0) {
+        ++misses;
+        continue;
+      }
+      ++hits;
+      const double d = e.t1 >= e.t0 ? static_cast<double>(e.t1 - e.t0) : 0.0;
+      out.insert(out.end(), static_cast<std::size_t>(e.b),
+                 d / static_cast<double>(e.b));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t i = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size()));
+  return sorted[std::min(sorted.size() - 1, i)];
+}
+
+/// Phase 2 (threaded runtime, not the simulator): the in-squad steal
+/// policy ablation uniform | weighted | weighted+half on a hot-victim
+/// fan-out — one worker below BL owns the whole spawn stream and the rest
+/// of its squad lives off steals, the worst case uniform selection has
+/// and the case the occupancy mask + steal-half were built for. The
+/// headline metric is steal_latency_p99_ns: the p99 of per-acquired-task
+/// intra-steal latency (see per_task_steal_latencies), which steal-half
+/// amortizes over up to half the victim's deque per claim.
+void run_steal_policy_ablation() {
+  print_header(
+      "Ablation — in-squad steal policy (hot-victim fan-out, threaded "
+      "runtime)",
+      "beyond the paper; occupancy-weighted victims + steal-half batches "
+      "vs Algorithm I's uniform single steal");
+
+  constexpr int kEpochs = 6;
+  const int leaves_per_epoch = static_cast<int>(scaled(4000));
+  util::TablePrinter table({"steal policy", "steal hits", "misses",
+                            "batch tasks", "per-task p50", "per-task p99",
+                            "wall ms"});
+  double p99_uniform = 0, p99_half = 0;
+  for (const runtime::StealPolicy pol :
+       {runtime::StealPolicy::kUniform, runtime::StealPolicy::kWeighted,
+        runtime::StealPolicy::kWeightedHalf}) {
+    runtime::Options o;
+    // One eight-core squad: the ablation isolates the intra tier, so the
+    // inter tier is reduced to the single hand-off that seeds the squad.
+    o.topo = hw::Topology::synthetic(1, 8, 6ull << 20);
+    o.kind = runtime::SchedulerKind::kCab;
+    o.boundary_level = 1;
+    o.trace = true;
+    o.seed = 1;
+    o.steal = pol;
+    const auto t0 = std::chrono::steady_clock::now();
+    runtime::Runtime rt(o);
+    for (int ep = 0; ep < kEpochs; ++ep) {
+      rt.run([&] {
+        runtime::Runtime::spawn([&] {  // the hot victim, below BL
+          for (int i = 0; i < leaves_per_epoch; ++i) {
+            runtime::Runtime::spawn([] {
+              for (volatile int j = 0; j < 20000;) {
+                j = j + 1;
+              }
+            });
+          }
+          runtime::Runtime::sync();
+        });
+        runtime::Runtime::sync();
+      });
+    }
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    std::size_t hits = 0, misses = 0;
+    const std::vector<double> lat =
+        per_task_steal_latencies(rt.trace(), hits, misses);
+    const runtime::SchedulerStats s = rt.stats();
+    const double p99 = percentile(lat, 0.99);
+    if (pol == runtime::StealPolicy::kUniform) p99_uniform = p99;
+    if (pol == runtime::StealPolicy::kWeightedHalf) p99_half = p99;
+    JsonRecorder::instance().add_values(
+        std::string("steal/") + to_string(pol),
+        {{"steal_latency_p50_ns", percentile(lat, 0.5)},
+         {"steal_latency_p99_ns", p99},
+         {"intra_steal_hits", static_cast<double>(hits)},
+         {"intra_steal_tasks", static_cast<double>(lat.size())},
+         {"intra_steal_misses", static_cast<double>(misses)},
+         {"steal_batches", static_cast<double>(s.total.steal_batches)},
+         {"steal_batch_tasks", static_cast<double>(s.total.steal_batch_tasks)},
+         {"weighted_picks", static_cast<double>(s.total.weighted_picks)}},
+        wall_s);
+    table.add_row(
+        {to_string(pol), util::human_count(hits), util::human_count(misses),
+         util::human_count(s.total.steal_batch_tasks),
+         util::format_fixed(percentile(lat, 0.5), 0),
+         util::format_fixed(p99, 0), util::format_fixed(wall_s * 1000, 1)});
+  }
+  // The gate metric: weighted+half's per-task tail cost relative to the
+  // paper's uniform single steal. "ratio" keys gate in cab_bench_report
+  // diff, so CI holds the improvement in place (threshold generous enough
+  // for runner noise — see .github/workflows/ci.yml).
+  if (p99_uniform > 0) {
+    JsonRecorder::instance().add_values(
+        "steal/weighted+half_vs_uniform",
+        {{"steal_p99_vs_uniform_ratio", p99_half / p99_uniform}});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+}
+
 }  // namespace
 }  // namespace cab::bench
 
 int main(int argc, char** argv) {
   if (int rc = cab::bench::parse_args(argc, argv)) return rc;
   cab::bench::run();
+  cab::bench::run_steal_policy_ablation();
   // --trace/--json replay: the heat workload on the real runtime.
   return cab::bench::finish("ablation_victims", [] {
     cab::apps::HeatParams p;

@@ -59,6 +59,9 @@ struct BenchArgs {
   /// controller has decisions to record; the cab-adapt-v1 report is
   /// embedded in the cab-bench-v1 record either way.
   adapt::Policy adapt;
+  /// --steal=uniform|weighted|weighted+half: in-squad victim selection for
+  /// the runtime replay (ablation axis; default = the runtime's default).
+  runtime::StealPolicy steal = runtime::Options{}.steal;
 };
 
 inline BenchArgs& bench_args() {
@@ -82,12 +85,22 @@ inline int parse_args(int argc, char** argv) {
                  argv[0], adapt_spec.c_str());
     return 2;
   }
+  const std::string steal_spec = arg_value(argc, argv, "steal");
+  if (!steal_spec.empty() &&
+      !runtime::parse_steal_policy(steal_spec, bench_args().steal)) {
+    std::fprintf(stderr,
+                 "%s: bad --steal policy \"%s\" "
+                 "(expected uniform|weighted|weighted+half)\n",
+                 argv[0], steal_spec.c_str());
+    return 2;
+  }
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a.rfind("--", 0) != 0) continue;
     if (a.rfind("--trace", 0) == 0 || a.rfind("--json", 0) == 0 ||
-        a.rfind("--adapt", 0) == 0) {
-      if (a == "--trace" || a == "--json" || a == "--adapt") {
+        a.rfind("--adapt", 0) == 0 || a.rfind("--steal", 0) == 0) {
+      if (a == "--trace" || a == "--json" || a == "--adapt" ||
+          a == "--steal") {
         ++i;  // space-separated value
       }
       continue;
@@ -109,7 +122,11 @@ inline int parse_args(int argc, char** argv) {
                  "(default), adaptive\n"
                  "           (multi-epoch feedback retuning), or "
                  "fixed:<bl>; the cab-adapt-v1\n"
-                 "           decision record lands in the --json output\n",
+                 "           decision record lands in the --json output\n"
+                 "  --steal  in-squad victim selection for the runtime "
+                 "replay: uniform\n"
+                 "           (the paper's Algorithm I), weighted, or "
+                 "weighted+half (default)\n",
                  argv[0], a.c_str(), argv[0]);
     return 2;
   }
@@ -329,6 +346,7 @@ inline int finish(const char* bench_id,
   o.metrics = true;
   o.hw_counters = true;
   o.adapt = bench_args().adapt;
+  o.steal = bench_args().steal;
   if (o.adapt.input_bytes_hint == 0) {
     o.adapt.input_bytes_hint = bundle.input_bytes;
   }
@@ -395,6 +413,8 @@ inline int finish(const char* bench_id,
     j += "],\"runtime\":{\"workload\":";
     detail::append_escaped(j, bundle.name);
     j += ",\"boundary_level\":" + std::to_string(o.boundary_level);
+    j += ",\"steal\":";
+    detail::append_escaped(j, to_string(o.steal));
     j += ",\"final_boundary_level\":" +
          std::to_string(rt.current_boundary_level());
     j += ",\"epochs\":" + std::to_string(epochs);

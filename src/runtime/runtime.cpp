@@ -20,6 +20,9 @@ std::int32_t auto_boundary_level(const hw::Topology& topo,
 Runtime::Runtime(Options opts) : opts_(opts), engine_(new Engine(opts.topo)) {
   Engine& e = *engine_;
   e.kind = opts.kind;
+  e.steal = opts.steal;
+  e.mask_active = opts.kind == SchedulerKind::kCab &&
+                  opts.steal != StealPolicy::kUniform;
   e.tier.bl = opts.boundary_level;
   e.pin_threads = opts.pin_threads;
   e.record_events = opts.record_events;
@@ -61,6 +64,11 @@ Runtime::Runtime(Options opts) : opts_(opts), engine_(new Engine(opts.topo)) {
           &e.registry.counter(name, {{"tier", "inter"}});
       e.registry.counter(name, {{"tier", "intra"}});  // derived at flush
     }
+    // Batch-size histogram pre-registered like the hw counters: workers
+    // observe() into their own writer rows, so no registration races.
+    // Bounds cover 1..kStealBatchMax in octaves (larger batches overflow).
+    e.steal_batch_hist =
+        &e.registry.histogram("steal.batch_size", {1, 2, 4, 8, 16});
     if (!e.hw_counters) {
       e.registry.set_hw_status(false,
                                "hardware counters not requested "
@@ -89,6 +97,7 @@ Runtime::Runtime(Options opts) : opts_(opts), engine_(new Engine(opts.topo)) {
     worker->id = w;
     worker->core = w;  // worker id == core id (Section IV-C)
     worker->squad = e.squads[static_cast<std::size_t>(e.topo.socket_of(w))].get();
+    worker->squad_slot = w - worker->squad->first_worker;
     worker->is_head = (w == worker->squad->head_worker);
     worker->engine = &e;
     worker->rng = util::Xorshift64(util::splitmix64(seed_state));
@@ -230,6 +239,9 @@ void commit_spawn(const Pending& p) {
     parent->has_intra_children = true;
     ++w->stats.spawns_intra;
     w->intra.push_bottom(t);
+    // Advertise the (plausibly) nonempty deque to weighted thieves —
+    // usually a no-op load once the bit is set.
+    w->mark_occupied();
   }
   if (w->tl.enabled) {
     w->tl.mark(t->inter ? obs::EventKind::kSpawnInter
@@ -427,6 +439,12 @@ obs::metrics::Snapshot Runtime::metrics_snapshot() const {
       {"scheduler.inter_acquires", &WorkerStats::inter_acquires},
       {"scheduler.inter_steals", &WorkerStats::inter_steals},
       {"scheduler.failed_steal_attempts", &WorkerStats::failed_steal_attempts},
+      {"scheduler.steal_batches", &WorkerStats::steal_batches},
+      {"scheduler.steal_batch_tasks", &WorkerStats::steal_batch_tasks},
+      {"scheduler.weighted_picks", &WorkerStats::weighted_picks},
+      {"scheduler.mask_sets", &WorkerStats::mask_sets},
+      {"scheduler.mask_clears_own", &WorkerStats::mask_clears_own},
+      {"scheduler.mask_clears_hearsay", &WorkerStats::mask_clears_hearsay},
       {"scheduler.help_iterations", &WorkerStats::help_iterations},
       {"scheduler.idle_backoff_sleeps", &WorkerStats::idle_backoff_sleeps},
       {"scheduler.spawning_tasks", &WorkerStats::spawning_tasks},

@@ -28,6 +28,12 @@ struct Options {
   /// Seed for all victim-selection RNGs (expanded per worker).
   std::uint64_t seed = 1;
 
+  /// Intra-squad victim selection / transfer policy (kCab only; the
+  /// `--steal=uniform|weighted|weighted+half` ablation axis). Default is
+  /// the full occupancy-weighted steal-half path; kUniform restores the
+  /// paper's Algorithm I single-task uniform steal exactly.
+  StealPolicy steal = StealPolicy::kWeightedHalf;
+
   /// Pin worker threads to cores (wraps modulo physical CPUs when the
   /// virtual topology is wider than the host).
   bool pin_threads = false;

@@ -13,12 +13,38 @@ const char* to_string(SchedulerKind k) {
   return "?";
 }
 
+const char* to_string(StealPolicy p) {
+  switch (p) {
+    case StealPolicy::kUniform: return "uniform";
+    case StealPolicy::kWeighted: return "weighted";
+    case StealPolicy::kWeightedHalf: return "weighted+half";
+  }
+  return "?";
+}
+
+bool parse_steal_policy(std::string_view s, StealPolicy& out) {
+  if (s == "uniform") {
+    out = StealPolicy::kUniform;
+  } else if (s == "weighted") {
+    out = StealPolicy::kWeighted;
+  } else if (s == "weighted+half" || s == "weighted-half") {
+    out = StealPolicy::kWeightedHalf;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 std::string SchedulerStats::summary() const {
   std::string s;
   s += "tasks=" + util::human_count(total.tasks_executed);
   s += " spawns(intra/inter)=" + util::human_count(total.spawns_intra) + "/" +
        util::human_count(total.spawns_inter);
   s += " intra-steals=" + util::human_count(total.intra_steals);
+  if (total.steal_batches > 0) {
+    s += " batch(steals/tasks)=" + util::human_count(total.steal_batches) +
+         "/" + util::human_count(total.steal_batch_tasks);
+  }
   s += " inter(acquire/steal)=" + util::human_count(total.inter_acquires) +
        "/" + util::human_count(total.inter_steals);
   s += " failed-steals=" + util::human_count(total.failed_steal_attempts);

@@ -3,6 +3,7 @@
 #include <array>
 #include <atomic>
 #include <chrono>
+#include <string_view>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
@@ -37,6 +38,23 @@ enum class SchedulerKind : std::uint8_t {
 };
 
 const char* to_string(SchedulerKind k);
+
+/// Intra-socket victim-selection/transfer policy — the `--steal=` ablation
+/// axis (DESIGN.md "Victim selection and steal-half batching"). Applies to
+/// kCab's in-squad stealing only; the classic baselines keep the uniform
+/// single-task steal that defines them.
+enum class StealPolicy : std::uint8_t {
+  kUniform,       ///< paper's Algorithm I: uniform victim, single-task steal
+  kWeighted,      ///< occupancy-weighted victim, single-task steal
+  kWeightedHalf,  ///< occupancy-weighted victim + steal-half batch transfer
+};
+
+const char* to_string(StealPolicy p);
+
+/// Parses "uniform" | "weighted" | "weighted+half" (also accepts
+/// "weighted-half" for shells where `+` is awkward). Returns false and
+/// leaves `out` untouched on unknown input.
+bool parse_steal_policy(std::string_view s, StealPolicy& out);
 
 /// Consecutive failed acquire attempts after which a spinning *head*
 /// worker may bypass the squad-busy gate of Algorithm I step 2 and reach
@@ -77,14 +95,27 @@ struct Squad {
   /// checker proves them over chk::atomic (DESIGN.md §6).
   alignas(util::kCacheLineSize) protocol::BusyState<> busy_state;
 
+  /// Victim-occupancy hint bits for weighted in-squad victim selection
+  /// (bit = squad-local worker slot; see protocol::OccupancyMask).
+  /// Maintained only when Engine::mask_active.
+  protocol::OccupancyMask<> occupancy;
+
   bool busy() const { return busy_state.busy(); }
 };
 
 /// One worker thread, affiliated with one (virtual) core.
 struct Worker {
+  /// Upper bound on one steal_batch transfer. Half of a long deque still
+  /// caps here: past ~16 tasks the thief's claim window (and the surplus
+  /// re-push loop) costs more than a second steal would.
+  static constexpr std::size_t kStealBatchMax = 16;
+
   int id = 0;
   int core = 0;
   Squad* squad = nullptr;
+  /// Squad-local slot (id - squad->first_worker): this worker's bit in the
+  /// squad's occupancy mask.
+  int squad_slot = 0;
   bool is_head = false;
   Engine* engine = nullptr;
 
@@ -146,11 +177,20 @@ struct Worker {
   /// frames (home == nullptr).
   void recycle(TaskFrame* t);
 
+  /// Sets this worker's occupancy bit (push made the deque plausibly
+  /// nonempty); counts the transition. No-op unless Engine::mask_active.
+  void mark_occupied();
+
  private:
   TaskFrame* acquire_cab(bool desperate);
   TaskFrame* acquire_random();
   TaskFrame* acquire_sharing();
   TaskFrame* steal_intra_in_squad();
+  /// One steal attempt against `victim`'s intra deque: a steal-half batch
+  /// under kWeightedHalf (surplus re-pushed onto this worker's deque),
+  /// a single steal_top otherwise. `taken` reports the batch size (0 on
+  /// miss); a miss hearsay-clears the victim's occupancy bit.
+  TaskFrame* steal_intra_from(int victim, std::size_t& taken);
   TaskFrame* steal_intra_global();
   TaskFrame* steal_inter_from_other_squads();
   TaskFrame* take_inter_from_own_squad();
@@ -167,6 +207,12 @@ struct Engine {
 
   hw::Topology topo;
   SchedulerKind kind = SchedulerKind::kCab;
+  /// Intra-squad victim selection / transfer policy (Options::steal).
+  StealPolicy steal = StealPolicy::kWeightedHalf;
+  /// Occupancy-mask maintenance is live: kCab with a non-uniform steal
+  /// policy. Precomputed so the spawn path pays one bool test before the
+  /// (usually no-op) mask update.
+  bool mask_active = false;
   dag::TierAssignment tier;  ///< tier.bl == 0 => classic behaviour
   bool pin_threads = false;
   bool record_events = false;
@@ -194,6 +240,9 @@ struct Engine {
       hw_total{};
   std::array<obs::metrics::Counter*, obs::metrics::kHwCounterCount>
       hw_inter{};
+  /// Pre-registered steal.batch_size histogram (per-thief batch sizes);
+  /// null when Options::metrics is off.
+  obs::metrics::Histogram* steal_batch_hist = nullptr;
 
   std::vector<std::unique_ptr<Worker>> workers;
   std::vector<std::unique_ptr<Squad>> squads;

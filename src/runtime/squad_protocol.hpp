@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "util/cache_line.hpp"
 #include "util/sync_policy.hpp"
 
 namespace cab::runtime::protocol {
@@ -88,6 +89,90 @@ constexpr AcquirePaths plan_acquire(bool is_head, bool squad_busy,
 constexpr bool holds_busy_through_sync(bool has_intra_children) noexcept {
   return has_intra_children;
 }
+
+/// Per-squad victim-occupancy mask for stochastic victim selection: bit i
+/// is set while squad-local worker slot i *plausibly* has stealable tasks
+/// in its intra deque. Maintained as a cheap hint, not a truth:
+///  - the owner sets its bit on the empty->nonempty push transition and
+///    clears it when its own pop finds the deque empty;
+///  - a thief whose probe of victim i finds an empty deque clears bit i
+///    (hearsay-clear), so a crowd of thieves converges off a drained
+///    victim without each paying a probe.
+/// Stale bits are benign in both directions — a set bit on an empty deque
+/// costs one wasted probe (exactly the uniform-selection status quo), and
+/// a cleared bit on a nonempty deque only delays discovery until the
+/// owner's next push transition or the uniform fallback fires. Squads
+/// wider than kWidth workers fall back to uniform selection.
+///
+/// Checked invariants (ModelCheck.OccupancyMaskDisjointBitsCommute /
+/// .OccupancyMaskExactlyOnceTransitions): concurrent transitions on
+/// disjoint bits never lose each other's flip, and one flip is observed
+/// (return true) by exactly one caller — so the per-worker mask counters
+/// in WorkerStats count transitions, not attempts.
+template <typename Sync = util::RealSync>
+struct OccupancyMask {
+  static constexpr int kWidth = 64;
+
+  // Shares a (padded) line with nothing else: every worker in the squad
+  // RMWs this word on push/pop/probe transitions, and the whole point of
+  // the mask is to keep those transitions off the deque anchors' lines.
+  alignas(util::kCacheLineSize)
+      typename Sync::template atomic_t<std::uint64_t> bits{0};
+
+  /// Owner, on the empty->nonempty push transition. Returns true when the
+  /// bit actually flipped (a mask transition, counted in WorkerStats).
+  bool set(int slot) {
+    // mo: release — publishes the push that made the deque nonempty to a
+    // thief that acquires the mask before probing (the hint must not
+    // arrive before the work it advertises).
+    return fetch_or(bits, std::uint64_t{1} << slot,
+                    std::memory_order_release);
+  }
+
+  /// Owner (own deque drained) or thief (probe found victim empty).
+  /// Returns true when the bit actually flipped.
+  bool clear(int slot) {
+    // mo: relaxed — clearing publishes nothing; it only withdraws a hint.
+    return fetch_and(bits, ~(std::uint64_t{1} << slot),
+                     std::memory_order_relaxed);
+  }
+
+  /// Thief-side snapshot for victim selection.
+  std::uint64_t load() const {
+    // mo: acquire — pairs with set()'s release; see set().
+    return bits.load(std::memory_order_acquire);
+  }
+
+ private:
+  /// fetch_or / fetch_and via a CAS loop: chk::atomic (the model checker's
+  /// atomic) does not model the or/and RMWs, and the mask must run
+  /// identically under both Sync policies. When the bit already has the
+  /// target value the loop is a single relaxed load and no RMW — which is
+  /// the common case and what makes the per-push/per-pop maintenance
+  /// calls cheap. Returns true when this call changed the word.
+  template <typename A>
+  static bool fetch_or(A& a, std::uint64_t m, std::memory_order mo) {
+    std::uint64_t cur = a.load(std::memory_order_relaxed);
+    for (;;) {
+      if ((cur & m) == m) return false;
+      if (a.compare_exchange_weak(cur, cur | m, mo,
+                                  std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+  }
+  template <typename A>
+  static bool fetch_and(A& a, std::uint64_t m, std::memory_order mo) {
+    std::uint64_t cur = a.load(std::memory_order_relaxed);
+    for (;;) {
+      if ((cur & m) == cur) return false;
+      if (a.compare_exchange_weak(cur, cur & m, mo,
+                                  std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+  }
+};
 
 /// Inter-socket task hand-off: marks the acquiring squad busy and tags
 /// the task with that squad *before* the task is returned to the worker

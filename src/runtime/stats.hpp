@@ -18,6 +18,21 @@ struct WorkerStats {
   std::uint64_t inter_acquires = 0;       ///< from own squad's inter pool
   std::uint64_t inter_steals = 0;         ///< from another squad's pool
   std::uint64_t failed_steal_attempts = 0;
+  /// Successful in-squad batch steals (steal-half transfers; each also
+  /// counts once in intra_steals) and the total tasks they moved —
+  /// steal_batch_tasks / steal_batches is the realized mean batch size
+  /// (full distribution: the steal.batch_size histogram).
+  std::uint64_t steal_batches = 0;
+  std::uint64_t steal_batch_tasks = 0;
+  /// In-squad victim picks that came from the occupancy-weighted sampler
+  /// (the remainder of intra steal attempts fell back to uniform).
+  std::uint64_t weighted_picks = 0;
+  /// Occupancy-mask transitions (bit actually flipped): set by this
+  /// worker's push, cleared by this worker's own empty pop, cleared by
+  /// this worker's failed probe of a victim (hearsay clear).
+  std::uint64_t mask_sets = 0;
+  std::uint64_t mask_clears_own = 0;
+  std::uint64_t mask_clears_hearsay = 0;
   std::uint64_t help_iterations = 0;      ///< sync-help loop turns
   /// Times the deepest backoff tier parked this worker (one
   /// kIdleBackoffSleep each) — total parked time is the product, exposed
@@ -55,6 +70,12 @@ struct WorkerStats {
     inter_acquires += o.inter_acquires;
     inter_steals += o.inter_steals;
     failed_steal_attempts += o.failed_steal_attempts;
+    steal_batches += o.steal_batches;
+    steal_batch_tasks += o.steal_batch_tasks;
+    weighted_picks += o.weighted_picks;
+    mask_sets += o.mask_sets;
+    mask_clears_own += o.mask_clears_own;
+    mask_clears_hearsay += o.mask_clears_hearsay;
     help_iterations += o.help_iterations;
     idle_backoff_sleeps += o.idle_backoff_sleeps;
     spawning_tasks += o.spawning_tasks;

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "runtime/squad_protocol.hpp"
+
+namespace cab::runtime {
+
+/// Occupancy-weighted stochastic victim selection (pure logic, no atomics:
+/// the caller snapshots the squad's OccupancyMask and supplies a weight
+/// callback, so tests/test_victim_select.cpp can drive every branch
+/// deterministically with a fixed RNG).
+///
+/// Contract:
+///  - candidates are the set bits of `mask` below `n_slots`, minus
+///    `self_slot` (a worker never steals from itself);
+///  - each candidate's weight comes from `weight_of(slot)` (in the runtime:
+///    the victim deque's size_estimate), and zero-weight candidates are
+///    dropped — the mask said "plausibly has work" but the probe-free
+///    estimate says otherwise;
+///  - a single RNG draw picks a candidate with probability weight/total,
+///    so longer deques are proportionally likelier victims (steal-half
+///    then moves the most work per claim);
+///  - returns kNoVictim when no candidate survives; the caller falls back
+///    to uniform selection so stale mask clears can never starve a thief.
+inline constexpr int kNoVictim = -1;
+
+template <typename WeightFn, typename Rng>
+int pick_weighted_victim(std::uint64_t mask, int self_slot, int n_slots,
+                         WeightFn&& weight_of, Rng& rng) {
+  constexpr int kWidth = protocol::OccupancyMask<>::kWidth;
+  if (n_slots <= 0) return kNoVictim;
+  if (n_slots < kWidth) mask &= (std::uint64_t{1} << n_slots) - 1;
+  if (self_slot >= 0 && self_slot < kWidth) {
+    mask &= ~(std::uint64_t{1} << self_slot);
+  }
+  int slots[kWidth];
+  std::uint64_t cum[kWidth];
+  int count = 0;
+  std::uint64_t total = 0;
+  for (std::uint64_t m = mask; m != 0; m &= m - 1) {
+    const int s = std::countr_zero(m);
+    const std::uint64_t w = weight_of(s);
+    if (w == 0) continue;
+    slots[count] = s;
+    total += w;
+    cum[count] = total;
+    ++count;
+  }
+  if (count == 0) return kNoVictim;
+  const std::uint64_t r = rng.next_below(total);
+  for (int i = 0; i < count; ++i) {
+    if (r < cum[i]) return slots[i];
+  }
+  return slots[count - 1];  // unreachable: r < total == cum[count-1]
+}
+
+}  // namespace cab::runtime

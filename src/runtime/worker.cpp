@@ -4,6 +4,7 @@
 #include "hw/affinity.hpp"
 #include "runtime/runtime.hpp"
 #include "runtime/scheduler.hpp"
+#include "runtime/victim_select.hpp"
 #include "util/assert.hpp"
 #include "util/spin_lock.hpp"
 
@@ -202,11 +203,22 @@ TaskFrame* Worker::acquire(bool desperate) {
   return acquire_random();
 }
 
+void Worker::mark_occupied() {
+  if (!engine->mask_active) return;
+  if (squad->occupancy.set(squad_slot)) ++stats.mask_sets;
+}
+
 TaskFrame* Worker::acquire_cab(bool desperate) {
   // Step 1: own intra-socket pool.
   if (TaskFrame* t = intra.pop_bottom()) {
     ++stats.intra_pop_hits;
     return t;
+  }
+  if (engine->mask_active) {
+    // Own deque drained: withdraw this worker's occupancy hint so
+    // weighted thieves stop picking it (usually a no-op load — the bit
+    // only flips on the nonempty->empty transition).
+    if (squad->occupancy.clear(squad_slot)) ++stats.mask_clears_own;
   }
   // Steps 2–6: the gate decision is protocol::plan_acquire (model-checked
   // in tests/test_model_check.cpp). Squad busy => intra-socket stealing
@@ -264,18 +276,82 @@ TaskFrame* Worker::steal_intra_in_squad() {
   }
   const bool tr = tl.enabled;
   const std::uint64_t t0 = tr ? obs::now_ns() : 0;
-  auto pick = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n - 1)));
-  int victim = squad->first_worker + pick;
-  if (victim >= id) ++victim;  // skip self
-  TaskFrame* t = engine->workers[static_cast<std::size_t>(victim)]->intra.steal_top();
-  if (t) {
+  const StealPolicy pol = engine->steal;
+  int victim = -1;
+  if (pol != StealPolicy::kUniform &&
+      n <= protocol::OccupancyMask<>::kWidth) {
+    // Occupancy-weighted stochastic pick: candidates from the squad's
+    // occupancy mask, weighted by their deques' size estimates so longer
+    // deques are proportionally likelier victims (and steal-half then
+    // moves the most work per claim).
+    const int first = squad->first_worker;
+    const int slot = pick_weighted_victim(
+        squad->occupancy.load(), squad_slot, n,
+        [&](int s) {
+          return static_cast<std::uint64_t>(
+              engine->workers[static_cast<std::size_t>(first + s)]
+                  ->intra.size_estimate());
+        },
+        rng);
+    if (slot != kNoVictim) {
+      victim = first + slot;
+      ++stats.weighted_picks;
+    }
+  }
+  if (victim < 0) {
+    // Uniform fallback: --steal=uniform, a squad wider than the mask, or
+    // no live candidate (empty/stale mask) — the unconditional probe is
+    // what keeps stale hearsay-clears from ever starving a thief.
+    auto pick =
+        static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n - 1)));
+    victim = squad->first_worker + pick;
+    if (victim >= id) ++victim;  // skip self
+  }
+  std::size_t taken = 0;
+  TaskFrame* t = steal_intra_from(victim, taken);
+  if (tr) {
+    tl.record(obs::EventKind::kStealIntra, t0, obs::now_ns(), victim,
+              static_cast<std::int32_t>(taken));
+  }
+  return t;
+}
+
+TaskFrame* Worker::steal_intra_from(int victim, std::size_t& taken) {
+  Worker& v = *engine->workers[static_cast<std::size_t>(victim)];
+  taken = 0;
+  TaskFrame* t = nullptr;
+  if (engine->steal == StealPolicy::kWeightedHalf) {
+    TaskFrame* buf[kStealBatchMax];
+    taken = v.intra.steal_batch(buf, kStealBatchMax);
+    if (taken > 0) {
+      t = buf[0];  // oldest claimed task runs now (victim FIFO order)
+      // Surplus onto own deque newest-first, so this worker's LIFO pops
+      // replay the batch in the victim's FIFO order.
+      for (std::size_t i = taken; i-- > 1;) intra.push_bottom(buf[i]);
+      if (taken > 1) mark_occupied();
+      ++stats.steal_batches;
+      stats.steal_batch_tasks += taken;
+      if (engine->steal_batch_hist != nullptr) {
+        engine->steal_batch_hist->observe(id,
+                                          static_cast<std::int64_t>(taken));
+      }
+    }
+  } else {
+    t = v.intra.steal_top();
+    taken = t != nullptr ? 1 : 0;
+  }
+  if (t != nullptr) {
     ++stats.intra_steals;
   } else {
     ++stats.failed_steal_attempts;
-  }
-  if (tr) {
-    tl.record(obs::EventKind::kStealIntra, t0, obs::now_ns(), victim,
-              t != nullptr ? 1 : 0);
+    if (engine->mask_active) {
+      // Hearsay clear: the probe found the victim empty, so withdraw its
+      // hint on the owner's behalf — a crowd of thieves converges off a
+      // drained victim without each paying a probe.
+      if (squad->occupancy.clear(victim - squad->first_worker)) {
+        ++stats.mask_clears_hearsay;
+      }
+    }
   }
   return t;
 }

@@ -1,0 +1,32 @@
+// Fixture: occupancy-mask-style structs pinning the hot-field-padding
+// matcher's alignas placements. Expected findings (2):
+//   - hot-field-padding at bare_bits_ (no alignas anywhere, no `pad-ok:`)
+//   - hot-field-padding at also_bare_ (sibling of a padded member in an
+//     unpadded struct — the neighbour's alignas must not leak onto it)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+struct BadMask {
+  std::atomic<std::uint64_t> bare_bits_{0};
+};
+
+// Struct-level alignas pads the whole aggregate (the occupancy-mask
+// shape: one hot word per instance) — this one must NOT be flagged.
+struct alignas(64) StructAlignedMask {
+  std::atomic<std::uint64_t> bits_{0};
+};
+
+struct SplitDeclMask {
+  // Declaration spans two lines, alignas on the first — the member line
+  // itself has no `alignas` token but must NOT be flagged.
+  alignas(64)
+      std::atomic<std::uint64_t> bits_{0};
+
+  std::atomic<std::uint64_t> also_bare_{0};
+};
+
+}  // namespace fixture

@@ -53,6 +53,62 @@ TEST(ChaseLev, InterleavedPushPopSteal) {
   EXPECT_EQ(d.pop_bottom(), nullptr);
 }
 
+TEST(ChaseLev, StealBatchEmptyAndZeroCap) {
+  ChaseLevDeque<int*> d;
+  int* buf[4] = {};
+  EXPECT_EQ(d.steal_batch(buf, 4), 0u);
+  d.push_bottom(tok(1));
+  EXPECT_EQ(d.steal_batch(buf, 0), 0u);  // max_out == 0 never claims
+  EXPECT_EQ(val(d.pop_bottom()), 1);
+}
+
+/// steal_batch takes ceil(n/2) — the steal-half rule — clamped to the
+/// caller's buffer, and delivers in FIFO (oldest-first) order.
+TEST(ChaseLev, StealBatchTakesCeilHalfInFifoOrder) {
+  ChaseLevDeque<int*> d;
+  for (std::intptr_t i = 1; i <= 5; ++i) d.push_bottom(tok(i));
+  int* buf[8] = {};
+  EXPECT_EQ(d.steal_batch(buf, 8), 3u);  // ceil(5/2)
+  EXPECT_EQ(val(buf[0]), 1);
+  EXPECT_EQ(val(buf[1]), 2);
+  EXPECT_EQ(val(buf[2]), 3);
+  EXPECT_EQ(d.steal_batch(buf, 8), 1u);  // ceil(2/2)
+  EXPECT_EQ(val(buf[0]), 4);
+  EXPECT_EQ(val(d.pop_bottom()), 5);
+  EXPECT_EQ(d.steal_batch(buf, 8), 0u);
+}
+
+TEST(ChaseLev, StealBatchClampsToMaxOut) {
+  ChaseLevDeque<int*> d;
+  for (std::intptr_t i = 1; i <= 100; ++i) d.push_bottom(tok(i));
+  int* buf[8] = {};
+  EXPECT_EQ(d.steal_batch(buf, 8), 8u);  // ceil(100/2) = 50, clamped
+  for (std::intptr_t i = 1; i <= 8; ++i) EXPECT_EQ(val(buf[i - 1]), i);
+  EXPECT_EQ(d.size_estimate(), 92u);  // size must mask the claim bit
+}
+
+/// The claim protocol round-trips with the owner side: after mixed
+/// batch-steals and pops, the deque is empty and every token was seen
+/// exactly once.
+TEST(ChaseLev, StealBatchInterleavedWithOwner) {
+  ChaseLevDeque<int*> d(2);  // forces grow() under the mix
+  std::vector<int> seen(20, 0);
+  int* buf[4] = {};
+  for (std::intptr_t i = 0; i < 20; ++i) {
+    d.push_bottom(tok(i + 1));
+    if (i % 3 == 2) {
+      const std::size_t k = d.steal_batch(buf, 4);
+      for (std::size_t j = 0; j < k; ++j) ++seen[val(buf[j]) - 1];
+    }
+    if (i % 4 == 3) {
+      if (int* p = d.pop_bottom()) ++seen[val(p) - 1];
+    }
+  }
+  while (int* p = d.pop_bottom()) ++seen[val(p) - 1];
+  EXPECT_EQ(d.steal_batch(buf, 4), 0u);
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
 /// Owner pushes/pops while thieves steal: every token must be consumed
 /// exactly once (no loss, no duplication) — the core Chase-Lev contract.
 TEST(ChaseLev, StressNoLossNoDuplication) {

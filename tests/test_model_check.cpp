@@ -11,6 +11,9 @@
 //   3. ≤1 inter task per squad — BusyState gate in the squad models
 //   4. deque linearizability   — FIFO steal order / LIFO pop, exactly-once
 //   5. BL epoch-boundary safety— race-detector proof on the retune model
+//   6. batch-claim exclusivity — steal_batch's claim bit fences out the
+//      owner and rival thieves for the whole multi-element read; the
+//      occupancy-mask CAS loops never lose a neighbouring bit's flip
 //
 // Negative models (ModelCheckNegative.*) seed real ordering bugs and
 // assert the checker (a) catches them and (b) reproduces the identical
@@ -19,6 +22,7 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <cstdint>
 #include <string>
 
 #include "chk/sync.hpp"
@@ -173,6 +177,205 @@ TEST_F(ModelCheck, ChaseLevGrowUnderConcurrentSteal) {
   ASSERT_TRUE(r.ok()) << r.summary();
   EXPECT_TRUE(r.exhausted) << r.summary();
   EXPECT_GE(r.interleavings, 1000u) << r.summary();
+}
+
+// ---------------------------------------------------------------------------
+// Chase-Lev steal_batch: the claim-bit protocol (oracles 1, 2, 4)
+// ---------------------------------------------------------------------------
+
+// Batch thief vs popping owner over 3 items. The claim CAS must fence the
+// owner out for the whole multi-element read: the oracle is conservation
+// (no lost task, no double execution) plus the batch's internal FIFO
+// order and the steal-half bound k <= ceil(3/2) = 2. The owner's
+// claim-backoff spin (pop_bottom) is explored too — ModelSync::spin_pause
+// is a scheduler yield, so every "owner pops mid-claim" schedule the spin
+// protects against is actually visited.
+TEST_F(ModelCheck, StealBatchOwnerPopRace) {
+  auto r = chk::explore(
+      [] {
+        std::array<int, 3> items{};
+        std::array<chk::atomic<int>, 3> taken{};
+        ModelDeque d(4);
+        for (auto& it : items) d.push_bottom(&it);
+        chk::thread thief([&] {
+          std::array<int*, 4> buf{};
+          const std::size_t k = d.steal_batch(buf.data(), buf.size());
+          chk::assert_now(k <= 2, "batch exceeds ceil(n/2) steal-half bound");
+          int last = -1;
+          for (std::size_t i = 0; i < k; ++i) {
+            const int idx = static_cast<int>(buf[i] - items.data());
+            chk::assert_now(idx > last, "batch arrives in push (FIFO) order");
+            last = idx;
+            taken[idx].fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+        while (int* p = d.pop_bottom())
+          taken[p - items.data()].fetch_add(1, std::memory_order_relaxed);
+        thief.join();
+        while (int* p = d.pop_bottom())  // drain whatever the race left
+          taken[p - items.data()].fetch_add(1, std::memory_order_relaxed);
+        for (auto& t : taken)
+          chk::assert_now(t.load(std::memory_order_relaxed) == 1,
+                          "a task was lost or executed twice across the "
+                          "batch claim");
+      },
+      bounded(3));
+  ASSERT_TRUE(r.ok()) << r.summary();
+  EXPECT_TRUE(r.exhausted) << r.summary();
+  EXPECT_GE(r.interleavings, 1000u) << r.summary();
+}
+
+// Batch thief racing a single-steal thief AND the popping owner: the
+// single steal must either lose cleanly against the claim (its CAS
+// expects an unmarked top) or take an element the batch then excludes.
+TEST_F(ModelCheck, StealBatchVsSingleStealVsPop) {
+  auto r = chk::explore(
+      [] {
+        std::array<int, 3> items{};
+        std::array<chk::atomic<int>, 3> taken{};
+        ModelDeque d(4);
+        for (auto& it : items) d.push_bottom(&it);
+        chk::thread batch_thief([&] {
+          std::array<int*, 4> buf{};
+          const std::size_t k = d.steal_batch(buf.data(), buf.size());
+          for (std::size_t i = 0; i < k; ++i)
+            taken[buf[i] - items.data()].fetch_add(1,
+                                                   std::memory_order_relaxed);
+        });
+        chk::thread single_thief([&] {
+          if (int* p = d.steal_top())
+            taken[p - items.data()].fetch_add(1, std::memory_order_relaxed);
+        });
+        if (int* p = d.pop_bottom())
+          taken[p - items.data()].fetch_add(1, std::memory_order_relaxed);
+        batch_thief.join();
+        single_thief.join();
+        while (int* p = d.pop_bottom())
+          taken[p - items.data()].fetch_add(1, std::memory_order_relaxed);
+        for (auto& t : taken)
+          chk::assert_now(t.load(std::memory_order_relaxed) == 1,
+                          "a task was lost or executed twice under "
+                          "batch + single-steal contention");
+      },
+      bounded(2));
+  ASSERT_TRUE(r.ok()) << r.summary();
+  EXPECT_TRUE(r.exhausted) << r.summary();
+  EXPECT_GE(r.interleavings, 1000u) << r.summary();
+}
+
+// Two batch thieves: claims are mutually exclusive (the second claim CAS
+// must fail against the marked top), so the batches never overlap.
+TEST_F(ModelCheck, StealBatchClaimMutualExclusion) {
+  auto r = chk::explore(
+      [] {
+        std::array<int, 4> items{};
+        std::array<chk::atomic<int>, 4> taken{};
+        ModelDeque d(4);
+        for (auto& it : items) d.push_bottom(&it);
+        auto batch = [&] {
+          std::array<int*, 4> buf{};
+          const std::size_t k = d.steal_batch(buf.data(), buf.size());
+          for (std::size_t i = 0; i < k; ++i)
+            taken[buf[i] - items.data()].fetch_add(1,
+                                                   std::memory_order_relaxed);
+        };
+        chk::thread t1(batch);
+        batch();
+        t1.join();
+        while (int* p = d.pop_bottom())
+          taken[p - items.data()].fetch_add(1, std::memory_order_relaxed);
+        for (auto& t : taken)
+          chk::assert_now(t.load(std::memory_order_relaxed) == 1,
+                          "overlapping batch claims took an element twice");
+      },
+      bounded(3));
+  ASSERT_TRUE(r.ok()) << r.summary();
+  EXPECT_TRUE(r.exhausted) << r.summary();
+  EXPECT_GE(r.interleavings, 100u) << r.summary();
+}
+
+// steal_batch racing a ring grow(): capacity 2, the owner's third push
+// resizes while the thief's claim is in flight. The claim base must stay
+// readable through the ring swap (grow copies the full masked range;
+// push's capacity arithmetic masks the claim bit — the interaction the
+// `& ~kClaimBit` in push_bottom exists for).
+TEST_F(ModelCheck, StealBatchGrowRace) {
+  auto r = chk::explore(
+      [] {
+        std::array<int, 3> items{};
+        std::array<chk::atomic<int>, 3> taken{};
+        ModelDeque d(2);
+        d.push_bottom(&items[0]);
+        d.push_bottom(&items[1]);
+        chk::thread thief([&] {
+          std::array<int*, 4> buf{};
+          const std::size_t k = d.steal_batch(buf.data(), buf.size());
+          for (std::size_t i = 0; i < k; ++i)
+            taken[buf[i] - items.data()].fetch_add(1,
+                                                   std::memory_order_relaxed);
+        });
+        d.push_bottom(&items[2]);  // grows the ring from 2 to 4 slots
+        while (int* p = d.pop_bottom())
+          taken[p - items.data()].fetch_add(1, std::memory_order_relaxed);
+        thief.join();
+        while (int* p = d.pop_bottom())
+          taken[p - items.data()].fetch_add(1, std::memory_order_relaxed);
+        for (auto& t : taken)
+          chk::assert_now(t.load(std::memory_order_relaxed) == 1,
+                          "no task lost or duplicated across grow() under "
+                          "a batch claim");
+      },
+      bounded(3));
+  ASSERT_TRUE(r.ok()) << r.summary();
+  EXPECT_TRUE(r.exhausted) << r.summary();
+  EXPECT_GE(r.interleavings, 1000u) << r.summary();
+}
+
+// ---------------------------------------------------------------------------
+// Occupancy mask (victim-selection hints)
+// ---------------------------------------------------------------------------
+
+using ModelMask = protocol::OccupancyMask<chk::ModelSync>;
+
+// Concurrent transitions on different bits must compose (the CAS loop
+// must not lose a neighbour's update — the word-level analogue of "no
+// lost task" for the hint state).
+TEST_F(ModelCheck, OccupancyMaskDisjointBitsCommute) {
+  auto r = chk::explore([] {
+    ModelMask mask;
+    mask.set(1);
+    chk::thread t([&] { chk::assert_now(mask.set(0), "bit 0 newly set"); });
+    chk::assert_now(mask.clear(1), "bit 1 newly cleared");
+    t.join();
+    chk::assert_now(mask.load() == 0x1u,
+                    "a concurrent set/clear on disjoint bits was lost");
+  });
+  ASSERT_TRUE(r.ok()) << r.summary();
+  EXPECT_TRUE(r.exhausted) << r.summary();
+  EXPECT_GE(r.interleavings, 10u) << r.summary();
+}
+
+// Two thieves hearsay-clearing the same victim bit: exactly one observes
+// the transition (so WorkerStats mask counters never double-count one
+// flip), and a concurrent setter of the same bit serializes cleanly.
+TEST_F(ModelCheck, OccupancyMaskExactlyOnceTransitions) {
+  auto r = chk::explore([] {
+    ModelMask mask;
+    mask.set(3);
+    chk::atomic<int> observed{0};
+    auto clearer = [&] {
+      if (mask.clear(3)) observed.fetch_add(1, std::memory_order_relaxed);
+    };
+    chk::thread t(clearer);
+    clearer();
+    t.join();
+    chk::assert_now(observed.load(std::memory_order_relaxed) == 1,
+                    "one bit flip observed by exactly one clearer");
+    chk::assert_now(mask.load() == 0u, "bit cleared");
+  });
+  ASSERT_TRUE(r.ok()) << r.summary();
+  EXPECT_TRUE(r.exhausted) << r.summary();
+  EXPECT_GE(r.interleavings, 10u) << r.summary();
 }
 
 // ---------------------------------------------------------------------------
@@ -570,6 +773,78 @@ void mid_epoch_retune() {
   worker.join();
 }
 
+// The tempting claim-free batch steal: size the batch, read the items,
+// then commit with a single range CAS `top: t -> t+k`. The CAS only
+// notices *other thieves* (they move top); the owner signals through
+// bottom, which this commit never re-checks — so the owner can plainly
+// pop an interior index j in (t, t+k) while top still equals t, and the
+// thief's commit then succeeds anyway. Exactly-once dies. steal_batch()'s
+// claim bit exists to close precisely this hole.
+struct BrokenBatchPool {
+  std::array<int*, 3> items{};
+  chk::atomic<std::int64_t> top{0};
+  chk::atomic<std::int64_t> bottom{3};
+
+  int* pop() {
+    std::int64_t b = bottom.load(std::memory_order_relaxed) - 1;
+    bottom.store(b, std::memory_order_relaxed);
+    chk::ModelSync::fence(std::memory_order_seq_cst);
+    std::int64_t t = top.load(std::memory_order_relaxed);
+    if (t > b) {
+      bottom.store(b + 1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    int* it = items[static_cast<std::size_t>(b)];
+    if (t == b) {
+      if (!top.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                       std::memory_order_relaxed)) {
+        it = nullptr;
+      }
+      bottom.store(b + 1, std::memory_order_relaxed);
+    }
+    return it;
+  }
+
+  std::size_t steal_batch(int** out, std::size_t max_out) {
+    std::int64_t t = top.load(std::memory_order_acquire);
+    chk::ModelSync::fence(std::memory_order_seq_cst);
+    std::int64_t b = bottom.load(std::memory_order_acquire);
+    const std::int64_t n = b - t;
+    if (n <= 0) return 0;
+    std::size_t k = static_cast<std::size_t>((n + 1) / 2);
+    if (k > max_out) k = max_out;
+    for (std::size_t i = 0; i < k; ++i) {
+      out[i] =
+          items[static_cast<std::size_t>(t + static_cast<std::int64_t>(i))];
+    }
+    if (!top.compare_exchange_strong(  // BUG: no claim, owner not excluded
+            t, t + static_cast<std::int64_t>(k), std::memory_order_seq_cst,
+            std::memory_order_relaxed)) {
+      return 0;
+    }
+    return k;
+  }
+};
+
+void broken_batch_range_cas() {
+  std::array<int, 3> slots{};
+  std::array<chk::atomic<int>, 3> taken{};
+  BrokenBatchPool pool;
+  pool.items = {&slots[0], &slots[1], &slots[2]};
+  chk::thread thief([&] {
+    std::array<int*, 3> buf{};
+    const std::size_t k = pool.steal_batch(buf.data(), buf.size());
+    for (std::size_t i = 0; i < k; ++i)
+      taken[buf[i] - slots.data()].fetch_add(1, std::memory_order_relaxed);
+  });
+  while (int* p = pool.pop())
+    taken[p - slots.data()].fetch_add(1, std::memory_order_relaxed);
+  thief.join();
+  for (auto& n : taken)
+    chk::assert_now(n.load(std::memory_order_relaxed) <= 1,
+                    "a batch element was stolen and popped twice");
+}
+
 }  // namespace negative
 
 // Asserts the model fails, the failure carries a replayable seed, and
@@ -602,6 +877,11 @@ TEST_F(ModelCheckNegative, BrokenStealDoubleTake) {
 TEST_F(ModelCheckNegative, MpscStorePushLosesFrame) {
   expect_caught_and_replayable(negative::mpsc_store_push_loses_frame,
                                "frame was lost");
+}
+
+TEST_F(ModelCheckNegative, BrokenBatchRangeCas) {
+  expect_caught_and_replayable(negative::broken_batch_range_cas,
+                               "stolen and popped twice", bounded(3));
 }
 
 TEST_F(ModelCheckNegative, DoubleBusyRelease) {

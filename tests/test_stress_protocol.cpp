@@ -18,6 +18,7 @@
 #include <thread>
 #include <vector>
 
+#include "deque/chase_lev_deque.hpp"
 #include "runtime/runtime.hpp"
 
 namespace cab::runtime {
@@ -282,6 +283,125 @@ TEST(StressProtocol, RemoteFreeChannelDirectHammer) {
   // slabs. Generous bound: in-flight cap plus freers mid-hand-off, doubled.
   EXPECT_LE(pool.slab_count() * FramePool::kFramesPerSlab,
             4 * kInFlightCap + 2 * FramePool::kFramesPerSlab);
+}
+
+TEST(StressProtocol, StealBatchDirectHammer) {
+  // The claim-bit batch protocol in isolation: many thieves batch-steal
+  // from one hot owner that keeps pushing and popping the same deque, so
+  // claims constantly race the owner's bottom traffic (including the
+  // pop-side claim-backoff spin) and each other. Under TSan this is the
+  // data-race check for steal_batch's fence/claim dance; the functional
+  // oracle is conservation — every token consumed exactly once, none
+  // left behind.
+  constexpr int kThieves = 4;
+  constexpr std::intptr_t kItems = 50000;
+  constexpr std::size_t kBatchMax = 16;
+  deque::ChaseLevDeque<int*> d(8);
+  std::vector<int> tokens(kItems);
+  std::vector<std::atomic<int>> taken(kItems);
+  std::atomic<bool> done{false};
+  std::vector<std::thread> thieves;
+  thieves.reserve(kThieves);
+  for (int f = 0; f < kThieves; ++f) {
+    thieves.emplace_back([&] {
+      int* buf[kBatchMax];
+      for (;;) {
+        const std::size_t k = d.steal_batch(buf, kBatchMax);
+        for (std::size_t i = 0; i < k; ++i) {
+          taken[buf[i] - tokens.data()].fetch_add(1,
+                                                  std::memory_order_relaxed);
+        }
+        if (k == 0) {
+          if (done.load(std::memory_order_acquire)) return;
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (std::intptr_t i = 0; i < kItems; ++i) {
+    d.push_bottom(&tokens[i]);
+    if (i % 5 == 4) {  // owner consumes too: exercises claim backoff
+      if (int* p = d.pop_bottom())
+        taken[p - tokens.data()].fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  while (int* p = d.pop_bottom())
+    taken[p - tokens.data()].fetch_add(1, std::memory_order_relaxed);
+  done.store(true, std::memory_order_release);
+  for (auto& th : thieves) th.join();
+  std::int64_t consumed = 0;
+  for (std::intptr_t i = 0; i < kItems; ++i) {
+    const int n = taken[i].load(std::memory_order_relaxed);
+    ASSERT_LE(n, 1) << "token " << i << " taken twice";
+    consumed += n;
+  }
+  EXPECT_EQ(consumed, kItems);  // and none lost
+}
+
+TEST(StressProtocol, HotVictimWeightedStealHammer) {
+  // One eight-worker squad, repeated 4096-leaf trees: the root worker is
+  // the hot victim every other worker converges on through the occupancy
+  // mask, so weighted picks, batch claims, surplus re-pushes, and hearsay
+  // clears all run hot under the sanitizer. The oracles are the PR-5
+  // style counter conservations: per-worker stats sum to the totals, and
+  // the batch/mask counters respect their structural identities.
+  constexpr int kEpochs = 3;
+  constexpr int kLeaves = 1500;
+  for (StealPolicy pol : {StealPolicy::kWeighted, StealPolicy::kWeightedHalf}) {
+    // BL=1: only the root's direct child goes inter, so a single worker
+    // owns the whole intra fan-out and the other seven must steal from
+    // it. Leaves carry enough work that each epoch spans several OS
+    // timeslices — on an oversubscribed (even single-CPU) host the
+    // thieves only run when the spawner is preempted, and the hot deque
+    // must still be populated when they do.
+    Options o = stress_options(SchedulerKind::kCab, 1, 8, 1);
+    o.steal = pol;
+    Runtime rt(o);
+    std::atomic<int> leaves{0};
+    for (int epoch = 0; epoch < kEpochs; ++epoch) {
+      rt.run([&] {
+        Runtime::spawn([&] {  // the one hot victim, below BL
+          for (int i = 0; i < kLeaves; ++i) {
+            Runtime::spawn([&] {
+              for (volatile int j = 0; j < 20000;) {
+                j = j + 1;
+              }
+              leaves.fetch_add(1, std::memory_order_relaxed);
+            });
+          }
+          Runtime::sync();
+        });
+        Runtime::sync();
+      });
+    }
+    EXPECT_EQ(leaves.load(), kEpochs * kLeaves) << to_string(pol);
+    const SchedulerStats s = rt.stats();
+    WorkerStats sum;
+    for (const WorkerStats& w : s.per_worker) sum += w;
+    EXPECT_EQ(sum.tasks_executed, s.total.tasks_executed) << to_string(pol);
+    EXPECT_EQ(sum.tasks_executed,
+              static_cast<std::uint64_t>(kEpochs) * (kLeaves + 2))
+        << to_string(pol);
+    EXPECT_GT(sum.intra_steals, 0u) << to_string(pol);
+    EXPECT_GT(sum.weighted_picks, 0u) << to_string(pol);
+    // Every mask clear transition (bit 1 -> 0) needs a prior set
+    // transition; bits may end the run set, so sets >= clears.
+    EXPECT_GE(sum.mask_sets, sum.mask_clears_own + sum.mask_clears_hearsay)
+        << to_string(pol);
+    if (pol == StealPolicy::kWeightedHalf) {
+      // Under kCab every in-squad steal goes through steal_intra_from, so
+      // successful steals and batches are the same events; batch sizes
+      // are within [1, kStealBatchMax].
+      EXPECT_EQ(sum.steal_batches, sum.intra_steals) << to_string(pol);
+      EXPECT_GE(sum.steal_batch_tasks, sum.steal_batches) << to_string(pol);
+      EXPECT_LE(sum.steal_batch_tasks,
+                sum.steal_batches * Worker::kStealBatchMax)
+          << to_string(pol);
+    } else {
+      EXPECT_EQ(sum.steal_batches, 0u) << to_string(pol);
+      EXPECT_EQ(sum.steal_batch_tasks, 0u) << to_string(pol);
+    }
+  }
 }
 
 }  // namespace

@@ -218,7 +218,8 @@ Flat flatten_summary(const Value& summary) {
 /// are compared but never gate: shared CI runners make them too noisy.
 bool lower_is_better(const std::string& key) {
   for (const char* s : {"makespan", "miss", "normalized_time", "ratio",
-                        "cpu_ms", "wall_s", "idle", "cuts", "overhead_ns"}) {
+                        "cpu_ms", "wall_s", "idle", "cuts", "overhead_ns",
+                        "latency"}) {
     if (key.find(s) != std::string::npos) return true;
   }
   return false;

@@ -14,7 +14,11 @@
 //       must either be `alignas`-padded against false sharing or carry a
 //       `// pad-ok:` comment arguing why sharing its line is fine (e.g.
 //       fields only ever touched by one thread, or per-frame fields where
-//       padding would blow up the Eq. 15 space bound).
+//       padding would blow up the Eq. 15 space bound). The alignas may
+//       sit on the member line itself, on an earlier line of the same
+//       (multi-line) declaration — the occupancy-mask shape, where the
+//       alignas precedes a dependent-type member — or on the enclosing
+//       struct/class head when the whole aggregate is padded.
 //
 //   worker-blocking   [runtime/worker.*, runtime/scheduler.*]
 //       The worker loop must not block: sleep_for / sleep_until /
@@ -168,6 +172,32 @@ bool looks_like_delete_expr(const std::string& line) {
   return false;
 }
 
+/// The member's `alignas` may sit on an earlier physical line: either the
+/// declaration spans lines (alignas + qualifiers above, declarator below),
+/// or the enclosing struct/class head is itself alignas-padded (the whole
+/// aggregate is one padded unit, so its members need no per-field pad).
+bool alignas_above(const std::vector<std::string>& lines, std::size_t i) {
+  // Same declaration statement: walk up while the line above does not end
+  // a statement or open/close a scope (';', '{', '}' as last code char).
+  for (std::size_t k = i; k-- > 0;) {
+    const std::string code = strip_comment(lines[k]);
+    const std::size_t end = code.find_last_not_of(" \t");
+    if (end == std::string::npos) break;  // blank or comment-only line
+    const char last = code[end];
+    if (last == ';' || last == '{' || last == '}') break;
+    if (contains(lines[k], "alignas")) return true;
+  }
+  // Enclosing aggregate: the nearest struct/class head above, unless a
+  // closing `};` intervenes (we would have left the aggregate).
+  for (std::size_t k = i; k-- > 0;) {
+    if (contains(strip_comment(lines[k]), "};")) break;
+    if (contains(lines[k], "struct ") || contains(lines[k], "class ")) {
+      return contains(lines[k], "alignas");
+    }
+  }
+  return false;
+}
+
 void scan_file(const fs::path& path, std::vector<Finding>& out) {
   std::ifstream in(path);
   if (!in) {
@@ -195,7 +225,8 @@ void scan_file(const fs::path& path, std::vector<Finding>& out) {
     }
 
     if (hot && is_header(path) && looks_like_atomic_member(line) &&
-        !contains(line, "alignas") && !justified(lines, i, "pad-ok:")) {
+        !contains(line, "alignas") && !alignas_above(lines, i) &&
+        !justified(lines, i, "pad-ok:")) {
       out.push_back({path.string(), i + 1, "hot-field-padding",
                      "atomic member without alignas padding or a "
                      "`// pad-ok:` justification comment"});
