@@ -13,9 +13,11 @@
 #include <vector>
 
 #include "core/cab.hpp"
+#include "obs/attrib/critical_path.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/metrics/perf_source.hpp"
 #include "runtime/graph_runner.hpp"
+#include "util/args.hpp"
 #include "util/format.hpp"
 
 namespace cab::bench {
@@ -37,23 +39,16 @@ inline std::int64_t scaled(std::int64_t v) {
   return static_cast<std::int64_t>(static_cast<double>(v) * bench_scale());
 }
 
-/// Value of `--<name>=<v>` (or `--<name> <v>`) in argv, else "".
-/// `name` is the bare flag name without dashes, e.g. "trace".
-inline std::string arg_value(int argc, char** argv, const char* name) {
-  const std::string eq = std::string("--") + name + "=";
-  const std::string sep = std::string("--") + name;
-  for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
-    if (a.rfind(eq, 0) == 0) return a.substr(eq.size());
-    if (a == sep && i + 1 < argc) return argv[i + 1];
-  }
-  return "";
-}
-
 /// Flags shared by every figure/table/ablation bench, validated up front.
 struct BenchArgs {
   std::string trace_path;  ///< --trace=<file>: Chrome-trace replay dump
   std::string json_path;   ///< --json=<file>: machine-readable record
+  /// --attrib (bare) enables cycle-accounting attribution of the runtime
+  /// replay: the breakdown + realized-critical-path summary print on
+  /// stdout and merge into the --json record; --attrib=<file> also writes
+  /// the standalone cab-attrib-v1 record there.
+  bool attrib = false;
+  std::string attrib_path;
   /// --adapt=static|adaptive|fixed:<bl>: BL policy for the --trace/--json
   /// runtime replay. Adaptive replays run several epochs so the
   /// controller has decisions to record; the cab-adapt-v1 report is
@@ -74,9 +69,11 @@ inline BenchArgs& bench_args() {
 /// silently ignored — a misspelled --json must not discard an hour-long
 /// run's record. Returns 0 to proceed.
 inline int parse_args(int argc, char** argv) {
-  bench_args().trace_path = arg_value(argc, argv, "trace");
-  bench_args().json_path = arg_value(argc, argv, "json");
-  const std::string adapt_spec = arg_value(argc, argv, "adapt");
+  bench_args().trace_path = util::args::value(argc, argv, "trace");
+  bench_args().json_path = util::args::value(argc, argv, "json");
+  bench_args().attrib = util::args::has_flag(argc, argv, "attrib");
+  bench_args().attrib_path = util::args::eq_value(argc, argv, "attrib");
+  const std::string adapt_spec = util::args::value(argc, argv, "adapt");
   if (!adapt_spec.empty() &&
       !adapt::parse_policy(adapt_spec, bench_args().adapt)) {
     std::fprintf(stderr,
@@ -85,7 +82,7 @@ inline int parse_args(int argc, char** argv) {
                  argv[0], adapt_spec.c_str());
     return 2;
   }
-  const std::string steal_spec = arg_value(argc, argv, "steal");
+  const std::string steal_spec = util::args::value(argc, argv, "steal");
   if (!steal_spec.empty() &&
       !runtime::parse_steal_policy(steal_spec, bench_args().steal)) {
     std::fprintf(stderr,
@@ -94,21 +91,21 @@ inline int parse_args(int argc, char** argv) {
                  argv[0], steal_spec.c_str());
     return 2;
   }
-  for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
-    if (a.rfind("--", 0) != 0) continue;
-    if (a.rfind("--trace", 0) == 0 || a.rfind("--json", 0) == 0 ||
-        a.rfind("--adapt", 0) == 0 || a.rfind("--steal", 0) == 0) {
-      if (a == "--trace" || a == "--json" || a == "--adapt" ||
-          a == "--steal") {
-        ++i;  // space-separated value
-      }
-      continue;
-    }
+  // Unknown `--` flags are rejected (exit 2) instead of being silently
+  // ignored — a misspelled --json must not discard an hour-long run's
+  // record. `--attrib` takes no space-separated value: only the `=` form
+  // carries the record path.
+  static const std::vector<util::args::FlagSpec> kKnown = {
+      {"trace", true},  {"json", true},   {"adapt", true},
+      {"steal", true},  {"attrib", false},
+  };
+  const std::string unknown = util::args::first_unknown(argc, argv, kKnown);
+  if (!unknown.empty()) {
     std::fprintf(stderr,
                  "%s: unknown flag: %s\n"
                  "usage: %s [--trace=<chrome_trace.json>] "
-                 "[--json=<record.json>] [--adapt=<policy>]\n"
+                 "[--json=<record.json>] [--attrib[=<attrib.json>]] "
+                 "[--adapt=<policy>]\n"
                  "  --trace  replay the bench's representative workload on "
                  "the threaded\n"
                  "           runtime and dump a Chrome-trace timeline "
@@ -118,6 +115,12 @@ inline int parse_args(int argc, char** argv) {
                  "record of every\n"
                  "           configuration this bench ran (merge/diff: "
                  "tools/cab_bench_report)\n"
+                 "  --attrib cycle-accounting attribution of the replay: "
+                 "where the epoch's\n"
+                 "           time went plus the realized critical path and "
+                 "achievable-speedup\n"
+                 "           bound; merged into --json, standalone record "
+                 "via --attrib=<file>\n"
                  "  --adapt  BL policy for the runtime replay: static "
                  "(default), adaptive\n"
                  "           (multi-epoch feedback retuning), or "
@@ -127,7 +130,7 @@ inline int parse_args(int argc, char** argv) {
                  "replay: uniform\n"
                  "           (the paper's Algorithm I), weighted, or "
                  "weighted+half (default)\n",
-                 argv[0], a.c_str(), argv[0]);
+                 argv[0], unknown.c_str(), argv[0]);
     return 2;
   }
   return 0;
@@ -330,9 +333,11 @@ inline int finish(const char* bench_id,
                   const std::function<apps::DagBundle()>& make_bundle) {
   const std::string trace_path = bench_args().trace_path;
   const std::string json_path = bench_args().json_path;
-  // --adapt alone still runs the replay (the trajectory print is the
-  // output); without any of the three flags there is nothing to do.
-  if (trace_path.empty() && json_path.empty() &&
+  const bool want_attrib = bench_args().attrib;
+  // --adapt or --attrib alone still runs the replay (the printed
+  // trajectory/breakdown is the output); without any of the flags there
+  // is nothing to do.
+  if (trace_path.empty() && json_path.empty() && !want_attrib &&
       bench_args().adapt.mode == adapt::Mode::kStatic) {
     return 0;
   }
@@ -342,7 +347,7 @@ inline int finish(const char* bench_id,
   o.topo = paper_topology();
   o.kind = runtime::SchedulerKind::kCab;
   o.boundary_level = bundle_boundary_level(bundle, o.topo);
-  o.trace = !trace_path.empty();
+  o.trace = !trace_path.empty() || want_attrib;
   o.metrics = true;
   o.hw_counters = true;
   o.adapt = bench_args().adapt;
@@ -371,20 +376,60 @@ inline int finish(const char* bench_id,
                 rt.current_boundary_level(), adapt_report.decisions.size());
   }
 
-  if (!trace_path.empty()) {
-    const obs::Trace t = rt.trace();
-    if (!obs::write_chrome_trace_file(t, trace_path, &metrics)) {
-      std::fprintf(stderr, "cannot write trace file: %s\n",
-                   trace_path.c_str());
-      return 1;
+  // Attribution first: the Chrome trace embeds it as counter tracks.
+  obs::attrib::Attribution attribution;
+  obs::attrib::RealizedPath realized;
+  std::string attrib_json, critpath_json;
+  if (want_attrib || !trace_path.empty()) {
+    obs::Trace t = rt.trace();
+    t.workload = bundle.name;
+    if (want_attrib) {
+      attribution = obs::attrib::attribute(t);
+      realized = obs::attrib::realized_critical_path(t, bundle.graph);
+      attrib_json = attribution.to_json();
+      critpath_json = realized.to_json();
+      std::printf("%s%s", attribution.to_string().c_str(),
+                  realized.to_string().c_str());
+      // The bound next to what the replay actually achieved: realized T1
+      // over the attribution window is the measured speedup.
+      const double measured =
+          attribution.window_ns() > 0
+              ? static_cast<double>(realized.realized_t1_ns) /
+                    static_cast<double>(attribution.window_ns())
+              : 0.0;
+      std::printf("  measured speedup %.2fx of achievable bound %.2fx\n",
+                  measured, realized.speedup_bound);
+      if (!bench_args().attrib_path.empty()) {
+        if (std::FILE* f = std::fopen(bench_args().attrib_path.c_str(),
+                                      "w")) {
+          std::fwrite(attrib_json.data(), 1, attrib_json.size(), f);
+          std::fputc('\n', f);
+          std::fclose(f);
+          std::printf("attrib record: %s\n",
+                      bench_args().attrib_path.c_str());
+        } else {
+          std::fprintf(stderr, "cannot write attrib record: %s\n",
+                       bench_args().attrib_path.c_str());
+          return 1;
+        }
+      }
     }
-    std::printf(
-        "trace: %s on %s (BL=%d) -> %s (%zu events, %llu dropped)\n"
-        "view in chrome://tracing or summarize with: cab_trace %s\n",
-        bundle.name.c_str(), to_string(o.kind), o.boundary_level,
-        trace_path.c_str(), t.event_count(),
-        static_cast<unsigned long long>(t.dropped_count()),
-        trace_path.c_str());
+    if (!trace_path.empty()) {
+      if (!obs::write_chrome_trace_file(t, trace_path, &metrics,
+                                        want_attrib ? &attribution
+                                                    : nullptr)) {
+        std::fprintf(stderr, "cannot write trace file: %s\n",
+                     trace_path.c_str());
+        return 1;
+      }
+      std::printf(
+          "trace: %s on %s (BL=%d) -> %s (%zu events, %llu dropped)\n"
+          "view in chrome://tracing or summarize with: cab_trace %s\n",
+          bundle.name.c_str(), to_string(o.kind), o.boundary_level,
+          trace_path.c_str(), t.event_count(),
+          static_cast<unsigned long long>(t.dropped_count()),
+          trace_path.c_str());
+    }
   }
 
   if (!json_path.empty()) {
@@ -419,6 +464,10 @@ inline int finish(const char* bench_id,
          std::to_string(rt.current_boundary_level());
     j += ",\"epochs\":" + std::to_string(epochs);
     j += ",\"wall_s\":" + util::format_fixed(wall_s, 6);
+    if (!attrib_json.empty()) {
+      j += ",\"attrib\":" + attrib_json;
+      j += ",\"critical_path\":" + critpath_json;
+    }
     j += ",\"adapt\":" + adapt_report.to_json();
     j += ",\"hw_available\":";
     j += metrics.hw_available ? "true" : "false";

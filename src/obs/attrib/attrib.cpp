@@ -1,0 +1,338 @@
+#include "obs/attrib/attrib.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/json.hpp"
+#include "util/format.hpp"
+
+namespace cab::obs::attrib {
+
+Buckets& Buckets::operator+=(const Buckets& o) {
+  exec_intra += o.exec_intra;
+  exec_inter += o.exec_inter;
+  steal_intra += o.steal_intra;
+  steal_inter += o.steal_inter;
+  protocol += o.protocol;
+  idle += o.idle;
+  untracked += o.untracked;
+  wall += o.wall;
+  return *this;
+}
+
+namespace {
+
+/// One span under self-time accounting: its extent, kind payload, and the
+/// total length of its *directly* nested spans (subtracted at finalize).
+struct OpenSpan {
+  std::uint64_t t0 = 0;
+  std::uint64_t t1 = 0;
+  std::uint64_t child_ns = 0;
+  EventKind kind = EventKind::kTaskExec;
+  std::int32_t b = 0;
+};
+
+void charge(Buckets& out, const OpenSpan& s) {
+  const std::uint64_t len = s.t1 - s.t0;
+  const std::uint64_t self = len > s.child_ns ? len - s.child_ns : 0;
+  switch (s.kind) {
+    case EventKind::kTaskExec:
+      (s.b != 0 ? out.exec_inter : out.exec_intra) += self;
+      break;
+    case EventKind::kStealIntra:
+      out.steal_intra += self;
+      break;
+    case EventKind::kStealInter:
+      out.steal_inter += self;
+      break;
+    case EventKind::kInterAcquire:
+      out.protocol += self;
+      break;
+    case EventKind::kSyncWait:  // spin-at-sync between helping attempts
+    case EventKind::kIdle:
+      out.idle += self;
+      break;
+    default:
+      break;
+  }
+}
+
+/// Self-time decomposition of one worker's spans. The spans of a single
+/// worker form a laminar family (see test_obs TaskSpansNestPerWorker):
+/// sorted by (t0 asc, t1 desc) a stack sweep reconstructs the nesting,
+/// each span's full length is charged to its direct parent's child_ns,
+/// and its own bucket receives length − child_ns.
+Buckets worker_buckets(const WorkerTimeline& w) {
+  std::vector<OpenSpan> spans;
+  spans.reserve(w.events.size());
+  for (const TraceEvent& e : w.events) {
+    if (!is_span(e.kind) || e.t1 <= e.t0) continue;  // zero-length: no time
+    OpenSpan s;
+    s.t0 = e.t0;
+    s.t1 = e.t1;
+    s.kind = e.kind;
+    s.b = e.b;
+    spans.push_back(s);
+  }
+  std::sort(spans.begin(), spans.end(),
+            [](const OpenSpan& a, const OpenSpan& b) {
+              if (a.t0 != b.t0) return a.t0 < b.t0;
+              return a.t1 > b.t1;  // outer span first at equal starts
+            });
+  Buckets out;
+  std::vector<OpenSpan> stack;
+  for (const OpenSpan& s : spans) {
+    while (!stack.empty() && stack.back().t1 <= s.t0) {
+      charge(out, stack.back());
+      stack.pop_back();
+    }
+    if (!stack.empty()) stack.back().child_ns += s.t1 - s.t0;
+    stack.push_back(s);
+  }
+  while (!stack.empty()) {
+    charge(out, stack.back());
+    stack.pop_back();
+  }
+  return out;
+}
+
+void append_buckets(std::string& j, const Buckets& b) {
+  j += "{\"exec_intra\":" + std::to_string(b.exec_intra);
+  j += ",\"exec_inter\":" + std::to_string(b.exec_inter);
+  j += ",\"steal_intra\":" + std::to_string(b.steal_intra);
+  j += ",\"steal_inter\":" + std::to_string(b.steal_inter);
+  j += ",\"protocol\":" + std::to_string(b.protocol);
+  j += ",\"idle\":" + std::to_string(b.idle);
+  j += ",\"untracked\":" + std::to_string(b.untracked);
+  j += ",\"wall\":" + std::to_string(b.wall);
+  j += "}";
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+}
+
+double share(std::uint64_t part, std::uint64_t whole) {
+  return whole > 0 ? static_cast<double>(part) / static_cast<double>(whole)
+                   : 0.0;
+}
+
+bool read_buckets(const json::Value& v, Buckets& b) {
+  if (!v.is_object()) return false;
+  b.exec_intra = static_cast<std::uint64_t>(v.number_or("exec_intra", 0));
+  b.exec_inter = static_cast<std::uint64_t>(v.number_or("exec_inter", 0));
+  b.steal_intra = static_cast<std::uint64_t>(v.number_or("steal_intra", 0));
+  b.steal_inter = static_cast<std::uint64_t>(v.number_or("steal_inter", 0));
+  b.protocol = static_cast<std::uint64_t>(v.number_or("protocol", 0));
+  b.idle = static_cast<std::uint64_t>(v.number_or("idle", 0));
+  b.untracked = static_cast<std::uint64_t>(v.number_or("untracked", 0));
+  b.wall = static_cast<std::uint64_t>(v.number_or("wall", 0));
+  return true;
+}
+
+}  // namespace
+
+Attribution attribute(const Trace& trace) {
+  Attribution a;
+  a.sockets = trace.sockets;
+  a.cores_per_socket = trace.cores_per_socket;
+  a.scheduler = trace.scheduler;
+  a.workload = trace.workload;
+  a.dropped_events = trace.dropped_count();
+
+  // Common analysis window: hull of every span across all workers, so
+  // each worker is charged the same wall and aggregates are comparable.
+  std::uint64_t t0 = ~std::uint64_t{0}, t1 = 0;
+  for (const WorkerTimeline& w : trace.workers) {
+    for (const TraceEvent& e : w.events) {
+      if (e.t0 < t0) t0 = e.t0;
+      if (e.t1 > t1) t1 = e.t1;
+    }
+  }
+  if (t1 <= t0) return a;  // empty trace: all-zero attribution
+  a.window_t0 = t0;
+  a.window_t1 = t1;
+  const std::uint64_t wall = t1 - t0;
+
+  a.squads.resize(static_cast<std::size_t>(
+      trace.sockets > 0 ? trace.sockets : 0));
+  for (std::size_t s = 0; s < a.squads.size(); ++s) {
+    a.squads[s].squad = static_cast<std::int32_t>(s);
+  }
+  for (const WorkerTimeline& w : trace.workers) {
+    WorkerAttrib wa;
+    wa.worker = w.worker;
+    wa.squad = w.squad;
+    wa.is_head = w.is_head;
+    wa.b = worker_buckets(w);
+    wa.b.wall = wall;
+    const std::uint64_t explained = wa.b.explained();
+    wa.b.untracked = wall > explained ? wall - explained : 0;
+    a.total += wa.b;
+    if (w.squad >= 0 && static_cast<std::size_t>(w.squad) < a.squads.size()) {
+      a.squads[static_cast<std::size_t>(w.squad)].b += wa.b;
+    }
+    a.workers.push_back(std::move(wa));
+  }
+  return a;
+}
+
+std::string Attribution::to_json() const {
+  std::string j = "{\"schema\":\"cab-attrib-v1\"";
+  j += ",\"sockets\":" + std::to_string(sockets);
+  j += ",\"cores_per_socket\":" + std::to_string(cores_per_socket);
+  j += ",\"scheduler\":";
+  append_escaped(j, scheduler);
+  j += ",\"workload\":";
+  append_escaped(j, workload);
+  j += ",\"window_t0_ns\":" + std::to_string(window_t0);
+  j += ",\"window_t1_ns\":" + std::to_string(window_t1);
+  j += ",\"window_ns\":" + std::to_string(window_ns());
+  j += ",\"dropped_events\":" + std::to_string(dropped_events);
+  j += ",\"total\":";
+  append_buckets(j, total);
+  j += ",\"shares\":{\"exec\":" + util::format_fixed(
+                                      share(total.exec(), total.wall), 6);
+  j += ",\"steal_intra\":" +
+       util::format_fixed(share(total.steal_intra, total.wall), 6);
+  j += ",\"steal_inter\":" +
+       util::format_fixed(share(total.steal_inter, total.wall), 6);
+  j += ",\"protocol\":" +
+       util::format_fixed(share(total.protocol, total.wall), 6);
+  j += ",\"idle\":" + util::format_fixed(share(total.idle, total.wall), 6);
+  j += ",\"untracked\":" +
+       util::format_fixed(share(total.untracked, total.wall), 6);
+  j += ",\"scheduler_overhead\":" +
+       util::format_fixed(total.overhead_share(), 6);
+  j += "},\"tiers\":{\"intra_ns\":" +
+       std::to_string(total.exec_intra + total.steal_intra);
+  j += ",\"inter_ns\":" + std::to_string(total.exec_inter +
+                                         total.steal_inter + total.protocol);
+  j += "},\"workers\":[";
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    const WorkerAttrib& w = workers[i];
+    if (i) j += ',';
+    j += "\n{\"worker\":" + std::to_string(w.worker);
+    j += ",\"squad\":" + std::to_string(w.squad);
+    j += ",\"head\":";
+    j += w.is_head ? "true" : "false";
+    j += ",\"buckets\":";
+    append_buckets(j, w.b);
+    j += "}";
+  }
+  j += "],\"squads\":[";
+  for (std::size_t i = 0; i < squads.size(); ++i) {
+    if (i) j += ',';
+    j += "\n{\"squad\":" + std::to_string(squads[i].squad);
+    j += ",\"buckets\":";
+    append_buckets(j, squads[i].b);
+    j += "}";
+  }
+  j += "]}";
+  return j;
+}
+
+std::string Attribution::to_string() const {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "attribution window: %.3f ms across %zu workers "
+                "(%d socket(s) x %d core(s), %s)\n",
+                static_cast<double>(window_ns()) / 1e6, workers.size(),
+                sockets, cores_per_socket, scheduler.c_str());
+  out += buf;
+  auto pct = [&](std::uint64_t ns) {
+    return 100.0 * share(ns, total.wall);
+  };
+  std::snprintf(buf, sizeof(buf),
+                "  exec %.2f%% (intra %.2f%%, inter %.2f%%)  "
+                "steal intra %.2f%%  steal inter %.2f%%\n"
+                "  protocol %.2f%%  idle %.2f%%  untracked %.2f%%  "
+                "(explained %.2f%%, sched overhead %.2f%%)\n",
+                pct(total.exec()), pct(total.exec_intra),
+                pct(total.exec_inter), pct(total.steal_intra),
+                pct(total.steal_inter), pct(total.protocol), pct(total.idle),
+                pct(total.untracked), 100.0 * explained_share(),
+                100.0 * total.overhead_share());
+  out += buf;
+  for (const SquadAttrib& s : squads) {
+    std::snprintf(buf, sizeof(buf),
+                  "  squad %d: exec %.2f%% steal %.2f%% protocol %.2f%% "
+                  "idle %.2f%% untracked %.2f%%\n",
+                  s.squad, 100.0 * share(s.b.exec(), s.b.wall),
+                  100.0 * share(s.b.steal_intra + s.b.steal_inter, s.b.wall),
+                  100.0 * share(s.b.protocol, s.b.wall),
+                  100.0 * share(s.b.idle, s.b.wall),
+                  100.0 * share(s.b.untracked, s.b.wall));
+    out += buf;
+  }
+  if (dropped_events > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "  WARNING: %llu timeline events dropped — untracked "
+                  "share includes the unrecorded time\n",
+                  static_cast<unsigned long long>(dropped_events));
+    out += buf;
+  }
+  return out;
+}
+
+bool parse_attrib_json(const std::string& text, Attribution& out) {
+  json::Value doc;
+  try {
+    doc = json::parse(text);
+  } catch (const std::exception&) {
+    return false;
+  }
+  if (!doc.is_object() ||
+      doc.string_or("schema", "") != "cab-attrib-v1") {
+    return false;
+  }
+  Attribution a;
+  a.sockets = static_cast<std::int32_t>(doc.number_or("sockets", 0));
+  a.cores_per_socket =
+      static_cast<std::int32_t>(doc.number_or("cores_per_socket", 0));
+  a.scheduler = doc.string_or("scheduler", "");
+  a.workload = doc.string_or("workload", "");
+  a.window_t0 = static_cast<std::uint64_t>(doc.number_or("window_t0_ns", 0));
+  a.window_t1 = static_cast<std::uint64_t>(doc.number_or("window_t1_ns", 0));
+  a.dropped_events =
+      static_cast<std::uint64_t>(doc.number_or("dropped_events", 0));
+  if (!read_buckets(doc["total"], a.total)) return false;
+  const json::Value& workers = doc["workers"];
+  if (!workers.is_array()) return false;
+  for (const json::Value& w : workers.as_array()) {
+    WorkerAttrib wa;
+    wa.worker = static_cast<std::int32_t>(w.number_or("worker", -1));
+    wa.squad = static_cast<std::int32_t>(w.number_or("squad", -1));
+    wa.is_head = w["head"].type() == json::Value::Type::kBool
+                     ? w["head"].as_bool()
+                     : false;
+    if (!read_buckets(w["buckets"], wa.b)) return false;
+    a.workers.push_back(std::move(wa));
+  }
+  const json::Value& squads = doc["squads"];
+  if (!squads.is_array()) return false;
+  for (const json::Value& s : squads.as_array()) {
+    SquadAttrib sa;
+    sa.squad = static_cast<std::int32_t>(s.number_or("squad", -1));
+    if (!read_buckets(s["buckets"], sa.b)) return false;
+    a.squads.push_back(std::move(sa));
+  }
+  out = std::move(a);
+  return true;
+}
+
+}  // namespace cab::obs::attrib

@@ -1,0 +1,123 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/timeline.hpp"
+
+namespace cab::obs::attrib {
+
+/// Where one worker's (or squad's, or the machine's) wall time went, in
+/// nanoseconds. The decomposition is exhaustive by construction:
+///
+///   exec       self time inside kTaskExec spans — task bodies, excluding
+///              everything nested in them (sync waits, helping, steal
+///              attempts made while helping). Split by tier below.
+///   steal_intra / steal_inter
+///              self time of kStealIntra / kStealInter attempt spans,
+///              hits and misses alike — the cost of *looking* for work.
+///   protocol   self time of kInterAcquire spans: the own-squad
+///              inter-pool take, including the busy_state binding — the
+///              paper's Algorithm I bookkeeping that is neither work nor
+///              search.
+///   idle       kIdle spans (failed-acquire streaks, including their
+///              backoff sleeps) plus kSyncWait *self* time (spinning at a
+///              sync between helping attempts) — time with provably
+///              nothing useful to do.
+///   untracked  wall − everything above: spawn/push/pop costs, occupancy
+///              mask maintenance, clock-read overhead, and OS descheduling
+///              that lands between spans. Kept explicit (not smeared into
+///              the other buckets) so "attribution explains ≥95% of the
+///              epoch" is a checkable gate: a large untracked share means
+///              the timeline is lying by omission (dropped events, ring
+///              truncation, or an untraced hot path).
+///
+/// Invariant: exec_intra + exec_inter + steal_intra + steal_inter +
+/// protocol + idle + untracked == wall (per worker; aggregates sum).
+struct Buckets {
+  std::uint64_t exec_intra = 0;
+  std::uint64_t exec_inter = 0;
+  std::uint64_t steal_intra = 0;
+  std::uint64_t steal_inter = 0;
+  std::uint64_t protocol = 0;
+  std::uint64_t idle = 0;
+  std::uint64_t untracked = 0;
+  std::uint64_t wall = 0;
+
+  std::uint64_t exec() const { return exec_intra + exec_inter; }
+  std::uint64_t explained() const {
+    return exec() + steal_intra + steal_inter + protocol + idle;
+  }
+  /// Scheduler-overhead share of this scope's wall time: steal attempts
+  /// plus protocol bookkeeping (the tripwire quantity).
+  double overhead_share() const {
+    return wall > 0
+               ? static_cast<double>(steal_intra + steal_inter + protocol) /
+                     static_cast<double>(wall)
+               : 0.0;
+  }
+  Buckets& operator+=(const Buckets& o);
+};
+
+struct WorkerAttrib {
+  std::int32_t worker = 0;
+  std::int32_t squad = 0;
+  bool is_head = false;
+  Buckets b;
+};
+
+struct SquadAttrib {
+  std::int32_t squad = 0;
+  Buckets b;
+};
+
+/// Cycle-accounting attribution of one trace: per worker, per squad, and
+/// whole-machine, over the common analysis window [window_t0, window_t1]
+/// (first span start to last span end across all workers — every worker
+/// is charged the same wall so squad/machine aggregates are comparable).
+/// Serialized as the byte-stable `cab-attrib-v1` record.
+struct Attribution {
+  std::int32_t sockets = 0;
+  std::int32_t cores_per_socket = 0;
+  std::string scheduler;
+  std::string workload;
+  std::uint64_t window_t0 = 0;  ///< ns since trace epoch
+  std::uint64_t window_t1 = 0;
+  std::uint64_t dropped_events = 0;  ///< total timeline drops (see gate note)
+
+  Buckets total;  ///< sum over workers; total.wall == workers * window
+  std::vector<WorkerAttrib> workers;
+  std::vector<SquadAttrib> squads;
+
+  std::uint64_t window_ns() const {
+    return window_t1 > window_t0 ? window_t1 - window_t0 : 0;
+  }
+  /// Fraction of total wall time the buckets explain, in [0, 1].
+  double explained_share() const {
+    return total.wall > 0 ? static_cast<double>(total.explained()) /
+                                static_cast<double>(total.wall)
+                          : 1.0;
+  }
+  double untracked_share() const { return 1.0 - explained_share(); }
+
+  /// Byte-stable `cab-attrib-v1` JSON record (integers plus fixed-point
+  /// shares — identical input trace => identical bytes).
+  std::string to_json() const;
+  /// Human summary: machine shares, per-tier table, per-squad rows.
+  std::string to_string() const;
+};
+
+/// Decomposes a trace into the bucket breakdown above. Pure function of
+/// the trace: per worker, spans are sorted and nested (a worker's spans
+/// form a laminar family), each span's *self* time — its length minus its
+/// directly nested spans — is charged to its kind's bucket, and the
+/// remainder of the window is untracked.
+Attribution attribute(const Trace& trace);
+
+/// Parses a `cab-attrib-v1` record produced by Attribution::to_json.
+/// Returns false on anything that is not such a record (wrong schema,
+/// malformed JSON, missing fields).
+bool parse_attrib_json(const std::string& text, Attribution& out);
+
+}  // namespace cab::obs::attrib

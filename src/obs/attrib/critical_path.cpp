@@ -1,0 +1,262 @@
+#include "obs/attrib/critical_path.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "util/format.hpp"
+
+namespace cab::obs::attrib {
+
+namespace {
+
+/// One exec span under the join sweep.
+struct ExecSpan {
+  std::uint64_t t0 = 0;
+  std::uint64_t t1 = 0;
+  std::uint64_t child_ns = 0;      ///< directly nested span time
+  dag::NodeId node = dag::kNoNode; ///< joined kTaskNode tag
+  bool is_exec = false;            ///< false: nesting-only (sync etc.)
+};
+
+/// Joins each worker's kTaskNode tags to the innermost enclosing
+/// kTaskExec span and accumulates that span's self time per node.
+/// Spans and tags are swept together in start order with a nesting
+/// stack (a worker's spans are laminar), so the join is O(n log n).
+void realized_per_node(const WorkerTimeline& w,
+                       std::vector<std::uint64_t>& node_ns) {
+  struct Tag {
+    std::uint64_t t = 0;
+    dag::NodeId node = dag::kNoNode;
+  };
+  std::vector<ExecSpan> spans;
+  std::vector<Tag> tags;
+  for (const TraceEvent& e : w.events) {
+    if (e.kind == EventKind::kTaskNode) {
+      tags.push_back({e.t0, e.a});
+    } else if (is_span(e.kind) && e.t1 > e.t0) {
+      ExecSpan s;
+      s.t0 = e.t0;
+      s.t1 = e.t1;
+      s.is_exec = e.kind == EventKind::kTaskExec;
+      spans.push_back(s);
+    }
+  }
+  std::sort(spans.begin(), spans.end(),
+            [](const ExecSpan& a, const ExecSpan& b) {
+              if (a.t0 != b.t0) return a.t0 < b.t0;
+              return a.t1 > b.t1;
+            });
+  std::sort(tags.begin(), tags.end(),
+            [](const Tag& a, const Tag& b) { return a.t < b.t; });
+
+  std::vector<ExecSpan> stack;
+  auto settle = [&](const ExecSpan& s) {
+    if (!s.is_exec || s.node == dag::kNoNode) return;
+    const std::uint64_t len = s.t1 - s.t0;
+    const std::uint64_t self = len > s.child_ns ? len - s.child_ns : 0;
+    if (static_cast<std::size_t>(s.node) < node_ns.size()) {
+      node_ns[static_cast<std::size_t>(s.node)] += self;
+    }
+  };
+  std::size_t ti = 0;
+  for (const ExecSpan& s : spans) {
+    // Tags before this span's start belong to spans already on the stack.
+    for (; ti < tags.size() && tags[ti].t < s.t0; ++ti) {
+      for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+        if (it->is_exec && it->t1 >= tags[ti].t &&
+            it->node == dag::kNoNode) {
+          it->node = tags[ti].node;
+          break;
+        }
+      }
+    }
+    while (!stack.empty() && stack.back().t1 <= s.t0) {
+      settle(stack.back());
+      stack.pop_back();
+    }
+    if (!stack.empty()) stack.back().child_ns += s.t1 - s.t0;
+    stack.push_back(s);
+  }
+  for (; ti < tags.size(); ++ti) {
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+      if (it->is_exec && it->t1 >= tags[ti].t && it->node == dag::kNoNode) {
+        it->node = tags[ti].node;
+        break;
+      }
+    }
+  }
+  while (!stack.empty()) {
+    settle(stack.back());
+    stack.pop_back();
+  }
+}
+
+}  // namespace
+
+RealizedPath realized_critical_path(const Trace& trace,
+                                    const dag::TaskGraph& graph) {
+  RealizedPath out;
+  out.dag_t1 = graph.total_work();
+  out.dag_tinf = graph.critical_path();
+  out.dag_speedup_bound =
+      out.dag_tinf > 0 ? static_cast<double>(out.dag_t1) /
+                             static_cast<double>(out.dag_tinf)
+                       : 0.0;
+  if (graph.empty()) return out;
+
+  const std::size_t n = graph.size();
+  std::vector<std::uint64_t> node_ns(n, 0);
+  for (const WorkerTimeline& w : trace.workers) {
+    realized_per_node(w, node_ns);
+  }
+
+  // Measured rate for filling in untagged nodes (dropped events, nodes
+  // inlined without a span): realized ns per declared work unit.
+  std::uint64_t joined_ns = 0, joined_work = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const dag::TaskGraph::Node& nd = graph.node(static_cast<dag::NodeId>(i));
+    if (node_ns[i] > 0) {
+      ++out.joined_tasks;
+      joined_ns += node_ns[i];
+      joined_work += nd.pre_work + nd.post_work;
+    }
+  }
+  const double ns_per_work =
+      joined_work > 0
+          ? static_cast<double>(joined_ns) / static_cast<double>(joined_work)
+          : 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (node_ns[i] > 0) continue;
+    const dag::TaskGraph::Node& nd = graph.node(static_cast<dag::NodeId>(i));
+    node_ns[i] = static_cast<std::uint64_t>(
+        static_cast<double>(nd.pre_work + nd.post_work) * ns_per_work);
+    ++out.estimated_tasks;
+  }
+
+  // Pre/post split by declared work ratio (a span covers body + merge);
+  // all-zero-work nodes put their overhead in pre.
+  std::vector<std::uint64_t> pre_ns(n, 0), post_ns(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const dag::TaskGraph::Node& nd = graph.node(static_cast<dag::NodeId>(i));
+    const std::uint64_t work = nd.pre_work + nd.post_work;
+    if (work == 0) {
+      pre_ns[i] = node_ns[i];
+    } else {
+      pre_ns[i] = static_cast<std::uint64_t>(
+          static_cast<double>(node_ns[i]) *
+          (static_cast<double>(nd.pre_work) / static_cast<double>(work)));
+      post_ns[i] = node_ns[i] - pre_ns[i];
+    }
+    out.realized_t1_ns += node_ns[i];
+  }
+
+  // Bottom-up realized span, mirroring TaskGraph::critical_path: ids are
+  // topological so a reverse sweep sees children before parents.
+  std::vector<std::uint64_t> span(n, 0);
+  for (std::size_t r = n; r-- > 0;) {
+    const dag::TaskGraph::Node& nd = graph.node(static_cast<dag::NodeId>(r));
+    std::uint64_t child_part = 0;
+    for (dag::NodeId c : nd.children) {
+      const std::uint64_t cs = span[static_cast<std::size_t>(c)];
+      if (nd.sequential) {
+        child_part += cs;
+      } else if (cs > child_part) {
+        child_part = cs;
+      }
+    }
+    span[r] = pre_ns[r] + child_part + post_ns[r];
+  }
+  out.realized_tinf_ns = span[0];
+  out.speedup_bound = out.realized_tinf_ns > 0
+                          ? static_cast<double>(out.realized_t1_ns) /
+                                static_cast<double>(out.realized_tinf_ns)
+                          : 0.0;
+  out.bound_ratio = out.dag_speedup_bound > 0
+                        ? out.speedup_bound / out.dag_speedup_bound
+                        : 0.0;
+
+  // Per-level shares along the realized path: the path holds the root and,
+  // recursively, every child of a sequential node / the max child of a
+  // parallel node; each path node contributes its own pre+post.
+  std::map<std::int32_t, std::uint64_t> by_level;
+  std::vector<dag::NodeId> walk{graph.root()};
+  while (!walk.empty()) {
+    const dag::NodeId id = walk.back();
+    walk.pop_back();
+    const std::size_t i = static_cast<std::size_t>(id);
+    const dag::TaskGraph::Node& nd = graph.node(id);
+    by_level[nd.level] += pre_ns[i] + post_ns[i];
+    if (nd.children.empty()) continue;
+    if (nd.sequential) {
+      for (dag::NodeId c : nd.children) walk.push_back(c);
+    } else {
+      dag::NodeId best = nd.children.front();
+      for (dag::NodeId c : nd.children) {
+        if (span[static_cast<std::size_t>(c)] >
+            span[static_cast<std::size_t>(best)]) {
+          best = c;
+        }
+      }
+      walk.push_back(best);
+    }
+  }
+  for (const auto& [level, ns] : by_level) {
+    LevelShare ls;
+    ls.level = level;
+    ls.ns = ns;
+    ls.share = out.realized_tinf_ns > 0
+                   ? static_cast<double>(ns) /
+                         static_cast<double>(out.realized_tinf_ns)
+                   : 0.0;
+    out.levels.push_back(ls);
+  }
+  return out;
+}
+
+std::string RealizedPath::to_json() const {
+  std::string j = "{\"schema\":\"cab-critpath-v1\"";
+  j += ",\"realized_t1_ns\":" + std::to_string(realized_t1_ns);
+  j += ",\"realized_tinf_ns\":" + std::to_string(realized_tinf_ns);
+  j += ",\"speedup_bound\":" + util::format_fixed(speedup_bound, 4);
+  j += ",\"dag_t1\":" + std::to_string(dag_t1);
+  j += ",\"dag_tinf\":" + std::to_string(dag_tinf);
+  j += ",\"dag_speedup_bound\":" + util::format_fixed(dag_speedup_bound, 4);
+  j += ",\"bound_ratio\":" + util::format_fixed(bound_ratio, 4);
+  j += ",\"joined_tasks\":" + std::to_string(joined_tasks);
+  j += ",\"estimated_tasks\":" + std::to_string(estimated_tasks);
+  j += ",\"levels\":[";
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    if (i) j += ',';
+    j += "{\"level\":" + std::to_string(levels[i].level);
+    j += ",\"ns\":" + std::to_string(levels[i].ns);
+    j += ",\"share\":" + util::format_fixed(levels[i].share, 4) + "}";
+  }
+  j += "]}";
+  return j;
+}
+
+std::string RealizedPath::to_string() const {
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "realized T1 %.3f ms, T-inf %.3f ms -> speedup bound %.2f "
+                "(DAG bound %.2f, ratio %.3f)\n",
+                static_cast<double>(realized_t1_ns) / 1e6,
+                static_cast<double>(realized_tinf_ns) / 1e6, speedup_bound,
+                dag_speedup_bound, bound_ratio);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  tasks joined %zu, estimated from work model %zu\n",
+                joined_tasks, estimated_tasks);
+  out += buf;
+  for (const LevelShare& l : levels) {
+    std::snprintf(buf, sizeof(buf),
+                  "  level %2d: %8.3f ms on the path (%.1f%%)\n", l.level,
+                  static_cast<double>(l.ns) / 1e6, 100.0 * l.share);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace cab::obs::attrib

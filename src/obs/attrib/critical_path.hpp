@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dag/task_graph.hpp"
+#include "obs/timeline.hpp"
+
+namespace cab::obs::attrib {
+
+/// Realized time spent on one level of the realized critical path.
+struct LevelShare {
+  std::int32_t level = 0;
+  std::uint64_t ns = 0;  ///< pre+post self time of path nodes at this level
+  double share = 0.0;    ///< ns / realized_tinf_ns
+};
+
+/// The critical path a run *actually* executed, measured from the trace
+/// rather than derived from declared work units.
+///
+/// kTaskNode instants join each kTaskExec span to its dag::NodeId; the
+/// span's *self* time (body minus nested sync waits and helping) is the
+/// node's realized duration, split pre/post by the declared work ratio.
+/// Realized T1 is the sum over all nodes, realized T-infinity the longest
+/// pre -> children -> post chain under the graph's fork-join structure
+/// (sequential nodes sum their child phases, parallel nodes take the max)
+/// — the same recursion as TaskGraph::critical_path, with measured
+/// nanoseconds in place of work units.
+struct RealizedPath {
+  std::uint64_t realized_t1_ns = 0;    ///< Σ realized node self time
+  std::uint64_t realized_tinf_ns = 0;  ///< realized span of the graph
+  /// Achievable-speedup bound implied by the *measured* run: T1/T∞. No
+  /// scheduler can beat this with the task grains the run actually had.
+  double speedup_bound = 0.0;
+
+  std::uint64_t dag_t1 = 0;    ///< declared total work (units)
+  std::uint64_t dag_tinf = 0;  ///< declared critical path (units)
+  double dag_speedup_bound = 0.0;
+  /// speedup_bound / dag_speedup_bound — 1.0 when measured grains match
+  /// the declared work model (the acceptance check asks for within 10%
+  /// on a deterministic app).
+  double bound_ratio = 0.0;
+
+  std::size_t joined_tasks = 0;     ///< nodes matched to an exec span
+  std::size_t estimated_tasks = 0;  ///< nodes filled from the work model
+  std::vector<LevelShare> levels;   ///< critical-path share per task level
+
+  std::string to_json() const;    ///< byte-stable "cab-critpath-v1" object
+  std::string to_string() const;  ///< human summary
+};
+
+/// Extracts the realized critical path of `trace` against the graph that
+/// produced it. Nodes whose kTaskNode tag was dropped (ring wrap,
+/// capacity) are estimated from the declared work model at the realized
+/// ns-per-work-unit rate and counted in `estimated_tasks`, so a truncated
+/// trace degrades gracefully instead of reporting a bogus bound.
+RealizedPath realized_critical_path(const Trace& trace,
+                                    const dag::TaskGraph& graph);
+
+}  // namespace cab::obs::attrib

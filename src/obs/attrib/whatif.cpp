@@ -1,0 +1,152 @@
+#include "obs/attrib/whatif.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/attrib/critical_path.hpp"
+#include "simsched/sim_scheduler.hpp"
+#include "util/format.hpp"
+
+namespace cab::obs::attrib {
+
+namespace {
+
+std::uint64_t median(std::vector<std::uint64_t>& v) {
+  if (v.empty()) return 0;
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid),
+                   v.end());
+  return v[mid];
+}
+
+std::uint64_t run_once(const dag::TaskGraph& graph,
+                       const cachesim::TraceStore& store,
+                       const hw::Topology& topo, std::int32_t bl,
+                       const simsched::CostModel& cost) {
+  simsched::SimOptions opts;
+  opts.topo = topo;
+  opts.policy = simsched::SimPolicy::kCab;
+  opts.boundary_level = bl;
+  opts.cost = cost;
+  return static_cast<std::uint64_t>(
+      simsched::Simulator(opts).run(graph, store).makespan);
+}
+
+}  // namespace
+
+Calibration calibrate(const Trace& trace, const dag::TaskGraph& graph) {
+  Calibration cal;
+  const RealizedPath rp = realized_critical_path(trace, graph);
+  cal.ns_per_work = rp.dag_t1 > 0 ? static_cast<double>(rp.realized_t1_ns) /
+                                        static_cast<double>(rp.dag_t1)
+                                  : 1.0;
+
+  std::vector<std::uint64_t> intra, inter, proto;
+  for (const WorkerTimeline& w : trace.workers) {
+    for (const TraceEvent& e : w.events) {
+      if (e.t1 <= e.t0) continue;
+      const std::uint64_t len = e.t1 - e.t0;
+      switch (e.kind) {
+        case EventKind::kStealIntra: intra.push_back(len); break;
+        case EventKind::kStealInter: inter.push_back(len); break;
+        case EventKind::kInterAcquire: proto.push_back(len); break;
+        default: break;
+      }
+    }
+  }
+  cal.sample_spans = intra.size() + inter.size();
+  cal.intra_steal_median_ns = median(intra);
+  cal.inter_steal_median_ns = median(inter);
+  cal.protocol_median_ns = median(proto);
+
+  simsched::CostModel& c = cal.cost;
+  c.cycles_per_work = cal.ns_per_work > 0 ? cal.ns_per_work : 1.0;
+  // Memory time is folded into the measured spans; see Calibration docs.
+  c.l1_hit_cycles = 0.0;
+  c.l2_hit_cycles = 0.0;
+  c.l3_hit_cycles = 0.0;
+  c.memory_cycles = 0.0;
+  if (cal.intra_steal_median_ns > 0) {
+    c.intra_steal_cycles = static_cast<double>(cal.intra_steal_median_ns);
+  }
+  if (cal.inter_steal_median_ns > 0) {
+    c.inter_steal_cycles = static_cast<double>(cal.inter_steal_median_ns);
+  }
+  return cal;
+}
+
+const std::vector<std::string>& what_if_components() {
+  static const std::vector<std::string> kComponents = {
+      "exec", "steal_intra", "steal_inter", "spawn"};
+  return kComponents;
+}
+
+WhatIfProfile what_if_sweep(const dag::TaskGraph& graph,
+                            const cachesim::TraceStore& store,
+                            const hw::Topology& topo,
+                            std::int32_t boundary_level,
+                            const Calibration& cal,
+                            const std::vector<double>& factors) {
+  WhatIfProfile out;
+  out.baseline_ns = run_once(graph, store, topo, boundary_level, cal.cost);
+  for (const std::string& component : what_if_components()) {
+    for (double k : factors) {
+      simsched::CostModel cost = cal.cost;
+      if (component == "exec") {
+        cost.cycles_per_work *= k;
+      } else if (component == "steal_intra") {
+        cost.intra_steal_cycles *= k;
+      } else if (component == "steal_inter") {
+        cost.inter_steal_cycles *= k;
+      } else if (component == "spawn") {
+        cost.spawn_cycles *= k;
+      }
+      WhatIfEntry e;
+      e.component = component;
+      e.factor = k;
+      e.projected_ns = run_once(graph, store, topo, boundary_level, cost);
+      e.delta = out.baseline_ns > 0
+                    ? (static_cast<double>(e.projected_ns) -
+                       static_cast<double>(out.baseline_ns)) /
+                          static_cast<double>(out.baseline_ns)
+                    : 0.0;
+      out.entries.push_back(std::move(e));
+    }
+  }
+  return out;
+}
+
+std::string WhatIfProfile::to_json() const {
+  std::string j = "{\"schema\":\"cab-whatif-v1\"";
+  j += ",\"baseline_ns\":" + std::to_string(baseline_ns);
+  j += ",\"entries\":[";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const WhatIfEntry& e = entries[i];
+    if (i) j += ',';
+    j += "{\"component\":\"" + e.component + "\"";
+    j += ",\"factor\":" + util::format_fixed(e.factor, 3);
+    j += ",\"projected_ns\":" + std::to_string(e.projected_ns);
+    j += ",\"delta\":" + util::format_fixed(e.delta, 4) + "}";
+  }
+  j += "]}";
+  return j;
+}
+
+std::string WhatIfProfile::to_string() const {
+  std::string out;
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "what-if baseline (calibrated replay): %.3f ms\n",
+                static_cast<double>(baseline_ns) / 1e6);
+  out += buf;
+  for (const WhatIfEntry& e : entries) {
+    std::snprintf(buf, sizeof(buf),
+                  "  %-12s x%.2f -> %9.3f ms (%+.2f%%)\n",
+                  e.component.c_str(), e.factor,
+                  static_cast<double>(e.projected_ns) / 1e6, 100.0 * e.delta);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace cab::obs::attrib

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cachesim/trace.hpp"
+#include "dag/task_graph.hpp"
+#include "hw/topology.hpp"
+#include "obs/timeline.hpp"
+#include "simsched/cost_model.hpp"
+
+namespace cab::obs::attrib {
+
+/// A simsched cost model fitted to one measured trace, so what-if runs
+/// replay the *measured* run rather than the paper-default machine:
+///  - 1 virtual cycle ≡ 1 ns; cycles_per_work = realized T1 / declared
+///    total work, so a plain replay reproduces the measured exec time;
+///  - cache latencies are zeroed — the memory time a real task paid is
+///    already inside its measured span, so charging model latencies on
+///    top would double-count it;
+///  - steal/acquire costs come from the measured span medians (median,
+///    not mean: steal attempts have a heavy backoff tail).
+struct Calibration {
+  simsched::CostModel cost;
+  double ns_per_work = 0.0;
+  std::uint64_t intra_steal_median_ns = 0;
+  std::uint64_t inter_steal_median_ns = 0;
+  std::uint64_t protocol_median_ns = 0;  ///< kInterAcquire (reported only)
+  std::uint64_t sample_spans = 0;        ///< steal spans the medians saw
+};
+
+/// Fits a Calibration from a trace and the graph that produced it.
+Calibration calibrate(const Trace& trace, const dag::TaskGraph& graph);
+
+/// One virtual-speedup experiment: `component` scaled by `factor`.
+struct WhatIfEntry {
+  std::string component;  ///< "exec" | "steal_intra" | "steal_inter" | "spawn"
+  double factor = 1.0;    ///< cost multiplier (0.5 = twice as fast)
+  std::uint64_t projected_ns = 0;  ///< simulated makespan under the change
+  /// (projected - baseline) / baseline: negative = epoch gets faster.
+  double delta = 0.0;
+};
+
+/// COZ-style causal profile: for each (component, factor) the projected
+/// epoch-time change had that component alone been that much faster or
+/// slower. The profile answers "which knob is worth optimizing" — a
+/// component whose ×0.5 row barely moves the makespan is off the critical
+/// path no matter how large its attribution share is.
+struct WhatIfProfile {
+  std::uint64_t baseline_ns = 0;  ///< calibrated replay, nothing scaled
+  std::vector<WhatIfEntry> entries;
+
+  std::string to_json() const;    ///< byte-stable "cab-whatif-v1" object
+  std::string to_string() const;  ///< human table
+};
+
+/// Components what_if_sweep scales, in sweep order.
+const std::vector<std::string>& what_if_components();
+
+/// Replays `graph` through the deterministic simulator once per
+/// (component, factor) pair — every listed component at every factor —
+/// plus one unscaled baseline. `boundary_level` < 0 means Eq. 4 default
+/// is not computed here; pass the BL the measured run used.
+WhatIfProfile what_if_sweep(const dag::TaskGraph& graph,
+                            const cachesim::TraceStore& store,
+                            const hw::Topology& topo,
+                            std::int32_t boundary_level,
+                            const Calibration& cal,
+                            const std::vector<double>& factors);
+
+}  // namespace cab::obs::attrib

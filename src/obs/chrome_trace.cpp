@@ -22,6 +22,7 @@ const char* to_string(EventKind k) {
     case EventKind::kActiveInter: return "active_inter";
     case EventKind::kSyncWait: return "sync:wait";
     case EventKind::kIdle: return "idle";
+    case EventKind::kTaskNode: return "task:node";
   }
   return "?";
 }
@@ -117,6 +118,9 @@ void append_event(std::string& out, const WorkerTimeline& w,
     case EventKind::kIdle:
       std::snprintf(buf, sizeof(buf), "\"fails\":%d", e.a);
       break;
+    case EventKind::kTaskNode:
+      std::snprintf(buf, sizeof(buf), "\"node\":%d", e.a);
+      break;
     case EventKind::kActiveInter:
       buf[0] = '\0';
       break;
@@ -180,10 +184,43 @@ void append_metric_events(std::string& s, const Trace& trace,
   }
 }
 
+/// Per-squad "attrib:<bucket>" counter tracks (values in nanoseconds) at
+/// the trace end — the cycle-accounting decomposition rendered where the
+/// viewer shows the lanes it explains.
+void append_attrib_events(std::string& s, const Trace& trace,
+                          const attrib::Attribution& a, bool& first) {
+  const std::uint64_t end = trace_end_ns(trace);
+  const std::pair<const char*, std::uint64_t attrib::Buckets::*> tracks[] = {
+      {"attrib:exec_intra", &attrib::Buckets::exec_intra},
+      {"attrib:exec_inter", &attrib::Buckets::exec_inter},
+      {"attrib:steal_intra", &attrib::Buckets::steal_intra},
+      {"attrib:steal_inter", &attrib::Buckets::steal_inter},
+      {"attrib:protocol", &attrib::Buckets::protocol},
+      {"attrib:idle", &attrib::Buckets::idle},
+      {"attrib:untracked", &attrib::Buckets::untracked},
+  };
+  for (const attrib::SquadAttrib& sq : a.squads) {
+    for (const auto& [name, field] : tracks) {
+      if (!first) s += ",\n";
+      first = false;
+      char buf[96];
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"%s\",\"ph\":\"C\",\"pid\":%d,\"ts\":", name,
+                    sq.squad);
+      s += buf;
+      append_us(s, end);
+      std::snprintf(buf, sizeof(buf), ",\"args\":{\"value\":%llu}}",
+                    static_cast<unsigned long long>(sq.b.*field));
+      s += buf;
+    }
+  }
+}
+
 }  // namespace
 
 void write_chrome_trace(const Trace& trace, std::ostream& out,
-                        const metrics::Snapshot* metrics) {
+                        const metrics::Snapshot* metrics,
+                        const attrib::Attribution* attribution) {
   std::string s;
   s.reserve(256 + trace.event_count() * 96);
   s += "{\"displayTimeUnit\":\"ns\",\"otherData\":{";
@@ -195,6 +232,8 @@ void write_chrome_trace(const Trace& trace, std::ostream& out,
                 static_cast<unsigned long long>(trace.dropped_count()));
   s += buf;
   append_escaped(s, trace.scheduler);
+  s += ",\"workload\":";
+  append_escaped(s, trace.workload);
   s += "},\"traceEvents\":[";
   bool first = true;
   auto sep = [&] {
@@ -235,15 +274,19 @@ void write_chrome_trace(const Trace& trace, std::ostream& out,
     }
   }
   if (metrics != nullptr) append_metric_events(s, trace, *metrics, first);
+  if (attribution != nullptr) {
+    append_attrib_events(s, trace, *attribution, first);
+  }
   s += "]}\n";
   out << s;
 }
 
 bool write_chrome_trace_file(const Trace& trace, const std::string& path,
-                             const metrics::Snapshot* metrics) {
+                             const metrics::Snapshot* metrics,
+                             const attrib::Attribution* attribution) {
   std::ofstream out(path);
   if (!out) return false;
-  write_chrome_trace(trace, out, metrics);
+  write_chrome_trace(trace, out, metrics, attribution);
   return out.good();
 }
 
@@ -266,6 +309,7 @@ Trace parse_chrome_trace(const std::string& json_text) {
   t.cores_per_socket =
       static_cast<std::int32_t>(other.number_or("cores_per_socket", 0));
   t.scheduler = other.string_or("scheduler", "");
+  t.workload = other.string_or("workload", "");
   if (t.sockets <= 0 || t.cores_per_socket <= 0) {
     throw std::runtime_error("trace: missing or invalid machine shape");
   }
@@ -310,6 +354,7 @@ Trace parse_chrome_trace(const std::string& json_text) {
       continue;
     }
     if (name.rfind("metric:", 0) == 0) continue;  // merged registry tracks
+    if (name.rfind("attrib:", 0) == 0) continue;  // derived counter tracks
     EventKind kind;
     if (!kind_from_name(name, kind)) {
       throw std::runtime_error("trace: unknown event name: " + name);
@@ -354,6 +399,10 @@ Trace parse_chrome_trace(const std::string& json_text) {
         break;
       case EventKind::kIdle:
         e.a = static_cast<std::int32_t>(args.number_or("fails", 0));
+        e.b = 0;
+        break;
+      case EventKind::kTaskNode:
+        e.a = static_cast<std::int32_t>(args.number_or("node", -1));
         e.b = 0;
         break;
     }

@@ -3,6 +3,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "obs/attrib/attrib.hpp"
 #include "obs/metrics/registry.hpp"
 #include "obs/timeline.hpp"
 
@@ -21,14 +22,19 @@ namespace cab::obs {
 /// merged in as "C" counter tracks named "metric:<name>" — one per squad
 /// (using the snapshot's writer->squad map) stamped at the trace end, so
 /// registry totals line up against the timeline lanes in the viewer.
-/// parse_chrome_trace skips these (a Trace has nowhere to hold them).
+/// Likewise an attribution (obs::attrib::attribute over the same trace)
+/// adds per-squad "attrib:<bucket>" counter tracks (nanoseconds) so the
+/// cycle-accounting breakdown is visible next to the lanes it explains.
+/// parse_chrome_trace skips both (a Trace has nowhere to hold them).
 void write_chrome_trace(const Trace& trace, std::ostream& out,
-                        const metrics::Snapshot* metrics = nullptr);
+                        const metrics::Snapshot* metrics = nullptr,
+                        const attrib::Attribution* attribution = nullptr);
 
 /// Convenience: write_chrome_trace to a file. Returns false (and writes
 /// nothing) when the file cannot be opened.
 bool write_chrome_trace_file(const Trace& trace, const std::string& path,
-                             const metrics::Snapshot* metrics = nullptr);
+                             const metrics::Snapshot* metrics = nullptr,
+                             const attrib::Attribution* attribution = nullptr);
 
 /// Reconstructs a Trace from Chrome-trace JSON produced by
 /// write_chrome_trace (the exporter's exact inverse: timestamps round-trip

@@ -31,9 +31,13 @@ enum class EventKind : std::uint8_t {
   kActiveInter,   ///< instant: squad busy_state transition; a=squad, b=new count
   kSyncWait,      ///< span: blocked at a sync; a=help iterations, b=tasks run
   kIdle,          ///< span: free worker found nothing; a=failed acquires
+  kTaskNode,      ///< instant: DAG identity of the enclosing kTaskExec span;
+                  ///< a=dag::NodeId (emitted at body start by run_graph /
+                  ///< Runtime::mark_task_node — joins the trace to the
+                  ///< TaskGraph for realized-critical-path attribution)
 };
 
-inline constexpr int kEventKindCount = 9;
+inline constexpr int kEventKindCount = 10;
 
 const char* to_string(EventKind k);
 
@@ -71,50 +75,88 @@ struct TraceEvent {
 /// cursors never share a line.
 ///
 /// Cost when disabled: one predictable branch per emit site, no clock
-/// reads. When enabled, events past `capacity` are counted in `dropped`
-/// and discarded (the head of the run is kept, which is where schedule
-/// shape lives).
+/// reads. When enabled, memory is bounded by `capacity` events, with two
+/// drop policies (Options::trace vs Options::trace_ring):
+///
+///   head-keep (ring == false, default): events past `capacity` are
+///     counted in `dropped` and discarded — the *head* of the run is
+///     kept, which is where schedule shape lives. Attribution over a
+///     truncated trace under-explains the tail, so the untracked-share
+///     gate flags it.
+///   ring (ring == true): the buffer wraps and the *oldest* event is
+///     overwritten, so the most recent `capacity` events survive — the
+///     always-on / flight-recorder mode, where the interesting window is
+///     the one just before a stall or gate trip. Every overwrite counts
+///     in `dropped`; snapshot() unrolls the ring back to chronological
+///     (append) order.
+///
+/// Either way `dropped` is the exact number of events not present, so a
+/// reader can tell a complete trace (dropped == 0) from a windowed one.
 struct alignas(util::kCacheLineSize) TimelineBuffer {
   bool enabled = false;
+  bool ring = false;
   std::uint64_t epoch_ns = 0;
   std::size_t capacity = 0;
+  std::size_t next_overwrite = 0;  ///< ring mode: oldest entry's index
   std::uint64_t dropped = 0;
   std::vector<TraceEvent> events;
 
-  void configure(bool on, std::size_t cap, std::uint64_t epoch) {
+  void configure(bool on, std::size_t cap, std::uint64_t epoch,
+                 bool ring_mode = false) {
     enabled = on;
     capacity = cap;
     epoch_ns = epoch;
+    ring = ring_mode;
     events.clear();
+    next_overwrite = 0;
     dropped = 0;
     if (on) events.reserve(cap < 4096 ? cap : 4096);
   }
 
   void clear() {
     events.clear();
+    next_overwrite = 0;
     dropped = 0;
   }
 
   /// Appends one event with absolute steady-clock stamps `t0`/`t1`.
   void record(EventKind k, std::uint64_t t0, std::uint64_t t1,
               std::int32_t a, std::int32_t b) {
-    if (events.size() >= capacity) {
-      ++dropped;
-      return;
-    }
     TraceEvent e;
     e.t0 = t0 - epoch_ns;
     e.t1 = t1 - epoch_ns;
     e.a = a;
     e.b = b;
     e.kind = k;
-    events.push_back(e);
+    if (events.size() < capacity) {
+      events.push_back(e);
+      return;
+    }
+    ++dropped;
+    if (!ring || capacity == 0) return;  // head-keep: discard the tail
+    events[next_overwrite] = e;          // ring: overwrite the oldest
+    if (++next_overwrite == capacity) next_overwrite = 0;
   }
 
   /// Instant-event convenience: stamps the clock itself.
   void mark(EventKind k, std::int32_t a, std::int32_t b) {
     const std::uint64_t t = now_ns();
     record(k, t, t, a, b);
+  }
+
+  /// The buffered events in chronological (append) order — identity for
+  /// the head-keep policy, the unrolled ring for ring mode.
+  std::vector<TraceEvent> snapshot() const {
+    if (!ring || dropped == 0 || events.empty()) return events;
+    // The buffer has wrapped: events[next_overwrite..) are the oldest
+    // surviving entries, events[..next_overwrite) the newest.
+    const auto split =
+        events.begin() + static_cast<std::ptrdiff_t>(next_overwrite);
+    std::vector<TraceEvent> out;
+    out.reserve(events.size());
+    out.insert(out.end(), split, events.end());
+    out.insert(out.end(), events.begin(), split);
+    return out;
   }
 };
 
@@ -134,6 +176,7 @@ struct Trace {
   std::int32_t sockets = 0;
   std::int32_t cores_per_socket = 0;
   std::string scheduler;  ///< to_string(SchedulerKind)
+  std::string workload;   ///< bundle/app name, "" when unknown
   std::vector<WorkerTimeline> workers;
 
   std::size_t event_count() const {

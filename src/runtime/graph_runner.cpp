@@ -26,6 +26,7 @@ struct GraphRun {
   void exec(dag::NodeId id) {
     const dag::TaskGraph::Node& node = g.node(id);
     executed.fetch_add(1, std::memory_order_relaxed);
+    Runtime::mark_task_node(id);
     burn(scaled(node.pre_work));
     if (node.sequential) {
       // `for { spawn...; sync; }` — one phase per child.

@@ -33,6 +33,7 @@ Runtime::Runtime(Options opts) : opts_(opts), engine_(new Engine(opts.topo)) {
   e.frame_accounting = opts.metrics;
   e.trace_capacity = opts.trace_capacity;
   e.trace_epoch_ns = obs::now_ns();
+  e.trace_ring = opts.trace_ring;
   CAB_CHECK(opts.boundary_level >= 0, "boundary level must be >= 0");
 
   if (opts_.adapt.mode != adapt::Mode::kStatic) {
@@ -101,7 +102,8 @@ Runtime::Runtime(Options opts) : opts_(opts), engine_(new Engine(opts.topo)) {
     worker->is_head = (w == worker->squad->head_worker);
     worker->engine = &e;
     worker->rng = util::Xorshift64(util::splitmix64(seed_state));
-    worker->tl.configure(e.trace, e.trace_capacity, e.trace_epoch_ns);
+    worker->tl.configure(e.trace, e.trace_capacity, e.trace_epoch_ns,
+                         e.trace_ring);
     e.workers.push_back(std::move(worker));
   }
   // Threads start only after the workers vector is fully built: workers
@@ -161,16 +163,21 @@ void Runtime::run(std::function<void()> root) {
   {
     std::lock_guard<std::mutex> lk(e.lifecycle_mu);
     this_epoch = ++e.epoch;
+    e.epoch_start_ns = obs::now_ns();
+    e.joined = 0;
   }
   e.lifecycle_cv.notify_all();
 
   {
-    // Both conditions: the DAG is drained *and* every worker that joined
-    // this epoch has left its drain loop (see Engine::working) — only
-    // then are the per-worker stats/exec-log/timeline buffers quiescent.
+    // All three conditions: the DAG is drained, every worker woke into
+    // this epoch, and every one of them has left its drain loop (see
+    // Engine::working / Engine::joined) — only then are the per-worker
+    // stats/exec-log/timeline buffers quiescent.
     std::unique_lock<std::mutex> lk(e.lifecycle_mu);
     e.done_cv.wait(lk, [&] {
-      return e.root_done.load(std::memory_order_acquire) && e.working == 0;
+      return e.root_done.load(std::memory_order_acquire) &&
+             e.joined == static_cast<int>(e.workers.size()) &&
+             e.working == 0;
     });
   }
   if (adapt_) {
@@ -506,10 +513,20 @@ obs::Trace Runtime::trace() const {
     wt.squad = w->squad->id;
     wt.is_head = w->is_head;
     wt.dropped = w->tl.dropped;
-    wt.events = w->tl.events;
+    wt.events = w->tl.snapshot();
     t.workers.push_back(std::move(wt));
   }
   return t;
+}
+
+obs::attrib::Attribution Runtime::attrib_report() const {
+  return obs::attrib::attribute(trace());
+}
+
+void Runtime::mark_task_node(std::int32_t node) {
+  Worker* w = tls_worker;
+  if (w == nullptr || !w->tl.enabled) return;
+  w->tl.mark(obs::EventKind::kTaskNode, node, 0);
 }
 
 std::int64_t Runtime::peak_live_frames() const {

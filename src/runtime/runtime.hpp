@@ -7,6 +7,7 @@
 #include "adapt/controller.hpp"
 #include "dag/partition.hpp"
 #include "hw/topology.hpp"
+#include "obs/attrib/attrib.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/stats.hpp"
 #include "util/assert.hpp"
@@ -52,6 +53,15 @@ struct Options {
   /// Max timeline events kept per worker; later events are dropped and
   /// counted (Trace reports the drop total).
   std::size_t trace_capacity = 1u << 18;
+
+  /// Ring-buffer tracing: when true (and `trace` is on), a full buffer
+  /// wraps and overwrites the *oldest* event instead of dropping the
+  /// newest, so the last `trace_capacity` events per worker always
+  /// survive — fixed-memory, always-on flight recording for long-running
+  /// services. Default false keeps the head of the run (where schedule
+  /// shape lives). Both policies count every lost event; see
+  /// obs::TimelineBuffer for the exact drop semantics.
+  bool trace_ring = false;
 
   /// Populate the metrics registry: scheduler counters (flushed from
   /// WorkerStats when a snapshot is taken — nothing on the hot path) and
@@ -167,6 +177,12 @@ class Runtime {
   /// Squad (socket) id of the calling worker, or -1 outside any task.
   static int current_squad();
 
+  /// Tags the currently executing task with its DAG node id (a kTaskNode
+  /// instant in the worker's timeline), joining the trace to a TaskGraph
+  /// for realized-critical-path analysis. Call at task body start (as
+  /// run_graph does). No-op outside a task or when tracing is off.
+  static void mark_task_node(std::int32_t node);
+
   const Options& options() const { return opts_; }
   int worker_count() const;
 
@@ -175,8 +191,15 @@ class Runtime {
   void reset_stats();
 
   /// Snapshot of every worker's timeline (empty event lists unless
-  /// Options::trace). Call between run()s only — workers must be parked.
+  /// Options::trace). Ring buffers are unrolled to chronological order.
+  /// Call between run()s only — workers must be parked.
   obs::Trace trace() const;
+
+  /// Cycle-accounting attribution of the current timeline contents:
+  /// where every worker's wall time went (exec / steal / protocol /
+  /// idle / untracked, per worker, squad, and tier). Equivalent to
+  /// obs::attrib::attribute(trace()). Call between run()s only.
+  obs::attrib::Attribution attrib_report() const;
 
   /// Metrics registry snapshot: scheduler counters (flushed from
   /// WorkerStats here), idle-backoff totals, and — when Options::

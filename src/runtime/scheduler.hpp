@@ -226,6 +226,8 @@ struct Engine {
   bool frame_pool = true;
   std::size_t trace_capacity = 0;
   std::uint64_t trace_epoch_ns = 0;
+  /// Ring-buffer drop policy for the timelines (Options::trace_ring).
+  bool trace_ring = false;
 
   /// Metrics registry: one writer slot per worker. Scheduler counters
   /// are flushed into it from WorkerStats at snapshot time (zero hot-path
@@ -302,6 +304,11 @@ struct Engine {
   bool active = false;
   bool shutdown = false;
   std::uint64_t epoch = 0;
+  /// Steady-clock stamp taken by run() just before it publishes the epoch
+  /// (guarded by lifecycle_mu). Workers open their lead-in idle span here,
+  /// so time parked in the lifecycle wait is attributed as idle rather
+  /// than silently vanishing into the untracked bucket.
+  std::uint64_t epoch_start_ns = 0;
 
   /// Workers currently inside the drain loop of the running epoch
   /// (guarded by lifecycle_mu). run() returns only once this is back to
@@ -311,6 +318,12 @@ struct Engine {
   /// hand-off at the final decrement is the happens-before edge that
   /// makes post-run stats()/trace() reads safe.
   int working = 0;
+  /// Workers that have woken into the running epoch (guarded by
+  /// lifecycle_mu). run() waits for every worker to join before it
+  /// returns: a short epoch can otherwise finish while a slow-waking
+  /// worker is still parked, and that straggler would later append its
+  /// lead-in idle event to a timeline the main thread is reading.
+  int joined = 0;
 
   void worker_main(Worker& w);
   void notify_if_done();

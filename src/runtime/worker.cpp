@@ -432,6 +432,7 @@ void Engine::worker_main(Worker& w) {
 
   std::uint64_t seen_epoch = 0;
   for (;;) {
+    std::uint64_t epoch_t0 = 0;
     {
       std::unique_lock<std::mutex> lk(lifecycle_mu);
       // blocking-ok: parked between run() epochs — no DAG is in flight,
@@ -440,6 +441,8 @@ void Engine::worker_main(Worker& w) {
           lk, [&] { return shutdown || epoch != seen_epoch; });
       if (shutdown) break;
       seen_epoch = epoch;
+      epoch_t0 = epoch_start_ns;
+      ++joined;
       ++working;
     }
     // Counters run only inside epochs: enabled here, disabled below, so
@@ -447,16 +450,24 @@ void Engine::worker_main(Worker& w) {
     w.perf.enable();
     const bool tr = w.tl.enabled;
     int fails = 0;
-    std::uint64_t idle_start = 0;
+    // The lead-in stretch — epoch publication to this worker's first
+    // acquired task — is idle time too (the thread was parked or waking),
+    // so it opens at run()'s own stamp; without it a worker that wakes
+    // into an already-drained DAG would leave the whole epoch untracked.
+    bool lead_in = tr;
+    std::uint64_t idle_start = epoch_t0;
     // One kIdle span per streak of failed acquires, not one event per
     // attempt: idle spins are the highest-frequency state a worker has,
     // and a span per streak keeps the buffer proportional to schedule
     // structure instead of spin speed.
     auto close_idle = [&] {
-      if (tr && fails > 0) {
-        w.tl.record(obs::EventKind::kIdle, idle_start, obs::now_ns(), fails,
-                    0);
+      if (tr && (fails > 0 || lead_in)) {
+        const std::uint64_t now = obs::now_ns();
+        if (now > idle_start) {
+          w.tl.record(obs::EventKind::kIdle, idle_start, now, fails, 0);
+        }
       }
+      lead_in = false;
     };
     while (!root_done.load(std::memory_order_acquire)) {
       if (TaskFrame* t = w.acquire(fails >= kStarvationEscapeFails)) {
@@ -464,7 +475,7 @@ void Engine::worker_main(Worker& w) {
         fails = 0;
         w.execute(t);
       } else {
-        if (tr && fails == 0) idle_start = obs::now_ns();
+        if (tr && fails == 0 && !lead_in) idle_start = obs::now_ns();
         backoff(fails, w.stats);
       }
     }

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace cab::util::args {
+
+/// Value of `--<name>=<v>` (or `--<name> <v>`) in argv, else "".
+/// `name` is the bare flag name without dashes, e.g. "trace". When the
+/// flag repeats, the first occurrence wins (use values() for all).
+inline std::string value(int argc, char** argv, const char* name) {
+  const std::string eq = std::string("--") + name + "=";
+  const std::string sep = std::string("--") + name;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind(eq, 0) == 0) return a.substr(eq.size());
+    if (a == sep && i + 1 < argc) return argv[i + 1];
+  }
+  return "";
+}
+
+/// Every value of a repeatable `--<name>=<v>` / `--<name> <v>` flag, in
+/// argv order (e.g. cab_bench_report's --threshold overrides).
+inline std::vector<std::string> values(int argc, char** argv,
+                                       const char* name) {
+  const std::string eq = std::string("--") + name + "=";
+  const std::string sep = std::string("--") + name;
+  std::vector<std::string> out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind(eq, 0) == 0) {
+      out.push_back(a.substr(eq.size()));
+    } else if (a == sep && i + 1 < argc) {
+      out.push_back(argv[++i]);
+    }
+  }
+  return out;
+}
+
+/// Value of `--<name>=<v>` only — for flags that are meaningful bare
+/// (e.g. "--attrib" vs "--attrib=out.json"), where the space-separated
+/// form would swallow the next flag as a value. Returns "" when the flag
+/// is absent or bare.
+inline std::string eq_value(int argc, char** argv, const char* name) {
+  const std::string eq = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind(eq, 0) == 0) return a.substr(eq.size());
+  }
+  return "";
+}
+
+/// True when `--<name>` appears, bare or with a value.
+inline bool has_flag(int argc, char** argv, const char* name) {
+  const std::string eq = std::string("--") + name + "=";
+  const std::string sep = std::string("--") + name;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == sep || a.rfind(eq, 0) == 0) return true;
+  }
+  return false;
+}
+
+/// One known flag for reject_unknown(): its bare name and whether a
+/// space-separated value may follow it ("--trace out.json").
+struct FlagSpec {
+  const char* name;
+  bool takes_value = false;
+};
+
+/// Positional (non `--`) arguments, skipping the values of known
+/// space-separated flags.
+inline std::vector<std::string> positionals(
+    int argc, char** argv, const std::vector<FlagSpec>& known) {
+  std::vector<std::string> out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--", 0) == 0) {
+      for (const FlagSpec& f : known) {
+        if (f.takes_value && a == std::string("--") + f.name &&
+            i + 1 < argc) {
+          ++i;  // the next arg is this flag's value, not a positional
+          break;
+        }
+      }
+      continue;
+    }
+    out.push_back(a);
+  }
+  return out;
+}
+
+/// First `--` argument not in `known`, else "". The unknown-flag
+/// rejection every CLI shares: a misspelled --json must not silently
+/// discard an hour-long run's record. Matches both "--name=..." and
+/// "--name value" forms.
+inline std::string first_unknown(int argc, char** argv,
+                                 const std::vector<FlagSpec>& known) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--", 0) != 0) continue;
+    bool matched = false;
+    for (const FlagSpec& f : known) {
+      const std::string sep = std::string("--") + f.name;
+      if (a == sep || a.rfind(sep + "=", 0) == 0) {
+        matched = true;
+        if (a == sep && f.takes_value) ++i;  // skip the value
+        break;
+      }
+    }
+    if (!matched) return a;
+  }
+  return "";
+}
+
+}  // namespace cab::util::args

@@ -9,9 +9,12 @@
 #include <sstream>
 #include <string>
 
+#include "dag/generators.hpp"
+#include "obs/attrib/attrib.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/json.hpp"
 #include "obs/report.hpp"
+#include "runtime/graph_runner.hpp"
 #include "runtime/runtime.hpp"
 
 namespace cab::runtime {
@@ -44,6 +47,33 @@ obs::Trace traced_tree_run(Runtime& rt, int depth) {
   rt.run([&] { spawn_tree(depth, &leaves); });
   EXPECT_EQ(leaves.load(), 1 << depth);
   return rt.trace();
+}
+
+// Field-by-field equality of two traces (the export/parse exact-inverse
+// property), with failures pointing at the first differing event.
+void expect_traces_equal(const obs::Trace& t, const obs::Trace& back) {
+  EXPECT_EQ(back.sockets, t.sockets);
+  EXPECT_EQ(back.cores_per_socket, t.cores_per_socket);
+  EXPECT_EQ(back.scheduler, t.scheduler);
+  EXPECT_EQ(back.workload, t.workload);
+  ASSERT_EQ(back.workers.size(), t.workers.size());
+  for (std::size_t i = 0; i < t.workers.size(); ++i) {
+    const obs::WorkerTimeline& a = t.workers[i];
+    const obs::WorkerTimeline& b = back.workers[i];
+    EXPECT_EQ(a.worker, b.worker);
+    EXPECT_EQ(a.squad, b.squad);
+    EXPECT_EQ(a.is_head, b.is_head);
+    EXPECT_EQ(a.dropped, b.dropped);
+    ASSERT_EQ(a.events.size(), b.events.size()) << "worker " << a.worker;
+    for (std::size_t j = 0; j < a.events.size(); ++j) {
+      EXPECT_EQ(a.events[j].kind, b.events[j].kind)
+          << "worker " << a.worker << " event " << j;
+      EXPECT_EQ(a.events[j].t0, b.events[j].t0);
+      EXPECT_EQ(a.events[j].t1, b.events[j].t1);
+      EXPECT_EQ(a.events[j].a, b.events[j].a);
+      EXPECT_EQ(a.events[j].b, b.events[j].b);
+    }
+  }
 }
 
 TEST(Obs, TraceOffProducesNoEvents) {
@@ -153,7 +183,7 @@ TEST(Obs, ChromeJsonParsesAndReferencesValidIds) {
   const std::set<std::string> known = {
       "task",        "steal:intra",  "steal:inter",
       "inter:acquire", "spawn:intra", "spawn:inter",
-      "active_inter", "sync:wait",   "idle",
+      "active_inter", "sync:wait",   "idle",       "task:node",
       "process_name", "thread_name", "cab_worker"};
   for (const obs::json::Value& ev : doc["traceEvents"].as_array()) {
     ASSERT_TRUE(ev.is_object());
@@ -174,27 +204,57 @@ TEST(Obs, ChromeJsonParsesAndReferencesValidIds) {
   }
 
   // (b) The parser reconstructs the identical trace (exact inverse).
-  obs::Trace back = obs::parse_chrome_trace(text);
-  EXPECT_EQ(back.sockets, t.sockets);
-  EXPECT_EQ(back.cores_per_socket, t.cores_per_socket);
-  EXPECT_EQ(back.scheduler, t.scheduler);
-  ASSERT_EQ(back.workers.size(), t.workers.size());
-  for (std::size_t i = 0; i < t.workers.size(); ++i) {
-    const obs::WorkerTimeline& a = t.workers[i];
-    const obs::WorkerTimeline& b = back.workers[i];
-    EXPECT_EQ(a.worker, b.worker);
-    EXPECT_EQ(a.squad, b.squad);
-    EXPECT_EQ(a.is_head, b.is_head);
-    EXPECT_EQ(a.dropped, b.dropped);
-    ASSERT_EQ(a.events.size(), b.events.size());
-    for (std::size_t j = 0; j < a.events.size(); ++j) {
-      EXPECT_EQ(a.events[j].kind, b.events[j].kind);
-      EXPECT_EQ(a.events[j].t0, b.events[j].t0);
-      EXPECT_EQ(a.events[j].t1, b.events[j].t1);
-      EXPECT_EQ(a.events[j].a, b.events[j].a);
-      EXPECT_EQ(a.events[j].b, b.events[j].b);
+  expect_traces_equal(t, obs::parse_chrome_trace(text));
+}
+
+TEST(Obs, CounterTracksAreSkippedOnParseRoundTrip) {
+  // metric:* (from a metrics snapshot) and attrib:* (from an attribution)
+  // counter tracks make the export richer for chrome://tracing, but they
+  // are derived data: the parser must skip them and still reconstruct the
+  // identical trace.
+  Runtime rt(traced_options(2, 2, 2));
+  obs::Trace t = traced_tree_run(rt, 5);
+  t.workload = "unit-tree";
+  const obs::metrics::Snapshot metrics = rt.metrics_snapshot();
+  const obs::attrib::Attribution attribution = obs::attrib::attribute(t);
+
+  std::ostringstream out;
+  obs::write_chrome_trace(t, out, &metrics, &attribution);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"metric:"), std::string::npos);
+  EXPECT_NE(text.find("\"attrib:exec_intra\""), std::string::npos);
+  EXPECT_NE(text.find("\"attrib:untracked\""), std::string::npos);
+
+  expect_traces_equal(t, obs::parse_chrome_trace(text));
+}
+
+TEST(Obs, TaskNodeEventsJoinGraphRunsAndRoundTrip) {
+  // run_graph tags every task body with its dag::NodeId (kTaskNode
+  // instant). With no drops there is exactly one tag per node, each id in
+  // range, and the tags survive the Chrome-trace round trip.
+  Runtime rt(traced_options(2, 2, 2));
+  const dag::TaskGraph g = dag::make_recursive_dnc(2, 4, 2000, 100, 100);
+  EXPECT_EQ(run_graph(rt, g), g.size());
+  obs::Trace t = rt.trace();
+  ASSERT_EQ(t.dropped_count(), 0u);
+
+  std::vector<int> tags_per_node(g.size(), 0);
+  for (const obs::WorkerTimeline& w : t.workers) {
+    for (const obs::TraceEvent& e : w.events) {
+      if (e.kind != obs::EventKind::kTaskNode) continue;
+      EXPECT_EQ(e.t0, e.t1);
+      ASSERT_GE(e.a, 0);
+      ASSERT_LT(static_cast<std::size_t>(e.a), g.size());
+      ++tags_per_node[static_cast<std::size_t>(e.a)];
     }
   }
+  for (std::size_t n = 0; n < g.size(); ++n) {
+    EXPECT_EQ(tags_per_node[n], 1) << "node " << n;
+  }
+
+  std::ostringstream out;
+  obs::write_chrome_trace(t, out);
+  expect_traces_equal(t, obs::parse_chrome_trace(out.str()));
 }
 
 TEST(Obs, ParserRejectsOutOfRangeIds) {

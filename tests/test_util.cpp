@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <initializer_list>
 #include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "util/args.hpp"
 #include "util/format.hpp"
 #include "util/rng.hpp"
 #include "util/spin_lock.hpp"
@@ -106,6 +109,68 @@ TEST(Format, HumanBytesBoundaries) {
 TEST(Format, FormatFixedNegativeAndZero) {
   EXPECT_EQ(format_fixed(-1.25, 2), "-1.25");
   EXPECT_EQ(format_fixed(0.0, 1), "0.0");
+}
+
+/// Owning fake argv for the args:: helpers (argv[0] is the program name).
+struct Argv {
+  std::vector<std::string> store;
+  std::vector<char*> ptrs;
+  Argv(std::initializer_list<std::string> a) : store(a) {
+    for (std::string& s : store) ptrs.push_back(s.data());
+  }
+  int argc() { return static_cast<int>(ptrs.size()); }
+  char** argv() { return ptrs.data(); }
+};
+
+TEST(Args, ValueAcceptsBothFormsFirstWins) {
+  Argv v{"prog", "--trace=a.json", "--trace", "b.json", "--seed", "9"};
+  EXPECT_EQ(args::value(v.argc(), v.argv(), "trace"), "a.json");
+  EXPECT_EQ(args::value(v.argc(), v.argv(), "seed"), "9");
+  EXPECT_EQ(args::value(v.argc(), v.argv(), "absent"), "");
+}
+
+TEST(Args, ValuesCollectsEveryOccurrenceInOrder) {
+  Argv v{"prog", "--threshold=5", "--threshold", "mean=2", "--threshold=p95=9"};
+  const std::vector<std::string> got =
+      args::values(v.argc(), v.argv(), "threshold");
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], "5");
+  EXPECT_EQ(got[1], "mean=2");
+  EXPECT_EQ(got[2], "p95=9");
+}
+
+TEST(Args, EqValueIgnoresBareAndSpaceForms) {
+  // --attrib is meaningful bare; the space form must NOT swallow the next
+  // flag as its value (the hazard eq_value exists to avoid).
+  Argv bare{"prog", "--attrib", "--json=x"};
+  EXPECT_EQ(args::eq_value(bare.argc(), bare.argv(), "attrib"), "");
+  EXPECT_TRUE(args::has_flag(bare.argc(), bare.argv(), "attrib"));
+  Argv eq{"prog", "--attrib=out.json"};
+  EXPECT_EQ(args::eq_value(eq.argc(), eq.argv(), "attrib"), "out.json");
+  EXPECT_TRUE(args::has_flag(eq.argc(), eq.argv(), "attrib"));
+}
+
+TEST(Args, PositionalsSkipValuesOfKnownFlags) {
+  const std::vector<args::FlagSpec> known = {{"trace", true},
+                                             {"verbose", false}};
+  Argv v{"prog", "in.json", "--trace", "t.json", "--verbose", "out.json"};
+  const std::vector<std::string> pos =
+      args::positionals(v.argc(), v.argv(), known);
+  ASSERT_EQ(pos.size(), 2u);
+  EXPECT_EQ(pos[0], "in.json");
+  EXPECT_EQ(pos[1], "out.json");
+}
+
+TEST(Args, FirstUnknownCatchesTyposButSkipsKnownValues) {
+  const std::vector<args::FlagSpec> known = {{"json", true}, {"warn", false}};
+  Argv ok{"prog", "--json", "out", "--warn", "positional"};
+  EXPECT_EQ(args::first_unknown(ok.argc(), ok.argv(), known), "");
+  Argv typo{"prog", "--json=x", "--wran"};
+  EXPECT_EQ(args::first_unknown(typo.argc(), typo.argv(), known), "--wran");
+  // "--jsonx" is not "--json": prefix matching must not accept it.
+  Argv prefix{"prog", "--jsonx=y"};
+  EXPECT_EQ(args::first_unknown(prefix.argc(), prefix.argv(), known),
+            "--jsonx=y");
 }
 
 TEST(SpinLock, MutualExclusionUnderContention) {

@@ -1,0 +1,241 @@
+// cab_attrib — cycle-accounting attribution of scheduler timeline dumps.
+//
+// Answers the three questions PR 1/2's raw timelines could not: where did
+// the epoch's cycles go (per worker / squad / tier), what speedup was
+// achievable (realized critical path), and which component is worth
+// optimizing next (COZ-style what-if sweep through the deterministic
+// simulator).
+//
+//   cab_attrib out.json                         # summary + per-tier table
+//   cab_attrib out.json --json=attrib.json      # cab-attrib-v1 record
+//   cab_attrib out.json --gate-untracked=5      # CI gate: ≤5% unexplained
+//   cab_attrib out.json --app=heat              # + realized critical path
+//                                               #   and what-if sweep
+//   cab_attrib --check attrib.json              # validate a record
+//
+// Traces come from any fig4-fig8 bench run with --trace=<file> (add
+// --attrib to embed the breakdown as counter tracks), or from any
+// program exporting Runtime::trace() via obs::write_chrome_trace.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/registry.hpp"
+#include "core/cab.hpp"
+#include "obs/attrib/attrib.hpp"
+#include "obs/attrib/critical_path.hpp"
+#include "obs/attrib/whatif.hpp"
+#include "obs/chrome_trace.hpp"
+#include "util/args.hpp"
+
+namespace {
+
+namespace args = cab::util::args;
+namespace attrib = cab::obs::attrib;
+
+const std::vector<args::FlagSpec> kFlags = {
+    {"json", true},       {"gate-untracked", true},
+    {"gate-sched-overhead", true},
+    {"app", true},        {"bl", true},
+    {"factors", true},    {"no-whatif", false},
+    {"check", true},
+};
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s <trace.json> [options]\n"
+      "       %s --check=<attrib.json>\n"
+      "  Decomposes a CAB timeline dump into exec / steal / protocol /\n"
+      "  idle / untracked shares per worker, squad, and tier.\n"
+      "  --json=<out>              write the cab-attrib-v1 record\n"
+      "  --gate-untracked=<pct>    exit 1 unless untracked share <= pct\n"
+      "  --gate-sched-overhead=<pct>\n"
+      "                            exit 1 unless steal+protocol <= pct\n"
+      "  --app=<name>              join against the registry app's DAG:\n"
+      "                            realized critical path, achievable\n"
+      "                            speedup bound, and a what-if sweep\n"
+      "  --bl=<n>                  boundary level for the what-if replay\n"
+      "                            (default: Eq. 4 for the app)\n"
+      "  --factors=<csv>           what-if factors (default 0.5,0.9)\n"
+      "  --no-whatif               skip the simulator sweep\n"
+      "  --check=<attrib.json>     parse-validate a cab-attrib-v1 record\n",
+      argv0, argv0);
+  return 2;
+}
+
+int check_record(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cab_attrib: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  attrib::Attribution a;
+  if (!attrib::parse_attrib_json(ss.str(), a)) {
+    std::fprintf(stderr, "cab_attrib: %s is not a cab-attrib-v1 record\n",
+                 path.c_str());
+    return 1;
+  }
+  // The decomposition invariant: buckets sum back to the wall, exactly.
+  const std::uint64_t sum = a.total.explained() + a.total.untracked;
+  if (sum != a.total.wall) {
+    std::fprintf(stderr,
+                 "cab_attrib: %s: buckets sum to %llu but wall is %llu\n",
+                 path.c_str(), static_cast<unsigned long long>(sum),
+                 static_cast<unsigned long long>(a.total.wall));
+    return 1;
+  }
+  std::printf("%s: valid cab-attrib-v1 (%zu workers, %zu squads, "
+              "shares sum to 100%%, untracked %.2f%%)\n",
+              path.c_str(), a.workers.size(), a.squads.size(),
+              100.0 * a.untracked_share());
+  return 0;
+}
+
+std::vector<double> parse_factors(const std::string& csv) {
+  std::vector<double> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const double v = std::atof(item.c_str());
+    if (v > 0) out.push_back(v);
+  }
+  if (out.empty()) out = {0.5, 0.9};
+  return out;
+}
+
+void print_tier_table(const attrib::Attribution& a) {
+  const auto& t = a.total;
+  std::printf("per-tier table (time in scheduler machinery by tier):\n");
+  std::printf("  %-12s %14s %14s\n", "", "intra", "inter");
+  auto row = [&](const char* name, std::uint64_t intra, std::uint64_t inter) {
+    std::printf("  %-12s %11.3f ms %11.3f ms\n", name,
+                static_cast<double>(intra) / 1e6,
+                static_cast<double>(inter) / 1e6);
+  };
+  row("exec", t.exec_intra, t.exec_inter);
+  row("steal", t.steal_intra, t.steal_inter);
+  row("protocol", 0, t.protocol);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (!args::first_unknown(argc, argv, kFlags).empty()) {
+    return usage(argv[0]);
+  }
+  const std::string check_path = args::value(argc, argv, "check");
+  if (!check_path.empty()) return check_record(check_path);
+
+  const std::vector<std::string> pos = args::positionals(argc, argv, kFlags);
+  if (pos.size() != 1) return usage(argv[0]);
+
+  cab::obs::Trace trace;
+  try {
+    trace = cab::obs::parse_chrome_trace_file(pos.front());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cab_attrib: %s\n", e.what());
+    return 1;
+  }
+
+  const attrib::Attribution a = attrib::attribute(trace);
+  std::printf("%s", a.to_string().c_str());
+  print_tier_table(a);
+
+  const std::string json_path = args::value(argc, argv, "json");
+  if (!json_path.empty()) {
+    const std::string j = a.to_json() + "\n";
+    if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+      std::fwrite(j.data(), 1, j.size(), f);
+      std::fclose(f);
+      std::printf("attrib record: %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "cab_attrib: cannot write %s\n",
+                   json_path.c_str());
+      return 1;
+    }
+  }
+
+  const std::string app = args::value(argc, argv, "app");
+  if (!app.empty()) {
+    // The DAG join is only meaningful against the graph the trace ran.
+    if (!trace.workload.empty() && trace.workload != app) {
+      std::fprintf(stderr,
+                   "cab_attrib: warning: trace records workload \"%s\" but "
+                   "--app=%s was given; the join below is unreliable\n",
+                   trace.workload.c_str(), app.c_str());
+    }
+    bool known_app = false;
+    for (const cab::apps::AppEntry& e : cab::apps::app_registry()) {
+      if (e.name == app) known_app = true;
+    }
+    if (!known_app) {
+      std::fprintf(stderr, "cab_attrib: unknown app \"%s\" (see Table III "
+                   "names: heat, mergesort, sor, ge, queens, fft, ck, "
+                   "cholesky)\n",
+                   app.c_str());
+      return 2;
+    }
+    const cab::apps::DagBundle bundle = cab::apps::build_app(app);
+    const attrib::RealizedPath rp =
+        attrib::realized_critical_path(trace, bundle.graph);
+    std::printf("%s", rp.to_string().c_str());
+
+    if (!args::has_flag(argc, argv, "no-whatif")) {
+      const cab::hw::Topology topo =
+          cab::hw::Topology::synthetic(trace.sockets, trace.cores_per_socket);
+      const std::string bl_spec = args::value(argc, argv, "bl");
+      const std::int32_t bl =
+          bl_spec.empty()
+              ? cab::bundle_boundary_level(bundle, topo)
+              : static_cast<std::int32_t>(std::atoi(bl_spec.c_str()));
+      const attrib::Calibration cal = attrib::calibrate(trace, bundle.graph);
+      const attrib::WhatIfProfile profile = attrib::what_if_sweep(
+          bundle.graph, bundle.traces, topo, bl, cal,
+          parse_factors(args::value(argc, argv, "factors")));
+      std::printf("%s", profile.to_string().c_str());
+    }
+  }
+
+  bool gate_failed = false;
+  const std::string gate_untracked = args::value(argc, argv,
+                                                 "gate-untracked");
+  if (!gate_untracked.empty()) {
+    const double limit = std::atof(gate_untracked.c_str());
+    const double pct = 100.0 * a.untracked_share();
+    if (pct > limit) {
+      std::fprintf(stderr,
+                   "cab_attrib: GATE FAILED: untracked share %.2f%% > "
+                   "%.2f%% — the timeline does not explain this run "
+                   "(dropped events? untraced hot path? oversubscribed "
+                   "host?)\n",
+                   pct, limit);
+      gate_failed = true;
+    } else {
+      std::printf("gate ok: untracked %.2f%% <= %.2f%%\n", pct, limit);
+    }
+  }
+  const std::string gate_overhead =
+      args::value(argc, argv, "gate-sched-overhead");
+  if (!gate_overhead.empty()) {
+    const double limit = std::atof(gate_overhead.c_str());
+    const double pct = 100.0 * a.total.overhead_share();
+    if (pct > limit) {
+      std::fprintf(stderr,
+                   "cab_attrib: GATE FAILED: scheduler overhead (steal + "
+                   "protocol) %.2f%% > %.2f%%\n",
+                   pct, limit);
+      gate_failed = true;
+    } else {
+      std::printf("gate ok: scheduler overhead %.2f%% <= %.2f%%\n", pct,
+                  limit);
+    }
+  }
+  return gate_failed ? 1 : 0;
+}

@@ -28,7 +28,7 @@
 
 #include <cmath>
 #include <cstdio>
-#include <cstring>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "obs/json.hpp"
+#include "util/args.hpp"
 
 namespace {
 
@@ -331,28 +332,33 @@ int main(int argc, char** argv) {
     return cmd_merge(argv[2], inputs);
   }
   if (cmd == "diff") {
+    namespace args = cab::util::args;
+    // "diff" listed so the --diff alias form passes unknown-flag checks.
+    static const std::vector<args::FlagSpec> kDiffFlags = {
+        {"threshold", true}, {"warn-only", false}, {"diff", false}};
+    if (!args::first_unknown(argc, argv, kDiffFlags).empty()) {
+      return usage(argv[0]);
+    }
     double threshold = 5.0;
-    bool warn_only = false;
     std::vector<ThresholdOverride> overrides;
-    std::vector<std::string> paths;
-    for (int i = 2; i < argc; ++i) {
-      if (std::strncmp(argv[i], "--threshold=", 12) == 0) {
-        const char* spec = argv[i] + 12;
-        if (const char* eq = std::strchr(spec, '=')) {
-          // --threshold=<metric>=<pct>: per-metric override.
-          if (eq == spec) return usage(argv[0]);
-          overrides.push_back(
-              ThresholdOverride{std::string(spec, eq), std::atof(eq + 1)});
-        } else {
-          threshold = std::atof(spec);
-        }
-      } else if (std::strcmp(argv[i], "--warn-only") == 0) {
-        warn_only = true;
-      } else if (argv[i][0] == '-') {
+    // --threshold repeats: a bare <pct> resets the global threshold, a
+    // <metric>=<pct> spec adds a per-metric override.
+    for (const std::string& spec : args::values(argc, argv, "threshold")) {
+      const std::size_t eq = spec.find('=');
+      if (eq == std::string::npos) {
+        threshold = std::atof(spec.c_str());
+      } else if (eq == 0) {
         return usage(argv[0]);
       } else {
-        paths.emplace_back(argv[i]);
+        overrides.push_back(ThresholdOverride{
+            spec.substr(0, eq), std::atof(spec.c_str() + eq + 1)});
       }
+    }
+    const bool warn_only = args::has_flag(argc, argv, "warn-only");
+    std::vector<std::string> paths =
+        args::positionals(argc, argv, kDiffFlags);
+    if (!paths.empty() && paths.front() == "diff") {
+      paths.erase(paths.begin());  // the subcommand word itself
     }
     if (paths.size() != 2) return usage(argv[0]);
     return cmd_diff(paths[0], paths[1], threshold, warn_only, overrides);

@@ -13,13 +13,16 @@
 // doubles as a validity check of hand-edited traces.
 
 #include <cstdio>
-#include <cstring>
 #include <string>
+#include <vector>
 
 #include "obs/chrome_trace.hpp"
 #include "obs/report.hpp"
+#include "util/args.hpp"
 
 namespace {
+
+const std::vector<cab::util::args::FlagSpec> kFlags = {{"export", true}};
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
@@ -34,21 +37,14 @@ int usage(const char* argv0) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string in_path, export_path;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--export") == 0 && i + 1 < argc) {
-      export_path = argv[++i];
-    } else if (std::strncmp(argv[i], "--export=", 9) == 0) {
-      export_path = argv[i] + 9;
-    } else if (argv[i][0] == '-') {
-      return usage(argv[0]);
-    } else if (in_path.empty()) {
-      in_path = argv[i];
-    } else {
-      return usage(argv[0]);
-    }
+  namespace args = cab::util::args;
+  if (!args::first_unknown(argc, argv, kFlags).empty()) {
+    return usage(argv[0]);
   }
-  if (in_path.empty()) return usage(argv[0]);
+  const std::string export_path = args::value(argc, argv, "export");
+  const std::vector<std::string> pos = args::positionals(argc, argv, kFlags);
+  if (pos.size() != 1) return usage(argv[0]);
+  const std::string in_path = pos.front();
 
   cab::obs::Trace trace;
   try {
