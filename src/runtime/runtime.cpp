@@ -23,7 +23,6 @@ Runtime::Runtime(Options opts) : opts_(opts), engine_(new Engine(opts.topo)) {
   e.steal = opts.steal;
   e.mask_active = opts.kind == SchedulerKind::kCab &&
                   opts.steal != StealPolicy::kUniform;
-  e.tier.bl = opts.boundary_level;
   e.pin_threads = opts.pin_threads;
   e.record_events = opts.record_events;
   e.trace = opts.trace;
@@ -36,11 +35,12 @@ Runtime::Runtime(Options opts) : opts_(opts), engine_(new Engine(opts.topo)) {
   e.trace_ring = opts.trace_ring;
   CAB_CHECK(opts.boundary_level >= 0, "boundary level must be >= 0");
 
+  std::int32_t full_bl = opts.boundary_level;
   if (opts_.adapt.mode != adapt::Mode::kStatic) {
     adapt_ = std::make_unique<adapt::Controller>(opts_.adapt, opts_.topo);
     if (opts_.adapt.mode == adapt::Mode::kFixed &&
         e.kind == SchedulerKind::kCab) {
-      e.tier.bl = opts_.adapt.fixed_bl >= 0 ? opts_.adapt.fixed_bl : 0;
+      full_bl = opts_.adapt.fixed_bl >= 0 ? opts_.adapt.fixed_bl : 0;
     }
   }
 
@@ -106,6 +106,15 @@ Runtime::Runtime(Options opts) : opts_(opts), engine_(new Engine(opts.topo)) {
                          e.trace_ring);
     e.workers.push_back(std::move(worker));
   }
+  // The permanent full-machine context run() executes on: every squad,
+  // every worker, BL as configured above. run_on() partitions build their
+  // own transient contexts against subsets of the same squads.
+  e.full_ctx = std::make_unique<EpochContext>();
+  e.full_ctx->tier.bl = full_bl;
+  e.full_ctx->squads.reserve(e.squads.size());
+  for (auto& sq : e.squads) e.full_ctx->squads.push_back(sq.get());
+  e.full_ctx->workers.reserve(e.workers.size());
+  for (auto& w : e.workers) e.full_ctx->workers.push_back(w.get());
   // Threads start only after the workers vector is fully built: workers
   // address each other through engine->workers during stealing.
   for (auto& worker : e.workers) {
@@ -126,26 +135,39 @@ Runtime::~Runtime() {
   }
 }
 
-void Runtime::run(std::function<void()> root) {
+std::uint64_t Runtime::run_ctx(EpochContext& ctx, std::function<void()> root) {
   Engine& e = *engine_;
   CAB_CHECK(tls_worker == nullptr, "run() must not be called from a task");
   const bool root_inter =
-      e.kind == SchedulerKind::kCab && !e.cab_degenerate();
-  const std::int32_t epoch_bl = e.tier.bl;
-  const std::uint64_t wall0 = adapt_ ? obs::now_ns() : 0;
+      e.kind == SchedulerKind::kCab && !ctx.cab_degenerate(e.kind);
   {
-    std::lock_guard<std::mutex> lk(e.exception_mu);
-    e.first_exception = nullptr;
+    std::lock_guard<std::mutex> lk(ctx.exception_mu);
+    ctx.first_exception = nullptr;
   }
-  // The root frame comes from worker 0's pool: workers are parked between
-  // epochs (working == 0) and only woken by the epoch increment below, so
-  // the main thread temporarily owns every pool here, and the lifecycle_mu
-  // hand-off publishes these writes to whichever worker picks the frame
-  // up. A std::function is 32 bytes — inside TaskBody's inline budget —
-  // so even the type-erased root body allocates nothing.
+  // Reserve the partition first: binding every squad (all CHECKed unbound)
+  // under lifecycle_mu makes this thread the exclusive owner of the
+  // partition's parked workers — including the first worker's frame pool
+  // used for the root frame below. Binding alone wakes nobody: workers
+  // wake on the ctx_epoch stamp, published after the root is in place.
+  // Overlapping partitions fail loudly here instead of racing.
+  {
+    std::lock_guard<std::mutex> lk(e.lifecycle_mu);
+    for (Squad* s : ctx.squads) {
+      CAB_CHECK(s->ctx == nullptr, "squad already bound to a running epoch");
+      s->ctx = &ctx;
+    }
+    e.active_epochs.fetch_add(1, std::memory_order_relaxed);
+  }
+  // The root frame comes from the partition's first worker's pool: that
+  // worker is parked until the stamp below, so this thread temporarily
+  // owns its pool, and the lifecycle_mu hand-off publishes these writes
+  // to whichever worker picks the frame up. A std::function is 32 bytes —
+  // inside TaskBody's inline budget — so even the type-erased root body
+  // allocates nothing.
+  Worker& w0 = *ctx.workers.front();
   TaskFrame* frame;
   if (e.frame_pool) {
-    frame = e.workers.front()->pool.acquire(e.workers.front()->stats);
+    frame = w0.pool.acquire(w0.stats);
     frame->prepare(nullptr, 0, root_inter);
     frame->body.emplace(std::move(root));
   } else {
@@ -155,42 +177,101 @@ void Runtime::run(std::function<void()> root) {
     frame->body.emplace_boxed(std::move(root));
   }
   e.frame_created();
-  // Plain store: the epoch increment below publishes it (workers read
-  // `epoch` under lifecycle_mu before their first root_done load).
-  e.root_done.store(false, std::memory_order_relaxed);
-  e.central_pool.push_bottom(frame);
+  // Plain store: the ctx_epoch stamp below publishes it (workers read the
+  // stamp under lifecycle_mu before their first root_done load).
+  ctx.root_done.store(false, std::memory_order_relaxed);
+  ctx.inject.push_bottom(frame);
   std::uint64_t this_epoch = 0;
   {
     std::lock_guard<std::mutex> lk(e.lifecycle_mu);
     this_epoch = ++e.epoch;
-    e.epoch_start_ns = obs::now_ns();
-    e.joined = 0;
+    ctx.start_ns = obs::now_ns();
+    ctx.joined = 0;
+    for (Squad* s : ctx.squads) s->ctx_epoch = this_epoch;
   }
   e.lifecycle_cv.notify_all();
 
   {
-    // All three conditions: the DAG is drained, every worker woke into
-    // this epoch, and every one of them has left its drain loop (see
-    // Engine::working / Engine::joined) — only then are the per-worker
-    // stats/exec-log/timeline buffers quiescent.
+    // All three conditions: the DAG is drained, every partition worker
+    // woke into this epoch, and every one of them has left its drain loop
+    // (see EpochContext::working / joined) — only then are the partition's
+    // per-worker stats/exec-log/timeline buffers quiescent.
     std::unique_lock<std::mutex> lk(e.lifecycle_mu);
     e.done_cv.wait(lk, [&] {
-      return e.root_done.load(std::memory_order_acquire) &&
-             e.joined == static_cast<int>(e.workers.size()) &&
-             e.working == 0;
+      return ctx.root_done.load(std::memory_order_acquire) &&
+             ctx.joined == static_cast<int>(ctx.workers.size()) &&
+             ctx.working == 0;
     });
+    // Release the partition while still holding the lock of the wait: the
+    // squads are immediately reusable by the next epoch (theirs or another
+    // job's).
+    for (Squad* s : ctx.squads) s->ctx = nullptr;
+    e.active_epochs.fetch_sub(1, std::memory_order_relaxed);
   }
+  return this_epoch;
+}
+
+void Runtime::run(std::function<void()> root) {
+  Engine& e = *engine_;
+  EpochContext& ctx = *e.full_ctx;
+  const std::int32_t epoch_bl = ctx.tier.bl;
+  const std::uint64_t wall0 = adapt_ ? obs::now_ns() : 0;
+  const std::uint64_t this_epoch = run_ctx(ctx, std::move(root));
   if (adapt_) {
     // Workers are parked (working == 0): their stats and hw.* slots are
     // quiescent, and a tier.bl store here is published to every worker by
     // the lifecycle_mu hand-off of the next epoch increment. BL therefore
-    // only ever changes *between* epochs.
+    // only ever changes *between* epochs. (run() holds every squad, so no
+    // concurrent run_on() partition can be mutating stats under us; the
+    // adaptive controller is rejected for run_on() callers below.)
     retune_after_epoch(this_epoch, epoch_bl, obs::now_ns() - wall0);
   }
   std::exception_ptr thrown;
   {
-    std::lock_guard<std::mutex> lk(e.exception_mu);
-    thrown = e.first_exception;
+    std::lock_guard<std::mutex> lk(ctx.exception_mu);
+    thrown = ctx.first_exception;
+  }
+  if (thrown) std::rethrow_exception(thrown);
+}
+
+void Runtime::run_on(const std::vector<int>& squad_ids,
+                     std::int32_t boundary_level, std::function<void()> root) {
+  Engine& e = *engine_;
+  CAB_CHECK(!squad_ids.empty(), "run_on(): empty squad set");
+  CAB_CHECK(boundary_level >= 0, "run_on(): boundary level must be >= 0");
+  // The adaptive controller profiles whole-machine epochs (it reads every
+  // worker's stats after run()); mixing it with concurrent partitions
+  // would race those reads. Service-style callers size BL statically
+  // (Eq. 4 with M = partition squads) instead.
+  CAB_CHECK(adapt_ == nullptr,
+            "run_on() requires Options::adapt.mode == kStatic");
+  EpochContext ctx;
+  ctx.squads.reserve(squad_ids.size());
+  for (int s : squad_ids) {
+    CAB_CHECK(s >= 0 && s < static_cast<int>(e.squads.size()),
+              "run_on(): squad id out of range");
+    Squad* sq = e.squads[static_cast<std::size_t>(s)].get();
+    for (const Squad* seen : ctx.squads) {
+      CAB_CHECK(seen != sq, "run_on(): duplicate squad id");
+    }
+    ctx.squads.push_back(sq);
+  }
+  for (Squad* sq : ctx.squads) {
+    for (int w = sq->first_worker; w < sq->first_worker + sq->worker_count;
+         ++w) {
+      ctx.workers.push_back(e.workers[static_cast<std::size_t>(w)].get());
+    }
+  }
+  // Single-squad partitions have no inter-socket tier by construction:
+  // Algorithm II's degenerate case (BL = 0 => classic work-stealing
+  // inside the partition).
+  ctx.tier.bl =
+      ctx.squads.size() <= 1 ? 0 : boundary_level;
+  run_ctx(ctx, std::move(root));
+  std::exception_ptr thrown;
+  {
+    std::lock_guard<std::mutex> lk(ctx.exception_mu);
+    thrown = ctx.first_exception;
   }
   if (thrown) std::rethrow_exception(thrown);
 }
@@ -203,9 +284,13 @@ Pending begin_spawn(bool force_inter) {
             "spawn() called outside a task");
   Engine& e = *w->engine;
   TaskFrame* parent = w->current;
+  // Tier classification against the worker's *partition* tier: BL is
+  // relative to the epoch context, so the same DAG level can be inter
+  // under one job's partition and intra under another's.
+  const EpochContext& ctx = *w->ctx;
   const bool inter =
-      e.kind == SchedulerKind::kCab && !e.cab_degenerate() &&
-      (force_inter || e.tier.spawns_inter_child(parent->level));
+      e.kind == SchedulerKind::kCab && !ctx.cab_degenerate(e.kind) &&
+      (force_inter || ctx.tier.spawns_inter_child(parent->level));
   TaskFrame* t;
   if (e.frame_pool) {
     t = w->pool.acquire(w->stats);
@@ -239,7 +324,7 @@ void commit_spawn(const Pending& p) {
     w->squad->inter_pool.push_bottom(t);
   } else if (e.kind == SchedulerKind::kTaskSharing) {
     ++w->stats.spawns_intra;
-    e.central_pool.push_bottom(t);
+    w->ctx->inject.push_bottom(t);
   } else {
     // Intra-socket child onto the worker's own deque; LIFO pops make the
     // local execution order depth-first (the child-first policy's order).
@@ -307,6 +392,8 @@ int Runtime::worker_count() const {
 }
 
 SchedulerStats Runtime::stats() const {
+  CAB_CHECK(engine_->active_epochs.load(std::memory_order_acquire) == 0,
+            "stats() while an epoch is running");
   SchedulerStats s;
   s.per_worker.reserve(engine_->workers.size());
   for (const auto& w : engine_->workers) {
@@ -333,11 +420,17 @@ bool Runtime::hw_counters_active() const {
   return engine_->hw_counters && obs::metrics::perf_available();
 }
 
+obs::metrics::Registry& Runtime::registry() { return engine_->registry; }
+
 std::int32_t Runtime::current_boundary_level() const {
-  return engine_->tier.bl;
+  CAB_CHECK(engine_->active_epochs.load(std::memory_order_acquire) == 0,
+            "current_boundary_level() while an epoch is running");
+  return engine_->full_ctx->tier.bl;
 }
 
 adapt::Report Runtime::adapt_report() const {
+  CAB_CHECK(engine_->active_epochs.load(std::memory_order_acquire) == 0,
+            "adapt_report() while an epoch is running");
   if (adapt_) return adapt_->report();
   adapt::Report r;
   r.policy = adapt::to_string(opts_.adapt);
@@ -409,8 +502,8 @@ void Runtime::retune_after_epoch(std::uint64_t epoch, std::int32_t epoch_bl,
   }
 
   const std::int32_t next = adapt_->on_epoch_end(s);
-  if (e.kind == SchedulerKind::kCab && next != e.tier.bl) {
-    e.tier.bl = next;
+  if (e.kind == SchedulerKind::kCab && next != e.full_ctx->tier.bl) {
+    e.full_ctx->tier.bl = next;
   }
   if (e.metrics) {
     // Mirror the decision into the registry so Chrome traces pick it up
@@ -427,6 +520,13 @@ void Runtime::retune_after_epoch(std::uint64_t epoch, std::int32_t epoch_bl,
 
 obs::metrics::Snapshot Runtime::metrics_snapshot() const {
   Engine& e = *engine_;
+  // "Call between run()s only", enforced: the flush below stores into
+  // per-worker registry slots that are only quiescent when no epoch is in
+  // flight on ANY partition. With the job service this is no longer
+  // implied by program order, so a racing call fails loudly here instead
+  // of corrupting single-writer slots.
+  CAB_CHECK(e.active_epochs.load(std::memory_order_acquire) == 0,
+            "metrics_snapshot() while an epoch is running");
   if (!e.metrics) return e.registry.snapshot();  // empty, hw unavailable
   // Flush the cumulative WorkerStats into registry counters. Workers are
   // parked between run()s, so the main thread may store into their slots.
@@ -502,6 +602,8 @@ obs::metrics::Snapshot Runtime::metrics_snapshot() const {
 }
 
 obs::Trace Runtime::trace() const {
+  CAB_CHECK(engine_->active_epochs.load(std::memory_order_acquire) == 0,
+            "trace() while an epoch is running");
   obs::Trace t;
   t.sockets = engine_->topo.sockets();
   t.cores_per_socket = engine_->topo.cores_per_socket();

@@ -150,8 +150,22 @@ class Runtime {
   Runtime& operator=(const Runtime&) = delete;
 
   /// Executes `root` as the level-0 task and blocks until the whole DAG
-  /// has completed. May be called repeatedly (sequentially).
+  /// has completed. May be called repeatedly (sequentially). Uses every
+  /// squad (the full-machine partition); conflicts loudly with any
+  /// concurrent run_on().
   void run(std::function<void()> root);
+
+  /// Executes `root` on a *partition*: only the listed squads (distinct,
+  /// in-range ids) and their workers participate — spawning, stealing and
+  /// the bi-tier protocol are confined to the partition, with
+  /// `boundary_level` interpreted relative to it (single-squad partitions
+  /// degenerate to BL = 0, classic work-stealing). Blocks until the DAG
+  /// has drained. Concurrent calls on *disjoint* squad sets (from
+  /// different threads) run in parallel — the job service's space
+  /// partitioning; overlapping partitions fail loudly (CAB_CHECK).
+  /// Requires Options::adapt.mode == kStatic.
+  void run_on(const std::vector<int>& squad_ids, std::int32_t boundary_level,
+              std::function<void()> root);
 
   /// Spawns a child of the current task. Tier (inter/intra-socket) and
   /// destination pool are chosen per Algorithm II(a). A template so the
@@ -187,30 +201,42 @@ class Runtime {
   int worker_count() const;
 
   /// Aggregated counters from the most recent run()s (cleared on demand).
+  /// Call between epochs only (enforced — fails loudly while any run()/
+  /// run_on() is in flight: the per-worker counters are mid-write then).
   SchedulerStats stats() const;
   void reset_stats();
 
   /// Snapshot of every worker's timeline (empty event lists unless
   /// Options::trace). Ring buffers are unrolled to chronological order.
-  /// Call between run()s only — workers must be parked.
+  /// Call between epochs only — workers must be parked (enforced: fails
+  /// loudly while any run()/run_on() is in flight).
   obs::Trace trace() const;
 
   /// Cycle-accounting attribution of the current timeline contents:
   /// where every worker's wall time went (exec / steal / protocol /
   /// idle / untracked, per worker, squad, and tier). Equivalent to
-  /// obs::attrib::attribute(trace()). Call between run()s only.
+  /// obs::attrib::attribute(trace()). Call between epochs only (enforced
+  /// via trace()'s check).
   obs::attrib::Attribution attrib_report() const;
 
   /// Metrics registry snapshot: scheduler counters (flushed from
   /// WorkerStats here), idle-backoff totals, and — when Options::
   /// hw_counters and perf is available — the hw.* counters with
   /// tier=total/inter/intra labels, per worker (aggregate per squad via
-  /// Snapshot::squad_totals). Call between run()s only.
+  /// Snapshot::squad_totals). Call between epochs only (enforced: fails
+  /// loudly while any run()/run_on() is in flight).
   obs::metrics::Snapshot metrics_snapshot() const;
 
   /// True when hardware counters were requested *and* the perf source is
   /// usable on this host (mirrors the snapshot's hw_available flag).
   bool hw_counters_active() const;
+
+  /// The runtime's metrics registry, for subsystems layered on top (the
+  /// job service registers its svc.* series here so one snapshot carries
+  /// scheduler and service metrics together). Registration is
+  /// thread-safe; slot writes must follow the registry's single-writer
+  /// rule.
+  obs::metrics::Registry& registry();
 
   /// Merged per-worker execution logs (empty unless record_events). Order
   /// within a worker is execution order; across workers it is
@@ -230,10 +256,16 @@ class Runtime {
   /// Every adaptive decision taken so far (schema cab-adapt-v1): one
   /// Decision per completed run() epoch, including the profiler inputs,
   /// scores, and the chosen BL. Empty decision list under
-  /// Mode::kStatic. Call between run()s only.
+  /// Mode::kStatic. Call between epochs only (enforced).
   adapt::Report adapt_report() const;
 
  private:
+  /// Common epoch driver for run()/run_on(): reserves the context's
+  /// squads, injects the root, waits for quiescence, releases the squads.
+  /// Returns the activation id. Does NOT rethrow the captured exception
+  /// (callers do, after any between-epoch bookkeeping).
+  std::uint64_t run_ctx(EpochContext& ctx, std::function<void()> root);
+
   void retune_after_epoch(std::uint64_t epoch, std::int32_t epoch_bl,
                           std::uint64_t wall_ns);
 

@@ -78,6 +78,7 @@ inline constexpr int kBackoffYieldFails = 4096;
 inline constexpr std::chrono::microseconds kIdleBackoffSleep{50};
 
 struct Engine;
+struct EpochContext;
 
 /// A squad: the group of workers affiliated with one socket (Fig. 3).
 struct Squad {
@@ -85,6 +86,17 @@ struct Squad {
   int head_worker = 0;        ///< smallest worker id in the squad
   int first_worker = 0;
   int worker_count = 0;
+
+  /// The epoch this squad is currently bound to, or nullptr when the
+  /// squad is parked. Guarded by Engine::lifecycle_mu: set when a
+  /// run()/run_on() reserves the squad, cleared once that epoch has fully
+  /// quiesced. Concurrent epochs on *disjoint* squad sets — the job
+  /// service's space partitioning — each bind their own squads here.
+  EpochContext* ctx = nullptr;
+  /// Activation stamp (a copy of Engine::epoch at bind time, guarded by
+  /// lifecycle_mu). Workers wake when their squad's stamp moves past the
+  /// last epoch they served.
+  std::uint64_t ctx_epoch = 0;
 
   /// The squad's inter-socket task pool.
   deque::LockedDeque<TaskFrame*> inter_pool;
@@ -118,6 +130,15 @@ struct Worker {
   int squad_slot = 0;
   bool is_head = false;
   Engine* engine = nullptr;
+
+  /// Epoch this worker is currently draining (set on wake, cleared when
+  /// the worker re-parks). Only touched by the worker's own thread; every
+  /// acquire/spawn path reads the tier, injection pool and partition
+  /// boundaries through it.
+  EpochContext* ctx = nullptr;
+  /// This worker's index in ctx->workers (computed once on wake): the
+  /// self-exclusion index for the baselines' partition-wide steal.
+  int ctx_slot = 0;
 
   /// Intra-socket task pool (per-worker deque of Fig. 3); also the plain
   /// work-stealing deque under kRandomStealing.
@@ -198,6 +219,67 @@ struct Worker {
   void finish(TaskFrame* t);
 };
 
+/// One in-flight run()/run_on() epoch over a subset of squads — the unit
+/// of *space partitioning*. The classic single-caller run() uses a
+/// permanent context covering every squad (Engine::full_ctx); the job
+/// service builds one per admitted job over that job's disjoint squad
+/// set. Everything epoch-scoped lives here so epochs on disjoint
+/// partitions can be in flight concurrently: the bi-tier protocol (tier),
+/// root injection, DAG-drained flag, exception capture, and the
+/// joined/working quiescence counts run() waits on.
+///
+/// Stealing is confined to the context: intra steals stay in-squad as
+/// always, inter steals iterate `squads`, and the classic baselines'
+/// global steal walks `workers` — so a partition never sees (or leaks)
+/// another job's tasks, which is what preserves both the paper's
+/// cache-affinity argument and per-job task conservation.
+struct EpochContext {
+  /// Tier assignment for this epoch's DAG. bl is relative to the
+  /// *partition*: Eq. 4 with M = squads.size(). Mutated only between
+  /// epochs (adaptive retuning on the full context; per-job sizing in the
+  /// service).
+  dag::TierAssignment tier;
+
+  /// The partition: this epoch's squads and their workers, in squad
+  /// order. Fixed before the context is ever activated.
+  std::vector<Squad*> squads;
+  std::vector<Worker*> workers;
+
+  /// Root injection queue (the submitting thread may not touch worker
+  /// deques) — also the central pool under kTaskSharing.
+  deque::LockedDeque<TaskFrame*> inject;
+
+  /// This epoch's DAG has fully drained (see the root_done comment that
+  /// used to live on Engine: a flag, not a task counter — the root frame
+  /// finishing implies every descendant already has, by implicit-sync
+  /// induction).
+  alignas(util::kCacheLineSize) std::atomic<bool> root_done{true};
+
+  /// First exception thrown by any task body this epoch; rethrown by the
+  /// submitting thread after the DAG has drained.
+  std::mutex exception_mu;
+  std::exception_ptr first_exception;
+
+  /// Guarded by Engine::lifecycle_mu. `joined`/`working` are the
+  /// quiescence counts the submitting thread waits on (see Engine);
+  /// `start_ns` stamps workers' lead-in idle spans.
+  std::uint64_t start_ns = 0;
+  int working = 0;
+  int joined = 0;
+
+  void capture_exception(std::exception_ptr e) {
+    std::lock_guard<std::mutex> lk(exception_mu);
+    if (!first_exception) first_exception = std::move(e);
+  }
+
+  /// True when CAB must degrade to classic random stealing for this
+  /// epoch (BL == 0, Algorithm II step 2 / Section V-D — including every
+  /// single-squad partition).
+  bool cab_degenerate(SchedulerKind kind) const {
+    return kind == SchedulerKind::kCab && tier.bl == 0;
+  }
+};
+
 /// Shared scheduler state: all workers, all squads, the policy, and the
 /// run lifecycle. Owned by Runtime via unique_ptr (stable address —
 /// workers keep raw pointers).
@@ -213,7 +295,6 @@ struct Engine {
   /// policy. Precomputed so the spawn path pays one bool test before the
   /// (usually no-op) mask update.
   bool mask_active = false;
-  dag::TierAssignment tier;  ///< tier.bl == 0 => classic behaviour
   bool pin_threads = false;
   bool record_events = false;
   bool trace = false;
@@ -249,19 +330,21 @@ struct Engine {
   std::vector<std::unique_ptr<Worker>> workers;
   std::vector<std::unique_ptr<Squad>> squads;
 
-  /// Central pool for kTaskSharing, and the injection queue every policy
-  /// uses for the root task (the main thread may not touch worker deques).
-  deque::LockedDeque<TaskFrame*> central_pool;
+  /// The permanent full-machine context: every squad, BL = Options::
+  /// boundary_level (retuned between epochs by the adaptive controller).
+  /// Runtime::run() executes on it; run_on() builds a transient context
+  /// over a squad subset instead.
+  std::unique_ptr<EpochContext> full_ctx;
 
-  /// The running epoch's DAG has fully drained. A flag, not a task
-  /// counter: a frame's finish() runs only after its own implicit sync,
-  /// and the parent's `completed` increment is finish()'s last join
-  /// step — so by induction the *root* frame finishing implies every
-  /// descendant already has. Counting tasks here would cost a shared
-  /// fetch_add/fetch_sub pair per spawn (two locked RMWs on one hot
-  /// line, ~20% of the pooled spawn budget); the flag is written twice
-  /// per epoch instead.
-  alignas(util::kCacheLineSize) std::atomic<bool> root_done{true};
+  /// Epochs currently in flight across every partition. Guards the
+  /// "call between run()s only" contract on trace()/stats()/
+  /// metrics_snapshot()/adapt_report(): those flush or read per-worker
+  /// buffers that are only quiescent when nothing is running, and with
+  /// the job service that is no longer implied by program order.
+  /// Written under lifecycle_mu; read lock-free by the contract checks.
+  // pad-ok: cold — two RMWs per epoch (both under lifecycle_mu), loads
+  // only from the rarely-called report/snapshot contract checks.
+  std::atomic<int> active_epochs{0};
 
   /// Live task frames and their high-water mark — the measured quantity
   /// behind the paper's Eq. 15 space bound (frames, not bytes). Gated on
@@ -286,53 +369,30 @@ struct Engine {
     live_frames.fetch_sub(1, std::memory_order_relaxed);
   }
 
-  /// First exception thrown by any task body this run; rethrown by
-  /// Runtime::run() after the DAG has drained. Later exceptions are
-  /// dropped (the run still completes every queued task).
-  std::mutex exception_mu;
-  std::exception_ptr first_exception;
-
-  void capture_exception(std::exception_ptr e) {
-    std::lock_guard<std::mutex> lk(exception_mu);
-    if (!first_exception) first_exception = std::move(e);
-  }
-
-  /// Run lifecycle: workers park until `active`, exit on `shutdown`.
+  /// Run lifecycle: workers park until their squad is bound to an epoch,
+  /// exit on `shutdown`. One mutex/cv pair serves every partition: a
+  /// worker's wake predicate reads only its own squad's binding, and the
+  /// occasional cross-partition spurious wake re-parks immediately.
+  ///
+  /// The per-context `working`/`joined` counts (guarded here) are what a
+  /// submitting thread waits on: a worker's very last acquire attempt can
+  /// write stats/timeline entries *after* root_done was set, so waiting
+  /// on root_done alone would let the submitter read those buffers
+  /// mid-write; and a short epoch can finish while a slow-waking worker
+  /// is still parked, whose straggler lead-in idle event would land in a
+  /// timeline being read. The mutex hand-off at the final decrement is
+  /// the happens-before edge that makes post-run stats()/trace() safe.
   std::mutex lifecycle_mu;
   std::condition_variable lifecycle_cv;
   std::condition_variable done_cv;
-  bool active = false;
   bool shutdown = false;
+  /// Monotonic activation counter shared by every partition; each
+  /// activation stamps its squads' ctx_epoch from it (guarded by
+  /// lifecycle_mu).
   std::uint64_t epoch = 0;
-  /// Steady-clock stamp taken by run() just before it publishes the epoch
-  /// (guarded by lifecycle_mu). Workers open their lead-in idle span here,
-  /// so time parked in the lifecycle wait is attributed as idle rather
-  /// than silently vanishing into the untracked bucket.
-  std::uint64_t epoch_start_ns = 0;
-
-  /// Workers currently inside the drain loop of the running epoch
-  /// (guarded by lifecycle_mu). run() returns only once this is back to
-  /// zero: a worker's very last acquire attempt can write stats/timeline
-  /// entries *after* `root_done` was set, so waiting on root_done alone
-  /// would let the main thread read those buffers mid-write. The mutex
-  /// hand-off at the final decrement is the happens-before edge that
-  /// makes post-run stats()/trace() reads safe.
-  int working = 0;
-  /// Workers that have woken into the running epoch (guarded by
-  /// lifecycle_mu). run() waits for every worker to join before it
-  /// returns: a short epoch can otherwise finish while a slow-waking
-  /// worker is still parked, and that straggler would later append its
-  /// lead-in idle event to a timeline the main thread is reading.
-  int joined = 0;
 
   void worker_main(Worker& w);
   void notify_if_done();
-
-  /// True when CAB must degrade to classic random stealing (BL == 0,
-  /// Algorithm II step 2 / Section V-D).
-  bool cab_degenerate() const {
-    return kind == SchedulerKind::kCab && tier.bl == 0;
-  }
 };
 
 }  // namespace cab::runtime

@@ -72,9 +72,11 @@ void Worker::execute(TaskFrame* t) {
     t->body();
   } catch (...) {
     // Task bodies must not tear down the worker: capture the first
-    // exception for Runtime::run() to rethrow once the DAG has drained
-    // (children already spawned by the failing body still execute).
-    engine->capture_exception(std::current_exception());
+    // exception for the submitting thread to rethrow once this epoch's
+    // DAG has drained (children already spawned by the failing body
+    // still execute). Captured per epoch context, so one job's failure
+    // never leaks into a concurrently running partition.
+    ctx->capture_exception(std::current_exception());
   }
   if (hw) {
     const obs::metrics::HwSample hw1 = perf.read();
@@ -140,8 +142,8 @@ void Worker::finish(TaskFrame* t) {
     // the implicit sync (joined(), acquire), and every child's own
     // finish() — including *its* implicit sync — happens-before the
     // completed increment that released ours. No per-task counting
-    // needed.
-    e.root_done.store(true, std::memory_order_release);
+    // needed. Per-context flag: only this partition's workers drain out.
+    ctx->root_done.store(true, std::memory_order_release);
     e.notify_if_done();
   }
 }
@@ -197,7 +199,7 @@ void Worker::release_busy_on_suspend(TaskFrame* t) {
 }
 
 TaskFrame* Worker::acquire(bool desperate) {
-  if (engine->kind == SchedulerKind::kCab && !engine->cab_degenerate())
+  if (engine->kind == SchedulerKind::kCab && !ctx->cab_degenerate(engine->kind))
     return acquire_cab(desperate);
   if (engine->kind == SchedulerKind::kTaskSharing) return acquire_sharing();
   return acquire_random();
@@ -261,11 +263,11 @@ TaskFrame* Worker::acquire_random() {
     return t;
   }
   if (TaskFrame* t = steal_intra_global()) return t;
-  return engine->central_pool.steal_top();  // root injection
+  return ctx->inject.steal_top();  // root injection
 }
 
 TaskFrame* Worker::acquire_sharing() {
-  return engine->central_pool.pop_bottom();
+  return ctx->inject.pop_bottom();
 }
 
 TaskFrame* Worker::steal_intra_in_squad() {
@@ -357,7 +359,10 @@ TaskFrame* Worker::steal_intra_from(int victim, std::size_t& taken) {
 }
 
 TaskFrame* Worker::steal_intra_global() {
-  const int n = static_cast<int>(engine->workers.size());
+  // "Global" = partition-wide: the baselines (and degenerate CAB) steal
+  // uniformly across this epoch's workers, never across a partition
+  // boundary.
+  const int n = static_cast<int>(ctx->workers.size());
   if (n <= 1) {
     ++stats.failed_steal_attempts;
     return nullptr;
@@ -366,15 +371,16 @@ TaskFrame* Worker::steal_intra_global() {
   const std::uint64_t t0 = tr ? obs::now_ns() : 0;
   auto pick = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n - 1)));
   int victim = pick;
-  if (victim >= id) ++victim;
-  TaskFrame* t = engine->workers[static_cast<std::size_t>(victim)]->intra.steal_top();
+  if (victim >= ctx_slot) ++victim;  // skip self (partition-local index)
+  Worker& v = *ctx->workers[static_cast<std::size_t>(victim)];
+  TaskFrame* t = v.intra.steal_top();
   if (t) {
     ++stats.intra_steals;
   } else {
     ++stats.failed_steal_attempts;
   }
   if (tr) {
-    tl.record(obs::EventKind::kStealIntra, t0, obs::now_ns(), victim,
+    tl.record(obs::EventKind::kStealIntra, t0, obs::now_ns(), v.id,
               t != nullptr ? 1 : 0);
   }
   return t;
@@ -384,7 +390,7 @@ TaskFrame* Worker::take_inter_from_own_squad() {
   const bool tr = tl.enabled;
   const std::uint64_t t0 = tr ? obs::now_ns() : 0;
   TaskFrame* t = squad->inter_pool.steal_top();
-  if (!t) t = engine->central_pool.steal_top();  // root injection
+  if (!t) t = ctx->inject.steal_top();  // root injection
   if (t) {
     const std::int32_t now = protocol::bind_inter(squad->busy_state, t, squad);
     if (tr) tl.mark(obs::EventKind::kActiveInter, squad->id, now);
@@ -397,22 +403,24 @@ TaskFrame* Worker::take_inter_from_own_squad() {
 }
 
 TaskFrame* Worker::steal_inter_from_other_squads() {
-  const int m = static_cast<int>(engine->squads.size());
+  // Confined to the epoch's partition: a squad only ever raids pools of
+  // squads running the *same* job, so tasks never cross partitions.
+  const int m = static_cast<int>(ctx->squads.size());
   if (m <= 1) return nullptr;
   const bool tr = tl.enabled;
   const std::uint64_t t0 = tr ? obs::now_ns() : 0;
   // One randomized round over the other squads.
   auto start = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(m)));
   for (int i = 0; i < m; ++i) {
-    int victim = (start + i) % m;
-    if (victim == squad->id) continue;
-    if (TaskFrame* t = engine->squads[static_cast<std::size_t>(victim)]
-                           ->inter_pool.steal_top()) {
+    Squad* victim = ctx->squads[static_cast<std::size_t>((start + i) % m)];
+    if (victim == squad) continue;
+    if (TaskFrame* t = victim->inter_pool.steal_top()) {
       const std::int32_t now =
           protocol::bind_inter(squad->busy_state, t, squad);
       if (tr) {
         tl.mark(obs::EventKind::kActiveInter, squad->id, now);
-        tl.record(obs::EventKind::kStealInter, t0, obs::now_ns(), victim, 1);
+        tl.record(obs::EventKind::kStealInter, t0, obs::now_ns(), victim->id,
+                  1);
       }
       return t;
     }
@@ -433,17 +441,33 @@ void Engine::worker_main(Worker& w) {
   std::uint64_t seen_epoch = 0;
   for (;;) {
     std::uint64_t epoch_t0 = 0;
+    EpochContext* ctx = nullptr;
     {
       std::unique_lock<std::mutex> lk(lifecycle_mu);
-      // blocking-ok: parked between run() epochs — no DAG is in flight,
-      // so there is nothing to steal and nothing this wait can delay.
-      lifecycle_cv.wait(
-          lk, [&] { return shutdown || epoch != seen_epoch; });
+      // blocking-ok: parked between epochs — this worker's squad is not
+      // bound to any running partition, so there is nothing to steal and
+      // nothing this wait can delay. The predicate reads only the own
+      // squad's binding: concurrent partitions wake only their own
+      // workers (modulo harmless spurious wakes that re-park here).
+      lifecycle_cv.wait(lk, [&] {
+        return shutdown ||
+               (w.squad->ctx != nullptr && w.squad->ctx_epoch != seen_epoch);
+      });
       if (shutdown) break;
-      seen_epoch = epoch;
-      epoch_t0 = epoch_start_ns;
-      ++joined;
-      ++working;
+      ctx = w.squad->ctx;
+      seen_epoch = w.squad->ctx_epoch;
+      epoch_t0 = ctx->start_ns;
+      ++ctx->joined;
+      ++ctx->working;
+    }
+    w.ctx = ctx;
+    // Partition-local self index for the baselines' steal victim pick
+    // (partition membership is fixed for the epoch, so once per wake).
+    for (std::size_t i = 0; i < ctx->workers.size(); ++i) {
+      if (ctx->workers[i] == &w) {
+        w.ctx_slot = static_cast<int>(i);
+        break;
+      }
     }
     // Counters run only inside epochs: enabled here, disabled below, so
     // hw.* totals cover run() execution rather than parked time.
@@ -469,7 +493,7 @@ void Engine::worker_main(Worker& w) {
       }
       lead_in = false;
     };
-    while (!root_done.load(std::memory_order_acquire)) {
+    while (!ctx->root_done.load(std::memory_order_acquire)) {
       if (TaskFrame* t = w.acquire(fails >= kStarvationEscapeFails)) {
         close_idle();
         fails = 0;
@@ -491,9 +515,10 @@ void Engine::worker_main(Worker& w) {
                       s.value[static_cast<std::size_t>(i)]));
       }
     }
+    w.ctx = nullptr;
     {
       std::lock_guard<std::mutex> lk(lifecycle_mu);
-      if (--working == 0) done_cv.notify_all();
+      if (--ctx->working == 0) done_cv.notify_all();
     }
   }
   tls_worker = nullptr;

@@ -1,0 +1,52 @@
+#include "svc/admission.hpp"
+
+#include "util/assert.hpp"
+
+namespace cab::svc {
+
+int TieredQueue::effective_tier(const detail::JobRecord& r,
+                                std::uint64_t now_ns) const {
+  if (cooldown_ns_ == 0) return 0;  // tiering disabled: FIFO
+  const std::uint64_t age = now_ns > r.submit_ns ? now_ns - r.submit_ns : 0;
+  const std::uint64_t promotions = age / cooldown_ns_;
+  const auto tier = static_cast<std::uint64_t>(r.tier);
+  return promotions >= tier ? 0 : static_cast<int>(tier - promotions);
+}
+
+void TieredQueue::push(std::shared_ptr<detail::JobRecord> r) {
+  CAB_CHECK(q_.size() < cap_, "TieredQueue::push on a full queue");
+  q_.push_back(std::move(r));
+}
+
+std::shared_ptr<detail::JobRecord> TieredQueue::pop_best(
+    std::uint64_t now_ns) {
+  if (q_.empty()) return nullptr;
+  // Linear scan: the queue is bounded (cap_), and a scan per dispatch is
+  // cheaper than maintaining priority-ordered structure under the aging
+  // rule (every entry's key changes with time).
+  std::size_t best = 0;
+  int best_tier = effective_tier(*q_[0], now_ns);
+  for (std::size_t i = 1; i < q_.size(); ++i) {
+    const int t = effective_tier(*q_[i], now_ns);
+    if (t < best_tier ||
+        (t == best_tier && q_[i]->seq < q_[best]->seq)) {
+      best = i;
+      best_tier = t;
+    }
+  }
+  std::shared_ptr<detail::JobRecord> out = std::move(q_[best]);
+  q_.erase(q_.begin() + static_cast<std::ptrdiff_t>(best));
+  return out;
+}
+
+bool TieredQueue::remove(const detail::JobRecord* r) {
+  for (std::size_t i = 0; i < q_.size(); ++i) {
+    if (q_[i].get() == r) {
+      q_.erase(q_.begin() + static_cast<std::ptrdiff_t>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace cab::svc

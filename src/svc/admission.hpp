@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "svc/job.hpp"
+
+namespace cab::svc {
+
+/// Bounded tiered admission queue with cooldown-based anti-starvation
+/// promotion (the scx_cake tier idea applied to jobs): a queued job's
+/// *effective* tier is its declared tier minus one per
+/// `promote_cooldown_ns` of queue age, floored at 0, so any job reaches
+/// the most-urgent tier after tier * cooldown of waiting — a tier-0
+/// flood can delay low-priority jobs but never starve them.
+///
+/// pop_best() returns the job with the lowest (effective tier, seq)
+/// pair: strict priority between effective tiers, FIFO inside one.
+///
+/// Not itself thread-safe: every call happens under JobService's mutex,
+/// which also makes (full? -> push) atomic for admission control.
+class TieredQueue {
+ public:
+  /// `promote_cooldown_ns` == 0 disables tiering entirely (every queued
+  /// job is effective tier 0, i.e. plain FIFO admission order).
+  TieredQueue(std::size_t capacity, std::uint64_t promote_cooldown_ns)
+      : cap_(capacity), cooldown_ns_(promote_cooldown_ns) {}
+
+  std::size_t capacity() const { return cap_; }
+  std::size_t size() const { return q_.size(); }
+  bool empty() const { return q_.empty(); }
+  bool full() const { return q_.size() >= cap_; }
+
+  /// Effective tier of `r` at `now_ns` (declared tier minus promotions).
+  int effective_tier(const detail::JobRecord& r, std::uint64_t now_ns) const;
+
+  /// Enqueues; caller must have checked !full() under the same lock.
+  void push(std::shared_ptr<detail::JobRecord> r);
+
+  /// Removes and returns the best job, or nullptr when empty.
+  std::shared_ptr<detail::JobRecord> pop_best(std::uint64_t now_ns);
+
+  /// Removes a still-queued record (cancellation). Returns false if the
+  /// record is not in the queue (already dispatched or never admitted).
+  bool remove(const detail::JobRecord* r);
+
+ private:
+  std::vector<std::shared_ptr<detail::JobRecord>> q_;
+  std::size_t cap_;
+  std::uint64_t cooldown_ns_;
+};
+
+}  // namespace cab::svc

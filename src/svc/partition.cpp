@@ -1,0 +1,36 @@
+#include "svc/partition.hpp"
+
+#include "util/assert.hpp"
+
+namespace cab::svc {
+
+std::vector<int> SquadAllocator::acquire(int want) {
+  if (want < 1) want = 1;
+  if (free_ == 0) return {};
+  const int grant = want < free_ ? want : free_;
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(grant));
+  for (std::size_t s = 0; s < used_.size() && static_cast<int>(out.size()) < grant;
+       ++s) {
+    if (!used_[s]) {
+      used_[s] = true;
+      out.push_back(static_cast<int>(s));
+    }
+  }
+  free_ -= grant;
+  CAB_CHECK(static_cast<int>(out.size()) == grant,
+            "squad allocator free-count out of sync");
+  return out;
+}
+
+void SquadAllocator::release(const std::vector<int>& ids) {
+  for (int s : ids) {
+    CAB_CHECK(s >= 0 && s < total(), "release of out-of-range squad id");
+    CAB_CHECK(used_[static_cast<std::size_t>(s)],
+              "double release of squad");
+    used_[static_cast<std::size_t>(s)] = false;
+  }
+  free_ += static_cast<int>(ids.size());
+}
+
+}  // namespace cab::svc

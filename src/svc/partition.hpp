@@ -1,0 +1,36 @@
+#pragma once
+
+#include <vector>
+
+namespace cab::svc {
+
+/// Squad ownership ledger for the service's space partitioning: each
+/// running job owns a disjoint set of squads, acquired here at dispatch
+/// and released when the job's epoch drains. Lowest-id-first allocation
+/// keeps partitions contiguous-ish (socket 0 upward), which also keeps
+/// the squad->worker mapping stable for debugging.
+///
+/// Not itself thread-safe: every call happens under JobService's mutex.
+class SquadAllocator {
+ public:
+  explicit SquadAllocator(int squad_count)
+      : used_(static_cast<std::size_t>(squad_count), false),
+        free_(squad_count) {}
+
+  int total() const { return static_cast<int>(used_.size()); }
+  int free_count() const { return free_; }
+
+  /// Grants min(want, free_count()) squads — at least one — as a list of
+  /// squad ids; empty when no squad is free (caller keeps the job
+  /// queued). `want` below 1 is treated as 1.
+  std::vector<int> acquire(int want);
+
+  /// Returns a partition to the free pool.
+  void release(const std::vector<int>& ids);
+
+ private:
+  std::vector<bool> used_;
+  int free_ = 0;
+};
+
+}  // namespace cab::svc

@@ -1,0 +1,261 @@
+#include "svc/service.hpp"
+
+#include "dag/partition.hpp"
+#include "obs/timeline.hpp"
+#include "util/assert.hpp"
+
+namespace cab::svc {
+
+const char* to_string(JobState s) {
+  switch (s) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+    case JobState::kRejected: return "rejected";
+    case JobState::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+const char* to_string(Backpressure b) {
+  switch (b) {
+    case Backpressure::kReject: return "reject";
+    case Backpressure::kBlock: return "block";
+  }
+  return "?";
+}
+
+bool parse_backpressure(std::string_view s, Backpressure& out) {
+  if (s == "reject") {
+    out = Backpressure::kReject;
+    return true;
+  }
+  if (s == "block") {
+    out = Backpressure::kBlock;
+    return true;
+  }
+  return false;
+}
+
+JobService::JobService(ServiceOptions opts)
+    : opts_(std::move(opts)),
+      queue_(opts_.queue_capacity, opts_.promote_cooldown_ns),
+      alloc_(opts_.runtime.topo.sockets()) {
+  // The adaptive controller profiles exclusive whole-machine epochs;
+  // under multi-tenancy its stats reads would race other partitions
+  // (run_on() enforces the same thing — fail at construction instead).
+  CAB_CHECK(opts_.runtime.adapt.mode == adapt::Mode::kStatic,
+            "JobService requires Options::adapt.mode == kStatic");
+  rt_ = std::make_unique<runtime::Runtime>(opts_.runtime);
+  if (opts_.runtime.metrics) {
+    // Pre-registered so no registration ever happens concurrently with a
+    // snapshot; values land in writer slot 0 at flush time (service-level
+    // quantities, not per-worker ones).
+    obs::metrics::Registry& reg = rt_->registry();
+    m_submitted_ = &reg.counter("svc.submitted");
+    m_admitted_ = &reg.counter("svc.admitted");
+    m_rejected_ = &reg.counter("svc.rejected");
+    m_completed_ = &reg.counter("svc.completed");
+    m_failed_ = &reg.counter("svc.failed");
+    m_cancelled_ = &reg.counter("svc.cancelled");
+    m_promoted_ = &reg.counter("svc.promoted");
+    m_queued_ns_ = &reg.counter("svc.queued_ns");
+    m_running_jobs_ = &reg.gauge("svc.running_jobs");
+    m_queue_depth_ = &reg.gauge("svc.queue_depth");
+  }
+  // One executor per squad: a running partition holds >= 1 squad, so at
+  // most `sockets` jobs can execute concurrently — more executors could
+  // only idle, fewer would leave free squads unusable.
+  const int n = alloc_.total();
+  executors_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    executors_.emplace_back([this] { executor_main(); });
+  }
+}
+
+JobService::~JobService() { shutdown(); }
+
+JobTicket JobService::reject_locked(
+    const std::shared_ptr<detail::JobRecord>& rec, std::uint64_t now_ns) {
+  ++counters_.rejected;
+  {
+    std::lock_guard<std::mutex> lk(rec->mu);
+    rec->state = JobState::kRejected;
+    rec->finish_ns = now_ns;
+    rec->cv.notify_all();
+  }
+  return JobTicket(rec);
+}
+
+JobTicket JobService::submit(JobDesc desc) {
+  CAB_CHECK(desc.body != nullptr, "submit(): job body must be callable");
+  auto rec = std::make_shared<detail::JobRecord>();
+  rec->body = std::move(desc.body);
+  const int total = alloc_.total();  // immutable after construction
+  rec->want_squads =
+      desc.squads < 1 ? 1 : (desc.squads > total ? total : desc.squads);
+  rec->boundary_level = desc.boundary_level;
+  rec->input_bytes = desc.input_bytes;
+  rec->tier =
+      desc.tier < 0 ? 0 : (desc.tier > opts_.max_tier ? opts_.max_tier
+                                                      : desc.tier);
+
+  std::unique_lock<std::mutex> lk(mu_);
+  rec->submit_ns = obs::now_ns();
+  ++counters_.submitted;
+  if (stopping_) return reject_locked(rec, rec->submit_ns);
+  if (queue_.full()) {
+    if (opts_.backpressure == Backpressure::kReject) {
+      return reject_locked(rec, rec->submit_ns);
+    }
+    // blocking-ok by design: kBlock is the contract — the submitter asked
+    // to ride out full-queue backpressure instead of handling rejection.
+    space_cv_.wait(lk, [&] { return stopping_ || !queue_.full(); });
+    if (stopping_) return reject_locked(rec, obs::now_ns());
+  }
+  rec->seq = next_seq_++;
+  queue_.push(rec);
+  ++counters_.admitted;
+  counters_.queue_depth = static_cast<std::int64_t>(queue_.size());
+  work_cv_.notify_one();
+  return JobTicket(rec);
+}
+
+bool JobService::cancel(const JobTicket& ticket) {
+  if (!ticket.valid()) return false;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!queue_.remove(ticket.rec_.get())) return false;  // running/terminal
+  ++counters_.cancelled;
+  counters_.queue_depth = static_cast<std::int64_t>(queue_.size());
+  ticket.rec_->set_terminal(JobState::kCancelled, nullptr, obs::now_ns());
+  space_cv_.notify_all();
+  idle_cv_.notify_all();
+  return true;
+}
+
+void JobService::executor_main() {
+  for (;;) {
+    std::shared_ptr<detail::JobRecord> job;
+    std::vector<int> partition;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] {
+        return (stopping_ && queue_.empty()) ||
+               (!queue_.empty() && alloc_.free_count() > 0);
+      });
+      if (queue_.empty()) break;  // stopping, nothing left to dispatch
+      const std::uint64_t now = obs::now_ns();
+      job = queue_.pop_best(now);
+      partition = alloc_.acquire(job->want_squads);
+      CAB_CHECK(!partition.empty(), "dispatch without a free squad");
+      counters_.queue_depth = static_cast<std::int64_t>(queue_.size());
+      ++counters_.running_jobs;
+      counters_.queued_ns +=
+          now > job->submit_ns ? now - job->submit_ns : 0;
+      if (queue_.effective_tier(*job, now) < job->tier) {
+        ++counters_.promoted;
+      }
+      {
+        std::lock_guard<std::mutex> jlk(job->mu);
+        job->state = JobState::kRunning;
+        job->start_ns = now;
+        job->granted_squads = static_cast<int>(partition.size());
+      }
+      space_cv_.notify_all();  // the queue just shrank
+    }
+    run_job(job, partition);
+  }
+}
+
+void JobService::run_job(const std::shared_ptr<detail::JobRecord>& job,
+                         const std::vector<int>& partition) {
+  std::int32_t bl = job->boundary_level;
+  if (bl < 0) {
+    // Eq. 4 relative to the *granted* partition: M = squads actually
+    // owned, Sd = the job's declared input. run_on() degenerates
+    // single-squad partitions to BL = 0 regardless.
+    dag::PartitionParams p;
+    p.branching = 2;
+    p.sockets = static_cast<std::int32_t>(partition.size());
+    p.input_bytes = job->input_bytes;
+    p.shared_cache_bytes = opts_.runtime.topo.shared_cache_bytes();
+    bl = dag::boundary_level(p);
+  }
+  std::exception_ptr err;
+  try {
+    rt_->run_on(partition, bl, std::move(job->body));
+  } catch (...) {
+    // run_on rethrows the job's first task exception once the partition
+    // has drained — the squads are already quiescent and reusable here.
+    err = std::current_exception();
+  }
+  const bool failed = err != nullptr;
+  {
+    // Counters first, ticket second, all under mu_ (lock order mu_ ->
+    // job->mu, same as dispatch): a client that observed the terminal
+    // ticket state and then calls counters() is guaranteed to see this
+    // job counted, and drain() cannot return with the ticket unsettled.
+    std::lock_guard<std::mutex> lk(mu_);
+    alloc_.release(partition);
+    --counters_.running_jobs;
+    if (failed) {
+      ++counters_.failed;
+    } else {
+      ++counters_.completed;
+    }
+    job->set_terminal(failed ? JobState::kFailed : JobState::kDone,
+                      std::move(err), obs::now_ns());
+    // Freed squads can unblock dispatches that found the allocator empty.
+    work_cv_.notify_all();
+    idle_cv_.notify_all();
+  }
+}
+
+void JobService::drain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  // blocking-ok by design: drain() is the quiescence barrier.
+  idle_cv_.wait(lk, [&] {
+    return queue_.empty() && counters_.running_jobs == 0;
+  });
+}
+
+void JobService::shutdown() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  space_cv_.notify_all();
+  for (auto& t : executors_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+ServiceCounters JobService::counters() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  ServiceCounters c = counters_;
+  c.queue_depth = static_cast<std::int64_t>(queue_.size());
+  return c;
+}
+
+obs::metrics::Snapshot JobService::metrics_snapshot() {
+  if (m_submitted_ != nullptr) {
+    std::lock_guard<std::mutex> lk(mu_);
+    m_submitted_->store(0, static_cast<std::int64_t>(counters_.submitted));
+    m_admitted_->store(0, static_cast<std::int64_t>(counters_.admitted));
+    m_rejected_->store(0, static_cast<std::int64_t>(counters_.rejected));
+    m_completed_->store(0, static_cast<std::int64_t>(counters_.completed));
+    m_failed_->store(0, static_cast<std::int64_t>(counters_.failed));
+    m_cancelled_->store(0, static_cast<std::int64_t>(counters_.cancelled));
+    m_promoted_->store(0, static_cast<std::int64_t>(counters_.promoted));
+    m_queued_ns_->store(0, static_cast<std::int64_t>(counters_.queued_ns));
+    m_running_jobs_->set(0, counters_.running_jobs);
+    m_queue_depth_->set(0, static_cast<std::int64_t>(queue_.size()));
+  }
+  // Inherits the runtime's between-epochs contract check: fails loudly
+  // if any partition is still executing.
+  return rt_->metrics_snapshot();
+}
+
+}  // namespace cab::svc

@@ -1,10 +1,69 @@
 #pragma once
 
+#include <cctype>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 namespace cab::util::args {
+
+/// Parses a human duration — "250ns", "10us", "5ms", "10s", "2m", plus
+/// fractional values like "1.5s" — into nanoseconds. A bare number is
+/// rejected (the unit is load-bearing: "--duration=10" hides a 1000x
+/// ambiguity), as is an unknown suffix, a negative value, or trailing
+/// junk. Returns false and leaves `out_ns` untouched on any rejection.
+inline bool parse_duration(const std::string& s, std::uint64_t& out_ns) {
+  if (s.empty()) return false;
+  const char* c = s.c_str();
+  char* end = nullptr;
+  const double v = std::strtod(c, &end);
+  if (end == c || v < 0) return false;  // no leading number, or negative
+  const std::string unit(end);
+  double scale = 0;
+  if (unit == "ns") {
+    scale = 1;
+  } else if (unit == "us") {
+    scale = 1e3;
+  } else if (unit == "ms") {
+    scale = 1e6;
+  } else if (unit == "s") {
+    scale = 1e9;
+  } else if (unit == "m") {
+    scale = 60e9;
+  } else {
+    return false;  // bare number or unknown suffix
+  }
+  out_ns = static_cast<std::uint64_t>(v * scale);
+  return true;
+}
+
+/// Parses an arrival rate — "5000/s", "300/m", "2.5/ms" (denominator =
+/// any parse_duration unit) — into events per second. A bare number means
+/// per second would be the obvious default, but it is rejected for the
+/// same reason bare durations are: make the caller write the unit once
+/// instead of every reader guessing it. Returns false (out untouched)
+/// on rejection, including a zero-length or zero-duration denominator.
+inline bool parse_rate(const std::string& s, double& out_per_sec) {
+  const std::size_t slash = s.find('/');
+  if (slash == std::string::npos || slash == 0) return false;
+  const std::string num = s.substr(0, slash);
+  const char* c = num.c_str();
+  char* end = nullptr;
+  const double v = std::strtod(c, &end);
+  if (end == c || *end != '\0' || v < 0) return false;
+  // Denominator: a bare unit ("/s") or a counted one ("/10s").
+  std::string den = s.substr(slash + 1);
+  if (den.empty()) return false;
+  if (!std::isdigit(static_cast<unsigned char>(den[0])) && den[0] != '.') {
+    den = "1" + den;
+  }
+  std::uint64_t den_ns = 0;
+  if (!parse_duration(den, den_ns) || den_ns == 0) return false;
+  out_per_sec = v * 1e9 / static_cast<double>(den_ns);
+  return true;
+}
 
 /// Value of `--<name>=<v>` (or `--<name> <v>`) in argv, else "".
 /// `name` is the bare flag name without dashes, e.g. "trace". When the

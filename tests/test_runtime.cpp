@@ -4,6 +4,7 @@
 #include <numeric>
 #include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "runtime/runtime.hpp"
@@ -362,6 +363,77 @@ TEST(RuntimeStats, SummaryMentionsKeyCounters) {
   std::string s = rt.stats().summary();
   EXPECT_NE(s.find("tasks="), std::string::npos);
   EXPECT_NE(s.find("spawns"), std::string::npos);
+}
+
+TEST(RunOn, SubsetPartitionComputesCorrectly) {
+  Runtime rt(make_options(SchedulerKind::kCab, 4, 2, 2));
+  long out = 0;
+  rt.run_on({1, 2}, /*boundary_level=*/1, [&] { fib_task(14, &out); });
+  EXPECT_EQ(out, fib_serial(14));
+  // Single-squad partition: degenerate CAB (BL forced 0) still works.
+  rt.run_on({3}, /*boundary_level=*/2, [&] { fib_task(10, &out); });
+  EXPECT_EQ(out, fib_serial(10));
+  // The whole machine still works after partitioned epochs.
+  rt.run([&] { fib_task(12, &out); });
+  EXPECT_EQ(out, fib_serial(12));
+}
+
+TEST(RunOn, ConcurrentDisjointPartitionsConserveTasks) {
+  // Two epochs on disjoint halves of the machine at the same time, from
+  // two submitter threads. Results must be right and the scheduler-level
+  // task accounting must balance: every executed task is one of the
+  // epoch roots or was spawned exactly once — no lost or doubled work.
+  Runtime rt(make_options(SchedulerKind::kCab, 4, 2, 1));
+  constexpr int kEpochs = 6;  // 3 rounds per half
+  long lo[3] = {0, 0, 0}, hi[3] = {0, 0, 0};
+  std::thread left([&] {
+    for (long& out : lo) rt.run_on({0, 1}, 1, [&] { fib_task(13, &out); });
+  });
+  std::thread right([&] {
+    for (long& out : hi) rt.run_on({2, 3}, 1, [&] { fib_task(15, &out); });
+  });
+  left.join();
+  right.join();
+  for (long v : lo) EXPECT_EQ(v, fib_serial(13));
+  for (long v : hi) EXPECT_EQ(v, fib_serial(15));
+  const WorkerStats t = rt.stats().total;
+  EXPECT_EQ(t.tasks_executed, t.spawns_intra + t.spawns_inter + kEpochs);
+}
+
+TEST(RunOn, RethrowsJobException) {
+  Runtime rt(make_options(SchedulerKind::kCab, 2, 2, 1));
+  EXPECT_THROW(
+      rt.run_on({0}, 0, [] { throw std::runtime_error("partition boom"); }),
+      std::runtime_error);
+  // The partition drained; the runtime is reusable.
+  long out = 0;
+  rt.run_on({0}, 0, [&] { fib_task(10, &out); });
+  EXPECT_EQ(out, fib_serial(10));
+}
+
+TEST(RunOnDeathTest, RejectsBadSquadSets) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Runtime rt(make_options(SchedulerKind::kCab, 2, 2, 1));
+  EXPECT_DEATH(rt.run_on({}, 0, [] {}), "empty squad set");
+  EXPECT_DEATH(rt.run_on({2}, 0, [] {}), "out of range");
+  EXPECT_DEATH(rt.run_on({0, 0}, 0, [] {}), "duplicate squad id");
+}
+
+// The observability contract — reports only between epochs — is enforced,
+// not just documented: reading stats/metrics mid-epoch would race the
+// workers' unsynchronized counters and return garbage silently.
+TEST(RuntimeContractDeathTest, StatsDuringEpochAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Runtime rt(make_options(SchedulerKind::kCab, 2, 2, 1));
+  EXPECT_DEATH(rt.run([&] { (void)rt.stats(); }),
+               "while an epoch is running");
+}
+
+TEST(RuntimeContractDeathTest, MetricsSnapshotDuringEpochAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Runtime rt(make_options(SchedulerKind::kCab, 2, 2, 1));
+  EXPECT_DEATH(rt.run([&] { (void)rt.metrics_snapshot(); }),
+               "while an epoch is running");
 }
 
 }  // namespace

@@ -20,6 +20,7 @@
 
 #include "deque/chase_lev_deque.hpp"
 #include "runtime/runtime.hpp"
+#include "svc/service.hpp"
 
 namespace cab::runtime {
 namespace {
@@ -402,6 +403,111 @@ TEST(StressProtocol, HotVictimWeightedStealHammer) {
       EXPECT_EQ(sum.steal_batch_tasks, 0u) << to_string(pol);
     }
   }
+}
+
+TEST(StressProtocol, ConcurrentRunOnPartitionsHammer) {
+  // Federated epochs: four submitter threads repeatedly run disjoint
+  // single/double-squad partitions of one runtime — every squad
+  // bind/unbind, partition-confined steal, and epoch wake path races
+  // here under the sanitizer.
+  Runtime rt(stress_options(SchedulerKind::kCab, 4, 2, 1));
+  constexpr int kRounds = 40;
+  constexpr int kDepth = 5;
+  std::atomic<int> leaves{0};
+  std::vector<std::thread> submitters;
+  const std::vector<std::vector<int>> partitions = {{0}, {1}, {2, 3}};
+  for (const std::vector<int>& p : partitions) {
+    submitters.emplace_back([&, p] {
+      for (int r = 0; r < kRounds; ++r) {
+        rt.run_on(p, 1, [&] { spawn_tree(kDepth, &leaves); });
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  EXPECT_EQ(leaves.load(),
+            static_cast<int>(partitions.size()) * kRounds * (1 << kDepth));
+}
+
+TEST(StressService, ManyConcurrentSubmitters) {
+  // The ISSUE's TSan acceptance case: many threads submitting
+  // DAG-spawning jobs against one service while executors dispatch onto
+  // disjoint partitions. Conservation is asserted at the end; the data
+  // races (admission queue, allocator, ticket state, epoch binding) are
+  // the sanitizer's job.
+  svc::ServiceOptions o;
+  o.runtime.topo = hw::Topology::synthetic(4, 2, 1ull << 20);
+  o.runtime.seed = 99;
+  o.queue_capacity = 32;
+  o.backpressure = svc::Backpressure::kBlock;  // lossless under load
+  o.promote_cooldown_ns = 100'000;             // exercise promotions
+  svc::JobService service(o);
+  constexpr int kSubmitters = 8;
+  constexpr int kJobsEach = 25;
+  constexpr int kDepth = 5;  // 2^5 leaves per job
+  std::atomic<long> leaves{0};
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      std::vector<svc::JobTicket> mine;
+      for (int j = 0; j < kJobsEach; ++j) {
+        svc::JobDesc d;
+        d.squads = 1 + (j % 3);
+        d.tier = (s + j) % 4;
+        d.body = [&] {
+          std::atomic<int> local{0};
+          spawn_tree(kDepth, &local);
+          leaves.fetch_add(local.load(), std::memory_order_relaxed);
+        };
+        mine.push_back(service.submit(std::move(d)));
+      }
+      for (const svc::JobTicket& t : mine) {
+        EXPECT_EQ(t.wait(), svc::JobState::kDone);
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  service.drain();
+  constexpr long kJobs = kSubmitters * kJobsEach;
+  EXPECT_EQ(leaves.load(), kJobs * (1 << kDepth));
+  const svc::ServiceCounters c = service.counters();
+  EXPECT_EQ(c.admitted, static_cast<std::uint64_t>(kJobs));
+  EXPECT_EQ(c.completed, static_cast<std::uint64_t>(kJobs));
+  EXPECT_EQ(c.rejected, 0u);
+  EXPECT_EQ(c.failed, 0u);
+  // Scheduler-level conservation across every partitioned epoch.
+  const WorkerStats t = service.rt().stats().total;
+  EXPECT_EQ(t.tasks_executed, t.spawns_intra + t.spawns_inter + kJobs);
+}
+
+TEST(StressService, RejectChurnUnderOverload) {
+  // Tiny queue + reject policy + a submit storm: admission control
+  // races dispatch continuously; counters must still balance exactly.
+  svc::ServiceOptions o;
+  o.runtime.topo = hw::Topology::synthetic(2, 2, 1ull << 20);
+  o.runtime.seed = 7;
+  o.queue_capacity = 2;
+  o.backpressure = svc::Backpressure::kReject;
+  svc::JobService service(o);
+  constexpr int kSubmitters = 6;
+  constexpr int kJobsEach = 60;
+  std::atomic<long> ran{0};
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&] {
+      for (int j = 0; j < kJobsEach; ++j) {
+        svc::JobDesc d;
+        d.body = [&] { ran.fetch_add(1, std::memory_order_relaxed); };
+        (void)service.submit(std::move(d));
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  service.drain();
+  const svc::ServiceCounters c = service.counters();
+  EXPECT_EQ(c.submitted, static_cast<std::uint64_t>(kSubmitters * kJobsEach));
+  EXPECT_EQ(c.admitted + c.rejected, c.submitted);
+  EXPECT_EQ(c.completed, c.admitted);  // no cancels here: all admitted ran
+  EXPECT_EQ(ran.load(), static_cast<long>(c.completed));
 }
 
 }  // namespace

@@ -1,0 +1,421 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "obs/timeline.hpp"
+#include "runtime/runtime.hpp"
+#include "svc/service.hpp"
+
+namespace cab::svc {
+namespace {
+
+ServiceOptions make_opts(int sockets, int cores, std::size_t queue,
+                         Backpressure bp = Backpressure::kReject) {
+  ServiceOptions o;
+  o.runtime.topo = hw::Topology::synthetic(sockets, cores, 1ull << 20);
+  o.runtime.seed = 7;
+  o.queue_capacity = queue;
+  o.backpressure = bp;
+  return o;
+}
+
+/// A gate jobs can block on, to hold executors busy deterministically.
+struct Gate {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool open = false;
+  std::atomic<int> waiting{0};
+
+  // blocking-ok in a job body: jobs may block, workers do not.
+  void wait_open() {
+    ++waiting;
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return open; });
+  }
+  void open_up() {
+    std::lock_guard<std::mutex> lk(mu);
+    open = true;
+    cv.notify_all();
+  }
+  void wait_waiters(int n) {
+    while (waiting.load() < n) std::this_thread::yield();
+  }
+};
+
+JobDesc job(std::function<void()> body, int squads = 1, int tier = 0) {
+  JobDesc d;
+  d.body = std::move(body);
+  d.squads = squads;
+  d.tier = tier;
+  return d;
+}
+
+// ---------------------------------------------------------------------
+// TieredQueue (deterministic unit tests; the clock is an argument).
+
+std::shared_ptr<detail::JobRecord> rec(int tier, std::uint64_t seq,
+                                       std::uint64_t submit_ns) {
+  auto r = std::make_shared<detail::JobRecord>();
+  r->tier = tier;
+  r->seq = seq;
+  r->submit_ns = submit_ns;
+  return r;
+}
+
+TEST(TieredQueue, PopsLowestTierThenFifo) {
+  TieredQueue q(8, /*cooldown=*/0);  // cooldown 0: declared tiers ignored
+  q.push(rec(3, 0, 0));
+  q.push(rec(0, 1, 0));
+  q.push(rec(1, 2, 0));
+  // FIFO when tiering is disabled.
+  EXPECT_EQ(q.pop_best(10)->seq, 0u);
+  EXPECT_EQ(q.pop_best(10)->seq, 1u);
+  EXPECT_EQ(q.pop_best(10)->seq, 2u);
+  EXPECT_EQ(q.pop_best(10), nullptr);
+}
+
+TEST(TieredQueue, StrictPriorityBetweenTiers) {
+  TieredQueue q(8, /*cooldown=*/1'000'000);
+  q.push(rec(2, 0, 0));
+  q.push(rec(0, 1, 0));
+  q.push(rec(0, 2, 0));
+  q.push(rec(1, 3, 0));
+  // At now=0 nothing has aged: tier 0 jobs first (FIFO), then 1, then 2.
+  EXPECT_EQ(q.pop_best(0)->seq, 1u);
+  EXPECT_EQ(q.pop_best(0)->seq, 2u);
+  EXPECT_EQ(q.pop_best(0)->seq, 3u);
+  EXPECT_EQ(q.pop_best(0)->seq, 0u);
+}
+
+TEST(TieredQueue, CooldownPromotesAgedJobs) {
+  const std::uint64_t kCooldown = 1'000'000;
+  TieredQueue q(8, kCooldown);
+  auto old_low = rec(2, 0, 0);          // tier 2, submitted at t=0
+  auto fresh_high = rec(0, 1, kCooldown * 2);  // tier 0, submitted later
+  q.push(old_low);
+  q.push(fresh_high);
+  // After 2 cooldowns the tier-2 job is effective tier 0 and wins on seq.
+  const std::uint64_t now = kCooldown * 2;
+  EXPECT_EQ(q.effective_tier(*old_low, now), 0);
+  EXPECT_EQ(q.effective_tier(*fresh_high, now), 0);
+  EXPECT_EQ(q.pop_best(now)->seq, 0u);
+  // Promotion floors at 0, never goes negative.
+  EXPECT_EQ(q.effective_tier(*fresh_high, kCooldown * 100), 0);
+}
+
+TEST(TieredQueue, RemoveOnlyFindsQueuedRecords) {
+  TieredQueue q(4, 0);
+  auto a = rec(0, 0, 0);
+  q.push(a);
+  EXPECT_TRUE(q.remove(a.get()));
+  EXPECT_FALSE(q.remove(a.get()));  // already gone
+  EXPECT_TRUE(q.empty());
+}
+
+// ---------------------------------------------------------------------
+// SquadAllocator.
+
+TEST(SquadAllocator, GrantsLowestFreeIdsAndShrinksUnderPressure) {
+  SquadAllocator a(4);
+  EXPECT_EQ(a.free_count(), 4);
+  const std::vector<int> p1 = a.acquire(2);
+  EXPECT_EQ(p1, (std::vector<int>{0, 1}));
+  // want=4 but only 2 free: degrade, don't wait.
+  const std::vector<int> p2 = a.acquire(4);
+  EXPECT_EQ(p2, (std::vector<int>{2, 3}));
+  // Exhausted: empty grant.
+  EXPECT_TRUE(a.acquire(1).empty());
+  a.release(p1);
+  EXPECT_EQ(a.free_count(), 2);
+  // want<1 is treated as 1.
+  EXPECT_EQ(a.acquire(0), (std::vector<int>{0}));
+}
+
+// ---------------------------------------------------------------------
+// JobService end-to-end.
+
+TEST(JobService, SingleJobRunsAndCompletes) {
+  JobService svc(make_opts(2, 2, 8));
+  std::atomic<int> ran{0};
+  JobTicket t = svc.submit(job([&] {
+    runtime::Runtime::spawn([&] { ++ran; });
+    runtime::Runtime::spawn([&] { ++ran; });
+    runtime::Runtime::sync();
+    ++ran;
+  }));
+  EXPECT_EQ(t.wait(), JobState::kDone);
+  EXPECT_EQ(ran.load(), 3);
+  EXPECT_GE(t.granted_squads(), 1);
+  EXPECT_GT(t.finish_ns(), t.submit_ns());
+  const ServiceCounters c = svc.counters();
+  EXPECT_EQ(c.submitted, 1u);
+  EXPECT_EQ(c.admitted, 1u);
+  EXPECT_EQ(c.completed, 1u);
+  EXPECT_EQ(c.rejected, 0u);
+}
+
+TEST(JobService, ConcurrentJobsOnDisjointPartitionsConserveTasks) {
+  // 4 squads, every job wants 2: at least two jobs run concurrently on
+  // disjoint partitions. Each job spawns a known task count; nothing may
+  // be lost or run twice.
+  JobService svc(make_opts(4, 2, 64));
+  constexpr int kJobs = 12;
+  constexpr int kSpawnsPerJob = 64;
+  std::atomic<long> leaves{0};
+  std::vector<JobTicket> tickets;
+  for (int j = 0; j < kJobs; ++j) {
+    tickets.push_back(svc.submit(job(
+        [&] {
+          for (int i = 0; i < kSpawnsPerJob; ++i) {
+            runtime::Runtime::spawn([&] { ++leaves; });
+          }
+          runtime::Runtime::sync();
+        },
+        /*squads=*/2)));
+  }
+  svc.drain();
+  for (const JobTicket& t : tickets) EXPECT_EQ(t.state(), JobState::kDone);
+  EXPECT_EQ(leaves.load(), static_cast<long>(kJobs) * kSpawnsPerJob);
+  // Scheduler-level conservation across all partitions: every executed
+  // task is either one of the kJobs roots or was spawned exactly once.
+  const runtime::WorkerStats tot = svc.rt().stats().total;
+  EXPECT_EQ(tot.tasks_executed, tot.spawns_intra + tot.spawns_inter + kJobs);
+  const ServiceCounters c = svc.counters();
+  EXPECT_EQ(c.completed, static_cast<std::uint64_t>(kJobs));
+  EXPECT_EQ(c.running_jobs, 0);
+  EXPECT_EQ(c.queue_depth, 0);
+}
+
+TEST(JobService, MultiSquadJobsSeeTheirGrantedPartitionWidth) {
+  JobService svc(make_opts(4, 2, 8));
+  JobTicket t = svc.submit(job([] {}, /*squads=*/3));
+  EXPECT_EQ(t.wait(), JobState::kDone);
+  EXPECT_EQ(t.granted_squads(), 3);  // idle service: full width granted
+}
+
+TEST(JobService, FullQueueRejectsUnderRejectPolicy) {
+  // One squad -> one executor. Hold it, fill the 2-slot queue, overflow.
+  Gate gate;
+  JobService svc(make_opts(1, 2, 2, Backpressure::kReject));
+  JobTicket running = svc.submit(job([&] { gate.wait_open(); }));
+  gate.wait_waiters(1);  // executor is now busy, queue is empty
+  JobTicket q1 = svc.submit(job([] {}));
+  JobTicket q2 = svc.submit(job([] {}));
+  JobTicket overflow = svc.submit(job([] {}));
+  EXPECT_EQ(overflow.state(), JobState::kRejected);
+  EXPECT_EQ(overflow.wait(), JobState::kRejected);  // terminal immediately
+  gate.open_up();
+  svc.drain();
+  EXPECT_EQ(running.state(), JobState::kDone);
+  EXPECT_EQ(q1.state(), JobState::kDone);
+  EXPECT_EQ(q2.state(), JobState::kDone);
+  const ServiceCounters c = svc.counters();
+  EXPECT_EQ(c.submitted, 4u);
+  EXPECT_EQ(c.admitted, 3u);
+  EXPECT_EQ(c.rejected, 1u);
+}
+
+TEST(JobService, FullQueueBlocksUnderBlockPolicy) {
+  Gate gate;
+  JobService svc(make_opts(1, 2, 1, Backpressure::kBlock));
+  JobTicket running = svc.submit(job([&] { gate.wait_open(); }));
+  gate.wait_waiters(1);
+  JobTicket queued = svc.submit(job([] {}));  // fills the queue
+  std::atomic<bool> submitted{false};
+  std::thread blocked([&] {
+    JobTicket t = svc.submit(job([] {}));  // must block, then admit
+    submitted = true;
+    EXPECT_EQ(t.wait(), JobState::kDone);
+  });
+  // The submitter stays blocked while the queue is full.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(submitted.load());
+  gate.open_up();  // executor frees, queue drains, space appears
+  blocked.join();
+  EXPECT_TRUE(submitted.load());
+  svc.drain();
+  EXPECT_EQ(running.state(), JobState::kDone);
+  EXPECT_EQ(queued.state(), JobState::kDone);
+  EXPECT_EQ(svc.counters().rejected, 0u);
+}
+
+TEST(JobService, ZeroCapacityQueueRejectsEverySubmit) {
+  // The degenerate admission config on the smallest topology: every
+  // submit hits the backpressure policy, nothing ever runs.
+  JobService svc(make_opts(1, 1, 0, Backpressure::kReject));
+  for (int i = 0; i < 3; ++i) {
+    JobTicket t = svc.submit(job([] { ADD_FAILURE() << "must not run"; }));
+    EXPECT_EQ(t.state(), JobState::kRejected);
+  }
+  svc.drain();  // trivially idle
+  const ServiceCounters c = svc.counters();
+  EXPECT_EQ(c.submitted, 3u);
+  EXPECT_EQ(c.rejected, 3u);
+  EXPECT_EQ(c.admitted, 0u);
+}
+
+TEST(JobService, SubmitAfterShutdownIsRejectedNotCrashed) {
+  JobService svc(make_opts(2, 1, 8));
+  JobTicket before = svc.submit(job([] {}));
+  svc.shutdown();
+  EXPECT_EQ(before.state(), JobState::kDone);  // shutdown drains
+  JobTicket after = svc.submit(job([] { ADD_FAILURE() << "must not run"; }));
+  EXPECT_EQ(after.state(), JobState::kRejected);
+  EXPECT_EQ(svc.counters().rejected, 1u);
+  svc.shutdown();  // idempotent
+}
+
+TEST(JobService, ShutdownUnblocksBlockedSubmitters) {
+  // Capacity 0 under kBlock: every submit blocks until shutdown cuts the
+  // wait short with a rejection (never a hang, never a crash).
+  JobService svc(make_opts(1, 1, 0, Backpressure::kBlock));
+  std::atomic<bool> done{false};
+  std::thread blocked([&] {
+    JobTicket t = svc.submit(job([] { ADD_FAILURE() << "must not run"; }));
+    EXPECT_EQ(t.state(), JobState::kRejected);  // cut short by shutdown
+    done = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(done.load());
+  svc.shutdown();
+  blocked.join();
+  EXPECT_TRUE(done.load());
+}
+
+TEST(JobService, CancelQueuedJobButNotRunningJob) {
+  Gate gate;
+  JobService svc(make_opts(1, 2, 4));
+  JobTicket running = svc.submit(job([&] { gate.wait_open(); }));
+  gate.wait_waiters(1);
+  JobTicket queued = svc.submit(job([] { ADD_FAILURE() << "cancelled"; }));
+  EXPECT_FALSE(svc.cancel(running));  // already dispatched
+  EXPECT_TRUE(svc.cancel(queued));
+  EXPECT_EQ(queued.state(), JobState::kCancelled);
+  EXPECT_FALSE(svc.cancel(queued));  // terminal: no-op
+  gate.open_up();
+  svc.drain();
+  EXPECT_EQ(running.state(), JobState::kDone);
+  EXPECT_EQ(svc.counters().cancelled, 1u);
+}
+
+TEST(JobService, FailedJobCarriesItsException) {
+  JobService svc(make_opts(2, 2, 8));
+  JobTicket ok = svc.submit(job([] {}));
+  JobTicket bad =
+      svc.submit(job([] { throw std::runtime_error("job exploded"); }));
+  EXPECT_EQ(bad.wait(), JobState::kFailed);
+  ASSERT_NE(bad.error(), nullptr);
+  try {
+    std::rethrow_exception(bad.error());
+    FAIL() << "expected a rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "job exploded");
+  }
+  // A failed job never poisons the service or later jobs.
+  EXPECT_EQ(ok.wait(), JobState::kDone);
+  JobTicket later = svc.submit(job([] {}));
+  EXPECT_EQ(later.wait(), JobState::kDone);
+  const ServiceCounters c = svc.counters();
+  EXPECT_EQ(c.failed, 1u);
+  EXPECT_EQ(c.completed, 2u);
+}
+
+TEST(JobService, TiersDispatchInPriorityOrderWhenQueued) {
+  // Hold the single executor, queue jobs in mixed tier order with an
+  // effectively infinite cooldown, and check dispatch follows tier.
+  Gate gate;
+  ServiceOptions o = make_opts(1, 2, 8);
+  o.promote_cooldown_ns = std::uint64_t{1} << 60;  // no promotion
+  JobService svc(o);
+  JobTicket running = svc.submit(job([&] { gate.wait_open(); }));
+  gate.wait_waiters(1);
+  std::mutex order_mu;
+  std::vector<int> order;
+  auto mark = [&](int id) {
+    return job(
+        [&order_mu, &order, id] {
+          std::lock_guard<std::mutex> lk(order_mu);
+          order.push_back(id);
+        },
+        1, /*tier=*/id % 4);
+  };
+  // tiers: 3, 1, 0, 2 -> dispatch 0, 1, 2, 3.
+  for (int id : {3, 1, 0, 2}) (void)svc.submit(mark(id));
+  gate.open_up();
+  svc.drain();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(running.state(), JobState::kDone);
+}
+
+TEST(JobService, CooldownPromotionIsCountedEndToEnd) {
+  // Tiny cooldown: a held tier-3 job ages to effective tier 0 before
+  // dispatch, which shows up in the promoted counter.
+  Gate gate;
+  ServiceOptions o = make_opts(1, 1, 8);
+  o.promote_cooldown_ns = 1;  // promote ~immediately
+  JobService svc(o);
+  JobTicket running = svc.submit(job([&] { gate.wait_open(); }));
+  gate.wait_waiters(1);
+  JobTicket low = svc.submit(job([] {}, 1, /*tier=*/3));
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  gate.open_up();
+  svc.drain();
+  EXPECT_EQ(low.state(), JobState::kDone);
+  EXPECT_GE(svc.counters().promoted, 1u);
+  (void)running;
+}
+
+TEST(JobService, MetricsSnapshotCarriesServiceCounters) {
+  JobService svc(make_opts(2, 2, 8));
+  for (int i = 0; i < 5; ++i) (void)svc.submit(job([] {}));
+  svc.drain();
+  const obs::metrics::Snapshot snap = svc.metrics_snapshot();
+  const obs::metrics::MetricSnapshot* admitted = snap.find("svc.admitted");
+  ASSERT_NE(admitted, nullptr);
+  EXPECT_EQ(admitted->total, 5);
+  const obs::metrics::MetricSnapshot* completed = snap.find("svc.completed");
+  ASSERT_NE(completed, nullptr);
+  EXPECT_EQ(completed->total, 5);
+  const obs::metrics::MetricSnapshot* running = snap.find("svc.running_jobs");
+  ASSERT_NE(running, nullptr);
+  EXPECT_EQ(running->total, 0);
+  // Scheduler metrics share the same registry/snapshot.
+  EXPECT_NE(snap.find("scheduler.tasks_executed"), nullptr);
+}
+
+TEST(JobService, QueuedTimeIsMeasuredForDispatchedJobs) {
+  Gate gate;
+  JobService svc(make_opts(1, 1, 4));
+  JobTicket running = svc.submit(job([&] { gate.wait_open(); }));
+  gate.wait_waiters(1);
+  JobTicket waiter = svc.submit(job([] {}));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  gate.open_up();
+  svc.drain();
+  EXPECT_EQ(waiter.state(), JobState::kDone);
+  // Waited >= the 5ms the executor was held (minus scheduling slop).
+  EXPECT_GE(waiter.queued_ns(), 1'000'000u);
+  EXPECT_GE(svc.counters().queued_ns, waiter.queued_ns());
+  (void)running;
+}
+
+TEST(JobService, BackpressureParsing) {
+  Backpressure b = Backpressure::kBlock;
+  EXPECT_TRUE(parse_backpressure("reject", b));
+  EXPECT_EQ(b, Backpressure::kReject);
+  EXPECT_TRUE(parse_backpressure("block", b));
+  EXPECT_EQ(b, Backpressure::kBlock);
+  EXPECT_FALSE(parse_backpressure("drop", b));
+  EXPECT_STREQ(to_string(Backpressure::kReject), "reject");
+  EXPECT_STREQ(to_string(Backpressure::kBlock), "block");
+}
+
+}  // namespace
+}  // namespace cab::svc

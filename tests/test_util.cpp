@@ -173,6 +173,61 @@ TEST(Args, FirstUnknownCatchesTyposButSkipsKnownValues) {
             "--jsonx=y");
 }
 
+TEST(Args, ParseDurationAcceptsEveryUnit) {
+  std::uint64_t ns = 0;
+  EXPECT_TRUE(args::parse_duration("250ns", ns));
+  EXPECT_EQ(ns, 250u);
+  EXPECT_TRUE(args::parse_duration("10us", ns));
+  EXPECT_EQ(ns, 10'000u);
+  EXPECT_TRUE(args::parse_duration("5ms", ns));
+  EXPECT_EQ(ns, 5'000'000u);
+  EXPECT_TRUE(args::parse_duration("10s", ns));
+  EXPECT_EQ(ns, 10'000'000'000u);
+  EXPECT_TRUE(args::parse_duration("2m", ns));
+  EXPECT_EQ(ns, 120'000'000'000u);
+  EXPECT_TRUE(args::parse_duration("1.5s", ns));
+  EXPECT_EQ(ns, 1'500'000'000u);
+  EXPECT_TRUE(args::parse_duration("0s", ns));
+  EXPECT_EQ(ns, 0u);
+}
+
+TEST(Args, ParseDurationRejectsBareNumbersAndUnknownSuffixes) {
+  std::uint64_t ns = 777;
+  // The unit is load-bearing: a bare number hides a 1000x ambiguity.
+  EXPECT_FALSE(args::parse_duration("10", ns));
+  EXPECT_FALSE(args::parse_duration("10sec", ns));
+  EXPECT_FALSE(args::parse_duration("10 s", ns));
+  EXPECT_FALSE(args::parse_duration("10h", ns));   // not a supported unit
+  EXPECT_FALSE(args::parse_duration("-5ms", ns));  // negative
+  EXPECT_FALSE(args::parse_duration("ms", ns));    // no number
+  EXPECT_FALSE(args::parse_duration("", ns));
+  EXPECT_EQ(ns, 777u);  // rejected parses leave the output untouched
+}
+
+TEST(Args, ParseRateAcceptsBareAndCountedDenominators) {
+  double r = 0;
+  EXPECT_TRUE(args::parse_rate("5000/s", r));
+  EXPECT_DOUBLE_EQ(r, 5000.0);
+  EXPECT_TRUE(args::parse_rate("300/m", r));
+  EXPECT_DOUBLE_EQ(r, 5.0);
+  EXPECT_TRUE(args::parse_rate("2.5/ms", r));
+  EXPECT_DOUBLE_EQ(r, 2500.0);
+  EXPECT_TRUE(args::parse_rate("10/10s", r));  // counted denominator
+  EXPECT_DOUBLE_EQ(r, 1.0);
+}
+
+TEST(Args, ParseRateRejectsMalformedSpecs) {
+  double r = 99.0;
+  EXPECT_FALSE(args::parse_rate("5000", r));    // no denominator
+  EXPECT_FALSE(args::parse_rate("/s", r));      // no numerator
+  EXPECT_FALSE(args::parse_rate("5000/", r));   // empty denominator
+  EXPECT_FALSE(args::parse_rate("5000/sec", r));  // unknown unit
+  EXPECT_FALSE(args::parse_rate("5000/0s", r));   // zero denominator
+  EXPECT_FALSE(args::parse_rate("-1/s", r));      // negative rate
+  EXPECT_FALSE(args::parse_rate("5x/s", r));      // junk after number
+  EXPECT_DOUBLE_EQ(r, 99.0);  // untouched on rejection
+}
+
 TEST(SpinLock, MutualExclusionUnderContention) {
   SpinLock lock;
   std::int64_t counter = 0;

@@ -25,6 +25,18 @@
 // --warn-only and through the wall-clock exemption — so deterministic
 // keys (LLC misses, makespans) can stay load-bearing in a CI job that
 // otherwise runs warn-only because of noisy steal-latency percentiles.
+//
+// --require-zero=<metric> asserts that every *current*-summary key
+// containing <metric> is exactly 0. Percent deltas cannot express
+// "stays zero" (a 0 baseline has no meaningful percent change, so
+// zero-baseline keys are skipped by the delta pass); this flag is the
+// absolute form, used by CI to pin svc.rejected == 0 in the service
+// smoke. It always gates — --warn-only does not soften it — and a
+// spec matching no key is itself an error (a typo must not pass).
+//
+// Besides cab-bench-v1, merge also accepts cab-svc-v1 records (the
+// open-loop service bench): same envelope, per-config job-latency
+// percentiles instead of per-config makespans.
 
 #include <cmath>
 #include <cstdio>
@@ -48,15 +60,17 @@ int usage(const char* argv0) {
       "usage: %s merge <out_summary.json> <record.json>...\n"
       "       %s diff <baseline_summary.json> <current_summary.json>\n"
       "            [--threshold=<pct>] [--threshold=<metric>=<pct>]...\n"
-      "            [--warn-only]\n"
-      "  merge  combine per-bench --json records into one\n"
-      "         cab-bench-summary-v1 file\n"
+      "            [--require-zero=<metric>]... [--warn-only]\n"
+      "  merge  combine per-bench --json records (cab-bench-v1 or\n"
+      "         cab-svc-v1) into one cab-bench-summary-v1 file\n"
       "  diff   compare two summaries; regressions beyond the threshold\n"
       "         (default 5%%) on lower-is-better metrics exit 1\n"
       "         (suppressed by --warn-only)\n"
       "         --threshold=<metric>=<pct> sets a per-metric threshold\n"
       "         (substring match, longest wins); overridden metrics gate\n"
-      "         even under --warn-only and for wall-clock keys\n",
+      "         even under --warn-only and for wall-clock keys\n"
+      "         --require-zero=<metric> exits 1 unless every current-\n"
+      "         summary key containing <metric> equals 0 (always gates)\n",
       argv0, argv0);
   return 2;
 }
@@ -148,10 +162,11 @@ int cmd_merge(const std::string& out_path,
                    e.what());
       return 1;
     }
-    if (rec.string_or("schema", "") != "cab-bench-v1") {
+    const std::string schema = rec.string_or("schema", "");
+    if (schema != "cab-bench-v1" && schema != "cab-svc-v1") {
       std::fprintf(stderr,
-                   "cab_bench_report: %s: not a cab-bench-v1 record "
-                   "(schema=\"%s\")\n",
+                   "cab_bench_report: %s: not a cab-bench-v1 or "
+                   "cab-svc-v1 record (schema=\"%s\")\n",
                    path.c_str(), rec.string_or("schema", "?").c_str());
       return 1;
     }
@@ -209,8 +224,11 @@ Flat flatten_summary(const Value& summary) {
       flatten_into(flat, id + "/" + cfg.string_or("name", "?"), cfg);
     }
     // Headline runtime-replay numbers (not the full metrics snapshot:
-    // worker-level counters are machine- and load-dependent).
-    flat[id + "/runtime.wall_s"] = bench["runtime"].number_or("wall_s", 0);
+    // worker-level counters are machine- and load-dependent). Service
+    // records carry a "service" section instead of "runtime".
+    if (bench["runtime"].is_object()) {
+      flat[id + "/runtime.wall_s"] = bench["runtime"].number_or("wall_s", 0);
+    }
   }
   return flat;
 }
@@ -220,7 +238,7 @@ Flat flatten_summary(const Value& summary) {
 bool lower_is_better(const std::string& key) {
   for (const char* s : {"makespan", "miss", "normalized_time", "ratio",
                         "cpu_ms", "wall_s", "idle", "cuts", "overhead_ns",
-                        "latency"}) {
+                        "latency", "p50", "p99", "p999", "queued"}) {
     if (key.find(s) != std::string::npos) return true;
   }
   return false;
@@ -250,7 +268,8 @@ const ThresholdOverride* find_override(
 
 int cmd_diff(const std::string& base_path, const std::string& cur_path,
              double threshold_pct, bool warn_only,
-             const std::vector<ThresholdOverride>& overrides) {
+             const std::vector<ThresholdOverride>& overrides,
+             const std::vector<std::string>& require_zero) {
   Value base, cur;
   try {
     base = parse_file(base_path);
@@ -308,10 +327,32 @@ int cmd_diff(const std::string& base_path, const std::string& cur_path,
                 worse && !gates ? "  [wall clock: not gating]" : "",
                 ov != nullptr ? "  [--threshold override]" : "");
   }
+  // Absolute zero assertions on the *current* summary. These gate
+  // unconditionally: a 0 baseline is invisible to percent deltas, and
+  // --warn-only exists for noisy timings, not for correctness counters.
+  int zero_failures = 0;
+  for (const std::string& spec : require_zero) {
+    int matched = 0;
+    for (const auto& [key, new_v] : b) {
+      if (key.find(spec) == std::string::npos) continue;
+      ++matched;
+      if (new_v != 0.0) {
+        ++zero_failures;
+        std::printf("  REQUIRE-ZERO %s: %.6g (expected 0)\n", key.c_str(),
+                    new_v);
+      }
+    }
+    if (matched == 0) {
+      ++zero_failures;
+      std::printf("  REQUIRE-ZERO --require-zero=%s matched no metric\n",
+                  spec.c_str());
+    }
+  }
   std::printf(
       "compared %d metric(s): %d gating regression(s) (%d overridden), "
-      "%d new/missing\n",
-      compared, gating, forced, missing);
+      "%d zero-assertion failure(s), %d new/missing\n",
+      compared, gating, forced, zero_failures, missing);
+  if (zero_failures > 0) return 1;  // always gates
   if (forced > 0) return 1;  // overrides gate even under --warn-only
   if (gating > 0 && !warn_only) return 1;
   if (gating > 0) std::printf("(--warn-only: exiting 0)\n");
@@ -335,7 +376,10 @@ int main(int argc, char** argv) {
     namespace args = cab::util::args;
     // "diff" listed so the --diff alias form passes unknown-flag checks.
     static const std::vector<args::FlagSpec> kDiffFlags = {
-        {"threshold", true}, {"warn-only", false}, {"diff", false}};
+        {"threshold", true},
+        {"require-zero", true},
+        {"warn-only", false},
+        {"diff", false}};
     if (!args::first_unknown(argc, argv, kDiffFlags).empty()) {
       return usage(argv[0]);
     }
@@ -355,13 +399,19 @@ int main(int argc, char** argv) {
       }
     }
     const bool warn_only = args::has_flag(argc, argv, "warn-only");
+    const std::vector<std::string> require_zero =
+        args::values(argc, argv, "require-zero");
+    for (const std::string& spec : require_zero) {
+      if (spec.empty()) return usage(argv[0]);
+    }
     std::vector<std::string> paths =
         args::positionals(argc, argv, kDiffFlags);
     if (!paths.empty() && paths.front() == "diff") {
       paths.erase(paths.begin());  // the subcommand word itself
     }
     if (paths.size() != 2) return usage(argv[0]);
-    return cmd_diff(paths[0], paths[1], threshold, warn_only, overrides);
+    return cmd_diff(paths[0], paths[1], threshold, warn_only, overrides,
+                    require_zero);
   }
   return usage(argv[0]);
 }
