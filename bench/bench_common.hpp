@@ -200,17 +200,25 @@ inline Comparison compare_and_record(const std::string& config,
 }
 
 /// One deterministic CAB simulation of a bundle at a fixed BL (the
-/// round-robin victim configuration every figure bench uses).
-inline double simulate_cab_bl(const apps::DagBundle& bundle,
-                              const hw::Topology& topo, std::int32_t bl,
-                              std::uint64_t seed = 1) {
+/// round-robin victim configuration every figure bench uses), full
+/// result — cache/coherence stats included.
+inline simsched::SimResult simulate_cab_result(const apps::DagBundle& bundle,
+                                               const hw::Topology& topo,
+                                               std::int32_t bl,
+                                               std::uint64_t seed = 1) {
   simsched::SimOptions o;
   o.topo = topo;
   o.policy = simsched::SimPolicy::kCab;
   o.boundary_level = bl;
   o.victims = simsched::VictimSelection::kRoundRobin;
   o.seed = seed;
-  return simsched::Simulator(o).run(bundle.graph, bundle.traces).makespan;
+  return simsched::Simulator(o).run(bundle.graph, bundle.traces);
+}
+
+inline double simulate_cab_bl(const apps::DagBundle& bundle,
+                              const hw::Topology& topo, std::int32_t bl,
+                              std::uint64_t seed = 1) {
+  return simulate_cab_result(bundle, topo, bl, seed).makespan;
 }
 
 /// Trajectory of an adaptive-BL episode driven by simulator makespans.
@@ -243,15 +251,16 @@ inline AdaptiveSimResult run_adaptive_sim(const apps::DagBundle& bundle,
   pol.input_bytes_hint = bundle.input_bytes;
   adapt::Controller ctl(pol, topo);
 
-  std::map<std::int32_t, double> memo;
+  std::map<std::int32_t, simsched::SimResult> memo;
   AdaptiveSimResult r;
   std::int32_t bl = seed_bl;
   for (int ep = 1; ep <= epochs; ++ep) {
     auto it = memo.find(bl);
     if (it == memo.end()) {
-      it = memo.emplace(bl, simulate_cab_bl(bundle, topo, bl, seed)).first;
+      it = memo.emplace(bl, simulate_cab_result(bundle, topo, bl, seed)).first;
     }
-    const double makespan = it->second;
+    const simsched::SimResult& sim = it->second;
+    const double makespan = sim.makespan;
     r.bls.push_back(bl);
     r.makespans.push_back(makespan);
 
@@ -264,11 +273,20 @@ inline AdaptiveSimResult run_adaptive_sim(const apps::DagBundle& bundle,
     s.spawning_tasks = spawning;
     s.max_level = bundle.graph.max_level();
     s.working_set_hint = bundle.input_bytes;
+    // The simulated epoch carries the hierarchy's coherence picture —
+    // the signal the threaded runtime can't measure (hardware gives no
+    // per-epoch sharing classification), so the profiler only sees it
+    // on simulator-driven episodes.
+    s.coh_valid = true;
+    s.cache_accesses = sim.cache.l2_accesses;
+    s.coherence_misses = sim.cache.coherence_misses;
+    s.true_sharing_invalidations = sim.cache.true_sharing_invalidations;
+    s.false_sharing_invalidations = sim.cache.false_sharing_invalidations;
     bl = ctl.on_epoch_end(s);
   }
   r.final_bl = bl;
   r.final_makespan = memo.count(bl) != 0
-                         ? memo[bl]
+                         ? memo[bl].makespan
                          : simulate_cab_bl(bundle, topo, bl, seed);
   r.report = ctl.report();
   return r;

@@ -48,6 +48,18 @@ WorkloadProfile profile_epoch(const EpochSample& s,
     }
   }
 
+  if (s.coh_valid && s.cache_accesses > 0) {
+    p.coherence_miss_rate = static_cast<double>(s.coherence_misses) /
+                            static_cast<double>(s.cache_accesses);
+    const std::uint64_t classified =
+        s.true_sharing_invalidations + s.false_sharing_invalidations;
+    if (classified > 0) {
+      p.false_sharing_fraction =
+          static_cast<double>(s.false_sharing_invalidations) /
+          static_cast<double>(classified);
+    }
+  }
+
   p.sufficient = s.signal_ok && s.wall_ns > 0 && s.tasks >= min_tasks &&
                  s.spawning_tasks > 0 && s.max_level >= 1;
   return p;

@@ -46,6 +46,16 @@ struct EpochSample {
   std::uint64_t llc_misses = 0;
   std::uint64_t llc_loads_inter = 0;
   std::uint64_t llc_misses_inter = 0;
+
+  /// Coherence counters for the epoch (deltas), from the cachesim
+  /// hierarchy's MESI-lite directory when the epoch ran under the
+  /// simulator. Only meaningful when coh_valid; the real runtime leaves
+  /// this false (hardware exposes no per-epoch sharing classification).
+  bool coh_valid = false;
+  std::uint64_t cache_accesses = 0;  ///< denominator for the miss rate
+  std::uint64_t coherence_misses = 0;
+  std::uint64_t true_sharing_invalidations = 0;
+  std::uint64_t false_sharing_invalidations = 0;
 };
 
 /// Derived picture of the running workload: the profiler's replacement
@@ -74,6 +84,15 @@ struct WorkloadProfile {
   double llc_miss_rate = -1.0;
   double llc_miss_rate_inter = -1.0;
   double llc_miss_rate_intra = -1.0;
+
+  /// Coherence signal (simulated epochs only); < 0 = unavailable.
+  /// coherence_miss_rate = coherence misses / cache accesses — the share
+  /// of traffic caused by invalidations rather than capacity.
+  /// false_sharing_fraction = false-sharing invalidations / classified
+  /// invalidations — how much of that traffic is pure layout waste a BL
+  /// change cannot fix (the controller should not chase it).
+  double coherence_miss_rate = -1.0;
+  double false_sharing_fraction = -1.0;
 
   /// True when the sample carries enough signal to hill-climb on: the
   /// metrics pipeline was up, the epoch ran a meaningful number of tasks,

@@ -118,6 +118,8 @@ std::string Report::to_json() const {
     append_field(out, "llc_miss_rate", p.llc_miss_rate);
     append_field(out, "llc_miss_rate_inter", p.llc_miss_rate_inter);
     append_field(out, "llc_miss_rate_intra", p.llc_miss_rate_intra);
+    append_field(out, "coherence_miss_rate", p.coherence_miss_rate);
+    append_field(out, "false_sharing_fraction", p.false_sharing_fraction);
     append_bool(out, "sufficient", p.sufficient, /*comma=*/false);
     out += "}}";
   }
@@ -169,6 +171,8 @@ Report Report::from_json(const std::string& text) {
     p.llc_miss_rate = require_number(prof, "llc_miss_rate");
     p.llc_miss_rate_inter = require_number(prof, "llc_miss_rate_inter");
     p.llc_miss_rate_intra = require_number(prof, "llc_miss_rate_intra");
+    p.coherence_miss_rate = require_number(prof, "coherence_miss_rate");
+    p.false_sharing_fraction = require_number(prof, "false_sharing_fraction");
     p.sufficient = prof["sufficient"].as_bool();
     r.decisions.push_back(std::move(d));
   }

@@ -124,6 +124,10 @@ bool Cache::access_line(std::uint64_t line) {
     return true;
   }
   ++misses_;
+  if (auto it = invalidated_.find(line); it != invalidated_.end()) {
+    ++coherence_misses_;
+    invalidated_.erase(it);
+  }
   const std::uint32_t victim = pick_victim(set);
   tags_[set * assoc_ + victim] = line;
   touch(set, victim);
@@ -131,6 +135,7 @@ bool Cache::access_line(std::uint64_t line) {
 }
 
 void Cache::fill_line(std::uint64_t line) {
+  invalidated_.erase(line);
   const std::size_t set = static_cast<std::size_t>(line % set_count_);
   if (find_way(set, line) >= 0) return;
   const std::uint32_t victim = pick_victim(set);
@@ -144,6 +149,7 @@ bool Cache::invalidate_line(std::uint64_t line) {
   if (way < 0) return false;
   tags_[set * assoc_ + static_cast<std::uint32_t>(way)] = kInvalid;
   ++invalidations_;
+  invalidated_.insert(line);
   // LRU rank of the invalidated way is demoted to oldest so the empty
   // way is reused promptly (pick_victim prefers empty ways anyway).
   return true;
@@ -158,8 +164,13 @@ void Cache::reset_stats() {
   accesses_ = 0;
   misses_ = 0;
   invalidations_ = 0;
+  coherence_misses_ = 0;
 }
 
-void Cache::invalidate_all() { tags_.assign(set_count_ * assoc_, kInvalid); }
+void Cache::invalidate_all() {
+  tags_.assign(set_count_ * assoc_, kInvalid);
+  // Cold caches: the subsequent compulsory misses are not coherence.
+  invalidated_.clear();
+}
 
 }  // namespace cab::cachesim

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_set>
 #include <vector>
 
 #include "hw/topology.hpp"
@@ -49,6 +50,11 @@ class Cache {
   std::uint64_t misses() const { return misses_; }
   std::uint64_t hits() const { return accesses_ - misses_; }
   std::uint64_t invalidations() const { return invalidations_; }
+  /// Misses on lines this cache lost to an invalidation (not an
+  /// eviction): the coherence-traffic share of misses(). A prefetch
+  /// fill of the line in between clears the marker — the copy was
+  /// restored, so a later miss is capacity again.
+  std::uint64_t coherence_misses() const { return coherence_misses_; }
 
   void reset_stats();
   /// Drop all contents (cold caches), keep stats.
@@ -74,9 +80,13 @@ class Cache {
   /// kTreePlru: per-set tree bits (bit i of the set's word).
   std::vector<std::uint32_t> meta_;
   util::Xorshift64 rng_;
+  /// Lines removed by invalidate_line and not yet re-established; a miss
+  /// on one of these is a coherence miss.
+  std::unordered_set<std::uint64_t> invalidated_;
   std::uint64_t accesses_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t invalidations_ = 0;
+  std::uint64_t coherence_misses_ = 0;
 
   static constexpr std::uint64_t kInvalid = ~0ull;
 };

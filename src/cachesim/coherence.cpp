@@ -1,0 +1,113 @@
+#include "cachesim/coherence.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cab::cachesim {
+
+const char* to_string(Sharing s) {
+  switch (s) {
+    case Sharing::kTrue:
+      return "true";
+    case Sharing::kFalse:
+      return "false";
+    case Sharing::kUntouched:
+      return "untouched";
+  }
+  return "?";
+}
+
+CoherenceDirectory::CoherenceDirectory(int cores, std::uint32_t line_bytes)
+    : cores_(cores),
+      line_bytes_(line_bytes),
+      chunk_(std::max<std::uint32_t>(1, line_bytes / 64)) {
+  assert(cores_ > 0 && cores_ <= 64);
+  assert(line_bytes_ > 0);
+}
+
+std::uint64_t CoherenceDirectory::line_byte_mask(std::uint64_t base,
+                                                 std::uint64_t bytes,
+                                                 std::uint64_t line) const {
+  if (bytes == 0) return 0;
+  const std::uint64_t line_lo = line * line_bytes_;
+  const std::uint64_t line_hi = line_lo + line_bytes_;
+  const std::uint64_t lo = std::max(base, line_lo);
+  const std::uint64_t hi = std::min(base + bytes, line_hi);
+  if (lo >= hi) return 0;
+  const std::uint64_t first = (lo - line_lo) / chunk_;
+  const std::uint64_t last = (hi - 1 - line_lo) / chunk_;
+  const std::uint64_t width = last - first + 1;
+  const std::uint64_t run =
+      width >= 64 ? ~0ull : ((1ull << width) - 1) << first;
+  return run;
+}
+
+CoherenceDirectory::LineState& CoherenceDirectory::state(std::uint64_t line) {
+  auto& st = lines_[line];
+  if (st.touched.empty()) st.touched.assign(static_cast<size_t>(cores_), 0);
+  return st;
+}
+
+void CoherenceDirectory::on_read(int core, std::uint64_t line,
+                                 std::uint64_t mask) {
+  auto& st = state(line);
+  st.sharers |= 1ull << core;
+  st.touched[static_cast<size_t>(core)] |= mask;
+}
+
+void CoherenceDirectory::on_fill(int core, std::uint64_t line) {
+  // Sharer, not owner, and no touched bytes: a prefetched copy carries
+  // no access history, so a later remote write finds it kUntouched.
+  auto& st = state(line);
+  st.sharers |= 1ull << core;
+}
+
+Sharing CoherenceDirectory::classify_and_drop(int victim, std::uint64_t line,
+                                              std::uint64_t write_mask) {
+  auto& st = state(line);
+  const std::uint64_t bit = 1ull << victim;
+  const std::uint64_t t = st.touched[static_cast<size_t>(victim)];
+  st.sharers &= ~bit;
+  st.touched[static_cast<size_t>(victim)] = 0;
+  if (st.owner == victim) st.owner = -1;
+  if (t == 0) return Sharing::kUntouched;
+  return (t & write_mask) != 0 ? Sharing::kTrue : Sharing::kFalse;
+}
+
+void CoherenceDirectory::drop(int core, std::uint64_t line) {
+  auto it = lines_.find(line);
+  if (it == lines_.end()) return;
+  auto& st = it->second;
+  st.sharers &= ~(1ull << core);
+  if (!st.touched.empty()) st.touched[static_cast<size_t>(core)] = 0;
+  if (st.owner == core) st.owner = -1;
+}
+
+void CoherenceDirectory::on_write(int core, std::uint64_t line,
+                                  std::uint64_t mask) {
+  auto& st = state(line);
+  st.owner = core;
+  st.sharers = 1ull << core;
+  std::fill(st.touched.begin(), st.touched.end(), 0);
+  st.touched[static_cast<size_t>(core)] = mask;
+}
+
+int CoherenceDirectory::owner(std::uint64_t line) const {
+  auto it = lines_.find(line);
+  return it == lines_.end() ? -1 : it->second.owner;
+}
+
+std::uint64_t CoherenceDirectory::sharers(std::uint64_t line) const {
+  auto it = lines_.find(line);
+  return it == lines_.end() ? 0 : it->second.sharers;
+}
+
+std::uint64_t CoherenceDirectory::touched(int core, std::uint64_t line) const {
+  auto it = lines_.find(line);
+  if (it == lines_.end() || it->second.touched.empty()) return 0;
+  return it->second.touched[static_cast<size_t>(core)];
+}
+
+void CoherenceDirectory::reset() { lines_.clear(); }
+
+}  // namespace cab::cachesim

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace cab::cachesim {
+
+/// How an invalidated private copy relates to the bytes the remote write
+/// touched (Cole & Ramachandran's false-sharing taxonomy for randomized
+/// work stealing): two accessors on *disjoint* bytes of one line that
+/// still invalidate each other are false sharing — pure data-layout
+/// cost, invisible to a capacity/conflict-only model.
+enum class Sharing : std::uint8_t {
+  kTrue,       ///< the victim had touched a byte the write overwrites
+  kFalse,      ///< the victim touched only bytes the write does not
+  kUntouched,  ///< the victim's copy was never accessed (prefetch fill)
+};
+
+const char* to_string(Sharing s);
+
+/// MESI-lite ownership directory over cache lines: per line, the current
+/// owner (last writer, -1 while the line is merely shared), the sharer
+/// set (one bit per core), and — the part MESI itself does not keep —
+/// which bytes each sharer has actually touched since its copy was
+/// established. That byte history is what lets a remote-write
+/// invalidation be classified as true vs false sharing.
+///
+/// Byte granularity: a 64-bit mask per (line, core); for lines wider than
+/// 64 bytes one bit covers line_bytes/64 bytes. line_byte_mask() converts
+/// a [base, base+bytes) byte range into the mask for one line.
+///
+/// The directory deliberately models *accesses*, not residency: caches
+/// evict silently, so a sharer bit may be stale. CacheHierarchy therefore
+/// only asks for a classification when an invalidation actually removed a
+/// copy from the victim's private caches; stale sharers are dropped
+/// silently (drop()). A fill (prefetch) registers a sharer with an empty
+/// touched mask and never ownership — see on_fill().
+class CoherenceDirectory {
+ public:
+  CoherenceDirectory(int cores, std::uint32_t line_bytes);
+
+  /// Mask of the bits of `line` covered by the byte range
+  /// [base, base + bytes); zero when the range misses the line entirely.
+  std::uint64_t line_byte_mask(std::uint64_t base, std::uint64_t bytes,
+                               std::uint64_t line) const;
+
+  /// A demand read: `core` becomes a sharer and accumulates `mask` into
+  /// its touched bytes.
+  void on_read(int core, std::uint64_t line, std::uint64_t mask);
+
+  /// A fill that is not a demand access (prefetch): `core` becomes a
+  /// sharer but touches nothing and gains no ownership — the satellite
+  /// fix for fills silently granting exclusivity. A later invalidation of
+  /// this copy classifies kUntouched, not false sharing.
+  void on_fill(int core, std::uint64_t line);
+
+  /// Classifies `victim`'s copy against a remote write of `write_mask`
+  /// and removes the victim from the sharer set. Call only when the
+  /// victim's private caches actually held the line.
+  Sharing classify_and_drop(int victim, std::uint64_t line,
+                            std::uint64_t write_mask);
+
+  /// Drops a stale sharer without classifying (copy already evicted).
+  void drop(int core, std::uint64_t line);
+
+  /// A write by `core`: after every other copy has been invalidated (and
+  /// classified), the writer becomes sole owner and its touched history
+  /// restarts at `mask` — the classification interval for everyone else
+  /// begins anew at this write.
+  void on_write(int core, std::uint64_t line, std::uint64_t mask);
+
+  /// Last writer of `line`, or -1 while unwritten/merely shared.
+  int owner(std::uint64_t line) const;
+  /// Sharer bits (bit c = core c holds or held a copy since last write).
+  std::uint64_t sharers(std::uint64_t line) const;
+  /// Bytes `core` touched on `line` since its copy was established.
+  std::uint64_t touched(int core, std::uint64_t line) const;
+
+  /// Forgets everything (cold caches).
+  void reset();
+
+  std::uint32_t line_bytes() const { return line_bytes_; }
+
+ private:
+  struct LineState {
+    int owner = -1;
+    std::uint64_t sharers = 0;
+    std::vector<std::uint64_t> touched;  ///< per core, chunk-granular
+  };
+
+  LineState& state(std::uint64_t line);
+
+  int cores_;
+  std::uint32_t line_bytes_;
+  std::uint32_t chunk_;  ///< bytes per mask bit (line_bytes / 64, min 1)
+  std::unordered_map<std::uint64_t, LineState> lines_;
+};
+
+}  // namespace cab::cachesim

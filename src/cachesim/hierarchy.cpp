@@ -1,5 +1,7 @@
 #include "cachesim/hierarchy.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
 
 namespace cab::cachesim {
@@ -19,10 +21,16 @@ CacheHierarchy::CacheHierarchy(const hw::Topology& topo,
   l3_.reserve(static_cast<std::size_t>(topo_.sockets()));
   for (int s = 0; s < topo_.sockets(); ++s)
     l3_.emplace_back(topo_.l3(), opts_.policy, util::splitmix64(seed));
+  if (topo_.total_cores() <= 64) {
+    coh_ = std::make_unique<CoherenceDirectory>(topo_.total_cores(),
+                                                topo_.l2().line_bytes);
+    true_inv_.assign(static_cast<std::size_t>(topo_.total_cores()), 0);
+    false_inv_.assign(static_cast<std::size_t>(topo_.total_cores()), 0);
+  }
 }
 
-HitLevel CacheHierarchy::access_line(int core, std::uint64_t line,
-                                     bool write) {
+HitLevel CacheHierarchy::access_line(int core, std::uint64_t line, bool write,
+                                     std::uint64_t byte_mask) {
   CAB_CHECK(core >= 0 && core < topo_.total_cores(), "core out of range");
   const int my_socket = topo_.socket_of(core);
   if (write) {
@@ -30,13 +38,36 @@ HitLevel CacheHierarchy::access_line(int core, std::uint64_t line,
     // cache's copy dies. The writer's own caches keep (and fill) the line.
     for (int c = 0; c < topo_.total_cores(); ++c) {
       if (c == core) continue;
-      if (opts_.with_l1) l1_[static_cast<std::size_t>(c)].invalidate_line(line);
-      l2_[static_cast<std::size_t>(c)].invalidate_line(line);
+      bool removed = false;
+      if (opts_.with_l1)
+        removed |= l1_[static_cast<std::size_t>(c)].invalidate_line(line);
+      removed |= l2_[static_cast<std::size_t>(c)].invalidate_line(line);
+      if (coh_) {
+        if (removed) {
+          // Only a copy the invalidation actually killed is classified:
+          // the directory's sharer bits can be stale (silent evictions).
+          switch (coh_->classify_and_drop(c, line, byte_mask)) {
+            case Sharing::kTrue:
+              ++true_inv_[static_cast<std::size_t>(c)];
+              break;
+            case Sharing::kFalse:
+              ++false_inv_[static_cast<std::size_t>(c)];
+              break;
+            case Sharing::kUntouched:
+              break;  // prefetched, never accessed: plain invalidation
+          }
+        } else {
+          coh_->drop(c, line);
+        }
+      }
     }
     for (int s = 0; s < topo_.sockets(); ++s) {
       if (s != my_socket)
         l3_[static_cast<std::size_t>(s)].invalidate_line(line);
     }
+    if (coh_) coh_->on_write(core, line, byte_mask);
+  } else if (coh_) {
+    coh_->on_read(core, line, byte_mask);
   }
 
   HitLevel level;
@@ -53,10 +84,14 @@ HitLevel CacheHierarchy::access_line(int core, std::uint64_t line,
     if (opts_.with_l1) l1_[static_cast<std::size_t>(core)].fill_line(line);
     if (opts_.next_line_prefetch) {
       // Stream prefetcher: pull the next line alongside the demand fill.
+      // The directory sees a fill, not an access: the copy is shared
+      // with no touched bytes and no ownership, so a remote write later
+      // invalidates it as kUntouched rather than silently-exclusive.
       const std::uint64_t next = line + 1;
       if (opts_.with_l1) l1_[static_cast<std::size_t>(core)].fill_line(next);
       l2_[static_cast<std::size_t>(core)].fill_line(next);
       l3_[static_cast<std::size_t>(my_socket)].fill_line(next);
+      if (coh_) coh_->on_fill(core, next);
     }
   }
   return level;
@@ -71,7 +106,13 @@ StreamCost CacheHierarchy::stream(int core, const Trace& trace) {
     const std::uint64_t last = (r.base + r.bytes - 1) / line_bytes;
     for (std::uint32_t p = 0; p < r.passes; ++p) {
       for (std::uint64_t line = first; line <= last; ++line) {
-        switch (access_line(core, line, r.write)) {
+        // Interior lines of a range are fully covered; only the first
+        // and last line of the range can be partially touched, which is
+        // exactly what distinguishes false from true sharing when two
+        // cores' ranges cohabit a boundary line.
+        const std::uint64_t mask =
+            coh_ ? coh_->line_byte_mask(r.base, r.bytes, line) : ~0ull;
+        switch (access_line(core, line, r.write, mask)) {
           case HitLevel::kL1: ++cost.l1_hits; break;
           case HitLevel::kL2: ++cost.l2_hits; break;
           case HitLevel::kL3: ++cost.l3_hits; break;
@@ -89,17 +130,22 @@ LevelStats CacheHierarchy::totals() const {
     s.l1_accesses += c.accesses();
     s.l1_misses += c.misses();
     s.invalidations += c.invalidations();
+    s.coherence_misses += c.coherence_misses();
   }
   for (const Cache& c : l2_) {
     s.l2_accesses += c.accesses();
     s.l2_misses += c.misses();
     s.invalidations += c.invalidations();
+    s.coherence_misses += c.coherence_misses();
   }
   for (const Cache& c : l3_) {
     s.l3_accesses += c.accesses();
     s.l3_misses += c.misses();
     s.invalidations += c.invalidations();
+    s.coherence_misses += c.coherence_misses();
   }
+  for (std::uint64_t v : true_inv_) s.true_sharing_invalidations += v;
+  for (std::uint64_t v : false_inv_) s.false_sharing_invalidations += v;
   return s;
 }
 
@@ -111,25 +157,61 @@ LevelStats CacheHierarchy::socket_stats(int socket) const {
     if (opts_.with_l1) {
       s.l1_accesses += l1_[static_cast<std::size_t>(c)].accesses();
       s.l1_misses += l1_[static_cast<std::size_t>(c)].misses();
+      s.coherence_misses += l1_[static_cast<std::size_t>(c)].coherence_misses();
     }
     s.l2_accesses += l2_[static_cast<std::size_t>(c)].accesses();
     s.l2_misses += l2_[static_cast<std::size_t>(c)].misses();
+    s.coherence_misses += l2_[static_cast<std::size_t>(c)].coherence_misses();
+    if (!true_inv_.empty()) {
+      s.true_sharing_invalidations += true_inv_[static_cast<std::size_t>(c)];
+      s.false_sharing_invalidations += false_inv_[static_cast<std::size_t>(c)];
+    }
   }
   s.l3_accesses += l3_[static_cast<std::size_t>(socket)].accesses();
   s.l3_misses += l3_[static_cast<std::size_t>(socket)].misses();
+  s.coherence_misses += l3_[static_cast<std::size_t>(socket)].coherence_misses();
   return s;
+}
+
+std::uint64_t CacheHierarchy::core_coherence_misses(int core) const {
+  CAB_CHECK(core >= 0 && core < topo_.total_cores(), "core out of range");
+  std::uint64_t v = l2_[static_cast<std::size_t>(core)].coherence_misses();
+  if (opts_.with_l1) v += l1_[static_cast<std::size_t>(core)].coherence_misses();
+  return v;
+}
+
+std::uint64_t CacheHierarchy::core_invalidations(int core) const {
+  CAB_CHECK(core >= 0 && core < topo_.total_cores(), "core out of range");
+  std::uint64_t v = l2_[static_cast<std::size_t>(core)].invalidations();
+  if (opts_.with_l1) v += l1_[static_cast<std::size_t>(core)].invalidations();
+  return v;
+}
+
+std::uint64_t CacheHierarchy::core_true_sharing_invalidations(int core) const {
+  CAB_CHECK(core >= 0 && core < topo_.total_cores(), "core out of range");
+  return true_inv_.empty() ? 0 : true_inv_[static_cast<std::size_t>(core)];
+}
+
+std::uint64_t CacheHierarchy::core_false_sharing_invalidations(int core) const {
+  CAB_CHECK(core >= 0 && core < topo_.total_cores(), "core out of range");
+  return false_inv_.empty() ? 0 : false_inv_[static_cast<std::size_t>(core)];
 }
 
 void CacheHierarchy::reset_stats() {
   for (Cache& c : l1_) c.reset_stats();
   for (Cache& c : l2_) c.reset_stats();
   for (Cache& c : l3_) c.reset_stats();
+  std::fill(true_inv_.begin(), true_inv_.end(), 0);
+  std::fill(false_inv_.begin(), false_inv_.end(), 0);
 }
 
 void CacheHierarchy::invalidate_all() {
   for (Cache& c : l1_) c.invalidate_all();
   for (Cache& c : l2_) c.invalidate_all();
   for (Cache& c : l3_) c.invalidate_all();
+  // Cold caches also mean a cold directory: no copy survives, so no
+  // sharer history should either.
+  if (coh_) coh_->reset();
 }
 
 }  // namespace cab::cachesim

@@ -1,9 +1,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "cachesim/cache.hpp"
+#include "cachesim/coherence.hpp"
 #include "cachesim/trace.hpp"
 #include "hw/topology.hpp"
 
@@ -21,6 +23,15 @@ struct LevelStats {
   std::uint64_t l3_accesses = 0;
   std::uint64_t l3_misses = 0;
   std::uint64_t invalidations = 0;
+  /// Misses whose line was last removed by an invalidation, not an
+  /// eviction — the coherence-traffic share of the miss totals above.
+  std::uint64_t coherence_misses = 0;
+  /// Invalidations classified against the victim's touched-byte history:
+  /// true sharing overlaps the remote write's bytes, false sharing does
+  /// not (disjoint bytes of one line — pure layout cost). Invalidations
+  /// of untouched (prefetched) copies count in neither bucket.
+  std::uint64_t true_sharing_invalidations = 0;
+  std::uint64_t false_sharing_invalidations = 0;
 
   LevelStats& operator+=(const LevelStats& o) {
     l1_accesses += o.l1_accesses;
@@ -30,6 +41,9 @@ struct LevelStats {
     l3_accesses += o.l3_accesses;
     l3_misses += o.l3_misses;
     invalidations += o.invalidations;
+    coherence_misses += o.coherence_misses;
+    true_sharing_invalidations += o.true_sharing_invalidations;
+    false_sharing_invalidations += o.false_sharing_invalidations;
     return *this;
   }
 };
@@ -77,8 +91,15 @@ class CacheHierarchy {
   explicit CacheHierarchy(const hw::Topology& topo,
                           const HierarchyOptions& opts = {});
 
-  /// One line access issued by `core`.
-  HitLevel access_line(int core, std::uint64_t line, bool write = false);
+  /// One line access issued by `core`. `byte_mask` names which bytes of
+  /// the line the access touches (directory granularity — see
+  /// CoherenceDirectory::line_byte_mask); the default "all bytes" keeps
+  /// whole-line callers working and makes every sharing conflict true
+  /// sharing, i.e. the pre-coherence behaviour. On a write, each victim
+  /// whose private copy the invalidation actually removed is classified
+  /// true/false against its touched history.
+  HitLevel access_line(int core, std::uint64_t line, bool write = false,
+                       std::uint64_t byte_mask = ~0ull);
 
   /// Streams a whole range-compressed trace from `core`; returns the
   /// hit-level breakdown so cost models can price it.
@@ -86,6 +107,14 @@ class CacheHierarchy {
 
   LevelStats totals() const;
   LevelStats socket_stats(int socket) const;
+
+  /// Per-core coherence counters (L1+L2 of that core), for per-writer
+  /// metric slots and tests. The classification pair is zero when the
+  /// directory is disabled (see directory()).
+  std::uint64_t core_coherence_misses(int core) const;
+  std::uint64_t core_invalidations(int core) const;
+  std::uint64_t core_true_sharing_invalidations(int core) const;
+  std::uint64_t core_false_sharing_invalidations(int core) const;
 
   std::uint64_t l2_misses_total() const { return totals().l2_misses; }
   std::uint64_t l3_misses_total() const { return totals().l3_misses; }
@@ -96,12 +125,21 @@ class CacheHierarchy {
   const hw::Topology& topology() const { return topo_; }
   const HierarchyOptions& options() const { return opts_; }
 
+  /// The ownership directory, for tests and diagnostics. Null when the
+  /// topology exceeds the directory's 64-core sharer mask — sharing
+  /// classification degrades to zero counts there, never to wrong ones.
+  const CoherenceDirectory* directory() const { return coh_.get(); }
+
  private:
   hw::Topology topo_;
   HierarchyOptions opts_;
   std::vector<Cache> l1_;  // one per core (empty unless opts_.with_l1)
   std::vector<Cache> l2_;  // one per core
   std::vector<Cache> l3_;  // one per socket
+  std::unique_ptr<CoherenceDirectory> coh_;
+  /// Per victim core, invalidations classified by sharing kind.
+  std::vector<std::uint64_t> true_inv_;
+  std::vector<std::uint64_t> false_inv_;
 };
 
 }  // namespace cab::cachesim

@@ -1,0 +1,37 @@
+#include "cachesim/metrics.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace cab::cachesim {
+
+void flush_metrics(const CacheHierarchy& h, obs::metrics::Registry& reg) {
+  const int cores = h.topology().total_cores();
+  const int writers = reg.writers();
+  if (writers <= 0) return;
+
+  struct Row {
+    const char* name;
+    std::uint64_t (CacheHierarchy::*get)(int) const;
+  };
+  static constexpr Row kRows[] = {
+      {"cachesim.coherence_misses", &CacheHierarchy::core_coherence_misses},
+      {"cachesim.invalidations", &CacheHierarchy::core_invalidations},
+      {"cachesim.true_sharing_invalidations",
+       &CacheHierarchy::core_true_sharing_invalidations},
+      {"cachesim.false_sharing_invalidations",
+       &CacheHierarchy::core_false_sharing_invalidations},
+  };
+
+  for (const Row& row : kRows) {
+    std::vector<std::int64_t> per(static_cast<std::size_t>(writers), 0);
+    for (int c = 0; c < cores; ++c)
+      per[static_cast<std::size_t>(c % writers)] +=
+          static_cast<std::int64_t>((h.*row.get)(c));
+    auto& counter = reg.counter(row.name);
+    for (int w = 0; w < writers; ++w)
+      counter.store(w, per[static_cast<std::size_t>(w)]);
+  }
+}
+
+}  // namespace cab::cachesim

@@ -1,0 +1,22 @@
+#pragma once
+
+#include "cachesim/hierarchy.hpp"
+#include "obs/metrics/registry.hpp"
+
+namespace cab::cachesim {
+
+/// Flushes the hierarchy's coherence counters into the metrics registry
+/// as cumulative per-writer counters (writer = core, folded modulo the
+/// registry's writer count when the topology is wider):
+///
+///   cachesim.coherence_misses            (per-core L1+L2)
+///   cachesim.invalidations               (per-core L1+L2)
+///   cachesim.true_sharing_invalidations  (per victim core)
+///   cachesim.false_sharing_invalidations (per victim core)
+///
+/// Sync-point semantics like the WorkerStats flush: call while the
+/// simulation is quiescent; values overwrite (Counter::store), so
+/// repeated flushes are idempotent for an unchanged hierarchy.
+void flush_metrics(const CacheHierarchy& h, obs::metrics::Registry& reg);
+
+}  // namespace cab::cachesim

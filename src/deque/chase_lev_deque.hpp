@@ -335,6 +335,9 @@ class ChaseLevDeque {
   alignas(util::kCacheLineSize) Atomic<std::int64_t> top_;
   alignas(util::kCacheLineSize) Atomic<std::int64_t> bottom_;
   alignas(util::kCacheLineSize) Atomic<Ring*> ring_;
+  // tail-ok: rings_ is the grow-path retirement list, mutated only while
+  // the owner is already rewriting ring_ itself — thieves re-acquire
+  // ring_ after any grow, so sharing its tail line adds no traffic.
   std::vector<std::unique_ptr<Ring>> rings_;  // owner-mutated only
 };
 

@@ -116,6 +116,11 @@ struct Squad {
 };
 
 /// One worker thread, affiliated with one (virtual) core.
+///
+/// order-ok: fields are declared in acquire-path access order (identity,
+/// epoch binding, pools, observability), not packed by alignment — the
+/// line of padding a repack would reclaim is irrelevant at one Worker
+/// per core.
 struct Worker {
   /// Upper bound on one steal_batch transfer. Half of a long deque still
   /// caps here: past ~16 tasks the thief's claim window (and the surplus
@@ -233,6 +238,10 @@ struct Worker {
 /// global steal walks `workers` — so a partition never sees (or leaks)
 /// another job's tasks, which is what preserves both the paper's
 /// cache-affinity argument and per-job task conservation.
+///
+/// order-ok: the line of padding an alignment repack would reclaim is
+/// the price of keeping root_done line-aligned *and last* (see its
+/// comment); contexts are one-per-epoch, not per-core.
 struct EpochContext {
   /// Tier assignment for this epoch's DAG. bl is relative to the
   /// *partition*: Eq. 4 with M = squads.size(). Mutated only between
@@ -249,12 +258,6 @@ struct EpochContext {
   /// deques) — also the central pool under kTaskSharing.
   deque::LockedDeque<TaskFrame*> inject;
 
-  /// This epoch's DAG has fully drained (see the root_done comment that
-  /// used to live on Engine: a flag, not a task counter — the root frame
-  /// finishing implies every descendant already has, by implicit-sync
-  /// induction).
-  alignas(util::kCacheLineSize) std::atomic<bool> root_done{true};
-
   /// First exception thrown by any task body this epoch; rethrown by the
   /// submitting thread after the DAG has drained.
   std::mutex exception_mu;
@@ -266,6 +269,14 @@ struct EpochContext {
   std::uint64_t start_ns = 0;
   int working = 0;
   int joined = 0;
+
+  /// This epoch's DAG has fully drained (see the root_done comment that
+  /// used to live on Engine: a flag, not a task counter — the root frame
+  /// finishing implies every descendant already has, by implicit-sync
+  /// induction). Every parked-at-sync worker polls this flag, so it is
+  /// the *last* member: line-aligned at the front, and nothing behind it
+  /// can move onto its line (cab_layout's tail-shared rule).
+  alignas(util::kCacheLineSize) std::atomic<bool> root_done{true};
 
   void capture_exception(std::exception_ptr e) {
     std::lock_guard<std::mutex> lk(exception_mu);
@@ -283,6 +294,10 @@ struct EpochContext {
 /// Shared scheduler state: all workers, all squads, the policy, and the
 /// run lifecycle. Owned by Runtime via unique_ptr (stable address —
 /// workers keep raw pointers).
+///
+/// order-ok: declared by concern (policy knobs, topology maps, frame
+/// accounting, lifecycle) — a single instance exists, so the line of
+/// padding an alignment repack would save is noise.
 struct Engine {
   explicit Engine(const hw::Topology& t)
       : topo(t), registry(t.sockets() * t.cores_per_socket()) {}
@@ -382,9 +397,14 @@ struct Engine {
   /// is still parked, whose straggler lead-in idle event would land in a
   /// timeline being read. The mutex hand-off at the final decrement is
   /// the happens-before edge that makes post-run stats()/trace() safe.
-  std::mutex lifecycle_mu;
-  std::condition_variable lifecycle_cv;
-  std::condition_variable done_cv;
+  ///
+  /// share-ok: the mutex and both cvs are park/wake slow path, always
+  /// touched together under lifecycle_mu — splitting them across lines
+  /// buys nothing; the alignas only keeps the cluster off the
+  /// peak_frames counter's line.
+  alignas(util::kCacheLineSize) std::mutex lifecycle_mu;
+  std::condition_variable lifecycle_cv;  // straddle-ok: share-ok: cluster
+  std::condition_variable done_cv;       // straddle-ok: share-ok: cluster
   bool shutdown = false;
   /// Monotonic activation counter shared by every partition; each
   /// activation stamps its squads' ctx_epoch from it (guarded by

@@ -19,6 +19,8 @@ std::string SimResult::summary() const {
   s += " util=" + util::format_fixed(utilization() * 100.0, 1) + "%";
   s += " L2-miss=" + util::human_count(cache.l2_misses);
   s += " L3-miss=" + util::human_count(cache.l3_misses);
+  s += " coh-miss=" + util::human_count(cache.coherence_misses);
+  s += " fs-inv=" + util::human_count(cache.false_sharing_invalidations);
   s += " tasks=" + util::human_count(tasks);
   s += " inter-tier=" + util::format_fixed(inter_tier_fraction() * 100.0, 1) +
        "%";
@@ -41,6 +43,11 @@ std::string SimResult::to_json() const {
   num("l3_accesses", static_cast<double>(cache.l3_accesses));
   num("l3_misses", static_cast<double>(cache.l3_misses));
   num("invalidations", static_cast<double>(cache.invalidations));
+  num("coherence_misses", static_cast<double>(cache.coherence_misses));
+  num("true_sharing_invalidations",
+      static_cast<double>(cache.true_sharing_invalidations));
+  num("false_sharing_invalidations",
+      static_cast<double>(cache.false_sharing_invalidations));
   j += "\"sockets\":[";
   for (std::size_t s = 0; s < socket_cache.size(); ++s) {
     if (s) j += ",";
@@ -50,6 +57,9 @@ std::string SimResult::to_json() const {
          ",\"l3_misses\":" +
          util::format_fixed(static_cast<double>(socket_cache[s].l3_misses),
                             0) +
+         ",\"coherence_misses\":" +
+         util::format_fixed(
+             static_cast<double>(socket_cache[s].coherence_misses), 0) +
          "}";
   }
   j += "]}";

@@ -76,6 +76,9 @@ struct JobRecord {
   std::uint64_t submit_ns = 0;  ///< clock at submit()
 
   // Guarded by mu; cv signaled on every terminal transition.
+  // share-ok: straddle-ok: the ticket wait protocol takes mu around
+  // every cv wait/notify, so the pair is contended as a unit; records
+  // are per-job heap objects, not per-core hot state.
   std::mutex mu;
   std::condition_variable cv;
   JobState state = JobState::kQueued;

@@ -130,10 +130,15 @@ class JobService {
   ServiceOptions opts_;
   std::unique_ptr<runtime::Runtime> rt_;
 
+  // share-ok: straddle-ok: every cv wait/notify in the service holds
+  // mu_, so the mutex and its three cvs are contended as one unit; the
+  // service-global lock, not the layout, is the scalability boundary.
   mutable std::mutex mu_;
-  std::condition_variable work_cv_;   ///< executors: queue or stop state
+  ///< executors: queue or stop state (straddle-ok: share-ok: see mu_)
+  std::condition_variable work_cv_;
   std::condition_variable space_cv_;  ///< kBlock submitters: queue space
-  std::condition_variable idle_cv_;   ///< drain()/shutdown(): quiescence
+  ///< drain()/shutdown(): quiescence (straddle-ok: share-ok: see mu_)
+  std::condition_variable idle_cv_;
   TieredQueue queue_;
   SquadAllocator alloc_;
   ServiceCounters counters_;

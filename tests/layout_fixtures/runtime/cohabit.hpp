@@ -1,0 +1,23 @@
+// Fixture: hot-cohabit. Two independently written atomics on one line —
+// the textbook false-sharing layout the cachesim directory classifies
+// dynamically (false_sharing_invalidations). The twin justifies the
+// sharing on one of the two fields (either side suppresses).
+#pragma once
+
+#include <atomic>
+
+namespace fixture {
+
+struct CohabitHot {
+  std::atomic<int> a;
+  std::atomic<int> b;
+};
+
+struct CohabitJustified {
+  std::atomic<int> a;
+  // share-ok: fixture twin — both counters are written by the same
+  // owner thread, so cohabiting costs nothing.
+  std::atomic<int> b;
+};
+
+}  // namespace fixture

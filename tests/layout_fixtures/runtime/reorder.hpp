@@ -1,0 +1,62 @@
+// Fixture: reorder-waste. Alternating char/uint64 members open a 7-byte
+// hole behind every char — 70 bytes of padding that a descending-
+// alignment repack reclaims (>= one full cache line). The twin carries
+// the justification on the struct head.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+struct ReorderWaste {
+  std::atomic<std::uint64_t> flag;
+  char c0;
+  std::uint64_t q0;
+  char c1;
+  std::uint64_t q1;
+  char c2;
+  std::uint64_t q2;
+  char c3;
+  std::uint64_t q3;
+  char c4;
+  std::uint64_t q4;
+  char c5;
+  std::uint64_t q5;
+  char c6;
+  std::uint64_t q6;
+  char c7;
+  std::uint64_t q7;
+  char c8;
+  std::uint64_t q8;
+  char c9;
+  std::uint64_t q9;
+};
+
+// order-ok: fixture twin — declaration order mirrors the serialization
+// format this struct is memcpy'd from; the padding is the price.
+struct ReorderJustified {
+  std::atomic<std::uint64_t> flag;
+  char c0;
+  std::uint64_t q0;
+  char c1;
+  std::uint64_t q1;
+  char c2;
+  std::uint64_t q2;
+  char c3;
+  std::uint64_t q3;
+  char c4;
+  std::uint64_t q4;
+  char c5;
+  std::uint64_t q5;
+  char c6;
+  std::uint64_t q6;
+  char c7;
+  std::uint64_t q7;
+  char c8;
+  std::uint64_t q8;
+  char c9;
+  std::uint64_t q9;
+};
+
+}  // namespace fixture

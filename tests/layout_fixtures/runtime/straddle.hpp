@@ -1,0 +1,24 @@
+// Fixture: hot-straddle. `mu` starts at offset 32 and is 40 bytes wide
+// (modeled libstdc++ std::mutex), so bytes 32..72 cross the line-64
+// boundary — every lock/unlock dirties two lines. The twin below carries
+// the justification escape and must NOT be reported.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+namespace fixture {
+
+struct StraddleHot {
+  std::uint64_t warm[4];
+  std::mutex mu;
+};
+
+struct StraddleJustified {
+  std::uint64_t warm[4];
+  // straddle-ok: fixture twin — proves the attached-comment escape
+  // hatch suppresses the finding.
+  std::mutex mu;
+};
+
+}  // namespace fixture

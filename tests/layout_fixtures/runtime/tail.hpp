@@ -1,0 +1,23 @@
+// Fixture: tail-shared. `head` buys a whole line with alignas(64), then
+// `cap` moves onto that very line — the isolation leaks out the back.
+// The twin justifies the tail share on the trailing field.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+struct TailShared {
+  alignas(64) std::atomic<std::uint32_t> head;
+  std::uint32_t cap;
+};
+
+struct TailJustified {
+  alignas(64) std::atomic<std::uint32_t> head;
+  // tail-ok: fixture twin — cap is written once at construction and
+  // read-only afterwards, so it cannot invalidate head's line.
+  std::uint32_t cap;
+};
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Fixture: service-layer violations of the hot-path rules, now that
+// svc/ is in cab_lint's hot set. Expected findings:
+//   - hot-field-padding at inflight_ (unpadded atomic admission counter)
+//   - seq-cst-justify   at the fetch_add in submit()
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+class BadService {
+ public:
+  std::uint64_t submit() {
+    return inflight_.fetch_add(1, std::memory_order_seq_cst);
+  }
+  void finish() { inflight_.fetch_sub(1, std::memory_order_acq_rel); }
+
+ private:
+  std::atomic<std::uint64_t> inflight_{0};
+};
+
+}  // namespace fixture

@@ -119,6 +119,25 @@ TEST(Profiler, SplitsMissRatesByTier) {
   EXPECT_DOUBLE_EQ(p.llc_miss_rate_intra, 100.0 / 600.0);
 }
 
+TEST(Profiler, DerivesCoherenceSignalFromSimulatedEpochs) {
+  EpochSample s = healthy_sample();
+  EXPECT_LT(profile_epoch(s).coherence_miss_rate, 0.0);  // off by default
+  s.coh_valid = true;
+  s.cache_accesses = 10'000;
+  s.coherence_misses = 500;
+  s.true_sharing_invalidations = 30;
+  s.false_sharing_invalidations = 90;
+  const WorkloadProfile p = profile_epoch(s);
+  EXPECT_DOUBLE_EQ(p.coherence_miss_rate, 0.05);
+  EXPECT_DOUBLE_EQ(p.false_sharing_fraction, 0.75);
+  // Valid epoch but no classified invalidations: rate known, fraction not.
+  s.true_sharing_invalidations = 0;
+  s.false_sharing_invalidations = 0;
+  const WorkloadProfile q = profile_epoch(s);
+  EXPECT_DOUBLE_EQ(q.coherence_miss_rate, 0.05);
+  EXPECT_LT(q.false_sharing_fraction, 0.0);
+}
+
 TEST(Profiler, InsufficientSignalConditions) {
   EpochSample s = healthy_sample();
   EXPECT_TRUE(profile_epoch(s).sufficient);

@@ -4,9 +4,12 @@
 #include <vector>
 
 #include "cachesim/cache.hpp"
+#include "cachesim/coherence.hpp"
 #include "cachesim/hierarchy.hpp"
+#include "cachesim/metrics.hpp"
 #include "cachesim/trace.hpp"
 #include "hw/topology.hpp"
+#include "obs/metrics/registry.hpp"
 
 namespace cab::cachesim {
 namespace {
@@ -282,6 +285,218 @@ TEST_P(FootprintProperty, MissesMatchFootprintRegime) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, FootprintProperty,
                          ::testing::Values(16, 64, 512, 1024, 2048, 8192));
+
+// ---- MESI-lite coherence (ownership directory + sharing classification).
+
+TEST(Coherence, LineByteMaskCoversIntersectionOnly) {
+  CoherenceDirectory d(4, 64);
+  // [8, 16) of line 0: bits 8..15.
+  EXPECT_EQ(d.line_byte_mask(8, 8, 0), 0xFF00ull);
+  // Whole line.
+  EXPECT_EQ(d.line_byte_mask(0, 64, 0), ~0ull);
+  // Range [60, 72) straddles lines 0 and 1.
+  EXPECT_EQ(d.line_byte_mask(60, 12, 0), 0xF000000000000000ull);
+  EXPECT_EQ(d.line_byte_mask(60, 12, 1), 0xFFull);
+  // Range that misses the line entirely.
+  EXPECT_EQ(d.line_byte_mask(0, 64, 1), 0ull);
+  EXPECT_EQ(d.line_byte_mask(128, 0, 2), 0ull);
+}
+
+TEST(Coherence, ReadMakesSharerWriteMakesOwner) {
+  CoherenceDirectory d(4, 64);
+  d.on_read(0, 7, 0xFFull);
+  d.on_read(1, 7, 0xFF00ull);
+  EXPECT_EQ(d.owner(7), -1);  // shared, no writer yet
+  EXPECT_EQ(d.sharers(7), 0b11ull);
+  d.on_write(2, 7, 0xF0000ull);
+  EXPECT_EQ(d.owner(7), 2);
+  EXPECT_EQ(d.sharers(7), 0b100ull);  // writer is sole sharer
+  EXPECT_EQ(d.touched(0, 7), 0ull);   // histories restart at the write
+  EXPECT_EQ(d.touched(2, 7), 0xF0000ull);
+}
+
+TEST(Coherence, ClassifyTrueVsFalseVsUntouched) {
+  CoherenceDirectory d(4, 64);
+  d.on_read(0, 3, 0xFFull);    // core 0 touched bytes 0..7
+  d.on_read(1, 3, 0xFF00ull);  // core 1 touched bytes 8..15
+  d.on_fill(2, 3);             // core 2 only prefetched
+  // Core 3 writes bytes 0..7: overlaps core 0 (true), disjoint from
+  // core 1 (false), core 2 never touched anything (untouched).
+  EXPECT_EQ(d.classify_and_drop(0, 3, 0xFFull), Sharing::kTrue);
+  EXPECT_EQ(d.classify_and_drop(1, 3, 0xFFull), Sharing::kFalse);
+  EXPECT_EQ(d.classify_and_drop(2, 3, 0xFFull), Sharing::kUntouched);
+  EXPECT_EQ(d.sharers(3), 0ull);
+}
+
+TEST(Coherence, FillGrantsNoOwnershipRegression) {
+  // The fill-not-exclusive satellite: a prefetch fill must register a
+  // sharer with no ownership and no touched bytes.
+  CoherenceDirectory d(2, 64);
+  d.on_fill(0, 11);
+  EXPECT_EQ(d.owner(11), -1);
+  EXPECT_EQ(d.sharers(11), 1ull);
+  EXPECT_EQ(d.touched(0, 11), 0ull);
+  // Even after a write elsewhere on the line, the filled copy is
+  // untouched — never misclassified as a sharing conflict.
+  EXPECT_EQ(d.classify_and_drop(0, 11, ~0ull), Sharing::kUntouched);
+}
+
+TEST(Coherence, DropForgetsStaleSharerWithoutClassifying) {
+  CoherenceDirectory d(2, 64);
+  d.on_read(0, 5, 0xFull);
+  d.drop(0, 5);  // silently evicted before any remote write
+  EXPECT_EQ(d.sharers(5), 0ull);
+  EXPECT_EQ(d.touched(0, 5), 0ull);
+}
+
+TEST(Cache, CoherenceMissOnlyAfterInvalidation) {
+  Cache c(tiny_spec(64 * 4, 4));  // 1 set x 4 ways
+  c.access_line(1);
+  c.invalidate_line(1);
+  EXPECT_FALSE(c.access_line(1));  // miss caused by the invalidation
+  EXPECT_EQ(c.coherence_misses(), 1u);
+  // A capacity miss is not a coherence miss.
+  for (std::uint64_t l = 10; l < 15; ++l) c.access_line(l);  // evicts 1
+  c.access_line(1);
+  EXPECT_EQ(c.coherence_misses(), 1u);
+}
+
+TEST(Cache, FillLineClearsCoherenceMarkerRegression) {
+  // A prefetch fill restores the copy: the next miss (after an eviction)
+  // is capacity again, not coherence.
+  Cache c(tiny_spec(64 * 4, 4));
+  c.access_line(1);
+  c.invalidate_line(1);
+  c.fill_line(1);                 // copy restored without an access
+  EXPECT_TRUE(c.access_line(1));  // hit — no coherence miss
+  c.invalidate_all();             // cold cache: compulsory, not coherence
+  EXPECT_FALSE(c.access_line(1));
+  EXPECT_EQ(c.coherence_misses(), 0u);
+}
+
+TEST(Hierarchy, CoherenceMissesCountedAcrossSockets) {
+  hw::Topology topo = hw::Topology::synthetic(2, 1, 64 * 128, 64 * 16);
+  CacheHierarchy h(topo);
+  h.access_line(0, 9);
+  h.access_line(1, 9);
+  h.access_line(0, 9, /*write=*/true);  // invalidates socket 1's copies
+  h.access_line(1, 9);                  // re-fetch: coherence miss (L2+L3)
+  EXPECT_EQ(h.totals().coherence_misses, 2u);
+  // Socket 1's share: core 1's L2 miss plus its own L3's miss.
+  EXPECT_EQ(h.socket_stats(1).coherence_misses, 2u);
+  EXPECT_EQ(h.socket_stats(0).coherence_misses, 0u);
+}
+
+TEST(Hierarchy, DisjointByteWritersClassifyAsFalseSharing) {
+  hw::Topology topo = hw::Topology::synthetic(2, 2, 64 * 128, 64 * 16);
+  CacheHierarchy h(topo);
+  // Core 0 writes bytes 0..7 of line 0; core 2 (other socket) writes
+  // bytes 8..15. Disjoint bytes, same line: false sharing both ways.
+  h.access_line(0, 0, /*write=*/true, 0xFFull);
+  h.access_line(2, 0, /*write=*/true, 0xFF00ull);  // kills core 0's copy
+  LevelStats s = h.totals();
+  EXPECT_EQ(s.false_sharing_invalidations, 1u);
+  EXPECT_EQ(s.true_sharing_invalidations, 0u);
+  EXPECT_EQ(h.core_false_sharing_invalidations(0), 1u);
+  // Now core 0 writes the *same* bytes core 2 wrote: true sharing.
+  h.access_line(0, 0, /*write=*/true, 0xFF00ull);
+  s = h.totals();
+  EXPECT_EQ(s.true_sharing_invalidations, 1u);
+  EXPECT_EQ(h.core_true_sharing_invalidations(2), 1u);
+}
+
+TEST(Hierarchy, DefaultMaskKeepsWholeLineWritersTrueSharing) {
+  // Back-compat: callers without byte masks see every conflict as true
+  // sharing (whole-line masks always overlap).
+  hw::Topology topo = hw::Topology::synthetic(2, 1, 64 * 128, 64 * 16);
+  CacheHierarchy h(topo);
+  h.access_line(0, 4, /*write=*/true);
+  h.access_line(1, 4, /*write=*/true);
+  LevelStats s = h.totals();
+  EXPECT_EQ(s.true_sharing_invalidations, 1u);
+  EXPECT_EQ(s.false_sharing_invalidations, 0u);
+}
+
+TEST(Hierarchy, PrefetchedCopyInvalidationIsUntouchedNotSharing) {
+  // Fill-not-exclusive regression across the hierarchy: core 0's
+  // prefetcher pulls line 1; core 1 then writes line 1. The invalidation
+  // must not classify as true *or* false sharing.
+  hw::Topology topo = hw::Topology::synthetic(2, 1, 64 * 1024, 64 * 64);
+  HierarchyOptions o;
+  o.next_line_prefetch = true;
+  CacheHierarchy h(topo, o);
+  h.access_line(0, 0);  // memory fill; prefetches line 1 for core 0
+  ASSERT_EQ(h.directory()->owner(1), -1);
+  ASSERT_EQ(h.directory()->sharers(1), 1ull);
+  h.access_line(1, 1, /*write=*/true);
+  LevelStats s = h.totals();
+  EXPECT_GE(s.invalidations, 1u);  // the copy did die...
+  EXPECT_EQ(s.true_sharing_invalidations, 0u);   // ...but blamelessly
+  EXPECT_EQ(s.false_sharing_invalidations, 0u);
+}
+
+TEST(Hierarchy, StreamDerivesByteMasksFromRanges) {
+  // The synthetic-workload acceptance shape: 8 writers, one 8-byte slot
+  // each. Unpadded they cohabit one line -> false sharing; padded (one
+  // line per slot) -> zero sharing invalidations.
+  hw::Topology topo = hw::Topology::synthetic(2, 4, 64 * 128, 64 * 16);
+  CacheHierarchy unpadded(topo);
+  CacheHierarchy padded(topo);
+  for (int round = 0; round < 2; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      Trace tight{{static_cast<std::uint64_t>(i) * 8, 8, 1, true}};
+      Trace spaced{{static_cast<std::uint64_t>(i) * 64, 8, 1, true}};
+      unpadded.stream(i % topo.total_cores(), tight);
+      padded.stream(i % topo.total_cores(), spaced);
+    }
+  }
+  LevelStats u = unpadded.totals();
+  LevelStats p = padded.totals();
+  EXPECT_GT(u.false_sharing_invalidations, 0u);
+  EXPECT_GT(u.coherence_misses, 0u);
+  EXPECT_EQ(u.true_sharing_invalidations, 0u);  // slots are disjoint
+  EXPECT_EQ(p.false_sharing_invalidations, 0u);
+  EXPECT_EQ(p.true_sharing_invalidations, 0u);
+  EXPECT_EQ(p.coherence_misses, 0u);
+}
+
+TEST(Hierarchy, ResetAndInvalidateAllClearCoherenceState) {
+  hw::Topology topo = hw::Topology::synthetic(2, 1, 64 * 128, 64 * 16);
+  CacheHierarchy h(topo);
+  h.access_line(0, 2, /*write=*/true);
+  h.access_line(1, 2, /*write=*/true);
+  ASSERT_GT(h.totals().true_sharing_invalidations, 0u);
+  h.reset_stats();
+  EXPECT_EQ(h.totals().true_sharing_invalidations, 0u);
+  h.invalidate_all();
+  EXPECT_EQ(h.directory()->sharers(2), 0ull);  // directory went cold too
+}
+
+TEST(Metrics, FlushExportsCoherenceCounters) {
+  hw::Topology topo = hw::Topology::synthetic(2, 1, 64 * 128, 64 * 16);
+  CacheHierarchy h(topo);
+  h.access_line(0, 6, /*write=*/true, 0xFFull);
+  h.access_line(1, 6, /*write=*/true, 0xFF00ull);  // false sharing
+  h.access_line(0, 6);                             // coherence miss
+
+  obs::metrics::Registry reg(topo.total_cores());
+  flush_metrics(h, reg);
+  const obs::metrics::Snapshot snap = reg.snapshot();
+  const auto* coh = snap.find("cachesim.coherence_misses");
+  const auto* fs = snap.find("cachesim.false_sharing_invalidations");
+  const auto* ts = snap.find("cachesim.true_sharing_invalidations");
+  ASSERT_NE(coh, nullptr);
+  ASSERT_NE(fs, nullptr);
+  ASSERT_NE(ts, nullptr);
+  EXPECT_EQ(coh->total, 1);
+  EXPECT_EQ(fs->total, 1);
+  EXPECT_EQ(ts->total, 0);
+  // Per-writer attribution: the victim core owns the classification.
+  EXPECT_EQ(fs->per_writer[0], 1);
+  // Idempotent sync-point flush.
+  flush_metrics(h, reg);
+  EXPECT_EQ(reg.snapshot().find("cachesim.coherence_misses")->total, 1);
+}
 
 }  // namespace
 }  // namespace cab::cachesim

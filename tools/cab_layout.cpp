@@ -1,0 +1,1597 @@
+// cab_layout: data-layout static analyzer for the CAB runtime's hot
+// structures (ISSUE 9, static pass; companion to the dynamic MESI-lite
+// coherence model in src/cachesim/coherence.*).
+//
+// The dynamic model can only *count* false sharing after the fact; this
+// tool prevents it at review time. It parses the hot struct definitions
+// (worker / squad / deque / occupancy-mask / frame-pool / svc-queue
+// components), computes each struct's cache-line map under the x86-64
+// System V layout rules (round field offsets up to field alignment;
+// struct alignment = max field alignment; modeled sizes for opaque std::
+// types, see kNamedTypes), and reports layouts where independently
+// written hot fields straddle or cohabit a 64-byte line.
+//
+// Rules (each with an attached-comment escape hatch, same convention as
+// cab_lint: the justification must sit on the declaration line or in the
+// contiguous `//` block directly above it):
+//
+//   hot-straddle   a hot field (atomic / lock / derived-hot struct) of
+//                  <= 64 bytes crosses a cache-line boundary, so every
+//                  RMW on it can invalidate TWO lines in remote caches.
+//                  Escape: `straddle-ok:`.
+//   hot-cohabit    two hot fields share a cache line: writers of either
+//                  invalidate the other's line — exactly the false-
+//                  sharing bucket cachesim now classifies. Escape:
+//                  `share-ok:` on either field.
+//   tail-shared    a deliberately line-aligned hot field is immediately
+//                  followed, on its last line, by an unrelated field —
+//                  the alignas bought isolation at the front and leaked
+//                  it at the back. Escape: `tail-ok:` on either field.
+//   reorder-waste  a hot struct whose fields, repacked in descending
+//                  alignment order, would save >= 64 bytes (one whole
+//                  line of padding holes). Escape: `order-ok:` on the
+//                  struct head.
+//
+// Like cab_lint, the scanner is deliberately lexical (no libclang in the
+// image): it strips comments/literals, tokenizes, and parses struct
+// bodies with balanced-brace recovery. Declarations it cannot model
+// (bitfields, unions, unresolvable member types) mark the struct
+// "incomplete" and its rules are skipped *and reported in --json*, so a
+// silent parser gap can never masquerade as a clean layout.
+//
+// Exit codes match cab_lint: 0 clean / expectation met, 1 findings /
+// expectation missed, 2 usage or I/O error. `--json[=FILE]` emits the
+// full per-struct line maps for the CI artifact; `--expect=N` pins the
+// finding count over tests/layout_fixtures/.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Shared scaffolding (same idioms as tools/cab_lint.cpp).
+// ---------------------------------------------------------------------
+
+/// Components whose structs are *rule-scoped* (hot runtime state). Every
+/// given root is still parsed in full so member types resolve.
+const char* kScopedComponents[] = {"deque", "runtime", "util", "svc",
+                                  "layout_fixtures"};
+
+bool has_component(const fs::path& p, const char* comp) {
+  for (const auto& part : p)
+    if (part == comp) return true;
+  return false;
+}
+
+bool in_scope(const fs::path& p) {
+  for (const char* c : kScopedComponents)
+    if (has_component(p, c)) return true;
+  return false;
+}
+
+bool is_header(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".h";
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+/// True if `needle` appears on line `i` (0-based) or in the contiguous
+/// `//` comment block directly above it — cab_lint's justification
+/// convention, so escapes read as attached rationale, not magic pragmas.
+bool justified(const std::vector<std::string>& lines, std::size_t i,
+               const std::string& needle) {
+  if (i < lines.size() && lines[i].find(needle) != std::string::npos)
+    return true;
+  for (std::size_t k = i; k-- > 0;) {
+    const std::string t = trim(lines[k]);
+    if (t.rfind("//", 0) != 0) break;
+    if (t.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+};
+
+// ---------------------------------------------------------------------
+// Preprocessing: blank out comments and string/char literals, preserving
+// newlines so token line numbers match the raw file (for justified()).
+// ---------------------------------------------------------------------
+
+std::string strip_comments_and_literals(const std::string& in) {
+  std::string out = in;
+  enum class St { kCode, kLine, kBlock, kStr, kChr };
+  St st = St::kCode;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    const char n = i + 1 < in.size() ? in[i + 1] : '\0';
+    switch (st) {
+      case St::kCode:
+        if (c == '/' && n == '/') {
+          st = St::kLine;
+          out[i] = ' ';
+        } else if (c == '/' && n == '*') {
+          st = St::kBlock;
+          out[i] = ' ';
+        } else if (c == '"') {
+          st = St::kStr;
+          out[i] = ' ';
+        } else if (c == '\'') {
+          st = St::kChr;
+          out[i] = ' ';
+        }
+        break;
+      case St::kLine:
+        if (c == '\n')
+          st = St::kCode;
+        else
+          out[i] = ' ';
+        break;
+      case St::kBlock:
+        if (c == '*' && n == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          st = St::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::kStr:
+        if (c == '\\' && n != '\0') {
+          out[i] = ' ';
+          if (n != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          out[i] = ' ';
+          st = St::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::kChr:
+        if (c == '\\' && n != '\0') {
+          out[i] = ' ';
+          if (n != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          out[i] = ' ';
+          st = St::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Tokenizer.
+// ---------------------------------------------------------------------
+
+struct Tok {
+  std::string text;
+  std::size_t line;  // 0-based
+  bool ident;        // identifier-or-number token
+};
+
+std::vector<Tok> tokenize(const std::string& src) {
+  std::vector<Tok> toks;
+  std::size_t line = 0;
+  for (std::size_t i = 0; i < src.size();) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#') {  // preprocessor directive: skip to end of line,
+                     // honoring backslash continuations.
+      while (i < src.size() && src[i] != '\n') {
+        if (src[i] == '\\' && i + 1 < src.size() && src[i + 1] == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        ++i;
+      }
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+        std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < src.size() &&
+             (std::isalnum(static_cast<unsigned char>(src[j])) ||
+              src[j] == '_'))
+        ++j;
+      toks.push_back({src.substr(i, j - i), line, true});
+      i = j;
+      continue;
+    }
+    if (c == ':' && i + 1 < src.size() && src[i + 1] == ':') {
+      toks.push_back({"::", line, false});
+      i += 2;
+      continue;
+    }
+    toks.push_back({std::string(1, c), line, false});
+    ++i;
+  }
+  return toks;
+}
+
+// ---------------------------------------------------------------------
+// Type / struct model.
+// ---------------------------------------------------------------------
+
+struct TypeInfo {
+  std::uint64_t size = 0;
+  std::uint64_t align = 1;
+  bool hot = false;    // atomic / lock / contains-hot
+  bool known = false;  // resolution succeeded
+};
+
+struct FieldInfo {
+  std::string name;
+  std::string type;        // normalized type spelling
+  std::size_t line = 0;    // 0-based declaration line
+  std::uint64_t count = 1; // array element count (flattened extents)
+  std::uint64_t explicit_align = 0;  // alignas() on the member, if any
+  // Filled by layout:
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;   // total (elem_size * count)
+  std::uint64_t align = 1;
+  bool hot = false;
+};
+
+struct StructInfo {
+  std::string name;        // simple name ("" = anonymous)
+  std::string file;
+  std::size_t line = 0;            // 0-based head line
+  std::uint64_t explicit_align = 0;  // alignas() on the struct head
+  bool is_template = false;
+  bool has_base = false;
+  bool complete = true;    // false: layout unknown, rules skipped
+  std::string incomplete_why;
+  std::vector<FieldInfo> fields;
+  std::vector<std::string> template_params;
+  // Filled by layout:
+  bool laid_out = false;
+  std::uint64_t size = 0;
+  std::uint64_t align = 1;
+  bool hot = false;
+
+  void mark_incomplete(const std::string& why) {
+    if (complete) incomplete_why = why;
+    complete = false;
+  }
+};
+
+struct Model {
+  std::vector<StructInfo> structs;                 // stable storage
+  std::map<std::string, std::vector<int>> by_name; // simple name -> index
+  std::map<std::string, std::string> aliases;      // using X = Y;
+  std::map<std::string, std::uint64_t> enums;      // enum name -> size
+  std::map<std::string, std::uint64_t> constants;  // static constexpr ints
+};
+
+std::uint64_t round_up(std::uint64_t v, std::uint64_t a) {
+  return a == 0 ? v : (v + a - 1) / a * a;
+}
+
+std::uint64_t next_pow2(std::uint64_t v) {
+  std::uint64_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+/// Modeled sizes of opaque named types (libstdc++ on x86-64, the only
+/// toolchain the repo builds with — see .github/workflows/ci.yml). The
+/// `hot` flag marks synchronization primitives that remote threads write.
+struct NamedType {
+  const char* name;
+  std::uint64_t size;
+  std::uint64_t align;
+  bool hot;
+};
+const NamedType kNamedTypes[] = {
+    {"mutex", 40, 8, true},
+    {"shared_mutex", 56, 8, true},
+    {"condition_variable", 48, 8, true},
+    {"condition_variable_any", 64, 8, true},
+    {"atomic_flag", 1, 1, true},
+    {"string", 32, 8, false},
+    {"string_view", 16, 8, false},
+    {"vector", 24, 8, false},
+    {"deque", 80, 8, false},
+    {"list", 24, 8, false},
+    {"map", 48, 8, false},
+    {"set", 48, 8, false},
+    {"multimap", 48, 8, false},
+    {"unordered_map", 56, 8, false},
+    {"unordered_set", 56, 8, false},
+    {"function", 32, 8, false},
+    {"thread", 8, 8, false},
+    {"exception_ptr", 8, 8, false},
+    {"jthread", 16, 8, false},
+    {"unique_ptr", 8, 8, false},
+    {"shared_ptr", 16, 8, false},
+    {"weak_ptr", 16, 8, false},
+    {"ofstream", 512, 8, false},
+    {"ifstream", 512, 8, false},
+    {"nanoseconds", 8, 8, false},
+    {"steady_clock", 8, 8, false},
+    {"time_point", 8, 8, false},
+    {"duration", 8, 8, false},
+};
+
+/// Splits a type spelling into top-level pieces: qualifiers, the simple
+/// name (last `::` component), and the top-level template argument list.
+struct TypeSpelling {
+  std::string simple;               // e.g. "atomic_t"
+  std::vector<std::string> qualifiers;  // leading :: components
+  std::vector<std::string> args;    // top-level template args
+  int pointer_depth = 0;
+  bool reference = false;
+};
+
+TypeSpelling parse_spelling(const std::string& type) {
+  TypeSpelling sp;
+  std::string t = type;
+  // Count and strip trailing */& (whitespace-tolerant).
+  for (;;) {
+    std::string tt = trim(t);
+    if (!tt.empty() && tt.back() == '*') {
+      ++sp.pointer_depth;
+      t = tt.substr(0, tt.size() - 1);
+    } else if (!tt.empty() && tt.back() == '&') {
+      sp.reference = true;
+      t = tt.substr(0, tt.size() - 1);
+    } else {
+      t = tt;
+      break;
+    }
+  }
+  // Extract top-level <...> args.
+  std::size_t lt = std::string::npos;
+  int depth = 0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i] == '<') {
+      if (depth == 0 && lt == std::string::npos) lt = i;
+      ++depth;
+    } else if (t[i] == '>') {
+      --depth;
+    }
+  }
+  std::string head = t;
+  if (lt != std::string::npos) {
+    head = t.substr(0, lt);
+    std::size_t gt = t.rfind('>');
+    if (gt != std::string::npos && gt > lt) {
+      const std::string inner = t.substr(lt + 1, gt - lt - 1);
+      int d = 0;
+      std::string cur;
+      for (char c : inner) {
+        if (c == '<' || c == '(') ++d;
+        if (c == '>' || c == ')') --d;
+        if (c == ',' && d == 0) {
+          sp.args.push_back(trim(cur));
+          cur.clear();
+        } else {
+          cur += c;
+        }
+      }
+      if (!trim(cur).empty()) sp.args.push_back(trim(cur));
+    }
+  }
+  // Simple name: last :: component of the head; earlier components are
+  // kept as qualifiers (namespace-or-class path).
+  head = trim(head);
+  std::size_t pos;
+  while ((pos = head.find("::")) != std::string::npos) {
+    const std::string q = trim(head.substr(0, pos));
+    if (!q.empty()) sp.qualifiers.push_back(q);
+    head = head.substr(pos + 2);
+  }
+  // Drop leading qualifier keywords that survived normalization.
+  std::istringstream is(head);
+  std::string w, last;
+  while (is >> w) last = w;
+  sp.simple = last;
+  return sp;
+}
+
+bool is_integer(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s)
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  return true;
+}
+
+/// Builtin multi-word arithmetic types ("unsigned long long" etc.).
+std::optional<TypeInfo> resolve_builtin(const std::string& type) {
+  std::istringstream is(type);
+  std::string w;
+  bool any = false, is_long = false, is_longlong = false, is_short = false,
+       is_char = false, is_double = false, is_float = false, is_bool = false,
+       is_int = false, is_wchar = false, other = false;
+  while (is >> w) {
+    any = true;
+    if (w == "signed" || w == "unsigned") {
+      is_int = is_int || true;
+    } else if (w == "long") {
+      if (is_long) is_longlong = true;
+      is_long = true;
+    } else if (w == "short") {
+      is_short = true;
+    } else if (w == "char") {
+      is_char = true;
+    } else if (w == "double") {
+      is_double = true;
+    } else if (w == "float") {
+      is_float = true;
+    } else if (w == "bool") {
+      is_bool = true;
+    } else if (w == "int") {
+      is_int = true;
+    } else if (w == "wchar_t") {
+      is_wchar = true;
+    } else {
+      other = true;
+    }
+  }
+  if (!any || other) return std::nullopt;
+  TypeInfo ti;
+  ti.known = true;
+  if (is_double) ti.size = is_long ? 16 : 8;
+  else if (is_float) ti.size = 4;
+  else if (is_char) ti.size = 1;
+  else if (is_bool) ti.size = 1;
+  else if (is_wchar) ti.size = 4;
+  else if (is_longlong) ti.size = 8;
+  else if (is_long) ti.size = 8;
+  else if (is_short) ti.size = 2;
+  else if (is_int) ti.size = 4;
+  else return std::nullopt;
+  ti.align = ti.size;
+  (void)is_longlong;
+  return ti;
+}
+
+std::optional<TypeInfo> resolve_fixed_width(const std::string& simple) {
+  static const std::map<std::string, std::uint64_t> kFixed = {
+      {"int8_t", 1},  {"uint8_t", 1},  {"int16_t", 2},   {"uint16_t", 2},
+      {"int32_t", 4}, {"uint32_t", 4}, {"int64_t", 8},   {"uint64_t", 8},
+      {"size_t", 8},  {"ssize_t", 8},  {"ptrdiff_t", 8}, {"intptr_t", 8},
+      {"uintptr_t", 8}, {"byte", 1},   {"char8_t", 1},   {"char16_t", 2},
+      {"char32_t", 4}, {"nullptr_t", 8}, {"intmax_t", 8}, {"uintmax_t", 8},
+      {"NodeId", 4},  {"double_t", 8}, {"float_t", 4}};
+  auto it = kFixed.find(simple);
+  if (it == kFixed.end()) return std::nullopt;
+  TypeInfo ti;
+  ti.size = it->second;
+  ti.align = it->second;
+  ti.known = true;
+  return ti;
+}
+
+void lay_out(Model& m, StructInfo& s);  // fwd
+
+/// Resolves `type` (a normalized member-type spelling) to a modeled
+/// TypeInfo. `ctx` is the declaring struct (for template parameters);
+/// `depth` guards alias/struct recursion.
+TypeInfo resolve_type(Model& m, const std::string& type,
+                      const StructInfo* ctx, int depth) {
+  TypeInfo unknown;
+  if (depth > 16) return unknown;
+  TypeSpelling sp = parse_spelling(type);
+  if (sp.pointer_depth > 0 || sp.reference) {
+    TypeInfo ti;
+    ti.size = 8;
+    ti.align = 8;
+    ti.known = true;
+    return ti;
+  }
+  if (sp.simple.empty()) return unknown;
+
+  // Template parameter of the declaring struct: model as a word (the
+  // runtime instantiates these over pointers and small ints).
+  if (ctx != nullptr)
+    for (const std::string& p : ctx->template_params)
+      if (p == sp.simple) {
+        TypeInfo ti;
+        ti.size = 8;
+        ti.align = 8;
+        ti.known = true;
+        return ti;
+      }
+
+  // Atomics: any atomic-named template (std::atomic, Sync::atomic_t,
+  // the deque's `Atomic` alias). Size = next pow2 of the payload.
+  if (sp.simple == "atomic" || sp.simple == "atomic_t" ||
+      sp.simple == "Atomic") {
+    TypeInfo inner;
+    inner.size = 8;
+    inner.align = 8;
+    inner.known = true;
+    if (!sp.args.empty()) {
+      TypeInfo r = resolve_type(m, sp.args[0], ctx, depth + 1);
+      if (r.known) inner = r;
+    }
+    TypeInfo ti;
+    ti.size = next_pow2(inner.size == 0 ? 1 : inner.size);
+    ti.align = ti.size;
+    ti.known = true;
+    ti.hot = true;
+    return ti;
+  }
+  if (sp.simple == "CacheAligned") {
+    TypeInfo inner = sp.args.empty()
+                         ? TypeInfo{}
+                         : resolve_type(m, sp.args[0], ctx, depth + 1);
+    if (!inner.known) return unknown;
+    TypeInfo ti;
+    ti.size = round_up(inner.size, 64);
+    ti.align = 64;
+    ti.known = true;
+    ti.hot = inner.hot;
+    return ti;
+  }
+  if (sp.simple == "array" && sp.args.size() == 2) {
+    TypeInfo inner = resolve_type(m, sp.args[0], ctx, depth + 1);
+    std::uint64_t n = 0;
+    const std::string cnt = parse_spelling(sp.args[1]).simple;
+    if (is_integer(cnt)) n = std::stoull(cnt);
+    else if (auto it = m.constants.find(cnt); it != m.constants.end())
+      n = it->second;
+    else
+      return unknown;
+    if (!inner.known) return unknown;
+    TypeInfo ti;
+    ti.size = round_up(inner.size, inner.align) * n;
+    ti.align = inner.align;
+    ti.known = true;
+    ti.hot = inner.hot;
+    return ti;
+  }
+  if (sp.simple == "optional" && sp.args.size() == 1) {
+    TypeInfo inner = resolve_type(m, sp.args[0], ctx, depth + 1);
+    if (!inner.known) return unknown;
+    TypeInfo ti;
+    ti.align = inner.align;
+    ti.size = round_up(inner.size + 1, inner.align);
+    ti.known = true;
+    ti.hot = inner.hot;
+    return ti;
+  }
+  if (sp.simple == "pair" && sp.args.size() == 2) {
+    TypeInfo a = resolve_type(m, sp.args[0], ctx, depth + 1);
+    TypeInfo b = resolve_type(m, sp.args[1], ctx, depth + 1);
+    if (!a.known || !b.known) return unknown;
+    TypeInfo ti;
+    ti.align = std::max(a.align, b.align);
+    ti.size = round_up(round_up(a.size, b.align) + b.size, ti.align);
+    ti.known = true;
+    ti.hot = a.hot || b.hot;
+    return ti;
+  }
+
+  if (auto b = resolve_builtin(type)) return *b;
+  if (auto f = resolve_fixed_width(sp.simple)) return *f;
+  for (const NamedType& nt : kNamedTypes)
+    if (sp.simple == nt.name) {
+      TypeInfo ti;
+      ti.size = nt.size;
+      ti.align = nt.align;
+      ti.hot = nt.hot;
+      ti.known = true;
+      return ti;
+    }
+
+  if (auto it = m.enums.find(sp.simple); it != m.enums.end()) {
+    TypeInfo ti;
+    ti.size = it->second;
+    ti.align = it->second;
+    ti.known = true;
+    return ti;
+  }
+  if (auto it = m.aliases.find(sp.simple); it != m.aliases.end())
+    return resolve_type(m, it->second, ctx, depth + 1);
+
+  // User struct by simple name. Ambiguity (same name, different modeled
+  // sizes) degrades to unknown rather than guessing; before giving up,
+  // candidates are narrowed to the declaring struct's own file, then to
+  // files whose path contains a named qualifier (the repo's namespaces
+  // mirror its directory components: runtime::Options lives under
+  // runtime/).
+  if (auto it = m.by_name.find(sp.simple); it != m.by_name.end()) {
+    std::vector<int> cands = it->second;
+    if (cands.size() > 1 && ctx != nullptr) {
+      std::vector<int> same_file;
+      for (int idx : cands)
+        if (m.structs[static_cast<std::size_t>(idx)].file == ctx->file)
+          same_file.push_back(idx);
+      if (!same_file.empty()) cands = same_file;
+    }
+    if (cands.size() > 1 && !sp.qualifiers.empty()) {
+      std::vector<int> by_path;
+      for (int idx : cands) {
+        const fs::path f(m.structs[static_cast<std::size_t>(idx)].file);
+        for (const std::string& q : sp.qualifiers)
+          if (has_component(f, q.c_str())) {
+            by_path.push_back(idx);
+            break;
+          }
+      }
+      if (!by_path.empty()) cands = by_path;
+    }
+    TypeInfo ti;
+    bool first = true;
+    for (int idx : cands) {
+      StructInfo& si = m.structs[static_cast<std::size_t>(idx)];
+      lay_out(m, si);
+      if (!si.complete || !si.laid_out) continue;
+      if (first) {
+        ti.size = si.size;
+        ti.align = si.align;
+        ti.hot = si.hot;
+        ti.known = true;
+        first = false;
+      } else if (ti.size != si.size || ti.align != si.align) {
+        return unknown;  // ambiguous
+      }
+    }
+    return ti;
+  }
+  return unknown;
+}
+
+/// Computes offsets/size/align for `s` (idempotent; recursion through
+/// resolve_type handles member structs).
+void lay_out(Model& m, StructInfo& s) {
+  if (s.laid_out || !s.complete) return;
+  s.laid_out = true;  // set first: cycles degrade to unknown members
+  std::uint64_t off = 0, align = std::max<std::uint64_t>(1, s.explicit_align);
+  for (FieldInfo& f : s.fields) {
+    TypeInfo ti = resolve_type(m, f.type, &s, 0);
+    if (!ti.known) {
+      s.mark_incomplete("unresolved member type `" + f.type + "` (field `" +
+                        f.name + "`)");
+      return;
+    }
+    f.align = std::max<std::uint64_t>(
+        std::max<std::uint64_t>(ti.align, 1), f.explicit_align);
+    const std::uint64_t elem = round_up(ti.size, ti.align);
+    f.size = f.count > 1 ? elem * f.count : ti.size;
+    f.hot = ti.hot;
+    off = round_up(off, f.align);
+    f.offset = off;
+    off += f.size;
+    align = std::max(align, f.align);
+    s.hot = s.hot || f.hot;
+  }
+  if (s.fields.empty()) off = 1;
+  s.align = align;
+  s.size = round_up(off, align);
+}
+
+// ---------------------------------------------------------------------
+// Parser: walks the token stream of one header, registering structs,
+// enums, aliases and integer constants into the shared Model.
+// ---------------------------------------------------------------------
+
+class Parser {
+ public:
+  Parser(Model& m, std::string file, bool scoped, std::vector<Tok> toks)
+      : m_(m), file_(std::move(file)), scoped_(scoped),
+        toks_(std::move(toks)) {}
+
+  void run() {
+    register_constexpr_ints();
+    while (i_ < toks_.size()) top_level();
+  }
+
+  /// Pre-pass: registers every `constexpr ... Name = <int>;` in the
+  /// file (namespace scope included) so array extents and alignas
+  /// expressions can use named constants.
+  void register_constexpr_ints() {
+    for (std::size_t k = 0; k + 3 < toks_.size(); ++k) {
+      if (toks_[k].text != "constexpr") continue;
+      for (std::size_t j = k + 1; j + 2 < toks_.size(); ++j) {
+        const std::string& t = toks_[j].text;
+        if (t == ";" || t == "{" || t == "(") break;
+        if (t == "=" && toks_[j - 1].ident && is_integer(toks_[j + 1].text) &&
+            toks_[j + 2].text == ";") {
+          m_.constants[toks_[j - 1].text] = std::stoull(toks_[j + 1].text);
+          break;
+        }
+      }
+    }
+  }
+
+ private:
+  Model& m_;
+  std::string file_;
+  bool scoped_;
+  std::vector<Tok> toks_;
+  std::size_t i_ = 0;
+  std::vector<std::string> pending_tparams_;
+
+  const Tok* peek(std::size_t k = 0) const {
+    return i_ + k < toks_.size() ? &toks_[i_ + k] : nullptr;
+  }
+  bool at(const char* s) const {
+    const Tok* t = peek();
+    return t != nullptr && t->text == s;
+  }
+  void advance() { ++i_; }
+
+  void skip_balanced(const char* open, const char* close) {
+    int depth = 0;
+    while (i_ < toks_.size()) {
+      if (toks_[i_].text == open) ++depth;
+      else if (toks_[i_].text == close && --depth == 0) {
+        advance();
+        return;
+      }
+      advance();
+    }
+  }
+
+  /// Consumes `template <...>`, capturing parameter names.
+  void consume_template() {
+    advance();  // template
+    pending_tparams_.clear();
+    if (!at("<")) return;
+    int depth = 0;
+    std::string prev;
+    while (i_ < toks_.size()) {
+      const std::string& t = toks_[i_].text;
+      if (t == "<") ++depth;
+      else if (t == ">") {
+        --depth;
+        if (depth == 0) {
+          if (!prev.empty()) pending_tparams_.push_back(prev);
+          advance();
+          return;
+        }
+      } else if (t == "," && depth == 1) {
+        if (!prev.empty()) pending_tparams_.push_back(prev);
+        prev.clear();
+      } else if (toks_[i_].ident && depth == 1 && t != "typename" &&
+                 t != "class" && t != "int" && t != "bool" &&
+                 t != "typename") {
+        prev = t;  // last identifier before , or > is the param name
+      } else if (t == "=") {
+        // default argument: the param name was the previous ident; skip
+        // tokens until the , or > at depth 1.
+        int d2 = depth;
+        while (i_ + 1 < toks_.size()) {
+          const std::string& u = toks_[i_ + 1].text;
+          if (u == "<") ++d2;
+          else if (u == ">") {
+            if (d2 == 1) break;
+            --d2;
+          } else if (u == "," && d2 == 1) {
+            break;
+          }
+          advance();
+        }
+      }
+      advance();
+    }
+  }
+
+  void consume_enum() {
+    advance();  // enum
+    bool scoped_enum = false;
+    if (at("class") || at("struct")) {
+      scoped_enum = true;
+      advance();
+    }
+    std::string name;
+    if (peek() != nullptr && peek()->ident) {
+      name = peek()->text;
+      advance();
+    }
+    std::uint64_t size = 4;
+    if (at(":")) {
+      advance();
+      std::string underlying;
+      while (peek() != nullptr && !at("{") && !at(";")) {
+        if (!underlying.empty()) underlying += ' ';
+        underlying += peek()->text;
+        advance();
+      }
+      TypeInfo ti = resolve_type(m_, underlying, nullptr, 0);
+      if (ti.known) size = ti.size;
+    }
+    (void)scoped_enum;
+    if (!name.empty()) m_.enums[name] = size;
+    if (at("{")) skip_balanced("{", "}");
+    if (at(";")) advance();
+  }
+
+  /// `using X = <type>;` at namespace/struct scope (skips using-decls
+  /// and template aliases with their own parameters).
+  void consume_using(const std::vector<std::string>& tparams) {
+    advance();  // using
+    if (at("namespace")) {
+      while (i_ < toks_.size() && !at(";")) advance();
+      if (at(";")) advance();
+      return;
+    }
+    const Tok* name = peek();
+    if (name == nullptr || !name->ident || peek(1) == nullptr ||
+        peek(1)->text != "=") {
+      while (i_ < toks_.size() && !at(";")) advance();
+      if (at(";")) advance();
+      return;
+    }
+    const std::string alias = name->text;
+    advance();
+    advance();  // name =
+    std::string target;
+    while (i_ < toks_.size() && !at(";")) {
+      const std::string& t = toks_[i_].text;
+      if (t != "typename" && t != "template" && t != "struct" &&
+          t != "class") {
+        if (!target.empty() && toks_[i_].ident &&
+            !target.empty() && target.back() != ':' && t != "::" &&
+            target.back() != '<')
+          target += ' ';
+        target += t;
+      }
+      advance();
+    }
+    if (at(";")) advance();
+    // A template alias whose target mentions its own parameter cannot be
+    // resolved standalone; registering it would poison lookups.
+    bool dependent = false;
+    for (const std::string& p : tparams)
+      if (target.find(p) != std::string::npos) dependent = true;
+    if (!dependent && !target.empty()) m_.aliases[alias] = target;
+  }
+
+  void top_level() {
+    if (at("template")) {
+      consume_template();
+      return;
+    }
+    if (at("struct") || at("class")) {
+      parse_struct(nullptr);
+      return;
+    }
+    if (at("enum")) {
+      consume_enum();
+      return;
+    }
+    if (at("using")) {
+      consume_using(pending_tparams_);
+      pending_tparams_.clear();
+      return;
+    }
+    if (at("namespace")) {
+      advance();
+      while (i_ < toks_.size() && !at("{") && !at(";")) advance();
+      if (at("{")) advance();  // transparent: keep walking inside
+      else if (at(";")) advance();
+      return;
+    }
+    if (at("{")) {  // free-function body or other block: opaque
+      skip_balanced("{", "}");
+      return;
+    }
+    advance();
+  }
+
+  /// Parses `struct|class [alignas(..)] Name [final] [: bases] { ... }`.
+  /// Returns the registered struct index, or -1 for forward decls /
+  /// unparseable heads. Consumes through the closing '}' but NOT the
+  /// trailing ';' (callers may need declarators before it).
+  int parse_struct(StructInfo* parent) {
+    (void)parent;
+    const std::size_t head_line = peek()->line;
+    advance();  // struct/class
+    StructInfo s;
+    s.file = file_;
+    s.line = head_line;
+    s.template_params = pending_tparams_;
+    s.is_template = !pending_tparams_.empty();
+    pending_tparams_.clear();
+    if (at("alignas")) s.explicit_align = consume_alignas();
+    if (peek() != nullptr && peek()->ident) {
+      s.name = peek()->text;
+      advance();
+    }
+    if (at("final")) advance();
+    if (at("<")) {  // explicit specialization head
+      skip_balanced("<", ">");
+    }
+    if (at(";")) return -1;  // forward declaration (leave ';' to caller)
+    if (at(":")) {
+      s.has_base = true;
+      s.mark_incomplete("has base class (layout not modeled)");
+      while (i_ < toks_.size() && !at("{") && !at(";")) advance();
+    }
+    if (!at("{")) return -1;  // elaborated type in a decl, not a definition
+    advance();                // {
+    parse_body(s);
+    if (s.fields.empty() && s.complete && !s.name.empty()) {
+      // Tag-only / function-only structs are complete but uninteresting;
+      // still registered so members of their type resolve (size >= 1).
+    }
+    m_.structs.push_back(std::move(s));
+    const int idx = static_cast<int>(m_.structs.size()) - 1;
+    const StructInfo& reg = m_.structs[static_cast<std::size_t>(idx)];
+    if (!reg.name.empty()) m_.by_name[reg.name].push_back(idx);
+    return idx;
+  }
+
+  std::uint64_t consume_alignas() {
+    advance();  // alignas
+    std::uint64_t v = 64;  // unknown expressions: assume a line
+    if (at("(")) {
+      int depth = 0;
+      std::string expr;
+      while (i_ < toks_.size()) {
+        if (at("(")) ++depth;
+        else if (at(")")) {
+          if (--depth == 0) {
+            advance();
+            break;
+          }
+        } else {
+          if (!expr.empty()) expr += ' ';
+          expr += peek()->text;
+        }
+        advance();
+      }
+      const std::string e = trim(expr);
+      if (is_integer(e)) v = std::stoull(e);
+      else if (e.find("CacheLine") != std::string::npos ||
+               e.find("cache_line") != std::string::npos)
+        v = 64;
+      else if (auto it = m_.constants.find(parse_spelling(e).simple);
+               it != m_.constants.end())
+        v = it->second;
+    }
+    return v;
+  }
+
+  /// Parses a struct body: member declarations, nested types, functions.
+  /// Consumes through the matching '}'.
+  void parse_body(StructInfo& s) {
+    while (i_ < toks_.size()) {
+      if (at("}")) {
+        advance();
+        return;
+      }
+      if (at("public") || at("private") || at("protected")) {
+        advance();
+        if (at(":")) advance();
+        continue;
+      }
+      if (at("template")) {
+        consume_template();
+        // Member template: a nested template struct parses normally; a
+        // template function falls through to the decl gatherer below.
+        continue;
+      }
+      if (at("enum")) {
+        consume_enum();
+        continue;
+      }
+      if (at("using") || at("typedef")) {
+        if (at("using")) {
+          consume_using(s.template_params);
+        } else {
+          while (i_ < toks_.size() && !at(";")) advance();
+          if (at(";")) advance();
+        }
+        continue;
+      }
+      if (at("friend")) {
+        while (i_ < toks_.size() && !at(";") && !at("{")) advance();
+        if (at("{")) skip_balanced("{", "}");
+        if (at(";")) advance();
+        continue;
+      }
+      if (at("struct") || at("class")) {
+        // Nested definition or elaborated member type. Definition iff a
+        // '{' appears before both ';' and '('.
+        bool definition = false;
+        for (std::size_t k = i_; k < toks_.size(); ++k) {
+          const std::string& t = toks_[k].text;
+          if (t == "{") {
+            definition = true;
+            break;
+          }
+          if (t == ";" || t == "(") break;
+        }
+        if (definition) {
+          const int idx = parse_struct(&s);
+          // Declarators after the body: `struct Inner { .. } member;`
+          std::vector<Tok> decl;
+          while (i_ < toks_.size() && !at(";")) {
+            decl.push_back(toks_[i_]);
+            advance();
+          }
+          if (at(";")) advance();
+          if (!decl.empty()) {
+            if (idx >= 0 && !m_.structs[(std::size_t)idx].name.empty()) {
+              FieldInfo f;
+              f.type = m_.structs[(std::size_t)idx].name;
+              f.name = decl.back().text;
+              f.line = decl.back().line;
+              s.fields.push_back(f);
+            } else {
+              s.mark_incomplete("anonymous nested struct member");
+            }
+          }
+          continue;
+        }
+        // Elaborated type: fall through to the decl gatherer (the
+        // struct/class keyword is dropped during normalization).
+      }
+      parse_member_decl(s);
+    }
+  }
+
+  /// Gathers one member declaration up to ';' (skipping function bodies
+  /// and brace/equals initializers) and classifies it.
+  void parse_member_decl(StructInfo& s) {
+    std::vector<Tok> decl;
+    bool has_paren = false, has_init = false, is_static = false;
+    bool after_operator = false;
+    int angle = 0;
+    while (i_ < toks_.size()) {
+      const std::string& t = toks_[i_].text;
+      if (t == "operator") {
+        after_operator = true;
+        has_paren = true;  // operators are always functions
+        advance();
+        // Swallow the operator symbol tokens (may include < > ( ) [ ]).
+        if (at("(") && peek(1) != nullptr && peek(1)->text == ")") {
+          advance();
+          advance();
+        } else {
+          while (peek() != nullptr && !peek()->ident && !at("(")) advance();
+        }
+        continue;
+      }
+      if (t == "static" || t == "constexpr" || t == "inline" ||
+          t == "extern" || t == "thread_local") {
+        if (t == "static" || t == "thread_local") is_static = true;
+        advance();
+        continue;
+      }
+      if (t == "alignas") {
+        // Keep the whole alignas(...) in the decl (classify_field parses
+        // it); its parens must not look like a function parameter list.
+        decl.push_back(toks_[i_]);
+        advance();
+        if (at("(")) {
+          int depth = 0;
+          while (i_ < toks_.size()) {
+            if (at("(")) ++depth;
+            decl.push_back(toks_[i_]);
+            if (at(")") && --depth == 0) {
+              advance();
+              break;
+            }
+            advance();
+          }
+        }
+        continue;
+      }
+      if (t == "(" && !has_init) {
+        // Function parameter list (or parenthesized init — treated the
+        // same: not a plain data member unless it turns out to be one).
+        has_paren = true;
+        skip_balanced("(", ")");
+        continue;
+      }
+      if (t == "{") {
+        if (has_paren) {
+          // Function definition: skip the body; also swallow trailing
+          // tokens like `const noexcept` already consumed before '{'.
+          skip_balanced("{", "}");
+          if (at(";")) advance();
+          if (is_static && !decl.empty()) try_register_constant(decl);
+          return;  // not a data member
+        }
+        // Brace initializer on a data member: skip, keep gathering.
+        has_init = true;
+        skip_balanced("{", "}");
+        continue;
+      }
+      if (t == "=" && angle == 0) {
+        has_init = true;
+        // Capture a simple integer constant for `static constexpr`.
+        advance();
+        std::vector<Tok> init;
+        int d = 0;
+        while (i_ < toks_.size()) {
+          const std::string& u = toks_[i_].text;
+          if (u == "(" || u == "{" || u == "[") ++d;
+          else if (u == ")" || u == "}" || u == "]") --d;
+          else if (u == ";" && d == 0) break;
+          init.push_back(toks_[i_]);
+          advance();
+        }
+        if (is_static && init.size() == 1 && is_integer(init[0].text) &&
+            !decl.empty())
+          m_.constants[decl.back().text] = std::stoull(init[0].text);
+        continue;
+      }
+      if (t == ";" && angle == 0) {
+        advance();
+        if (!has_paren && !is_static && !after_operator && !decl.empty())
+          classify_field(s, decl);
+        return;
+      }
+      if (t == "}" && angle == 0) return;  // struct end: let caller see it
+      if (!has_init) {
+        if (t == "<") ++angle;
+        else if (t == ">") angle = angle > 0 ? angle - 1 : 0;
+        decl.push_back(toks_[i_]);
+      }
+      advance();
+    }
+  }
+
+  void try_register_constant(const std::vector<Tok>& decl) {
+    (void)decl;  // `static constexpr T f() {...}`: nothing to register
+  }
+
+  /// Turns gathered declaration tokens into a FieldInfo (or marks the
+  /// struct incomplete for shapes the model cannot represent).
+  void classify_field(StructInfo& s, std::vector<Tok> decl) {
+    // Member alignas.
+    std::uint64_t explicit_align = 0;
+    for (std::size_t k = 0; k + 1 < decl.size(); ++k) {
+      if (decl[k].text == "alignas" && decl[k + 1].text == "(") {
+        int depth = 0;
+        std::size_t end = k + 1;
+        std::string expr;
+        for (; end < decl.size(); ++end) {
+          if (decl[end].text == "(") ++depth;
+          else if (decl[end].text == ")") {
+            if (--depth == 0) break;
+          } else {
+            if (!expr.empty()) expr += ' ';
+            expr += decl[end].text;
+          }
+        }
+        const std::string e = trim(expr);
+        if (is_integer(e)) explicit_align = std::stoull(e);
+        else if (e.find("CacheLine") != std::string::npos ||
+                 e.find("cache_line") != std::string::npos)
+          explicit_align = 64;
+        else if (auto it = m_.constants.find(parse_spelling(e).simple);
+                 it != m_.constants.end())
+          explicit_align = it->second;
+        else
+          explicit_align = 64;
+        decl.erase(decl.begin() + static_cast<std::ptrdiff_t>(k),
+                   decl.begin() + static_cast<std::ptrdiff_t>(
+                                      std::min(end + 1, decl.size())));
+        break;
+      }
+    }
+    // Bitfields: a top-level ':' (the tokenizer folds '::').
+    int angle = 0;
+    for (std::size_t k = 0; k < decl.size(); ++k) {
+      const std::string& t = decl[k].text;
+      if (t == "<") ++angle;
+      else if (t == ">") angle = angle > 0 ? angle - 1 : 0;
+      else if (t == ":" && angle == 0) {
+        s.mark_incomplete("bitfield member (layout not modeled)");
+        return;
+      } else if (t == "," && angle == 0) {
+        s.mark_incomplete("multiple declarators in one member decl");
+        return;
+      } else if (t == "union") {
+        s.mark_incomplete("union member (layout not modeled)");
+        return;
+      }
+    }
+    // Trailing array extents.
+    std::uint64_t count = 1;
+    while (decl.size() >= 3 && decl.back().text == "]") {
+      const Tok num = decl[decl.size() - 2];
+      if (decl[decl.size() - 3].text != "[") {
+        s.mark_incomplete("unparsed array extent");
+        return;
+      }
+      std::uint64_t n = 0;
+      if (is_integer(num.text)) {
+        n = std::stoull(num.text);
+      } else if (auto it = m_.constants.find(num.text);
+                 it != m_.constants.end()) {
+        n = it->second;
+      } else {
+        s.mark_incomplete("non-constant array extent `" + num.text + "`");
+        return;
+      }
+      count *= n;
+      decl.resize(decl.size() - 3);
+    }
+    if (decl.size() >= 2 && decl[decl.size() - 2].text == "[" &&
+        decl.back().text == "]") {
+      s.mark_incomplete("unsized array member");
+      return;
+    }
+    if (decl.empty()) return;
+    // Field name = final identifier; everything before it is the type.
+    if (!decl.back().ident || is_integer(decl.back().text)) {
+      s.mark_incomplete("unparsed member declaration");
+      return;
+    }
+    FieldInfo f;
+    f.name = decl.back().text;
+    f.line = decl.back().line;
+    f.count = count;
+    f.explicit_align = explicit_align;
+    decl.pop_back();
+    std::string type;
+    for (const Tok& t : decl) {
+      const std::string& w = t.text;
+      if (w == "const" || w == "volatile" || w == "mutable" ||
+          w == "typename" || w == "template" || w == "struct" ||
+          w == "class" || w == "enum" || w == "register")
+        continue;
+      if (!type.empty() && t.ident && type.back() != ':' &&
+          type.back() != '<' && type.back() != '(' &&
+          (std::isalnum(static_cast<unsigned char>(type.back())) != 0 ||
+           type.back() == '_' || type.back() == '>'))
+        type += ' ';
+      type += w;
+    }
+    f.type = trim(type);
+    if (f.type.empty()) {
+      s.mark_incomplete("member `" + f.name + "` has no parsed type");
+      return;
+    }
+    s.fields.push_back(std::move(f));
+  }
+};
+
+// ---------------------------------------------------------------------
+// Rules.
+// ---------------------------------------------------------------------
+
+std::uint64_t first_line(const FieldInfo& f) { return f.offset / 64; }
+std::uint64_t last_line(const FieldInfo& f) {
+  return f.size == 0 ? f.offset / 64 : (f.offset + f.size - 1) / 64;
+}
+
+void check_struct(const StructInfo& s, const std::vector<std::string>& raw,
+                  std::vector<Finding>& out) {
+  const std::string sname = s.name.empty() ? "<anonymous>" : s.name;
+
+  // hot-straddle: a sub-line hot field crossing a line boundary.
+  for (const FieldInfo& f : s.fields) {
+    if (!f.hot || f.count != 1 || f.size == 0 || f.size > 64) continue;
+    if (f.offset % 64 + f.size <= 64) continue;
+    if (justified(raw, f.line, "straddle-ok:")) continue;
+    out.push_back(
+        {s.file, f.line + 1, "hot-straddle",
+         sname + "::" + f.name + " (offset " + std::to_string(f.offset) +
+             ", size " + std::to_string(f.size) +
+             ") straddles a cache-line boundary; every RMW dirties two "
+             "lines. Realign or justify with `straddle-ok:`."});
+  }
+
+  // hot-cohabit: two hot fields sharing a line.
+  for (std::size_t i = 0; i < s.fields.size(); ++i) {
+    const FieldInfo& a = s.fields[i];
+    if (!a.hot) continue;
+    for (std::size_t j = i + 1; j < s.fields.size(); ++j) {
+      const FieldInfo& b = s.fields[j];
+      if (!b.hot) continue;
+      if (last_line(a) < first_line(b) || last_line(b) < first_line(a))
+        continue;
+      if (justified(raw, a.line, "share-ok:") ||
+          justified(raw, b.line, "share-ok:"))
+        continue;
+      out.push_back(
+          {s.file, b.line + 1, "hot-cohabit",
+           sname + "::" + a.name + " (offset " + std::to_string(a.offset) +
+               ") and " + sname + "::" + b.name + " (offset " +
+               std::to_string(b.offset) +
+               ") share a cache line: independent writers false-share. "
+               "Pad/realign or justify with `share-ok:`."});
+    }
+  }
+
+  // tail-shared: a line-aligned hot field whose last line is cohabited
+  // by the (non-hot) field that follows it.
+  for (std::size_t i = 0; i + 1 < s.fields.size(); ++i) {
+    const FieldInfo& f = s.fields[i];
+    const FieldInfo& g = s.fields[i + 1];
+    if (!f.hot || g.hot) continue;
+    if (f.offset % 64 != 0) continue;
+    const bool aligned_on_purpose =
+        f.explicit_align >= 64 || (f.offset == 0 && s.explicit_align >= 64);
+    if (!aligned_on_purpose) continue;
+    if (g.offset / 64 != last_line(f)) continue;
+    if (justified(raw, f.line, "tail-ok:") ||
+        justified(raw, g.line, "tail-ok:"))
+      continue;
+    out.push_back(
+        {s.file, g.line + 1, "tail-shared",
+         sname + "::" + f.name + " is deliberately line-aligned but " +
+             sname + "::" + g.name + " (offset " + std::to_string(g.offset) +
+             ") moves onto its last line: the isolation leaks out the "
+             "back. Pad the tail or justify with `tail-ok:`."});
+  }
+
+  // reorder-waste: descending-alignment repack saves >= one line.
+  if (s.hot && s.fields.size() > 1) {
+    std::vector<const FieldInfo*> order;
+    order.reserve(s.fields.size());
+    for (const FieldInfo& f : s.fields) order.push_back(&f);
+    std::stable_sort(order.begin(), order.end(),
+                     [](const FieldInfo* a, const FieldInfo* b) {
+                       return a->align > b->align;
+                     });
+    std::uint64_t off = 0;
+    for (const FieldInfo* f : order) {
+      off = round_up(off, f->align);
+      off += f->size;
+    }
+    const std::uint64_t repacked = round_up(
+        std::max<std::uint64_t>(off, 1), std::max<std::uint64_t>(
+                                             s.align, s.explicit_align));
+    if (repacked + 64 <= s.size &&
+        !justified(raw, s.line, "order-ok:")) {
+      out.push_back(
+          {s.file, s.line + 1, "reorder-waste",
+           sname + ": " + std::to_string(s.size) +
+               " bytes as declared vs " + std::to_string(repacked) +
+               " repacked by alignment — " +
+               std::to_string(s.size - repacked) +
+               " bytes of padding holes (>= one full line). Reorder "
+               "fields or justify with `order-ok:`."});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Reporting.
+// ---------------------------------------------------------------------
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+double utilization(const StructInfo& s) {
+  if (s.size == 0) return 1.0;
+  std::uint64_t payload = 0;
+  for (const FieldInfo& f : s.fields) payload += f.size;
+  const std::uint64_t lines = (s.size + 63) / 64;
+  return static_cast<double>(payload) / static_cast<double>(lines * 64);
+}
+
+void write_json(std::FILE* out, const std::vector<Finding>& findings,
+                const std::vector<const StructInfo*>& structs) {
+  std::fprintf(out, "{\n  \"findings\": [\n");
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    std::fprintf(out,
+                 "    {\"file\": \"%s\", \"line\": %zu, \"rule\": \"%s\", "
+                 "\"message\": \"%s\"}%s\n",
+                 json_escape(f.file).c_str(), f.line, f.rule.c_str(),
+                 json_escape(f.message).c_str(),
+                 i + 1 < findings.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n  \"structs\": [\n");
+  for (std::size_t i = 0; i < structs.size(); ++i) {
+    const StructInfo& s = *structs[i];
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"file\": \"%s\", \"line\": %zu, "
+                 "\"complete\": %s, \"hot\": %s",
+                 json_escape(s.name).c_str(), json_escape(s.file).c_str(),
+                 s.line + 1, s.complete ? "true" : "false",
+                 s.hot ? "true" : "false");
+    if (!s.complete) {
+      std::fprintf(out, ", \"why_incomplete\": \"%s\"}",
+                   json_escape(s.incomplete_why).c_str());
+    } else {
+      std::fprintf(out,
+                   ", \"size\": %llu, \"align\": %llu, "
+                   "\"line_utilization\": %.3f, \"fields\": [",
+                   static_cast<unsigned long long>(s.size),
+                   static_cast<unsigned long long>(s.align),
+                   utilization(s));
+      for (std::size_t k = 0; k < s.fields.size(); ++k) {
+        const FieldInfo& f = s.fields[k];
+        std::fprintf(out,
+                     "%s\n      {\"name\": \"%s\", \"type\": \"%s\", "
+                     "\"offset\": %llu, \"size\": %llu, \"align\": %llu, "
+                     "\"hot\": %s}",
+                     k == 0 ? "" : ",", json_escape(f.name).c_str(),
+                     json_escape(f.type).c_str(),
+                     static_cast<unsigned long long>(f.offset),
+                     static_cast<unsigned long long>(f.size),
+                     static_cast<unsigned long long>(f.align),
+                     f.hot ? "true" : "false");
+      }
+      std::fprintf(out, "%s]}", s.fields.empty() ? "" : "\n    ");
+    }
+    std::fprintf(out, "%s\n", i + 1 < structs.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: cab_layout <path>... [--json[=FILE]] [--expect=N]\n"
+               "  Computes cache-line maps for hot runtime structs and\n"
+               "  reports false-sharing-prone layouts. Exit 0 clean (or\n"
+               "  finding count == N), 1 findings, 2 error.\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<fs::path> roots;
+  bool json = false;
+  std::string json_file;
+  long expect = -1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json") {
+      json = true;
+    } else if (a.rfind("--json=", 0) == 0) {
+      json = true;
+      json_file = a.substr(7);
+    } else if (a.rfind("--expect=", 0) == 0) {
+      expect = std::strtol(a.c_str() + 9, nullptr, 10);
+    } else if (!a.empty() && a[0] == '-') {
+      return usage();
+    } else {
+      roots.emplace_back(a);
+    }
+  }
+  if (roots.empty()) return usage();
+
+  std::vector<fs::path> files;
+  for (const fs::path& r : roots) {
+    std::error_code ec;
+    if (fs::is_regular_file(r, ec)) {
+      files.push_back(r);
+    } else if (fs::is_directory(r, ec)) {
+      for (fs::recursive_directory_iterator it(r, ec), end; it != end;
+           it.increment(ec)) {
+        if (ec) break;
+        if (it->is_regular_file() && is_header(it->path()))
+          files.push_back(it->path());
+      }
+    } else {
+      std::fprintf(stderr, "cab_layout: cannot read %s\n", r.c_str());
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  Model model;
+  std::map<std::string, std::vector<std::string>> raw_lines;
+  for (const fs::path& p : files) {
+    std::ifstream in(p);
+    if (!in) {
+      std::fprintf(stderr, "cab_layout: cannot read %s\n", p.c_str());
+      return 2;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+    std::vector<std::string> lines;
+    std::string cur;
+    for (char c : text) {
+      if (c == '\n') {
+        lines.push_back(cur);
+        cur.clear();
+      } else {
+        cur += c;
+      }
+    }
+    lines.push_back(cur);
+    raw_lines[p.string()] = std::move(lines);
+    Parser parser(model, p.string(), in_scope(p),
+                  tokenize(strip_comments_and_literals(text)));
+    parser.run();
+  }
+
+  for (StructInfo& s : model.structs) lay_out(model, s);
+
+  std::vector<Finding> findings;
+  std::vector<const StructInfo*> reported;
+  for (const StructInfo& s : model.structs) {
+    if (!in_scope(fs::path(s.file))) continue;
+    if (s.fields.empty() && s.complete) continue;  // tag/function-only
+    reported.push_back(&s);
+    if (!s.complete) continue;
+    check_struct(s, raw_lines[s.file], findings);
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return a.file != b.file ? a.file < b.file : a.line < b.line;
+            });
+
+  for (const Finding& f : findings)
+    std::fprintf(stderr, "%s:%zu: [%s] %s\n", f.file.c_str(), f.line,
+                 f.rule.c_str(), f.message.c_str());
+  std::size_t incomplete = 0;
+  for (const StructInfo* s : reported)
+    if (!s->complete) ++incomplete;
+  std::fprintf(stderr,
+               "cab_layout: %zu finding(s), %zu struct(s) mapped, "
+               "%zu incomplete, %zu file(s).\n",
+               findings.size(), reported.size() - incomplete, incomplete,
+               files.size());
+
+  if (json) {
+    if (json_file.empty()) {
+      write_json(stdout, findings, reported);
+    } else {
+      std::FILE* out = std::fopen(json_file.c_str(), "w");
+      if (out == nullptr) {
+        std::fprintf(stderr, "cab_layout: cannot write %s\n",
+                     json_file.c_str());
+        return 2;
+      }
+      write_json(out, findings, reported);
+      std::fclose(out);
+    }
+  }
+
+  if (expect >= 0) {
+    if (static_cast<long>(findings.size()) == expect) return 0;
+    std::fprintf(stderr, "cab_layout: expected %ld finding(s), got %zu.\n",
+                 expect, findings.size());
+    return 1;
+  }
+  return findings.empty() ? 0 : 1;
+}

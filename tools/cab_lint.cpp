@@ -2,14 +2,14 @@
 // sources (DESIGN.md §6c). Three rules, all scoped so that only the code
 // whose discipline they encode is checked:
 //
-//   seq-cst-justify   [deque/, runtime/, util/]
+//   seq-cst-justify   [deque/, runtime/, util/, svc/]
 //       Every `memory_order_seq_cst` must carry a `// seq_cst:`
 //       justification on the same line or in the 3 lines above it. The
 //       fence dance in the Chase-Lev deque is the only place the paper's
 //       protocol *needs* sequential consistency; anywhere else it is
 //       usually a stand-in for an ordering argument nobody wrote down.
 //
-//   hot-field-padding [deque/, runtime/, util/ headers]
+//   hot-field-padding [deque/, runtime/, util/, svc/ headers]
 //       An atomic data member (std::atomic<>, Sync::atomic_t<>, Atomic<>)
 //       must either be `alignas`-padded against false sharing or carry a
 //       `// pad-ok:` comment arguing why sharing its line is fine (e.g.
@@ -207,9 +207,13 @@ void scan_file(const fs::path& path, std::vector<Finding>& out) {
   std::vector<std::string> lines;
   for (std::string line; std::getline(in, line);) lines.push_back(line);
 
+  // svc joined the hot set when the job service grew its tiered queue:
+  // admission-side state is written from submitter threads *and* the
+  // executor, the same cross-thread shape as the scheduler's own fields.
   const bool hot = has_component(path, "deque") ||
                    has_component(path, "runtime") ||
-                   has_component(path, "util");
+                   has_component(path, "util") ||
+                   has_component(path, "svc");
   const std::string stem = path.stem().string();
   const bool worker_loop = has_component(path, "runtime") &&
                            (stem == "worker" || stem == "scheduler");
