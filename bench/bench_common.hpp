@@ -57,6 +57,10 @@ struct BenchArgs {
   /// --steal=uniform|weighted|weighted+half: in-squad victim selection for
   /// the runtime replay (ablation axis; default = the runtime's default).
   runtime::StealPolicy steal = runtime::Options{}.steal;
+  /// --lazy-spawn=on|off: stack-slot lazy task creation with steal-time
+  /// promotion vs the eager pooled path (ablation axis; default = the
+  /// runtime's default, on).
+  bool lazy_spawn = runtime::Options{}.lazy_spawn;
 };
 
 inline BenchArgs& bench_args() {
@@ -91,13 +95,26 @@ inline int parse_args(int argc, char** argv) {
                  argv[0], steal_spec.c_str());
     return 2;
   }
+  const std::string lazy_spec = util::args::value(argc, argv, "lazy-spawn");
+  if (!lazy_spec.empty()) {
+    if (lazy_spec == "on") {
+      bench_args().lazy_spawn = true;
+    } else if (lazy_spec == "off") {
+      bench_args().lazy_spawn = false;
+    } else {
+      std::fprintf(stderr,
+                   "%s: bad --lazy-spawn value \"%s\" (expected on|off)\n",
+                   argv[0], lazy_spec.c_str());
+      return 2;
+    }
+  }
   // Unknown `--` flags are rejected (exit 2) instead of being silently
   // ignored — a misspelled --json must not discard an hour-long run's
   // record. `--attrib` takes no space-separated value: only the `=` form
   // carries the record path.
   static const std::vector<util::args::FlagSpec> kKnown = {
-      {"trace", true},  {"json", true},   {"adapt", true},
-      {"steal", true},  {"attrib", false},
+      {"trace", true},  {"json", true},       {"adapt", true},
+      {"steal", true},  {"lazy-spawn", true}, {"attrib", false},
   };
   const std::string unknown = util::args::first_unknown(argc, argv, kKnown);
   if (!unknown.empty()) {
@@ -129,7 +146,11 @@ inline int parse_args(int argc, char** argv) {
                  "  --steal  in-squad victim selection for the runtime "
                  "replay: uniform\n"
                  "           (the paper's Algorithm I), weighted, or "
-                 "weighted+half (default)\n",
+                 "weighted+half (default)\n"
+                 "  --lazy-spawn  on (default) runs spawns on stack-slot "
+                 "lazy frames with\n"
+                 "           steal-time promotion; off replays the eager "
+                 "pooled path\n",
                  argv[0], unknown.c_str(), argv[0]);
     return 2;
   }
@@ -370,6 +391,7 @@ inline int finish(const char* bench_id,
   o.hw_counters = true;
   o.adapt = bench_args().adapt;
   o.steal = bench_args().steal;
+  o.lazy_spawn = bench_args().lazy_spawn;
   if (o.adapt.input_bytes_hint == 0) {
     o.adapt.input_bytes_hint = bundle.input_bytes;
   }

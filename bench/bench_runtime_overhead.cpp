@@ -8,14 +8,17 @@
 //
 //   (default)       google-benchmark micro suite (BM_Spawn_*, BM_ParallelFor);
 //                   --frame-pool=off reruns it on the seed's heap-per-spawn
-//                   allocation strategy.
+//                   allocation strategy, --lazy-spawn=off on the eager
+//                   pooled path (no stack-slot frames, no promotion).
 //   --spawn         spawn-throughput mode: serial-elision fib vs the
 //                   1-worker runtime gives the per-spawn overhead in ns,
-//                   measured with the frame pool on AND off (the
-//                   allocation ablation), plus multi-worker throughput.
-//                   --json=<file> writes a cab-bench-v1 record gated in
-//                   CI via `cab_bench_report diff --threshold=
-//                   spawn_overhead_ns=<pct>`.
+//                   measured three ways — lazy stack-slot spawning (the
+//                   default), the eager pooled path (--lazy-spawn=off
+//                   ablation), and heap-per-spawn (--frame-pool=off
+//                   ablation) — plus multi-worker throughput with the
+//                   steal-time promotion counters. --json=<file> writes a
+//                   cab-bench-v1 record gated in CI via `cab_bench_report
+//                   diff --threshold=spawn_overhead_ns=<pct>`.
 
 #include <benchmark/benchmark.h>
 
@@ -41,6 +44,10 @@ using cab::runtime::SchedulerKind;
 // callable (the seed allocation strategy), for both bench modes.
 bool g_frame_pool = true;
 
+// --lazy-spawn=off: eager pooled frames with a published join counter on
+// every spawn, instead of stack-slot lazy frames promoted at steal time.
+bool g_lazy_spawn = true;
+
 long fib_task(int n) {
   if (n < 2) return n;
   long a = 0, b = 0;
@@ -63,6 +70,7 @@ Options host_options(SchedulerKind kind, int bl) {
   o.kind = kind;
   o.boundary_level = bl;
   o.frame_pool = g_frame_pool;
+  o.lazy_spawn = g_lazy_spawn;
   return o;
 }
 
@@ -160,6 +168,8 @@ double now_s() {
 struct SpawnRun {
   double wall_s = 0.0;       ///< median epoch wall x reps (post warm-up)
   std::uint64_t spawns = 0;  ///< spawns executed in the measured epochs
+  std::uint64_t lazy = 0;    ///< of which ran as stack-slot lazy frames
+  std::uint64_t promos = 0;  ///< lazy frames a thief promoted to the heap
 };
 
 /// Median epoch wall, scaled back to `reps` epochs so downstream
@@ -195,6 +205,8 @@ SpawnRun run_fib_epochs(const Options& o, int n, int reps) {
   const auto done = rt.stats().total;
   r.spawns = (done.spawns_intra + done.spawns_inter) -
              (warm.spawns_intra + warm.spawns_inter);
+  r.lazy = done.alloc_lazy_spawns - warm.alloc_lazy_spawns;
+  r.promos = done.alloc_promotions - warm.alloc_promotions;
   benchmark::DoNotOptimize(sink);
   return r;
 }
@@ -229,6 +241,8 @@ int run_spawn_mode(const std::string& json_path) {
 
   // Per-spawn overhead on one worker: no steal traffic, no contention —
   // the difference to the serial elision is spawn+sync+allocation cost.
+  // Three-way allocation ablation: lazy stack slots (the default), eager
+  // pooled frames (--lazy-spawn=off), heap-per-spawn (--frame-pool=off).
   Options one = host_options(SchedulerKind::kCab, 0);
   one.topo = cab::hw::Topology::synthetic(1, 1, 1ull << 20);
   one.metrics = false;
@@ -236,6 +250,9 @@ int run_spawn_mode(const std::string& json_path) {
   const double serial_s = run_serial_epochs(n, reps);
 
   one.frame_pool = true;
+  one.lazy_spawn = true;
+  const SpawnRun lazy = run_fib_epochs(one, n, reps);
+  one.lazy_spawn = false;
   const SpawnRun pooled = run_fib_epochs(one, n, reps);
   one.frame_pool = false;
   const SpawnRun off = run_fib_epochs(one, n, reps);
@@ -249,12 +266,17 @@ int run_spawn_mode(const std::string& json_path) {
     return r.wall_s <= 0.0 ? 0.0
                            : static_cast<double>(r.spawns) / r.wall_s / 1e6;
   };
+  const double lazy_ns = overhead_ns(lazy);
   const double pooled_ns = overhead_ns(pooled);
   const double off_ns = overhead_ns(off);
+  const double lazy_speedup =
+      lazy.wall_s > 0.0 ? pooled.wall_s / lazy.wall_s : 0.0;
   const double speedup = pooled.wall_s > 0.0 ? off.wall_s / pooled.wall_s : 0.0;
 
   // Spawn throughput with every worker spawning and stealing: the
-  // cross-socket remote-free channel is on this path.
+  // steal-time promotion path and the cross-socket remote-free channel
+  // are both live here; the counters tell how many lazy frames a thief
+  // actually had to materialize.
   Options all = host_options(SchedulerKind::kCab, 0);
   all.metrics = false;
   all.frame_pool = true;
@@ -263,21 +285,32 @@ int run_spawn_mode(const std::string& json_path) {
 
   std::printf("\nspawn-throughput mode: fib(%d), %d measured epoch(s)\n", n,
               reps);
-  std::printf("  serial elision:        %8.3f ms/epoch\n",
+  std::printf("  serial elision:         %8.3f ms/epoch\n",
               1e3 * serial_s / reps);
-  std::printf("  1 worker, pool on:     %8.3f ms/epoch  %7.1f ns/spawn  "
+  std::printf("  1 worker, lazy:         %8.3f ms/epoch  %7.1f ns/spawn  "
+              "%6.2f Mspawn/s\n",
+              1e3 * lazy.wall_s / reps, lazy_ns, mspawns_per_s(lazy));
+  std::printf("  1 worker, eager pooled: %8.3f ms/epoch  %7.1f ns/spawn  "
               "%6.2f Mspawn/s\n",
               1e3 * pooled.wall_s / reps, pooled_ns, mspawns_per_s(pooled));
-  std::printf("  1 worker, pool off:    %8.3f ms/epoch  %7.1f ns/spawn  "
+  std::printf("  1 worker, pool off:     %8.3f ms/epoch  %7.1f ns/spawn  "
               "%6.2f Mspawn/s\n",
               1e3 * off.wall_s / reps, off_ns, mspawns_per_s(off));
-  std::printf("  pooled vs new speedup: %8.2fx\n", speedup);
-  std::printf("  %d workers, pool on:   %8.3f ms/epoch  %6.2f Mspawn/s\n",
-              workers, 1e3 * multi.wall_s / reps, mspawns_per_s(multi));
+  std::printf("  lazy vs eager speedup:  %8.2fx\n", lazy_speedup);
+  std::printf("  pooled vs new speedup:  %8.2fx\n", speedup);
+  std::printf("  %d workers, lazy:       %8.3f ms/epoch  %6.2f Mspawn/s  "
+              "(%llu of %llu lazy spawns promoted)\n",
+              workers, 1e3 * multi.wall_s / reps, mspawns_per_s(multi),
+              static_cast<unsigned long long>(multi.promos),
+              static_cast<unsigned long long>(multi.lazy));
 
   if (json_path.empty()) return 0;
 
   auto& rec = bench::JsonRecorder::instance();
+  rec.add_values("spawn/lazy",
+                 {{"spawn_overhead_ns", lazy_ns},
+                  {"mspawns_per_s", mspawns_per_s(lazy)}},
+                 lazy.wall_s);
   rec.add_values("spawn/pooled",
                  {{"spawn_overhead_ns", pooled_ns},
                   {"mspawns_per_s", mspawns_per_s(pooled)}},
@@ -286,10 +319,14 @@ int run_spawn_mode(const std::string& json_path) {
                  {{"spawn_overhead_ns", off_ns},
                   {"mspawns_per_s", mspawns_per_s(off)}},
                  off.wall_s);
-  rec.add_values("spawn/ablation", {{"pooled_vs_new_speedup", speedup}});
+  rec.add_values("spawn/ablation",
+                 {{"lazy_vs_eager_speedup", lazy_speedup},
+                  {"pooled_vs_new_speedup", speedup}});
   rec.add_values("spawn/multiworker",
                  {{"workers", static_cast<double>(workers)},
-                  {"mspawns_per_s", mspawns_per_s(multi)}},
+                  {"mspawns_per_s", mspawns_per_s(multi)},
+                  {"lazy_spawns", static_cast<double>(multi.lazy)},
+                  {"promotions", static_cast<double>(multi.promos)}},
                  multi.wall_s);
 
   // Minimal cab-bench-v1 record (no DAG-bundle replay: this bench's
@@ -333,8 +370,9 @@ int run_spawn_mode(const std::string& json_path) {
 
 }  // namespace
 
-// Custom main: the cab-specific flags (--spawn, --frame-pool, --json) are
-// peeled off before google-benchmark parses the rest.
+// Custom main: the cab-specific flags (--spawn, --frame-pool,
+// --lazy-spawn, --json) are peeled off before google-benchmark parses
+// the rest.
 int main(int argc, char** argv) {
   bool spawn_mode = false;
   std::string json_path;
@@ -347,6 +385,10 @@ int main(int argc, char** argv) {
       g_frame_pool = false;
     } else if (a == "--frame-pool=on") {
       g_frame_pool = true;
+    } else if (a == "--lazy-spawn=off") {
+      g_lazy_spawn = false;
+    } else if (a == "--lazy-spawn=on") {
+      g_lazy_spawn = true;
     } else if (a.rfind("--json=", 0) == 0) {
       json_path = a.substr(7);
     } else {

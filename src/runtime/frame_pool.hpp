@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "hw/affinity.hpp"
+#include "runtime/squad_protocol.hpp"
 #include "runtime/stats.hpp"
 #include "runtime/task.hpp"
 #include "util/assert.hpp"
@@ -131,7 +132,9 @@ class FramePool {
       t = free_;
     }
     free_ = t->pool_next;
-    CAB_CHECK(t->completed.load(std::memory_order_relaxed) == t->spawned,
+    CAB_CHECK(t->completed.load(std::memory_order_relaxed) +
+                      t->completed_local ==
+                  t->spawned,
               "recycled frame still has outstanding children "
               "(double recycle or lost join)");
     return t;
@@ -184,6 +187,127 @@ class FramePool {
   TaskFrame* free_ = nullptr;
   std::vector<void*> slabs_;
   MpscIntrusiveStack<TaskFrame> remote_;
+};
+
+/// A LazyStack slot: a full TaskFrame plus the promotion claim word
+/// (DESIGN.md §5h). The frame is the *first* member so the deque can keep
+/// storing plain `TaskFrame*` — `of()` recovers the enclosing slot from
+/// the frame pointer with no tagging or masking on any deque path; the
+/// `TaskFrame::lazy` flag tells takers which kind they hold.
+struct alignas(util::kCacheLineSize) LazyFrame {
+  TaskFrame frame;
+  protocol::LazyClaim<util::RealSync> claim;
+
+  /// The subset of TaskFrame::prepare the lazy path actually needs.
+  /// Skipped on purpose (all provably never read on a lazy frame):
+  /// `inter` / `inter_acquired_by` / `has_intra_children` feed the
+  /// busy-state paths, which lazy frames never reach (execute_lazy skips
+  /// them; sync()'s release_busy_on_suspend no-ops on the never-set
+  /// inter_acquired_by); `lazy` is set once at carve time and promotion
+  /// re-prepares the pooled copy from scratch; `home`/`pool_next` are
+  /// pool-owned and slots have none.
+  void arm(TaskFrame* p, std::int32_t lvl) noexcept {
+    frame.parent = p;
+    frame.level = lvl;
+    frame.spawned = 0;
+    frame.completed.store(0, std::memory_order_relaxed);
+    frame.completed_local = 0;
+    frame.has_children = false;
+    claim.arm();
+  }
+
+  static LazyFrame* of(TaskFrame* t) noexcept {
+    static_assert(offsetof(LazyFrame, frame) == 0,
+                  "frame must be the first member: LazyFrame::of casts the "
+                  "frame pointer back to the slot");
+    return reinterpret_cast<LazyFrame*>(t);
+  }
+};
+
+/// Per-worker stack of LazyFrame slots backing the lazy spawn fast path:
+/// the child frame a spawn publishes lives here — no pool round trip —
+/// and is reclaimed in place when the owner executes it, or released by
+/// the thief's claim hand-off after promotion.
+///
+/// Not a pure bump stack: help-while-waiting breaks LIFO reclamation (a
+/// parent suspended in sync() can pop and finish an *older* sibling while
+/// a younger slot is still live under it), and promotions complete out of
+/// order entirely. Slots therefore free individually through their claim
+/// word (kFreed), and push() lazily truncates the dead suffix — the loop
+/// stops at the first live (kStacked/kOwned/kPromoting) slot, so freed
+/// slots buried under a live one are reclaimed as soon as it clears.
+/// A full stack returns nullptr and the caller falls back to the eager
+/// pooled path, which is always correct (tested via wide flat fan-out).
+///
+/// Owner-thread only except for the claim words, which thieves touch
+/// through the promotion handshake.
+class LazyStack {
+ public:
+  /// Slots per worker: bounds the lazy suffix of one worker's spawn tree.
+  /// Depth-first execution keeps the live count near the spawn depth (a
+  /// few dozen), so 512 slots (~72 KiB) make eager overflow an exotic
+  /// fallback, not a steady-state path.
+  static constexpr std::size_t kSlots = 512;
+
+  LazyStack() = default;
+  LazyStack(const LazyStack&) = delete;
+  LazyStack& operator=(const LazyStack&) = delete;
+
+  /// Frames at rest own nothing (same argument as ~FramePool: bodies are
+  /// reset after execution or relocated away by promotion), so teardown
+  /// frees the slot storage wholesale.
+  ~LazyStack() {
+    if (slots_ != nullptr) {
+      ::operator delete(slots_, std::align_val_t{util::kCacheLineSize});
+    }
+  }
+
+  /// Owner only. Returns an armed-claim-free slot frame, or nullptr when
+  /// the stack is full (caller falls back to the eager path). The first
+  /// call carves the slot array; steady state is a truncation probe plus
+  /// a bump.
+  TaskFrame* push() {
+    if (slots_ == nullptr) carve();
+    // Truncate the dead suffix: in the common (pure LIFO) case this is
+    // one acquire load of the slot just executed in place.
+    while (top_ > 0 && slots_[top_ - 1].claim.reclaimable()) --top_;
+    if (top_ == kSlots) return nullptr;
+    return &slots_[top_++].frame;
+  }
+
+  /// Live (non-reclaimable) slots — tests/monitoring only; racy against
+  /// in-flight promotions.
+  std::size_t live() const noexcept {
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < top_; ++i) {
+      if (!slots_[i].claim.reclaimable()) ++n;
+    }
+    return n;
+  }
+
+  bool carved() const noexcept { return slots_ != nullptr; }
+
+ private:
+  void carve() {
+    const std::size_t bytes = kSlots * sizeof(LazyFrame);
+    // alloc-ok: one-time per-worker carve on the first lazy spawn —
+    // amortized over every lazy spawn the worker ever runs (steady-state
+    // zero-alloc asserted by tests/test_frame_pool.cpp).
+    void* raw = ::operator new(bytes, std::align_val_t{util::kCacheLineSize});
+    // Same NUMA discipline as FramePool::refill: best-effort pin to the
+    // carving worker's socket, first-touch by the placement-news below.
+    hw::bind_memory_local(raw, bytes);
+    slots_ = static_cast<LazyFrame*>(raw);
+    for (std::size_t i = 0; i < kSlots; ++i) {
+      LazyFrame* lf = ::new (static_cast<void*>(slots_ + i)) LazyFrame();
+      // Permanent: slot frames are lazy for their whole life (promotion
+      // copies *out* of them; the pooled copy is re-prepared non-lazy).
+      lf->frame.lazy = true;
+    }
+  }
+
+  LazyFrame* slots_ = nullptr;
+  std::size_t top_ = 0;
 };
 
 }  // namespace cab::runtime

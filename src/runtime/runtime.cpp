@@ -4,8 +4,6 @@
 
 namespace cab::runtime {
 
-extern thread_local Worker* tls_worker;  // defined in worker.cpp
-
 std::int32_t auto_boundary_level(const hw::Topology& topo,
                                  std::uint64_t input_bytes,
                                  std::int32_t branching) {
@@ -29,6 +27,13 @@ Runtime::Runtime(Options opts) : opts_(opts), engine_(new Engine(opts.topo)) {
   e.metrics = opts.metrics;
   e.hw_counters = opts.metrics && opts.hw_counters;
   e.frame_pool = opts.frame_pool;
+  // Lazy spawning needs the pools (promotion materializes into the
+  // thief's pool, so the frame-pool-off ablation keeps the seed path)
+  // and a stealing scheduler: task sharing hands frames to a shared
+  // pool where the owner-pop/promotion split has no meaning. Folding
+  // the kind in here keeps try_begin_lazy to a single flag test.
+  e.lazy = opts.lazy_spawn && opts.frame_pool &&
+           opts.kind != SchedulerKind::kTaskSharing;
   e.frame_accounting = opts.metrics;
   e.trace_capacity = opts.trace_capacity;
   e.trace_epoch_ns = obs::now_ns();
@@ -365,7 +370,13 @@ void Runtime::sync() {
   int fails = 0;
   while (!t->joined()) {
     ++w->stats.help_iterations;
-    if (w->help_once(fails >= kStarvationEscapeFails)) {
+    // Own-deque fast path, mirroring the implicit-sync loops in
+    // worker.cpp: the children being waited on are usually right here.
+    if (TaskFrame* c = w->pop_local()) {
+      ++w->stats.intra_pop_hits;
+      fails = 0;
+      w->execute(c);
+    } else if (w->help_once(fails >= kStarvationEscapeFails)) {
       fails = 0;
     } else {
       ++fails;
@@ -559,6 +570,8 @@ obs::metrics::Snapshot Runtime::metrics_snapshot() const {
       {"alloc.slab_refills", &WorkerStats::alloc_slab_refills},
       {"alloc.remote_frees", &WorkerStats::alloc_remote_frees},
       {"alloc.remote_drains", &WorkerStats::alloc_remote_drains},
+      {"alloc.lazy_spawns", &WorkerStats::alloc_lazy_spawns},
+      {"alloc.promotions", &WorkerStats::alloc_promotions},
   };
   for (const Field& f : kFields) {
     obs::metrics::Counter& c = e.registry.counter(f.name);

@@ -76,6 +76,15 @@ struct Options {
   /// strategy for overhead benchmarking. Leave on outside benches.
   bool frame_pool = true;
 
+  /// Lazy task creation (DESIGN.md §5h): intra-tier spawns run through the
+  /// continuation-style fast path — the child frame lives on the spawning
+  /// worker's LazyStack (no pool round trip) and is promoted to a pooled
+  /// frame only when a thief actually steals it. Off = the
+  /// `--lazy-spawn=off` ablation: every spawn eagerly materializes a
+  /// pooled frame (the PR 5 path). Requires frame_pool (thieves promote
+  /// into pools); ignored when frame_pool is off.
+  bool lazy_spawn = true;
+
   /// Open per-worker hardware counter groups (perf_event_open: cycles,
   /// instructions, cache-references, LLC-loads/-load-misses), enabled
   /// while run() executes and aggregated per squad and per tier in the
@@ -126,6 +135,51 @@ struct Pending {
 Pending begin_spawn(bool force_inter);
 void commit_spawn(const Pending& p);
 void abort_spawn(const Pending& p) noexcept;
+
+/// Lazy fast path (DESIGN.md §5h), header-inline: the whole point is a
+/// spawn that never leaves the caller's TU. Eligible spawns are intra-tier
+/// only — inter-tier children, kTaskSharing (central pool: every task is
+/// effectively stolen), and non-worker callers all fall back to the eager
+/// path, as does a full LazyStack. Returns the armed slot frame, or
+/// nullptr for "go eager".
+inline TaskFrame* try_begin_lazy(Worker* w) {
+  if (w == nullptr || w->current == nullptr) return nullptr;
+  Engine& e = *w->engine;
+  if (!e.lazy) return nullptr;  // folds in frame_pool and scheduler kind
+  TaskFrame* parent = w->current;
+  if (w->lazy_tier_check &&
+      w->ctx->tier.spawns_inter_child(parent->level)) {
+    return nullptr;  // inter-tier child: always an eager pooled frame
+  }
+  TaskFrame* t = w->lazy_stack.push();
+  if (t == nullptr) return nullptr;
+  LazyFrame::of(t)->arm(parent, parent->level + 1);
+  return t;
+}
+
+/// Join bookkeeping + publication of a lazy frame — the tail of
+/// commit_spawn minus everything inter/inject (a lazy frame is intra by
+/// construction, and its creation tick is carried through promotion).
+inline void commit_lazy(Worker* w, TaskFrame* t) {
+  w->engine->frame_created();
+  TaskFrame* parent = t->parent;
+  if (!parent->has_children) {
+    parent->has_children = true;
+    ++w->stats.spawning_tasks;
+  }
+  ++parent->spawned;
+  parent->has_intra_children = true;
+  ++w->stats.spawns_intra;
+  ++w->stats.alloc_lazy_spawns;
+  if (w->push_local(t)) w->mark_occupied();
+  if (w->tl.enabled) w->tl.mark(obs::EventKind::kSpawnIntra, t->level, 0);
+}
+
+/// Rollback when the body emplace threw: nothing was published, so
+/// freeing the slot is the whole undo.
+inline void abort_lazy(TaskFrame* t) noexcept {
+  LazyFrame::of(t)->claim.release_unpublished();
+}
 }  // namespace spawn_detail
 
 /// The CAB task-stealing runtime (plus the two baseline schedulers).
@@ -292,6 +346,16 @@ class Runtime {
 
 template <typename F>
 void Runtime::spawn(F&& fn) {
+  if (TaskFrame* t = spawn_detail::try_begin_lazy(tls_worker)) {
+    try {
+      t->body.emplace(std::forward<F>(fn));
+    } catch (...) {
+      spawn_detail::abort_lazy(t);
+      throw;
+    }
+    spawn_detail::commit_lazy(tls_worker, t);
+    return;
+  }
   spawn_detail::Pending p = spawn_detail::begin_spawn(/*force_inter=*/false);
   try {
     if (p.boxed) {

@@ -154,6 +154,24 @@ struct Worker {
   /// push_remote — see frame_pool.hpp.
   FramePool pool;
 
+  /// Slots for lazily-created child frames (the Engine::lazy fast path,
+  /// DESIGN.md §5h). Owner-thread only apart from the slots' claim words,
+  /// which thieves drive through the promotion handshake.
+  LazyStack lazy_stack;
+
+  /// One-entry publication buffer for lazy spawns: the newest lazy child
+  /// waits here, private to the owner, and reaches the deque only when a
+  /// second spawn displaces it (push_local). The owner's pop takes it back
+  /// without the deque's seq_cst pop fence, so a spawn-spawn-sync pattern
+  /// pays one deque round-trip per *two* children. Thieves steal from the
+  /// FIFO top, i.e. they want the oldest (shallowest) child, so deferring
+  /// publication of the newest one hides no breadth from them. Deadlock-
+  /// free because every wait in the runtime pops (pop_local) before it
+  /// blocks: a nonempty buffer is always the very next task its owner
+  /// runs. Cleared by construction at epoch end — a buffered child is an
+  /// unexecuted descendant, so the root cannot join while one exists.
+  TaskFrame* spawn_cache = nullptr;
+
   util::Xorshift64 rng;
   WorkerStats stats;
 
@@ -178,11 +196,30 @@ struct Worker {
   /// Innermost task this worker is currently executing (nullptr if idle).
   TaskFrame* current = nullptr;
 
+  /// Per-epoch fold of "could a spawn here be an inter-tier child?" —
+  /// true only for a non-degenerate CAB epoch with lazy spawning on.
+  /// Set once per wake (worker_main); read per spawn in try_begin_lazy,
+  /// where it gates the only per-level eligibility test left.
+  bool lazy_tier_check = false;
+
   std::thread thread;
 
   /// Runs `t` to completion: body, implicit sync (helping while waiting),
   /// then joins the parent and releases the squad busy-state if needed.
+  /// Dispatches lazy frames (own-deque pops only; every steal path
+  /// promotes first) to execute_lazy.
   void execute(TaskFrame* t);
+
+  /// Runs a lazy frame in place on its own stack slot: claims it from any
+  /// racing promotion, executes the lean intra-only path (no busy-state,
+  /// no recycle, plain completed_local join), then frees the slot.
+  void execute_lazy(TaskFrame* t);
+
+  /// Thief side of the lazy handshake: claims the victim's stack slot,
+  /// relocates the capture into a frame from *this* worker's pool, and
+  /// releases the slot. Returns the promoted frame (identity transfer —
+  /// no frame_created/destroyed tick).
+  TaskFrame* promote_lazy(TaskFrame* t);
 
   /// One attempt to find and run a task while blocked in a sync.
   /// Returns true if a task was executed. `desperate` is set by spin
@@ -206,6 +243,30 @@ struct Worker {
   /// Sets this worker's occupancy bit (push made the deque plausibly
   /// nonempty); counts the transition. No-op unless Engine::mask_active.
   void mark_occupied();
+
+  /// Publishes a lazy child: displaces the currently buffered one (if
+  /// any) onto the deque — preserving spawn order, oldest deepest — and
+  /// buffers `t`. Returns true when the displacement made the deque
+  /// plausibly nonempty (caller marks occupancy); a buffer-only spawn
+  /// publishes nothing thieves can see, so there is nothing to advertise.
+  bool push_local(TaskFrame* t) {
+    TaskFrame* prev = spawn_cache;
+    spawn_cache = t;
+    if (prev == nullptr) return false;
+    intra.push_bottom(prev);
+    return true;
+  }
+
+  /// Owner-side pop: the buffered newest child first (no fence — the
+  /// buffer is owner-private), then the deque bottom. Every owner pop
+  /// site goes through here so a wait can never strand a buffered child.
+  TaskFrame* pop_local() {
+    if (TaskFrame* t = spawn_cache) {
+      spawn_cache = nullptr;
+      return t;
+    }
+    return intra.pop_bottom();
+  }
 
  private:
   TaskFrame* acquire_cab(bool desperate);
@@ -320,6 +381,11 @@ struct Engine {
   /// the seed allocation strategy, kept measurable for the spawn-overhead
   /// benches.
   bool frame_pool = true;
+  /// Lazy spawn fast path on (= Options::lazy_spawn && frame_pool):
+  /// intra-tier spawns put the child frame on the spawning worker's
+  /// LazyStack and thieves promote at steal time (DESIGN.md §5h). Off =
+  /// the `--lazy-spawn=off` ablation, the PR 5 eager-pooled path.
+  bool lazy = false;
   std::size_t trace_capacity = 0;
   std::uint64_t trace_epoch_ns = 0;
   /// Ring-buffer drop policy for the timelines (Options::trace_ring).
@@ -414,5 +480,10 @@ struct Engine {
   void worker_main(Worker& w);
   void notify_if_done();
 };
+
+/// The worker owning the current thread (nullptr on non-worker threads).
+/// Defined in worker.cpp; declared here so the header-inline lazy spawn
+/// fast path (runtime.hpp) can reach the current worker without a call.
+extern thread_local Worker* tls_worker;
 
 }  // namespace cab::runtime

@@ -174,6 +174,109 @@ struct OccupancyMask {
   }
 };
 
+/// Lazy-frame claim handshake (DESIGN.md §5h): arbitration between the
+/// owner popping its own continuation back and a thief promoting it, plus
+/// the slot-reuse hand-off that lets the owner recycle the stack slot
+/// only after an in-flight promotion has finished copying the capture
+/// out. Templated on the Sync policy so the same transitions run under
+/// the scheduler and under the chk model checker; like OccupancyMask,
+/// only compare_exchange is used (chk::atomic models no or/and RMWs).
+///
+/// States (one forward pass per armed slot, no cycles until re-arm):
+///   kStacked   — armed and published to the owner's deque;
+///   kOwned     — the owner popped it back and is executing in place;
+///   kPromoting — a thief won the claim and is copying the capture out
+///                into a pooled frame (the slot must not be reused);
+///   kFreed     — terminal: the slot may be truncated/re-armed by the
+///                owner.
+///
+/// Checked invariants (the model's oracles, ModelCheck.LazyClaim*):
+///  - exactly one of try_own / try_promote succeeds per armed slot (no
+///    double execution, no lost continuation);
+///  - the owner observes kFreed (reclaimable) only after the thief's
+///    copy-out is complete, so slot reuse never races the promotion read
+///    (the negative twin, ModelCheckNegative.BrokenPromotionCas, shows
+///    the double execution that skipping the claim CAS permits).
+///
+/// The deque itself already guarantees a lazy frame is handed to exactly
+/// one taker, so the owner/thief CAS pair is defense-in-depth there — but
+/// the kPromoting->kFreed reuse hand-off is load-bearing: without it the
+/// owner could re-arm the slot while the thief is still reading it.
+template <typename Sync = util::RealSync>
+struct LazyClaim {
+  enum : std::int32_t { kStacked = 0, kOwned = 1, kPromoting = 2, kFreed = 3 };
+
+  typename Sync::template atomic_t<std::int32_t> state{kFreed};
+
+  /// Owner, before publishing the slot's frame to its deque. The deque
+  /// push's release store publishes the frame contents; this only re-arms
+  /// the claim word.
+  void arm() {
+    // mo: relaxed — ordered before the deque publish by the push's
+    // release; nothing reads kStacked before the frame is reachable.
+    state.store(kStacked, std::memory_order_relaxed);
+  }
+
+  /// Owner, after popping the frame back from its own deque. False means
+  /// a thief already claimed it — impossible while the deque hands each
+  /// entry to exactly one taker (CAB_CHECKed by the caller).
+  ///
+  /// Deliberately NOT an RMW: the deque's exactly-one-taker guarantee
+  /// means no thief can hold this entry concurrently, so the owner's
+  /// claim is race-free by construction and a verify + plain store
+  /// suffices — this is the spawn fast path, and the CAS it avoids costs
+  /// as much as the join RMW the lazy path exists to drop. The *thief*
+  /// side (try_promote) stays a CAS: it is the slot-reuse gate. A thief
+  /// that somehow claimed first leaves kPromoting/kFreed here and the
+  /// verify fails loudly.
+  bool try_own() {
+    if (state.load(std::memory_order_relaxed) != kStacked) return false;
+    // mo: relaxed — owner-written slot, owner-read; the deque pop already
+    // ordered the hand-off.
+    state.store(kOwned, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Thief, after stealing the frame's deque entry and before reading the
+  /// capture. False means the owner already took it back (same
+  /// exactly-one-taker argument as try_own).
+  bool try_promote() {
+    std::int32_t expect = kStacked;
+    // mo: acquire on success — pairs with the deque steal's own ordering;
+    // the capture reads below must not hoist above the claim.
+    return state.compare_exchange_strong(expect, kPromoting,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed);
+  }
+
+  /// Thief, after the capture has been relocated into the pooled frame.
+  void finish_promotion() {
+    // mo: release — pairs with reclaimable()'s acquire: the owner may
+    // reuse the slot only after it observes kFreed, which orders the
+    // thief's copy-out reads before the owner's re-arm writes.
+    state.store(kFreed, std::memory_order_release);
+  }
+
+  /// Owner, after executing the frame in place.
+  void finish_owned() {
+    // mo: relaxed — the reclaimer (LazyStack::push) runs on this same
+    // thread.
+    state.store(kFreed, std::memory_order_relaxed);
+  }
+
+  /// Owner rollback when nothing was published (body emplace threw).
+  void release_unpublished() {
+    // mo: relaxed — no other thread ever saw the armed slot.
+    state.store(kFreed, std::memory_order_relaxed);
+  }
+
+  /// Owner, before truncating/reusing the slot.
+  bool reclaimable() const {
+    // mo: acquire — see finish_promotion().
+    return state.load(std::memory_order_acquire) == kFreed;
+  }
+};
+
 /// Inter-socket task hand-off: marks the acquiring squad busy and tags
 /// the task with that squad *before* the task is returned to the worker
 /// loop — the gate must close before the task can start executing (and

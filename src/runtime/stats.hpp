@@ -60,6 +60,14 @@ struct WorkerStats {
   /// FramePool::acquire served by draining the remote-free channel (one
   /// bulk take_all per count, possibly recovering many frames).
   std::uint64_t alloc_remote_drains = 0;
+  /// Spawns that took the lazy fast path: child frame on the spawning
+  /// worker's LazyStack, no pool acquire and no atomic join RMW unless a
+  /// thief promotes it (DESIGN.md §5h).
+  std::uint64_t alloc_lazy_spawns = 0;
+  /// Lazy frames *this worker* promoted at steal time into a frame from
+  /// its own pool. promotions / lazy_spawns is the realized steal rate of
+  /// the lazy tier — the "steals are rare" premise the fast path banks on.
+  std::uint64_t alloc_promotions = 0;
 
   WorkerStats& operator+=(const WorkerStats& o) {
     tasks_executed += o.tasks_executed;
@@ -83,6 +91,8 @@ struct WorkerStats {
     alloc_slab_refills += o.alloc_slab_refills;
     alloc_remote_frees += o.alloc_remote_frees;
     alloc_remote_drains += o.alloc_remote_drains;
+    alloc_lazy_spawns += o.alloc_lazy_spawns;
+    alloc_promotions += o.alloc_promotions;
     if (o.max_task_level > max_task_level) max_task_level = o.max_task_level;
     return *this;
   }

@@ -50,11 +50,24 @@ struct TaskFrame {
   // own children.
   std::atomic<std::int32_t> completed{0};
 
+  /// Owner-local completion half: bumped by lazy children, which always
+  /// execute on the worker that owns this frame's deque (a lazy frame is
+  /// only ever executed in place via the owner's pop — a thief promotes it
+  /// to a pooled frame first, and the promoted copy joins through the
+  /// atomic `completed` instead). Plain, not atomic: writer and the
+  /// joined() reader are the same thread. This is where the lazy path's
+  /// join saving comes from — the common-case child finish is a plain
+  /// increment, not an acq_rel RMW.
+  std::int32_t completed_local = 0;
+
   /// True when every spawned child has joined. Owner-only. The acquire
-  /// pairs with the release half of each child's completed increment,
-  /// publishing the children's writes to the resuming parent.
+  /// pairs with the release half of each promoted/eager child's completed
+  /// increment, publishing the children's writes to the resuming parent;
+  /// lazy in-place children join through `completed_local` on this same
+  /// thread.
   bool joined() const noexcept {
-    return completed.load(std::memory_order_acquire) == spawned;
+    return completed_local + completed.load(std::memory_order_acquire) ==
+           spawned;
   }
 
   /// DAG level, paper numbering (root/"main" = 0).
@@ -79,6 +92,15 @@ struct TaskFrame {
   /// whose busy-state (active_inter) must be released at completion.
   Squad* inter_acquired_by = nullptr;
 
+  /// True when this frame lives in a LazyStack slot of the spawning
+  /// worker (DESIGN.md §5h) rather than in a pool slab or on the heap.
+  /// Dereferenced only after the deque hands the frame over, so the
+  /// deque's own synchronization covers it: the owner executes such a
+  /// frame in place (Worker::execute_lazy), a thief promotes it into a
+  /// pooled frame first (Worker::promote_lazy). Lazy frames never reach
+  /// finish()/recycle().
+  bool lazy = false;
+
   /// Pool that owns this frame's storage (set once at slab construction,
   /// never changed); nullptr for `--frame-pool=off` heap frames, which
   /// are deleted instead of recycled.
@@ -101,9 +123,11 @@ struct TaskFrame {
     inter = is_inter;
     spawned = 0;
     completed.store(0, std::memory_order_relaxed);
+    completed_local = 0;
     has_children = false;
     has_intra_children = false;
     inter_acquired_by = nullptr;
+    lazy = false;
   }
 };
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstring>
 #include <new>
 #include <type_traits>
 #include <utility>
@@ -81,6 +82,26 @@ class TaskBody {
 
   explicit operator bool() const noexcept { return ops_ != nullptr; }
 
+  /// Moves the held callable out of `src` into this (empty) body, leaving
+  /// `src` empty — the copy-out half of lazy-frame promotion (DESIGN.md
+  /// §5h): the thief relocates the capture from the victim's stack slot
+  /// into a pooled frame before releasing the slot back to its owner.
+  /// A null relocate slot means the capture is trivially relocatable and
+  /// a raw byte copy of the storage suffices — true for every trivially
+  /// copyable inline capture *and* for heap-boxed bodies (the box pointer
+  /// itself moves); only non-trivial inline captures pay an indirect call.
+  void relocate_from(TaskBody& src) noexcept {
+    const Ops* o = src.ops_;
+    src.ops_ = nullptr;
+    ops_ = o;
+    if (o == nullptr) return;
+    if (o->relocate == nullptr) {
+      std::memcpy(storage_, src.storage_, kInlineSize);
+    } else {
+      o->relocate(storage_, src.storage_);
+    }
+  }
+
   /// Destroys the held callable; no-op when empty. ops_ is cleared before
   /// the destructor runs so a re-entrant reset (e.g. from a capture's own
   /// destructor) sees an empty body instead of a half-dead one. A null
@@ -100,7 +121,19 @@ class TaskBody {
   struct Ops {
     void (*invoke)(void*);
     void (*destroy)(void*);  ///< null => trivially destructible, skip
+    /// null => trivially relocatable, memcpy the storage. Every decayed
+    /// capture is move-constructible (emplace decay-copies), so the
+    /// non-null slot (move-construct at dst, destroy src) is always
+    /// well-formed for the types that need it.
+    void (*relocate)(void* dst, void* src);
   };
+
+  template <typename D>
+  static void relocate_slot(void* dst, void* src) {
+    D* s = std::launder(reinterpret_cast<D*>(src));
+    ::new (dst) D(std::move(*s));
+    s->~D();
+  }
 
   template <typename D>
   static constexpr Ops kInlineOps = {
@@ -108,7 +141,10 @@ class TaskBody {
       std::is_trivially_destructible_v<D>
           ? static_cast<void (*)(void*)>(nullptr)
           : static_cast<void (*)(void*)>(
-                [](void* s) { std::launder(reinterpret_cast<D*>(s))->~D(); })};
+                [](void* s) { std::launder(reinterpret_cast<D*>(s))->~D(); }),
+      std::is_trivially_copyable_v<D>
+          ? static_cast<void (*)(void*, void*)>(nullptr)
+          : &relocate_slot<D>};
 
   template <typename D>
   static constexpr Ops kHeapOps = {
@@ -116,7 +152,9 @@ class TaskBody {
       [](void* s) {
         // alloc-ok: releases the heap box of emplace_boxed().
         delete *reinterpret_cast<D**>(s);
-      }};
+      },
+      // Boxed bodies relocate by moving the box pointer — a byte copy.
+      nullptr};
 
   alignas(kInlineAlign) unsigned char storage_[kInlineSize];
   const Ops* ops_ = nullptr;

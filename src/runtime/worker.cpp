@@ -47,6 +47,13 @@ std::int64_t hw_delta(const obs::metrics::HwSample& after,
 }  // namespace
 
 void Worker::execute(TaskFrame* t) {
+  // Lazy frames arrive here only from this worker's own pop_bottom —
+  // every steal path promotes before returning — and run the lean
+  // in-place path.
+  if (t->lazy) {
+    execute_lazy(t);
+    return;
+  }
   TaskFrame* saved = current;
   current = t;
   ++stats.tasks_executed;
@@ -98,7 +105,14 @@ void Worker::execute(TaskFrame* t) {
     int fails = 0;
     while (!t->joined()) {
       ++stats.help_iterations;
-      if (help_once(fails >= kStarvationEscapeFails)) {
+      // Own-deque fast path: the children this sync waits on are (absent
+      // a steal) right here, so skip the acquire dispatch and go straight
+      // to the pop. A miss falls through to the full Algorithm I probe.
+      if (TaskFrame* c = pop_local()) {
+        ++stats.intra_pop_hits;
+        fails = 0;
+        execute(c);
+      } else if (help_once(fails >= kStarvationEscapeFails)) {
         fails = 0;
       } else {
         backoff(fails, stats);
@@ -119,6 +133,98 @@ void Worker::execute(TaskFrame* t) {
 
   current = saved;
   finish(t);
+}
+
+void Worker::execute_lazy(TaskFrame* t) {
+  LazyFrame* lf = LazyFrame::of(t);
+  // The deque hands each entry to exactly one taker, so this claim cannot
+  // lose to a thief that holds the same entry — it is the model-checked
+  // defense-in-depth of the claim protocol (squad_protocol.hpp), and the
+  // negative model BrokenPromotionCas shows the double execution that
+  // skipping the thief-side gate would permit.
+  const bool owned = lf->claim.try_own();
+  CAB_CHECK(owned, "lazy frame taken twice (owner pop vs promotion)");
+  // The lean subset of execute(): a lazy frame is intra-tier on its
+  // owner's deque by construction, so there is no busy-state to release,
+  // no inter-tier hw span, and no pool recycle at the end.
+  TaskFrame* saved = current;
+  current = t;
+  ++stats.tasks_executed;
+  if (t->level > stats.max_task_level) stats.max_task_level = t->level;
+  if (engine->record_events) {
+    exec_log.push_back(
+        ExecRecord{id, squad->id, t->level, /*inter=*/false, is_head});
+  }
+  const bool tr = tl.enabled;
+  const std::uint64_t exec_start = tr ? obs::now_ns() : 0;
+  try {
+    t->body();
+  } catch (...) {
+    ctx->capture_exception(std::current_exception());
+  }
+  t->body.reset();
+  // Implicit sync, same help loop as execute(): the frame stays live (and
+  // its slot unreclaimed, state kOwned) until its children have joined.
+  if (!t->joined()) {
+    const std::uint64_t wait_start = tr ? obs::now_ns() : 0;
+    const std::uint64_t help0 = stats.help_iterations;
+    const std::uint64_t exec0 = stats.tasks_executed;
+    int fails = 0;
+    while (!t->joined()) {
+      ++stats.help_iterations;
+      // Own-deque fast path: the children this sync waits on are (absent
+      // a steal) right here, so skip the acquire dispatch and go straight
+      // to the pop. A miss falls through to the full Algorithm I probe.
+      if (TaskFrame* c = pop_local()) {
+        ++stats.intra_pop_hits;
+        fails = 0;
+        execute(c);
+      } else if (help_once(fails >= kStarvationEscapeFails)) {
+        fails = 0;
+      } else {
+        backoff(fails, stats);
+      }
+    }
+    if (tr) {
+      tl.record(obs::EventKind::kSyncWait, wait_start, obs::now_ns(),
+                static_cast<std::int32_t>(stats.help_iterations - help0),
+                static_cast<std::int32_t>(stats.tasks_executed - exec0));
+    }
+  }
+  if (tr) {
+    tl.record(obs::EventKind::kTaskExec, exec_start, obs::now_ns(), t->level,
+              0);
+  }
+  current = saved;
+  engine->frame_destroyed();
+  // The lazy join: the parent is suspended on this very worker (lazy
+  // children only execute via the owner's pop, and tasks never migrate
+  // mid-body), so its completion half is a plain owner-local bump — the
+  // atomic RMW the lazy path exists to avoid. The root is never lazy, so
+  // parent is always non-null here.
+  ++t->parent->completed_local;
+  lf->claim.finish_owned();
+}
+
+TaskFrame* Worker::promote_lazy(TaskFrame* t) {
+  LazyFrame* lf = LazyFrame::of(t);
+  // Same exactly-one-taker argument as execute_lazy's try_own.
+  const bool claimed = lf->claim.try_promote();
+  CAB_CHECK(claimed, "lazy frame taken twice (promotion vs owner pop)");
+  // Materialize into *this* worker's pool: the thief executes (and with
+  // no further steal, completes) the promoted frame, so the frame memory
+  // is NUMA-local to its executor and recycles locally.
+  TaskFrame* p = pool.acquire(stats);
+  p->prepare(t->parent, t->level, /*is_inter=*/false);
+  p->body.relocate_from(t->body);
+  // Copy-out done: release the slot to its owner. From here the promoted
+  // frame is an ordinary pooled frame — it joins through the parent's
+  // atomic `completed` and recycles into this worker's pool.
+  lf->claim.finish_promotion();
+  ++stats.alloc_promotions;
+  // Identity transfer: the lazy spawn's frame_created() tick carries over
+  // to the promoted frame, so Eq. 15 accounting is unchanged.
+  return p;
 }
 
 void Worker::finish(TaskFrame* t) {
@@ -149,6 +255,8 @@ void Worker::finish(TaskFrame* t) {
 }
 
 void Worker::recycle(TaskFrame* t) {
+  CAB_CHECK(!t->lazy, "lazy frame leaked into recycle() — stack slots are "
+                      "reclaimed through their claim word, never pooled");
   // Normally a no-op (execute() resets the body right after it returns);
   // arms only for frames aborted before publication, whose capture must
   // still be destroyed.
@@ -211,8 +319,8 @@ void Worker::mark_occupied() {
 }
 
 TaskFrame* Worker::acquire_cab(bool desperate) {
-  // Step 1: own intra-socket pool.
-  if (TaskFrame* t = intra.pop_bottom()) {
+  // Step 1: own intra-socket pool (publication buffer first, then deque).
+  if (TaskFrame* t = pop_local()) {
     ++stats.intra_pop_hits;
     return t;
   }
@@ -258,7 +366,7 @@ TaskFrame* Worker::acquire_cab(bool desperate) {
 }
 
 TaskFrame* Worker::acquire_random() {
-  if (TaskFrame* t = intra.pop_bottom()) {
+  if (TaskFrame* t = pop_local()) {
     ++stats.intra_pop_hits;
     return t;
   }
@@ -326,6 +434,13 @@ TaskFrame* Worker::steal_intra_from(int victim, std::size_t& taken) {
     TaskFrame* buf[kStealBatchMax];
     taken = v.intra.steal_batch(buf, kStealBatchMax);
     if (taken > 0) {
+      // Promote every lazy element — including the surplus re-pushed
+      // below: a foreign stack frame must never enter this worker's
+      // deque, or a later own-pop would execute it in place and bump the
+      // victim-side completed_local from the wrong thread.
+      for (std::size_t i = 0; i < taken; ++i) {
+        if (buf[i]->lazy) buf[i] = promote_lazy(buf[i]);
+      }
       t = buf[0];  // oldest claimed task runs now (victim FIFO order)
       // Surplus onto own deque newest-first, so this worker's LIFO pops
       // replay the batch in the victim's FIFO order.
@@ -340,6 +455,7 @@ TaskFrame* Worker::steal_intra_from(int victim, std::size_t& taken) {
     }
   } else {
     t = v.intra.steal_top();
+    if (t != nullptr && t->lazy) t = promote_lazy(t);
     taken = t != nullptr ? 1 : 0;
   }
   if (t != nullptr) {
@@ -374,6 +490,7 @@ TaskFrame* Worker::steal_intra_global() {
   if (victim >= ctx_slot) ++victim;  // skip self (partition-local index)
   Worker& v = *ctx->workers[static_cast<std::size_t>(victim)];
   TaskFrame* t = v.intra.steal_top();
+  if (t != nullptr && t->lazy) t = promote_lazy(t);
   if (t) {
     ++stats.intra_steals;
   } else {
@@ -461,6 +578,12 @@ void Engine::worker_main(Worker& w) {
       ++ctx->working;
     }
     w.ctx = ctx;
+    // Per-epoch constant fold for the lazy spawn path: only a
+    // non-degenerate CAB epoch ever routes a child to the inter tier, so
+    // everything but the level comparison is decided here, once per wake,
+    // instead of per spawn.
+    w.lazy_tier_check = lazy && kind == SchedulerKind::kCab &&
+                        !ctx->cab_degenerate(kind);
     // Partition-local self index for the baselines' steal victim pick
     // (partition membership is fixed for the epoch, so once per wake).
     for (std::size_t i = 0; i < ctx->workers.size(); ++i) {

@@ -1,0 +1,31 @@
+// Fixture: lazy-spawn fast-path allocations in a runtime translation
+// unit. Expected findings:
+//   - no-hot-path-alloc at the naked `new LazyFrame` (no `alloc-ok:`)
+//   - no-hot-path-alloc at the raw `::operator new` (no `alloc-ok:`)
+
+namespace fixture {
+
+struct LazyFrame {
+  int state = 0;
+};
+
+LazyFrame* spawn_without_a_slot() {
+  return new LazyFrame();
+}
+
+void* carve_without_justification(unsigned long bytes) {
+  return ::operator new(bytes);
+}
+
+void* carve_like_the_lazy_stack_does(unsigned long bytes) {
+  // alloc-ok: one-time slot-array carve, amortized over every lazy
+  // spawn; this one must NOT be flagged.
+  return ::operator new(bytes);
+}
+
+LazyFrame* boxed_fallback() {
+  // alloc-ok: boxed oversize callable twin; this one must NOT be flagged.
+  return new LazyFrame();
+}
+
+}  // namespace fixture

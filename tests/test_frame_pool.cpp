@@ -59,25 +59,27 @@ void* operator new(std::size_t n, std::align_val_t al) {
   throw std::bad_alloc();
 }
 
-// Every overload counts and frees directly (no forwarding): GCC's
-// -Wmismatched-new-delete inlines these shims at call sites and flags a
-// malloc'd pointer flowing through a forwarded ::operator delete.
-void operator delete(void* p) noexcept {
+// Every overload counts and frees directly (no forwarding), and is kept
+// out of line: when GCC inlines a shim into a call site it pairs the
+// visible std::free with the replaced ::operator new and raises
+// -Wmismatched-new-delete, even though that operator new is malloc-based
+// — the new/delete pairing it can't see through is the correct one.
+__attribute__((noinline)) void operator delete(void* p) noexcept {
   if (p != nullptr) g_deletes.fetch_add(1, std::memory_order_relaxed);
   std::free(p);
 }
 
-void operator delete(void* p, std::size_t) noexcept {
+__attribute__((noinline)) void operator delete(void* p, std::size_t) noexcept {
   if (p != nullptr) g_deletes.fetch_add(1, std::memory_order_relaxed);
   std::free(p);
 }
 
-void operator delete(void* p, std::align_val_t) noexcept {
+__attribute__((noinline)) void operator delete(void* p, std::align_val_t) noexcept {
   if (p != nullptr) g_deletes.fetch_add(1, std::memory_order_relaxed);
   std::free(p);
 }
 
-void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+__attribute__((noinline)) void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
   if (p != nullptr) g_deletes.fetch_add(1, std::memory_order_relaxed);
   std::free(p);
 }
@@ -168,6 +170,61 @@ TEST(TaskBody, StdFunctionFitsInline) {
   // run() relays the user's root through a std::function; it must not be
   // the one capture that silently re-introduces a per-epoch box.
   static_assert(TaskBody::stores_inline<std::function<void()>>());
+}
+
+// ---------------------------------------------------------------------------
+// TaskBody::relocate_from — the promotion copy-out (DESIGN.md §5h): a
+// thief moves a stolen lazy frame's capture into a pooled frame.
+// ---------------------------------------------------------------------------
+
+TEST(TaskBody, RelocateTrivialInlineIsByteCopy) {
+  int out = 0;
+  int* dst_out = &out;
+  TaskBody src;
+  src.emplace([dst_out] { *dst_out = 17; });  // trivially copyable capture
+  TaskBody dst;
+  const std::uint64_t n0 = news_now();
+  dst.relocate_from(src);
+  EXPECT_EQ(news_now() - n0, 0u) << "relocation must not allocate";
+  EXPECT_FALSE(static_cast<bool>(src)) << "source must be left empty";
+  ASSERT_TRUE(static_cast<bool>(dst));
+  dst();
+  EXPECT_EQ(out, 17);
+  dst.reset();
+  src.reset();  // idempotent on the vacated source
+}
+
+TEST(TaskBody, RelocateMoveOnlyInlineDestroysSourceOnce) {
+  std::atomic<int> fired{0};
+  TaskBody src;
+  src.emplace(SmallProbe{&fired});  // not trivially copyable: move path
+  const int live0 = SmallProbe::live.load();
+  TaskBody dst;
+  dst.relocate_from(src);
+  EXPECT_EQ(SmallProbe::live.load(), live0)
+      << "relocation must move + destroy the source, net zero instances";
+  EXPECT_FALSE(static_cast<bool>(src));
+  dst();
+  EXPECT_EQ(fired.load(), 1);
+  dst.reset();
+  EXPECT_EQ(SmallProbe::live.load(), 0);
+}
+
+TEST(TaskBody, RelocateBoxedMovesTheBox) {
+  std::atomic<int> fired{0};
+  TaskBody src;
+  src.emplace(LargeProbe{&fired});
+  const int live0 = LargeProbe::live.load();
+  TaskBody dst;
+  const std::uint64_t n0 = news_now();
+  dst.relocate_from(src);  // the box pointer moves; no new box
+  EXPECT_EQ(news_now() - n0, 0u) << "boxed relocation must not allocate";
+  EXPECT_EQ(LargeProbe::live.load(), live0);
+  EXPECT_FALSE(static_cast<bool>(src));
+  dst();
+  EXPECT_EQ(fired.load(), 1);
+  dst.reset();
+  EXPECT_EQ(LargeProbe::live.load(), 0) << "boxed capture leaked";
 }
 
 // ---------------------------------------------------------------------------
@@ -393,6 +450,140 @@ TEST(FramePoolRuntime, SlabRefillsFlatWhileSpawnsGrow) {
   EXPECT_GT(snap.find("scheduler.spawns_intra")->total, spawns_before);
   EXPECT_GT(snap.find("alloc.freelist_hits")->total, 0);
   EXPECT_GT(snap.find("alloc.peak_live_frames")->total, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Lazy spawning (DESIGN.md §5h): stack-slot frames on the fast path,
+// steal-time promotion into the thief's pool.
+// ---------------------------------------------------------------------------
+
+TEST(FramePoolRuntime, LazySpawnSteadyStateAllocatesNothing) {
+  // The lazy path's acceptance property: with lazy spawning explicitly on
+  // (the default), a single-worker spawn tree runs entirely on LazyStack
+  // slots — after one warm-up epoch (deque ring + slot slab carved) the
+  // process performs zero heap allocations during run(), and the
+  // alloc.lazy_spawns counter proves the lazy path (not the eager pooled
+  // one) is what ran.
+  Options o = quiet_options(1, 1, 0);
+  o.lazy_spawn = true;
+  o.metrics = false;
+  Runtime rt(o);
+  std::atomic<int> leaves{0};
+  auto tree = [&] {
+    rt.run([&leaves] {
+      std::function<void(int)> rec = [&rec, &leaves](int d) {
+        if (d == 0) {
+          leaves.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        Runtime::spawn([&rec, d] { rec(d - 1); });
+        Runtime::spawn([&rec, d] { rec(d - 1); });
+        Runtime::sync();
+      };
+      rec(9);
+    });
+  };
+  for (int warm = 0; warm < 2; ++warm) tree();
+  leaves.store(0);
+  const std::uint64_t n0 = news_now();
+  for (int e = 0; e < 4; ++e) tree();
+  EXPECT_EQ(news_now() - n0, 0u)
+      << "lazy steady-state spawn path performed heap allocations";
+  EXPECT_EQ(leaves.load(), 4 * 512);
+  const runtime::SchedulerStats s = rt.stats();
+  EXPECT_GT(s.total.alloc_lazy_spawns, 0u)
+      << "no spawn ever took the lazy fast path";
+  EXPECT_EQ(s.total.alloc_promotions, 0u)
+      << "a single-worker run has no thieves to promote";
+}
+
+TEST(FramePoolRuntime, LazySpawnOffAblationStillCorrect) {
+  // --lazy-spawn=off: every spawn takes the eager pooled path (the PR 5
+  // shape). Same DAG, same results, and the lazy counters stay silent.
+  Options o = quiet_options(2, 2, 2);
+  o.lazy_spawn = false;
+  Runtime rt(o);
+  std::atomic<int> fired{0};
+  for (int e = 0; e < 3; ++e) {
+    rt.run([&] {
+      std::function<void(int)> rec = [&rec, &fired](int d) {
+        if (d == 0) {
+          fired.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        Runtime::spawn([&rec, d] { rec(d - 1); });
+        Runtime::spawn([&rec, d] { rec(d - 1); });
+        Runtime::sync();
+      };
+      rec(8);
+    });
+  }
+  EXPECT_EQ(fired.load(), 3 * 256);
+  const runtime::SchedulerStats s = rt.stats();
+  EXPECT_EQ(s.total.alloc_lazy_spawns, 0u);
+  EXPECT_EQ(s.total.alloc_promotions, 0u);
+  EXPECT_GT(s.total.alloc_freelist_hits + s.total.alloc_slab_refills, 0u)
+      << "eager spawns must go through the pools";
+}
+
+TEST(FramePoolRuntime, LazyCaptureDestructorsRunExactlyOnce) {
+  // Multi-worker lazy run: captures are destroyed exactly once whether
+  // the frame ran in place on its slot (owner pop) or was relocated into
+  // a thief's pooled frame (promotion). Probe instance accounting catches
+  // both a leak and a double destroy.
+  std::atomic<int> fired{0};
+  {
+    Options o = quiet_options(1, 4, 0);
+    o.lazy_spawn = true;
+    Runtime rt(o);
+    for (int e = 0; e < 8; ++e) {
+      rt.run([&] {
+        for (int i = 0; i < 256; ++i) Runtime::spawn(SmallProbe{&fired});
+        Runtime::sync();
+      });
+    }
+    EXPECT_EQ(fired.load(), 8 * 256);
+    const runtime::SchedulerStats s = rt.stats();
+    EXPECT_GT(s.total.alloc_lazy_spawns, 0u);
+  }
+  EXPECT_EQ(SmallProbe::live.load(), 0)
+      << "a lazy slot or promoted frame kept (or double-destroyed) a capture";
+}
+
+TEST(FramePoolRuntime, PromotionsOccurUnderMultiWorkerFanout) {
+  // A 256-wide fan-out (< the 512 LazyStack slots, so every child is
+  // lazy) from one worker with seven idle siblings: thieves must steal,
+  // and every steal of a lazy frame is a promotion. Leaves spin long
+  // enough that the fan-out is still in the victim's deque when thieves
+  // arrive; a handful of epochs makes the expectation robust to
+  // scheduling noise.
+  Options o = quiet_options(1, 8, 0);
+  o.lazy_spawn = true;
+  Runtime rt(o);
+  std::atomic<int> fired{0};
+  int epochs_run = 0;
+  while (epochs_run < 20) {
+    rt.run([&] {
+      for (int i = 0; i < 256; ++i) {
+        Runtime::spawn([&fired] {
+          volatile int spin = 0;
+          while (spin < 50000) spin = spin + 1;
+          fired.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+      Runtime::sync();
+    });
+    ++epochs_run;
+    if (rt.stats().total.alloc_promotions > 0) break;
+  }
+  EXPECT_EQ(fired.load(), epochs_run * 256);
+  const runtime::SchedulerStats s = rt.stats();
+  EXPECT_GT(s.total.alloc_lazy_spawns, 0u);
+  EXPECT_GT(s.total.alloc_promotions, 0u)
+      << "no thief ever promoted a lazy frame in " << epochs_run
+      << " contended epochs";
+  EXPECT_LE(s.total.alloc_promotions, s.total.alloc_lazy_spawns)
+      << "more promotions than lazy spawns";
 }
 
 TEST(FramePoolRuntime, RemoteFreesFlowBackAcrossSockets) {

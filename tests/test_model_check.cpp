@@ -14,6 +14,9 @@
 //   6. batch-claim exclusivity — steal_batch's claim bit fences out the
 //      owner and rival thieves for the whole multi-element read; the
 //      occupancy-mask CAS loops never lose a neighbouring bit's flip
+//   7. lazy-claim handshake   — a lazy frame runs exactly once (owner pop
+//      xor thief promotion), the promotion copy-out is ordered before
+//      slot reuse, and identity transfer preserves the Eq. 15 bound
 //
 // Negative models (ModelCheckNegative.*) seed real ordering bugs and
 // assert the checker (a) catches them and (b) reproduces the identical
@@ -676,6 +679,136 @@ TEST_F(ModelCheck, AdaptiveBlEpochBoundarySafety) {
 }
 
 // ---------------------------------------------------------------------------
+// Lazy-spawn claim protocol (DESIGN.md §5h; oracles 1, 2 + the Eq. 15
+// space bound). The production LazyClaim compiled over chk::ModelSync,
+// exercised exactly as worker.cpp drives it: every claim happens *after*
+// the Chase-Lev deque handed the entry to exactly one taker — that deque
+// guarantee is what licenses try_own being a verify + plain store rather
+// than an RMW, so the models always route the hand-off through a real
+// ModelDeque first.
+// ---------------------------------------------------------------------------
+
+using ModelClaim = protocol::LazyClaim<chk::ModelSync>;
+
+// One lazy frame, owner pop racing one thief steal — the promotion
+// handshake layered on the classic Chase-Lev last-element corner. The
+// deque arbitrates; whichever side holds the entry must win its claim
+// (owner: try_own verify+store; thief: try_promote CAS), and the frame
+// runs exactly once.
+TEST_F(ModelCheck, LazyClaimExactlyOneTaker) {
+  auto r = chk::explore(
+      [] {
+        std::array<int, 1> slot{};
+        ModelClaim claim;
+        chk::atomic<int> exec{0};
+        ModelDeque d(2);
+        claim.arm();
+        d.push_bottom(&slot[0]);
+        chk::thread thief([&] {
+          if (d.steal_top() != nullptr) {
+            chk::assert_now(claim.try_promote(),
+                            "thief holds the deque entry but lost the claim");
+            claim.finish_promotion();
+            exec.fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+        while (d.pop_bottom() != nullptr) {
+          chk::assert_now(claim.try_own(),
+                          "owner holds the deque entry but lost the claim");
+          claim.finish_owned();
+          exec.fetch_add(1, std::memory_order_relaxed);
+        }
+        thief.join();
+        chk::assert_now(exec.load(std::memory_order_relaxed) == 1,
+                        "lazy frame executed exactly once (no lost "
+                        "continuation, no double execution)");
+      },
+      bounded(3));
+  ASSERT_TRUE(r.ok()) << r.summary();
+  EXPECT_TRUE(r.exhausted) << r.summary();
+  EXPECT_GE(r.interleavings, 100u) << r.summary();
+}
+
+// The load-bearing edge of the handshake: finish_promotion's release
+// store pairs with reclaimable()'s acquire so the thief's capture
+// copy-out is ordered before the owner's slot reuse. The capture is a
+// chk::var — any interleaving where the owner re-arms the slot without
+// that happens-before edge is a detected data race — and the promoted
+// copy must read the original capture, never the reused slot's.
+TEST_F(ModelCheck, LazyClaimPromotionCopyOutVsSlotReuse) {
+  auto r = chk::explore(
+      [] {
+        chk::var<int> capture{42};  // the LazyFrame slot's body storage
+        ModelClaim claim;
+        chk::atomic<int> promoted{0};
+        claim.arm();
+        chk::thread thief([&] {
+          if (claim.try_promote()) {
+            // body.relocate_from: read the capture out of the slot...
+            promoted.store(capture.get(), std::memory_order_relaxed);
+            claim.finish_promotion();  // ...then release the slot
+          }
+        });
+        // Owner (LazyStack::push truncation): reuse the slot for a new
+        // spawn the moment it reads kFreed. One attempt — interleavings
+        // where the claim is still held simply skip the reuse.
+        if (claim.reclaimable()) {
+          capture.set(7);  // re-arm with the next spawn's capture
+          claim.arm();
+        }
+        thief.join();
+        chk::assert_now(promoted.load(std::memory_order_relaxed) == 42,
+                        "promotion copied the reused slot's capture");
+      },
+      bounded(3));
+  ASSERT_TRUE(r.ok()) << r.summary();
+  EXPECT_TRUE(r.exhausted) << r.summary();
+}
+
+// Eq. 15 space-bound oracle: a lazy spawn ticks the live-frame count
+// once, promotion transfers that tick (no create/destroy pair), and
+// completion — on either side — retires it. Live frames never exceed the
+// spawn count and drain to zero.
+TEST_F(ModelCheck, LazyPromotionIdentityTransferSpaceBound) {
+  auto r = chk::explore(
+      [] {
+        std::array<int, 2> slots{};
+        std::array<ModelClaim, 2> claims;
+        chk::atomic<int> live{0};
+        ModelDeque d(2);
+        for (std::size_t i = 0; i < slots.size(); ++i) {
+          claims[i].arm();
+          live.fetch_add(1, std::memory_order_relaxed);  // frame_created
+          chk::assert_now(live.load(std::memory_order_relaxed) <= 2,
+                          "live frames exceed spawned frames (Eq. 15)");
+          d.push_bottom(&slots[i]);
+        }
+        chk::thread thief([&] {
+          if (int* p = d.steal_top()) {
+            ModelClaim& c = claims[static_cast<std::size_t>(p - slots.data())];
+            chk::assert_now(c.try_promote(),
+                            "thief holds the deque entry but lost the claim");
+            c.finish_promotion();  // identity transfer: no live tick here
+            live.fetch_sub(1, std::memory_order_relaxed);  // frame_destroyed
+          }
+        });
+        while (int* p = d.pop_bottom()) {
+          ModelClaim& c = claims[static_cast<std::size_t>(p - slots.data())];
+          chk::assert_now(c.try_own(),
+                          "owner holds the deque entry but lost the claim");
+          c.finish_owned();
+          live.fetch_sub(1, std::memory_order_relaxed);  // frame_destroyed
+        }
+        thief.join();
+        chk::assert_now(live.load(std::memory_order_relaxed) == 0,
+                        "lazy frames leak through promotion (Eq. 15)");
+      },
+      bounded(3));
+  ASSERT_TRUE(r.ok()) << r.summary();
+  EXPECT_TRUE(r.exhausted) << r.summary();
+}
+
+// ---------------------------------------------------------------------------
 // Negative models: seeded ordering bugs MUST be caught, with a seed that
 // replays to the identical failure.
 // ---------------------------------------------------------------------------
@@ -845,6 +978,43 @@ void broken_batch_range_cas() {
                     "a batch element was stolen and popped twice");
 }
 
+// Promotion without the claim CAS: the "optimization" frees the slot
+// first and copies the capture afterwards, instead of holding kPromoting
+// across the copy. The owner's LazyStack reuse then re-arms the slot
+// mid-copy, the thief relocates the *new* spawn's capture, and that task
+// body runs twice (while the stolen continuation is lost). The
+// kStacked->kPromoting CAS + copy + kFreed release in the shipped
+// try_promote/finish_promotion pair exists to close exactly this hole.
+void broken_promotion_cas() {
+  using Claim = protocol::LazyClaim<chk::ModelSync>;
+  chk::atomic<int> capture{1};  // slot body storage; task ids 1 and 2
+  Claim claim;
+  std::array<chk::atomic<int>, 3> exec{};
+  claim.arm();  // task 1 occupies the slot; its deque entry went to the thief
+  chk::thread thief([&] {
+    // BUG: no try_promote claim window — free the slot, then copy.
+    claim.state.store(Claim::kFreed, std::memory_order_release);
+    const int task = capture.load(std::memory_order_acquire);
+    exec[static_cast<std::size_t>(task)].fetch_add(1,
+                                                   std::memory_order_relaxed);
+  });
+  // Owner: a later spawn reuses the slot the moment it reads kFreed, and
+  // pops task 2 right back (LIFO) to run it.
+  if (claim.reclaimable()) {
+    capture.store(2, std::memory_order_relaxed);
+    claim.arm();
+    chk::assert_now(claim.try_own(), "owner lost the claim on its own pop");
+    const int task = capture.load(std::memory_order_relaxed);
+    exec[static_cast<std::size_t>(task)].fetch_add(1,
+                                                   std::memory_order_relaxed);
+    claim.finish_owned();
+  }
+  thief.join();
+  for (auto& n : exec)
+    chk::assert_now(n.load(std::memory_order_relaxed) <= 1,
+                    "a lazy task body was executed twice");
+}
+
 }  // namespace negative
 
 // Asserts the model fails, the failure carries a replayable seed, and
@@ -891,6 +1061,11 @@ TEST_F(ModelCheckNegative, DoubleBusyRelease) {
 
 TEST_F(ModelCheckNegative, MidEpochRetuneRace) {
   expect_caught_and_replayable(negative::mid_epoch_retune, "data race");
+}
+
+TEST_F(ModelCheckNegative, BrokenPromotionCas) {
+  expect_caught_and_replayable(negative::broken_promotion_cas,
+                               "executed twice");
 }
 
 }  // namespace

@@ -405,6 +405,60 @@ TEST(StressProtocol, HotVictimWeightedStealHammer) {
   }
 }
 
+TEST(StressProtocol, HotVictimLazyPromotionHammer) {
+  // The lazy-promotion handshake under fire (DESIGN.md §5h): one
+  // below-BL worker owns repeated 400-wide lazy fan-outs (under the 512
+  // LazyStack slots, so every child is a stack-slot frame) while seven
+  // squad mates converge on it through the occupancy mask — every
+  // in-squad steal is a promotion, single or batched, and the syncs
+  // between bursts recycle the slots through the kPromoting->kFreed
+  // hand-off that TSan is here to audit. Oracles: leaf and execution
+  // conservation, promotions present and bounded by lazy spawns.
+  constexpr int kEpochs = 2;
+  constexpr int kBursts = 4;
+  constexpr int kBurst = 400;
+  for (StealPolicy pol : {StealPolicy::kWeighted, StealPolicy::kWeightedHalf}) {
+    Options o = stress_options(SchedulerKind::kCab, 1, 8, 1);
+    o.steal = pol;
+    o.lazy_spawn = true;
+    Runtime rt(o);
+    std::atomic<int> leaves{0};
+    for (int epoch = 0; epoch < kEpochs; ++epoch) {
+      rt.run([&] {
+        Runtime::spawn([&] {  // the hot victim, below BL
+          for (int b = 0; b < kBursts; ++b) {
+            for (int i = 0; i < kBurst; ++i) {
+              Runtime::spawn([&] {
+                for (volatile int j = 0; j < 20000;) {
+                  j = j + 1;
+                }
+                leaves.fetch_add(1, std::memory_order_relaxed);
+              });
+            }
+            Runtime::sync();  // joins the burst; slots become reclaimable
+          }
+        });
+        Runtime::sync();
+      });
+    }
+    EXPECT_EQ(leaves.load(), kEpochs * kBursts * kBurst) << to_string(pol);
+    const SchedulerStats s = rt.stats();
+    WorkerStats sum;
+    for (const WorkerStats& w : s.per_worker) sum += w;
+    EXPECT_EQ(sum.tasks_executed, s.total.tasks_executed) << to_string(pol);
+    EXPECT_EQ(sum.tasks_executed,
+              static_cast<std::uint64_t>(kEpochs) * (kBursts * kBurst + 2))
+        << to_string(pol);
+    EXPECT_GT(sum.alloc_lazy_spawns, 0u) << to_string(pol);
+    // Every child in this topology is lazy, so the first successful
+    // in-squad steal of each epoch promotes; the existing hot-victim
+    // hammer already shows steals are guaranteed under this shape.
+    EXPECT_GT(sum.intra_steals, 0u) << to_string(pol);
+    EXPECT_GT(sum.alloc_promotions, 0u) << to_string(pol);
+    EXPECT_LE(sum.alloc_promotions, sum.alloc_lazy_spawns) << to_string(pol);
+  }
+}
+
 TEST(StressProtocol, ConcurrentRunOnPartitionsHammer) {
   // Federated epochs: four submitter threads repeatedly run disjoint
   // single/double-squad partitions of one runtime — every squad

@@ -26,12 +26,14 @@
 //       the idle/parked state that makes blocking correct there.
 //
 //   no-hot-path-alloc [runtime/]
-//       The spawn path recycles frames through per-worker NUMA pools;
-//       a naked `new TaskFrame` or a delete-expression in runtime code
-//       is either a regression to the one-allocation-per-spawn seed or a
-//       double-free hazard against the pool, unless an `// alloc-ok:`
-//       comment names why the heap is correct there (slab carving, the
-//       --frame-pool=off ablation, a boxed oversize callable).
+//       The spawn path recycles frames through per-worker NUMA pools and
+//       runs lazy children on LazyStack slots; a naked `new TaskFrame`,
+//       `new LazyFrame`, raw `::operator new`, or a delete-expression in
+//       runtime code is either a regression to the one-allocation-per-
+//       spawn seed or a double-free hazard against the pool, unless an
+//       `// alloc-ok:` comment names why the heap is correct there (slab
+//       or slot carving, the --frame-pool=off ablation, a boxed oversize
+//       callable).
 //
 // Justification comments are load-bearing: the lint turns "the author
 // thought about this" into a greppable, CI-gated artifact.
@@ -238,10 +240,13 @@ void scan_file(const fs::path& path, std::vector<Finding>& out) {
 
     if (has_component(path, "runtime") &&
         (contains(strip_comment(line), "new TaskFrame") ||
+         contains(strip_comment(line), "new LazyFrame") ||
+         contains(strip_comment(line), "::operator new") ||
          looks_like_delete_expr(line)) &&
         !justified(lines, i, "alloc-ok:")) {
       out.push_back({path.string(), i + 1, "no-hot-path-alloc",
-                     "frame allocation outside the pool (new TaskFrame / "
+                     "frame allocation outside the pool / lazy slots "
+                     "(new TaskFrame / new LazyFrame / ::operator new / "
                      "delete) without an `// alloc-ok:` justification "
                      "comment"});
     }
